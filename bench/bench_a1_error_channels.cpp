@@ -1,0 +1,69 @@
+// A1 — DESIGN.md ablation: error-channel decomposition. Section 2.7 says
+// the QX depolarising model is "simplistic" and must be extended to more
+// realistic distributions: here we separate the channels and compare
+// their impact on GHZ-state fidelity.
+#include "bench_util.h"
+#include "compiler/kernel.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace qs;
+
+/// Fraction of shots returning a GHZ-consistent string (all-0 or all-1).
+double ghz_success(std::size_t n, const sim::QubitModel& model,
+                   std::size_t shots) {
+  compiler::Program p("ghz", n);
+  p.add_kernel("main").ghz(n).measure_all();
+  sim::Simulator simulator(n, model, 7);
+  const sim::RunResult r = simulator.run(p.to_qasm(), shots);
+  const std::string zeros(n, '0');
+  const std::string ones(n, '1');
+  return r.histogram.frequency(zeros) + r.histogram.frequency(ones);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs::bench;
+
+  banner("A1", "Error-channel ablation on GHZ-5 fidelity",
+         "depolarising vs T1 damping vs T2 dephasing vs combined");
+
+  const std::size_t n = 5;
+  const std::size_t shots = 1500;
+
+  Table table({12, 16, 16, 16, 16});
+  table.header({"scale", "depolarising", "T1 only", "T2 only", "combined"});
+
+  for (double scale : {0.25, 1.0, 4.0, 16.0}) {
+    sim::QubitModel depol;
+    depol.kind = sim::QubitKind::Realistic;
+    depol.gate_error_1q = 1e-3 * scale;
+    depol.gate_error_2q = 1e-2 * scale;
+
+    sim::QubitModel t1;
+    t1.kind = sim::QubitKind::Realistic;
+    t1.t1_ns = 30000.0 / scale;
+
+    sim::QubitModel t2;
+    t2.kind = sim::QubitKind::Realistic;
+    t2.t2_ns = 20000.0 / scale;
+
+    sim::QubitModel combined = depol;
+    combined.t1_ns = t1.t1_ns;
+    combined.t2_ns = t2.t2_ns;
+
+    table.row({fmt(scale, 2), fmt(ghz_success(n, depol, shots), 3),
+               fmt(ghz_success(n, t1, shots), 3),
+               fmt(ghz_success(n, t2, shots), 3),
+               fmt(ghz_success(n, combined, shots), 3)});
+  }
+
+  std::printf(
+      "\nshape check: GHZ readout of all-0/all-1 is insensitive to pure\n"
+      "dephasing (T2 flips phases, not populations) but degrades under\n"
+      "depolarising and T1 channels; the combined channel is worst. This is\n"
+      "why the paper insists the depolarising model alone is too simple.\n");
+  return 0;
+}

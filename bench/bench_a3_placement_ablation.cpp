@@ -1,0 +1,97 @@
+// A3 — DESIGN.md ablation: initial-placement strategy in the mapper
+// (Section 2.6 "placement and routing of qubits"). Identity vs
+// interaction-graph greedy seeding, across workloads and topologies.
+#include "bench_util.h"
+#include "compiler/compiler.h"
+
+namespace {
+
+using namespace qs;
+using namespace qs::compiler;
+
+Program chain_heavy(std::size_t n) {
+  Program p("chain", n);
+  auto& k = p.add_kernel("main");
+  // Hot pairs far apart in index space.
+  for (int rep = 0; rep < 6; ++rep) {
+    k.cnot(0, static_cast<QubitIndex>(n - 1));
+    k.cnot(1, static_cast<QubitIndex>(n - 2));
+  }
+  return p;
+}
+
+Program neighbour_heavy(std::size_t n) {
+  Program p("nn", n);
+  auto& k = p.add_kernel("main");
+  for (int rep = 0; rep < 4; ++rep)
+    for (QubitIndex q = 0; q + 1 < n; ++q) k.cnot(q, q + 1);
+  return p;
+}
+
+Program random_pairs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Program p("rand", n);
+  auto& k = p.add_kernel("main");
+  for (int g = 0; g < 40; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    k.cnot(a, b);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs::bench;
+
+  banner("A3", "Initial-placement ablation (identity vs greedy)",
+         "interaction-aware seeding cuts routing cost");
+
+  const std::size_t n = 9;
+  const std::vector<std::pair<std::string, Program>> workloads = [&] {
+    std::vector<std::pair<std::string, Program>> w;
+    w.emplace_back("far-pair hot loop", chain_heavy(n));
+    w.emplace_back("nearest-neighbour", neighbour_heavy(n));
+    w.emplace_back("random-40", random_pairs(n, 3));
+    return w;
+  }();
+
+  const std::vector<std::pair<std::string, Platform>> targets = {
+      {"line 1x9", Platform::perfect_grid(1, 9)},
+      {"grid 3x3", Platform::perfect_grid(3, 3)},
+  };
+
+  Table table({20, 10, 16, 16, 10});
+  table.header({"workload", "topology", "swaps (identity)", "swaps (greedy)",
+                "saving"});
+
+  for (const auto& [wname, program] : workloads) {
+    for (const auto& [tname, platform] : targets) {
+      auto swaps_with = [&](PlacementKind placement) {
+        MapStats stats;
+        Mapper mapper(placement);
+        mapper.map(program.to_qasm(), platform, &stats);
+        return stats.added_swaps;
+      };
+      const std::size_t id = swaps_with(PlacementKind::Identity);
+      const std::size_t greedy = swaps_with(PlacementKind::Greedy);
+      const double saving =
+          id ? 100.0 * (static_cast<double>(id) - static_cast<double>(greedy)) /
+                   static_cast<double>(id)
+             : 0.0;
+      table.row({wname, tname, fmt_int(id), fmt_int(greedy),
+                 fmt(saving, 0) + "%"});
+    }
+  }
+
+  std::printf(
+      "\nshape check: greedy placement wins big when the interaction graph\n"
+      "disagrees with the index order (far-pair loop) and keeps the\n"
+      "already-aligned chain at zero swaps; on unstructured random\n"
+      "circuits static placement cannot help much (routing dominates),\n"
+      "which is why production mappers pair placement with look-ahead\n"
+      "routing.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// A4 — ablation: variational algorithms under realistic qubits. The paper
+// argues NISQ accelerators run "small chunks of quantum circuits ...
+// measured, and restarted" precisely because noise limits circuit depth.
+// Design: optimise the VQE(H2) parameters on perfect qubits once, then
+// evaluate that fixed circuit under increasing gate error — isolating the
+// noise-induced energy bias from optimiser stochasticity — across ansatz
+// depths.
+#include "bench_util.h"
+#include "runtime/vqe.h"
+
+int main() {
+  using namespace qs;
+  using namespace qs::bench;
+  using namespace qs::runtime;
+
+  banner("A4", "VQE(H2) energy bias vs gate noise and ansatz depth",
+         "NISQ noise caps useful circuit depth (Secs. 3.2-3.3 context)");
+
+  const PauliObservable h2 = h2_hamiltonian();
+
+  // Phase 1: noiseless optimisation per depth.
+  std::vector<std::size_t> depths{1, 2, 4};
+  std::vector<std::vector<double>> optimal_params;
+  std::vector<double> clean_energy;
+  for (std::size_t layers : depths) {
+    VqeOptions opts;
+    opts.layers = layers;
+    opts.optimizer_iterations = 200;
+    Vqe vqe(h2, opts);
+    GateAccelerator perfect(compiler::Platform::perfect(2));
+    const VqeResult r = vqe.solve(perfect);
+    optimal_params.push_back(r.parameters);
+    clean_energy.push_back(r.energy);
+  }
+  std::printf("noiseless optimised energies: %.5f / %.5f / %.5f Ha "
+              "(exact -1.85120)\n\n",
+              clean_energy[0], clean_energy[1], clean_energy[2]);
+
+  // Phase 2: evaluate the fixed optimal circuits under gate noise.
+  Table table({14, 12, 12, 12});
+  table.header({"gate error", "layers=1", "layers=2", "layers=4"});
+  for (double e1 : {0.0, 1e-3, 5e-3, 1e-2, 5e-2}) {
+    std::vector<std::string> row{fmt_sci(e1)};
+    for (std::size_t d = 0; d < depths.size(); ++d) {
+      compiler::Platform platform = compiler::Platform::perfect(2);
+      if (e1 > 0.0) {
+        platform.qubit_model = sim::QubitModel::realistic(
+            e1, 10 * e1, /*readout=*/0.0, /*t1_us=*/0.0, /*t2_us=*/0.0);
+        platform.qubit_model.t1_ns = 0.0;
+        platform.qubit_model.t2_ns = 0.0;
+      }
+      GateAccelerator accelerator(platform);
+      accelerator.set_noise_trajectories(64);
+      VqeOptions opts;
+      opts.layers = depths[d];
+      Vqe vqe(h2, opts);
+      const double noisy = vqe.energy(optimal_params[d], accelerator);
+      row.push_back(fmt(noisy - clean_energy[d], 4));
+    }
+    table.row(row);
+  }
+
+  std::printf(
+      "\n(values are energy biases vs each depth's noiseless optimum,\n"
+      "averaged over 64 error trajectories)\n"
+      "\nshape check: bias grows with the error rate, and — at a fixed\n"
+      "rate — with circuit depth: deeper ansaetze accumulate more error\n"
+      "events per evaluation, the core NISQ pressure behind shallow\n"
+      "variational circuits.\n");
+  return 0;
+}

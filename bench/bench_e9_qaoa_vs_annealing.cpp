@@ -1,0 +1,105 @@
+// E9 — Section 3.3: gate-based (QAOA) vs annealing-based optimisation of
+// the same QUBO problems, plus classical baselines. "We believe that the
+// choice of the quantum accelerator is dependent on the specific energy
+// landscape of the application."
+#include "anneal/annealer.h"
+#include "anneal/digital_annealer.h"
+#include "bench_util.h"
+#include "runtime/accelerator.h"
+#include "runtime/qaoa.h"
+
+namespace {
+
+using namespace qs;
+
+/// MaxCut QUBO on a random graph with edge probability p.
+anneal::Qubo maxcut_qubo(std::size_t n, double edge_prob, Rng& rng) {
+  anneal::Qubo q(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(edge_prob)) {
+        q.add(i, i, -1.0);
+        q.add(j, j, -1.0);
+        q.add(i, j, 2.0);
+      }
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs::bench;
+
+  banner("E9", "QAOA vs quantum annealing vs classical on QUBO suites",
+         "both models solve QUBO; quality depends on the energy landscape");
+
+  Table table({8, 12, 12, 12, 12, 12, 12});
+  table.header({"n", "optimal", "SA", "SQA", "DA", "QAOA p=1", "QAOA p=2"});
+
+  Rng rng(41);
+  for (std::size_t n : {6u, 8u, 10u}) {
+    const anneal::Qubo qubo = maxcut_qubo(n, 0.6, rng);
+    const double optimal = qubo.brute_force_minimum().second;
+
+    anneal::AnnealSchedule sa_schedule;
+    sa_schedule.sweeps = 400;
+    sa_schedule.restarts = 3;
+    const double sa =
+        anneal::SimulatedAnnealer(sa_schedule).solve_qubo(qubo, rng).second;
+
+    anneal::QuantumAnnealSchedule sqa_schedule;
+    sqa_schedule.sweeps = 400;
+    sqa_schedule.restarts = 3;
+    const double sqa = anneal::SimulatedQuantumAnnealer(sqa_schedule)
+                           .solve_qubo(qubo, rng)
+                           .second;
+
+    anneal::DigitalAnnealerParams da_params;
+    da_params.iterations = 3000;
+    da_params.restarts = 2;
+    const double da =
+        anneal::DigitalAnnealer(da_params).solve(qubo, rng).second;
+
+    auto qaoa_energy = [&](std::size_t depth) {
+      runtime::QaoaOptions opts;
+      opts.depth = depth;
+      opts.optimizer_iterations = depth == 1 ? 40 : 80;
+      opts.readout_shots = 256;
+      runtime::Qaoa qaoa(qubo, opts);
+      runtime::GateAccelerator acc(compiler::Platform::perfect(n));
+      return qaoa.solve(acc).energy;
+    };
+    const double q1 = qaoa_energy(1);
+    const double q2 = qaoa_energy(2);
+
+    table.row({fmt_int(n), fmt(optimal, 1), fmt(sa, 1), fmt(sqa, 1),
+               fmt(da, 1), fmt(q1, 1), fmt(q2, 1)});
+  }
+
+  std::printf(
+      "\napproximation-ratio view (energy achieved / optimal, 1.0 = exact):\n");
+  // Second sweep capturing the QAOA optimised expectation for depth sweep.
+  Rng rng2(43);
+  const anneal::Qubo qubo = maxcut_qubo(8, 0.6, rng2);
+  const double optimal = qubo.brute_force_minimum().second;
+  Table depth_table({10, 14, 14});
+  depth_table.header({"QAOA p", "<H> optimised", "ratio"});
+  for (std::size_t p : {1u, 2u, 3u}) {
+    runtime::QaoaOptions opts;
+    opts.depth = p;
+    opts.optimizer_iterations = 40 * p;
+    opts.readout_shots = 128;
+    runtime::Qaoa qaoa(qubo, opts);
+    runtime::GateAccelerator acc(compiler::Platform::perfect(8));
+    const auto r = qaoa.solve(acc);
+    depth_table.row(
+        {fmt_int(p), fmt(r.expectation, 3), fmt(r.expectation / optimal, 3)});
+  }
+
+  std::printf(
+      "\nshape check: annealers reach the exact optimum on these landscapes\n"
+      "(unconstrained MaxCut anneals well); QAOA closes the gap as depth\n"
+      "grows — the paper's NISQ trade-off between circuit depth and\n"
+      "solution quality.\n");
+  return 0;
+}

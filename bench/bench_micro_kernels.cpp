@@ -1,0 +1,99 @@
+// Google-benchmark micro-kernels for the hot paths of the stack: state-
+// vector gate application, measurement, annealer sweeps, cQASM parsing and
+// the compiler pipeline. These complement the bench_e* experiment
+// harnesses with ns-level performance tracking.
+#include <benchmark/benchmark.h>
+
+#include "anneal/annealer.h"
+#include "compiler/compiler.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "sim/gates.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace qs;
+
+void BM_StateVector_H(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const Matrix h = sim::hadamard();
+  QubitIndex q = 0;
+  for (auto _ : state) {
+    sv.apply_1q(h, q);
+    q = (q + 1) % static_cast<QubitIndex>(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_H)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_StateVector_CNOT(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const Matrix x = sim::pauli_x();
+  for (auto _ : state) sv.apply_controlled_1q(x, {0}, 1);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_CNOT)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_StateVector_Measure(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix h = sim::hadamard();
+  for (auto _ : state) {
+    sim::StateVector sv(n);
+    sv.apply_1q(h, 0);
+    benchmark::DoNotOptimize(sv.measure(0, rng));
+  }
+}
+BENCHMARK(BM_StateVector_Measure)->Arg(10)->Arg(16);
+
+void BM_Annealer_Sweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  anneal::IsingModel model(n);
+  Rng build_rng(7);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < i + 5 && j < n; ++j)
+      model.add_coupling(i, j, build_rng.uniform(-1, 1));
+  anneal::AnnealSchedule schedule;
+  schedule.sweeps = 10;
+  const anneal::SimulatedAnnealer annealer(schedule);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(annealer.solve(model, rng).best_energy);
+  state.SetItemsProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Annealer_Sweep)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_Parser_Roundtrip(benchmark::State& state) {
+  compiler::Program p("bench", 8);
+  auto& k = p.add_kernel("main");
+  k.qft({0, 1, 2, 3, 4, 5, 6, 7});
+  const std::string text = qasm::to_cqasm(p.to_qasm());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qasm::Parser::parse(text).total_instructions());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Parser_Roundtrip);
+
+void BM_Compiler_FullPipeline(benchmark::State& state) {
+  compiler::Program p("bench", 6);
+  auto& k = p.add_kernel("main");
+  k.qft({0, 1, 2, 3, 4, 5});
+  k.measure_all();
+  compiler::Compiler compiler(compiler::Platform::superconducting17());
+  compiler::CompileOptions opts;
+  opts.map = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compiler.compile(p, opts).gates_after);
+}
+BENCHMARK(BM_Compiler_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Shared console-table helpers for the experiment harnesses. Every
+// bench_e* binary regenerates one figure/table/claim of the paper and
+// prints it in a fixed-width layout suitable for EXPERIMENTS.md capture.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qs::bench {
+
+/// Prints the experiment banner: id, paper artefact, expectation.
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Fixed-width row printer: pass preformatted cells.
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void header(const std::vector<std::string>& cells) {
+    row(cells);
+    int total = 0;
+    for (int w : widths_) total += w + 2;
+    std::printf("%s\n", std::string(static_cast<std::size_t>(total), '-').c_str());
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i)
+      std::printf("%-*s  ", widths_[i], cells[i].c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string fmt(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+inline std::string fmt_int(std::size_t v) { return std::to_string(v); }
+
+}  // namespace qs::bench

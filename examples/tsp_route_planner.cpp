@@ -1,0 +1,108 @@
+// Route-planning demo reproducing the paper's Figure 9 (Section 3.3):
+// the 4-city Netherlands TSP with optimal tour cost 1.42, encoded as a
+// 16-qubit QUBO and solved on every back-end in the stack:
+//   exact classical, heuristics, simulated quantum annealer (fully
+//   connected and Chimera-embedded) and gate-model QAOA.
+//
+// Build & run:   ./build/examples/tsp_route_planner
+#include <cstdio>
+
+#include "anneal/chimera.h"
+#include "apps/tsp/qubo_encode.h"
+#include "apps/tsp/solvers.h"
+#include "apps/tsp/tsp.h"
+#include "runtime/accelerator.h"
+#include "runtime/qaoa.h"
+
+namespace {
+
+std::string tour_names(const qs::apps::tsp::TspInstance& inst,
+                       const std::vector<std::size_t>& tour) {
+  std::string out;
+  for (std::size_t c : tour) {
+    if (!out.empty()) out += " -> ";
+    out += inst.city(c).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qs;
+  using namespace qs::apps::tsp;
+
+  const TspInstance nl = TspInstance::netherlands4();
+  std::printf("cities: Amsterdam, Utrecht, Rotterdam, The Hague\n");
+  std::printf("scaled Euclidean distances; 16-qubit QUBO encoding\n\n");
+
+  // Classical exact + heuristics.
+  const TourResult exact = brute_force(nl);
+  std::printf("%-26s cost %.4f  %s\n", "brute force (exact):", exact.cost,
+              tour_names(nl, exact.tour).c_str());
+  const TourResult bnb = branch_and_bound(nl);
+  std::printf("%-26s cost %.4f  (%zu nodes)\n", "branch & bound:", bnb.cost,
+              bnb.nodes_explored);
+  const TourResult local = two_opt(nl);
+  std::printf("%-26s cost %.4f\n\n", "nearest-neighbour + 2-opt:", local.cost);
+
+  // QUBO encoding (the paper's four interaction categories).
+  const TspQubo encoding(nl);
+  std::printf("QUBO: %zu variables, %zu couplings, penalty %.3f\n",
+              encoding.variable_count(), encoding.qubo().coupling_count(),
+              encoding.penalty());
+
+  Rng rng(7);
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 800;
+  schedule.restarts = 4;
+
+  // Fully-connected annealer (digital-annealer style device).
+  runtime::AnnealAccelerator fully_connected(8192, schedule);
+  const runtime::AnnealOutcome fc = fully_connected.solve(encoding.qubo(), rng);
+  std::vector<std::size_t> tour;
+  if (encoding.decode(fc.solution, tour)) {
+    std::printf("%-26s cost %.4f  %s\n", "SQA (fully connected):",
+                nl.tour_cost(tour), tour_names(nl, tour).c_str());
+  }
+
+  // Chimera-topology annealer (D-Wave 2000Q model): needs minor embedding.
+  // Longer schedule: flipping 17-qubit chains needs more collective moves.
+  anneal::QuantumAnnealSchedule chimera_schedule;
+  chimera_schedule.sweeps = 2500;
+  chimera_schedule.restarts = 6;
+  runtime::AnnealAccelerator chimera(anneal::ChimeraGraph::dwave2000q(),
+                                     chimera_schedule);
+  const runtime::AnnealOutcome ce = chimera.solve(encoding.qubo(), rng);
+  if (encoding.decode(ce.solution, tour)) {
+    std::printf("%-26s cost %.4f  (%zu physical qubits, max chain %zu)\n",
+                "SQA (Chimera-embedded):", nl.tour_cost(tour),
+                ce.physical_qubits_used, ce.max_chain_length);
+  } else {
+    std::printf("%-26s infeasible sample (chain breaks)\n",
+                "SQA (Chimera-embedded):");
+  }
+
+  // Gate-model QAOA on 16 perfect qubits through the full gate stack.
+  runtime::QaoaOptions qopts;
+  qopts.depth = 1;
+  qopts.optimizer_iterations = 20;
+  qopts.readout_shots = 256;
+  runtime::Qaoa qaoa(encoding.qubo(), qopts);
+  runtime::GateAccelerator gate(compiler::Platform::perfect(16));
+  const runtime::QaoaResult qr = qaoa.solve(gate);
+  std::printf("%-26s <H> %.4f after %zu circuit evaluations\n",
+              "QAOA p=1 (gate model):", qr.expectation,
+              qr.circuit_evaluations);
+  if (encoding.decode(qr.solution, tour)) {
+    std::printf("%-26s cost %.4f  %s\n", "  best sampled tour:",
+                nl.tour_cost(tour), tour_names(nl, tour).c_str());
+  } else {
+    std::printf("%-26s best sample violates tour constraints\n",
+                "  best sampled tour:");
+  }
+
+  std::printf("\npaper claim check: optimal tour cost = 1.42 -> measured %.2f\n",
+              exact.cost);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Variational quantum eigensolver on the H2 molecule — the "physical
+// system simulation" application domain the paper names as a promising
+// quantum-acceleration candidate (Section 2.3), run through the hybrid
+// quantum-classical loop of Figure 8.
+//
+// Build & run:   ./build/examples/vqe_chemistry
+#include <cstdio>
+
+#include "runtime/vqe.h"
+
+int main() {
+  using namespace qs;
+  using namespace qs::runtime;
+
+  const PauliObservable h2 = h2_hamiltonian();
+  std::printf("H2 molecule, equilibrium bond length, 2-qubit reduced "
+              "Hamiltonian:\n");
+  for (const auto& term : h2.terms())
+    std::printf("  %+8.4f * %s\n", term.coefficient, term.paulis.c_str());
+
+  GateAccelerator accelerator(compiler::Platform::perfect(2));
+
+  std::printf("\n%-8s %-14s %-12s\n", "layers", "energy (Ha)", "evals");
+  for (std::size_t layers : {1u, 2u}) {
+    VqeOptions opts;
+    opts.layers = layers;
+    opts.optimizer_iterations = 250;
+    Vqe vqe(h2, opts);
+    const VqeResult r = vqe.solve(accelerator);
+    std::printf("%-8zu %-14.6f %-12zu\n", layers, r.energy,
+                r.circuit_evaluations);
+  }
+
+  std::printf("\nreference ground-state energy: about -1.851 Hartree\n");
+  // Hartree-Fock reference |01>: ZI -> -1, IZ -> +1, ZZ -> -1.
+  std::printf("(the Hartree-Fock baseline sits at %.4f Ha; the gap is the\n"
+              "correlation energy VQE recovers)\n",
+              -0.4804 - 0.3435 - 0.4347 - 0.5716);
+  return 0;
+}

@@ -1,0 +1,231 @@
+#include "anneal/annealer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qs::anneal {
+
+namespace {
+
+/// Local field at spin i: dE of flipping s_i is -2 s_i * local(i).
+double local_field(
+    const IsingModel& m,
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& adj,
+    const std::vector<int>& s, std::size_t i) {
+  double f = m.h[i];
+  for (const auto& [k, w] : adj[i]) f += w * s[k];
+  return f;
+}
+
+/// Metropolis acceptance. Zero-delta moves are accepted with probability
+/// 1/2: deterministically accepting them creates limit cycles (e.g. a
+/// domain wall rotating around an antiferromagnetic ring forever under
+/// sequential updates).
+bool metropolis_accept(double delta, double beta, Rng& rng) {
+  if (delta < 0.0) return true;
+  if (delta == 0.0) return rng.bernoulli(0.5);
+  return rng.uniform() < std::exp(-beta * delta);
+}
+
+/// Energy change of flipping a whole cluster: intra-cluster couplings are
+/// invariant, so only fields and boundary couplings contribute.
+double cluster_flip_delta(
+    const IsingModel& m,
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& adj,
+    const std::vector<int>& s, const std::vector<std::size_t>& cluster,
+    std::vector<char>& in_cluster) {
+  for (std::size_t i : cluster) in_cluster[i] = 1;
+  double delta = 0.0;
+  for (std::size_t i : cluster) {
+    double boundary = m.h[i];
+    for (const auto& [k, w] : adj[i])
+      if (!in_cluster[k]) boundary += w * s[k];
+    delta += -2.0 * static_cast<double>(s[i]) * boundary;
+  }
+  for (std::size_t i : cluster) in_cluster[i] = 0;
+  return delta;
+}
+
+}  // namespace
+
+AnnealResult SimulatedAnnealer::solve(const IsingModel& model, Rng& rng,
+                                      const SpinClusters& clusters) const {
+  if (model.n == 0)
+    throw std::invalid_argument("SimulatedAnnealer: empty model");
+  const auto adj = model.adjacency();
+  AnnealResult best;
+  best.best_energy = std::numeric_limits<double>::infinity();
+
+  for (std::size_t restart = 0; restart < schedule_.restarts; ++restart) {
+    std::vector<int> s(model.n);
+    for (auto& v : s) v = rng.bernoulli(0.5) ? 1 : -1;
+    double energy = model.energy(s);
+    std::vector<int> local_best = s;
+    double local_best_e = energy;
+
+    const double ratio =
+        schedule_.sweeps > 1
+            ? std::pow(schedule_.beta_end / schedule_.beta_start,
+                       1.0 / static_cast<double>(schedule_.sweeps - 1))
+            : 1.0;
+    double beta = schedule_.beta_start;
+
+    std::vector<std::size_t> order(model.n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<char> in_cluster(model.n, 0);
+    for (std::size_t sweep = 0; sweep < schedule_.sweeps; ++sweep) {
+      rng.shuffle(order);
+      for (std::size_t i : order) {
+        // E contains h_i s_i + sum_k J_ik s_i s_k = s_i * local(i), so a
+        // flip changes the energy by -2 s_i local(i).
+        const double delta =
+            -2.0 * static_cast<double>(s[i]) * local_field(model, adj, s, i);
+        if (metropolis_accept(delta, beta, rng)) {
+          s[i] = -s[i];
+          energy += delta;
+          if (energy < local_best_e) {
+            local_best_e = energy;
+            local_best = s;
+          }
+        }
+      }
+      // Collective cluster flips (embedded-chain moves).
+      if (!clusters.empty()) {
+        for (const auto& cluster : clusters) {
+          if (cluster.empty()) continue;
+          const double delta =
+              cluster_flip_delta(model, adj, s, cluster, in_cluster);
+          if (metropolis_accept(delta, beta, rng)) {
+            for (std::size_t i : cluster) s[i] = -s[i];
+            energy += delta;
+            if (energy < local_best_e) {
+              local_best_e = energy;
+              local_best = s;
+            }
+          }
+        }
+      }
+      beta *= ratio;
+      ++best.sweeps_done;
+      if (schedule_.trace_every &&
+          sweep % schedule_.trace_every == 0)
+        best.energy_trace.push_back(std::min(local_best_e, best.best_energy));
+    }
+    if (local_best_e < best.best_energy) {
+      best.best_energy = local_best_e;
+      best.best_spins = local_best;
+    }
+  }
+  return best;
+}
+
+std::pair<std::vector<int>, double> SimulatedAnnealer::solve_qubo(
+    const Qubo& qubo, Rng& rng) const {
+  const IsingModel ising = qubo.to_ising();
+  const AnnealResult r = solve(ising, rng);
+  std::vector<int> x = spins_to_binary(r.best_spins);
+  return {x, qubo.energy(x)};
+}
+
+AnnealResult SimulatedQuantumAnnealer::solve(
+    const IsingModel& model, Rng& rng, const SpinClusters& clusters) const {
+  if (model.n == 0)
+    throw std::invalid_argument("SimulatedQuantumAnnealer: empty model");
+  const std::size_t P = std::max<std::size_t>(2, schedule_.trotter_slices);
+  const double T = schedule_.temperature;
+  const double PT = static_cast<double>(P) * T;
+  const double beta_slice = 1.0 / PT;  // effective inverse temp per slice
+  const auto adj = model.adjacency();
+
+  AnnealResult best;
+  best.best_energy = std::numeric_limits<double>::infinity();
+
+  for (std::size_t restart = 0; restart < schedule_.restarts; ++restart) {
+    // replicas[p][i]: spin i in Trotter slice p.
+    std::vector<std::vector<int>> replicas(P, std::vector<int>(model.n));
+    for (auto& slice : replicas)
+      for (auto& v : slice) v = rng.bernoulli(0.5) ? 1 : -1;
+
+    const double gamma_ratio =
+        schedule_.sweeps > 1
+            ? std::pow(schedule_.gamma_end / schedule_.gamma_start,
+                       1.0 / static_cast<double>(schedule_.sweeps - 1))
+            : 1.0;
+    double gamma = schedule_.gamma_start;
+
+    std::vector<std::size_t> order(model.n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<char> in_cluster(model.n, 0);
+    for (std::size_t sweep = 0; sweep < schedule_.sweeps; ++sweep) {
+      // Ferromagnetic replica coupling grows as the field shrinks,
+      // freezing the slices together into a classical state.
+      const double jperp =
+          -0.5 * PT * std::log(std::tanh(gamma / PT));
+      for (std::size_t p = 0; p < P; ++p) {
+        auto& s = replicas[p];
+        const auto& up = replicas[(p + 1) % P];
+        const auto& down = replicas[(p + P - 1) % P];
+        rng.shuffle(order);
+        for (std::size_t i : order) {
+          // The action weights the problem term by beta/P = beta_slice, so
+          // the local field enters undivided here.
+          const double classical = local_field(model, adj, s, i);
+          // Ferromagnetic coupling along imaginary time: the effective
+          // Hamiltonian term is -J_perp s_i^p s_i^{p+1}.
+          const double quantum = -jperp * (up[i] + down[i]);
+          const double delta =
+              -2.0 * static_cast<double>(s[i]) * (classical + quantum);
+          if (metropolis_accept(delta, beta_slice, rng)) {
+            s[i] = -s[i];
+          }
+        }
+      }
+      // Collective cluster flips per slice. Flipping the cluster in one
+      // slice leaves the replica-coupling term for its spins unchanged in
+      // expectation only when neighbours agree; compute it exactly.
+      if (!clusters.empty()) {
+        for (std::size_t p = 0; p < P; ++p) {
+          auto& s = replicas[p];
+          const auto& up = replicas[(p + 1) % P];
+          const auto& down = replicas[(p + P - 1) % P];
+          for (const auto& cluster : clusters) {
+            if (cluster.empty()) continue;
+            double delta =
+                cluster_flip_delta(model, adj, s, cluster, in_cluster);
+            for (std::size_t i : cluster)
+              delta += 2.0 * jperp * static_cast<double>(s[i]) *
+                       static_cast<double>(up[i] + down[i]);
+            if (metropolis_accept(delta, beta_slice, rng)) {
+              for (std::size_t i : cluster) s[i] = -s[i];
+            }
+          }
+        }
+      }
+      gamma *= gamma_ratio;
+      ++best.sweeps_done;
+    }
+
+    // Read out the best slice.
+    for (const auto& slice : replicas) {
+      const double e = model.energy(slice);
+      if (e < best.best_energy) {
+        best.best_energy = e;
+        best.best_spins = slice;
+      }
+    }
+  }
+  return best;
+}
+
+std::pair<std::vector<int>, double> SimulatedQuantumAnnealer::solve_qubo(
+    const Qubo& qubo, Rng& rng) const {
+  const IsingModel ising = qubo.to_ising();
+  const AnnealResult r = solve(ising, rng);
+  std::vector<int> x = spins_to_binary(r.best_spins);
+  return {x, qubo.energy(x)};
+}
+
+}  // namespace qs::anneal

@@ -1,0 +1,64 @@
+#include "anneal/chimera.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qs::anneal {
+
+ChimeraGraph::ChimeraGraph(std::size_t m, std::size_t n, std::size_t t)
+    : m_(m), n_(n), t_(t), adjacency_(m * n * 2 * t) {
+  if (m == 0 || n == 0 || t == 0)
+    throw std::invalid_argument("ChimeraGraph: dimensions must be positive");
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      // Intra-cell K_{t,t}: every side-0 node couples to every side-1 node.
+      for (std::size_t a = 0; a < t; ++a)
+        for (std::size_t b = 0; b < t; ++b)
+          add_edge(node_id(r, c, 0, a), node_id(r, c, 1, b));
+      // Inter-cell: side-0 ("vertical") nodes couple to the same shore
+      // index in the cell below; side-1 ("horizontal") to the cell right.
+      if (r + 1 < m)
+        for (std::size_t k = 0; k < t; ++k)
+          add_edge(node_id(r, c, 0, k), node_id(r + 1, c, 0, k));
+      if (c + 1 < n)
+        for (std::size_t k = 0; k < t; ++k)
+          add_edge(node_id(r, c, 1, k), node_id(r, c + 1, 1, k));
+    }
+  }
+}
+
+std::size_t ChimeraGraph::node_id(std::size_t row, std::size_t col,
+                                  std::size_t side, std::size_t k) const {
+  if (row >= m_ || col >= n_ || side >= 2 || k >= t_)
+    throw std::out_of_range("ChimeraGraph::node_id");
+  return ((row * n_ + col) * 2 + side) * t_ + k;
+}
+
+void ChimeraGraph::add_edge(std::size_t a, std::size_t b) {
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+const std::vector<std::size_t>& ChimeraGraph::neighbours(
+    std::size_t node) const {
+  return adjacency_.at(node);
+}
+
+bool ChimeraGraph::connected(std::size_t a, std::size_t b) const {
+  const auto& n = adjacency_.at(a);
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+std::size_t ChimeraGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& n : adjacency_) total += n.size();
+  return total / 2;
+}
+
+double ChimeraGraph::average_degree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) /
+         static_cast<double>(adjacency_.size());
+}
+
+}  // namespace qs::anneal

@@ -1,0 +1,42 @@
+// The Chimera hardware graph C(m, n, t): an m x n grid of K_{t,t} unit
+// cells with inter-cell couplers — the topology of D-Wave annealers
+// (the 2000Q is C(16,16,4) with 2048 qubits). Used by the minor-embedding
+// experiments reproducing the paper's "9 cities max on a 2000Q" claim (E4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qs::anneal {
+
+class ChimeraGraph {
+ public:
+  /// m rows x n columns of K_{t,t} cells.
+  ChimeraGraph(std::size_t m, std::size_t n, std::size_t t);
+
+  /// The D-Wave 2000Q topology: C(16,16,4), 2048 qubits.
+  static ChimeraGraph dwave2000q() { return ChimeraGraph(16, 16, 4); }
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+  std::size_t shore() const { return t_; }
+
+  /// Node id for (row, col, side, k); side 0 = "vertical" shore,
+  /// side 1 = "horizontal" shore, k in [0, t).
+  std::size_t node_id(std::size_t row, std::size_t col, std::size_t side,
+                      std::size_t k) const;
+
+  const std::vector<std::size_t>& neighbours(std::size_t node) const;
+  bool connected(std::size_t a, std::size_t b) const;
+  std::size_t edge_count() const;
+  double average_degree() const;
+
+ private:
+  void add_edge(std::size_t a, std::size_t b);
+
+  std::size_t m_, n_, t_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace qs::anneal

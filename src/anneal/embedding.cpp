@@ -1,0 +1,369 @@
+#include "anneal/embedding.h"
+
+#include "anneal/chimera.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <queue>
+
+namespace qs::anneal {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Node-weighted multi-source Dijkstra used by the CMR-style heuristic:
+/// entering a node costs exponentially more the more chains already use
+/// it, steering new chains around congestion while still allowing overlap
+/// (overlaps are resolved across rip-up passes).
+struct Dijkstra {
+  std::vector<double> dist;
+  std::vector<std::size_t> parent;
+
+  void run(const HardwareGraph& hw, const std::vector<std::size_t>& sources,
+           const std::vector<double>& node_cost) {
+    const std::size_t n = hw.size();
+    dist.assign(n, kInf);
+    parent.assign(n, n);
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    for (std::size_t s : sources) {
+      dist[s] = 0.0;  // inside the source chain: free
+      queue.push({0.0, s});
+    }
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[u]) continue;
+      for (std::size_t v : hw.adjacency[u]) {
+        const double nd = d + node_cost[v];
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          parent[v] = u;
+          queue.push({nd, v});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Embedding Embedder::embed(
+    std::size_t logical_count,
+    const std::vector<std::pair<std::size_t, std::size_t>>& logical_edges,
+    const HardwareGraph& hardware, Rng& rng) const {
+  Embedding best;
+  for (std::size_t a = 0; a < std::max<std::size_t>(attempts_, 1); ++a) {
+    Embedding e = try_once(logical_count, logical_edges, hardware, rng);
+    if (e.success &&
+        (!best.success ||
+         e.physical_qubits_used < best.physical_qubits_used)) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+Embedding Embedder::try_once(
+    std::size_t logical_count,
+    const std::vector<std::pair<std::size_t, std::size_t>>& logical_edges,
+    const HardwareGraph& hardware, Rng& rng) const {
+  Embedding result;
+  result.chains.assign(logical_count, {});
+  if (logical_count == 0) {
+    result.success = true;
+    return result;
+  }
+  const std::size_t hn = hardware.size();
+  if (hn == 0) return result;
+
+  // Logical adjacency.
+  std::vector<std::vector<std::size_t>> ladj(logical_count);
+  for (const auto& [u, v] : logical_edges) {
+    if (u >= logical_count || v >= logical_count || u == v) continue;
+    ladj[u].push_back(v);
+    ladj[v].push_back(u);
+  }
+
+  // usage[node] = number of chains currently containing the node;
+  // membership[node] marks nodes of one specific chain during routing.
+  std::vector<int> usage(hn, 0);
+  std::vector<std::uint32_t> member_stamp(hn, 0);
+  std::uint32_t stamp = 0;
+  auto& chains = result.chains;
+
+  auto rip = [&](std::size_t v) {
+    for (std::size_t node : chains[v]) --usage[node];
+    chains[v].clear();
+  };
+
+  auto claim = [&](std::size_t v, std::size_t node) {
+    if (std::find(chains[v].begin(), chains[v].end(), node) ==
+        chains[v].end()) {
+      chains[v].push_back(node);
+      ++usage[node];
+    }
+  };
+
+  std::vector<std::size_t> order(logical_count);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> node_cost(hn);
+  std::vector<Dijkstra> per_neighbour;
+  Dijkstra grow;
+
+  const std::size_t max_passes = 64;
+  double alpha = 1.5;      // congestion penalty base, escalated per pass
+  double noise = 1.3;      // cost-noise ceiling; boosted on stagnation
+  std::size_t last_overlaps = static_cast<std::size_t>(-1);
+  std::size_t stagnant = 0;
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    rng.shuffle(order);
+    if (pass == 0) {
+      // First pass: hardest (highest-degree) variables claim space first.
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return ladj[a].size() > ladj[b].size();
+                       });
+    }
+    for (std::size_t v : order) {
+      rip(v);
+      // Multiplicative cost noise breaks re-routing deadlocks: without it
+      // two mutually-blocking chains re-derive the same "optimal" routes
+      // every pass and the overlap never resolves.
+      for (std::size_t node = 0; node < hn; ++node)
+        node_cost[node] = std::pow(alpha, static_cast<double>(usage[node])) *
+                          rng.uniform(1.0, noise);
+
+      std::vector<std::size_t> neighbours;
+      for (std::size_t u : ladj[v])
+        if (!chains[u].empty()) neighbours.push_back(u);
+
+      if (neighbours.empty()) {
+        // Seed on a free (or least congested reachable) node.
+        std::size_t seed = rng.uniform_int(hn);
+        for (std::size_t probe = 0; probe < hn; ++probe) {
+          const std::size_t cand = (seed + probe) % hn;
+          if (usage[cand] == 0) {
+            seed = cand;
+            break;
+          }
+        }
+        claim(v, seed);
+        continue;
+      }
+
+      // Distance field per embedded neighbour chain; root minimises the
+      // summed distance (classic CMR root selection).
+      per_neighbour.assign(neighbours.size(), Dijkstra{});
+      for (std::size_t k = 0; k < neighbours.size(); ++k)
+        per_neighbour[k].run(hardware, chains[neighbours[k]], node_cost);
+      std::size_t root = hn;
+      double best_total = kInf;
+      for (std::size_t node = 0; node < hn; ++node) {
+        double total = node_cost[node];
+        for (const auto& d : per_neighbour) {
+          if (d.dist[node] == kInf) {
+            total = kInf;
+            break;
+          }
+          total += d.dist[node];
+        }
+        if (total < best_total) {
+          best_total = total;
+          root = node;
+        }
+      }
+      if (root == hn) return result;  // hardware graph disconnected
+
+      claim(v, root);
+
+      // Connect to each neighbour chain *sequentially from the growing
+      // chain*, nearest first, so paths share structure (Steiner-style)
+      // instead of forming a giant star of independent paths.
+      std::vector<std::size_t> by_distance(neighbours.size());
+      std::iota(by_distance.begin(), by_distance.end(), 0);
+      std::sort(by_distance.begin(), by_distance.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return per_neighbour[a].dist[root] <
+                         per_neighbour[b].dist[root];
+                });
+
+      for (std::size_t k : by_distance) {
+        const std::size_t u = neighbours[k];
+        // Already physically coupled?
+        ++stamp;
+        for (std::size_t node : chains[u]) member_stamp[node] = stamp;
+        bool coupled = false;
+        for (std::size_t mine : chains[v]) {
+          for (std::size_t adj : hardware.adjacency[mine])
+            if (member_stamp[adj] == stamp) {
+              coupled = true;
+              break;
+            }
+          if (coupled) break;
+        }
+        if (coupled) continue;
+
+        // Grow: cheapest path from the current chain(v) to chain(u).
+        grow.run(hardware, chains[v], node_cost);
+        std::size_t target = hn;
+        double best_dist = kInf;
+        for (std::size_t node : chains[u]) {
+          if (grow.dist[node] < best_dist) {
+            best_dist = grow.dist[node];
+            target = node;
+          }
+        }
+        if (target == hn) return result;
+        // Claim interior path nodes (exclude the target, which belongs to
+        // the neighbour chain; sources have dist 0 and unset parents).
+        std::size_t cur = grow.parent[target];
+        while (cur != hn && grow.dist[cur] > 0.0) {
+          claim(v, cur);
+          cur = grow.parent[cur];
+        }
+      }
+
+      // Trim: repeatedly drop chain leaves that are not required to stay
+      // adjacent to any neighbour chain. Without this, chains only ever
+      // grow across passes and the hardware congests.
+      bool trimmed = true;
+      while (trimmed && chains[v].size() > 1) {
+        trimmed = false;
+        for (std::size_t idx = 0; idx < chains[v].size(); ++idx) {
+          const std::size_t node = chains[v][idx];
+          // Degree within the chain.
+          ++stamp;
+          for (std::size_t m : chains[v]) member_stamp[m] = stamp;
+          std::size_t degree = 0;
+          for (std::size_t adj : hardware.adjacency[node])
+            if (member_stamp[adj] == stamp) ++degree;
+          if (degree > 1) continue;  // interior node: keep
+          // Would every neighbour chain still touch chain(v) \ {node}?
+          bool required = false;
+          for (std::size_t u : neighbours) {
+            ++stamp;
+            for (std::size_t m : chains[u]) member_stamp[m] = stamp;
+            bool touches_via_other = false;
+            bool touches_via_node = false;
+            for (std::size_t mine : chains[v]) {
+              if (mine == node) {
+                for (std::size_t adj : hardware.adjacency[mine])
+                  if (member_stamp[adj] == stamp) touches_via_node = true;
+                continue;
+              }
+              for (std::size_t adj : hardware.adjacency[mine])
+                if (member_stamp[adj] == stamp) {
+                  touches_via_other = true;
+                  break;
+                }
+              if (touches_via_other) break;
+            }
+            if (touches_via_node && !touches_via_other) {
+              required = true;
+              break;
+            }
+          }
+          if (required) continue;
+          --usage[node];
+          chains[v].erase(chains[v].begin() +
+                          static_cast<std::ptrdiff_t>(idx));
+          trimmed = true;
+          break;  // restart the scan: degrees changed
+        }
+      }
+    }
+
+    // Converged when no hardware node is shared between chains.
+    std::size_t overlaps = 0;
+    for (int u : usage)
+      if (u > 1) overlaps += static_cast<std::size_t>(u - 1);
+    if (overlaps == 0) {
+      result.success = true;
+      break;
+    }
+    // Escalate congestion pressure; on stagnation, crank the routing noise
+    // to shake mutually-blocking chains out of their deadlock.
+    if (overlaps >= last_overlaps) {
+      if (++stagnant >= 3) {
+        noise = std::min(noise * 2.0, 16.0);
+        stagnant = 0;
+      }
+    } else {
+      stagnant = 0;
+      noise = 1.3;
+    }
+    last_overlaps = overlaps;
+    alpha = std::min(alpha * 1.35, 1.0e6);
+  }
+
+  if (!result.success) {
+    for (auto& chain : chains) chain.clear();
+    return result;
+  }
+
+  std::size_t used = 0;
+  std::size_t longest = 0;
+  for (const auto& chain : chains) {
+    used += chain.size();
+    longest = std::max(longest, chain.size());
+  }
+  result.physical_qubits_used = used;
+  result.max_chain_length = longest;
+  result.average_chain_length =
+      static_cast<double>(used) / static_cast<double>(logical_count);
+  return result;
+}
+
+
+std::size_t chimera_clique_capacity(const ChimeraGraph& graph) {
+  if (graph.rows() != graph.cols()) return 0;
+  return graph.shore() * graph.rows();
+}
+
+Embedding chimera_clique_embedding(std::size_t logical_count,
+                                   const ChimeraGraph& graph) {
+  if (graph.rows() != graph.cols())
+    throw std::invalid_argument(
+        "chimera_clique_embedding: requires a square Chimera grid");
+  Embedding result;
+  result.chains.assign(logical_count, {});
+  const std::size_t m = graph.rows();
+  const std::size_t t = graph.shore();
+  if (logical_count > t * m) return result;  // beyond native clique size
+
+  for (std::size_t v = 0; v < logical_count; ++v) {
+    const std::size_t a = v / t;   // diagonal block
+    const std::size_t k = v % t;   // shore index
+    auto& chain = result.chains[v];
+    // Vertical run: shore-0 qubit k of column a, rows 0..a.
+    for (std::size_t r = 0; r <= a; ++r)
+      chain.push_back(graph.node_id(r, a, 0, k));
+    // Horizontal run: shore-1 qubit k of row a, columns a..m-1.
+    for (std::size_t c = a; c < m; ++c)
+      chain.push_back(graph.node_id(a, c, 1, k));
+  }
+
+  result.success = true;
+  std::size_t used = 0;
+  std::size_t longest = 0;
+  for (const auto& chain : result.chains) {
+    used += chain.size();
+    longest = std::max(longest, chain.size());
+  }
+  result.physical_qubits_used = used;
+  result.max_chain_length = longest;
+  result.average_chain_length =
+      logical_count ? static_cast<double>(used) /
+                          static_cast<double>(logical_count)
+                    : 0.0;
+  return result;
+}
+
+}  // namespace qs::anneal

@@ -1,0 +1,74 @@
+// Graph minor embedding: mapping each logical QUBO variable onto a chain
+// of physical qubits so that every logical coupling has at least one
+// physical coupler (paper Section 4.2: "we have to find a graph minor
+// embedding, combining several physical qubits into a logical qubit.
+// Finding an embedding is NP-hard in itself, so probabilistic heuristics
+// are normally used"). Implements a greedy chain-growth heuristic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs::anneal {
+
+/// Abstract hardware connectivity for the embedder (adapts ChimeraGraph
+/// or any adjacency structure).
+struct HardwareGraph {
+  std::vector<std::vector<std::size_t>> adjacency;
+  std::size_t size() const { return adjacency.size(); }
+};
+
+struct Embedding {
+  bool success = false;
+  /// chains[v] = physical qubits representing logical variable v.
+  std::vector<std::vector<std::size_t>> chains;
+  std::size_t physical_qubits_used = 0;
+  std::size_t max_chain_length = 0;
+  double average_chain_length = 0.0;
+};
+
+/// Deterministic "triangle" clique embedding on a Chimera C(m,m,t) graph:
+/// logical variable v = t*a + k maps to the L-shaped chain
+///   { vertical shore qubit k of cells (0..a, a) } union
+///   { horizontal shore qubit k of cells (a, a..m-1) }
+/// of length m+1, giving a native K_{t*m} (any logical graph on at most
+/// t*m variables embeds, since the clique dominates it). Returns an
+/// unsuccessful embedding when logical_count exceeds t*m.
+class ChimeraGraph;  // fwd (chimera.h)
+
+class Embedder {
+ public:
+  /// attempts: independent randomised tries; the best success is returned.
+  explicit Embedder(std::size_t attempts = 4) : attempts_(attempts) {}
+
+  /// Embeds a logical graph (given by its edge list over `logical_count`
+  /// variables) into the hardware graph. Greedy chain growth: variables
+  /// in decreasing-degree order; each new variable claims the free
+  /// physical qubit minimising the summed BFS distance to its embedded
+  /// neighbours' chains, then connects to each neighbour chain along a
+  /// shortest free path (path interior joins the new chain).
+  Embedding embed(
+      std::size_t logical_count,
+      const std::vector<std::pair<std::size_t, std::size_t>>& logical_edges,
+      const HardwareGraph& hardware, Rng& rng) const;
+
+ private:
+  Embedding try_once(
+      std::size_t logical_count,
+      const std::vector<std::pair<std::size_t, std::size_t>>& logical_edges,
+      const HardwareGraph& hardware, Rng& rng) const;
+
+  std::size_t attempts_;
+};
+
+/// The triangle clique embedding described above (requires m == n on the
+/// Chimera grid). Throws std::invalid_argument for non-square graphs.
+Embedding chimera_clique_embedding(std::size_t logical_count,
+                                   const ChimeraGraph& graph);
+
+/// Largest clique the triangle construction supports on the graph: t * m.
+std::size_t chimera_clique_capacity(const ChimeraGraph& graph);
+
+}  // namespace qs::anneal

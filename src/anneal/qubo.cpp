@@ -1,0 +1,147 @@
+#include "anneal/qubo.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace qs::anneal {
+
+void IsingModel::add_field(std::size_t i, double value) {
+  if (i >= n) throw std::out_of_range("IsingModel::add_field");
+  h[i] += value;
+}
+
+void IsingModel::add_coupling(std::size_t i, std::size_t k, double value) {
+  if (i >= n || k >= n || i == k)
+    throw std::out_of_range("IsingModel::add_coupling");
+  if (i > k) std::swap(i, k);
+  j[{i, k}] += value;
+}
+
+double IsingModel::energy(const std::vector<int>& spins) const {
+  if (spins.size() != n)
+    throw std::invalid_argument("IsingModel::energy: size mismatch");
+  double e = offset;
+  for (std::size_t i = 0; i < n; ++i) e += h[i] * spins[i];
+  for (const auto& [pair, value] : j)
+    e += value * spins[pair.first] * spins[pair.second];
+  return e;
+}
+
+std::vector<std::vector<std::pair<std::size_t, double>>>
+IsingModel::adjacency() const {
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  for (const auto& [pair, value] : j) {
+    adj[pair.first].emplace_back(pair.second, value);
+    adj[pair.second].emplace_back(pair.first, value);
+  }
+  return adj;
+}
+
+Qubo::Qubo(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("Qubo: need at least one variable");
+}
+
+void Qubo::add(std::size_t i, std::size_t j, double weight) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("Qubo::add");
+  if (i > j) std::swap(i, j);
+  terms_[{i, j}] += weight;
+}
+
+double Qubo::coeff(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  auto it = terms_.find({i, j});
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+double Qubo::energy(const std::vector<int>& x) const {
+  if (x.size() != n_)
+    throw std::invalid_argument("Qubo::energy: size mismatch");
+  double e = 0.0;
+  for (const auto& [pair, w] : terms_) {
+    if (x[pair.first] && x[pair.second]) e += w;
+  }
+  return e;
+}
+
+std::size_t Qubo::coupling_count() const {
+  std::size_t c = 0;
+  for (const auto& [pair, w] : terms_)
+    if (pair.first != pair.second && w != 0.0) ++c;
+  return c;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Qubo::edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const auto& [pair, w] : terms_)
+    if (pair.first != pair.second && w != 0.0) out.push_back(pair);
+  return out;
+}
+
+IsingModel Qubo::to_ising() const {
+  // x_i = (1 + s_i)/2:
+  //   Q_ii x_i        -> Q_ii/2 s_i + Q_ii/2
+  //   Q_ij x_i x_j    -> Q_ij/4 (s_i s_j + s_i + s_j + 1)
+  IsingModel m(n_);
+  for (const auto& [pair, w] : terms_) {
+    const auto [i, j] = pair;
+    if (i == j) {
+      m.h[i] += w / 2.0;
+      m.offset += w / 2.0;
+    } else {
+      m.add_coupling(i, j, w / 4.0);
+      m.h[i] += w / 4.0;
+      m.h[j] += w / 4.0;
+      m.offset += w / 4.0;
+    }
+  }
+  return m;
+}
+
+Qubo Qubo::from_ising(const IsingModel& ising) {
+  // s_i = 2 x_i - 1:
+  //   h_i s_i      -> 2 h_i x_i - h_i
+  //   J_ij s_i s_j -> 4 J x_i x_j - 2 J x_i - 2 J x_j + J
+  Qubo q(ising.n);
+  for (std::size_t i = 0; i < ising.n; ++i)
+    if (ising.h[i] != 0.0) q.add(i, i, 2.0 * ising.h[i]);
+  for (const auto& [pair, value] : ising.j) {
+    q.add(pair.first, pair.second, 4.0 * value);
+    q.add(pair.first, pair.first, -2.0 * value);
+    q.add(pair.second, pair.second, -2.0 * value);
+  }
+  // Constant offset (ising.offset - sum h + sum J) is dropped: QUBO argmin
+  // is unaffected by constants.
+  return q;
+}
+
+std::pair<std::vector<int>, double> Qubo::brute_force_minimum() const {
+  if (n_ > 30)
+    throw std::invalid_argument("Qubo::brute_force_minimum: n > 30");
+  std::vector<int> best(n_, 0);
+  double best_e = energy(best);
+  std::vector<int> x(n_);
+  for (std::uint64_t mask = 1; mask < (1ULL << n_); ++mask) {
+    for (std::size_t i = 0; i < n_; ++i) x[i] = (mask >> i) & 1 ? 1 : 0;
+    const double e = energy(x);
+    if (e < best_e) {
+      best_e = e;
+      best = x;
+    }
+  }
+  return {best, best_e};
+}
+
+std::vector<int> spins_to_binary(const std::vector<int>& spins) {
+  std::vector<int> bits(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i)
+    bits[i] = spins[i] > 0 ? 1 : 0;
+  return bits;
+}
+
+std::vector<int> binary_to_spins(const std::vector<int>& bits) {
+  std::vector<int> spins(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) spins[i] = bits[i] ? 1 : -1;
+  return spins;
+}
+
+}  // namespace qs::anneal

@@ -1,0 +1,75 @@
+// Quadratic Unconstrained Binary Optimisation (QUBO) and Ising models —
+// the abstraction level of the annealing-based accelerator (paper
+// Section 3.3): minimise y = x^T Q x over binary x, isomorphic to the
+// Ising spin model used by quantum annealers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace qs::anneal {
+
+/// Ising model: energy(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j + offset,
+/// spins s_i in {-1, +1}.
+struct IsingModel {
+  std::size_t n = 0;
+  std::vector<double> h;
+  std::map<std::pair<std::size_t, std::size_t>, double> j;  ///< keys i<j
+  double offset = 0.0;
+
+  explicit IsingModel(std::size_t size = 0) : n(size), h(size, 0.0) {}
+
+  void add_field(std::size_t i, double value);
+  void add_coupling(std::size_t i, std::size_t k, double value);
+  double energy(const std::vector<int>& spins) const;
+
+  /// Neighbour lists implied by non-zero couplings (for local solvers).
+  std::vector<std::vector<std::pair<std::size_t, double>>> adjacency() const;
+};
+
+/// Upper-triangular QUBO: energy(x) = sum_{i<=j} Q_ij x_i x_j, binary x.
+class Qubo {
+ public:
+  explicit Qubo(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Adds weight to Q_ij (stored with i <= j; (i,j) and (j,i) accumulate
+  /// into the same coefficient).
+  void add(std::size_t i, std::size_t j, double weight);
+
+  double coeff(std::size_t i, std::size_t j) const;
+
+  double energy(const std::vector<int>& x) const;
+
+  const std::map<std::pair<std::size_t, std::size_t>, double>& terms() const {
+    return terms_;
+  }
+
+  /// Number of distinct variable pairs with non-zero quadratic coupling.
+  std::size_t coupling_count() const;
+
+  /// Logical interaction graph edges (i<j with non-zero off-diagonal).
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+
+  /// Exact transformation to the Ising model via x = (1+s)/2.
+  IsingModel to_ising() const;
+
+  /// Exact inverse transformation.
+  static Qubo from_ising(const IsingModel& ising);
+
+  /// Brute-force minimum over all 2^n assignments (n <= 30 guard).
+  std::pair<std::vector<int>, double> brute_force_minimum() const;
+
+ private:
+  std::size_t n_;
+  std::map<std::pair<std::size_t, std::size_t>, double> terms_;
+};
+
+/// Converts a spin vector {-1,+1} to binary {0,1} and back.
+std::vector<int> spins_to_binary(const std::vector<int>& spins);
+std::vector<int> binary_to_spins(const std::vector<int>& bits);
+
+}  // namespace qs::anneal

@@ -1,0 +1,39 @@
+#include "anneal/tts.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qs::anneal {
+
+TtsResult time_to_solution(const SolverRun& run, double target_energy,
+                           double sweeps_per_run, std::size_t runs, Rng& rng,
+                           double confidence, double tolerance) {
+  if (runs == 0)
+    throw std::invalid_argument("time_to_solution: need at least one run");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("time_to_solution: confidence in (0,1)");
+
+  std::size_t successes = 0;
+  for (std::size_t r = 0; r < runs; ++r)
+    if (run(rng) <= target_energy + tolerance) ++successes;
+
+  TtsResult result;
+  result.runs = runs;
+  result.sweeps_per_run = sweeps_per_run;
+  result.success_probability =
+      static_cast<double>(successes) / static_cast<double>(runs);
+
+  if (successes == 0) {
+    result.tts_sweeps = std::numeric_limits<double>::infinity();
+  } else if (successes == runs) {
+    result.tts_sweeps = sweeps_per_run;  // every run solves: one run's work
+  } else {
+    const double p = result.success_probability;
+    result.tts_sweeps =
+        sweeps_per_run * std::log(1.0 - confidence) / std::log(1.0 - p);
+  }
+  return result;
+}
+
+}  // namespace qs::anneal

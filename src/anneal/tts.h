@@ -1,0 +1,34 @@
+// Time-to-solution (TTS): the standard figure of merit for comparing
+// annealing-class solvers (paper Section 3.3's "choice of the quantum
+// accelerator is dependent on the specific energy landscape"). TTS(q) is
+// the expected number of sweeps to reach the target energy at least once
+// with confidence q, given the per-run success probability.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "anneal/qubo.h"
+#include "common/rng.h"
+
+namespace qs::anneal {
+
+struct TtsResult {
+  double success_probability = 0.0;  ///< fraction of runs reaching target
+  double sweeps_per_run = 0.0;
+  double tts_sweeps = 0.0;           ///< expected sweeps for q confidence
+  std::size_t runs = 0;
+};
+
+/// A solver invocation returning the best energy of one independent run.
+using SolverRun = std::function<double(Rng&)>;
+
+/// Estimates TTS(q) over `runs` independent solver invocations.
+/// `target_energy` is reached when best <= target + tolerance.
+/// When every run succeeds, TTS equals one run's sweeps; when none do,
+/// tts_sweeps is +inf.
+TtsResult time_to_solution(const SolverRun& run, double target_energy,
+                           double sweeps_per_run, std::size_t runs, Rng& rng,
+                           double confidence = 0.99, double tolerance = 1e-9);
+
+}  // namespace qs::anneal

@@ -1,0 +1,53 @@
+#include "apps/genome/aligner.h"
+
+#include <stdexcept>
+
+#include "apps/genome/dna.h"
+
+namespace qs::apps::genome {
+
+QgsAligner::QgsAligner(std::string reference, std::size_t read_length)
+    : reference_(reference),
+      read_length_(read_length),
+      qam_(std::move(reference), read_length) {}
+
+QgsAligner::Result QgsAligner::align_quantum(const std::string& read,
+                                             std::uint64_t seed) const {
+  if (read.size() != read_length_)
+    throw std::invalid_argument("QgsAligner: read length mismatch");
+  Result result;
+
+  auto attempt = [&](const std::string& query) -> bool {
+    ++result.variants_tried;
+    if (qam_.matching_windows(query).empty()) return false;
+    const QuantumAlignment::QueryResult qr = qam_.align(query, seed);
+    result.oracle_queries += qr.oracle_queries;
+    result.success_probability = qr.success_probability;
+    if (qr.found) {
+      result.found = true;
+      result.position = qr.position;
+    }
+    return qr.found;
+  };
+
+  // Exact pass.
+  if (attempt(read)) return result;
+
+  // Approximate pass: every single-base substitution variant.
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (std::size_t pos = 0; pos < read.size(); ++pos) {
+    for (char base : kBases) {
+      if (base == read[pos]) continue;
+      std::string variant = read;
+      variant[pos] = base;
+      if (attempt(variant)) return result;
+    }
+  }
+  return result;
+}
+
+AlignmentResult QgsAligner::align_classical(const std::string& read) const {
+  return best_match(reference_, read);
+}
+
+}  // namespace qs::apps::genome

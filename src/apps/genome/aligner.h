@@ -1,0 +1,44 @@
+// End-to-end quantum genome sequencing accelerator facade (paper
+// Section 3.2 / Figure 7): slices the reference, offloads Grover-based
+// alignment to the QX-backed quantum stack, and falls back to
+// single-substitution query variants for reads with sequencing errors
+// ("the designed algorithm considers inherent read errors ... approximate
+// optimal matching").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/genome/classical_align.h"
+#include "apps/genome/qam.h"
+
+namespace qs::apps::genome {
+
+class QgsAligner {
+ public:
+  QgsAligner(std::string reference, std::size_t read_length);
+
+  struct Result {
+    bool found = false;
+    std::size_t position = 0;
+    std::size_t oracle_queries = 0;   ///< total Grover oracle applications
+    std::size_t variants_tried = 0;   ///< query variants searched
+    double success_probability = 0.0;
+  };
+
+  /// Quantum alignment: exact search first; on no exact hit, searches all
+  /// single-substitution variants of the read (approximate matching).
+  Result align_quantum(const std::string& read, std::uint64_t seed = 1) const;
+
+  /// Classical baseline over the same window set.
+  AlignmentResult align_classical(const std::string& read) const;
+
+  const QuantumAlignment& quantum_memory() const { return qam_; }
+
+ private:
+  std::string reference_;
+  std::size_t read_length_;
+  QuantumAlignment qam_;
+};
+
+}  // namespace qs::apps::genome

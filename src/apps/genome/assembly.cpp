@@ -1,0 +1,205 @@
+#include "apps/genome/assembly.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "anneal/annealer.h"
+
+namespace qs::apps::genome {
+
+OverlapGraph::OverlapGraph(std::vector<std::string> reads)
+    : reads_(std::move(reads)) {
+  const std::size_t n = reads_.size();
+  if (n < 2)
+    throw std::invalid_argument("OverlapGraph: need at least two reads");
+  overlaps_.assign(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::string& a = reads_[i];
+      const std::string& b = reads_[j];
+      const std::size_t max_len = std::min(a.size(), b.size());
+      // Longest proper suffix of a equal to a prefix of b.
+      for (std::size_t len = max_len; len > 0; --len) {
+        if (a.compare(a.size() - len, len, b, 0, len) == 0) {
+          overlaps_[i * n + j] = len;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::size_t OverlapGraph::overlap(std::size_t i, std::size_t j) const {
+  if (i >= size() || j >= size())
+    throw std::out_of_range("OverlapGraph::overlap");
+  return overlaps_[i * size() + j];
+}
+
+std::string OverlapGraph::assemble(
+    const std::vector<std::size_t>& order) const {
+  if (order.empty()) return {};
+  std::string out = reads_.at(order[0]);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const std::size_t ov = overlap(order[k - 1], order[k]);
+    out += reads_.at(order[k]).substr(ov);
+  }
+  return out;
+}
+
+std::size_t OverlapGraph::total_overlap(
+    const std::vector<std::size_t>& order) const {
+  std::size_t total = 0;
+  for (std::size_t k = 1; k < order.size(); ++k)
+    total += overlap(order[k - 1], order[k]);
+  return total;
+}
+
+std::vector<std::size_t> greedy_assembly_order(const OverlapGraph& graph) {
+  const std::size_t n = graph.size();
+  // Greedy chain extension: start from the read with the best outgoing
+  // overlap, repeatedly append the unused read with maximum overlap.
+  std::size_t best_start = 0;
+  std::size_t best_out = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && graph.overlap(i, j) > best_out) {
+        best_out = graph.overlap(i, j);
+        best_start = i;
+      }
+  std::vector<std::size_t> order{best_start};
+  std::vector<bool> used(n, false);
+  used[best_start] = true;
+  while (order.size() < n) {
+    const std::size_t cur = order.back();
+    std::size_t best_next = n;
+    std::size_t best_ov = 0;
+    bool found = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      if (!found || graph.overlap(cur, j) > best_ov) {
+        best_ov = graph.overlap(cur, j);
+        best_next = j;
+        found = true;
+      }
+    }
+    used[best_next] = true;
+    order.push_back(best_next);
+  }
+  return order;
+}
+
+namespace {
+
+double default_penalty(const OverlapGraph& graph) {
+  std::size_t max_ov = 1;
+  for (std::size_t i = 0; i < graph.size(); ++i)
+    for (std::size_t j = 0; j < graph.size(); ++j)
+      if (i != j) max_ov = std::max(max_ov, graph.overlap(i, j));
+  return 2.0 * static_cast<double>(max_ov);
+}
+
+}  // namespace
+
+AssemblyQubo::AssemblyQubo(const OverlapGraph& graph, double penalty)
+    : n_(graph.size()),
+      penalty_(penalty > 0.0 ? penalty : default_penalty(graph)),
+      qubo_(n_ * n_) {
+  const double a = penalty_;
+  // One-hot constraints: each read at exactly one position, each position
+  // holds exactly one read (squared-penalty expansion, constants dropped).
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t p = 0; p < n_; ++p) {
+      qubo_.add(var(r, p), var(r, p), -2.0 * a);
+      for (std::size_t p2 = p + 1; p2 < n_; ++p2)
+        qubo_.add(var(r, p), var(r, p2), 2.0 * a);
+      for (std::size_t r2 = r + 1; r2 < n_; ++r2)
+        qubo_.add(var(r, p), var(r2, p), 2.0 * a);
+    }
+  }
+  // Objective: maximise overlap between consecutive positions (open path,
+  // no wrap-around) -> negative coupling rewards.
+  for (std::size_t p = 0; p + 1 < n_; ++p)
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < n_; ++j)
+        if (i != j && graph.overlap(i, j) > 0)
+          qubo_.add(var(i, p), var(j, p + 1),
+                    -static_cast<double>(graph.overlap(i, j)));
+}
+
+std::size_t AssemblyQubo::var(std::size_t read, std::size_t position) const {
+  if (read >= n_ || position >= n_)
+    throw std::out_of_range("AssemblyQubo::var");
+  return read * n_ + position;
+}
+
+bool AssemblyQubo::decode(const std::vector<int>& x,
+                          std::vector<std::size_t>& order_out) const {
+  if (x.size() != variable_count())
+    throw std::invalid_argument("AssemblyQubo::decode: size mismatch");
+  order_out.assign(n_, n_);
+  std::vector<bool> used(n_, false);
+  for (std::size_t p = 0; p < n_; ++p) {
+    std::size_t assigned = n_;
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (x[var(r, p)]) {
+        if (assigned != n_) return false;
+        assigned = r;
+      }
+    }
+    if (assigned == n_ || used[assigned]) return false;
+    used[assigned] = true;
+    order_out[p] = assigned;
+  }
+  return true;
+}
+
+std::vector<std::string> shred(const std::string& genome,
+                               std::size_t read_length, std::size_t stride) {
+  if (read_length == 0 || stride == 0 || stride > read_length)
+    throw std::invalid_argument("shred: need 0 < stride <= read_length");
+  if (genome.size() < read_length)
+    throw std::invalid_argument("shred: genome shorter than read length");
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0;; pos += stride) {
+    if (pos + read_length >= genome.size()) {
+      reads.push_back(genome.substr(genome.size() - read_length));
+      break;
+    }
+    reads.push_back(genome.substr(pos, read_length));
+  }
+  return reads;
+}
+
+AssemblyResult denovo_assemble(const std::vector<std::string>& reads,
+                               Rng& rng, std::size_t sweeps,
+                               std::size_t restarts) {
+  const OverlapGraph graph(reads);
+  const AssemblyQubo encoding(graph);
+
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = sweeps;
+  schedule.restarts = restarts;
+  anneal::SimulatedQuantumAnnealer annealer(schedule);
+  const auto [x, energy] = annealer.solve_qubo(encoding.qubo(), rng);
+
+  AssemblyResult result;
+  std::vector<std::size_t> order;
+  if (encoding.decode(x, order)) {
+    // Keep the annealed order only if it beats or matches greedy.
+    const std::vector<std::size_t> greedy = greedy_assembly_order(graph);
+    if (graph.total_overlap(order) >= graph.total_overlap(greedy)) {
+      result.order = order;
+      result.used_annealer = true;
+    } else {
+      result.order = greedy;
+    }
+  } else {
+    result.order = greedy_assembly_order(graph);
+  }
+  result.sequence = graph.assemble(result.order);
+  result.total_overlap = graph.total_overlap(result.order);
+  return result;
+}
+
+}  // namespace qs::apps::genome

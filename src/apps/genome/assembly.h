@@ -1,0 +1,90 @@
+// De novo assembly (paper Section 3.2: reconstruction "can either be
+// carried out by aligning these reads to an already available reference
+// genome, or in a de novo assembly manner. This requires the algorithmic
+// primitive of searching an unstructured database or graph-based
+// combinatorial optimisation respectively").
+//
+// The de novo path: build the read-overlap graph, find the
+// maximum-overlap Hamiltonian path (shortest common superstring
+// heuristic) — encoded as a QUBO and offloaded to the annealing
+// accelerator, with a classical greedy baseline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "common/rng.h"
+
+namespace qs::apps::genome {
+
+/// Read-overlap graph: weight(i, j) = length of the longest suffix of
+/// read i that is a prefix of read j.
+class OverlapGraph {
+ public:
+  explicit OverlapGraph(std::vector<std::string> reads);
+
+  std::size_t size() const { return reads_.size(); }
+  const std::string& read(std::size_t i) const { return reads_.at(i); }
+
+  /// Suffix-prefix overlap length between reads i and j (i != j).
+  std::size_t overlap(std::size_t i, std::size_t j) const;
+
+  /// Merges reads along an ordering into the assembled sequence.
+  std::string assemble(const std::vector<std::size_t>& order) const;
+
+  /// Total overlap collected by an ordering (to maximise).
+  std::size_t total_overlap(const std::vector<std::size_t>& order) const;
+
+ private:
+  std::vector<std::string> reads_;
+  std::vector<std::size_t> overlaps_;  // dense n x n
+};
+
+/// Greedy merge baseline: repeatedly joins the pair with maximum overlap.
+std::vector<std::size_t> greedy_assembly_order(const OverlapGraph& graph);
+
+/// QUBO encoding of the assembly ordering problem: one-hot variables
+/// x_{read, position} (the TSP-style encoding over the overlap graph with
+/// negated weights, open path). Decode with `decode_assembly`.
+class AssemblyQubo {
+ public:
+  explicit AssemblyQubo(const OverlapGraph& graph, double penalty = 0.0);
+
+  std::size_t variable_count() const { return n_ * n_; }
+  std::size_t var(std::size_t read, std::size_t position) const;
+  const anneal::Qubo& qubo() const { return qubo_; }
+  double penalty() const { return penalty_; }
+
+  /// Returns false when the assignment violates the one-hot constraints.
+  bool decode(const std::vector<int>& x,
+              std::vector<std::size_t>& order_out) const;
+
+ private:
+  std::size_t n_;
+  double penalty_;
+  anneal::Qubo qubo_;
+};
+
+/// End-to-end de novo assembly through the annealing accelerator model:
+/// shreds `genome` into overlapping reads, anneals the ordering QUBO and
+/// returns the reconstruction. Falls back to the greedy order when the
+/// annealed sample is infeasible.
+struct AssemblyResult {
+  std::string sequence;
+  std::vector<std::size_t> order;
+  bool used_annealer = false;   ///< false = greedy fallback produced `order`
+  std::size_t total_overlap = 0;
+};
+
+AssemblyResult denovo_assemble(const std::vector<std::string>& reads,
+                               Rng& rng, std::size_t sweeps = 1500,
+                               std::size_t restarts = 4);
+
+/// Shreds a genome into `count` reads of `read_length` with the given
+/// overlap structure (consecutive reads overlap by read_length - stride).
+std::vector<std::string> shred(const std::string& genome,
+                               std::size_t read_length, std::size_t stride);
+
+}  // namespace qs::apps::genome

@@ -1,0 +1,50 @@
+#include "apps/genome/classical_align.h"
+
+#include <stdexcept>
+
+namespace qs::apps::genome {
+
+std::size_t hamming_distance(const std::string& a, const std::string& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+AlignmentResult exact_search(const std::string& reference,
+                             const std::string& read) {
+  AlignmentResult result;
+  if (read.empty() || reference.size() < read.size()) return result;
+  for (std::size_t pos = 0; pos + read.size() <= reference.size(); ++pos) {
+    ++result.comparisons;
+    if (reference.compare(pos, read.size(), read) == 0) {
+      result.found = true;
+      result.position = pos;
+      result.distance = 0;
+      return result;
+    }
+  }
+  return result;
+}
+
+AlignmentResult best_match(const std::string& reference,
+                           const std::string& read) {
+  AlignmentResult result;
+  if (read.empty() || reference.size() < read.size()) return result;
+  result.distance = read.size() + 1;
+  for (std::size_t pos = 0; pos + read.size() <= reference.size(); ++pos) {
+    ++result.comparisons;
+    const std::size_t d =
+        hamming_distance(reference.substr(pos, read.size()), read);
+    if (d < result.distance) {
+      result.distance = d;
+      result.position = pos;
+      result.found = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace qs::apps::genome

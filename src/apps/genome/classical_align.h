@@ -1,0 +1,32 @@
+// Classical read-alignment baselines (paper Section 3.2's framing of
+// sequence reconstruction as unstructured search over reference slices).
+// Operation counts are reported so the E3 bench can compare classical O(N)
+// scans against Grover's O(sqrt(N)) oracle queries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qs::apps::genome {
+
+struct AlignmentResult {
+  bool found = false;
+  std::size_t position = 0;       ///< best-match start index
+  std::size_t distance = 0;       ///< Hamming distance at that position
+  std::size_t comparisons = 0;    ///< slice comparisons performed
+};
+
+/// Hamming distance between equal-length strings.
+std::size_t hamming_distance(const std::string& a, const std::string& b);
+
+/// Linear scan for an exact occurrence of `read` in `reference`.
+AlignmentResult exact_search(const std::string& reference,
+                             const std::string& read);
+
+/// Linear scan returning the position with minimum Hamming distance
+/// (approximate matching for reads with sequencing errors).
+AlignmentResult best_match(const std::string& reference,
+                           const std::string& read);
+
+}  // namespace qs::apps::genome

@@ -1,0 +1,129 @@
+#include "apps/genome/dna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qs::apps::genome {
+
+namespace {
+constexpr const char* kBases = "ACGT";
+
+std::size_t base_index(char base) {
+  switch (base) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default:
+      throw std::invalid_argument(std::string("invalid DNA base: ") + base);
+  }
+}
+}  // namespace
+
+bool is_valid_dna(const std::string& sequence) {
+  for (char c : sequence)
+    if (c != 'A' && c != 'C' && c != 'G' && c != 'T') return false;
+  return true;
+}
+
+int base_to_bits(char base) { return static_cast<int>(base_index(base)); }
+
+char bits_to_base(int bits) {
+  if (bits < 0 || bits > 3)
+    throw std::invalid_argument("bits_to_base: out of range");
+  return kBases[bits];
+}
+
+double base_entropy(const std::string& sequence) {
+  if (sequence.empty()) return 0.0;
+  std::array<double, 4> counts{};
+  for (char c : sequence) counts[base_index(c)] += 1.0;
+  double entropy = 0.0;
+  for (double n : counts) {
+    if (n == 0.0) continue;
+    const double p = n / static_cast<double>(sequence.size());
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double gc_content(const std::string& sequence) {
+  if (sequence.empty()) return 0.0;
+  std::size_t gc = 0;
+  for (char c : sequence)
+    if (c == 'G' || c == 'C') ++gc;
+  return static_cast<double>(gc) / static_cast<double>(sequence.size());
+}
+
+std::string DnaGenerator::random(std::size_t length) {
+  std::string s(length, 'A');
+  for (auto& c : s) c = kBases[rng_.uniform_int(4)];
+  return s;
+}
+
+std::string DnaGenerator::markov(std::size_t length) {
+  if (length == 0) return {};
+  // Transition matrix rows A,C,G,T -> probabilities of A,C,G,T. Mildly
+  // AT-rich (human genome ~41% GC) with the classic CpG-dinucleotide
+  // suppression: row G has depressed... row C has depressed G column.
+  static const double kTransitions[4][4] = {
+      // to:   A     C     G     T          from:
+      {0.32, 0.20, 0.23, 0.25},  // A
+      {0.30, 0.25, 0.06, 0.39},  // C  (CpG suppression: C->G rare)
+      {0.28, 0.24, 0.22, 0.26},  // G
+      {0.24, 0.22, 0.26, 0.28},  // T
+  };
+  std::string s(length, 'A');
+  std::size_t state = rng_.uniform_int(4);
+  s[0] = kBases[state];
+  for (std::size_t i = 1; i < length; ++i) {
+    const double r = rng_.uniform();
+    double acc = 0.0;
+    std::size_t next = 3;
+    for (std::size_t b = 0; b < 4; ++b) {
+      acc += kTransitions[state][b];
+      if (r < acc) {
+        next = b;
+        break;
+      }
+    }
+    state = next;
+    s[i] = kBases[state];
+  }
+  return s;
+}
+
+std::string DnaGenerator::read_at(const std::string& reference,
+                                  std::size_t position,
+                                  std::size_t read_length,
+                                  double error_rate) {
+  if (position + read_length > reference.size())
+    throw std::out_of_range("DnaGenerator::read_at: window out of range");
+  std::string read = reference.substr(position, read_length);
+  for (auto& c : read) {
+    if (rng_.bernoulli(error_rate)) {
+      // Substitute with one of the three other bases.
+      char alt = c;
+      while (alt == c) alt = kBases[rng_.uniform_int(4)];
+      c = alt;
+    }
+  }
+  return read;
+}
+
+std::vector<std::pair<std::string, std::size_t>> DnaGenerator::sample_reads(
+    const std::string& reference, std::size_t read_length, std::size_t count,
+    double error_rate) {
+  if (reference.size() < read_length)
+    throw std::invalid_argument("sample_reads: reference shorter than read");
+  std::vector<std::pair<std::string, std::size_t>> reads;
+  reads.reserve(count);
+  const std::size_t positions = reference.size() - read_length + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pos = rng_.uniform_int(positions);
+    reads.emplace_back(read_at(reference, pos, read_length, error_rate), pos);
+  }
+  return reads;
+}
+
+}  // namespace qs::apps::genome

@@ -1,0 +1,61 @@
+// Artificial DNA generation (paper Section 3.2): "we use artificial DNA
+// sequences that preserve the statistical and entropic complexity of the
+// base pairs in biological genomes; yet in a reduced size so that they can
+// be efficiently simulated". First-order Markov chains with empirically
+// motivated transition structure, plus a read sampler with sequencing
+// errors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs::apps::genome {
+
+/// Bases are the characters 'A', 'C', 'G', 'T'.
+bool is_valid_dna(const std::string& sequence);
+
+/// 2-bit encoding used by the quantum pattern registers:
+/// A=00, C=01, G=10, T=11.
+int base_to_bits(char base);
+char bits_to_base(int bits);
+
+/// Shannon entropy of the base distribution, in bits (max 2.0).
+double base_entropy(const std::string& sequence);
+
+/// GC content fraction.
+double gc_content(const std::string& sequence);
+
+class DnaGenerator {
+ public:
+  explicit DnaGenerator(std::uint64_t seed = 42) : rng_(seed) {}
+
+  /// Uniform iid sequence.
+  std::string random(std::size_t length);
+
+  /// First-order Markov sequence with CpG suppression and mild AT bias —
+  /// the dinucleotide statistics that distinguish genomic from uniform
+  /// DNA (preserving "statistical and entropic complexity" at small size).
+  std::string markov(std::size_t length);
+
+  /// A sequencing read: a window of the reference starting at `position`,
+  /// with per-base substitution errors at `error_rate`.
+  std::string read_at(const std::string& reference, std::size_t position,
+                      std::size_t read_length, double error_rate);
+
+  /// `count` reads sampled at uniform random positions; returns reads and
+  /// their true positions (for alignment accuracy scoring).
+  std::vector<std::pair<std::string, std::size_t>> sample_reads(
+      const std::string& reference, std::size_t read_length,
+      std::size_t count, double error_rate);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace qs::apps::genome

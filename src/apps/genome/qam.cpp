@@ -1,0 +1,248 @@
+#include "apps/genome/qam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/genome/dna.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace qs::apps::genome {
+
+double grover_success_probability(std::size_t database_size,
+                                  std::size_t solutions,
+                                  std::size_t iterations) {
+  if (database_size == 0 || solutions == 0 || solutions > database_size)
+    return 0.0;
+  const double theta = std::asin(std::sqrt(
+      static_cast<double>(solutions) / static_cast<double>(database_size)));
+  const double angle = (2.0 * static_cast<double>(iterations) + 1.0) * theta;
+  const double s = std::sin(angle);
+  return s * s;
+}
+
+std::size_t grover_optimal_iterations(std::size_t database_size,
+                                      std::size_t solutions) {
+  if (database_size == 0 || solutions == 0 || solutions >= database_size)
+    return 0;
+  const double theta = std::asin(std::sqrt(
+      static_cast<double>(solutions) / static_cast<double>(database_size)));
+  const double k = kPi / (4.0 * theta) - 0.5;
+  return k <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(k));
+}
+
+double grover_expected_queries(std::size_t database_size,
+                               std::size_t solutions) {
+  const std::size_t k = grover_optimal_iterations(database_size, solutions);
+  const double p =
+      grover_success_probability(database_size, solutions, k);
+  if (p <= 0.0) return 0.0;
+  // Retry-on-failure: geometric distribution over attempts of k queries
+  // (at least one query per attempt for the verification read-out).
+  return static_cast<double>(std::max<std::size_t>(k, 1)) / p;
+}
+
+namespace {
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+QuantumAlignment::QuantumAlignment(std::string reference,
+                                   std::size_t read_length)
+    : reference_(std::move(reference)), read_length_(read_length) {
+  if (read_length_ == 0)
+    throw std::invalid_argument("QuantumAlignment: read_length must be > 0");
+  if (reference_.size() < read_length_)
+    throw std::invalid_argument(
+        "QuantumAlignment: reference shorter than read length");
+  if (!is_valid_dna(reference_))
+    throw std::invalid_argument("QuantumAlignment: invalid DNA reference");
+
+  // Every start position, padded to a power of two by wrapping.
+  const std::size_t natural = reference_.size() - read_length_ + 1;
+  const std::size_t padded = std::size_t{1} << ceil_log2(natural);
+  windows_.reserve(padded);
+  for (std::size_t w = 0; w < padded; ++w) {
+    std::string slice;
+    slice.reserve(read_length_);
+    for (std::size_t i = 0; i < read_length_; ++i)
+      slice.push_back(reference_[(w + i) % reference_.size()]);
+    windows_.push_back(std::move(slice));
+  }
+
+  layout_.index_bits = ceil_log2(windows_.size());
+  if (layout_.index_bits == 0) layout_.index_bits = 1;  // degenerate W=1
+  layout_.pattern_bits = 2 * read_length_;
+  const std::size_t data_bits = layout_.index_bits + layout_.pattern_bits;
+  // Ancillas: enough for the widest multi-controlled gate used —
+  // the diffusion phase flip over all data qubits (data_bits - 2).
+  layout_.ancilla_bits = data_bits >= 2 ? data_bits - 2 : 0;
+  layout_.total = data_bits + layout_.ancilla_bits;
+  if (layout_.total > 24)
+    throw std::invalid_argument(
+        "QuantumAlignment: layout needs " + std::to_string(layout_.total) +
+        " qubits; shrink the reference or read length");
+}
+
+std::vector<std::size_t> QuantumAlignment::matching_windows(
+    const std::string& query) const {
+  std::vector<std::size_t> hits;
+  for (std::size_t w = 0; w < windows_.size(); ++w)
+    if (windows_[w] == query) hits.push_back(w);
+  return hits;
+}
+
+compiler::Kernel QuantumAlignment::database_prep_kernel() const {
+  compiler::Kernel k("db_prep", layout_.total);
+  std::vector<QubitIndex> ancillas;
+  for (std::size_t a = 0; a < layout_.ancilla_bits; ++a)
+    ancillas.push_back(
+        static_cast<QubitIndex>(layout_.index_bits + layout_.pattern_bits + a));
+
+  // Uniform superposition over indices.
+  for (std::size_t i = 0; i < layout_.index_bits; ++i)
+    k.h(static_cast<QubitIndex>(i));
+
+  // QROM loads: for each window, controlled on the index value, set the
+  // pattern bits of the slice. Zero-valued index bits are X-conjugated.
+  std::vector<QubitIndex> index_controls(layout_.index_bits);
+  for (std::size_t i = 0; i < layout_.index_bits; ++i)
+    index_controls[i] = static_cast<QubitIndex>(i);
+
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    std::vector<QubitIndex> zero_bits;
+    for (std::size_t i = 0; i < layout_.index_bits; ++i)
+      if (!((w >> i) & 1))
+        zero_bits.push_back(static_cast<QubitIndex>(i));
+    for (QubitIndex z : zero_bits) k.x(z);
+    for (std::size_t pos = 0; pos < read_length_; ++pos) {
+      const int bits = base_to_bits(windows_[w][pos]);
+      for (int b = 0; b < 2; ++b) {
+        if ((bits >> b) & 1) {
+          const QubitIndex target = static_cast<QubitIndex>(
+              layout_.index_bits + 2 * pos + static_cast<std::size_t>(b));
+          k.mcx(index_controls, target, ancillas);
+        }
+      }
+    }
+    for (QubitIndex z : zero_bits) k.x(z);
+  }
+  return k;
+}
+
+compiler::Kernel QuantumAlignment::database_unprep_kernel() const {
+  const compiler::Kernel prep = database_prep_kernel();
+  compiler::Kernel k("db_unprep", layout_.total);
+  const auto& ins = prep.circuit().instructions();
+  // Every prep gate (H, X, CNOT, Toffoli) is self-inverse: reverse order.
+  for (auto it = ins.rbegin(); it != ins.rend(); ++it) k.add(*it);
+  return k;
+}
+
+compiler::Kernel QuantumAlignment::oracle_kernel(
+    const std::string& query) const {
+  if (query.size() != read_length_)
+    throw std::invalid_argument("oracle_kernel: query length mismatch");
+  if (!is_valid_dna(query))
+    throw std::invalid_argument("oracle_kernel: invalid DNA query");
+
+  compiler::Kernel k("oracle", layout_.total);
+  std::vector<QubitIndex> pattern;
+  for (std::size_t p = 0; p < layout_.pattern_bits; ++p)
+    pattern.push_back(static_cast<QubitIndex>(layout_.index_bits + p));
+  std::vector<QubitIndex> ancillas;
+  for (std::size_t a = 0; a < layout_.ancilla_bits; ++a)
+    ancillas.push_back(
+        static_cast<QubitIndex>(layout_.index_bits + layout_.pattern_bits + a));
+
+  // X-conjugate pattern bits that should read 0 so a match becomes |1..1>.
+  std::vector<QubitIndex> flips;
+  for (std::size_t pos = 0; pos < read_length_; ++pos) {
+    const int bits = base_to_bits(query[pos]);
+    for (int b = 0; b < 2; ++b)
+      if (!((bits >> b) & 1))
+        flips.push_back(static_cast<QubitIndex>(
+            layout_.index_bits + 2 * pos + static_cast<std::size_t>(b)));
+  }
+  for (QubitIndex f : flips) k.x(f);
+  k.mcz(pattern, ancillas);
+  for (QubitIndex f : flips) k.x(f);
+  return k;
+}
+
+compiler::Kernel QuantumAlignment::diffusion_kernel() const {
+  compiler::Kernel k("diffusion", layout_.total);
+  k.append(database_unprep_kernel());
+  // Phase flip on |0...0> of the data register (index + pattern):
+  // X-conjugated multi-controlled Z.
+  std::vector<QubitIndex> data;
+  for (std::size_t q = 0; q < layout_.index_bits + layout_.pattern_bits; ++q)
+    data.push_back(static_cast<QubitIndex>(q));
+  std::vector<QubitIndex> ancillas;
+  for (std::size_t a = 0; a < layout_.ancilla_bits; ++a)
+    ancillas.push_back(
+        static_cast<QubitIndex>(layout_.index_bits + layout_.pattern_bits + a));
+  for (QubitIndex q : data) k.x(q);
+  k.mcz(data, ancillas);
+  for (QubitIndex q : data) k.x(q);
+  k.append(database_prep_kernel());
+  return k;
+}
+
+qasm::Program QuantumAlignment::grover_program(const std::string& query,
+                                               std::size_t iterations) const {
+  compiler::Program prog("grover_align", layout_.total);
+  prog.add_kernel(database_prep_kernel());
+  if (iterations > 0) {
+    compiler::Kernel loop("grover_iteration", layout_.total, iterations);
+    loop.append(oracle_kernel(query));
+    loop.append(diffusion_kernel());
+    prog.add_kernel(std::move(loop));
+  }
+  auto& readout = prog.add_kernel("readout");
+  for (std::size_t i = 0; i < layout_.index_bits; ++i)
+    readout.measure(static_cast<QubitIndex>(i));
+  return prog.to_qasm();
+}
+
+QuantumAlignment::QueryResult QuantumAlignment::align(
+    const std::string& read, std::uint64_t seed) const {
+  QueryResult result;
+  const std::vector<std::size_t> hits = matching_windows(read);
+  const std::size_t iterations =
+      grover_optimal_iterations(windows_.size(),
+                                std::max<std::size_t>(hits.size(), 1));
+  result.oracle_queries = iterations;
+
+  const qasm::Program program = grover_program(read, iterations);
+  sim::Simulator simulator(layout_.total, sim::QubitModel::perfect(), seed);
+
+  // Run the unitary part once and compute the exact probability that the
+  // index register reads a matching window.
+  qasm::Program unitary_only = program;
+  unitary_only.circuits().pop_back();  // drop the measurement kernel
+  simulator.run_once(unitary_only);
+  const std::size_t index_mask = (std::size_t{1} << layout_.index_bits) - 1;
+  double p_match = 0.0;
+  for (std::size_t w : hits) {
+    // Sum |amp|^2 over all basis states whose index bits equal w.
+    p_match += simulator.state().expectation_diagonal(
+        [&](StateIndex basis) { return (basis & index_mask) == w ? 1.0 : 0.0; });
+  }
+  result.success_probability = p_match;
+
+  // Sample the index measurement from the live state.
+  const StateIndex sampled = simulator.state().sample(simulator.rng());
+  result.position = static_cast<std::size_t>(sampled & index_mask);
+  result.found = std::find(hits.begin(), hits.end(), result.position) !=
+                 hits.end();
+  return result;
+}
+
+}  // namespace qs::apps::genome

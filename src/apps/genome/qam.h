@@ -1,0 +1,98 @@
+// Quantum associative memory + Grover alignment (paper Section 3.2,
+// following Sarkar et al., "An algorithm for DNA read alignment on quantum
+// accelerators"): the reference DNA is sliced and stored as indexed
+// entries of a superposed quantum database |idx>|slice(idx)>; a Grover
+// search amplifies the index entangled with the slice matching the query.
+//
+// All circuits are real gate-level cQASM: QROM-style database preparation
+// with multi-controlled X ladders, an exact-match phase oracle, and
+// inversion-about-the-database-state diffusion (prep^-1, phase flip on
+// |0..0>, prep).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/kernel.h"
+#include "qasm/program.h"
+
+namespace qs::apps::genome {
+
+/// Closed-form Grover mathematics (also used by the E3 scaling bench for
+/// database sizes beyond state-vector reach).
+double grover_success_probability(std::size_t database_size,
+                                  std::size_t solutions,
+                                  std::size_t iterations);
+std::size_t grover_optimal_iterations(std::size_t database_size,
+                                      std::size_t solutions);
+/// Expected oracle queries with optimal iterations and retry-on-failure.
+double grover_expected_queries(std::size_t database_size,
+                               std::size_t solutions);
+
+class QuantumAlignment {
+ public:
+  /// Register layout over one qubit register:
+  ///   [0, index_bits)                       index register
+  ///   [index_bits, index_bits+pattern_bits) pattern register (2 bits/base)
+  ///   [.., total)                           clean ancillas
+  struct Layout {
+    std::size_t index_bits = 0;
+    std::size_t pattern_bits = 0;
+    std::size_t ancilla_bits = 0;
+    std::size_t total = 0;
+  };
+
+  /// Slices `reference` into windows of `read_length` at every position;
+  /// the window count is padded to a power of two by wrapping around the
+  /// reference (circular genome convention).
+  QuantumAlignment(std::string reference, std::size_t read_length);
+
+  const Layout& layout() const { return layout_; }
+  std::size_t window_count() const { return windows_.size(); }
+  const std::string& window(std::size_t i) const { return windows_.at(i); }
+
+  /// Windows exactly matching `query`.
+  std::vector<std::size_t> matching_windows(const std::string& query) const;
+
+  /// H on the index register + QROM loads entangling each index with its
+  /// slice pattern.
+  compiler::Kernel database_prep_kernel() const;
+
+  /// Exact inverse of database_prep_kernel (all its gates are
+  /// self-inverse, so this is the reversed gate sequence).
+  compiler::Kernel database_unprep_kernel() const;
+
+  /// Phase oracle marking basis states whose pattern register equals the
+  /// 2-bit encoding of `query`.
+  compiler::Kernel oracle_kernel(const std::string& query) const;
+
+  /// Inversion about the database state.
+  compiler::Kernel diffusion_kernel() const;
+
+  /// Complete Grover program: prep, `iterations` x (oracle + diffusion),
+  /// index-register measurement.
+  qasm::Program grover_program(const std::string& query,
+                               std::size_t iterations) const;
+
+  struct QueryResult {
+    bool found = false;
+    std::size_t position = 0;          ///< aligned window index
+    std::size_t oracle_queries = 0;    ///< Grover iterations executed
+    double success_probability = 0.0;  ///< exact, from the state vector
+  };
+
+  /// Runs the full alignment on the QX simulator with perfect qubits:
+  /// builds the circuit at the optimal iteration count, computes the exact
+  /// success probability, and samples the index measurement.
+  QueryResult align(const std::string& read, std::uint64_t seed = 1) const;
+
+ private:
+  std::string reference_;
+  std::size_t read_length_;
+  std::vector<std::string> windows_;
+  Layout layout_;
+};
+
+}  // namespace qs::apps::genome

@@ -1,0 +1,88 @@
+#include "apps/tsp/qubo_encode.h"
+
+#include <stdexcept>
+
+namespace qs::apps::tsp {
+
+namespace {
+
+double default_penalty(const TspInstance& instance) {
+  double max_w = 0.0;
+  for (std::size_t i = 0; i < instance.size(); ++i)
+    for (std::size_t j = 0; j < instance.size(); ++j)
+      max_w = std::max(max_w, instance.weight(i, j));
+  return 2.0 * max_w;
+}
+
+}  // namespace
+
+TspQubo::TspQubo(const TspInstance& instance, double penalty)
+    : n_(instance.size()),
+      penalty_(penalty > 0.0 ? penalty : default_penalty(instance)),
+      qubo_(n_ * n_) {
+  const double a = penalty_;
+  // (i)+(ii): each city c appears in exactly one time slot:
+  //   A (sum_t x_{c,t} - 1)^2
+  //     = A [ -sum_t x + 2 sum_{t<t'} x x' ] + const   (x^2 = x)
+  for (std::size_t c = 0; c < n_; ++c) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      qubo_.add(var(c, t), var(c, t), -a);
+      for (std::size_t t2 = t + 1; t2 < n_; ++t2)
+        qubo_.add(var(c, t), var(c, t2), 2.0 * a);
+    }
+  }
+  // (iii): each time slot holds exactly one city.
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t c = 0; c < n_; ++c) {
+      qubo_.add(var(c, t), var(c, t), -a);
+      for (std::size_t c2 = c + 1; c2 < n_; ++c2)
+        qubo_.add(var(c, t), var(c2, t), 2.0 * a);
+    }
+  }
+  // (iv): edge cost between consecutive time slots (cyclic tour).
+  for (std::size_t t = 0; t < n_; ++t) {
+    const std::size_t tn = (t + 1) % n_;
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < n_; ++j)
+        if (i != j)
+          qubo_.add(var(i, t), var(j, tn), instance.weight(i, j));
+  }
+}
+
+std::size_t TspQubo::var(std::size_t city, std::size_t time) const {
+  if (city >= n_ || time >= n_) throw std::out_of_range("TspQubo::var");
+  return city * n_ + time;
+}
+
+bool TspQubo::decode(const std::vector<int>& x,
+                     std::vector<std::size_t>& tour_out) const {
+  if (x.size() != variable_count())
+    throw std::invalid_argument("TspQubo::decode: size mismatch");
+  tour_out.assign(n_, n_);
+  std::vector<bool> city_used(n_, false);
+  for (std::size_t t = 0; t < n_; ++t) {
+    std::size_t assigned = n_;
+    for (std::size_t c = 0; c < n_; ++c) {
+      if (x[var(c, t)]) {
+        if (assigned != n_) return false;  // two cities in one slot
+        assigned = c;
+      }
+    }
+    if (assigned == n_) return false;  // empty slot
+    if (city_used[assigned]) return false;
+    city_used[assigned] = true;
+    tour_out[t] = assigned;
+  }
+  return true;
+}
+
+std::vector<int> TspQubo::encode_tour(
+    const std::vector<std::size_t>& tour) const {
+  if (tour.size() != n_)
+    throw std::invalid_argument("TspQubo::encode_tour: size mismatch");
+  std::vector<int> x(variable_count(), 0);
+  for (std::size_t t = 0; t < n_; ++t) x[var(tour[t], t)] = 1;
+  return x;
+}
+
+}  // namespace qs::apps::tsp

@@ -1,0 +1,54 @@
+// TSP -> QUBO encoding (paper Section 3.3): one binary variable per
+// (city, time-slot) pair — "the total possible combinations of (c, t) is
+// square of the number of cities" — with the paper's four interaction
+// categories: (i) every node must be assigned, (ii) one time slot per
+// node, (iii) one node per time slot, (iv) tour edge costs between
+// consecutive slots. The Figure 9 example needs 16 qubits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "apps/tsp/tsp.h"
+
+namespace qs::apps::tsp {
+
+class TspQubo {
+ public:
+  /// `penalty` weights the assignment constraints; it must dominate the
+  /// largest edge weight for constraint violations to never pay off. The
+  /// default uses 2 * max edge weight.
+  explicit TspQubo(const TspInstance& instance, double penalty = 0.0);
+
+  std::size_t cities() const { return n_; }
+  /// Number of binary variables: n^2 (the paper's N^2 growth, E4).
+  std::size_t variable_count() const { return n_ * n_; }
+
+  /// Variable index of "city c is visited at time t".
+  std::size_t var(std::size_t city, std::size_t time) const;
+
+  const anneal::Qubo& qubo() const { return qubo_; }
+  double penalty() const { return penalty_; }
+
+  /// Decodes an assignment into a tour. Returns false when the assignment
+  /// violates the one-hot constraints (invalid tour).
+  bool decode(const std::vector<int>& x,
+              std::vector<std::size_t>& tour_out) const;
+
+  /// One-hot encoding of a valid tour (for cross-checks).
+  std::vector<int> encode_tour(const std::vector<std::size_t>& tour) const;
+
+  /// The dropped constant of the squared constraints: for any valid tour,
+  /// qubo().energy(encode_tour(tour)) + constant_offset() == tour cost.
+  double constant_offset() const {
+    return 2.0 * static_cast<double>(n_) * penalty_;
+  }
+
+ private:
+  std::size_t n_;
+  double penalty_;
+  anneal::Qubo qubo_;
+};
+
+}  // namespace qs::apps::tsp

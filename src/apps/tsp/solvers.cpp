@@ -1,0 +1,218 @@
+#include "apps/tsp/solvers.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qs::apps::tsp {
+
+TourResult brute_force(const TspInstance& instance) {
+  const std::size_t n = instance.size();
+  if (n > 12)
+    throw std::invalid_argument("brute_force: n > 12 would not terminate");
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  TourResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  // Fix city 0 first to avoid counting rotations.
+  std::vector<std::size_t> rest(perm.begin() + 1, perm.end());
+  std::sort(rest.begin(), rest.end());
+  do {
+    std::vector<std::size_t> tour{0};
+    tour.insert(tour.end(), rest.begin(), rest.end());
+    ++best.nodes_explored;
+    const double c = instance.tour_cost(tour);
+    if (c < best.cost) {
+      best.cost = c;
+      best.tour = tour;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return best;
+}
+
+TourResult held_karp(const TspInstance& instance) {
+  const std::size_t n = instance.size();
+  if (n > 20)
+    throw std::invalid_argument("held_karp: n > 20 exceeds memory budget");
+  const std::size_t full = std::size_t{1} << n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[mask][last]: cheapest path visiting `mask` ending at `last`,
+  // starting from city 0.
+  std::vector<double> dp(full * n, kInf);
+  std::vector<std::size_t> parent(full * n, n);
+  dp[(std::size_t{1} << 0) * n + 0] = 0.0;
+  TourResult result;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    if (!(mask & 1)) continue;  // paths always include city 0
+    for (std::size_t last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last))) continue;
+      const double base = dp[mask * n + last];
+      if (base == kInf) continue;
+      ++result.nodes_explored;
+      for (std::size_t next = 1; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << next);
+        const double cand = base + instance.weight(last, next);
+        if (cand < dp[nmask * n + next]) {
+          dp[nmask * n + next] = cand;
+          parent[nmask * n + next] = last;
+        }
+      }
+    }
+  }
+  // Close the cycle.
+  double best_cost = kInf;
+  std::size_t best_last = 0;
+  for (std::size_t last = 1; last < n; ++last) {
+    const double cand = dp[(full - 1) * n + last] + instance.weight(last, 0);
+    if (cand < best_cost) {
+      best_cost = cand;
+      best_last = last;
+    }
+  }
+  // Reconstruct.
+  std::vector<std::size_t> tour;
+  std::size_t mask = full - 1;
+  std::size_t cur = best_last;
+  while (cur != n && tour.size() <= n) {
+    tour.push_back(cur);
+    const std::size_t prev = parent[mask * n + cur];
+    mask &= ~(std::size_t{1} << cur);
+    cur = prev;
+  }
+  std::reverse(tour.begin(), tour.end());
+  result.tour = tour;
+  result.cost = best_cost;
+  return result;
+}
+
+namespace {
+
+void bnb_recurse(const TspInstance& instance, std::vector<std::size_t>& path,
+                 std::vector<bool>& visited, double cost_so_far,
+                 double min_edge, TourResult& best) {
+  const std::size_t n = instance.size();
+  ++best.nodes_explored;
+  if (path.size() == n) {
+    const double total = cost_so_far + instance.weight(path.back(), path[0]);
+    if (total < best.cost) {
+      best.cost = total;
+      best.tour = path;
+    }
+    return;
+  }
+  // Lower bound: remaining cities each need at least the cheapest edge.
+  const double bound =
+      cost_so_far +
+      static_cast<double>(n - path.size() + 1) * min_edge;
+  if (bound >= best.cost) return;
+  for (std::size_t next = 1; next < n; ++next) {
+    if (visited[next]) continue;
+    visited[next] = true;
+    path.push_back(next);
+    bnb_recurse(instance, path, visited,
+                cost_so_far + instance.weight(path[path.size() - 2], next),
+                min_edge, best);
+    path.pop_back();
+    visited[next] = false;
+  }
+}
+
+}  // namespace
+
+TourResult branch_and_bound(const TspInstance& instance) {
+  const std::size_t n = instance.size();
+  // Seed the incumbent with nearest-neighbour + 2-opt.
+  TourResult best = two_opt(instance);
+  best.nodes_explored = 0;
+  double min_edge = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) min_edge = std::min(min_edge, instance.weight(i, j));
+  std::vector<std::size_t> path{0};
+  std::vector<bool> visited(n, false);
+  visited[0] = true;
+  bnb_recurse(instance, path, visited, 0.0, min_edge, best);
+  return best;
+}
+
+TourResult nearest_neighbour(const TspInstance& instance, std::size_t start) {
+  const std::size_t n = instance.size();
+  if (start >= n) throw std::out_of_range("nearest_neighbour: bad start");
+  TourResult result;
+  std::vector<bool> visited(n, false);
+  result.tour.push_back(start);
+  visited[start] = true;
+  while (result.tour.size() < n) {
+    const std::size_t cur = result.tour.back();
+    std::size_t best_next = n;
+    double best_w = std::numeric_limits<double>::infinity();
+    for (std::size_t next = 0; next < n; ++next) {
+      if (visited[next]) continue;
+      ++result.nodes_explored;
+      if (instance.weight(cur, next) < best_w) {
+        best_w = instance.weight(cur, next);
+        best_next = next;
+      }
+    }
+    visited[best_next] = true;
+    result.tour.push_back(best_next);
+  }
+  result.cost = instance.tour_cost(result.tour);
+  return result;
+}
+
+TourResult two_opt(const TspInstance& instance,
+                   std::vector<std::size_t> start_tour) {
+  TourResult result;
+  result.tour = start_tour.empty() ? nearest_neighbour(instance).tour
+                                   : std::move(start_tour);
+  if (!instance.is_valid_tour(result.tour))
+    throw std::invalid_argument("two_opt: invalid starting tour");
+  const std::size_t n = instance.size();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 2; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // same edge
+        ++result.nodes_explored;
+        const std::size_t a = result.tour[i];
+        const std::size_t b = result.tour[i + 1];
+        const std::size_t c = result.tour[j];
+        const std::size_t d = result.tour[(j + 1) % n];
+        const double delta = instance.weight(a, c) + instance.weight(b, d) -
+                             instance.weight(a, b) - instance.weight(c, d);
+        if (delta < -1e-12) {
+          std::reverse(result.tour.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       result.tour.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+  result.cost = instance.tour_cost(result.tour);
+  return result;
+}
+
+TourResult monte_carlo(const TspInstance& instance, std::size_t samples,
+                       Rng& rng) {
+  const std::size_t n = instance.size();
+  TourResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    rng.shuffle(perm);
+    ++best.nodes_explored;
+    const double c = instance.tour_cost(perm);
+    if (c < best.cost) {
+      best.cost = c;
+      best.tour = perm;
+    }
+  }
+  return best;
+}
+
+}  // namespace qs::apps::tsp

@@ -1,0 +1,45 @@
+// Classical TSP solvers — the baselines the paper positions quantum
+// optimisation against (Section 3.3: exact branch-and-bound "current
+// record ... 85900 cities"; "heuristics like Monte Carlo methods are used
+// for larger inputs").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/tsp/tsp.h"
+#include "common/rng.h"
+
+namespace qs::apps::tsp {
+
+struct TourResult {
+  std::vector<std::size_t> tour;
+  double cost = 0.0;
+  std::size_t nodes_explored = 0;  ///< search effort (solver-specific unit)
+};
+
+/// Exhaustive enumeration of all (n-1)!/2-distinct tours. n <= 12 guard.
+TourResult brute_force(const TspInstance& instance);
+
+/// Held-Karp dynamic programming: exact in O(n^2 2^n). n <= 20 guard.
+TourResult held_karp(const TspInstance& instance);
+
+/// Depth-first branch and bound with nearest-neighbour upper bound and
+/// cheapest-edge lower bound. Exact; usually far fewer nodes than brute
+/// force.
+TourResult branch_and_bound(const TspInstance& instance);
+
+/// Nearest-neighbour construction heuristic from a start city.
+TourResult nearest_neighbour(const TspInstance& instance,
+                             std::size_t start = 0);
+
+/// 2-opt local search from a given starting tour (or nearest-neighbour
+/// when empty). Runs to a local optimum.
+TourResult two_opt(const TspInstance& instance,
+                   std::vector<std::size_t> start_tour = {});
+
+/// Monte Carlo: `samples` random permutations, keep the best.
+TourResult monte_carlo(const TspInstance& instance, std::size_t samples,
+                       Rng& rng);
+
+}  // namespace qs::apps::tsp

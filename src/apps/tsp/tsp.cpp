@@ -1,0 +1,72 @@
+#include "apps/tsp/tsp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qs::apps::tsp {
+
+TspInstance::TspInstance(std::vector<City> cities, double scale)
+    : cities_(std::move(cities)) {
+  const std::size_t n = cities_.size();
+  if (n < 2) throw std::invalid_argument("TspInstance: need >= 2 cities");
+  weights_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = cities_[i].x - cities_[j].x;
+      const double dy = cities_[i].y - cities_[j].y;
+      weights_[i * n + j] = scale * std::sqrt(dx * dx + dy * dy);
+    }
+  }
+}
+
+double TspInstance::weight(std::size_t i, std::size_t j) const {
+  const std::size_t n = cities_.size();
+  if (i >= n || j >= n) throw std::out_of_range("TspInstance::weight");
+  return weights_[i * n + j];
+}
+
+double TspInstance::tour_cost(const std::vector<std::size_t>& tour) const {
+  if (!is_valid_tour(tour))
+    throw std::invalid_argument("TspInstance::tour_cost: invalid tour");
+  double cost = 0.0;
+  for (std::size_t i = 0; i < tour.size(); ++i)
+    cost += weight(tour[i], tour[(i + 1) % tour.size()]);
+  return cost;
+}
+
+bool TspInstance::is_valid_tour(const std::vector<std::size_t>& tour) const {
+  if (tour.size() != cities_.size()) return false;
+  std::vector<bool> seen(cities_.size(), false);
+  for (std::size_t c : tour) {
+    if (c >= cities_.size() || seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+TspInstance TspInstance::netherlands4() {
+  // Lat/lon treated as plane coordinates; the scale normalises the optimal
+  // tour (Amsterdam -> Utrecht -> Rotterdam -> The Hague -> Amsterdam,
+  // unscaled cost 1.9189048) to the paper's quoted 1.42.
+  const double scale = 1.42 / 1.9189048223847018;
+  return TspInstance(
+      {
+          {"Amsterdam", 52.3676, 4.9041},
+          {"Utrecht", 52.0907, 5.1214},
+          {"Rotterdam", 51.9244, 4.4777},
+          {"The Hague", 52.0705, 4.3007},
+      },
+      scale);
+}
+
+TspInstance TspInstance::random(std::size_t n, Rng& rng) {
+  std::vector<City> cities(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cities[i].name = "city" + std::to_string(i);
+    cities[i].x = rng.uniform();
+    cities[i].y = rng.uniform();
+  }
+  return TspInstance(std::move(cities));
+}
+
+}  // namespace qs::apps::tsp

@@ -1,0 +1,51 @@
+// Travelling Salesman Problem instances (paper Section 3.3, Figure 9):
+// complete weighted graphs built from scaled Euclidean distances, including
+// the paper's 4-city Netherlands route-planning example whose optimal tour
+// costs 1.42.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs::apps::tsp {
+
+struct City {
+  std::string name;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class TspInstance {
+ public:
+  explicit TspInstance(std::vector<City> cities, double scale = 1.0);
+
+  std::size_t size() const { return cities_.size(); }
+  const City& city(std::size_t i) const { return cities_.at(i); }
+
+  /// Scaled Euclidean edge weight between cities i and j.
+  double weight(std::size_t i, std::size_t j) const;
+
+  /// Cost of a cyclic tour (permutation of all city indices; the edge from
+  /// the last back to the first city is included).
+  double tour_cost(const std::vector<std::size_t>& tour) const;
+
+  /// True when `tour` is a permutation of 0..n-1.
+  bool is_valid_tour(const std::vector<std::size_t>& tour) const;
+
+  /// The paper's Figure 9 instance: Amsterdam, Utrecht, Rotterdam and
+  /// The Hague, with lat/lon Euclidean distances scaled so the optimal
+  /// tour costs exactly 1.42.
+  static TspInstance netherlands4();
+
+  /// Uniform random instance in the unit square.
+  static TspInstance random(std::size_t n, Rng& rng);
+
+ private:
+  std::vector<City> cities_;
+  std::vector<double> weights_;  // dense n x n
+};
+
+}  // namespace qs::apps::tsp

@@ -1,0 +1,134 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qs {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']')
+        throw std::runtime_error("Config: unterminated section header at line " +
+                                 std::to_string(lineno));
+      section = trim(t.substr(1, t.size() - 2));
+      // Register the section even when empty so sections() reports it.
+      cfg.data_[section];
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("Config: missing '=' at line " +
+                               std::to_string(lineno));
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty())
+      throw std::runtime_error("Config: empty key at line " +
+                               std::to_string(lineno));
+    cfg.data_[section][key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("Config: cannot open file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& section, const std::string& key,
+                 const std::string& value) {
+  data_[section][key] = value;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  auto s = data_.find(section);
+  return s != data_.end() && s->second.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& section,
+                               const std::string& key,
+                               const std::string& fallback) const {
+  auto s = data_.find(section);
+  if (s == data_.end()) return fallback;
+  auto k = s->second.find(key);
+  return k == s->second.end() ? fallback : k->second;
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::stod(get_string(section, key));
+}
+
+long Config::get_int(const std::string& section, const std::string& key,
+                     long fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::stol(get_string(section, key));
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  if (!has(section, key)) return fallback;
+  std::string v = get_string(section, key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Config: invalid boolean value: " + v);
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  std::vector<std::string> out;
+  auto s = data_.find(section);
+  if (s == data_.end()) return out;
+  out.reserve(s->second.size());
+  for (const auto& [k, v] : s->second) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, kv] : data_) {
+    if (name.empty() && kv.empty()) continue;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, kv] : data_) {
+    if (!name.empty()) out << '[' << name << "]\n";
+    for (const auto& [k, v] : kv) out << k << " = " << v << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace qs

@@ -1,0 +1,60 @@
+// Minimal INI-style key/value configuration, used for platform description
+// files (gate durations, error rates, topology selection) so that the same
+// compiler and micro-architecture can be re-targeted to a different qubit
+// technology by swapping a configuration file — the re-targeting property
+// Section 3.1 of the paper highlights.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Sectioned key/value configuration.
+///
+/// Format:   # comment
+///           [section]
+///           key = value
+///
+/// Keys outside any section live in the "" section. Values are stored as
+/// strings; typed getters parse on access and fall back to a default when
+/// the key is absent.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses configuration text. Throws std::runtime_error on syntax errors.
+  static Config parse(const std::string& text);
+
+  /// Loads a configuration file from disk.
+  static Config load(const std::string& path);
+
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  bool has(const std::string& section, const std::string& key) const;
+
+  std::string get_string(const std::string& section, const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback) const;
+  long get_int(const std::string& section, const std::string& key,
+               long fallback) const;
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback) const;
+
+  /// All keys present in a section (sorted).
+  std::vector<std::string> keys(const std::string& section) const;
+
+  /// All section names (sorted; includes "" only if it has keys).
+  std::vector<std::string> sections() const;
+
+  /// Serialises back to INI text.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+}  // namespace qs

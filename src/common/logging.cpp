@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace qs {
+
+LogLevel Log::level_ = LogLevel::Warn;
+bool Log::capture_ = false;
+std::ostringstream Log::captured_;
+
+void Log::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Log::level() { return level_; }
+
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (capture_) {
+    captured_ << '[' << level_name(level) << "][" << component << "] "
+              << message << '\n';
+  } else {
+    std::cerr << '[' << level_name(level) << "][" << component << "] "
+              << message << '\n';
+  }
+}
+
+void Log::set_capture(bool on) { capture_ = on; }
+
+std::string Log::drain_capture() {
+  std::string out = captured_.str();
+  captured_.str("");
+  return out;
+}
+
+}  // namespace qs

@@ -1,0 +1,43 @@
+// Minimal leveled logger. The micro-architecture executor and the compiler
+// passes use it for optional trace output; benchmarks keep it at Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qs {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Process-global log configuration and sink.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emits a message at the given level (no-op when below threshold).
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+
+  /// Returns and clears the captured log text (used by tests when capture
+  /// mode is enabled via set_capture).
+  static void set_capture(bool on);
+  static std::string drain_capture();
+
+ private:
+  static LogLevel level_;
+  static bool capture_;
+  static std::ostringstream captured_;
+};
+
+#define QS_LOG(qs_log_level_, component, expr)                      \
+  do {                                                              \
+    if (static_cast<int>(qs_log_level_) >=                          \
+        static_cast<int>(::qs::Log::level())) {                     \
+      std::ostringstream qs_log_os_;                                \
+      qs_log_os_ << expr;                                           \
+      ::qs::Log::write(qs_log_level_, component, qs_log_os_.str()); \
+    }                                                               \
+  } while (false)
+
+}  // namespace qs

@@ -1,0 +1,128 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qs {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx(0.0, 0.0)) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    for (const auto& v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx(1.0, 0.0);
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::operator*: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx(0.0, 0.0)) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v *= scalar;
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator+: dimension mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator-: dimension mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx(0.0, 0.0)) continue;
+      for (std::size_t k = 0; k < rhs.rows_; ++k)
+        for (std::size_t l = 0; l < rhs.cols_; ++l)
+          out(i * rhs.rows_ + k, j * rhs.cols_ + l) = a * rhs(k, l);
+    }
+  return out;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const Matrix prod = (*this) * dagger();
+  return prod.approx_equal(identity(rows_), tol);
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+bool Matrix::equal_up_to_phase(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Find the largest-magnitude entry to fix the relative phase.
+  std::size_t ref = data_.size();
+  double best = tol;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i]) > best) {
+      best = std::abs(data_[i]);
+      ref = i;
+    }
+  }
+  if (ref == data_.size()) {
+    // Both effectively zero matrices.
+    return approx_equal(other, tol);
+  }
+  if (std::abs(other.data_[ref]) < tol) return false;
+  const cplx phase = data_[ref] / other.data_[ref];
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - phase * other.data_[i]) > tol) return false;
+  return true;
+}
+
+cplx Matrix::trace() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("Matrix::trace: non-square matrix");
+  cplx t(0.0, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+}  // namespace qs

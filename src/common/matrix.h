@@ -1,0 +1,66 @@
+// Small dense complex matrices for gate algebra. Gate matrices are at most
+// 2^k x 2^k for k-qubit gates with small k, so a simple row-major dense
+// representation is the right tool: no sparsity machinery, no expression
+// templates, exact value semantics.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qs {
+
+/// Row-major dense complex matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from a nested initializer list; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<cplx>> init);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator*(cplx scalar) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Conjugate transpose.
+  Matrix dagger() const;
+
+  /// Kronecker (tensor) product: this (x) rhs.
+  Matrix kron(const Matrix& rhs) const;
+
+  /// True if U * U^dagger == I within tolerance.
+  bool is_unitary(double tol = 1e-9) const;
+
+  /// True if elementwise equal to other within tolerance.
+  bool approx_equal(const Matrix& other, double tol = 1e-9) const;
+
+  /// True if equal to other up to a global phase factor, within tolerance.
+  bool equal_up_to_phase(const Matrix& other, double tol = 1e-9) const;
+
+  /// Trace (square matrices only).
+  cplx trace() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace qs

@@ -1,0 +1,61 @@
+// Deterministic, seedable random number generation for simulators and
+// stochastic solvers. A thin wrapper over xoshiro256** so every experiment
+// in the benchmark harness is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qs {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// All stochastic components of the stack (error injection in the QX
+/// simulator, annealing schedules, SPSA perturbations, artificial DNA
+/// generation) take an Rng by reference so that a run is a pure function
+/// of its seed.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n >= 1.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal sample (Box-Muller; caches the spare value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Samples an index from an (unnormalised) non-negative weight vector.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Shuffles the elements of a vector in place (Fisher-Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace qs

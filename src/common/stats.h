@@ -1,0 +1,54 @@
+// Lightweight descriptive statistics used by the benchmark harnesses and
+// the stochastic solvers (annealers, QAOA shot estimation).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Running mean / variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over string-keyed outcomes (e.g. measured bitstrings).
+class Histogram {
+ public:
+  void add(const std::string& key, std::size_t count = 1);
+  std::size_t total() const { return total_; }
+  std::size_t count(const std::string& key) const;
+  double frequency(const std::string& key) const;
+  /// Key with the highest count; empty string for an empty histogram.
+  std::string mode() const;
+  const std::map<std::string, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation of a vector; 0 for fewer than two samples.
+double stddev_of(const std::vector<double>& xs);
+
+}  // namespace qs

@@ -1,0 +1,33 @@
+// Fundamental scalar and index types shared across the QuantumStack modules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qs {
+
+/// Complex amplitude type used throughout the simulator and gate algebra.
+using cplx = std::complex<double>;
+
+/// Index of a qubit within a register (logical or physical).
+using QubitIndex = std::uint32_t;
+
+/// Index of a classical bit within a measurement register.
+using BitIndex = std::uint32_t;
+
+/// Basis-state index into a 2^n state vector.
+using StateIndex = std::uint64_t;
+
+/// Clock cycle count in the scheduled program / micro-architecture.
+using Cycle = std::uint64_t;
+
+/// Wall-clock time in nanoseconds (micro-architecture timing domain).
+using NanoSec = std::uint64_t;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Tolerance for floating-point comparisons on amplitudes / probabilities.
+inline constexpr double kEps = 1e-9;
+
+}  // namespace qs

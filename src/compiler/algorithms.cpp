@@ -1,0 +1,161 @@
+#include "compiler/algorithms.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace qs::compiler::algorithms {
+
+namespace {
+
+/// Phase-kickback oracle for f(x) = mask . x: CNOTs from the masked input
+/// qubits into the |-> ancilla.
+void dot_product_oracle(Kernel& k, std::size_t n, std::uint64_t mask,
+                        QubitIndex ancilla) {
+  for (std::size_t i = 0; i < n; ++i)
+    if ((mask >> i) & 1) k.cnot(static_cast<QubitIndex>(i), ancilla);
+}
+
+}  // namespace
+
+Program deutsch_jozsa(std::size_t n, bool oracle_constant,
+                      std::uint64_t balanced_mask) {
+  if (n == 0 || n > 20)
+    throw std::invalid_argument("deutsch_jozsa: n out of range");
+  if (!oracle_constant && (balanced_mask == 0 ||
+                           (n < 64 && balanced_mask >= (1ULL << n))))
+    throw std::invalid_argument(
+        "deutsch_jozsa: balanced oracle needs a non-zero in-range mask");
+  Program p("deutsch_jozsa", n + 1);
+  const QubitIndex ancilla = static_cast<QubitIndex>(n);
+
+  auto& prep = p.add_kernel("prep");
+  prep.x(ancilla);
+  for (QubitIndex q = 0; q <= ancilla; ++q) prep.h(q);
+
+  auto& oracle = p.add_kernel("oracle");
+  if (oracle_constant) {
+    // f = 1: global phase only (f = 0 would be the empty oracle); either
+    // way the input register is untouched.
+    oracle.z(ancilla);
+    oracle.x(ancilla);
+    oracle.z(ancilla);
+    oracle.x(ancilla);
+  } else {
+    dot_product_oracle(oracle, n, balanced_mask, ancilla);
+  }
+
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t q = 0; q < n; ++q)
+    readout.h(static_cast<QubitIndex>(q));
+  for (std::size_t q = 0; q < n; ++q)
+    readout.measure(static_cast<QubitIndex>(q));
+  return p;
+}
+
+Program bernstein_vazirani(std::size_t n, std::uint64_t secret) {
+  if (n == 0 || n > 20)
+    throw std::invalid_argument("bernstein_vazirani: n out of range");
+  if (n < 64 && secret >= (1ULL << n))
+    throw std::invalid_argument("bernstein_vazirani: secret out of range");
+  Program p("bernstein_vazirani", n + 1);
+  const QubitIndex ancilla = static_cast<QubitIndex>(n);
+
+  auto& prep = p.add_kernel("prep");
+  prep.x(ancilla);
+  for (QubitIndex q = 0; q <= ancilla; ++q) prep.h(q);
+
+  auto& oracle = p.add_kernel("oracle");
+  dot_product_oracle(oracle, n, secret, ancilla);
+
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t q = 0; q < n; ++q)
+    readout.h(static_cast<QubitIndex>(q));
+  for (std::size_t q = 0; q < n; ++q)
+    readout.measure(static_cast<QubitIndex>(q));
+  return p;
+}
+
+std::size_t grover_iterations(std::size_t n) {
+  const double N = static_cast<double>(std::size_t{1} << n);
+  const double theta = std::asin(1.0 / std::sqrt(N));
+  const double k = kPi / (4.0 * theta) - 0.5;
+  return k <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(k));
+}
+
+Program grover_search(std::size_t n, std::uint64_t marked) {
+  if (n < 2 || n > 12)
+    throw std::invalid_argument("grover_search: n out of range [2,12]");
+  if (marked >= (1ULL << n))
+    throw std::invalid_argument("grover_search: marked state out of range");
+  const std::size_t ancillas = n > 2 ? n - 2 : 0;
+  const std::size_t total = n + ancillas;
+  Program p("grover", total);
+
+  std::vector<QubitIndex> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<QubitIndex>(i);
+  std::vector<QubitIndex> anc(ancillas);
+  for (std::size_t i = 0; i < ancillas; ++i)
+    anc[i] = static_cast<QubitIndex>(n + i);
+
+  auto& prep = p.add_kernel("prep");
+  for (QubitIndex q : inputs) prep.h(q);
+
+  const std::size_t iterations = grover_iterations(n);
+  Kernel iteration("grover_iteration", total, iterations);
+  // Oracle: phase flip on |marked>: X-conjugate the zero bits, mcz.
+  for (std::size_t i = 0; i < n; ++i)
+    if (!((marked >> i) & 1)) iteration.x(inputs[i]);
+  iteration.mcz(inputs, anc);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!((marked >> i) & 1)) iteration.x(inputs[i]);
+  // Diffusion: H X mcz X H.
+  for (QubitIndex q : inputs) iteration.h(q);
+  for (QubitIndex q : inputs) iteration.x(q);
+  iteration.mcz(inputs, anc);
+  for (QubitIndex q : inputs) iteration.x(q);
+  for (QubitIndex q : inputs) iteration.h(q);
+  if (iterations > 0) p.add_kernel(std::move(iteration));
+
+  auto& readout = p.add_kernel("readout");
+  for (QubitIndex q : inputs) readout.measure(q);
+  return p;
+}
+
+Program phase_estimation(std::size_t precision, double phi) {
+  if (precision == 0 || precision > 12)
+    throw std::invalid_argument("phase_estimation: precision out of range");
+  const std::size_t total = precision + 1;
+  const QubitIndex eigen = static_cast<QubitIndex>(precision);
+  Program p("qpe", total);
+
+  auto& prep = p.add_kernel("prep");
+  prep.x(eigen);  // |1> is the e^{2 pi i phi} eigenstate of the phase gate
+  for (std::size_t q = 0; q < precision; ++q)
+    prep.h(static_cast<QubitIndex>(q));
+
+  // Controlled-U^{2^j}: U = diag(1, e^{2 pi i phi}) so U^{2^j} is a
+  // controlled phase of 2 pi phi 2^j.
+  auto& controlled = p.add_kernel("controlled_powers");
+  for (std::size_t j = 0; j < precision; ++j) {
+    const double angle = 2.0 * kPi * phi * static_cast<double>(1ULL << j);
+    controlled.cr(static_cast<QubitIndex>(j), eigen, angle);
+  }
+
+  // Inverse QFT on the counting register. The accumulated phase treats
+  // counting qubit j as bit j (qubit precision-1 = MSB), while
+  // Kernel::iqft follows the textbook convention of first-listed qubit =
+  // MSB — so hand it the register in reverse.
+  auto& iqft = p.add_kernel("iqft");
+  std::vector<QubitIndex> counting(precision);
+  for (std::size_t q = 0; q < precision; ++q)
+    counting[q] = static_cast<QubitIndex>(precision - 1 - q);
+  iqft.iqft(counting);
+
+  auto& readout = p.add_kernel("readout");
+  for (QubitIndex q : counting) readout.measure(q);
+  return p;
+}
+
+}  // namespace qs::compiler::algorithms

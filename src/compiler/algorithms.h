@@ -1,0 +1,42 @@
+// Canonical quantum algorithm builders on the kernel API — the
+// "algorithmic logic" layer of the full stack (paper Section 2.3 names
+// cryptography/search/simulation as the promising domains; these are the
+// standard primitives application developers compose).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/kernel.h"
+
+namespace qs::compiler::algorithms {
+
+/// Deutsch-Jozsa on n input qubits + 1 ancilla (qubit n).
+/// `oracle_constant` selects a constant-f oracle; otherwise a balanced
+/// oracle f(x) = x . mask is used. Measuring all-zero on the input
+/// register means "constant".
+Program deutsch_jozsa(std::size_t n, bool oracle_constant,
+                      std::uint64_t balanced_mask = 1);
+
+/// Bernstein-Vazirani: recovers the n-bit secret string s from a single
+/// query to f(x) = s . x. Register: n inputs + 1 ancilla (qubit n).
+/// Measured input register equals `secret` with probability 1.
+Program bernstein_vazirani(std::size_t n, std::uint64_t secret);
+
+/// Grover search for a single marked basis state `marked` over n qubits,
+/// with the optimal iteration count. Needs n-2 clean ancillas for the
+/// multi-controlled phase flips, so the register is 2n-2 qubits
+/// (inputs [0,n), ancillas [n, 2n-2)).
+Program grover_search(std::size_t n, std::uint64_t marked);
+
+/// Quantum phase estimation of the phase `phi` (in turns, [0,1)) of the
+/// eigenvalue e^{2 pi i phi} of a Z-rotation unitary applied to |1>.
+/// Register: `precision` counting qubits + 1 eigenstate qubit (the last).
+/// The measured counting register (LSB = q[0]) approximates
+/// round(phi * 2^precision).
+Program phase_estimation(std::size_t precision, double phi);
+
+/// Optimal Grover iteration count for grover_search.
+std::size_t grover_iterations(std::size_t n);
+
+}  // namespace qs::compiler::algorithms

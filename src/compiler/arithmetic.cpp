@@ -1,0 +1,108 @@
+#include "compiler/arithmetic.h"
+
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace qs::compiler::arithmetic {
+
+namespace {
+
+/// MAJ block of the Cuccaro adder on (c, b, a):
+/// computes the majority into a, with b, c holding partial sums.
+void maj(Kernel& k, QubitIndex c, QubitIndex b, QubitIndex a) {
+  k.cnot(a, b);
+  k.cnot(a, c);
+  k.toffoli(c, b, a);
+}
+
+/// UMA (UnMajority-and-Add) block, inverse bookkeeping of MAJ that leaves
+/// the sum bit in b.
+void uma(Kernel& k, QubitIndex c, QubitIndex b, QubitIndex a) {
+  k.toffoli(c, b, a);
+  k.cnot(a, c);
+  k.cnot(c, b);
+}
+
+void check_width(std::size_t n) {
+  if (n == 0 || n > 8)
+    throw std::invalid_argument(
+        "arithmetic: register width out of simulable range [1,8]");
+}
+
+}  // namespace
+
+void cuccaro_add(Kernel& k, std::size_t n) {
+  check_width(n);
+  if (k.qubit_count() < 2 * n + 1)
+    throw std::invalid_argument("cuccaro_add: register needs 2n+1 qubits");
+  const QubitIndex ancilla = static_cast<QubitIndex>(2 * n);
+  auto a = [n](std::size_t i) { return static_cast<QubitIndex>(i); };
+  auto b = [n](std::size_t i) { return static_cast<QubitIndex>(n + i); };
+
+  // Ripple the carry up through MAJ blocks...
+  maj(k, ancilla, b(0), a(0));
+  for (std::size_t i = 1; i < n; ++i) maj(k, a(i - 1), b(i), a(i));
+  // ...and unwind with UMA blocks, depositing sum bits into b.
+  for (std::size_t i = n; i-- > 1;) uma(k, a(i - 1), b(i), a(i));
+  uma(k, ancilla, b(0), a(0));
+}
+
+void draper_add_constant(Kernel& k, std::size_t n, std::uint64_t value) {
+  check_width(n);
+  std::vector<QubitIndex> reg(n);
+  // Kernel::qft treats its first listed qubit as the MSB; our register is
+  // LSB-first, so hand it over reversed.
+  for (std::size_t i = 0; i < n; ++i)
+    reg[i] = static_cast<QubitIndex>(n - 1 - i);
+  k.qft(reg);
+  // In the Fourier basis Sum_k e^{2 pi i b k / 2^n}|k>, adding `value`
+  // multiplies each |k> by e^{2 pi i value k / 2^n}; distributing over the
+  // bits of k, qubit j needs the phase 2 pi value 2^j / 2^n (mod 2 pi).
+  for (std::size_t j = 0; j < n; ++j) {
+    double angle = 0.0;
+    for (std::size_t bit = 0; bit + j < n; ++bit) {
+      if ((value >> bit) & 1)
+        angle += 2.0 * kPi /
+                 static_cast<double>(1ULL << (n - j - bit));
+    }
+    if (angle != 0.0) k.rz(static_cast<QubitIndex>(j), angle);
+  }
+  k.iqft(reg);
+}
+
+Program cuccaro_demo(std::size_t n, std::uint64_t a, std::uint64_t b) {
+  check_width(n);
+  if (a >= (1ULL << n) || b >= (1ULL << n))
+    throw std::invalid_argument("cuccaro_demo: inputs exceed register width");
+  Program p("cuccaro_add", 2 * n + 1);
+  auto& prep = p.add_kernel("prep");
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a >> i) & 1) prep.x(static_cast<QubitIndex>(i));
+    if ((b >> i) & 1) prep.x(static_cast<QubitIndex>(n + i));
+  }
+  auto& add = p.add_kernel("add");
+  cuccaro_add(add, n);
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t i = 0; i < n; ++i)
+    readout.measure(static_cast<QubitIndex>(n + i));
+  return p;
+}
+
+Program draper_demo(std::size_t n, std::uint64_t b, std::uint64_t constant) {
+  check_width(n);
+  if (b >= (1ULL << n))
+    throw std::invalid_argument("draper_demo: input exceeds register width");
+  Program p("draper_add", n);
+  auto& prep = p.add_kernel("prep");
+  for (std::size_t i = 0; i < n; ++i)
+    if ((b >> i) & 1) prep.x(static_cast<QubitIndex>(i));
+  auto& add = p.add_kernel("add");
+  draper_add_constant(add, n, constant % (1ULL << n));
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t i = 0; i < n; ++i)
+    readout.measure(static_cast<QubitIndex>(i));
+  return p;
+}
+
+}  // namespace qs::compiler::arithmetic

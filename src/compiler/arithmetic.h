@@ -1,0 +1,35 @@
+// Quantum arithmetic building blocks — the circuit substrate of the
+// cryptography application domain the paper names (Section 2.3: "Shor's
+// factorisation showed that potentially a quantum computer can break any
+// RSA-based encryption"): reversible adders in both the ripple-carry
+// (Cuccaro) and Fourier-basis (Draper) styles.
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/kernel.h"
+
+namespace qs::compiler::arithmetic {
+
+/// Cuccaro ripple-carry adder: |a>|b> -> |a>|a+b mod 2^n> using one
+/// ancilla. Register layout on the target kernel:
+///   a: qubits [0, n)   (LSB first)
+///   b: qubits [n, 2n)  (LSB first; receives the sum)
+///   ancilla: qubit 2n  (|0>, returned to |0>)
+/// Appends the circuit to `k` (register must hold >= 2n+1 qubits).
+void cuccaro_add(Kernel& k, std::size_t n);
+
+/// Draper adder in the Fourier basis: |b> -> |b + value mod 2^n> for a
+/// *classical* constant, on qubits [0, n) (LSB first). QFT -> phase
+/// rotations -> inverse QFT; no ancillas.
+void draper_add_constant(Kernel& k, std::size_t n, std::uint64_t value);
+
+/// Builds a complete program preparing |a>|b>, running cuccaro_add and
+/// measuring the sum register (for tests / demos).
+Program cuccaro_demo(std::size_t n, std::uint64_t a, std::uint64_t b);
+
+/// Builds a complete program preparing |b>, adding the constant in the
+/// Fourier basis and measuring.
+Program draper_demo(std::size_t n, std::uint64_t b, std::uint64_t constant);
+
+}  // namespace qs::compiler::arithmetic

@@ -1,0 +1,67 @@
+#include "compiler/compiler.h"
+
+#include "qasm/printer.h"
+
+namespace qs::compiler {
+
+namespace {
+
+std::size_t count_gates(const qasm::Program& p) {
+  std::size_t n = 0;
+  for (const auto& c : p.circuits()) n += c.gate_count() * c.iterations();
+  return n;
+}
+
+std::size_t count_2q(const qasm::Program& p) {
+  std::size_t n = 0;
+  for (const auto& c : p.circuits())
+    n += c.two_qubit_gate_count() * c.iterations();
+  return n;
+}
+
+}  // namespace
+
+CompileResult Compiler::compile(const Program& program,
+                                const CompileOptions& options) const {
+  return compile(program.to_qasm(), options);
+}
+
+CompileResult Compiler::compile(const qasm::Program& input,
+                                const CompileOptions& options) const {
+  CompileResult result;
+  result.gates_before = count_gates(input);
+
+  qasm::Program p = input;
+  if (options.decompose)
+    p = qs::compiler::decompose(p, platform_, &result.decompose_stats);
+  if (options.optimize)
+    p = qs::compiler::optimize(p, &result.optimize_stats);
+  if (options.map) {
+    Mapper mapper(options.placement);
+    p = mapper.map(p, platform_, &result.map_stats);
+    // Routing introduces SWAPs that may themselves need decomposition.
+    if (options.decompose && !platform_.is_primitive(qasm::GateKind::Swap)) {
+      DecomposeStats post;
+      p = qs::compiler::decompose(p, platform_, &post);
+      result.decompose_stats.rewritten += post.rewritten;
+      result.decompose_stats.emitted += post.emitted;
+      if (options.optimize) {
+        OptimizeStats post_opt;
+        p = qs::compiler::optimize(p, &post_opt);
+        result.optimize_stats.cancelled_pairs += post_opt.cancelled_pairs;
+        result.optimize_stats.merged_rotations += post_opt.merged_rotations;
+        result.optimize_stats.removed_identity += post_opt.removed_identity;
+      }
+    }
+  }
+  p = qs::compiler::schedule(p, platform_, options.scheduler,
+                             &result.schedule_stats);
+
+  result.gates_after = count_gates(p);
+  result.two_qubit_gates_after = count_2q(p);
+  result.cqasm = qasm::to_cqasm(p);
+  result.program = std::move(p);
+  return result;
+}
+
+}  // namespace qs::compiler

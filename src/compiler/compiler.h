@@ -1,0 +1,59 @@
+// The OpenQL-like compiler driver (paper Figure 4): runs the pass pipeline
+//   decompose -> optimise -> map -> schedule -> emit cQASM
+// against a target platform and reports per-pass statistics. The eQASM
+// back-end pass (paper Section 3.1) lives in microarch/assembler and
+// consumes this pass's scheduled output.
+#pragma once
+
+#include <string>
+
+#include "compiler/decompose.h"
+#include "compiler/kernel.h"
+#include "compiler/mapper.h"
+#include "compiler/optimize.h"
+#include "compiler/platform.h"
+#include "compiler/schedule.h"
+
+namespace qs::compiler {
+
+struct CompileOptions {
+  bool decompose = true;
+  bool optimize = true;
+  bool map = false;  ///< route onto the platform topology
+  PlacementKind placement = PlacementKind::Identity;
+  SchedulerKind scheduler = SchedulerKind::ASAP;
+};
+
+struct CompileResult {
+  qasm::Program program;       ///< final scheduled cQASM program
+  std::string cqasm;           ///< pretty-printed cQASM text
+  DecomposeStats decompose_stats;
+  OptimizeStats optimize_stats;
+  MapStats map_stats;
+  ScheduleStats schedule_stats;
+
+  // Before/after headline numbers for the ablation bench (E10).
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t two_qubit_gates_after = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(Platform platform) : platform_(std::move(platform)) {}
+
+  const Platform& platform() const { return platform_; }
+
+  /// Compiles an OpenQL-like program for the configured platform.
+  CompileResult compile(const Program& program,
+                        const CompileOptions& options = {}) const;
+
+  /// Compiles an already-lowered cQASM program.
+  CompileResult compile(const qasm::Program& program,
+                        const CompileOptions& options = {}) const;
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace qs::compiler

@@ -1,0 +1,227 @@
+#include "compiler/decompose.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/gates.h"
+
+namespace qs::compiler {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  if (u.rows() != 2 || u.cols() != 2)
+    throw std::invalid_argument("zyz_decompose: matrix must be 2x2");
+  // Normalise to SU(2): divide by sqrt(det).
+  const cplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const cplx root = std::sqrt(det);
+  const cplx a = u(0, 0) / root;
+  const cplx b = u(0, 1) / root;
+  // V = [[a, b], [-conj(b), conj(a)]] with
+  //   a =  cos(theta/2) e^{-i(phi+lambda)/2}
+  //   b = -sin(theta/2) e^{-i(phi-lambda)/2}
+  ZyzAngles out;
+  const double ca = std::abs(a);
+  out.theta = 2.0 * std::atan2(std::abs(b), ca);
+  if (ca < 1e-12) {
+    // theta = pi: only phi - lambda is determined; fix lambda = 0.
+    // From b = -sin(theta/2) e^{-i(phi-lambda)/2}: phi = -2 arg(-b).
+    out.phi = -2.0 * std::arg(-b);
+    out.lambda = 0.0;
+  } else if (std::abs(b) < 1e-12) {
+    // theta = 0: only phi + lambda is determined; fix lambda = 0.
+    out.phi = -2.0 * std::arg(a);
+    out.lambda = 0.0;
+  } else {
+    const double sum = -2.0 * std::arg(a);    // phi + lambda
+    const double diff = -2.0 * std::arg(-b);  // phi - lambda
+    out.phi = 0.5 * (sum + diff);
+    out.lambda = 0.5 * (sum - diff);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kAngleEps = 1e-10;
+
+/// Emits U (2x2) on qubit q as Rz / X90 primitives up to global phase:
+///   U ~ Rz(phi + pi) X90 Rz(theta + pi) X90 Rz(lambda)
+/// (the standard virtual-Z / SX synthesis). Near-zero rotations elided.
+void emit_1q_native(std::vector<Instruction>& out, const Matrix& u,
+                    QubitIndex q) {
+  const ZyzAngles a = zyz_decompose(u);
+  auto rz = [&](double angle) {
+    // Normalise into (-pi, pi] and drop identity rotations.
+    while (angle > kPi) angle -= 2.0 * kPi;
+    while (angle <= -kPi) angle += 2.0 * kPi;
+    if (std::abs(angle) > kAngleEps)
+      out.emplace_back(GateKind::Rz, std::vector<QubitIndex>{q}, angle);
+  };
+  rz(a.lambda);
+  out.emplace_back(GateKind::X90, std::vector<QubitIndex>{q});
+  rz(a.theta + kPi);
+  out.emplace_back(GateKind::X90, std::vector<QubitIndex>{q});
+  rz(a.phi + kPi);
+}
+
+class Rewriter {
+ public:
+  explicit Rewriter(const Platform& platform) : platform_(platform) {}
+
+  std::vector<Instruction> lower(const Instruction& instr, int depth = 0) {
+    if (depth > 8)
+      throw std::runtime_error(
+          "decompose: rewrite recursion did not converge for " +
+          qasm::gate_name(instr.kind()));
+    if (platform_.is_primitive(instr.kind()))
+      return {instr};
+
+    std::vector<Instruction> step = rewrite_once(instr);
+    std::vector<Instruction> out;
+    for (const auto& s : step) {
+      std::vector<Instruction> sub = lower(s, depth + 1);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    // Conditional gates propagate their condition bits to every
+    // replacement instruction.
+    if (instr.is_conditional())
+      for (auto& o : out) o.set_conditions(instr.conditions());
+    return out;
+  }
+
+ private:
+  std::vector<Instruction> rewrite_once(const Instruction& instr) {
+    const auto& q = instr.qubits();
+    std::vector<Instruction> out;
+    switch (instr.kind()) {
+      case GateKind::Toffoli: {
+        // Standard 6-CNOT + T-depth decomposition.
+        const QubitIndex a = q[0], b = q[1], c = q[2];
+        auto g1 = [&](GateKind k, QubitIndex t) {
+          out.emplace_back(k, std::vector<QubitIndex>{t});
+        };
+        auto cx = [&](QubitIndex ctl, QubitIndex tgt) {
+          out.emplace_back(GateKind::CNOT, std::vector<QubitIndex>{ctl, tgt});
+        };
+        g1(GateKind::H, c);
+        cx(b, c);
+        g1(GateKind::Tdag, c);
+        cx(a, c);
+        g1(GateKind::T, c);
+        cx(b, c);
+        g1(GateKind::Tdag, c);
+        cx(a, c);
+        g1(GateKind::T, b);
+        g1(GateKind::T, c);
+        g1(GateKind::H, c);
+        cx(a, b);
+        g1(GateKind::T, a);
+        g1(GateKind::Tdag, b);
+        cx(a, b);
+        return out;
+      }
+      case GateKind::Swap: {
+        out.emplace_back(GateKind::CNOT, std::vector<QubitIndex>{q[0], q[1]});
+        out.emplace_back(GateKind::CNOT, std::vector<QubitIndex>{q[1], q[0]});
+        out.emplace_back(GateKind::CNOT, std::vector<QubitIndex>{q[0], q[1]});
+        return out;
+      }
+      case GateKind::CRK: {
+        const double phi =
+            2.0 * kPi / static_cast<double>(1LL << instr.param_k());
+        out.emplace_back(GateKind::CR, q, phi);
+        return out;
+      }
+      case GateKind::CR: {
+        // Controlled phase: CR(t) = Rz_c(t/2) Rz_t(t/2) CNOT Rz_t(-t/2) CNOT
+        // (up to global phase).
+        const double t = instr.angle();
+        out.emplace_back(GateKind::Rz, std::vector<QubitIndex>{q[0]}, t / 2);
+        out.emplace_back(GateKind::Rz, std::vector<QubitIndex>{q[1]}, t / 2);
+        out.emplace_back(GateKind::CNOT, q);
+        out.emplace_back(GateKind::Rz, std::vector<QubitIndex>{q[1]}, -t / 2);
+        out.emplace_back(GateKind::CNOT, q);
+        return out;
+      }
+      case GateKind::RZZ: {
+        // exp(-i t/2 ZZ) = CNOT . Rz_t(t) . CNOT.
+        out.emplace_back(GateKind::CNOT, q);
+        out.emplace_back(GateKind::Rz, std::vector<QubitIndex>{q[1]},
+                         instr.angle());
+        out.emplace_back(GateKind::CNOT, q);
+        return out;
+      }
+      case GateKind::CNOT: {
+        if (platform_.is_primitive(GateKind::CZ)) {
+          out.emplace_back(GateKind::H, std::vector<QubitIndex>{q[1]});
+          out.emplace_back(GateKind::CZ, q);
+          out.emplace_back(GateKind::H, std::vector<QubitIndex>{q[1]});
+          return out;
+        }
+        throw std::runtime_error(
+            "decompose: platform supports neither CNOT nor CZ");
+      }
+      case GateKind::CZ: {
+        if (platform_.is_primitive(GateKind::CNOT)) {
+          out.emplace_back(GateKind::H, std::vector<QubitIndex>{q[1]});
+          out.emplace_back(GateKind::CNOT, q);
+          out.emplace_back(GateKind::H, std::vector<QubitIndex>{q[1]});
+          return out;
+        }
+        throw std::runtime_error(
+            "decompose: platform supports neither CZ nor CNOT");
+      }
+      default: {
+        // Single-qubit non-primitive gate: synthesise Rz/X90 sequence.
+        if (qasm::gate_arity(instr.kind()) == 1 &&
+            qasm::gate_is_unitary(instr.kind())) {
+          if (!platform_.is_primitive(GateKind::Rz) ||
+              !platform_.is_primitive(GateKind::X90))
+            throw std::runtime_error(
+                "decompose: platform lacks Rz/X90 for 1q synthesis of " +
+                qasm::gate_name(instr.kind()));
+          emit_1q_native(out,
+                         sim::gate_matrix_1q(instr.kind(), instr.angle()),
+                         q[0]);
+          return out;
+        }
+        throw std::runtime_error("decompose: cannot lower " +
+                                 qasm::gate_name(instr.kind()) +
+                                 " to the platform primitive set");
+      }
+    }
+  }
+
+  const Platform& platform_;
+};
+
+}  // namespace
+
+qasm::Program decompose(const qasm::Program& program, const Platform& platform,
+                        DecomposeStats* stats) {
+  Rewriter rewriter(platform);
+  qasm::Program out(program.name(), program.qubit_count());
+  out.set_version(program.version());
+  for (const auto& circuit : program.circuits()) {
+    qasm::Circuit nc(circuit.name(), circuit.iterations());
+    for (const auto& instr : circuit.instructions()) {
+      if (platform.is_primitive(instr.kind())) {
+        nc.add(instr);
+        continue;
+      }
+      std::vector<Instruction> lowered = Rewriter(platform).lower(instr);
+      if (stats) {
+        ++stats->rewritten;
+        stats->emitted += lowered.size();
+      }
+      for (auto& l : lowered) nc.add(std::move(l));
+    }
+    out.add_circuit(std::move(nc));
+  }
+  return out;
+}
+
+}  // namespace qs::compiler

@@ -1,0 +1,36 @@
+// Gate-decomposition pass (paper Section 2.4: "reversible circuit design,
+// quantum gate decomposition and circuit mapping are needed"). Rewrites a
+// cQASM program so that every instruction is in the platform's primitive
+// set: Toffoli -> Clifford+T, Swap -> 3 CNOT, CRK/CR -> {Rz, CNOT},
+// CNOT <-> CZ basis changes, and arbitrary single-qubit unitaries ->
+// Rz / X90 sequences (virtual-Z transmon style).
+#pragma once
+
+#include "common/matrix.h"
+#include "compiler/platform.h"
+#include "qasm/program.h"
+
+namespace qs::compiler {
+
+struct DecomposeStats {
+  std::size_t rewritten = 0;  ///< instructions that needed rewriting
+  std::size_t emitted = 0;    ///< primitive instructions produced for them
+};
+
+/// Euler angles of U = phase * Rz(phi) * Ry(theta) * Rz(lambda).
+struct ZyzAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+};
+
+/// ZYZ decomposition of an arbitrary 2x2 unitary (global phase dropped).
+ZyzAngles zyz_decompose(const Matrix& u);
+
+/// Rewrites `program` into the platform's primitive gate set.
+/// Throws std::runtime_error if some gate cannot be lowered (e.g. the
+/// platform supports neither CNOT nor CZ).
+qasm::Program decompose(const qasm::Program& program, const Platform& platform,
+                        DecomposeStats* stats = nullptr);
+
+}  // namespace qs::compiler

@@ -1,0 +1,258 @@
+#include "compiler/kernel.h"
+
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace qs::compiler {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+Kernel::Kernel(std::string name, std::size_t qubit_count,
+               std::size_t iterations)
+    : qubit_count_(qubit_count), circuit_(std::move(name), iterations) {
+  if (qubit_count == 0)
+    throw std::invalid_argument("Kernel: qubit_count must be positive");
+}
+
+void Kernel::check(QubitIndex q) const {
+  if (q >= qubit_count_)
+    throw std::out_of_range("Kernel '" + circuit_.name() + "': qubit q[" +
+                            std::to_string(q) + "] out of range (register " +
+                            std::to_string(qubit_count_) + ")");
+}
+
+Kernel& Kernel::add(Instruction instr) {
+  for (QubitIndex q : instr.qubits()) check(q);
+  circuit_.add(std::move(instr));
+  return *this;
+}
+
+#define QS_KERNEL_1Q(method, kind)                       \
+  Kernel& Kernel::method(QubitIndex q) {                 \
+    return add(Instruction(GateKind::kind, {q}));        \
+  }
+
+QS_KERNEL_1Q(identity, I)
+QS_KERNEL_1Q(x, X)
+QS_KERNEL_1Q(y, Y)
+QS_KERNEL_1Q(z, Z)
+QS_KERNEL_1Q(h, H)
+QS_KERNEL_1Q(s, S)
+QS_KERNEL_1Q(sdag, Sdag)
+QS_KERNEL_1Q(t, T)
+QS_KERNEL_1Q(tdag, Tdag)
+QS_KERNEL_1Q(x90, X90)
+QS_KERNEL_1Q(mx90, MX90)
+QS_KERNEL_1Q(y90, Y90)
+QS_KERNEL_1Q(my90, MY90)
+QS_KERNEL_1Q(prep_z, PrepZ)
+QS_KERNEL_1Q(measure, Measure)
+
+#undef QS_KERNEL_1Q
+
+Kernel& Kernel::rx(QubitIndex q, double angle) {
+  return add(Instruction(GateKind::Rx, {q}, angle));
+}
+Kernel& Kernel::ry(QubitIndex q, double angle) {
+  return add(Instruction(GateKind::Ry, {q}, angle));
+}
+Kernel& Kernel::rz(QubitIndex q, double angle) {
+  return add(Instruction(GateKind::Rz, {q}, angle));
+}
+
+Kernel& Kernel::cnot(QubitIndex control, QubitIndex target) {
+  return add(Instruction(GateKind::CNOT, {control, target}));
+}
+Kernel& Kernel::cz(QubitIndex control, QubitIndex target) {
+  return add(Instruction(GateKind::CZ, {control, target}));
+}
+Kernel& Kernel::swap(QubitIndex a, QubitIndex b) {
+  return add(Instruction(GateKind::Swap, {a, b}));
+}
+Kernel& Kernel::cr(QubitIndex control, QubitIndex target, double angle) {
+  return add(Instruction(GateKind::CR, {control, target}, angle));
+}
+Kernel& Kernel::crk(QubitIndex control, QubitIndex target, std::int64_t k) {
+  return add(Instruction(GateKind::CRK, {control, target}, 0.0, k));
+}
+Kernel& Kernel::rzz(QubitIndex a, QubitIndex b, double angle) {
+  return add(Instruction(GateKind::RZZ, {a, b}, angle));
+}
+Kernel& Kernel::toffoli(QubitIndex c1, QubitIndex c2, QubitIndex target) {
+  return add(Instruction(GateKind::Toffoli, {c1, c2, target}));
+}
+
+Kernel& Kernel::prep_all() {
+  for (QubitIndex q = 0; q < qubit_count_; ++q) prep_z(q);
+  return *this;
+}
+
+Kernel& Kernel::measure_all() {
+  return add(Instruction(GateKind::MeasureAll, {}));
+}
+
+Kernel& Kernel::display() {
+  return add(Instruction(GateKind::Display, {}));
+}
+
+Kernel& Kernel::wait(const std::vector<QubitIndex>& qubits,
+                     std::int64_t cycles) {
+  return add(Instruction(GateKind::Wait, qubits, 0.0, cycles));
+}
+
+Kernel& Kernel::barrier(const std::vector<QubitIndex>& qubits) {
+  return add(Instruction(GateKind::Barrier, qubits));
+}
+
+Kernel& Kernel::controlled_by(const std::vector<BitIndex>& bits) {
+  if (circuit_.empty())
+    throw std::logic_error("Kernel::controlled_by: no preceding gate");
+  circuit_.instructions().back().set_conditions(bits);
+  return *this;
+}
+
+Kernel& Kernel::append(const Kernel& other) {
+  if (other.qubit_count_ > qubit_count_)
+    throw std::invalid_argument("Kernel::append: register size mismatch");
+  for (const auto& instr : other.circuit_.instructions()) add(instr);
+  return *this;
+}
+
+Kernel& Kernel::qft(const std::vector<QubitIndex>& qubits) {
+  // Standard QFT: H then controlled phase ladder, finished with reversal
+  // swaps so the output ordering matches the textbook definition.
+  const std::size_t n = qubits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    h(qubits[i]);
+    for (std::size_t j = i + 1; j < n; ++j)
+      crk(qubits[j], qubits[i], static_cast<std::int64_t>(j - i + 1));
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) swap(qubits[i], qubits[n - 1 - i]);
+  return *this;
+}
+
+Kernel& Kernel::iqft(const std::vector<QubitIndex>& qubits) {
+  // Exact inverse of qft(): reversed instruction order, negated phases.
+  const std::size_t n = qubits.size();
+  for (std::size_t i = n / 2; i > 0; --i)
+    swap(qubits[i - 1], qubits[n - i]);
+  for (std::size_t i = n; i > 0; --i) {
+    const std::size_t qi = i - 1;
+    for (std::size_t j = n; j > i; --j) {
+      const std::size_t qj = j - 1;
+      // CRK has no negative-k form; use CR with the negated angle.
+      const double phi =
+          -2.0 * kPi / static_cast<double>(1LL << (qj - qi + 1));
+      cr(qubits[qj], qubits[qi], phi);
+    }
+    h(qubits[qi]);
+  }
+  return *this;
+}
+
+Kernel& Kernel::multi_controlled_z(const std::vector<QubitIndex>& qubits) {
+  switch (qubits.size()) {
+    case 0:
+      throw std::invalid_argument("multi_controlled_z: need >= 1 qubit");
+    case 1:
+      return z(qubits[0]);
+    case 2:
+      return cz(qubits[0], qubits[1]);
+    case 3:
+      // CCZ = H(target) Toffoli H(target).
+      h(qubits[2]);
+      toffoli(qubits[0], qubits[1], qubits[2]);
+      return h(qubits[2]);
+    default:
+      throw std::invalid_argument(
+          "multi_controlled_z: more than 3 qubits requires ancillas; "
+          "use oracle builders in apps/ which allocate them");
+  }
+}
+
+Kernel& Kernel::mcx(const std::vector<QubitIndex>& controls,
+                    QubitIndex target,
+                    const std::vector<QubitIndex>& ancillas) {
+  switch (controls.size()) {
+    case 0:
+      return x(target);
+    case 1:
+      return cnot(controls[0], target);
+    case 2:
+      return toffoli(controls[0], controls[1], target);
+    default:
+      break;
+  }
+  const std::size_t needed = controls.size() - 2;
+  if (ancillas.size() < needed)
+    throw std::invalid_argument(
+        "Kernel::mcx: " + std::to_string(controls.size()) +
+        " controls need " + std::to_string(needed) + " ancillas, got " +
+        std::to_string(ancillas.size()));
+  // Compute the AND chain into ancillas, apply, then uncompute.
+  toffoli(controls[0], controls[1], ancillas[0]);
+  for (std::size_t i = 2; i < controls.size() - 1; ++i)
+    toffoli(controls[i], ancillas[i - 2], ancillas[i - 1]);
+  toffoli(controls.back(), ancillas[needed - 1], target);
+  for (std::size_t i = controls.size() - 2; i >= 2; --i)
+    toffoli(controls[i], ancillas[i - 2], ancillas[i - 1]);
+  toffoli(controls[0], controls[1], ancillas[0]);
+  return *this;
+}
+
+Kernel& Kernel::mcz(const std::vector<QubitIndex>& qubits,
+                    const std::vector<QubitIndex>& ancillas) {
+  if (qubits.size() <= 3) return multi_controlled_z(qubits);
+  // C^{n-1}Z = H(target) C^{n-1}X H(target), target = last listed qubit.
+  std::vector<QubitIndex> controls(qubits.begin(), qubits.end() - 1);
+  const QubitIndex target = qubits.back();
+  h(target);
+  mcx(controls, target, ancillas);
+  return h(target);
+}
+
+Kernel& Kernel::grover_diffusion(const std::vector<QubitIndex>& qubits) {
+  for (QubitIndex q : qubits) h(q);
+  for (QubitIndex q : qubits) x(q);
+  multi_controlled_z(qubits);
+  for (QubitIndex q : qubits) x(q);
+  for (QubitIndex q : qubits) h(q);
+  return *this;
+}
+
+Kernel& Kernel::ghz(std::size_t n) {
+  if (n == 0 || n > qubit_count_)
+    throw std::invalid_argument("Kernel::ghz: bad size");
+  h(0);
+  for (QubitIndex q = 0; q + 1 < n; ++q)
+    cnot(q, q + 1);
+  return *this;
+}
+
+Program::Program(std::string name, std::size_t qubit_count)
+    : name_(std::move(name)), qubit_count_(qubit_count) {
+  if (qubit_count == 0)
+    throw std::invalid_argument("Program: qubit_count must be positive");
+}
+
+Kernel& Program::add_kernel(std::string name, std::size_t iterations) {
+  kernels_.emplace_back(Kernel(std::move(name), qubit_count_, iterations));
+  return kernels_.back();
+}
+
+void Program::add_kernel(Kernel kernel) {
+  if (kernel.qubit_count() > qubit_count_)
+    throw std::invalid_argument("Program::add_kernel: kernel register too big");
+  kernels_.push_back(std::move(kernel));
+}
+
+qasm::Program Program::to_qasm() const {
+  qasm::Program p(name_, qubit_count_);
+  for (const auto& k : kernels_) p.add_circuit(k.circuit());
+  p.validate();
+  return p;
+}
+
+}  // namespace qs::compiler

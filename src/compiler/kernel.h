@@ -1,0 +1,132 @@
+// OpenQL-like kernel builder (paper Section 2.4): quantum logic is written
+// against this fluent C++ API, then compiled through the pass pipeline to
+// cQASM and eQASM. A Kernel wraps a qasm::Circuit; a compiler::Program
+// owns kernels plus the target qubit register.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qasm/program.h"
+
+namespace qs::compiler {
+
+class Kernel {
+ public:
+  Kernel(std::string name, std::size_t qubit_count,
+         std::size_t iterations = 1);
+
+  const std::string& name() const { return circuit_.name(); }
+  std::size_t qubit_count() const { return qubit_count_; }
+
+  // -- single-qubit gates ---------------------------------------------------
+  Kernel& identity(QubitIndex q);
+  Kernel& x(QubitIndex q);
+  Kernel& y(QubitIndex q);
+  Kernel& z(QubitIndex q);
+  Kernel& h(QubitIndex q);
+  Kernel& s(QubitIndex q);
+  Kernel& sdag(QubitIndex q);
+  Kernel& t(QubitIndex q);
+  Kernel& tdag(QubitIndex q);
+  Kernel& x90(QubitIndex q);
+  Kernel& mx90(QubitIndex q);
+  Kernel& y90(QubitIndex q);
+  Kernel& my90(QubitIndex q);
+  Kernel& rx(QubitIndex q, double angle);
+  Kernel& ry(QubitIndex q, double angle);
+  Kernel& rz(QubitIndex q, double angle);
+
+  // -- multi-qubit gates ----------------------------------------------------
+  Kernel& cnot(QubitIndex control, QubitIndex target);
+  Kernel& cz(QubitIndex control, QubitIndex target);
+  Kernel& swap(QubitIndex a, QubitIndex b);
+  Kernel& cr(QubitIndex control, QubitIndex target, double angle);
+  Kernel& crk(QubitIndex control, QubitIndex target, std::int64_t k);
+  Kernel& rzz(QubitIndex a, QubitIndex b, double angle);
+  Kernel& toffoli(QubitIndex c1, QubitIndex c2, QubitIndex target);
+
+  // -- non-unitary / pseudo ops ----------------------------------------------
+  Kernel& prep_z(QubitIndex q);
+  Kernel& prep_all();
+  Kernel& measure(QubitIndex q);
+  Kernel& measure_all();
+  Kernel& display();
+  Kernel& wait(const std::vector<QubitIndex>& qubits, std::int64_t cycles);
+  Kernel& barrier(const std::vector<QubitIndex>& qubits);
+
+  /// Adds a binary-controlled version of the last added gate, conditioned
+  /// on measurement bits (cQASM `c-` prefix). Call immediately after the
+  /// gate-adding call it modifies.
+  Kernel& controlled_by(const std::vector<BitIndex>& bits);
+
+  /// Appends an arbitrary prebuilt instruction.
+  Kernel& add(qasm::Instruction instr);
+
+  /// Appends every instruction of another kernel (qubit counts must match).
+  Kernel& append(const Kernel& other);
+
+  // -- composite builders used across the examples ---------------------------
+
+  /// Quantum Fourier transform on the given qubit line (uses H + CRK).
+  Kernel& qft(const std::vector<QubitIndex>& qubits);
+
+  /// Inverse QFT.
+  Kernel& iqft(const std::vector<QubitIndex>& qubits);
+
+  /// Grover diffusion operator (inversion about the mean) on `qubits`.
+  Kernel& grover_diffusion(const std::vector<QubitIndex>& qubits);
+
+  /// Multi-controlled Z across all listed qubits (phase flip on |1..1>).
+  Kernel& multi_controlled_z(const std::vector<QubitIndex>& qubits);
+
+  /// Multi-controlled X with arbitrarily many controls, using a Toffoli
+  /// ladder over clean ancillas (|0>, returned to |0>). Needs
+  /// controls.size() - 2 ancillas for >2 controls.
+  Kernel& mcx(const std::vector<QubitIndex>& controls, QubitIndex target,
+              const std::vector<QubitIndex>& ancillas);
+
+  /// Multi-controlled Z over `qubits` (phase flip on all-ones) with clean
+  /// ancillas; needs qubits.size() - 3 ancillas for > 3 qubits.
+  Kernel& mcz(const std::vector<QubitIndex>& qubits,
+              const std::vector<QubitIndex>& ancillas);
+
+  /// GHZ-state preparation over the first n qubits.
+  Kernel& ghz(std::size_t n);
+
+  const qasm::Circuit& circuit() const { return circuit_; }
+  qasm::Circuit& circuit() { return circuit_; }
+  std::size_t size() const { return circuit_.size(); }
+
+ private:
+  void check(QubitIndex q) const;
+
+  std::size_t qubit_count_;
+  qasm::Circuit circuit_;
+};
+
+/// An OpenQL-like program: named kernel sequence over one qubit register.
+class Program {
+ public:
+  Program(std::string name, std::size_t qubit_count);
+
+  const std::string& name() const { return name_; }
+  std::size_t qubit_count() const { return qubit_count_; }
+
+  /// Creates and returns a new kernel appended to the program.
+  Kernel& add_kernel(std::string name, std::size_t iterations = 1);
+  void add_kernel(Kernel kernel);
+
+  const std::vector<Kernel>& kernels() const { return kernels_; }
+  std::vector<Kernel>& kernels() { return kernels_; }
+
+  /// Lowers to a cQASM program (one subcircuit per kernel).
+  qasm::Program to_qasm() const;
+
+ private:
+  std::string name_;
+  std::size_t qubit_count_;
+  std::vector<Kernel> kernels_;
+};
+
+}  // namespace qs::compiler

@@ -1,0 +1,204 @@
+#include "compiler/mapper.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace qs::compiler {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+namespace {
+
+/// Interaction counts between logical qubit pairs.
+std::map<std::pair<QubitIndex, QubitIndex>, std::size_t> interaction_graph(
+    const qasm::Program& program) {
+  std::map<std::pair<QubitIndex, QubitIndex>, std::size_t> counts;
+  for (const auto& c : program.circuits()) {
+    for (const auto& i : c.instructions()) {
+      if (qasm::gate_is_two_qubit(i.kind())) {
+        auto a = i.qubits()[0];
+        auto b = i.qubits()[1];
+        if (a > b) std::swap(a, b);
+        counts[{a, b}] += c.iterations();
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<QubitIndex> Mapper::initial_placement(
+    const qasm::Program& program, const Platform& platform) const {
+  const std::size_t nl = program.qubit_count();
+  const std::size_t np = platform.qubit_count;
+  if (nl > np)
+    throw std::invalid_argument(
+        "Mapper: program uses more qubits than the platform provides");
+
+  std::vector<QubitIndex> map(nl);
+  std::iota(map.begin(), map.end(), 0);
+  if (placement_ == PlacementKind::Identity) return map;
+
+  // Greedy placement: process logical pairs by descending interaction
+  // count; put each unplaced qubit on a free physical site adjacent (or
+  // nearest) to its already-placed partner.
+  const auto graph = interaction_graph(program);
+  std::vector<std::pair<std::size_t, std::pair<QubitIndex, QubitIndex>>> edges;
+  edges.reserve(graph.size());
+  for (const auto& [pair, count] : graph) edges.push_back({count, pair});
+  // Hottest pairs first; ties broken by ascending index so chain-shaped
+  // interaction graphs are laid out in order instead of scattered.
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<bool> logical_placed(nl, false);
+  std::vector<bool> physical_used(np, false);
+  const Topology& topo = platform.topology;
+
+  auto place = [&](QubitIndex logical, QubitIndex physical) {
+    map[logical] = physical;
+    logical_placed[logical] = true;
+    physical_used[physical] = true;
+  };
+
+  auto nearest_free = [&](QubitIndex to_physical) -> QubitIndex {
+    QubitIndex best = np;
+    std::size_t best_dist = np + 1;
+    for (QubitIndex p = 0; p < np; ++p) {
+      if (physical_used[p]) continue;
+      const std::size_t d = topo.distance(to_physical, p);
+      if (d < best_dist) {
+        best_dist = d;
+        best = p;
+      }
+    }
+    if (best == np) throw std::logic_error("Mapper: no free physical site");
+    return best;
+  };
+
+  for (const auto& [count, pair] : edges) {
+    const auto [a, b] = pair;
+    if (!logical_placed[a] && !logical_placed[b]) {
+      // Seed on the free edge whose endpoints are both unused.
+      bool seeded = false;
+      for (QubitIndex p = 0; p < np && !seeded; ++p) {
+        if (physical_used[p]) continue;
+        for (QubitIndex q : topo.neighbours(p)) {
+          if (!physical_used[q]) {
+            place(a, p);
+            place(b, q);
+            seeded = true;
+            break;
+          }
+        }
+      }
+      if (!seeded) {
+        place(a, nearest_free(0));
+        place(b, nearest_free(map[a]));
+      }
+    } else if (logical_placed[a] && !logical_placed[b]) {
+      place(b, nearest_free(map[a]));
+    } else if (!logical_placed[a] && logical_placed[b]) {
+      place(a, nearest_free(map[b]));
+    }
+  }
+  // Any logical qubit with no 2q interactions: first free site.
+  for (QubitIndex l = 0; l < nl; ++l) {
+    if (!logical_placed[l]) place(l, nearest_free(0));
+  }
+  return map;
+}
+
+qasm::Program Mapper::map(const qasm::Program& program,
+                          const Platform& platform, MapStats* stats) const {
+  const Topology& topo = platform.topology;
+  if (!topo.is_connected_graph())
+    throw std::invalid_argument("Mapper: topology is not connected");
+
+  // Binary-controlled gates read bits produced under an earlier layout;
+  // resolving that requires the run-time routing support the paper lists
+  // as open research (Section 3.2). Out of scope for the static mapper.
+  for (const auto& c : program.circuits())
+    for (const auto& i : c.instructions())
+      if (i.is_conditional())
+        throw std::invalid_argument(
+            "Mapper: binary-controlled gates are not mappable statically; "
+            "run feedback-free circuits through the mapper");
+
+  // l2p[logical] = physical; p2l[physical] = logical (or npos).
+  std::vector<QubitIndex> l2p = initial_placement(program, platform);
+  const QubitIndex npos = static_cast<QubitIndex>(platform.qubit_count);
+  std::vector<QubitIndex> p2l(platform.qubit_count, npos);
+  for (QubitIndex l = 0; l < l2p.size(); ++l) p2l[l2p[l]] = l;
+
+  auto swap_physical = [&](QubitIndex pa, QubitIndex pb) {
+    const QubitIndex la = p2l[pa];
+    const QubitIndex lb = p2l[pb];
+    if (la != npos) l2p[la] = pb;
+    if (lb != npos) l2p[lb] = pa;
+    std::swap(p2l[pa], p2l[pb]);
+  };
+
+  MapStats local;
+  qasm::Program out(program.name(), platform.qubit_count);
+  out.set_version(program.version());
+
+  for (const auto& circuit : program.circuits()) {
+    // Routing mutates the layout, so iterations cannot be kept symbolic:
+    // unroll any repeated subcircuit.
+    qasm::Circuit nc(circuit.name(), 1);
+    for (std::size_t it = 0; it < circuit.iterations(); ++it) {
+      for (const auto& instr : circuit.instructions()) {
+        if (qasm::gate_is_two_qubit(instr.kind()) ||
+            instr.kind() == GateKind::Toffoli) {
+          // Route all operand pairs until mutually adjacent. For Toffoli we
+          // route q1 and q2 next to the target.
+          const auto& q = instr.qubits();
+          ++local.total_2q_gates;
+          bool routed = false;
+          // Bring every earlier operand adjacent to the last one. Routing
+          // one operand can displace another (a SWAP may pass through it),
+          // so keep sweeping until all adjacencies hold simultaneously.
+          const QubitIndex anchor_logical = q.back();
+          bool all_adjacent = false;
+          while (!all_adjacent) {
+            all_adjacent = true;
+            for (std::size_t k = 0; k + 1 < q.size(); ++k) {
+              const QubitIndex moving = q[k];
+              if (topo.distance(l2p[moving], l2p[anchor_logical]) <= 1)
+                continue;
+              all_adjacent = false;
+              const auto path =
+                  topo.shortest_path(l2p[moving], l2p[anchor_logical]);
+              // Move one hop along the path.
+              const QubitIndex from = path[0];
+              const QubitIndex to = path[1];
+              nc.add(Instruction(GateKind::Swap, {from, to}));
+              swap_physical(from, to);
+              ++local.added_swaps;
+              routed = true;
+            }
+          }
+          if (routed) ++local.routed_gates;
+        }
+        Instruction mapped = instr;
+        mapped.remap_qubits(l2p);
+        nc.add(std::move(mapped));
+      }
+    }
+    out.add_circuit(std::move(nc));
+  }
+
+  local.final_map = l2p;
+  if (stats) *stats = local;
+  out.validate();
+  return out;
+}
+
+}  // namespace qs::compiler

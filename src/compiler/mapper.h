@@ -1,0 +1,47 @@
+// Placement and routing of qubits (paper Section 2.6): circuits assume
+// any-to-any interaction, but real/realistic qubit planes only couple
+// nearest neighbours. The mapper chooses an initial logical->physical
+// placement and inserts MOVE operations (SWAP chains along shortest paths)
+// so every two-qubit gate executes on adjacent physical qubits.
+#pragma once
+
+#include <vector>
+
+#include "compiler/platform.h"
+#include "qasm/program.h"
+
+namespace qs::compiler {
+
+enum class PlacementKind {
+  Identity,  ///< logical i starts on physical i
+  Greedy,    ///< frequently-interacting logical pairs seeded onto edges
+};
+
+struct MapStats {
+  std::size_t added_swaps = 0;      ///< SWAP instructions inserted
+  std::size_t routed_gates = 0;     ///< 2q gates that needed routing
+  std::size_t total_2q_gates = 0;
+  std::vector<QubitIndex> final_map;  ///< logical -> physical at program end
+};
+
+class Mapper {
+ public:
+  explicit Mapper(PlacementKind placement = PlacementKind::Identity)
+      : placement_(placement) {}
+
+  /// Returns a routed copy of the program: all operands rewritten to
+  /// physical indices, SWAPs inserted ahead of non-adjacent two-qubit
+  /// gates. Requires platform.topology connected and at least as many
+  /// physical as logical qubits.
+  qasm::Program map(const qasm::Program& program, const Platform& platform,
+                    MapStats* stats = nullptr) const;
+
+  /// The initial placement the mapper would choose for this program.
+  std::vector<QubitIndex> initial_placement(const qasm::Program& program,
+                                            const Platform& platform) const;
+
+ private:
+  PlacementKind placement_;
+};
+
+}  // namespace qs::compiler

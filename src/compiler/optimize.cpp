@@ -1,0 +1,136 @@
+#include "compiler/optimize.h"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+namespace qs::compiler {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+namespace {
+
+constexpr double kAngleEps = 1e-10;
+
+bool is_rotation(GateKind k) {
+  return k == GateKind::Rx || k == GateKind::Ry || k == GateKind::Rz;
+}
+
+/// Angle folded into (-pi, pi].
+double fold_angle(double a) {
+  while (a > 3.14159265358979323846) a -= 2.0 * 3.14159265358979323846;
+  while (a <= -3.14159265358979323846) a += 2.0 * 3.14159265358979323846;
+  return a;
+}
+
+bool is_identity_gate(const Instruction& i) {
+  if (i.kind() == GateKind::I) return true;
+  if (is_rotation(i.kind()) && std::abs(fold_angle(i.angle())) < kAngleEps)
+    return true;
+  if ((i.kind() == GateKind::CR || i.kind() == GateKind::RZZ) &&
+      std::abs(fold_angle(i.angle())) < kAngleEps)
+    return true;
+  return false;
+}
+
+/// True when a and b are exact inverses (same operands, inverse kinds,
+/// no classical conditions).
+bool are_inverse_pair(const Instruction& a, const Instruction& b) {
+  if (a.is_conditional() || b.is_conditional()) return false;
+  if (a.qubits() != b.qubits()) return false;
+  if (!qasm::gate_is_unitary(a.kind()) || !qasm::gate_is_unitary(b.kind()))
+    return false;
+  // Parameterised gates: same kind, angles summing to 0 (mod 2pi).
+  if (qasm::gate_has_angle(a.kind())) {
+    return a.kind() == b.kind() &&
+           std::abs(fold_angle(a.angle() + b.angle())) < kAngleEps;
+  }
+  if (a.kind() == GateKind::CRK) return false;  // angle form handled via CR
+  return qasm::gate_inverse(a.kind()) == b.kind() &&
+         !qasm::gate_has_angle(b.kind());
+}
+
+/// True when a then b can be fused into one rotation (same axis, qubits).
+bool are_mergeable_rotations(const Instruction& a, const Instruction& b) {
+  if (a.is_conditional() || b.is_conditional()) return false;
+  if (a.kind() != b.kind()) return false;
+  if (!(is_rotation(a.kind()) || a.kind() == GateKind::CR ||
+        a.kind() == GateKind::RZZ))
+    return false;
+  return a.qubits() == b.qubits();
+}
+
+/// Whether instructions i and j commute trivially because they share no
+/// qubits (and neither is a barrier-like op). Used to look past unrelated
+/// gates when searching for a cancellation partner.
+bool disjoint(const Instruction& a, const Instruction& b) {
+  if (a.kind() == GateKind::Barrier || b.kind() == GateKind::Barrier ||
+      a.kind() == GateKind::MeasureAll || b.kind() == GateKind::MeasureAll ||
+      a.kind() == GateKind::Display || b.kind() == GateKind::Display)
+    return false;
+  for (QubitIndex q : a.qubits())
+    if (b.uses_qubit(q)) return false;
+  return true;
+}
+
+bool optimize_circuit(qasm::Circuit& circuit, OptimizeStats& stats) {
+  auto& ins = circuit.instructions();
+  bool changed = false;
+
+  // Drop identity gates.
+  for (std::size_t i = 0; i < ins.size();) {
+    if (!ins[i].is_conditional() && is_identity_gate(ins[i])) {
+      ins.erase(ins.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats.removed_identity;
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+
+  // Pairwise cancellation / merging, looking past disjoint gates.
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (!qasm::gate_is_unitary(ins[i].kind())) continue;
+    for (std::size_t j = i + 1; j < ins.size(); ++j) {
+      if (disjoint(ins[i], ins[j])) continue;
+      if (are_inverse_pair(ins[i], ins[j])) {
+        ins.erase(ins.begin() + static_cast<std::ptrdiff_t>(j));
+        ins.erase(ins.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats.cancelled_pairs;
+        changed = true;
+        if (i > 0) --i;  // re-examine around the hole
+      } else if (are_mergeable_rotations(ins[i], ins[j])) {
+        const double merged = fold_angle(ins[i].angle() + ins[j].angle());
+        Instruction fused(ins[i].kind(), ins[i].qubits(), merged,
+                          ins[i].param_k());
+        ins[i] = std::move(fused);
+        ins.erase(ins.begin() + static_cast<std::ptrdiff_t>(j));
+        ++stats.merged_rotations;
+        changed = true;
+        if (i > 0) --i;
+      }
+      break;  // only the first instruction sharing a qubit is a candidate
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+qasm::Program optimize(const qasm::Program& program, OptimizeStats* stats) {
+  qasm::Program out = program;
+  OptimizeStats local;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++local.passes;
+    for (auto& circuit : out.circuits())
+      changed = optimize_circuit(circuit, local) || changed;
+    if (local.passes > 1000) break;  // safety net; never hit in practice
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace qs::compiler

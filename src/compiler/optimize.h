@@ -1,0 +1,25 @@
+// Circuit-optimisation pass: peephole cancellation of adjacent inverse
+// pairs, merging of same-axis rotations, and removal of identity rotations.
+// Runs to a fixpoint. The E10 compiler-ablation bench measures its effect.
+#pragma once
+
+#include "qasm/program.h"
+
+namespace qs::compiler {
+
+struct OptimizeStats {
+  std::size_t cancelled_pairs = 0;   ///< inverse pairs removed
+  std::size_t merged_rotations = 0;  ///< rotation pairs fused
+  std::size_t removed_identity = 0;  ///< near-zero rotations / I gates dropped
+  std::size_t passes = 0;            ///< fixpoint iterations
+
+  std::size_t total_removed() const {
+    return 2 * cancelled_pairs + merged_rotations + removed_identity;
+  }
+};
+
+/// Returns an optimised copy of the program (original untouched).
+qasm::Program optimize(const qasm::Program& program,
+                       OptimizeStats* stats = nullptr);
+
+}  // namespace qs::compiler

@@ -1,0 +1,234 @@
+// Platform INI schema:
+//
+//   [platform]
+//   name = superconducting17
+//   qubits = 17
+//   topology = surface17 | full | line | grid:<rows>x<cols>
+//   cycle_time_ns = 20
+//   primitives = x90,mx90,y90,my90,rz,cz,measure,prep_z
+//
+//   [durations]
+//   single_qubit = 20
+//   two_qubit = 40
+//   measure = 300
+//   prep = 200
+//
+//   [qubits]
+//   kind = perfect | realistic | real
+//   gate_error_1q = 0.001
+//   gate_error_2q = 0.01
+//   readout_error = 0.005
+//   t1_us = 30
+//   t2_us = 20
+#include "compiler/platform.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qs::compiler {
+
+Cycle Platform::cycles_of(const qasm::Instruction& instr) const {
+  const NanoSec ns = durations.of(instr);
+  if (cycle_time_ns == 0)
+    throw std::logic_error("Platform: cycle_time_ns must be positive");
+  const Cycle c = (ns + cycle_time_ns - 1) / cycle_time_ns;
+  return c == 0 ? 1 : c;
+}
+
+namespace {
+
+std::set<qasm::GateKind> all_gates_primitive() {
+  using qasm::GateKind;
+  return {GateKind::PrepZ, GateKind::Measure, GateKind::MeasureAll,
+          GateKind::I,     GateKind::X,       GateKind::Y,
+          GateKind::Z,     GateKind::H,       GateKind::S,
+          GateKind::Sdag,  GateKind::T,       GateKind::Tdag,
+          GateKind::X90,   GateKind::MX90,    GateKind::Y90,
+          GateKind::MY90,  GateKind::Rx,      GateKind::Ry,
+          GateKind::Rz,    GateKind::CNOT,    GateKind::CZ,
+          GateKind::Swap,  GateKind::CR,      GateKind::CRK,
+          GateKind::RZZ,   GateKind::Toffoli, GateKind::Display,
+          GateKind::Wait,  GateKind::Barrier};
+}
+
+std::set<qasm::GateKind> transmon_primitives() {
+  using qasm::GateKind;
+  // X90 family + virtual Z rotations + CZ: the native transmon set.
+  return {GateKind::PrepZ, GateKind::Measure, GateKind::MeasureAll,
+          GateKind::I,     GateKind::X90,     GateKind::MX90,
+          GateKind::Y90,   GateKind::MY90,    GateKind::Rz,
+          GateKind::CZ,    GateKind::Display, GateKind::Wait,
+          GateKind::Barrier};
+}
+
+}  // namespace
+
+Platform Platform::perfect(std::size_t qubit_count) {
+  Platform p;
+  p.name = "perfect";
+  p.qubit_count = qubit_count;
+  p.topology = Topology::full(qubit_count);
+  p.topology_spec = "full";
+  p.qubit_model = sim::QubitModel::perfect();
+  p.primitive_gates = all_gates_primitive();
+  return p;
+}
+
+Platform Platform::perfect_grid(std::size_t rows, std::size_t cols) {
+  Platform p = perfect(rows * cols);
+  p.name = "perfect_grid_" + std::to_string(rows) + "x" + std::to_string(cols);
+  p.topology = Topology::grid(rows, cols);
+  p.topology_spec = "grid:" + std::to_string(rows) + "x" + std::to_string(cols);
+  return p;
+}
+
+Platform Platform::superconducting17() {
+  Platform p;
+  p.name = "superconducting17";
+  p.qubit_count = 17;
+  p.topology = Topology::surface17();
+  p.topology_spec = "surface17";
+  p.qubit_model = sim::QubitModel::realistic();
+  p.primitive_gates = transmon_primitives();
+  p.durations.single_qubit = 20;
+  p.durations.two_qubit = 40;
+  p.durations.measure = 300;
+  p.durations.prep = 200;
+  p.cycle_time_ns = 20;
+  return p;
+}
+
+Platform Platform::semiconducting_spin(std::size_t qubit_count) {
+  Platform p;
+  p.name = "semiconducting_spin";
+  p.qubit_count = qubit_count;
+  p.topology = Topology::line(qubit_count);
+  p.topology_spec = "line";
+  p.qubit_model = sim::QubitModel::realistic(/*e1=*/2e-3, /*e2=*/3e-2,
+                                             /*readout=*/1e-2,
+                                             /*t1_us=*/100.0, /*t2_us=*/50.0);
+  p.primitive_gates = transmon_primitives();
+  // Spin-qubit gates are slower; same micro-architecture, new config only.
+  p.durations.single_qubit = 100;
+  p.durations.two_qubit = 200;
+  p.durations.measure = 1000;
+  p.durations.prep = 500;
+  p.cycle_time_ns = 100;
+  return p;
+}
+
+Platform Platform::from_config(const Config& cfg) {
+  Platform p;
+  p.name = cfg.get_string("platform", "name", "custom");
+  const long qubits = cfg.get_int("platform", "qubits", 0);
+  if (qubits <= 0)
+    throw std::runtime_error("Platform::from_config: missing [platform] qubits");
+  p.qubit_count = static_cast<std::size_t>(qubits);
+
+  const std::string topo = cfg.get_string("platform", "topology", "full");
+  p.topology_spec = topo;
+  if (topo == "full") {
+    p.topology = Topology::full(p.qubit_count);
+  } else if (topo == "line") {
+    p.topology = Topology::line(p.qubit_count);
+  } else if (topo == "surface17") {
+    if (p.qubit_count != 17)
+      throw std::runtime_error("Platform::from_config: surface17 needs 17 qubits");
+    p.topology = Topology::surface17();
+  } else if (topo.rfind("grid:", 0) == 0) {
+    const std::string dims = topo.substr(5);
+    const std::size_t x = dims.find('x');
+    if (x == std::string::npos)
+      throw std::runtime_error("Platform::from_config: bad grid spec: " + topo);
+    const std::size_t rows = std::stoul(dims.substr(0, x));
+    const std::size_t cols = std::stoul(dims.substr(x + 1));
+    if (rows * cols != p.qubit_count)
+      throw std::runtime_error(
+          "Platform::from_config: grid dims do not match qubit count");
+    p.topology = Topology::grid(rows, cols);
+  } else {
+    throw std::runtime_error("Platform::from_config: unknown topology: " + topo);
+  }
+
+  p.cycle_time_ns = static_cast<NanoSec>(
+      cfg.get_int("platform", "cycle_time_ns", 20));
+
+  const std::string prims = cfg.get_string("platform", "primitives", "");
+  if (prims.empty()) {
+    p.primitive_gates = all_gates_primitive();
+  } else {
+    std::istringstream in(prims);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      // Trim surrounding spaces.
+      while (!tok.empty() && tok.front() == ' ') tok.erase(tok.begin());
+      while (!tok.empty() && tok.back() == ' ') tok.pop_back();
+      const auto kind = qasm::gate_from_name(tok);
+      if (!kind)
+        throw std::runtime_error("Platform::from_config: unknown primitive: " +
+                                 tok);
+      p.primitive_gates.insert(*kind);
+    }
+    // Pseudo-ops are always executable.
+    p.primitive_gates.insert(qasm::GateKind::Display);
+    p.primitive_gates.insert(qasm::GateKind::Wait);
+    p.primitive_gates.insert(qasm::GateKind::Barrier);
+  }
+
+  p.durations.single_qubit = static_cast<NanoSec>(
+      cfg.get_int("durations", "single_qubit", 20));
+  p.durations.two_qubit = static_cast<NanoSec>(
+      cfg.get_int("durations", "two_qubit", 40));
+  p.durations.measure = static_cast<NanoSec>(
+      cfg.get_int("durations", "measure", 300));
+  p.durations.prep = static_cast<NanoSec>(cfg.get_int("durations", "prep", 200));
+  p.durations.cycle = p.cycle_time_ns;
+
+  const std::string kind = cfg.get_string("qubits", "kind", "perfect");
+  if (kind == "perfect") {
+    p.qubit_model = sim::QubitModel::perfect();
+  } else if (kind == "realistic" || kind == "real") {
+    p.qubit_model = sim::QubitModel::realistic(
+        cfg.get_double("qubits", "gate_error_1q", 1e-3),
+        cfg.get_double("qubits", "gate_error_2q", 1e-2),
+        cfg.get_double("qubits", "readout_error", 5e-3),
+        cfg.get_double("qubits", "t1_us", 30.0),
+        cfg.get_double("qubits", "t2_us", 20.0));
+    if (kind == "real") p.qubit_model.kind = sim::QubitKind::Real;
+  } else {
+    throw std::runtime_error("Platform::from_config: unknown qubit kind: " +
+                             kind);
+  }
+  return p;
+}
+
+Config Platform::to_config() const {
+  Config cfg;
+  cfg.set("platform", "name", name);
+  cfg.set("platform", "qubits", std::to_string(qubit_count));
+  cfg.set("platform", "topology", topology_spec);
+  cfg.set("platform", "cycle_time_ns", std::to_string(cycle_time_ns));
+  std::string prims;
+  for (qasm::GateKind k : primitive_gates) {
+    if (!prims.empty()) prims += ",";
+    prims += qasm::gate_name(k);
+  }
+  cfg.set("platform", "primitives", prims);
+  cfg.set("durations", "single_qubit", std::to_string(durations.single_qubit));
+  cfg.set("durations", "two_qubit", std::to_string(durations.two_qubit));
+  cfg.set("durations", "measure", std::to_string(durations.measure));
+  cfg.set("durations", "prep", std::to_string(durations.prep));
+  const char* kind = qubit_model.kind == sim::QubitKind::Perfect ? "perfect"
+                     : qubit_model.kind == sim::QubitKind::Realistic
+                         ? "realistic"
+                         : "real";
+  cfg.set("qubits", "kind", kind);
+  cfg.set("qubits", "gate_error_1q", std::to_string(qubit_model.gate_error_1q));
+  cfg.set("qubits", "gate_error_2q", std::to_string(qubit_model.gate_error_2q));
+  cfg.set("qubits", "readout_error", std::to_string(qubit_model.readout_error));
+  cfg.set("qubits", "t1_us", std::to_string(qubit_model.t1_ns / 1000.0));
+  cfg.set("qubits", "t2_us", std::to_string(qubit_model.t2_ns / 1000.0));
+  return cfg;
+}
+
+}  // namespace qs::compiler

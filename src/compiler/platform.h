@@ -1,0 +1,67 @@
+// Platform descriptions: the configuration-file-driven re-targeting layer
+// the paper credits for porting the same micro-architecture to both a
+// superconducting and a semiconducting chip by "only changing the
+// configuration file for the compiler" (Section 3.1).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/config.h"
+#include "compiler/topology.h"
+#include "sim/error_model.h"
+#include "sim/simulator.h"
+
+namespace qs::compiler {
+
+/// Everything the compiler needs to know about an execution target.
+struct Platform {
+  std::string name;
+  std::size_t qubit_count = 0;
+  Topology topology;
+  /// Config-file spec the topology was built from ("full", "line",
+  /// "surface17", "grid:RxC"); kept for to_config round-tripping.
+  std::string topology_spec = "full";
+  sim::GateDurations durations;
+  sim::QubitModel qubit_model;
+  /// Gates the target executes natively; the decomposition pass rewrites
+  /// everything else into this set.
+  std::set<qasm::GateKind> primitive_gates;
+  /// Schedule-cycle duration in nanoseconds.
+  NanoSec cycle_time_ns = 20;
+
+  bool is_primitive(qasm::GateKind kind) const {
+    return primitive_gates.count(kind) > 0;
+  }
+
+  /// Duration of an instruction in whole schedule cycles (at least 1).
+  Cycle cycles_of(const qasm::Instruction& instr) const;
+
+  // ---- Built-in platforms -------------------------------------------------
+
+  /// Perfect qubits, full connectivity, every gate primitive: the
+  /// application-development target of Figure 2(b).
+  static Platform perfect(std::size_t qubit_count);
+
+  /// Perfect qubits but with a rows x cols nearest-neighbour grid, for
+  /// studying mapping/routing in isolation (Section 2.6, perfect qubits
+  /// "with connectivity constraints imposed").
+  static Platform perfect_grid(std::size_t rows, std::size_t cols);
+
+  /// Superconducting transmon target: Surface-17 topology, CZ + X90-family
+  /// + virtual Rz primitives, realistic error rates (Figure 2(a), Sec 3.1).
+  static Platform superconducting17();
+
+  /// Semiconducting spin-qubit target: linear array, CZ two-qubit gate,
+  /// slower gates — demonstrates config-only retargeting (Section 3.1).
+  static Platform semiconducting_spin(std::size_t qubit_count = 4);
+
+  /// Loads a platform from an INI configuration (see platform.cpp header
+  /// comment for the schema).
+  static Platform from_config(const Config& cfg);
+
+  /// Serialises to the same INI schema accepted by from_config.
+  Config to_config() const;
+};
+
+}  // namespace qs::compiler

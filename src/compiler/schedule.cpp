@@ -1,0 +1,125 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qs::compiler {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+namespace {
+
+/// Operand footprint used for dependency construction: the qubits an
+/// instruction touches. MeasureAll/Barrier/Display touch everything.
+std::vector<QubitIndex> footprint(const Instruction& instr,
+                                  std::size_t qubit_count) {
+  switch (instr.kind()) {
+    case GateKind::MeasureAll:
+    case GateKind::Display: {
+      std::vector<QubitIndex> all(qubit_count);
+      for (std::size_t q = 0; q < qubit_count; ++q)
+        all[q] = static_cast<QubitIndex>(q);
+      return all;
+    }
+    case GateKind::Barrier:
+      return instr.qubits().empty()
+                 ? footprint(Instruction(GateKind::Display, {}), qubit_count)
+                 : instr.qubits();
+    default: {
+      std::vector<QubitIndex> fp = instr.qubits();
+      // A conditional gate also reads its condition bits, which are
+      // produced by measurements on the paired qubits: add those qubits to
+      // the footprint so the gate is ordered after the measurement.
+      for (BitIndex b : instr.conditions()) fp.push_back(b);
+      std::sort(fp.begin(), fp.end());
+      fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
+      return fp;
+    }
+  }
+}
+
+void schedule_circuit(qasm::Circuit& circuit, const Platform& platform,
+                      SchedulerKind kind) {
+  auto& ins = circuit.instructions();
+  const std::size_t n = ins.size();
+  if (n == 0) return;
+  const std::size_t nq = std::max<std::size_t>(platform.qubit_count,
+                                               circuit.max_qubit_plus_one());
+
+  // ASAP forward sweep: per-qubit earliest-free-cycle tracking.
+  std::vector<Cycle> qubit_free(nq, 0);
+  std::vector<Cycle> start(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fp = footprint(ins[i], nq);
+    Cycle s = 0;
+    for (QubitIndex q : fp) s = std::max(s, qubit_free[q]);
+    start[i] = s;
+    const Cycle d = platform.cycles_of(ins[i]);
+    for (QubitIndex q : fp) qubit_free[q] = s + d;
+  }
+  Cycle makespan = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    makespan = std::max(makespan, start[i] + platform.cycles_of(ins[i]));
+
+  if (kind == SchedulerKind::ALAP) {
+    // Backward sweep: latest start that preserves dependencies, then shift
+    // so the schedule still begins at cycle 0.
+    std::vector<Cycle> qubit_need(nq, makespan);
+    std::vector<Cycle> alap(n, 0);
+    for (std::size_t idx = n; idx > 0; --idx) {
+      const std::size_t i = idx - 1;
+      const auto fp = footprint(ins[i], nq);
+      const Cycle d = platform.cycles_of(ins[i]);
+      Cycle finish = makespan;
+      for (QubitIndex q : fp) finish = std::min(finish, qubit_need[q]);
+      const Cycle s = finish >= d ? finish - d : 0;
+      alap[i] = s;
+      for (QubitIndex q : fp) qubit_need[q] = s;
+    }
+    Cycle min_start = makespan;
+    for (std::size_t i = 0; i < n; ++i) min_start = std::min(min_start, alap[i]);
+    for (std::size_t i = 0; i < n; ++i)
+      start[i] = alap[i] - min_start;
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    ins[i].set_cycle(static_cast<std::int64_t>(start[i]));
+
+  // cQASM bundles group by cycle in instruction order; keep the stream
+  // sorted by start cycle (stable to preserve same-cycle order).
+  std::stable_sort(ins.begin(), ins.end(),
+                   [](const Instruction& a, const Instruction& b) {
+                     return a.cycle() < b.cycle();
+                   });
+}
+
+}  // namespace
+
+qasm::Program schedule(const qasm::Program& program, const Platform& platform,
+                       SchedulerKind kind, ScheduleStats* stats) {
+  qasm::Program out = program;
+  Cycle total_depth = 0;
+  std::size_t total_instr = 0;
+  for (auto& circuit : out.circuits()) {
+    schedule_circuit(circuit, platform, kind);
+    // Depth of this circuit: max finish cycle.
+    Cycle d = 0;
+    for (const auto& i : circuit.instructions())
+      d = std::max(d, static_cast<Cycle>(i.cycle()) + platform.cycles_of(i));
+    total_depth += d * circuit.iterations();
+    total_instr += circuit.size() * circuit.iterations();
+  }
+  if (stats) {
+    stats->depth_cycles = total_depth;
+    stats->duration_ns = total_depth * platform.cycle_time_ns;
+    stats->instructions = total_instr;
+    stats->parallelism =
+        total_depth ? static_cast<double>(total_instr) /
+                          static_cast<double>(total_depth)
+                    : 0.0;
+  }
+  return out;
+}
+
+}  // namespace qs::compiler

@@ -1,0 +1,29 @@
+// Scheduling of operations (paper Section 2.6): builds the qubit-operand
+// dependency DAG and assigns each instruction a start cycle, ASAP or ALAP,
+// using per-gate durations from the platform. Parallelism between
+// independent gates comes out as shared cycles, printed as cQASM bundles.
+#pragma once
+
+#include "compiler/platform.h"
+#include "qasm/program.h"
+
+namespace qs::compiler {
+
+enum class SchedulerKind { ASAP, ALAP };
+
+struct ScheduleStats {
+  Cycle depth_cycles = 0;        ///< total schedule length in cycles
+  NanoSec duration_ns = 0;       ///< schedule length in nanoseconds
+  std::size_t instructions = 0;
+  double parallelism = 0.0;      ///< instructions / depth (≥ 1 when packed)
+};
+
+/// Returns a scheduled copy of the program: every instruction's cycle() is
+/// assigned. Barriers and binary-controlled gates serialise correctly:
+/// a barrier orders everything across its qubits; a conditional gate
+/// depends on the measurement producing its condition bit.
+qasm::Program schedule(const qasm::Program& program, const Platform& platform,
+                       SchedulerKind kind = SchedulerKind::ASAP,
+                       ScheduleStats* stats = nullptr);
+
+}  // namespace qs::compiler

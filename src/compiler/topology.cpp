@@ -1,0 +1,149 @@
+#include "compiler/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qs::compiler {
+
+Topology::Topology(std::size_t n) : adjacency_(n) {}
+
+Topology Topology::full(std::size_t n) {
+  Topology t(n);
+  for (QubitIndex a = 0; a < n; ++a)
+    for (QubitIndex b = a + 1; b < n; ++b) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t(n);
+  for (QubitIndex a = 0; a + 1 < n; ++a) t.add_edge(a, a + 1);
+  return t;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  Topology t(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const QubitIndex q = static_cast<QubitIndex>(r * cols + c);
+      if (c + 1 < cols) t.add_edge(q, q + 1);
+      if (r + 1 < rows) t.add_edge(q, static_cast<QubitIndex>(q + cols));
+    }
+  }
+  return t;
+}
+
+Topology Topology::surface17() {
+  // Surface-17 ladder: 17 qubits in the diagonal square-lattice arrangement
+  // used by the DiCarlo-lab style superconducting processor. Rows of
+  // 3-4-3-4-3 sites with diagonal couplings.
+  Topology t(17);
+  // Edges transcribed from the standard Surface-17 coupling map.
+  const std::pair<int, int> edges[] = {
+      {0, 2},  {1, 3},  {1, 4},  {2, 5},  {3, 5},  {3, 6},  {4, 6},  {4, 7},
+      {5, 8},  {6, 8},  {6, 9},  {7, 9},  {7, 10}, {8, 11}, {8, 12}, {9, 12},
+      {9, 13}, {10, 13}, {11, 14}, {12, 14}, {12, 15}, {13, 15}, {13, 16},
+      {0, 1},  {2, 3},   {5, 6},  {8, 9},  {11, 12}, {14, 15}};
+  for (auto [a, b] : edges)
+    t.add_edge(static_cast<QubitIndex>(a), static_cast<QubitIndex>(b));
+  return t;
+}
+
+void Topology::add_edge(QubitIndex a, QubitIndex b) {
+  if (a >= size() || b >= size())
+    throw std::out_of_range("Topology::add_edge: index out of range");
+  if (a == b) throw std::invalid_argument("Topology::add_edge: self loop");
+  if (!connected(a, b)) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    dist_.clear();  // invalidate cache
+  }
+}
+
+bool Topology::connected(QubitIndex a, QubitIndex b) const {
+  const auto& n = adjacency_.at(a);
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+const std::vector<QubitIndex>& Topology::neighbours(QubitIndex q) const {
+  return adjacency_.at(q);
+}
+
+std::size_t Topology::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& n : adjacency_) total += n.size();
+  return total / 2;
+}
+
+void Topology::ensure_distances() const {
+  if (!dist_.empty()) return;
+  const std::size_t n = size();
+  dist_.assign(n, std::vector<std::size_t>(n, n));
+  for (QubitIndex s = 0; s < n; ++s) {
+    dist_[s][s] = 0;
+    std::deque<QubitIndex> queue{s};
+    while (!queue.empty()) {
+      const QubitIndex u = queue.front();
+      queue.pop_front();
+      for (QubitIndex v : adjacency_[u]) {
+        if (dist_[s][v] == n) {
+          dist_[s][v] = dist_[s][u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+std::size_t Topology::distance(QubitIndex a, QubitIndex b) const {
+  if (a >= size() || b >= size())
+    throw std::out_of_range("Topology::distance: index out of range");
+  ensure_distances();
+  return dist_[a][b];
+}
+
+std::vector<QubitIndex> Topology::shortest_path(QubitIndex a,
+                                                QubitIndex b) const {
+  ensure_distances();
+  if (dist_[a][b] >= size() && a != b) return {};
+  std::vector<QubitIndex> path{a};
+  QubitIndex cur = a;
+  while (cur != b) {
+    // Greedy descent over the distance field.
+    QubitIndex next = cur;
+    for (QubitIndex v : adjacency_[cur]) {
+      if (dist_[v][b] + 1 == dist_[cur][b]) {
+        next = v;
+        break;
+      }
+    }
+    if (next == cur) return {};  // should not happen on connected graphs
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+bool Topology::is_connected_graph() const {
+  if (size() == 0) return true;
+  ensure_distances();
+  for (std::size_t i = 0; i < size(); ++i)
+    if (dist_[0][i] >= size()) return false;
+  return true;
+}
+
+double Topology::average_distance() const {
+  const std::size_t n = size();
+  if (n < 2) return 0.0;
+  ensure_distances();
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (QubitIndex a = 0; a < n; ++a)
+    for (QubitIndex b = a + 1; b < n; ++b) {
+      total += static_cast<double>(dist_[a][b]);
+      ++pairs;
+    }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace qs::compiler

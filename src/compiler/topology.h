@@ -1,0 +1,67 @@
+// Qubit-plane connectivity graphs (paper Section 2.6). Most quantum
+// technologies expose a 2-D lattice with nearest-neighbour interactions
+// only; perfect-qubit application development may instead assume full
+// connectivity. The mapper consumes this graph plus its all-pairs
+// distance matrix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qs::compiler {
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Graph over `n` qubit sites with no edges (add_edge to populate).
+  explicit Topology(std::size_t n);
+
+  /// All-to-all connectivity (perfect-qubit development mode).
+  static Topology full(std::size_t n);
+
+  /// 1-D chain 0-1-2-...-(n-1).
+  static Topology line(std::size_t n);
+
+  /// rows x cols 2-D lattice with 4-neighbour connectivity — the layout
+  /// the paper says "most current quantum technologies" pursue.
+  static Topology grid(std::size_t rows, std::size_t cols);
+
+  /// The 17-qubit Surface-17-style layout used by the superconducting
+  /// full-stack example: a diagonally-connected 2-D arrangement.
+  static Topology surface17();
+
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Adds an undirected edge (idempotent).
+  void add_edge(QubitIndex a, QubitIndex b);
+  bool connected(QubitIndex a, QubitIndex b) const;
+  const std::vector<QubitIndex>& neighbours(QubitIndex q) const;
+
+  std::size_t edge_count() const;
+
+  /// Hop distance between sites (BFS, cached after first call).
+  /// Returns size() when unreachable.
+  std::size_t distance(QubitIndex a, QubitIndex b) const;
+
+  /// One shortest path from a to b inclusive of endpoints; empty when
+  /// unreachable.
+  std::vector<QubitIndex> shortest_path(QubitIndex a, QubitIndex b) const;
+
+  /// True when every site can reach every other site.
+  bool is_connected_graph() const;
+
+  /// Mean hop distance over distinct pairs (routing-pressure metric).
+  double average_distance() const;
+
+ private:
+  void ensure_distances() const;
+
+  std::vector<std::vector<QubitIndex>> adjacency_;
+  mutable std::vector<std::vector<std::size_t>> dist_;  // lazily built
+};
+
+}  // namespace qs::compiler

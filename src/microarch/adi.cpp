@@ -1,0 +1,56 @@
+#include "microarch/adi.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qs::microarch {
+
+AnalogDigitalInterface::AnalogDigitalInterface(std::size_t qubit_count)
+    : qubit_count_(qubit_count), busy_until_(3 * qubit_count, 0) {
+  if (qubit_count == 0)
+    throw std::invalid_argument("ADI: need at least one qubit");
+}
+
+std::size_t AnalogDigitalInterface::channel_of(QubitIndex q,
+                                               ChannelKind kind) const {
+  if (q >= qubit_count_)
+    throw std::out_of_range("ADI: qubit index out of range");
+  const std::size_t bank = kind == ChannelKind::Microwave ? 0
+                           : kind == ChannelKind::Flux    ? 1
+                                                          : 2;
+  return bank * qubit_count_ + q;
+}
+
+NanoSec AnalogDigitalInterface::emit(QubitIndex q, ChannelKind kind,
+                                     int codeword, NanoSec requested_start,
+                                     NanoSec duration,
+                                     const std::string& op_name) {
+  const std::size_t ch = channel_of(q, kind);
+  NanoSec start = requested_start;
+  if (busy_until_[ch] > start) {
+    start = busy_until_[ch];
+    ++delayed_;
+  }
+  busy_until_[ch] = start + duration;
+  events_.push_back(PulseEvent{ch, kind, codeword, start, duration, q,
+                               op_name});
+  return start;
+}
+
+NanoSec AnalogDigitalInterface::busy_until(std::size_t channel) const {
+  return busy_until_.at(channel);
+}
+
+NanoSec AnalogDigitalInterface::horizon() const {
+  NanoSec h = 0;
+  for (NanoSec b : busy_until_) h = std::max(h, b);
+  return h;
+}
+
+void AnalogDigitalInterface::clear() {
+  std::fill(busy_until_.begin(), busy_until_.end(), 0);
+  events_.clear();
+  delayed_ = 0;
+}
+
+}  // namespace qs::microarch

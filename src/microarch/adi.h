@@ -1,0 +1,68 @@
+// Analogue-Digital Interface (ADI, paper Figure 6): the boundary where
+// digital codewords become analogue pulses on the qubit chip. In this
+// reproduction the ADI is an event recorder: every pulse the micro-code
+// unit emits is logged with nanosecond timestamps, exercising the same
+// control path as the experimental setup without the cryostat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qs::microarch {
+
+/// Channel classes per qubit: microwave drive, flux (two-qubit), readout.
+enum class ChannelKind { Microwave, Flux, Readout };
+
+struct PulseEvent {
+  std::size_t channel = 0;     ///< global channel index
+  ChannelKind kind = ChannelKind::Microwave;
+  int codeword = 0;            ///< codeword selecting the stored waveform
+  NanoSec start_ns = 0;
+  NanoSec duration_ns = 0;
+  QubitIndex qubit = 0;        ///< primary qubit the pulse addresses
+  std::string op_name;         ///< originating quantum operation
+};
+
+class AnalogDigitalInterface {
+ public:
+  /// Creates channel banks for `qubit_count` qubits: one microwave, one
+  /// flux and one readout channel per qubit.
+  explicit AnalogDigitalInterface(std::size_t qubit_count);
+
+  std::size_t qubit_count() const { return qubit_count_; }
+  std::size_t channel_count() const { return 3 * qubit_count_; }
+
+  std::size_t channel_of(QubitIndex q, ChannelKind kind) const;
+
+  /// Records a pulse; returns the actual start time after serialising on
+  /// the channel (a busy channel delays the pulse — queueing behaviour).
+  NanoSec emit(QubitIndex q, ChannelKind kind, int codeword,
+               NanoSec requested_start, NanoSec duration,
+               const std::string& op_name);
+
+  /// Time at which a channel becomes free.
+  NanoSec busy_until(std::size_t channel) const;
+
+  const std::vector<PulseEvent>& events() const { return events_; }
+  std::size_t pulse_count() const { return events_.size(); }
+
+  /// Number of pulses that had to be delayed because their channel was
+  /// busy (queue pressure metric for the E8 bench).
+  std::size_t delayed_pulses() const { return delayed_; }
+
+  /// Latest pulse end time across all channels.
+  NanoSec horizon() const;
+
+  void clear();
+
+ private:
+  std::size_t qubit_count_;
+  std::vector<NanoSec> busy_until_;
+  std::vector<PulseEvent> events_;
+  std::size_t delayed_ = 0;
+};
+
+}  // namespace qs::microarch

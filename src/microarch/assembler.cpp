@@ -1,0 +1,297 @@
+#include "microarch/assembler.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace qs::microarch {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+namespace {
+
+/// Key identifying a quantum-op flavour that can share one bundle slot.
+struct OpKey {
+  GateKind kind;
+  double angle;
+  std::int64_t param_k;
+  bool operator<(const OpKey& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (angle != o.angle) return angle < o.angle;
+    return param_k < o.param_k;
+  }
+};
+
+/// Mask-register allocator with exact-match reuse and round-robin reuse
+/// when the bank is exhausted.
+class MaskAllocator {
+ public:
+  explicit MaskAllocator(std::size_t bank_size) : bank_size_(bank_size) {}
+
+  /// Returns {register id, needs_set_instruction}.
+  std::pair<int, bool> acquire(const std::string& key) {
+    auto it = assigned_.find(key);
+    if (it != assigned_.end()) return {it->second, false};
+    const int reg = static_cast<int>(next_ % bank_size_);
+    ++next_;
+    // Invalidate whatever key previously held this register.
+    for (auto jt = assigned_.begin(); jt != assigned_.end();) {
+      if (jt->second == reg)
+        jt = assigned_.erase(jt);
+      else
+        ++jt;
+    }
+    assigned_[key] = reg;
+    ++total_used_;
+    return {reg, true};
+  }
+
+  std::size_t total_used() const { return total_used_; }
+
+ private:
+  std::size_t bank_size_;
+  std::size_t next_ = 0;
+  std::size_t total_used_ = 0;
+  std::map<std::string, int> assigned_;
+};
+
+std::string mask_key_1q(const std::vector<QubitIndex>& qubits) {
+  std::ostringstream os;
+  os << "s";
+  for (QubitIndex q : qubits) os << ":" << q;
+  return os.str();
+}
+
+std::string mask_key_2q(
+    const std::vector<std::pair<QubitIndex, QubitIndex>>& pairs) {
+  std::ostringstream os;
+  os << "t";
+  for (const auto& [a, b] : pairs) os << ":" << a << "," << b;
+  return os.str();
+}
+
+}  // namespace
+
+EqProgram Assembler::assemble(const qasm::Program& program,
+                              AssembleStats* stats) const {
+  EqProgram out(program.name());
+  AssembleStats local;
+  MaskAllocator sregs(kNumSingleMaskRegisters);
+  MaskAllocator tregs(kNumPairMaskRegisters);
+  std::size_t branch_counter = 0;
+
+  // Register conventions for conditional sequences.
+  constexpr int kCondReg = 30;  // FMR destination
+  constexpr int kOneReg = 31;   // constant 1
+  bool one_loaded = false;
+
+  for (const auto& circuit : program.circuits()) {
+    for (std::size_t iteration = 0; iteration < circuit.iterations();
+         ++iteration) {
+      // Group the (cycle-sorted) instruction stream into bundles.
+      const auto& ins = circuit.instructions();
+      std::size_t idx = 0;
+      std::int64_t prev_cycle = 0;
+      bool first_bundle = true;
+      while (idx < ins.size()) {
+        const std::int64_t cycle =
+            ins[idx].is_scheduled() ? ins[idx].cycle() : qasm::kUnscheduled;
+        // Collect the bundle: same-cycle scheduled instructions, or a
+        // single unscheduled one.
+        std::vector<const Instruction*> bundle;
+        if (cycle == qasm::kUnscheduled) {
+          bundle.push_back(&ins[idx++]);
+        } else {
+          while (idx < ins.size() && ins[idx].is_scheduled() &&
+                 ins[idx].cycle() == cycle) {
+            bundle.push_back(&ins[idx++]);
+          }
+        }
+
+        const std::int64_t effective_cycle =
+            cycle == qasm::kUnscheduled ? prev_cycle + 1 : cycle;
+        int pre_interval =
+            first_bundle ? static_cast<int>(effective_cycle) + 1
+                         : static_cast<int>(effective_cycle - prev_cycle);
+        if (pre_interval < 1) pre_interval = 1;
+        prev_cycle = effective_cycle;
+        first_bundle = false;
+
+        // Split off conditional instructions and pseudo-ops; aggregate the
+        // rest by op flavour.
+        std::map<OpKey, std::vector<const Instruction*>> groups;
+        std::vector<const Instruction*> conditionals;
+        for (const Instruction* i : bundle) {
+          if (i->kind() == GateKind::Display ||
+              i->kind() == GateKind::Barrier)
+            continue;  // no executable content
+          if (i->is_conditional()) {
+            conditionals.push_back(i);
+            continue;
+          }
+          groups[OpKey{i->kind(), i->angle(), i->param_k()}].push_back(i);
+        }
+
+        if (!groups.empty()) {
+          EqInstruction eq;
+          eq.op = EqOpcode::BUNDLE;
+          eq.pre_interval = pre_interval;
+          pre_interval = 1;  // consumed
+          for (const auto& [key, members] : groups) {
+            if (!platform_.is_primitive(key.kind))
+              throw std::runtime_error(
+                  "Assembler: gate '" + qasm::gate_name(key.kind) +
+                  "' is not primitive on platform '" + platform_.name +
+                  "'; run the decompose pass first");
+            QOp qop;
+            qop.name = qasm::gate_name(key.kind);
+            qop.kind = key.kind;
+            qop.angle = key.angle;
+            qop.param_k = key.param_k;
+            qop.two_qubit = qasm::gate_arity(key.kind) >= 2;
+            if (key.kind == GateKind::Wait) {
+              // Waits become QWAITs; they cannot share a bundle slot.
+              continue;
+            }
+            if (qop.two_qubit) {
+              std::vector<std::pair<QubitIndex, QubitIndex>> pairs;
+              for (const Instruction* m : members) {
+                pairs.emplace_back(m->qubits()[0], m->qubits()[1]);
+                qop.qubits.push_back(m->qubits()[0]);
+                qop.qubits.push_back(m->qubits()[1]);
+              }
+              auto [reg, fresh] = tregs.acquire(mask_key_2q(pairs));
+              if (fresh) {
+                EqInstruction smit;
+                smit.op = EqOpcode::SMIT;
+                smit.rd = reg;
+                smit.mask_pairs = pairs;
+                out.add(std::move(smit));
+                ++local.classical_instructions;
+              }
+              qop.mask_reg = reg;
+            } else {
+              std::vector<QubitIndex> qubits;
+              for (const Instruction* m : members) {
+                // MeasureAll addresses the whole register.
+                if (m->kind() == GateKind::MeasureAll) {
+                  for (QubitIndex q = 0; q < program.qubit_count(); ++q)
+                    qubits.push_back(q);
+                } else {
+                  qubits.push_back(m->qubits()[0]);
+                }
+              }
+              qop.qubits = qubits;
+              auto [reg, fresh] = sregs.acquire(mask_key_1q(qubits));
+              if (fresh) {
+                EqInstruction smis;
+                smis.op = EqOpcode::SMIS;
+                smis.rd = reg;
+                smis.mask_qubits = qubits;
+                out.add(std::move(smis));
+                ++local.classical_instructions;
+              }
+              qop.mask_reg = reg;
+            }
+            eq.qops.push_back(std::move(qop));
+            ++local.qops;
+          }
+          if (!eq.qops.empty()) {
+            out.add(std::move(eq));
+            ++local.bundles;
+          }
+        }
+
+        // Explicit waits.
+        for (const Instruction* i : bundle) {
+          if (i->kind() == GateKind::Wait && !i->is_conditional()) {
+            EqInstruction qw;
+            qw.op = EqOpcode::QWAIT;
+            qw.imm = i->param_k() > 0 ? i->param_k() : 1;
+            out.add(std::move(qw));
+            ++local.classical_instructions;
+          }
+        }
+
+        // Conditional gates: FMR + CMP + BR skip + single-op bundle.
+        for (const Instruction* i : conditionals) {
+          if (!one_loaded) {
+            EqInstruction ldi;
+            ldi.op = EqOpcode::LDI;
+            ldi.rd = kOneReg;
+            ldi.imm = 1;
+            out.add(std::move(ldi));
+            ++local.classical_instructions;
+            one_loaded = true;
+          }
+          const std::string skip =
+              "skip_" + std::to_string(branch_counter++);
+          // Mask setup must precede the branch: a taken branch would skip
+          // it and leave the allocator's view inconsistent with hardware.
+          QOp qop;
+          qop.name = qasm::gate_name(i->kind());
+          qop.kind = i->kind();
+          qop.angle = i->angle();
+          qop.param_k = i->param_k();
+          qop.two_qubit = qasm::gate_arity(i->kind()) >= 2;
+          qop.qubits = i->qubits();
+          std::pair<int, bool> reg =
+              qop.two_qubit
+                  ? tregs.acquire(mask_key_2q(
+                        {{i->qubits()[0], i->qubits()[1]}}))
+                  : sregs.acquire(mask_key_1q(i->qubits()));
+          if (reg.second) {
+            EqInstruction set;
+            set.op = qop.two_qubit ? EqOpcode::SMIT : EqOpcode::SMIS;
+            set.rd = reg.first;
+            if (qop.two_qubit)
+              set.mask_pairs = {{i->qubits()[0], i->qubits()[1]}};
+            else
+              set.mask_qubits = i->qubits();
+            out.add(std::move(set));
+            ++local.classical_instructions;
+          }
+          qop.mask_reg = reg.first;
+          for (BitIndex b : i->conditions()) {
+            EqInstruction fmr;
+            fmr.op = EqOpcode::FMR;
+            fmr.rd = kCondReg;
+            fmr.imm = static_cast<std::int64_t>(b);
+            out.add(std::move(fmr));
+            EqInstruction cmp;
+            cmp.op = EqOpcode::CMP;
+            cmp.rs = kCondReg;
+            cmp.rt = kOneReg;
+            out.add(std::move(cmp));
+            EqInstruction br;
+            br.op = EqOpcode::BR;
+            br.cond = BranchCond::NE;
+            br.label = skip;
+            out.add(std::move(br));
+            local.classical_instructions += 3;
+          }
+          EqInstruction eq;
+          eq.op = EqOpcode::BUNDLE;
+          eq.pre_interval = pre_interval;
+          eq.qops.push_back(std::move(qop));
+          out.add(std::move(eq));
+          ++local.bundles;
+          ++local.qops;
+          out.define_label(skip);
+        }
+      }
+    }
+  }
+
+  EqInstruction stop;
+  stop.op = EqOpcode::STOP;
+  out.add(std::move(stop));
+  ++local.classical_instructions;
+
+  local.mask_registers_used = sregs.total_used() + tregs.total_used();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace qs::microarch

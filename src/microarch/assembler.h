@@ -1,0 +1,37 @@
+// The cQASM -> eQASM back-end compiler pass (paper Section 3.1: "a second
+// back-end compiler pass that translates cQASM into the eQASM version").
+// Consumes a *scheduled* cQASM program and emits timed eQASM: QWAIT /
+// pre-interval encoding of the schedule, SMIS/SMIT mask-register setup,
+// parallel bundles, and FMR/CMP/BR sequences for binary-controlled gates.
+#pragma once
+
+#include "compiler/platform.h"
+#include "microarch/eqasm.h"
+#include "qasm/program.h"
+
+namespace qs::microarch {
+
+struct AssembleStats {
+  std::size_t bundles = 0;
+  std::size_t qops = 0;
+  std::size_t mask_registers_used = 0;
+  std::size_t classical_instructions = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(const compiler::Platform& platform)
+      : platform_(platform) {}
+
+  /// Translates a scheduled cQASM program into eQASM. Instructions without
+  /// schedule information are treated as sequential (one bundle each).
+  /// Throws std::runtime_error when a gate is not platform-primitive
+  /// (run the compiler's decompose pass first).
+  EqProgram assemble(const qasm::Program& program,
+                     AssembleStats* stats = nullptr) const;
+
+ private:
+  const compiler::Platform& platform_;
+};
+
+}  // namespace qs::microarch

@@ -1,0 +1,122 @@
+#include "microarch/eqasm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace qs::microarch {
+
+namespace {
+const char* cond_name(BranchCond c) {
+  switch (c) {
+    case BranchCond::Always: return "always";
+    case BranchCond::EQ: return "eq";
+    case BranchCond::NE: return "ne";
+    case BranchCond::LT: return "lt";
+    case BranchCond::GE: return "ge";
+    case BranchCond::GT: return "gt";
+    case BranchCond::LE: return "le";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string EqInstruction::to_string() const {
+  std::ostringstream os;
+  switch (op) {
+    case EqOpcode::LDI:
+      os << "LDI r" << rd << ", " << imm;
+      break;
+    case EqOpcode::ADD:
+      os << "ADD r" << rd << ", r" << rs << ", r" << rt;
+      break;
+    case EqOpcode::SUB:
+      os << "SUB r" << rd << ", r" << rs << ", r" << rt;
+      break;
+    case EqOpcode::CMP:
+      os << "CMP r" << rs << ", r" << rt;
+      break;
+    case EqOpcode::BR:
+      os << "BR " << cond_name(cond) << ", " << label;
+      break;
+    case EqOpcode::FMR:
+      os << "FMR r" << rd << ", q" << imm;
+      break;
+    case EqOpcode::SMIS: {
+      os << "SMIS s" << rd << ", {";
+      for (std::size_t i = 0; i < mask_qubits.size(); ++i)
+        os << (i ? ", " : "") << mask_qubits[i];
+      os << "}";
+      break;
+    }
+    case EqOpcode::SMIT: {
+      os << "SMIT t" << rd << ", {";
+      for (std::size_t i = 0; i < mask_pairs.size(); ++i)
+        os << (i ? ", " : "") << "(" << mask_pairs[i].first << ", "
+           << mask_pairs[i].second << ")";
+      os << "}";
+      break;
+    }
+    case EqOpcode::QWAIT:
+      os << "QWAIT " << imm;
+      break;
+    case EqOpcode::QWAITR:
+      os << "QWAITR r" << rs;
+      break;
+    case EqOpcode::BUNDLE: {
+      os << pre_interval << ", ";
+      for (std::size_t i = 0; i < qops.size(); ++i) {
+        if (i) os << " | ";
+        os << qops[i].name;
+        // Continuous/integer parameters print inline so the text form is
+        // fully executable after parsing.
+        if (qasm::gate_has_angle(qops[i].kind)) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "(%.17g)", qops[i].angle);
+          os << buf;
+        } else if (qasm::gate_has_int_param(qops[i].kind)) {
+          os << '(' << qops[i].param_k << ')';
+        }
+        os << (qops[i].two_qubit ? " t" : " s") << qops[i].mask_reg;
+      }
+      break;
+    }
+    case EqOpcode::STOP:
+      os << "STOP";
+      break;
+  }
+  return os.str();
+}
+
+void EqProgram::define_label(const std::string& label) {
+  if (has_label(label))
+    throw std::invalid_argument("EqProgram: duplicate label: " + label);
+  labels_.emplace_back(label, instructions_.size());
+}
+
+std::size_t EqProgram::label_target(const std::string& label) const {
+  for (const auto& [name, idx] : labels_)
+    if (name == label) return idx;
+  throw std::out_of_range("EqProgram: undefined label: " + label);
+}
+
+bool EqProgram::has_label(const std::string& label) const {
+  return std::any_of(labels_.begin(), labels_.end(),
+                     [&](const auto& p) { return p.first == label; });
+}
+
+std::string EqProgram::to_string() const {
+  std::ostringstream os;
+  os << "# eQASM program: " << name_ << '\n';
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    for (const auto& [name, idx] : labels_)
+      if (idx == i) os << name << ":\n";
+    os << "    " << instructions_[i].to_string() << '\n';
+  }
+  for (const auto& [name, idx] : labels_)
+    if (idx == instructions_.size()) os << name << ":\n";
+  return os.str();
+}
+
+}  // namespace qs::microarch

@@ -1,0 +1,108 @@
+// eQASM: the executable quantum instruction set (paper Section 3.1,
+// following Fu et al., "eQASM: An Executable Quantum Instruction Set
+// Architecture"). Where cQASM is platform-independent, eQASM encodes
+// timing (pre-intervals, QWAIT), mask registers addressing sets of qubits,
+// and the classical control instructions of the micro-architecture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "qasm/instruction.h"
+
+namespace qs::microarch {
+
+/// Number of general-purpose / mask registers in the micro-architecture.
+inline constexpr std::size_t kNumGpRegisters = 32;
+inline constexpr std::size_t kNumSingleMaskRegisters = 32;
+inline constexpr std::size_t kNumPairMaskRegisters = 32;
+
+enum class EqOpcode {
+  // Classical pipeline instructions.
+  LDI,    ///< rd <- imm
+  ADD,    ///< rd <- rs + rt
+  SUB,    ///< rd <- rs - rt
+  CMP,    ///< compare rs, rt; sets flags
+  BR,     ///< conditional branch to label
+  FMR,    ///< rd <- measurement result register of qubit imm
+  SMIS,   ///< set single-qubit mask register sd to a qubit set
+  SMIT,   ///< set qubit-pair mask register td to a pair set
+  QWAIT,  ///< advance quantum timing by imm cycles
+  QWAITR, ///< advance quantum timing by the value in register rs
+  BUNDLE, ///< quantum bundle: 1..n quantum ops issued together
+  STOP,   ///< halt
+};
+
+/// Branch conditions for BR (set by CMP).
+enum class BranchCond { Always, EQ, NE, LT, GE, GT, LE };
+
+/// One quantum operation inside a bundle. The textual form is the
+/// operation name plus a mask register; the executable form also carries
+/// the semantic payload the simulation back-end applies.
+struct QOp {
+  std::string name;            ///< technology op name, e.g. "x90", "cz"
+  int mask_reg = 0;            ///< s-register (1q) or t-register (2q) id
+  bool two_qubit = false;
+
+  // Semantic payload (what the QX back-end executes).
+  qasm::GateKind kind = qasm::GateKind::I;
+  double angle = 0.0;
+  std::int64_t param_k = 0;
+  /// For 1q ops: target qubits. For 2q ops: flattened (a0,b0,a1,b1,...).
+  std::vector<QubitIndex> qubits;
+};
+
+struct EqInstruction {
+  EqOpcode op = EqOpcode::STOP;
+  int rd = 0;
+  int rs = 0;
+  int rt = 0;
+  std::int64_t imm = 0;
+  std::string label;             ///< BR target
+  BranchCond cond = BranchCond::Always;
+
+  // SMIS/SMIT payloads.
+  std::vector<QubitIndex> mask_qubits;                      ///< SMIS
+  std::vector<std::pair<QubitIndex, QubitIndex>> mask_pairs; ///< SMIT
+
+  // BUNDLE payload.
+  int pre_interval = 1;  ///< cycles between previous bundle issue and this one
+  std::vector<QOp> qops;
+
+  /// Assembly text for this instruction.
+  std::string to_string() const;
+};
+
+/// A complete eQASM program: instruction list + label table.
+class EqProgram {
+ public:
+  EqProgram() = default;
+  explicit EqProgram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add(EqInstruction instr) { instructions_.push_back(std::move(instr)); }
+
+  /// Defines `label` at the current end of the instruction stream.
+  void define_label(const std::string& label);
+
+  const std::vector<EqInstruction>& instructions() const {
+    return instructions_;
+  }
+
+  /// Index of a label; throws std::out_of_range when undefined.
+  std::size_t label_target(const std::string& label) const;
+  bool has_label(const std::string& label) const;
+
+  /// Full assembly listing.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<EqInstruction> instructions_;
+  std::vector<std::pair<std::string, std::size_t>> labels_;
+};
+
+}  // namespace qs::microarch

@@ -1,0 +1,261 @@
+#include "microarch/eqasm_parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace qs::microarch {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+/// Parses a register token like "r12", "s3" or "t0".
+int parse_reg(const std::string& tok, char prefix, std::size_t lineno) {
+  const std::string t = trim(tok);
+  if (t.size() < 2 || t[0] != prefix)
+    throw EqasmParseError(lineno, std::string("expected ") + prefix +
+                                      "-register, got: " + t);
+  try {
+    return std::stoi(t.substr(1));
+  } catch (const std::exception&) {
+    throw EqasmParseError(lineno, "invalid register: " + t);
+  }
+}
+
+std::int64_t parse_imm(const std::string& tok, std::size_t lineno) {
+  try {
+    return std::stoll(trim(tok));
+  } catch (const std::exception&) {
+    throw EqasmParseError(lineno, "invalid immediate: " + tok);
+  }
+}
+
+BranchCond parse_cond(const std::string& tok, std::size_t lineno) {
+  const std::string t = trim(tok);
+  if (t == "always") return BranchCond::Always;
+  if (t == "eq") return BranchCond::EQ;
+  if (t == "ne") return BranchCond::NE;
+  if (t == "lt") return BranchCond::LT;
+  if (t == "ge") return BranchCond::GE;
+  if (t == "gt") return BranchCond::GT;
+  if (t == "le") return BranchCond::LE;
+  throw EqasmParseError(lineno, "unknown branch condition: " + t);
+}
+
+/// Parses "{0, 2, 5}" into qubit indices.
+std::vector<QubitIndex> parse_qubit_set(const std::string& tok,
+                                        std::size_t lineno) {
+  const std::string t = trim(tok);
+  if (t.size() < 2 || t.front() != '{' || t.back() != '}')
+    throw EqasmParseError(lineno, "expected {..} qubit set, got: " + t);
+  std::vector<QubitIndex> out;
+  const std::string body = t.substr(1, t.size() - 2);
+  if (trim(body).empty()) return out;
+  for (const std::string& item : split(body, ','))
+    out.push_back(static_cast<QubitIndex>(parse_imm(item, lineno)));
+  return out;
+}
+
+/// Parses "{(0, 1), (2, 3)}" into qubit pairs.
+std::vector<std::pair<QubitIndex, QubitIndex>> parse_pair_set(
+    const std::string& tok, std::size_t lineno) {
+  const std::string t = trim(tok);
+  if (t.size() < 2 || t.front() != '{' || t.back() != '}')
+    throw EqasmParseError(lineno, "expected {..} pair set, got: " + t);
+  std::vector<std::pair<QubitIndex, QubitIndex>> out;
+  const std::string body = trim(t.substr(1, t.size() - 2));
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t open = body.find('(', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = body.find(')', open);
+    if (close == std::string::npos)
+      throw EqasmParseError(lineno, "unterminated pair in: " + t);
+    const auto parts = split(body.substr(open + 1, close - open - 1), ',');
+    if (parts.size() != 2)
+      throw EqasmParseError(lineno, "pair needs two entries in: " + t);
+    out.emplace_back(static_cast<QubitIndex>(parse_imm(parts[0], lineno)),
+                     static_cast<QubitIndex>(parse_imm(parts[1], lineno)));
+    pos = close + 1;
+  }
+  return out;
+}
+
+/// Parses one quantum op inside a bundle, e.g. "rz(1.57) s0" or "cz t1".
+QOp parse_qop(const std::string& text, std::size_t lineno) {
+  const std::string t = trim(text);
+  // Name runs until '(' or whitespace.
+  std::size_t name_end = 0;
+  while (name_end < t.size() && t[name_end] != '(' &&
+         !std::isspace(static_cast<unsigned char>(t[name_end])))
+    ++name_end;
+  QOp op;
+  op.name = t.substr(0, name_end);
+  const auto kind = qasm::gate_from_name(op.name);
+  if (!kind)
+    throw EqasmParseError(lineno, "unknown quantum op: " + op.name);
+  op.kind = *kind;
+  op.two_qubit = qasm::gate_arity(op.kind) >= 2;
+
+  std::size_t rest_begin = name_end;
+  if (rest_begin < t.size() && t[rest_begin] == '(') {
+    const std::size_t close = t.find(')', rest_begin);
+    if (close == std::string::npos)
+      throw EqasmParseError(lineno, "unterminated parameter in: " + t);
+    const std::string param = t.substr(rest_begin + 1, close - rest_begin - 1);
+    if (qasm::gate_has_angle(op.kind)) {
+      try {
+        op.angle = std::stod(param);
+      } catch (const std::exception&) {
+        throw EqasmParseError(lineno, "invalid angle: " + param);
+      }
+    } else if (qasm::gate_has_int_param(op.kind)) {
+      op.param_k = parse_imm(param, lineno);
+    } else {
+      throw EqasmParseError(lineno, op.name + " takes no parameter");
+    }
+    rest_begin = close + 1;
+  } else if (qasm::gate_has_angle(op.kind) ||
+             qasm::gate_has_int_param(op.kind)) {
+    throw EqasmParseError(lineno, op.name + " requires a parameter");
+  }
+
+  const std::string reg = trim(t.substr(rest_begin));
+  op.mask_reg = parse_reg(reg, op.two_qubit ? 't' : 's', lineno);
+  return op;
+}
+
+}  // namespace
+
+EqProgram parse_eqasm(const std::string& text) {
+  EqProgram program;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = trim(line);
+    // Program-name comment and plain comments.
+    if (t.rfind("# eQASM program:", 0) == 0) {
+      program = EqProgram(trim(t.substr(16)));
+      continue;
+    }
+    const std::size_t hash = t.find('#');
+    if (hash != std::string::npos) t = trim(t.substr(0, hash));
+    if (t.empty()) continue;
+
+    // Label: single identifier ending with ':'.
+    if (t.back() == ':' && t.find(' ') == std::string::npos &&
+        t.find(',') == std::string::npos) {
+      program.define_label(t.substr(0, t.size() - 1));
+      continue;
+    }
+
+    EqInstruction instr;
+    // Bundles start with the numeric pre-interval.
+    if (std::isdigit(static_cast<unsigned char>(t[0]))) {
+      const std::size_t comma = t.find(',');
+      if (comma == std::string::npos)
+        throw EqasmParseError(lineno, "bundle missing pre-interval comma");
+      instr.op = EqOpcode::BUNDLE;
+      instr.pre_interval =
+          static_cast<int>(parse_imm(t.substr(0, comma), lineno));
+      for (const std::string& qop_text : split(t.substr(comma + 1), '|'))
+        instr.qops.push_back(parse_qop(qop_text, lineno));
+      program.add(std::move(instr));
+      continue;
+    }
+
+    // Mnemonic instruction.
+    std::size_t sp = 0;
+    while (sp < t.size() && !std::isspace(static_cast<unsigned char>(t[sp])))
+      ++sp;
+    const std::string mnemonic = t.substr(0, sp);
+    const std::vector<std::string> args = [&] {
+      const std::string rest = trim(t.substr(sp));
+      return rest.empty() ? std::vector<std::string>{} : split(rest, ',');
+    }();
+    auto need = [&](std::size_t n) {
+      if (args.size() != n)
+        throw EqasmParseError(lineno, mnemonic + " expects " +
+                                          std::to_string(n) + " operands");
+    };
+
+    if (mnemonic == "LDI") {
+      need(2);
+      instr.op = EqOpcode::LDI;
+      instr.rd = parse_reg(args[0], 'r', lineno);
+      instr.imm = parse_imm(args[1], lineno);
+    } else if (mnemonic == "ADD" || mnemonic == "SUB") {
+      need(3);
+      instr.op = mnemonic == "ADD" ? EqOpcode::ADD : EqOpcode::SUB;
+      instr.rd = parse_reg(args[0], 'r', lineno);
+      instr.rs = parse_reg(args[1], 'r', lineno);
+      instr.rt = parse_reg(args[2], 'r', lineno);
+    } else if (mnemonic == "CMP") {
+      need(2);
+      instr.op = EqOpcode::CMP;
+      instr.rs = parse_reg(args[0], 'r', lineno);
+      instr.rt = parse_reg(args[1], 'r', lineno);
+    } else if (mnemonic == "BR") {
+      need(2);
+      instr.op = EqOpcode::BR;
+      instr.cond = parse_cond(args[0], lineno);
+      instr.label = trim(args[1]);
+    } else if (mnemonic == "FMR") {
+      need(2);
+      instr.op = EqOpcode::FMR;
+      instr.rd = parse_reg(args[0], 'r', lineno);
+      instr.imm = parse_imm(trim(args[1]).substr(1), lineno);  // strip 'q'
+    } else if (mnemonic == "SMIS") {
+      instr.op = EqOpcode::SMIS;
+      const std::size_t comma = t.find(',');
+      instr.rd = parse_reg(t.substr(sp, comma - sp), 's', lineno);
+      instr.mask_qubits = parse_qubit_set(t.substr(comma + 1), lineno);
+    } else if (mnemonic == "SMIT") {
+      instr.op = EqOpcode::SMIT;
+      const std::size_t comma = t.find(',');
+      instr.rd = parse_reg(t.substr(sp, comma - sp), 't', lineno);
+      instr.mask_pairs = parse_pair_set(t.substr(comma + 1), lineno);
+    } else if (mnemonic == "QWAIT") {
+      need(1);
+      instr.op = EqOpcode::QWAIT;
+      instr.imm = parse_imm(args[0], lineno);
+    } else if (mnemonic == "QWAITR") {
+      need(1);
+      instr.op = EqOpcode::QWAITR;
+      instr.rs = parse_reg(args[0], 'r', lineno);
+    } else if (mnemonic == "STOP") {
+      need(0);
+      instr.op = EqOpcode::STOP;
+    } else {
+      throw EqasmParseError(lineno, "unknown mnemonic: " + mnemonic);
+    }
+    program.add(std::move(instr));
+  }
+  return program;
+}
+
+}  // namespace qs::microarch

@@ -1,0 +1,29 @@
+// Parser for the textual eQASM form produced by EqProgram::to_string(),
+// closing the loop on the executable-assembly layer: assemble -> print ->
+// parse -> execute gives identical behaviour to direct execution. This is
+// the format an experimentalist would check into a measurement log.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "microarch/eqasm.h"
+
+namespace qs::microarch {
+
+class EqasmParseError : public std::runtime_error {
+ public:
+  EqasmParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("eQASM parse error at line " +
+                           std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses eQASM assembly text. Throws EqasmParseError on malformed input.
+EqProgram parse_eqasm(const std::string& text);
+
+}  // namespace qs::microarch

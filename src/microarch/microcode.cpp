@@ -1,0 +1,65 @@
+#include "microarch/microcode.h"
+
+#include <stdexcept>
+
+namespace qs::microarch {
+
+MicrocodeTable MicrocodeTable::for_platform(
+    const compiler::Platform& platform) {
+  MicrocodeTable table;
+  int next_codeword = 1;
+  for (qasm::GateKind kind : platform.primitive_gates) {
+    const std::string& name = qasm::gate_name(kind);
+    MicrocodeEntry entry;
+    switch (kind) {
+      case qasm::GateKind::Display:
+      case qasm::GateKind::Barrier:
+      case qasm::GateKind::Wait:
+        // Pseudo-operations produce no pulses.
+        break;
+      case qasm::GateKind::Measure:
+      case qasm::GateKind::MeasureAll:
+        entry.ops.push_back(MicroOperation{ChannelKind::Readout,
+                                           next_codeword++,
+                                           platform.durations.measure});
+        break;
+      case qasm::GateKind::PrepZ:
+        entry.ops.push_back(MicroOperation{ChannelKind::Readout,
+                                           next_codeword++,
+                                           platform.durations.prep});
+        break;
+      default:
+        if (qasm::gate_arity(kind) >= 2) {
+          // Two-qubit gate: a flux pulse on each involved qubit.
+          entry.ops.push_back(MicroOperation{ChannelKind::Flux,
+                                             next_codeword++,
+                                             platform.durations.two_qubit});
+        } else {
+          entry.ops.push_back(MicroOperation{ChannelKind::Microwave,
+                                             next_codeword++,
+                                             platform.durations.single_qubit});
+        }
+        break;
+    }
+    table.set_entry(name, std::move(entry));
+  }
+  return table;
+}
+
+bool MicrocodeTable::supports(const std::string& op_name) const {
+  return table_.count(op_name) > 0;
+}
+
+const MicrocodeEntry& MicrocodeTable::entry(const std::string& op_name) const {
+  auto it = table_.find(op_name);
+  if (it == table_.end())
+    throw std::out_of_range("MicrocodeTable: unknown operation: " + op_name);
+  return it->second;
+}
+
+void MicrocodeTable::set_entry(const std::string& op_name,
+                               MicrocodeEntry entry) {
+  table_[op_name] = std::move(entry);
+}
+
+}  // namespace qs::microarch

@@ -1,0 +1,53 @@
+// The micro-code unit (paper Figures 5-6): translates each quantum
+// operation of a bundle into the micro-operations (channel + codeword +
+// duration) that drive the ADI. The table is built from the platform
+// configuration — re-targeting the same micro-architecture to a different
+// qubit technology swaps this table and nothing else (Section 3.1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/platform.h"
+#include "microarch/adi.h"
+#include "microarch/eqasm.h"
+
+namespace qs::microarch {
+
+/// One micro-operation: a pulse on one channel class of one qubit.
+struct MicroOperation {
+  ChannelKind channel = ChannelKind::Microwave;
+  int codeword = 0;
+  NanoSec duration_ns = 0;
+};
+
+/// Codeword-table entry for a quantum operation name.
+struct MicrocodeEntry {
+  std::vector<MicroOperation> ops;  ///< pulses per addressed qubit
+};
+
+class MicrocodeTable {
+ public:
+  /// Builds the technology-specific table from the platform description:
+  /// single-qubit ops -> one microwave pulse; two-qubit ops -> flux pulses
+  /// on both qubits; measure -> readout pulse; prep -> readout-length
+  /// initialisation pulse.
+  static MicrocodeTable for_platform(const compiler::Platform& platform);
+
+  /// True if the table can expand this operation name.
+  bool supports(const std::string& op_name) const;
+
+  /// Micro-operations for one addressed qubit of the named operation.
+  const MicrocodeEntry& entry(const std::string& op_name) const;
+
+  /// Registers/overrides an entry (tests + custom technologies).
+  void set_entry(const std::string& op_name, MicrocodeEntry entry);
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::string, MicrocodeEntry> table_;
+};
+
+}  // namespace qs::microarch

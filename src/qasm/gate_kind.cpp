@@ -1,0 +1,142 @@
+#include "qasm/gate_kind.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace qs::qasm {
+
+std::size_t gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::MeasureAll:
+    case GateKind::Display:
+    case GateKind::Wait:
+    case GateKind::Barrier:
+      return 0;
+    case GateKind::PrepZ:
+    case GateKind::Measure:
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdag:
+    case GateKind::T:
+    case GateKind::Tdag:
+    case GateKind::X90:
+    case GateKind::MX90:
+    case GateKind::Y90:
+    case GateKind::MY90:
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+      return 1;
+    case GateKind::CNOT:
+    case GateKind::CZ:
+    case GateKind::Swap:
+    case GateKind::CR:
+    case GateKind::CRK:
+    case GateKind::RZZ:
+      return 2;
+    case GateKind::Toffoli:
+      return 3;
+  }
+  throw std::logic_error("gate_arity: unknown gate kind");
+}
+
+bool gate_has_angle(GateKind kind) {
+  switch (kind) {
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::CR:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool gate_has_int_param(GateKind kind) {
+  return kind == GateKind::CRK || kind == GateKind::Wait;
+}
+
+bool gate_is_unitary(GateKind kind) {
+  switch (kind) {
+    case GateKind::PrepZ:
+    case GateKind::Measure:
+    case GateKind::MeasureAll:
+    case GateKind::Display:
+    case GateKind::Wait:
+    case GateKind::Barrier:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool gate_is_two_qubit(GateKind kind) { return gate_arity(kind) == 2; }
+
+namespace {
+
+const std::map<GateKind, std::string>& name_table() {
+  static const std::map<GateKind, std::string> table = {
+      {GateKind::PrepZ, "prep_z"},   {GateKind::Measure, "measure"},
+      {GateKind::MeasureAll, "measure_all"},
+      {GateKind::I, "i"},            {GateKind::X, "x"},
+      {GateKind::Y, "y"},            {GateKind::Z, "z"},
+      {GateKind::H, "h"},            {GateKind::S, "s"},
+      {GateKind::Sdag, "sdag"},      {GateKind::T, "t"},
+      {GateKind::Tdag, "tdag"},      {GateKind::X90, "x90"},
+      {GateKind::MX90, "mx90"},      {GateKind::Y90, "y90"},
+      {GateKind::MY90, "my90"},      {GateKind::Rx, "rx"},
+      {GateKind::Ry, "ry"},          {GateKind::Rz, "rz"},
+      {GateKind::CNOT, "cnot"},      {GateKind::CZ, "cz"},
+      {GateKind::Swap, "swap"},      {GateKind::CR, "cr"},
+      {GateKind::CRK, "crk"},        {GateKind::RZZ, "rzz"},
+      {GateKind::Toffoli, "toffoli"},
+      {GateKind::Display, "display"},{GateKind::Wait, "wait"},
+      {GateKind::Barrier, "barrier"},
+  };
+  return table;
+}
+
+const std::map<std::string, GateKind>& reverse_table() {
+  static const std::map<std::string, GateKind> table = [] {
+    std::map<std::string, GateKind> t;
+    for (const auto& [kind, name] : name_table()) t[name] = kind;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const std::string& gate_name(GateKind kind) {
+  return name_table().at(kind);
+}
+
+std::optional<GateKind> gate_from_name(const std::string& name) {
+  auto it = reverse_table().find(name);
+  if (it == reverse_table().end()) return std::nullopt;
+  return it->second;
+}
+
+GateKind gate_inverse(GateKind kind) {
+  switch (kind) {
+    case GateKind::S: return GateKind::Sdag;
+    case GateKind::Sdag: return GateKind::S;
+    case GateKind::T: return GateKind::Tdag;
+    case GateKind::Tdag: return GateKind::T;
+    case GateKind::X90: return GateKind::MX90;
+    case GateKind::MX90: return GateKind::X90;
+    case GateKind::Y90: return GateKind::MY90;
+    case GateKind::MY90: return GateKind::Y90;
+    default:
+      // Self-inverse Cliffords and parameterised gates (which invert via
+      // angle negation) map to themselves.
+      return kind;
+  }
+}
+
+}  // namespace qs::qasm

@@ -1,0 +1,82 @@
+// The common quantum assembly (cQASM) gate set. This is the instruction
+// vocabulary shared between the OpenQL-like compiler, the QX-like simulator
+// and the eQASM micro-architecture back-end (paper Sections 2.4 and 2.7).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace qs::qasm {
+
+/// Every operation expressible in a cQASM circuit.
+enum class GateKind {
+  // State preparation / readout.
+  PrepZ,      ///< Initialise qubit to |0>.
+  Measure,    ///< Z-basis measurement of one qubit into its paired bit.
+  MeasureAll, ///< Measure every qubit in the register.
+
+  // Single-qubit Clifford + T set.
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdag,
+  T,
+  Tdag,
+  X90,   ///< Rx(+pi/2)  — the native superconducting pulse gate.
+  MX90,  ///< Rx(-pi/2)
+  Y90,   ///< Ry(+pi/2)
+  MY90,  ///< Ry(-pi/2)
+
+  // Parameterised single-qubit rotations.
+  Rx,
+  Ry,
+  Rz,
+
+  // Two-qubit gates.
+  CNOT,
+  CZ,
+  Swap,
+  CR,   ///< Controlled phase with explicit angle.
+  CRK,  ///< Controlled phase of 2*pi / 2^k (QFT native; k in `param_k`).
+  RZZ,  ///< exp(-i * angle/2 * Z(x)Z) — QAOA cost-propagator two-qubit gate.
+
+  // Three-qubit gate.
+  Toffoli,
+
+  // Pseudo-instructions.
+  Display,  ///< Ask the simulator to dump amplitudes (debug aid).
+  Wait,     ///< Explicit idle for `param_k` cycles on the listed qubits.
+  Barrier,  ///< Scheduling barrier across the listed qubits.
+};
+
+/// Number of qubit operands a gate takes (MeasureAll/Display take zero;
+/// Wait/Barrier are variadic and report 0 here).
+std::size_t gate_arity(GateKind kind);
+
+/// True for Rx/Ry/Rz/CR/RZZ which carry a continuous angle parameter.
+bool gate_has_angle(GateKind kind);
+
+/// True for CRK/Wait which carry an integer parameter.
+bool gate_has_int_param(GateKind kind);
+
+/// True if the gate is unitary (excludes prep, measure and pseudo-ops).
+bool gate_is_unitary(GateKind kind);
+
+/// True for gates acting on two qubits.
+bool gate_is_two_qubit(GateKind kind);
+
+/// Canonical lower-case cQASM mnemonic (e.g. "cnot", "rx", "prep_z").
+const std::string& gate_name(GateKind kind);
+
+/// Reverse lookup of a mnemonic; empty optional if unknown.
+std::optional<GateKind> gate_from_name(const std::string& name);
+
+/// The inverse gate for self-contained inverses (X->X, S->Sdag, ...).
+/// Parameterised gates invert via angle negation and return themselves.
+GateKind gate_inverse(GateKind kind);
+
+}  // namespace qs::qasm

@@ -1,0 +1,90 @@
+#include "qasm/instruction.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qs::qasm {
+
+Instruction::Instruction(GateKind kind, std::vector<QubitIndex> qubits,
+                         double angle, std::int64_t param_k)
+    : kind_(kind), qubits_(std::move(qubits)), angle_(angle),
+      param_k_(param_k) {
+  const std::size_t arity = gate_arity(kind);
+  // Wait/Barrier are variadic (arity reported as 0); MeasureAll/Display take
+  // no operands and must get none.
+  if (kind == GateKind::Wait || kind == GateKind::Barrier) {
+    if (qubits_.empty())
+      throw std::invalid_argument("Instruction: " + gate_name(kind) +
+                                  " needs at least one qubit operand");
+  } else if (qubits_.size() != arity) {
+    throw std::invalid_argument(
+        "Instruction: " + gate_name(kind) + " expects " +
+        std::to_string(arity) + " qubit operand(s), got " +
+        std::to_string(qubits_.size()));
+  }
+  // Two- and three-qubit gates require distinct operands.
+  for (std::size_t i = 0; i < qubits_.size(); ++i)
+    for (std::size_t j = i + 1; j < qubits_.size(); ++j)
+      if (qubits_[i] == qubits_[j])
+        throw std::invalid_argument("Instruction: duplicate qubit operand in " +
+                                    gate_name(kind));
+}
+
+bool Instruction::uses_qubit(QubitIndex q) const {
+  return std::find(qubits_.begin(), qubits_.end(), q) != qubits_.end();
+}
+
+void Instruction::remap_qubits(const std::vector<QubitIndex>& map) {
+  for (auto& q : qubits_) {
+    if (q >= map.size())
+      throw std::out_of_range("Instruction::remap_qubits: index out of range");
+    q = map[q];
+  }
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  for (BitIndex b : conditions_) {
+    (void)b;
+    os << "c-";
+  }
+  os << gate_name(kind_);
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    os << (first ? " " : ", ");
+    first = false;
+    return os;
+  };
+  for (BitIndex b : conditions_) sep() << "b[" << b << "]";
+  for (QubitIndex q : qubits_) sep() << "q[" << q << "]";
+  if (gate_has_angle(kind_)) {
+    // Shortest representation that round-trips through the parser exactly.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", angle_);
+    double readback = 0.0;
+    std::sscanf(buf, "%lf", &readback);
+    for (int precision = 6; precision < 17; ++precision) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof shorter, "%.*g", precision, angle_);
+      std::sscanf(shorter, "%lf", &readback);
+      if (readback == angle_) {
+        std::copy(shorter, shorter + sizeof shorter, buf);
+        break;
+      }
+    }
+    sep() << buf;
+  }
+  if (gate_has_int_param(kind_)) sep() << param_k_;
+  return os.str();
+}
+
+bool Instruction::operator==(const Instruction& other) const {
+  return kind_ == other.kind_ && qubits_ == other.qubits_ &&
+         std::abs(angle_ - other.angle_) < 1e-12 &&
+         param_k_ == other.param_k_ && conditions_ == other.conditions_;
+}
+
+}  // namespace qs::qasm

@@ -1,0 +1,66 @@
+// A single cQASM instruction: gate kind, qubit operands, optional continuous
+// and integer parameters, optional classical control bits, and the schedule
+// slot assigned by the compiler's scheduling pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "qasm/gate_kind.h"
+
+namespace qs::qasm {
+
+/// Sentinel for "not scheduled yet".
+inline constexpr std::int64_t kUnscheduled = -1;
+
+class Instruction {
+ public:
+  Instruction() = default;
+
+  /// Constructs and validates operand count against the gate's arity.
+  /// Throws std::invalid_argument on arity mismatch.
+  Instruction(GateKind kind, std::vector<QubitIndex> qubits,
+              double angle = 0.0, std::int64_t param_k = 0);
+
+  GateKind kind() const { return kind_; }
+  const std::vector<QubitIndex>& qubits() const { return qubits_; }
+  double angle() const { return angle_; }
+  std::int64_t param_k() const { return param_k_; }
+
+  /// Classical condition bits: the gate executes only when all listed
+  /// measurement bits read 1 (cQASM binary-controlled gates, `c-x`).
+  const std::vector<BitIndex>& conditions() const { return conditions_; }
+  void set_conditions(std::vector<BitIndex> bits) {
+    conditions_ = std::move(bits);
+  }
+  bool is_conditional() const { return !conditions_.empty(); }
+
+  /// Schedule cycle assigned by the scheduler; kUnscheduled before that.
+  std::int64_t cycle() const { return cycle_; }
+  void set_cycle(std::int64_t c) { cycle_ = c; }
+  bool is_scheduled() const { return cycle_ != kUnscheduled; }
+
+  /// True if this instruction touches the given qubit.
+  bool uses_qubit(QubitIndex q) const;
+
+  /// Replaces qubit operands through a logical->physical mapping
+  /// (used by the mapper). `map[i]` is the new index of old index i.
+  void remap_qubits(const std::vector<QubitIndex>& map);
+
+  /// Canonical single-line cQASM text (no bundle braces, no indent).
+  std::string to_string() const;
+
+  bool operator==(const Instruction& other) const;
+
+ private:
+  GateKind kind_ = GateKind::I;
+  std::vector<QubitIndex> qubits_;
+  double angle_ = 0.0;
+  std::int64_t param_k_ = 0;
+  std::vector<BitIndex> conditions_;
+  std::int64_t cycle_ = kUnscheduled;
+};
+
+}  // namespace qs::qasm

@@ -1,0 +1,252 @@
+#include "qasm/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace qs::qasm {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& s) {
+  const std::size_t pos = s.find('#');
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+std::string lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+struct Operand {
+  enum class Kind { Qubit, Bit, Number } kind;
+  QubitIndex index = 0;  // for Qubit / Bit
+  double value = 0.0;    // for Number
+};
+
+Operand parse_operand(const std::string& raw, std::size_t lineno) {
+  const std::string t = trim(raw);
+  if (t.empty()) throw ParseError(lineno, "empty operand");
+  if ((t[0] == 'q' || t[0] == 'b') && t.size() > 3 && t[1] == '[') {
+    if (t.back() != ']')
+      throw ParseError(lineno, "malformed register operand: " + t);
+    const std::string num = t.substr(2, t.size() - 3);
+    try {
+      const unsigned long idx = std::stoul(trim(num));
+      Operand op;
+      op.kind = (t[0] == 'q') ? Operand::Kind::Qubit : Operand::Kind::Bit;
+      op.index = static_cast<QubitIndex>(idx);
+      return op;
+    } catch (const std::exception&) {
+      throw ParseError(lineno, "invalid register index: " + t);
+    }
+  }
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(t, &consumed);
+    if (consumed != t.size())
+      throw ParseError(lineno, "trailing characters in number: " + t);
+    Operand op;
+    op.kind = Operand::Kind::Number;
+    op.value = v;
+    return op;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(lineno, "unrecognised operand: " + t);
+  }
+}
+
+/// Parses one gate statement (no braces) into an Instruction.
+Instruction parse_gate(const std::string& stmt, std::size_t lineno) {
+  std::string s = trim(stmt);
+  // Count and strip `c-` prefixes for binary-controlled gates.
+  std::size_t n_controls = 0;
+  while (s.size() > 2 && lower(s.substr(0, 2)) == "c-") {
+    ++n_controls;
+    s = s.substr(2);
+  }
+  // Mnemonic is up to the first whitespace.
+  std::size_t sp = 0;
+  while (sp < s.size() && !std::isspace(static_cast<unsigned char>(s[sp]))) ++sp;
+  const std::string mnemonic = lower(s.substr(0, sp));
+  const std::string rest = trim(s.substr(sp));
+
+  const auto kind = gate_from_name(mnemonic);
+  if (!kind) throw ParseError(lineno, "unknown gate: " + mnemonic);
+
+  std::vector<QubitIndex> qubits;
+  std::vector<BitIndex> conditions;
+  double angle = 0.0;
+  std::int64_t param_k = 0;
+  bool have_angle = false;
+  bool have_param = false;
+
+  if (!rest.empty()) {
+    for (const std::string& tok : split(rest, ',')) {
+      const Operand op = parse_operand(tok, lineno);
+      switch (op.kind) {
+        case Operand::Kind::Qubit:
+          qubits.push_back(op.index);
+          break;
+        case Operand::Kind::Bit:
+          conditions.push_back(op.index);
+          break;
+        case Operand::Kind::Number:
+          if (gate_has_angle(*kind) && !have_angle) {
+            angle = op.value;
+            have_angle = true;
+          } else if (gate_has_int_param(*kind) && !have_param) {
+            param_k = static_cast<std::int64_t>(op.value);
+            have_param = true;
+          } else {
+            throw ParseError(lineno, "unexpected numeric operand for " +
+                                         mnemonic);
+          }
+          break;
+      }
+    }
+  }
+
+  if (gate_has_angle(*kind) && !have_angle)
+    throw ParseError(lineno, mnemonic + " requires an angle operand");
+  if (gate_has_int_param(*kind) && !have_param)
+    throw ParseError(lineno, mnemonic + " requires an integer operand");
+  if (conditions.size() != n_controls)
+    throw ParseError(lineno,
+                     "binary-control prefix count does not match bit operands");
+
+  try {
+    Instruction instr(*kind, std::move(qubits), angle, param_k);
+    if (!conditions.empty()) instr.set_conditions(std::move(conditions));
+    return instr;
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(lineno, e.what());
+  }
+}
+
+}  // namespace
+
+Program Parser::parse(const std::string& text) {
+  Program program;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool seen_version = false;
+  bool seen_qubits = false;
+  Circuit* current = nullptr;
+  std::int64_t bundle_cycle = 0;
+
+  auto ensure_circuit = [&]() -> Circuit& {
+    if (!current) {
+      program.add_circuit("main");
+      current = &program.circuits().back();
+    }
+    return *current;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    // The printer records the program name as a structured comment;
+    // recover it so print -> parse round-trips the full Program.
+    const std::string raw = trim(line);
+    if (raw.rfind("# program:", 0) == 0) {
+      program.set_name(trim(raw.substr(10)));
+      continue;
+    }
+    const std::string t = trim(strip_comment(line));
+    if (t.empty()) continue;
+
+    const std::string lt = lower(t);
+    if (lt.rfind("version", 0) == 0) {
+      if (seen_version) throw ParseError(lineno, "duplicate version line");
+      program.set_version(trim(t.substr(7)));
+      seen_version = true;
+      continue;
+    }
+    if (lt.rfind("qubits", 0) == 0) {
+      if (seen_qubits) throw ParseError(lineno, "duplicate qubits line");
+      try {
+        program.set_qubit_count(std::stoul(trim(t.substr(6))));
+      } catch (const std::exception&) {
+        throw ParseError(lineno, "invalid qubit count");
+      }
+      seen_qubits = true;
+      continue;
+    }
+    if (t[0] == '.') {
+      // Subcircuit header: .name or .name(iterations)
+      std::string name = t.substr(1);
+      std::size_t iters = 1;
+      const std::size_t paren = name.find('(');
+      if (paren != std::string::npos) {
+        if (name.back() != ')')
+          throw ParseError(lineno, "malformed subcircuit header");
+        try {
+          iters = std::stoul(name.substr(paren + 1,
+                                         name.size() - paren - 2));
+        } catch (const std::exception&) {
+          throw ParseError(lineno, "invalid iteration count");
+        }
+        name = name.substr(0, paren);
+      }
+      name = trim(name);
+      if (name.empty()) throw ParseError(lineno, "empty subcircuit name");
+      program.add_circuit(name, iters);
+      current = &program.circuits().back();
+      continue;
+    }
+    if (t[0] == '{') {
+      // Parallel bundle: { g1 | g2 | ... } — all gates share a cycle.
+      if (t.back() != '}')
+        throw ParseError(lineno, "bundle must open and close on one line");
+      const std::string body = t.substr(1, t.size() - 2);
+      Circuit& c = ensure_circuit();
+      for (const std::string& stmt : split(body, '|')) {
+        if (trim(stmt).empty())
+          throw ParseError(lineno, "empty statement in bundle");
+        Instruction instr = parse_gate(stmt, lineno);
+        instr.set_cycle(bundle_cycle);
+        c.add(std::move(instr));
+      }
+      ++bundle_cycle;
+      continue;
+    }
+    // Plain gate statement.
+    Circuit& c = ensure_circuit();
+    Instruction instr = parse_gate(t, lineno);
+    instr.set_cycle(bundle_cycle);
+    ++bundle_cycle;
+    c.add(std::move(instr));
+  }
+
+  if (!seen_qubits)
+    throw ParseError(lineno, "missing 'qubits N' declaration");
+  program.validate();
+  return program;
+}
+
+}  // namespace qs::qasm

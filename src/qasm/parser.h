@@ -1,0 +1,33 @@
+// Parser for cQASM 1.0-style text into a qasm::Program. Supports the
+// header (`version`, `qubits`), named subcircuits with iteration counts,
+// comments, parallel bundles `{ a | b }` and binary-controlled gates
+// (`c-x b[0], q[1]`).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "qasm/program.h"
+
+namespace qs::qasm {
+
+/// Error with 1-based source line information.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("cQASM parse error at line " +
+                           std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+class Parser {
+ public:
+  /// Parses a complete cQASM program. Throws ParseError on malformed input.
+  static Program parse(const std::string& text);
+};
+
+}  // namespace qs::qasm

@@ -1,0 +1,72 @@
+#include "qasm/printer.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace qs::qasm {
+
+namespace {
+
+void print_circuit_body(std::ostringstream& os, const Circuit& c,
+                        const PrinterOptions& opts) {
+  const auto& instrs = c.instructions();
+  if (!opts.bundles) {
+    for (const auto& i : instrs) os << "    " << i.to_string() << '\n';
+    return;
+  }
+  // Group consecutive scheduled instructions by cycle. Unscheduled
+  // instructions each form their own line.
+  std::size_t idx = 0;
+  while (idx < instrs.size()) {
+    const auto& i = instrs[idx];
+    if (!i.is_scheduled()) {
+      os << "    " << i.to_string() << '\n';
+      ++idx;
+      continue;
+    }
+    const std::int64_t cyc = i.cycle();
+    std::vector<const Instruction*> bundle;
+    while (idx < instrs.size() && instrs[idx].is_scheduled() &&
+           instrs[idx].cycle() == cyc) {
+      bundle.push_back(&instrs[idx]);
+      ++idx;
+    }
+    if (opts.cycle_comments) os << "    # cycle " << cyc << '\n';
+    if (bundle.size() == 1) {
+      os << "    " << bundle[0]->to_string() << '\n';
+    } else {
+      os << "    { ";
+      for (std::size_t b = 0; b < bundle.size(); ++b) {
+        if (b) os << " | ";
+        os << bundle[b]->to_string();
+      }
+      os << " }\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_cqasm(const Program& program, const PrinterOptions& opts) {
+  std::ostringstream os;
+  os << "version " << program.version() << '\n';
+  os << "# program: " << program.name() << '\n';
+  os << "qubits " << program.qubit_count() << "\n\n";
+  for (const auto& c : program.circuits()) {
+    os << '.' << c.name();
+    if (c.iterations() != 1) os << '(' << c.iterations() << ')';
+    os << '\n';
+    print_circuit_body(os, c, opts);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_cqasm(const Circuit& circuit, const PrinterOptions& opts) {
+  std::ostringstream os;
+  print_circuit_body(os, circuit, opts);
+  return os.str();
+}
+
+}  // namespace qs::qasm

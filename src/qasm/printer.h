@@ -1,0 +1,26 @@
+// Serialises a qasm::Program to cQASM text. Scheduled circuits are printed
+// with parallel bundles `{ g1 | g2 }` grouping instructions that share a
+// schedule cycle, matching the cQASM 1.0 bundle notation.
+#pragma once
+
+#include <string>
+
+#include "qasm/program.h"
+
+namespace qs::qasm {
+
+struct PrinterOptions {
+  /// Emit `{ a | b }` bundles for instructions sharing a cycle.
+  bool bundles = true;
+  /// Emit a `# cycle N` comment before each bundle (debug aid).
+  bool cycle_comments = false;
+};
+
+/// Renders the program as cQASM text. The output round-trips through
+/// Parser::parse back to an equivalent Program.
+std::string to_cqasm(const Program& program, const PrinterOptions& opts = {});
+
+/// Renders a single circuit body (without version/qubits header).
+std::string to_cqasm(const Circuit& circuit, const PrinterOptions& opts = {});
+
+}  // namespace qs::qasm

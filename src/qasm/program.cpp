@@ -1,0 +1,81 @@
+#include "qasm/program.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qs::qasm {
+
+std::size_t Circuit::gate_count() const {
+  std::size_t n = 0;
+  for (const auto& i : instructions_)
+    if (gate_is_unitary(i.kind())) ++n;
+  return n;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& i : instructions_)
+    if (gate_is_two_qubit(i.kind())) ++n;
+  return n;
+}
+
+std::size_t Circuit::depth() const {
+  if (instructions_.empty()) return 0;
+  bool all_scheduled = std::all_of(
+      instructions_.begin(), instructions_.end(),
+      [](const Instruction& i) { return i.is_scheduled(); });
+  if (!all_scheduled) return instructions_.size();
+  std::int64_t max_cycle = 0;
+  for (const auto& i : instructions_)
+    max_cycle = std::max(max_cycle, i.cycle());
+  return static_cast<std::size_t>(max_cycle) + 1;
+}
+
+std::size_t Circuit::max_qubit_plus_one() const {
+  std::size_t m = 0;
+  for (const auto& i : instructions_)
+    for (QubitIndex q : i.qubits()) m = std::max<std::size_t>(m, q + 1);
+  return m;
+}
+
+Circuit& Program::add_circuit(std::string name, std::size_t iterations) {
+  circuits_.emplace_back(std::move(name), iterations);
+  return circuits_.back();
+}
+
+std::vector<Instruction> Program::flatten() const {
+  std::vector<Instruction> out;
+  out.reserve(total_instructions());
+  for (const auto& c : circuits_)
+    for (std::size_t it = 0; it < c.iterations(); ++it)
+      for (const auto& i : c.instructions()) out.push_back(i);
+  return out;
+}
+
+std::size_t Program::total_instructions() const {
+  std::size_t n = 0;
+  for (const auto& c : circuits_) n += c.iterations() * c.size();
+  return n;
+}
+
+void Program::validate() const {
+  for (const auto& c : circuits_) {
+    for (const auto& i : c.instructions()) {
+      for (QubitIndex q : i.qubits()) {
+        if (q >= qubit_count_)
+          throw std::out_of_range(
+              "Program::validate: qubit q[" + std::to_string(q) +
+              "] out of range in circuit '" + c.name() + "' (register size " +
+              std::to_string(qubit_count_) + ")");
+      }
+      for (BitIndex b : i.conditions()) {
+        if (b >= qubit_count_)
+          throw std::out_of_range(
+              "Program::validate: bit b[" + std::to_string(b) +
+              "] out of range in circuit '" + c.name() + "'");
+      }
+    }
+  }
+}
+
+}  // namespace qs::qasm

@@ -1,0 +1,87 @@
+// cQASM program structure: a program is a qubit register declaration plus a
+// sequence of named subcircuits, each optionally repeated (cQASM's
+// `.name(iterations)` construct).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qasm/instruction.h"
+
+namespace qs::qasm {
+
+/// A named subcircuit with an iteration count.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::string name, std::size_t iterations = 1)
+      : name_(std::move(name)), iterations_(iterations) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t iterations() const { return iterations_; }
+  void set_iterations(std::size_t n) { iterations_ = n; }
+
+  void add(Instruction instr) { instructions_.push_back(std::move(instr)); }
+  const std::vector<Instruction>& instructions() const { return instructions_; }
+  std::vector<Instruction>& instructions() { return instructions_; }
+  std::size_t size() const { return instructions_.size(); }
+  bool empty() const { return instructions_.empty(); }
+
+  /// Number of unitary gate instructions (excludes prep/measure/pseudo-ops).
+  std::size_t gate_count() const;
+
+  /// Number of two-qubit gate instructions.
+  std::size_t two_qubit_gate_count() const;
+
+  /// Circuit depth in schedule cycles; requires all instructions scheduled,
+  /// otherwise counts sequential depth (one instruction per cycle).
+  std::size_t depth() const;
+
+  /// Highest qubit index used, plus one (0 for an empty circuit).
+  std::size_t max_qubit_plus_one() const;
+
+ private:
+  std::string name_;
+  std::size_t iterations_ = 1;
+  std::vector<Instruction> instructions_;
+};
+
+/// A complete cQASM program.
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::size_t qubit_count)
+      : name_(std::move(name)), qubit_count_(qubit_count) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  std::size_t qubit_count() const { return qubit_count_; }
+  void set_qubit_count(std::size_t n) { qubit_count_ = n; }
+
+  const std::string& version() const { return version_; }
+  void set_version(std::string v) { version_ = std::move(v); }
+
+  Circuit& add_circuit(std::string name, std::size_t iterations = 1);
+  void add_circuit(Circuit c) { circuits_.push_back(std::move(c)); }
+  const std::vector<Circuit>& circuits() const { return circuits_; }
+  std::vector<Circuit>& circuits() { return circuits_; }
+
+  /// Flattens iteration counts into a single linear instruction stream,
+  /// the form consumed by the simulator and the eQASM assembler.
+  std::vector<Instruction> flatten() const;
+
+  /// Total instruction count across subcircuits (iterations included).
+  std::size_t total_instructions() const;
+
+  /// Validates all qubit operands are < qubit_count(). Throws on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::string version_ = "1.0";
+  std::size_t qubit_count_ = 0;
+  std::vector<Circuit> circuits_;
+};
+
+}  // namespace qs::qasm

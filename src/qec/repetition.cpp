@@ -1,0 +1,148 @@
+#include "qec/repetition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qs::qec {
+
+RepetitionCode::RepetitionCode(std::size_t distance) : d_(distance) {
+  if (distance < 3 || distance % 2 == 0)
+    throw std::invalid_argument(
+        "RepetitionCode: distance must be odd and >= 3");
+}
+
+compiler::Kernel RepetitionCode::encode_kernel() const {
+  compiler::Kernel k("encode", total_qubits());
+  for (std::size_t i = 1; i < d_; ++i)
+    k.cnot(0, static_cast<QubitIndex>(i));
+  return k;
+}
+
+compiler::Kernel RepetitionCode::esm_round_kernel() const {
+  compiler::Kernel k("esm_round", total_qubits());
+  for (std::size_t a = 0; a < d_ - 1; ++a) {
+    const QubitIndex anc = static_cast<QubitIndex>(d_ + a);
+    k.prep_z(anc);
+    k.cnot(static_cast<QubitIndex>(a), anc);
+    k.cnot(static_cast<QubitIndex>(a + 1), anc);
+    k.measure(anc);
+  }
+  return k;
+}
+
+qasm::Program RepetitionCode::memory_program(std::size_t rounds) const {
+  compiler::Program p("repetition_memory_d" + std::to_string(d_),
+                      total_qubits());
+  auto& prep = p.add_kernel("prep");
+  prep.prep_all();
+  p.add_kernel(encode_kernel());
+  compiler::Kernel esm = esm_round_kernel();
+  compiler::Kernel rounds_kernel("esm_rounds", total_qubits(), rounds);
+  rounds_kernel.append(esm);
+  if (rounds > 0) p.add_kernel(std::move(rounds_kernel));
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t i = 0; i < d_; ++i)
+    readout.measure(static_cast<QubitIndex>(i));
+  return p.to_qasm();
+}
+
+int RepetitionCode::majority_decode(const std::vector<int>& data_bits) const {
+  if (data_bits.size() < d_)
+    throw std::invalid_argument("majority_decode: need d data bits");
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < d_; ++i) ones += data_bits[i] ? 1 : 0;
+  return ones * 2 > d_ ? 1 : 0;
+}
+
+std::vector<std::size_t> RepetitionCode::decode_syndrome(
+    const std::vector<int>& syndrome) const {
+  if (syndrome.size() != d_ - 1)
+    throw std::invalid_argument("decode_syndrome: need d-1 syndrome bits");
+  // Syndrome bit a fires when qubits a and a+1 disagree. Flips are the
+  // maximal runs bounded by fired parities; choose the smaller side of the
+  // first disagreement chain (minimum-weight match to the boundary).
+  std::vector<std::size_t> flips;
+  // Greedy segment decoder: walk left to right, toggling "in error region"
+  // at each fired syndrome; the shorter interpretation is chosen by
+  // comparing region sizes.
+  std::vector<std::size_t> region;
+  bool in_error = false;
+  for (std::size_t i = 0; i < d_; ++i) {
+    if (in_error) region.push_back(i);
+    if (i < d_ - 1 && syndrome[i]) in_error = !in_error;
+  }
+  // `region` holds qubits that differ from qubit 0. Flipping either that
+  // region or its complement silences the syndrome; pick the smaller.
+  if (region.size() * 2 > d_) {
+    std::vector<std::size_t> complement;
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < d_; ++i) {
+      if (r < region.size() && region[r] == i)
+        ++r;
+      else
+        complement.push_back(i);
+    }
+    return complement;
+  }
+  flips = region;
+  return flips;
+}
+
+double RepetitionCode::monte_carlo_logical_error_rate(double p,
+                                                      std::size_t rounds,
+                                                      std::size_t trials,
+                                                      Rng& rng) const {
+  std::size_t failures = 0;
+  std::vector<int> data(d_);
+  std::vector<int> syndrome(d_ - 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < d_; ++i)
+        if (rng.bernoulli(p)) data[i] ^= 1;
+      // Perfect syndrome extraction + immediate correction each round.
+      for (std::size_t i = 0; i < d_ - 1; ++i)
+        syndrome[i] = data[i] ^ data[i + 1];
+      for (std::size_t q : decode_syndrome(syndrome)) data[q] ^= 1;
+    }
+    if (majority_decode(data) != 0) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+double RepetitionCode::monte_carlo_with_measurement_errors(
+    double p, double q, std::size_t rounds, std::size_t trials,
+    Rng& rng) const {
+  std::size_t failures = 0;
+  std::vector<int> data(d_);
+  std::vector<int> syndrome(d_ - 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(data.begin(), data.end(), 0);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < d_; ++i)
+        if (rng.bernoulli(p)) data[i] ^= 1;
+      for (std::size_t i = 0; i < d_ - 1; ++i) {
+        syndrome[i] = data[i] ^ data[i + 1];
+        if (rng.bernoulli(q)) syndrome[i] ^= 1;  // faulty measurement
+      }
+      for (std::size_t qb : decode_syndrome(syndrome)) data[qb] ^= 1;
+    }
+    if (majority_decode(data) != 0) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+double RepetitionCode::analytic_logical_error_rate(double p) const {
+  double total = 0.0;
+  for (std::size_t k = d_ / 2 + 1; k <= d_; ++k) {
+    // C(d, k)
+    double c = 1.0;
+    for (std::size_t j = 0; j < k; ++j)
+      c = c * static_cast<double>(d_ - j) / static_cast<double>(j + 1);
+    total += c * std::pow(p, static_cast<double>(k)) *
+             std::pow(1.0 - p, static_cast<double>(d_ - k));
+  }
+  return total;
+}
+
+}  // namespace qs::qec

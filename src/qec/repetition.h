@@ -1,0 +1,69 @@
+// Bit-flip repetition code: the smallest "small code" (paper Section 2.1's
+// data/ancilla error-syndrome-measurement structure, and the Preskill-era
+// shift away from expensive surface codes). Provides both the cQASM
+// circuits for full-stack execution and fast classical Monte-Carlo /
+// analytic logical-error-rate estimation for the E7 bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/kernel.h"
+#include "qasm/program.h"
+
+namespace qs::qec {
+
+class RepetitionCode {
+ public:
+  /// Odd distance >= 3. Uses d data qubits (indices 0..d-1) and d-1
+  /// ancilla qubits (indices d..2d-2) in its circuits.
+  explicit RepetitionCode(std::size_t distance);
+
+  std::size_t distance() const { return d_; }
+  std::size_t data_qubits() const { return d_; }
+  std::size_t ancilla_qubits() const { return d_ - 1; }
+  std::size_t total_qubits() const { return 2 * d_ - 1; }
+
+  /// Encoding circuit: |psi>|0..0> -> logical state spread over d qubits
+  /// (CNOT fan-out from data qubit 0).
+  compiler::Kernel encode_kernel() const;
+
+  /// One error-syndrome-measurement round: ancilla i measures the parity
+  /// Z_i Z_{i+1} via two CNOTs and a measurement, then is reset.
+  compiler::Kernel esm_round_kernel() const;
+
+  /// Full memory experiment: prep all, encode, `rounds` ESM rounds,
+  /// final data measurement.
+  qasm::Program memory_program(std::size_t rounds) const;
+
+  /// Majority-vote decoding of the measured data bits -> logical value.
+  int majority_decode(const std::vector<int>& data_bits) const;
+
+  /// Syndrome-based decoding: given the d-1 parity bits of one round,
+  /// returns the set of data qubits to flip (minimum-weight correction).
+  std::vector<std::size_t> decode_syndrome(
+      const std::vector<int>& syndrome) const;
+
+  /// Classical code-capacity Monte Carlo: iid X errors with probability p
+  /// on each data qubit per round, perfect syndrome extraction, majority
+  /// decode at the end. Returns the logical error fraction.
+  double monte_carlo_logical_error_rate(double p, std::size_t rounds,
+                                        std::size_t trials, Rng& rng) const;
+
+  /// Same experiment with measurement errors: each syndrome bit flips with
+  /// probability q; syndromes are repeated per round and decoded per round.
+  double monte_carlo_with_measurement_errors(double p, double q,
+                                             std::size_t rounds,
+                                             std::size_t trials,
+                                             Rng& rng) const;
+
+  /// Closed-form code-capacity logical error rate for one round:
+  /// sum_{k > d/2} C(d,k) p^k (1-p)^(d-k).
+  double analytic_logical_error_rate(double p) const;
+
+ private:
+  std::size_t d_;
+};
+
+}  // namespace qs::qec

@@ -1,0 +1,140 @@
+#include "qec/surface.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qs::qec {
+
+namespace {
+
+unsigned support_mask(const std::vector<std::size_t>& support) {
+  unsigned m = 0;
+  for (std::size_t q : support) m |= 1u << q;
+  return m;
+}
+
+}  // namespace
+
+SurfaceCode17::SurfaceCode17() {
+  // Data-qubit grid:   0 1 2
+  //                    3 4 5
+  //                    6 7 8
+  // Rotated d=3 layout: bulk faces alternate X/Z; weight-2 boundary
+  // stabilizers close the checkerboard.
+  z_stabs_ = {{0, 1, 3, 4}, {4, 5, 7, 8}, {2, 5}, {3, 6}};
+  x_stabs_ = {{1, 2, 4, 5}, {3, 4, 6, 7}, {0, 1}, {7, 8}};
+  logical_z_ = {0, 1, 2};  // top row
+  logical_x_ = {0, 3, 6};  // left column
+
+  // Build the minimum-weight lookup table for Z syndromes: enumerate X
+  // error patterns by increasing weight; first writer wins.
+  decode_table_.fill(0);
+  std::array<bool, 16> filled{};
+  filled[0] = true;  // trivial syndrome -> no correction
+  for (std::size_t weight = 1; weight <= kDataQubits; ++weight) {
+    for (unsigned err = 0; err < (1u << kDataQubits); ++err) {
+      if (static_cast<std::size_t>(std::popcount(err)) != weight) continue;
+      const unsigned syn = syndrome_of_x_errors(err);
+      if (!filled[syn]) {
+        filled[syn] = true;
+        decode_table_[syn] = err;
+      }
+    }
+  }
+}
+
+unsigned SurfaceCode17::syndrome_of_x_errors(unsigned x_errors) const {
+  unsigned syn = 0;
+  for (std::size_t s = 0; s < z_stabs_.size(); ++s) {
+    const unsigned overlap = x_errors & support_mask(z_stabs_[s]);
+    if (std::popcount(overlap) % 2) syn |= 1u << s;
+  }
+  return syn;
+}
+
+unsigned SurfaceCode17::decode_z_syndrome(unsigned syndrome) const {
+  if (syndrome >= decode_table_.size())
+    throw std::out_of_range("SurfaceCode17: syndrome out of range");
+  return decode_table_[syndrome];
+}
+
+bool SurfaceCode17::is_logical_x_error(unsigned residual_x_errors) const {
+  const unsigned overlap = residual_x_errors & support_mask(logical_z_);
+  return std::popcount(overlap) % 2 != 0;
+}
+
+double SurfaceCode17::monte_carlo_logical_error_rate(double p,
+                                                     std::size_t trials,
+                                                     Rng& rng) const {
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    unsigned err = 0;
+    for (std::size_t q = 0; q < kDataQubits; ++q)
+      if (rng.bernoulli(p)) err |= 1u << q;
+    const unsigned correction = decode_z_syndrome(syndrome_of_x_errors(err));
+    if (is_logical_x_error(err ^ correction)) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+compiler::Kernel SurfaceCode17::esm_round_kernel() const {
+  compiler::Kernel k("surface_esm", kTotalQubits);
+  // Z ancillas 9..12: prep |0>, CNOT data->ancilla per support, measure.
+  for (std::size_t s = 0; s < z_stabs_.size(); ++s) {
+    const QubitIndex anc = static_cast<QubitIndex>(9 + s);
+    k.prep_z(anc);
+    for (std::size_t dq : z_stabs_[s])
+      k.cnot(static_cast<QubitIndex>(dq), anc);
+    k.measure(anc);
+  }
+  // X ancillas 13..16: prep |+>, CNOT ancilla->data per support, H, measure.
+  for (std::size_t s = 0; s < x_stabs_.size(); ++s) {
+    const QubitIndex anc = static_cast<QubitIndex>(13 + s);
+    k.prep_z(anc);
+    k.h(anc);
+    for (std::size_t dq : x_stabs_[s])
+      k.cnot(anc, static_cast<QubitIndex>(dq));
+    k.h(anc);
+    k.measure(anc);
+  }
+  return k;
+}
+
+qasm::Program SurfaceCode17::detection_program(int inject_x_on_data) const {
+  compiler::Program p("surface17_detection", kTotalQubits);
+  auto& prep = p.add_kernel("prep");
+  prep.prep_all();
+  if (inject_x_on_data >= 0) {
+    if (inject_x_on_data >= static_cast<int>(kDataQubits))
+      throw std::out_of_range("detection_program: data qubit out of range");
+    auto& inject = p.add_kernel("inject");
+    inject.x(static_cast<QubitIndex>(inject_x_on_data));
+  }
+  p.add_kernel(esm_round_kernel());
+  auto& readout = p.add_kernel("readout");
+  for (std::size_t dq = 0; dq < kDataQubits; ++dq)
+    readout.measure(static_cast<QubitIndex>(dq));
+  return p.to_qasm();
+}
+
+void SurfaceCode17::verify_structure() const {
+  auto commutes = [](const std::vector<std::size_t>& a,
+                     const std::vector<std::size_t>& b) {
+    const unsigned overlap = support_mask(a) & support_mask(b);
+    return std::popcount(overlap) % 2 == 0;
+  };
+  for (const auto& z : z_stabs_)
+    for (const auto& x : x_stabs_)
+      if (!commutes(z, x))
+        throw std::logic_error("SurfaceCode17: Z/X stabilizers anticommute");
+  for (const auto& x : x_stabs_)
+    if (!commutes(x, logical_z_))
+      throw std::logic_error("SurfaceCode17: logical Z anticommutes with X stab");
+  for (const auto& z : z_stabs_)
+    if (!commutes(z, logical_x_))
+      throw std::logic_error("SurfaceCode17: logical X anticommutes with Z stab");
+  if (commutes(logical_x_, logical_z_))
+    throw std::logic_error("SurfaceCode17: logicals must anticommute");
+}
+
+}  // namespace qs::qec

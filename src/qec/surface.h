@@ -1,0 +1,79 @@
+// Distance-3 rotated planar surface code on the Surface-17 layout
+// (9 data + 8 ancilla qubits) — the planar surface code the paper's
+// "realistic qubits" discussion centres on (Section 2.1, 2.6). Provides:
+//  * stabilizer structure and a minimum-weight lookup-table decoder,
+//  * fast classical code-capacity Monte Carlo for logical error rates,
+//  * cQASM ESM-round circuits for full-stack execution on the simulator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/kernel.h"
+#include "qasm/program.h"
+
+namespace qs::qec {
+
+class SurfaceCode17 {
+ public:
+  SurfaceCode17();
+
+  static constexpr std::size_t kDataQubits = 9;
+  static constexpr std::size_t kZStabilizers = 4;
+  static constexpr std::size_t kXStabilizers = 4;
+  static constexpr std::size_t kTotalQubits = 17;  // 9 data + 8 ancilla
+
+  /// Data-qubit supports of the Z stabilizers (detect X errors).
+  const std::vector<std::vector<std::size_t>>& z_stabilizers() const {
+    return z_stabs_;
+  }
+  /// Data-qubit supports of the X stabilizers (detect Z errors).
+  const std::vector<std::vector<std::size_t>>& x_stabilizers() const {
+    return x_stabs_;
+  }
+
+  /// Logical operator supports.
+  const std::vector<std::size_t>& logical_z() const { return logical_z_; }
+  const std::vector<std::size_t>& logical_x() const { return logical_x_; }
+
+  /// Z-stabilizer syndrome of an X-error pattern (bit i = data qubit i).
+  unsigned syndrome_of_x_errors(unsigned x_errors) const;
+
+  /// Minimum-weight X-error correction for a Z syndrome (lookup table).
+  unsigned decode_z_syndrome(unsigned syndrome) const;
+
+  /// True when the residual error (after correction) flips logical Z.
+  bool is_logical_x_error(unsigned residual_x_errors) const;
+
+  /// Code-capacity Monte Carlo: iid X errors with probability p on data
+  /// qubits, perfect syndrome measurement, lookup decode. Returns the
+  /// logical X error fraction over `trials`.
+  double monte_carlo_logical_error_rate(double p, std::size_t trials,
+                                        Rng& rng) const;
+
+  /// One full error-syndrome-measurement round as a cQASM kernel over 17
+  /// qubits: data 0..8, Z ancillas 9..12, X ancillas 13..16. Ancillas are
+  /// prepared, entangled with their plaquette and measured.
+  compiler::Kernel esm_round_kernel() const;
+
+  /// Memory experiment program: prep, optional logical-X injection on a
+  /// chosen data qubit, one ESM round, data readout.
+  qasm::Program detection_program(int inject_x_on_data = -1) const;
+
+  /// Verifies stabilizer commutation relations (all Z stabs commute with
+  /// all X stabs; logicals commute with stabilizers, anticommute with each
+  /// other). Used by tests; throws std::logic_error on violation.
+  void verify_structure() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> z_stabs_;
+  std::vector<std::vector<std::size_t>> x_stabs_;
+  std::vector<std::size_t> logical_z_;
+  std::vector<std::size_t> logical_x_;
+  std::array<unsigned, 16> decode_table_{};  // syndrome -> correction bits
+};
+
+}  // namespace qs::qec

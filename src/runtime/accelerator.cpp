@@ -1,0 +1,216 @@
+#include "runtime/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "anneal/qubo.h"
+#include "sim/simulator.h"
+
+namespace qs::runtime {
+
+GateAccelerator::GateAccelerator(compiler::Platform platform,
+                                 compiler::CompileOptions options,
+                                 GatePath path, std::uint64_t seed)
+    : compiler_(std::move(platform)),
+      options_(options),
+      path_(path),
+      seed_(seed) {}
+
+std::string GateAccelerator::name() const {
+  return "gate[" + compiler_.platform().name +
+         (path_ == GatePath::MicroArch ? ",microarch]" : ",direct]");
+}
+
+std::size_t GateAccelerator::qubit_count() const {
+  return compiler_.platform().qubit_count;
+}
+
+compiler::CompileResult GateAccelerator::compile(
+    const qasm::Program& program) {
+  last_ = compiler_.compile(program, options_);
+  return last_;
+}
+
+std::uint64_t GateAccelerator::next_seed() {
+  // Fresh trajectory per invocation: reusing one seed would freeze the
+  // stochastic error realisation into a fixed (and optimisable-around)
+  // unitary. Deterministic per accelerator instance.
+  return seed_ + 0x9E3779B97F4A7C15ULL * ++invocation_;
+}
+
+Histogram GateAccelerator::execute(const qasm::Program& program,
+                                   std::size_t shots) {
+  const compiler::CompileResult compiled = compile(program);
+  if (path_ == GatePath::MicroArch) {
+    microarch::Assembler assembler(compiler_.platform());
+    const microarch::EqProgram eq = assembler.assemble(compiled.program);
+    microarch::Executor executor(compiler_.platform(), next_seed());
+    return executor.run_shots(eq, shots);
+  }
+  sim::Simulator simulator(compiler_.platform().qubit_count,
+                           compiler_.platform().qubit_model, next_seed(),
+                           compiler_.platform().durations);
+  return simulator.run(compiled.program, shots).histogram;
+}
+
+double GateAccelerator::expectation(
+    const qasm::Program& program,
+    const std::function<double(StateIndex)>& observable) {
+  const compiler::CompileResult compiled = compile(program);
+  const bool perfect =
+      compiler_.platform().qubit_model.kind == sim::QubitKind::Perfect;
+  const std::size_t trajectories = perfect ? 1 : noise_trajectories_;
+  double total = 0.0;
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    sim::Simulator simulator(compiler_.platform().qubit_count,
+                             compiler_.platform().qubit_model, next_seed(),
+                             compiler_.platform().durations);
+    simulator.run_once(compiled.program);
+    total += simulator.state().expectation_diagonal(observable);
+  }
+  return total / static_cast<double>(trajectories);
+}
+
+AnnealAccelerator::AnnealAccelerator(std::size_t capacity,
+                                     anneal::QuantumAnnealSchedule schedule)
+    : name_("anneal[fully-connected:" + std::to_string(capacity) + "]"),
+      capacity_(capacity),
+      schedule_(schedule) {}
+
+AnnealAccelerator::AnnealAccelerator(anneal::HardwareGraph hardware,
+                                     anneal::QuantumAnnealSchedule schedule)
+    : name_("anneal[topology:" + std::to_string(hardware.size()) + "]"),
+      capacity_(hardware.size()),
+      hardware_(std::move(hardware)),
+      schedule_(schedule) {}
+
+anneal::HardwareGraph AnnealAccelerator::chimera_hardware(
+    const anneal::ChimeraGraph& g) {
+  anneal::HardwareGraph hw;
+  hw.adjacency.resize(g.size());
+  for (std::size_t node = 0; node < g.size(); ++node)
+    hw.adjacency[node] = g.neighbours(node);
+  return hw;
+}
+
+AnnealAccelerator::AnnealAccelerator(anneal::ChimeraGraph chimera,
+                                     anneal::QuantumAnnealSchedule schedule)
+    : name_("anneal[chimera:" + std::to_string(chimera.size()) + "]"),
+      capacity_(chimera.size()),
+      hardware_(chimera_hardware(chimera)),
+      chimera_(std::move(chimera)),
+      schedule_(schedule) {}
+
+std::size_t AnnealAccelerator::capacity() const { return capacity_; }
+
+anneal::Embedding AnnealAccelerator::find_embedding(const anneal::Qubo& qubo,
+                                                    Rng& rng) const {
+  // Deterministic clique embedding when the device is a known Chimera and
+  // the problem fits inside the native clique; heuristic otherwise.
+  if (chimera_ &&
+      qubo.size() <= anneal::chimera_clique_capacity(*chimera_)) {
+    return anneal::chimera_clique_embedding(qubo.size(), *chimera_);
+  }
+  anneal::Embedder embedder(/*attempts=*/2);
+  return embedder.embed(qubo.size(), qubo.edges(), *hardware_, rng);
+}
+
+AnnealOutcome AnnealAccelerator::solve(const anneal::Qubo& qubo,
+                                       Rng& rng) const {
+  AnnealOutcome outcome;
+  const std::size_t n = qubo.size();
+  if (n > capacity_)
+    throw std::runtime_error("AnnealAccelerator: problem exceeds capacity");
+
+  anneal::SimulatedQuantumAnnealer annealer(schedule_);
+
+  if (!hardware_) {
+    auto [x, e] = annealer.solve_qubo(qubo, rng);
+    outcome.solution = std::move(x);
+    outcome.energy = e;
+    outcome.physical_qubits_used = n;
+    return outcome;
+  }
+
+  // Topology-limited device: minor-embed, anneal the physical Ising with
+  // ferromagnetic chains, then unembed by per-chain majority vote.
+  const anneal::Embedding emb = find_embedding(qubo, rng);
+  if (!emb.success)
+    throw std::runtime_error(
+        "AnnealAccelerator: minor embedding failed for " +
+        std::to_string(n) + " logical variables on " +
+        std::to_string(hardware_->size()) + " physical qubits");
+
+  const anneal::IsingModel logical = qubo.to_ising();
+
+  // Chain coupling strength: must dominate the total problem torque a
+  // chain can feel, which grows with the logical degree. Scale with
+  // sqrt(max degree) * max coupling (uniform-torque-compensation rule).
+  double max_coupling = 0.0;
+  for (const auto& [pair, w] : logical.j)
+    max_coupling = std::max(max_coupling, std::abs(w));
+  for (double hfield : logical.h)
+    max_coupling = std::max(max_coupling, std::abs(hfield));
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [pair, w] : logical.j) {
+    ++degree[pair.first];
+    ++degree[pair.second];
+  }
+  const std::size_t max_degree =
+      n ? *std::max_element(degree.begin(), degree.end()) : 1;
+  const double chain_strength =
+      1.5 * std::max(1.0, max_coupling) *
+      std::sqrt(static_cast<double>(std::max<std::size_t>(max_degree, 1)));
+
+  anneal::IsingModel physical(hardware_->size());
+  // Fields: distributed over the chain.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& chain = emb.chains[v];
+    for (std::size_t node : chain)
+      physical.add_field(node, logical.h[v] /
+                                   static_cast<double>(chain.size()));
+    // Ferromagnetic intra-chain couplings along hardware edges.
+    for (std::size_t a : chain)
+      for (std::size_t b : hardware_->adjacency[a])
+        if (a < b &&
+            std::find(chain.begin(), chain.end(), b) != chain.end())
+          physical.add_coupling(a, b, -chain_strength);
+  }
+  // Logical couplings: placed on one physical coupler between the chains.
+  for (const auto& [pair, w] : logical.j) {
+    bool placed = false;
+    for (std::size_t a : emb.chains[pair.first]) {
+      for (std::size_t b : hardware_->adjacency[a]) {
+        const auto& other = emb.chains[pair.second];
+        if (std::find(other.begin(), other.end(), b) != other.end()) {
+          physical.add_coupling(a, b, w);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+    if (!placed)
+      throw std::logic_error(
+          "AnnealAccelerator: embedding lacks coupler for a logical edge");
+  }
+
+  const anneal::AnnealResult r = annealer.solve(physical, rng, emb.chains);
+
+  // Unembed: majority vote within each chain.
+  outcome.solution.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    int vote = 0;
+    for (std::size_t node : emb.chains[v]) vote += r.best_spins[node];
+    outcome.solution[v] = vote > 0 ? 1 : 0;
+  }
+  outcome.energy = qubo.energy(outcome.solution);
+  outcome.embedded = true;
+  outcome.physical_qubits_used = emb.physical_qubits_used;
+  outcome.max_chain_length = emb.max_chain_length;
+  return outcome;
+}
+
+}  // namespace qs::runtime

@@ -1,0 +1,138 @@
+// The quantum accelerator as a co-processor (paper Figures 1, 3, 8): the
+// host CPU offloads cQASM kernels to an accelerator and receives
+// measurement statistics back. Two accelerator families are provided,
+// matching Section 3.3's two computation models:
+//  * GateAccelerator   — the full gate-model stack: OpenQL-style compile ->
+//    eQASM assembly -> micro-architecture execution -> QX back-end.
+//  * AnnealAccelerator — the annealing stack: QUBO -> (optional minor
+//    embedding) -> simulated quantum annealer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "anneal/annealer.h"
+#include "anneal/chimera.h"
+#include "anneal/embedding.h"
+#include "common/stats.h"
+#include "compiler/compiler.h"
+#include "microarch/assembler.h"
+#include "microarch/executor.h"
+#include "qasm/program.h"
+
+namespace qs::runtime {
+
+/// Abstract gate-model accelerator interface the host programs against.
+class QuantumAccelerator {
+ public:
+  virtual ~QuantumAccelerator() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t qubit_count() const = 0;
+
+  /// Executes the program for `shots` trajectories; returns the histogram
+  /// of full-register measurement bitstrings (q[0] leftmost).
+  virtual Histogram execute(const qasm::Program& program,
+                            std::size_t shots) = 0;
+
+  /// Runs the (measurement-free) program once and returns the exact
+  /// expectation of a diagonal observable over the final state. The paper
+  /// notes the expected probability "can be calculated inside the quantum
+  /// accelerator itself, aggregating the measurements over multiple runs";
+  /// exact evaluation is the shots->infinity limit perfect qubits allow.
+  virtual double expectation(
+      const qasm::Program& program,
+      const std::function<double(StateIndex)>& observable) = 0;
+};
+
+/// Execution route through the gate stack.
+enum class GatePath {
+  Direct,      ///< compile, then run cQASM on the QX simulator directly
+  MicroArch,   ///< compile, assemble to eQASM, execute on the micro-arch
+};
+
+class GateAccelerator final : public QuantumAccelerator {
+ public:
+  GateAccelerator(compiler::Platform platform,
+                  compiler::CompileOptions options = {},
+                  GatePath path = GatePath::Direct, std::uint64_t seed = 1);
+
+  std::string name() const override;
+  std::size_t qubit_count() const override;
+
+  Histogram execute(const qasm::Program& program, std::size_t shots) override;
+  double expectation(
+      const qasm::Program& program,
+      const std::function<double(StateIndex)>& observable) override;
+
+  /// Last compilation result (for stats inspection).
+  const compiler::CompileResult& last_compile() const { return last_; }
+
+  /// Trajectories averaged per expectation() call on noisy platforms
+  /// (perfect qubits are deterministic and always use one).
+  void set_noise_trajectories(std::size_t n) { noise_trajectories_ = n; }
+
+ private:
+  compiler::CompileResult compile(const qasm::Program& program);
+  std::uint64_t next_seed();
+
+  compiler::Compiler compiler_;
+  compiler::CompileOptions options_;
+  GatePath path_;
+  std::uint64_t seed_;
+  std::uint64_t invocation_ = 0;
+  std::size_t noise_trajectories_ = 8;
+  compiler::CompileResult last_;
+};
+
+/// Result of one annealing offload.
+struct AnnealOutcome {
+  std::vector<int> solution;  ///< binary assignment of the *logical* QUBO
+  double energy = 0.0;
+  bool embedded = false;                 ///< minor embedding was required
+  std::size_t physical_qubits_used = 0;  ///< after embedding (== n if none)
+  std::size_t max_chain_length = 0;
+};
+
+/// Annealing-model accelerator. With a hardware graph configured it
+/// requires a minor embedding (D-Wave style); without one it behaves as a
+/// fully-connected (digital-annealer style) device.
+class AnnealAccelerator {
+ public:
+  /// Fully connected device of the given capacity.
+  explicit AnnealAccelerator(std::size_t capacity,
+                             anneal::QuantumAnnealSchedule schedule = {});
+
+  /// Topology-limited device (e.g. ChimeraGraph::dwave2000q()).
+  AnnealAccelerator(anneal::HardwareGraph hardware,
+                    anneal::QuantumAnnealSchedule schedule = {});
+
+  /// Chimera device: enables the deterministic clique (triangle) embedding
+  /// with heuristic fallback — the strategy production D-Wave tooling uses.
+  explicit AnnealAccelerator(anneal::ChimeraGraph chimera,
+                             anneal::QuantumAnnealSchedule schedule = {});
+
+  static anneal::HardwareGraph chimera_hardware(const anneal::ChimeraGraph& g);
+
+  std::string name() const { return name_; }
+  std::size_t capacity() const;
+  bool requires_embedding() const { return hardware_.has_value(); }
+
+  /// Solves the QUBO: embeds if required (throws std::runtime_error when
+  /// embedding fails — the paper's "finding an embedding for 10 cities
+  /// will fail" behaviour), anneals, unembeds by majority vote per chain.
+  AnnealOutcome solve(const anneal::Qubo& qubo, Rng& rng) const;
+
+ private:
+  anneal::Embedding find_embedding(const anneal::Qubo& qubo, Rng& rng) const;
+
+  std::string name_;
+  std::size_t capacity_ = 0;
+  std::optional<anneal::HardwareGraph> hardware_;
+  std::optional<anneal::ChimeraGraph> chimera_;
+  anneal::QuantumAnnealSchedule schedule_;
+};
+
+}  // namespace qs::runtime

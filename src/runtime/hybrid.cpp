@@ -1,0 +1,33 @@
+#include "runtime/hybrid.h"
+
+namespace qs::runtime {
+
+Histogram HostCpu::offload(QuantumAccelerator& accelerator,
+                           const qasm::Program& program, std::size_t shots) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Histogram result = accelerator.execute(program, shots);
+  const auto t1 = std::chrono::steady_clock::now();
+  offloads_.push_back(OffloadRecord{
+      accelerator.name(), program.name(), shots,
+      std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  return result;
+}
+
+AnnealOutcome HostCpu::offload(const AnnealAccelerator& accelerator,
+                               const anneal::Qubo& qubo, Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AnnealOutcome result = accelerator.solve(qubo, rng);
+  const auto t1 = std::chrono::steady_clock::now();
+  offloads_.push_back(OffloadRecord{
+      accelerator.name(), "qubo[" + std::to_string(qubo.size()) + "]", 1,
+      std::chrono::duration<double, std::milli>(t1 - t0).count()});
+  return result;
+}
+
+double HostCpu::quantum_ms() const {
+  double total = 0.0;
+  for (const auto& record : offloads_) total += record.wall_ms;
+  return total;
+}
+
+}  // namespace qs::runtime

@@ -1,0 +1,56 @@
+// The host CPU side of the heterogeneous system (paper Figures 1 and 8):
+// "the classical host processor keeps the control over the total system
+// and delegates the execution of certain parts to the available
+// accelerators". HostCpu tracks offload accounting so the examples and
+// benches can report where the work went (Amdahl's-law bookkeeping).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/accelerator.h"
+
+namespace qs::runtime {
+
+struct OffloadRecord {
+  std::string accelerator;
+  std::string kernel;
+  std::size_t shots = 0;
+  double wall_ms = 0.0;
+};
+
+class HostCpu {
+ public:
+  /// Runs classical pre/post-processing on the host (timed).
+  template <typename F>
+  auto classical(const std::string& label, F&& work) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = std::forward<F>(work)();
+    const auto t1 = std::chrono::steady_clock::now();
+    classical_ms_ +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    classical_sections_.push_back(label);
+    return result;
+  }
+
+  /// Offloads a kernel to a gate accelerator and records the transaction.
+  Histogram offload(QuantumAccelerator& accelerator,
+                    const qasm::Program& program, std::size_t shots);
+
+  /// Offloads a QUBO to an annealing accelerator.
+  AnnealOutcome offload(const AnnealAccelerator& accelerator,
+                        const anneal::Qubo& qubo, Rng& rng);
+
+  const std::vector<OffloadRecord>& offloads() const { return offloads_; }
+  double classical_ms() const { return classical_ms_; }
+  double quantum_ms() const;
+
+ private:
+  std::vector<OffloadRecord> offloads_;
+  std::vector<std::string> classical_sections_;
+  double classical_ms_ = 0.0;
+};
+
+}  // namespace qs::runtime

@@ -1,0 +1,119 @@
+#include "runtime/observable.h"
+
+#include <stdexcept>
+
+#include "sim/gates.h"
+
+namespace qs::runtime {
+
+PauliObservable::PauliObservable(std::size_t qubit_count) : n_(qubit_count) {
+  if (qubit_count == 0 || qubit_count > 20)
+    throw std::invalid_argument("PauliObservable: qubit count out of range");
+}
+
+void PauliObservable::add_term(double coefficient,
+                               const std::string& paulis) {
+  if (paulis.size() != n_)
+    throw std::invalid_argument(
+        "PauliObservable: pauli string length must equal qubit count");
+  for (char c : paulis)
+    if (c != 'I' && c != 'X' && c != 'Y' && c != 'Z')
+      throw std::invalid_argument(
+          std::string("PauliObservable: invalid pauli: ") + c);
+  terms_.push_back(PauliTerm{coefficient, paulis});
+}
+
+double PauliObservable::expectation(const sim::StateVector& state) const {
+  if (state.qubit_count() != n_)
+    throw std::invalid_argument("PauliObservable: state size mismatch");
+  double total = 0.0;
+  for (const auto& term : terms_) {
+    sim::StateVector applied = state;  // P|psi>
+    for (std::size_t q = 0; q < n_; ++q) {
+      switch (term.paulis[q]) {
+        case 'X': applied.apply_1q(sim::pauli_x(), static_cast<QubitIndex>(q)); break;
+        case 'Y': applied.apply_1q(sim::pauli_y(), static_cast<QubitIndex>(q)); break;
+        case 'Z': applied.apply_1q(sim::pauli_z(), static_cast<QubitIndex>(q)); break;
+        default: break;
+      }
+    }
+    // <psi|P|psi> = Re(overlap); Pauli expectations are real.
+    cplx overlap(0.0, 0.0);
+    for (StateIndex i = 0; i < state.dimension(); ++i)
+      overlap += std::conj(state.amplitude(i)) * applied.amplitude(i);
+    total += term.coefficient * overlap.real();
+  }
+  return total;
+}
+
+std::vector<QubitIndex> PauliObservable::append_basis_rotation(
+    compiler::Kernel& kernel, std::size_t term_index) const {
+  const PauliTerm& term = terms_.at(term_index);
+  std::vector<QubitIndex> support;
+  for (std::size_t q = 0; q < n_; ++q) {
+    const QubitIndex qi = static_cast<QubitIndex>(q);
+    switch (term.paulis[q]) {
+      case 'X':
+        kernel.h(qi);
+        support.push_back(qi);
+        break;
+      case 'Y':
+        kernel.sdag(qi);
+        kernel.h(qi);
+        support.push_back(qi);
+        break;
+      case 'Z':
+        support.push_back(qi);
+        break;
+      default:
+        break;
+    }
+  }
+  return support;
+}
+
+double PauliObservable::term_eigenvalue(std::size_t term_index,
+                                        StateIndex basis) const {
+  const PauliTerm& term = terms_.at(term_index);
+  double value = 1.0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    if (term.paulis[q] == 'I') continue;
+    value *= (basis >> q) & 1 ? -1.0 : 1.0;
+  }
+  return value;
+}
+
+Matrix PauliObservable::to_matrix() const {
+  if (n_ > 10)
+    throw std::invalid_argument("PauliObservable::to_matrix: n too large");
+  const std::size_t dim = std::size_t{1} << n_;
+  Matrix total(dim, dim);
+  for (const auto& term : terms_) {
+    // Build kron with qubit 0 as the LEAST significant factor, matching
+    // the state-vector index convention.
+    Matrix m = Matrix::identity(1);
+    for (std::size_t q = n_; q > 0; --q) {
+      const char p = term.paulis[q - 1];
+      const Matrix factor = p == 'X'   ? sim::pauli_x()
+                            : p == 'Y' ? sim::pauli_y()
+                            : p == 'Z' ? sim::pauli_z()
+                                       : Matrix::identity(2);
+      m = m.kron(factor);
+    }
+    total = total + m * cplx(term.coefficient, 0.0);
+  }
+  return total;
+}
+
+PauliObservable h2_hamiltonian() {
+  PauliObservable h(2);
+  h.add_term(-0.4804, "II");
+  h.add_term(+0.3435, "ZI");
+  h.add_term(-0.4347, "IZ");
+  h.add_term(+0.5716, "ZZ");
+  h.add_term(+0.0910, "XX");
+  h.add_term(+0.0910, "YY");
+  return h;
+}
+
+}  // namespace qs::runtime

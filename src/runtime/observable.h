@@ -1,0 +1,58 @@
+// Pauli-string observables: the Hamiltonians of the "physical system
+// simulation" application domain the paper singles out (Section 2.3).
+// H = sum_k c_k P_k with P_k a tensor product of {I, X, Y, Z}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/kernel.h"
+#include "sim/statevector.h"
+
+namespace qs::runtime {
+
+struct PauliTerm {
+  double coefficient = 0.0;
+  /// One character per qubit, 'I' 'X' 'Y' or 'Z'; paulis[q] acts on q.
+  std::string paulis;
+};
+
+class PauliObservable {
+ public:
+  explicit PauliObservable(std::size_t qubit_count);
+
+  std::size_t qubit_count() const { return n_; }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+
+  /// Adds c * P where P is given as e.g. "XZIY" (length == qubit_count).
+  /// Throws std::invalid_argument for malformed strings.
+  void add_term(double coefficient, const std::string& paulis);
+
+  /// Exact <state|H|state> (applies each term to a copy of the state).
+  double expectation(const sim::StateVector& state) const;
+
+  /// Appends the basis-change gates that diagonalise term `k` to `kernel`
+  /// (H for X, S^dag H for Y), so a Z-basis measurement of the rotated
+  /// state samples the term. Returns the qubits in the term's support.
+  std::vector<QubitIndex> append_basis_rotation(compiler::Kernel& kernel,
+                                                std::size_t term_index) const;
+
+  /// Eigenvalue of term `k` on a computational basis state of the rotated
+  /// frame: product of (1 - 2*bit) over the support.
+  double term_eigenvalue(std::size_t term_index, StateIndex basis) const;
+
+  /// Dense 2^n x 2^n matrix of the observable (tests / small n only).
+  Matrix to_matrix() const;
+
+ private:
+  std::size_t n_;
+  std::vector<PauliTerm> terms_;
+};
+
+/// The canonical 2-qubit H2 molecular Hamiltonian at the equilibrium bond
+/// length (0.7414 A, STO-3G basis, reduced via Bravyi-Kitaev symmetry;
+/// coefficients from O'Malley et al., PRX 6, 031007 (2016)).
+/// Ground-state energy approximately -1.851 Hartree.
+PauliObservable h2_hamiltonian();
+
+}  // namespace qs::runtime

@@ -1,0 +1,188 @@
+#include "runtime/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qs::runtime {
+
+OptimizeResult NelderMead::minimize(const Objective& f,
+                                    const std::vector<double>& x0) const {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("NelderMead: empty start point");
+
+  // Standard coefficients.
+  const double alpha = 1.0;   // reflection
+  const double gamma_ = 2.0;  // expansion
+  const double rho = 0.5;     // contraction
+  const double sigma = 0.5;   // shrink
+
+  OptimizeResult result;
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i)
+    simplex[i + 1][i] += options_.initial_step;
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    values[i] = f(simplex[i]);
+    ++result.evaluations;
+  }
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    ++result.iterations;
+    // Order the simplex.
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    result.history.push_back(values[idx[0]]);
+
+    if (std::abs(values[idx[n]] - values[idx[0]]) < options_.tolerance) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < n; ++d)
+        centroid[d] += simplex[idx[i]][d] / static_cast<double>(n);
+
+    auto combine = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + coeff * (centroid[d] - simplex[idx[n]][d]);
+      return p;
+    };
+
+    const std::vector<double> reflected = combine(alpha);
+    const double fr = f(reflected);
+    ++result.evaluations;
+
+    if (fr < values[idx[0]]) {
+      const std::vector<double> expanded = combine(gamma_);
+      const double fe = f(expanded);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex[idx[n]] = expanded;
+        values[idx[n]] = fe;
+      } else {
+        simplex[idx[n]] = reflected;
+        values[idx[n]] = fr;
+      }
+    } else if (fr < values[idx[n - 1]]) {
+      simplex[idx[n]] = reflected;
+      values[idx[n]] = fr;
+    } else {
+      const std::vector<double> contracted = combine(-rho);
+      const double fc = f(contracted);
+      ++result.evaluations;
+      if (fc < values[idx[n]]) {
+        simplex[idx[n]] = contracted;
+        values[idx[n]] = fc;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t d = 0; d < n; ++d)
+            simplex[idx[i]][d] = simplex[idx[0]][d] +
+                                 sigma * (simplex[idx[i]][d] -
+                                          simplex[idx[0]][d]);
+          values[idx[i]] = f(simplex[idx[i]]);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (values[i] < values[best]) best = i;
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+OptimizeResult Spsa::minimize(const Objective& f,
+                              const std::vector<double>& x0) const {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("Spsa: empty start point");
+  Rng rng(options_.seed);
+
+  OptimizeResult result;
+  std::vector<double> x = x0;
+  std::vector<double> best_x = x;
+  double best_value = f(x);
+  ++result.evaluations;
+
+  for (std::size_t k = 0; k < options_.iterations; ++k) {
+    ++result.iterations;
+    const double ak =
+        options_.a / std::pow(static_cast<double>(k + 1), options_.alpha);
+    const double ck =
+        options_.c / std::pow(static_cast<double>(k + 1), options_.gamma);
+    // Rademacher perturbation.
+    std::vector<double> delta(n);
+    for (auto& d : delta) d = rng.bernoulli(0.5) ? 1.0 : -1.0;
+
+    std::vector<double> xp = x, xm = x;
+    for (std::size_t d = 0; d < n; ++d) {
+      xp[d] += ck * delta[d];
+      xm[d] -= ck * delta[d];
+    }
+    const double fp = f(xp);
+    const double fm = f(xm);
+    result.evaluations += 2;
+
+    for (std::size_t d = 0; d < n; ++d)
+      x[d] -= ak * (fp - fm) / (2.0 * ck * delta[d]);
+
+    const double fx = f(x);
+    ++result.evaluations;
+    if (fx < best_value) {
+      best_value = fx;
+      best_x = x;
+    }
+    result.history.push_back(best_value);
+  }
+  result.x = best_x;
+  result.value = best_value;
+  return result;
+}
+
+OptimizeResult GridSearch::minimize(const Objective& f) const {
+  const std::size_t n = options_.lower.size();
+  if (n == 0 || options_.upper.size() != n)
+    throw std::invalid_argument("GridSearch: inconsistent bounds");
+  const std::size_t k = options_.points_per_dim;
+  if (k < 2) throw std::invalid_argument("GridSearch: need >= 2 points/dim");
+
+  OptimizeResult result;
+  result.value = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> index(n, 0);
+  std::vector<double> x(n);
+  bool done = false;
+  while (!done) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const double t = static_cast<double>(index[d]) /
+                       static_cast<double>(k - 1);
+      x[d] = options_.lower[d] + t * (options_.upper[d] - options_.lower[d]);
+    }
+    const double v = f(x);
+    ++result.evaluations;
+    if (v < result.value) {
+      result.value = v;
+      result.x = x;
+    }
+    // Advance the mixed-radix counter.
+    std::size_t d = 0;
+    for (;;) {
+      if (d == n) {
+        done = true;
+        break;
+      }
+      if (++index[d] < k) break;
+      index[d] = 0;
+      ++d;
+    }
+  }
+  result.iterations = result.evaluations;
+  return result;
+}
+
+}  // namespace qs::runtime

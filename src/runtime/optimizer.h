@@ -1,0 +1,84 @@
+// Classical optimisers driving the hybrid quantum-classical (HQC) loop
+// (paper Section 3.2/3.3: "a shallow parameterised quantum circuit is
+// iterated multiple times while the parameters are optimised by a
+// classical optimiser in the Host-CPU").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs::runtime {
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptimizeResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  std::vector<double> history;  ///< best value per iteration
+};
+
+/// Derivative-free Nelder-Mead simplex minimisation.
+class NelderMead {
+ public:
+  struct Options {
+    std::size_t max_iterations = 200;
+    double initial_step = 0.5;
+    double tolerance = 1e-6;
+  };
+
+  NelderMead() : options_() {}
+  explicit NelderMead(Options options) : options_(options) {}
+
+  OptimizeResult minimize(const Objective& f,
+                          const std::vector<double>& x0) const;
+
+ private:
+  Options options_;
+};
+
+/// Simultaneous Perturbation Stochastic Approximation: two evaluations per
+/// step regardless of dimension — suited to shot-noisy objectives.
+class Spsa {
+ public:
+  struct Options {
+    std::size_t iterations = 100;
+    double a = 0.2;      ///< step-size numerator
+    double c = 0.1;      ///< perturbation size
+    double alpha = 0.602;
+    double gamma = 0.101;
+    std::uint64_t seed = 7;
+  };
+
+  Spsa() : options_() {}
+  explicit Spsa(Options options) : options_(options) {}
+
+  OptimizeResult minimize(const Objective& f,
+                          const std::vector<double>& x0) const;
+
+ private:
+  Options options_;
+};
+
+/// Exhaustive grid search over a box (coarse landscape mapping; also the
+/// reference optimiser for depth-1 QAOA tests).
+class GridSearch {
+ public:
+  struct Options {
+    std::size_t points_per_dim = 10;
+    std::vector<double> lower;  ///< per-dimension box bounds
+    std::vector<double> upper;
+  };
+
+  explicit GridSearch(Options options) : options_(std::move(options)) {}
+
+  OptimizeResult minimize(const Objective& f) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qs::runtime

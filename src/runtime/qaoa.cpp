@@ -1,0 +1,123 @@
+#include "runtime/qaoa.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "compiler/kernel.h"
+
+namespace qs::runtime {
+
+Qaoa::Qaoa(anneal::Qubo qubo, QaoaOptions options)
+    : qubo_(std::move(qubo)), ising_(qubo_.to_ising()), options_(options) {
+  if (options_.depth == 0)
+    throw std::invalid_argument("Qaoa: depth must be >= 1");
+}
+
+qasm::Program Qaoa::build_circuit(const std::vector<double>& params) const {
+  const std::size_t p = options_.depth;
+  if (params.size() != 2 * p)
+    throw std::invalid_argument("Qaoa: expected 2*depth parameters");
+  const std::size_t n = qubo_.size();
+
+  compiler::Program prog("qaoa_p" + std::to_string(p), n);
+  auto& init = prog.add_kernel("init");
+  for (QubitIndex q = 0; q < n; ++q) init.h(q);
+
+  for (std::size_t layer = 0; layer < p; ++layer) {
+    const double gamma = params[layer];
+    const double beta = params[p + layer];
+    auto& cost = prog.add_kernel("cost_" + std::to_string(layer));
+    // Cost propagator exp(-i gamma H_C): H_C = sum J_ij Z_i Z_j + sum h_i Z_i
+    // with the Ising spin s_i identified with the Z_i eigenvalue.
+    for (const auto& [pair, w] : ising_.j)
+      cost.rzz(static_cast<QubitIndex>(pair.first),
+               static_cast<QubitIndex>(pair.second), 2.0 * gamma * w);
+    for (std::size_t i = 0; i < n; ++i)
+      if (ising_.h[i] != 0.0)
+        cost.rz(static_cast<QubitIndex>(i), 2.0 * gamma * ising_.h[i]);
+    auto& mixer = prog.add_kernel("mixer_" + std::to_string(layer));
+    for (QubitIndex q = 0; q < n; ++q) mixer.rx(q, 2.0 * beta);
+  }
+  return prog.to_qasm();
+}
+
+std::vector<int> Qaoa::decode_basis(StateIndex basis) const {
+  // Z|0> = +|0>: basis bit 0 means spin +1 which means x = 1.
+  std::vector<int> x(qubo_.size());
+  for (std::size_t i = 0; i < qubo_.size(); ++i)
+    x[i] = (basis >> i) & 1 ? 0 : 1;
+  return x;
+}
+
+double Qaoa::expectation(const std::vector<double>& params,
+                         QuantumAccelerator& accelerator) const {
+  const qasm::Program circuit = build_circuit(params);
+  return accelerator.expectation(circuit, [this](StateIndex basis) {
+    return qubo_.energy(decode_basis(basis));
+  });
+}
+
+QaoaResult Qaoa::solve(QuantumAccelerator& accelerator) const {
+  const std::size_t p = options_.depth;
+  QaoaResult result;
+
+  std::size_t evaluations = 0;
+  const Objective objective = [&](const std::vector<double>& params) {
+    ++evaluations;
+    return expectation(params, accelerator);
+  };
+
+  std::vector<double> x0(2 * p);
+  for (std::size_t l = 0; l < p; ++l) {
+    // Linear ramp initial guess (annealing-inspired schedule).
+    const double frac = (static_cast<double>(l) + 0.5) /
+                        static_cast<double>(p);
+    x0[l] = options_.initial_gamma * frac;
+    x0[p + l] = options_.initial_beta * (1.0 - frac);
+  }
+
+  OptimizeResult opt;
+  if (options_.optimizer == QaoaOptions::Optimizer::SpsaOpt) {
+    Spsa::Options so;
+    so.iterations = options_.optimizer_iterations;
+    opt = Spsa(so).minimize(objective, x0);
+  } else {
+    NelderMead::Options no;
+    no.max_iterations = options_.optimizer_iterations;
+    opt = NelderMead(no).minimize(objective, x0);
+  }
+
+  result.parameters = opt.x;
+  result.expectation = opt.value;
+  result.circuit_evaluations = evaluations;
+
+  // Read out: sample the optimised ansatz and keep the best assignment
+  // seen — the "statistical central tendency over multiple measurements"
+  // aggregation the paper describes happening inside the accelerator.
+  qasm::Program circuit = build_circuit(opt.x);
+  circuit.add_circuit([&] {
+    qasm::Circuit readout("readout");
+    readout.add(qasm::Instruction(qasm::GateKind::MeasureAll, {}));
+    return readout;
+  }());
+  const Histogram samples =
+      accelerator.execute(circuit, options_.readout_shots);
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::vector<int> best_x;
+  for (const auto& [bits, count] : samples.counts()) {
+    std::vector<int> x(qubo_.size());
+    for (std::size_t i = 0; i < qubo_.size(); ++i)
+      x[i] = bits[i] == '0' ? 1 : 0;  // b=0 <-> spin +1 <-> x=1
+    const double e = qubo_.energy(x);
+    if (e < best_energy) {
+      best_energy = e;
+      best_x = std::move(x);
+    }
+  }
+  result.solution = std::move(best_x);
+  result.energy = best_energy;
+  return result;
+}
+
+}  // namespace qs::runtime

@@ -1,0 +1,66 @@
+// Quantum Approximate Optimisation Algorithm (paper Section 3.3): "QAOA is
+// a variational algorithm where the classical optimiser specifies a
+// low-depth quantum circuit to find the lowest energy configuration of a
+// problem Hamiltonian". Solves QUBO problems on the gate-model accelerator
+// through the hybrid quantum-classical loop.
+#pragma once
+
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "runtime/accelerator.h"
+#include "runtime/optimizer.h"
+
+namespace qs::runtime {
+
+struct QaoaOptions {
+  std::size_t depth = 1;            ///< p: cost/mixer layer pairs
+  std::size_t optimizer_iterations = 60;
+  std::size_t readout_shots = 256;  ///< samples for final solution readout
+  double initial_gamma = 0.4;
+  double initial_beta = 0.8;
+  enum class Optimizer { NelderMeadOpt, SpsaOpt } optimizer =
+      Optimizer::NelderMeadOpt;
+};
+
+struct QaoaResult {
+  std::vector<int> solution;     ///< best binary assignment found
+  double energy = 0.0;           ///< QUBO energy of `solution`
+  double expectation = 0.0;      ///< optimised <H_C>
+  std::vector<double> parameters;  ///< optimal (gamma_1..p, beta_1..p)
+  std::size_t circuit_evaluations = 0;
+};
+
+class Qaoa {
+ public:
+  Qaoa(anneal::Qubo qubo, QaoaOptions options = {});
+
+  std::size_t qubit_count() const { return qubo_.size(); }
+
+  /// The parameterised ansatz |gamma, beta>: H^n, then p layers of
+  /// cost propagator (RZZ per coupling, RZ per field) and mixer (RX).
+  /// params = (gamma_1..gamma_p, beta_1..beta_p).
+  qasm::Program build_circuit(const std::vector<double>& params) const;
+
+  /// Exact <H_C> of the ansatz state on the given accelerator.
+  double expectation(const std::vector<double>& params,
+                     QuantumAccelerator& accelerator) const;
+
+  /// Full HQC solve: optimise parameters, then read out the most probable
+  /// low-energy assignment from the optimised state.
+  QaoaResult solve(QuantumAccelerator& accelerator) const;
+
+  /// Decodes a basis-state index of the ansatz register into a binary
+  /// QUBO assignment (bit b=0 corresponds to spin +1, i.e. x=1; see
+  /// DESIGN.md on the Z-eigenvalue convention).
+  std::vector<int> decode_basis(StateIndex basis) const;
+
+  const anneal::IsingModel& ising() const { return ising_; }
+
+ private:
+  anneal::Qubo qubo_;
+  anneal::IsingModel ising_;
+  QaoaOptions options_;
+};
+
+}  // namespace qs::runtime

@@ -1,0 +1,82 @@
+#include "runtime/vqe.h"
+
+#include <stdexcept>
+
+namespace qs::runtime {
+
+Vqe::Vqe(PauliObservable hamiltonian, VqeOptions options)
+    : hamiltonian_(std::move(hamiltonian)), options_(options) {}
+
+std::size_t Vqe::parameter_count() const {
+  return (options_.layers + 1) * hamiltonian_.qubit_count();
+}
+
+qasm::Program Vqe::ansatz(const std::vector<double>& params) const {
+  if (params.size() != parameter_count())
+    throw std::invalid_argument("Vqe::ansatz: wrong parameter count");
+  const std::size_t n = hamiltonian_.qubit_count();
+  compiler::Program p("vqe_ansatz", n);
+  std::size_t next = 0;
+  auto& init = p.add_kernel("ry_0");
+  for (QubitIndex q = 0; q < n; ++q) init.ry(q, params[next++]);
+  for (std::size_t layer = 1; layer <= options_.layers; ++layer) {
+    auto& k = p.add_kernel("layer_" + std::to_string(layer));
+    for (QubitIndex q = 0; q + 1 < n; ++q) k.cz(q, q + 1);
+    for (QubitIndex q = 0; q < n; ++q) k.ry(q, params[next++]);
+  }
+  return p.to_qasm();
+}
+
+double Vqe::energy(const std::vector<double>& params,
+                   QuantumAccelerator& accelerator) const {
+  double total = 0.0;
+  for (std::size_t t = 0; t < hamiltonian_.terms().size(); ++t) {
+    const PauliTerm& term = hamiltonian_.terms()[t];
+    // Identity terms are constants.
+    bool identity = true;
+    for (char c : term.paulis)
+      if (c != 'I') identity = false;
+    if (identity) {
+      total += term.coefficient;
+      continue;
+    }
+    // Ansatz + basis rotation, evaluated as a diagonal observable.
+    qasm::Program circuit = ansatz(params);
+    compiler::Kernel rotation("basis_rotation", hamiltonian_.qubit_count());
+    hamiltonian_.append_basis_rotation(rotation, t);
+    circuit.add_circuit(rotation.circuit());
+    total += term.coefficient *
+             accelerator.expectation(circuit, [this, t](StateIndex basis) {
+               return term_sign(t, basis);
+             });
+  }
+  return total;
+}
+
+double Vqe::term_sign(std::size_t term_index, StateIndex basis) const {
+  return hamiltonian_.term_eigenvalue(term_index, basis);
+}
+
+VqeResult Vqe::solve(QuantumAccelerator& accelerator) const {
+  Rng rng(options_.seed);
+  std::vector<double> x0(parameter_count());
+  for (auto& v : x0)
+    v = rng.uniform(-options_.initial_spread, options_.initial_spread);
+
+  std::size_t evaluations = 0;
+  const Objective objective = [&](const std::vector<double>& params) {
+    ++evaluations;
+    return energy(params, accelerator);
+  };
+  NelderMead::Options opts;
+  opts.max_iterations = options_.optimizer_iterations;
+  const OptimizeResult r = NelderMead(opts).minimize(objective, x0);
+
+  VqeResult result;
+  result.energy = r.value;
+  result.parameters = r.x;
+  result.circuit_evaluations = evaluations;
+  return result;
+}
+
+}  // namespace qs::runtime

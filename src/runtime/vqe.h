@@ -1,0 +1,57 @@
+// Variational Quantum Eigensolver: the second flagship hybrid
+// quantum-classical algorithm besides QAOA (paper Section 3.2: "near-term
+// quantum optimisation algorithms employ the variational principle, where
+// a shallow parameterised quantum circuit is iterated multiple times while
+// the parameters are optimised by a classical optimiser in the Host-CPU").
+// Minimises <psi(theta)|H|psi(theta)> for a Pauli-string Hamiltonian with
+// a hardware-efficient ansatz.
+#pragma once
+
+#include "runtime/accelerator.h"
+#include "runtime/observable.h"
+#include "runtime/optimizer.h"
+
+namespace qs::runtime {
+
+struct VqeOptions {
+  std::size_t layers = 2;             ///< entangling layers in the ansatz
+  std::size_t optimizer_iterations = 150;
+  double initial_spread = 0.3;        ///< random init scale for parameters
+  std::uint64_t seed = 5;
+};
+
+struct VqeResult {
+  double energy = 0.0;                ///< optimised <H>
+  std::vector<double> parameters;
+  std::size_t circuit_evaluations = 0;
+};
+
+class Vqe {
+ public:
+  Vqe(PauliObservable hamiltonian, VqeOptions options = {});
+
+  std::size_t qubit_count() const { return hamiltonian_.qubit_count(); }
+  /// Parameters per ansatz: (layers + 1) * n Ry angles.
+  std::size_t parameter_count() const;
+
+  /// Hardware-efficient ansatz: Ry rotation layer, then `layers` x
+  /// [CZ-chain entangler + Ry layer].
+  qasm::Program ansatz(const std::vector<double>& params) const;
+
+  /// <H> of the ansatz state, evaluated term by term through the
+  /// accelerator with basis-rotation measurement circuits (each Pauli
+  /// term becomes a diagonal observable in its rotated frame).
+  double energy(const std::vector<double>& params,
+                QuantumAccelerator& accelerator) const;
+
+  /// Full hybrid loop with Nelder-Mead.
+  VqeResult solve(QuantumAccelerator& accelerator) const;
+
+ private:
+  double term_sign(std::size_t term_index, StateIndex basis) const;
+
+  PauliObservable hamiltonian_;
+  VqeOptions options_;
+};
+
+}  // namespace qs::runtime

@@ -1,0 +1,148 @@
+#include "sim/error_model.h"
+
+#include <cmath>
+
+#include "sim/gates.h"
+
+namespace qs::sim {
+
+QubitModel QubitModel::perfect() { return QubitModel{}; }
+
+QubitModel QubitModel::realistic(double e1, double e2, double readout,
+                                 double t1_us, double t2_us) {
+  QubitModel m;
+  m.kind = QubitKind::Realistic;
+  m.gate_error_1q = e1;
+  m.gate_error_2q = e2;
+  m.readout_error = readout;
+  m.t1_ns = t1_us * 1000.0;
+  m.t2_ns = t2_us * 1000.0;
+  return m;
+}
+
+QubitModel QubitModel::real_device() {
+  QubitModel m = realistic(/*e1=*/5e-3, /*e2=*/2e-2, /*readout=*/2e-2,
+                           /*t1_us=*/15.0, /*t2_us=*/10.0);
+  m.kind = QubitKind::Real;
+  return m;
+}
+
+DepolarizingModel::DepolarizingModel(double p1, double p2,
+                                     double readout_error)
+    : p1_(p1), p2_(p2), readout_error_(readout_error) {}
+
+void DepolarizingModel::inject_random_pauli(StateVector& state, QubitIndex q,
+                                            Rng& rng) {
+  switch (rng.uniform_int(3)) {
+    case 0: state.apply_1q(pauli_x(), q); break;
+    case 1: state.apply_1q(pauli_y(), q); break;
+    default: state.apply_1q(pauli_z(), q); break;
+  }
+}
+
+void DepolarizingModel::after_gate(StateVector& state,
+                                   const std::vector<QubitIndex>& qubits,
+                                   NanoSec /*duration*/, Rng& rng) {
+  const double p = qubits.size() >= 2 ? p2_ : p1_;
+  for (QubitIndex q : qubits)
+    if (rng.bernoulli(p)) inject_random_pauli(state, q, rng);
+}
+
+int DepolarizingModel::corrupt_readout(int bit, Rng& rng) {
+  return rng.bernoulli(readout_error_) ? 1 - bit : bit;
+}
+
+void BitFlipModel::after_gate(StateVector& state,
+                              const std::vector<QubitIndex>& qubits,
+                              NanoSec, Rng& rng) {
+  for (QubitIndex q : qubits)
+    if (rng.bernoulli(p_)) state.apply_1q(pauli_x(), q);
+}
+
+DecoherenceModel::DecoherenceModel(double t1_ns, double t2_ns)
+    : t1_ns_(t1_ns), t2_ns_(t2_ns) {}
+
+void DecoherenceModel::decohere(StateVector& state, QubitIndex q,
+                                NanoSec duration, Rng& rng) {
+  const double t = static_cast<double>(duration);
+  // Amplitude damping: trajectory selection between "no decay" (K0) and
+  // "decay to |0>" (K1) Kraus branches.
+  if (t1_ns_ > 0.0) {
+    const double gamma = 1.0 - std::exp(-t / t1_ns_);
+    const double p_decay = gamma * state.prob_one(q);
+    if (p_decay > 0.0 && rng.uniform() < p_decay) {
+      // K1 branch: |1> -> |0>.
+      const double root_gamma = std::sqrt(gamma);
+      state.apply_1q(Matrix{{0, root_gamma}, {0, 0}}, q);
+      state.normalize();
+    } else if (gamma > 0.0) {
+      // K0 branch: attenuate |1| amplitude, renormalise.
+      const double keep = std::sqrt(1.0 - gamma);
+      state.apply_1q(Matrix{{1, 0}, {0, keep}}, q);
+      state.normalize();
+    }
+  }
+  // Pure dephasing: T2 combines T1 and a pure-dephasing time T_phi via
+  // 1/T2 = 1/(2 T1) + 1/T_phi. Inject Z with the phase-flip probability of
+  // the T_phi channel.
+  if (t2_ns_ > 0.0) {
+    double inv_tphi = 1.0 / t2_ns_;
+    if (t1_ns_ > 0.0) inv_tphi -= 1.0 / (2.0 * t1_ns_);
+    if (inv_tphi > 0.0) {
+      const double p_phase = 0.5 * (1.0 - std::exp(-t * inv_tphi));
+      if (rng.bernoulli(p_phase)) state.apply_1q(pauli_z(), q);
+    }
+  }
+}
+
+void DecoherenceModel::after_gate(StateVector& state,
+                                  const std::vector<QubitIndex>& qubits,
+                                  NanoSec duration, Rng& rng) {
+  for (QubitIndex q : qubits) decohere(state, q, duration, rng);
+}
+
+void DecoherenceModel::idle(StateVector& state,
+                            const std::vector<QubitIndex>& qubits,
+                            NanoSec duration, Rng& rng) {
+  for (QubitIndex q : qubits) decohere(state, q, duration, rng);
+}
+
+void CompositeErrorModel::add(std::unique_ptr<ErrorModel> model) {
+  models_.push_back(std::move(model));
+}
+
+void CompositeErrorModel::after_gate(StateVector& state,
+                                     const std::vector<QubitIndex>& qubits,
+                                     NanoSec duration, Rng& rng) {
+  for (auto& m : models_) m->after_gate(state, qubits, duration, rng);
+}
+
+void CompositeErrorModel::idle(StateVector& state,
+                               const std::vector<QubitIndex>& qubits,
+                               NanoSec duration, Rng& rng) {
+  for (auto& m : models_) m->idle(state, qubits, duration, rng);
+}
+
+int CompositeErrorModel::corrupt_readout(int bit, Rng& rng) {
+  for (auto& m : models_) bit = m->corrupt_readout(bit, rng);
+  return bit;
+}
+
+std::unique_ptr<ErrorModel> make_error_model(const QubitModel& model) {
+  if (model.kind == QubitKind::Perfect)
+    return std::make_unique<NoErrorModel>();
+  auto composite = std::make_unique<CompositeErrorModel>();
+  if (model.gate_error_1q > 0.0 || model.gate_error_2q > 0.0 ||
+      model.readout_error > 0.0) {
+    composite->add(std::make_unique<DepolarizingModel>(
+        model.gate_error_1q, model.gate_error_2q, model.readout_error));
+  }
+  if (model.t1_ns > 0.0 || model.t2_ns > 0.0) {
+    composite->add(
+        std::make_unique<DecoherenceModel>(model.t1_ns, model.t2_ns));
+  }
+  if (composite->size() == 0) return std::make_unique<NoErrorModel>();
+  return composite;
+}
+
+}  // namespace qs::sim

@@ -1,0 +1,148 @@
+// Error models for "realistic qubit" simulation (paper Sections 2.1, 2.7).
+// QX-style stochastic trajectory injection on the state vector: after every
+// gate the model may inject Pauli errors, amplitude damping or dephasing,
+// and readout may flip measured bits. Perfect qubits use NoErrorModel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/statevector.h"
+
+namespace qs::sim {
+
+/// The paper's three qubit classes (Section 2.1). `Real` is modelled as
+/// Realistic with calibrated (worse) parameters: the physical distinction —
+/// an actual cryogenic device — is out of simulation scope by definition.
+enum class QubitKind { Perfect, Realistic, Real };
+
+/// Parameter set describing qubit quality.
+struct QubitModel {
+  QubitKind kind = QubitKind::Perfect;
+  double gate_error_1q = 0.0;   ///< depolarising prob. per 1-qubit gate
+  double gate_error_2q = 0.0;   ///< depolarising prob. per 2-qubit gate (per operand)
+  double readout_error = 0.0;   ///< bit-flip prob. on measurement result
+  double t1_ns = 0.0;           ///< amplitude-damping time; 0 = disabled
+  double t2_ns = 0.0;           ///< dephasing time; 0 = disabled
+
+  /// Ideal qubits: no decoherence, no gate or readout errors.
+  static QubitModel perfect();
+
+  /// Typical NISQ-era numbers (paper quotes ~1e-2..1e-3 gate errors and
+  /// tens of microseconds coherence for superconducting qubits).
+  static QubitModel realistic(double e1 = 1e-3, double e2 = 1e-2,
+                              double readout = 5e-3, double t1_us = 30.0,
+                              double t2_us = 20.0);
+
+  /// Calibrated "real device" profile (error rates at today's 1e-2 level).
+  static QubitModel real_device();
+};
+
+/// Interface for per-gate stochastic error injection.
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  /// Called after each unitary gate on the qubits it touched.
+  virtual void after_gate(StateVector& state,
+                          const std::vector<QubitIndex>& qubits,
+                          NanoSec duration, Rng& rng) = 0;
+
+  /// Called on idle qubits during explicit waits.
+  virtual void idle(StateVector& state, const std::vector<QubitIndex>& qubits,
+                    NanoSec duration, Rng& rng) = 0;
+
+  /// Possibly corrupts a readout bit.
+  virtual int corrupt_readout(int bit, Rng& rng) = 0;
+};
+
+/// Perfect qubits: every hook is a no-op.
+class NoErrorModel final : public ErrorModel {
+ public:
+  void after_gate(StateVector&, const std::vector<QubitIndex>&, NanoSec,
+                  Rng&) override {}
+  void idle(StateVector&, const std::vector<QubitIndex>&, NanoSec,
+            Rng&) override {}
+  int corrupt_readout(int bit, Rng&) override { return bit; }
+};
+
+/// Uniform depolarising channel: with probability p (p1 for 1-qubit gates,
+/// p2 per operand of multi-qubit gates) injects X, Y or Z uniformly. This is
+/// the "simplistic" model the paper names explicitly in Section 2.7.
+class DepolarizingModel final : public ErrorModel {
+ public:
+  DepolarizingModel(double p1, double p2, double readout_error = 0.0);
+
+  void after_gate(StateVector& state, const std::vector<QubitIndex>& qubits,
+                  NanoSec duration, Rng& rng) override;
+  void idle(StateVector&, const std::vector<QubitIndex>&, NanoSec,
+            Rng&) override {}
+  int corrupt_readout(int bit, Rng& rng) override;
+
+  /// Injects one uniformly-chosen Pauli on qubit q (used by QEC tests too).
+  static void inject_random_pauli(StateVector& state, QubitIndex q, Rng& rng);
+
+ private:
+  double p1_;
+  double p2_;
+  double readout_error_;
+};
+
+/// Pure bit-flip channel (X with probability p after each gate touch) —
+/// the channel the repetition code corrects.
+class BitFlipModel final : public ErrorModel {
+ public:
+  explicit BitFlipModel(double p) : p_(p) {}
+  void after_gate(StateVector& state, const std::vector<QubitIndex>& qubits,
+                  NanoSec, Rng& rng) override;
+  void idle(StateVector&, const std::vector<QubitIndex>&, NanoSec,
+            Rng&) override {}
+  int corrupt_readout(int bit, Rng&) override { return bit; }
+
+ private:
+  double p_;
+};
+
+/// T1/T2 decoherence via quantum trajectories: amplitude damping with
+/// gamma = 1 - exp(-t/T1) plus pure dephasing from T2. Applied per gate
+/// duration and on idles — this is what makes "realistic" circuits decay
+/// with wall-clock depth rather than just gate count.
+class DecoherenceModel final : public ErrorModel {
+ public:
+  DecoherenceModel(double t1_ns, double t2_ns);
+
+  void after_gate(StateVector& state, const std::vector<QubitIndex>& qubits,
+                  NanoSec duration, Rng& rng) override;
+  void idle(StateVector& state, const std::vector<QubitIndex>& qubits,
+            NanoSec duration, Rng& rng) override;
+  int corrupt_readout(int bit, Rng&) override { return bit; }
+
+ private:
+  void decohere(StateVector& state, QubitIndex q, NanoSec duration, Rng& rng);
+
+  double t1_ns_;
+  double t2_ns_;
+};
+
+/// Sequential composition of error models.
+class CompositeErrorModel final : public ErrorModel {
+ public:
+  void add(std::unique_ptr<ErrorModel> model);
+  std::size_t size() const { return models_.size(); }
+
+  void after_gate(StateVector& state, const std::vector<QubitIndex>& qubits,
+                  NanoSec duration, Rng& rng) override;
+  void idle(StateVector& state, const std::vector<QubitIndex>& qubits,
+            NanoSec duration, Rng& rng) override;
+  int corrupt_readout(int bit, Rng& rng) override;
+
+ private:
+  std::vector<std::unique_ptr<ErrorModel>> models_;
+};
+
+/// Builds the error model matching a QubitModel parameter set.
+std::unique_ptr<ErrorModel> make_error_model(const QubitModel& model);
+
+}  // namespace qs::sim

@@ -1,0 +1,135 @@
+#include "sim/gates.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace qs::sim {
+
+namespace {
+const cplx kI(0.0, 1.0);
+}
+
+Matrix pauli_x() { return Matrix{{0, 1}, {1, 0}}; }
+Matrix pauli_y() { return Matrix{{0, -kI}, {kI, 0}}; }
+Matrix pauli_z() { return Matrix{{1, 0}, {0, -1}}; }
+Matrix hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return Matrix{{s, s}, {s, -s}};
+}
+Matrix phase_s() { return Matrix{{1, 0}, {0, kI}}; }
+Matrix gate_t() {
+  return Matrix{{1, 0}, {0, std::exp(kI * (kPi / 4.0))}};
+}
+Matrix rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -kI * s}, {-kI * s, c}};
+}
+Matrix ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -s}, {s, c}};
+}
+Matrix rz(double theta) {
+  return Matrix{{std::exp(-kI * (theta / 2.0)), 0},
+                {0, std::exp(kI * (theta / 2.0))}};
+}
+
+Matrix gate_matrix_1q(qasm::GateKind kind, double angle) {
+  using qasm::GateKind;
+  switch (kind) {
+    case GateKind::I: return Matrix::identity(2);
+    case GateKind::X: return pauli_x();
+    case GateKind::Y: return pauli_y();
+    case GateKind::Z: return pauli_z();
+    case GateKind::H: return hadamard();
+    case GateKind::S: return phase_s();
+    case GateKind::Sdag: return phase_s().dagger();
+    case GateKind::T: return gate_t();
+    case GateKind::Tdag: return gate_t().dagger();
+    case GateKind::X90: return rx(kPi / 2.0);
+    case GateKind::MX90: return rx(-kPi / 2.0);
+    case GateKind::Y90: return ry(kPi / 2.0);
+    case GateKind::MY90: return ry(-kPi / 2.0);
+    case GateKind::Rx: return rx(angle);
+    case GateKind::Ry: return ry(angle);
+    case GateKind::Rz: return rz(angle);
+    default:
+      throw std::invalid_argument("gate_matrix_1q: not a single-qubit gate: " +
+                                  qasm::gate_name(kind));
+  }
+}
+
+Matrix gate_matrix_2q(qasm::GateKind kind, double angle,
+                      std::int64_t param_k) {
+  using qasm::GateKind;
+  switch (kind) {
+    case GateKind::CNOT:
+      // First operand (MSB) controls an X on the second.
+      return Matrix{{1, 0, 0, 0},
+                    {0, 1, 0, 0},
+                    {0, 0, 0, 1},
+                    {0, 0, 1, 0}};
+    case GateKind::CZ:
+      return Matrix{{1, 0, 0, 0},
+                    {0, 1, 0, 0},
+                    {0, 0, 1, 0},
+                    {0, 0, 0, -1}};
+    case GateKind::Swap:
+      return Matrix{{1, 0, 0, 0},
+                    {0, 0, 1, 0},
+                    {0, 1, 0, 0},
+                    {0, 0, 0, 1}};
+    case GateKind::CR: {
+      Matrix m = Matrix::identity(4);
+      m(3, 3) = std::exp(kI * angle);
+      return m;
+    }
+    case GateKind::CRK: {
+      if (param_k < 0)
+        throw std::invalid_argument("gate_matrix_2q: crk needs k >= 0");
+      const double phi = 2.0 * kPi / static_cast<double>(1LL << param_k);
+      Matrix m = Matrix::identity(4);
+      m(3, 3) = std::exp(kI * phi);
+      return m;
+    }
+    case GateKind::RZZ: {
+      // exp(-i angle/2 Z(x)Z): diagonal phases by ZZ parity.
+      Matrix m(4, 4);
+      const cplx minus = std::exp(-kI * (angle / 2.0));
+      const cplx plus = std::exp(kI * (angle / 2.0));
+      m(0, 0) = minus;  // |00>: parity +1
+      m(1, 1) = plus;   // |01>
+      m(2, 2) = plus;   // |10>
+      m(3, 3) = minus;  // |11>
+      return m;
+    }
+    default:
+      throw std::invalid_argument("gate_matrix_2q: not a two-qubit gate: " +
+                                  qasm::gate_name(kind));
+  }
+}
+
+Matrix gate_matrix(const qasm::Instruction& instr) {
+  if (!qasm::gate_is_unitary(instr.kind()))
+    throw std::invalid_argument("gate_matrix: non-unitary instruction " +
+                                qasm::gate_name(instr.kind()));
+  const std::size_t arity = qasm::gate_arity(instr.kind());
+  if (arity == 1) return gate_matrix_1q(instr.kind(), instr.angle());
+  if (arity == 2)
+    return gate_matrix_2q(instr.kind(), instr.angle(), instr.param_k());
+  if (instr.kind() == qasm::GateKind::Toffoli) {
+    Matrix m = Matrix::identity(8);
+    // |110> <-> |111> (first two operands are the controls / high bits).
+    m(6, 6) = 0;
+    m(7, 7) = 0;
+    m(6, 7) = 1;
+    m(7, 6) = 1;
+    return m;
+  }
+  throw std::invalid_argument("gate_matrix: unsupported arity");
+}
+
+}  // namespace qs::sim

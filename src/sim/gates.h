@@ -1,0 +1,33 @@
+// Unitary matrices for the cQASM gate set. 2x2 for single-qubit gates and
+// 4x4 for two-qubit gates (row/column order: |control target> = |q1 q0>
+// with the *first* operand as the most significant bit).
+#pragma once
+
+#include "common/matrix.h"
+#include "qasm/instruction.h"
+
+namespace qs::sim {
+
+/// 2x2 matrix for a single-qubit gate kind. Throws for non-1q kinds.
+Matrix gate_matrix_1q(qasm::GateKind kind, double angle = 0.0);
+
+/// 4x4 matrix for a two-qubit gate kind (first operand = most significant
+/// bit). Throws for non-2q kinds. For CRK pass k via param_k.
+Matrix gate_matrix_2q(qasm::GateKind kind, double angle = 0.0,
+                      std::int64_t param_k = 0);
+
+/// Full unitary for any unitary instruction, sized 2^arity.
+Matrix gate_matrix(const qasm::Instruction& instr);
+
+// Named constructors for the common fixed gates (unit-test vocabulary).
+Matrix pauli_x();
+Matrix pauli_y();
+Matrix pauli_z();
+Matrix hadamard();
+Matrix phase_s();
+Matrix gate_t();
+Matrix rx(double theta);
+Matrix ry(double theta);
+Matrix rz(double theta);
+
+}  // namespace qs::sim

@@ -1,0 +1,157 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+#include "sim/gates.h"
+
+namespace qs::sim {
+
+NanoSec GateDurations::of(const qasm::Instruction& instr) const {
+  using qasm::GateKind;
+  switch (instr.kind()) {
+    case GateKind::Measure:
+    case GateKind::MeasureAll:
+      return measure;
+    case GateKind::PrepZ:
+      return prep;
+    case GateKind::Wait:
+      return cycle * static_cast<NanoSec>(instr.param_k() > 0
+                                              ? instr.param_k()
+                                              : 1);
+    case GateKind::Display:
+    case GateKind::Barrier:
+      return 0;
+    default:
+      return qasm::gate_arity(instr.kind()) >= 2 ? two_qubit : single_qubit;
+  }
+}
+
+Simulator::Simulator(std::size_t qubit_count, QubitModel model,
+                     std::uint64_t seed, GateDurations durations)
+    : state_(qubit_count),
+      model_(model),
+      errors_(make_error_model(model)),
+      durations_(durations),
+      rng_(seed),
+      bits_(qubit_count, 0) {}
+
+void Simulator::reset() {
+  state_.reset();
+  std::fill(bits_.begin(), bits_.end(), 0);
+}
+
+void Simulator::apply_unitary(const qasm::Instruction& instr) {
+  using qasm::GateKind;
+  const auto& q = instr.qubits();
+  switch (instr.kind()) {
+    case GateKind::CNOT:
+      state_.apply_controlled_1q(pauli_x(), {q[0]}, q[1]);
+      break;
+    case GateKind::CZ:
+      state_.apply_controlled_1q(pauli_z(), {q[0]}, q[1]);
+      break;
+    case GateKind::Swap:
+      state_.apply_swap(q[0], q[1]);
+      break;
+    case GateKind::Toffoli:
+      state_.apply_controlled_1q(pauli_x(), {q[0], q[1]}, q[2]);
+      break;
+    case GateKind::CR:
+    case GateKind::CRK:
+    case GateKind::RZZ:
+      state_.apply_2q(
+          gate_matrix_2q(instr.kind(), instr.angle(), instr.param_k()), q[0],
+          q[1]);
+      break;
+    default:
+      state_.apply_1q(gate_matrix_1q(instr.kind(), instr.angle()), q[0]);
+      break;
+  }
+  ++gates_executed_;
+  errors_->after_gate(state_, q, durations_.of(instr), rng_);
+}
+
+bool Simulator::execute(const qasm::Instruction& instr) {
+  using qasm::GateKind;
+  // Binary-controlled gate: all condition bits must currently read 1.
+  for (BitIndex b : instr.conditions()) {
+    if (b >= bits_.size())
+      throw std::out_of_range("Simulator: condition bit out of range");
+    if (bits_[b] != 1) return false;
+  }
+
+  switch (instr.kind()) {
+    case GateKind::PrepZ:
+      state_.prep_z(instr.qubits()[0], rng_);
+      bits_[instr.qubits()[0]] = 0;
+      return true;
+    case GateKind::Measure: {
+      const QubitIndex q = instr.qubits()[0];
+      const int raw = state_.measure(q, rng_);
+      bits_[q] = errors_->corrupt_readout(raw, rng_);
+      return true;
+    }
+    case GateKind::MeasureAll: {
+      for (QubitIndex q = 0; q < state_.qubit_count(); ++q) {
+        const int raw = state_.measure(q, rng_);
+        bits_[q] = errors_->corrupt_readout(raw, rng_);
+      }
+      return true;
+    }
+    case GateKind::Display: {
+      // cQASM `display`: dump the non-negligible amplitudes (debug aid,
+      // emitted through the logging sink at Info level).
+      std::ostringstream os;
+      os << "state dump:";
+      std::size_t shown = 0;
+      for (StateIndex i = 0; i < state_.dimension() && shown < 16; ++i) {
+        const cplx a = state_.amplitude(i);
+        if (std::norm(a) < 1e-12) continue;
+        os << " |" << state_.basis_string(i) << "> " << a.real();
+        if (a.imag() >= 0) os << "+";
+        os << a.imag() << "i;";
+        ++shown;
+      }
+      QS_LOG(LogLevel::Info, "qx", os.str());
+      return true;
+    }
+    case GateKind::Barrier:
+      return true;  // no simulation semantics
+    case GateKind::Wait:
+      errors_->idle(state_, instr.qubits(), durations_.of(instr), rng_);
+      return true;
+    default:
+      apply_unitary(instr);
+      return true;
+  }
+}
+
+std::vector<int> Simulator::run_once(const qasm::Program& program) {
+  program.validate();
+  if (program.qubit_count() > state_.qubit_count())
+    throw std::invalid_argument(
+        "Simulator: program needs more qubits than the simulator has");
+  for (const auto& instr : program.flatten()) execute(instr);
+  return bits_;
+}
+
+RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
+  RunResult result;
+  result.shots = shots;
+  const std::size_t gates_before = gates_executed_;
+  for (std::size_t s = 0; s < shots; ++s) {
+    reset();
+    const std::vector<int> bits = run_once(program);
+    std::string key(bits.size(), '0');
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      key[i] = bits[i] ? '1' : '0';
+    result.histogram.add(key);
+  }
+  result.total_gates = gates_executed_ - gates_before;
+  return result;
+}
+
+}  // namespace qs::sim

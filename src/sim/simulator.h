@@ -1,0 +1,90 @@
+// The QX-like simulator front-end (paper Section 2.7): executes a cQASM
+// program on the state-vector engine, injecting errors per the configured
+// qubit model, handling measurement, binary-controlled gates and waits.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "qasm/program.h"
+#include "sim/error_model.h"
+#include "sim/statevector.h"
+
+namespace qs::sim {
+
+/// Wall-clock duration of each operation class in nanoseconds; used both by
+/// the decoherence model and the micro-architecture timing domain. Defaults
+/// follow typical transmon numbers (paper Section 3.1 context).
+struct GateDurations {
+  NanoSec single_qubit = 20;
+  NanoSec two_qubit = 40;
+  NanoSec measure = 300;
+  NanoSec prep = 200;
+  NanoSec cycle = 20;  ///< duration of one schedule cycle / wait unit
+
+  NanoSec of(const qasm::Instruction& instr) const;
+};
+
+/// Result of a multi-shot run.
+struct RunResult {
+  Histogram histogram;          ///< full-register bitstrings, q[0] leftmost
+  std::size_t shots = 0;
+  std::size_t total_gates = 0;  ///< unitary gates executed across all shots
+};
+
+class Simulator {
+ public:
+  /// Creates a simulator over `qubit_count` qubits with the given qubit
+  /// quality model and RNG seed.
+  explicit Simulator(std::size_t qubit_count,
+                     QubitModel model = QubitModel::perfect(),
+                     std::uint64_t seed = 1,
+                     GateDurations durations = GateDurations{});
+
+  std::size_t qubit_count() const { return state_.qubit_count(); }
+  const QubitModel& qubit_model() const { return model_; }
+
+  /// Resets state and classical bits to all-zero.
+  void reset();
+
+  /// Executes a single instruction against the live state. Returns false
+  /// for a conditional instruction whose condition bits were not all 1.
+  bool execute(const qasm::Instruction& instr);
+
+  /// Executes the full (flattened) program once; returns the classical bit
+  /// register after the final instruction.
+  std::vector<int> run_once(const qasm::Program& program);
+
+  /// Runs `shots` independent trajectories; collects full-register
+  /// bitstrings (q[0] leftmost). Resets state before each shot.
+  RunResult run(const qasm::Program& program, std::size_t shots);
+
+  /// Live state access (inspection after run_once; tests and QAOA use it).
+  StateVector& state() { return state_; }
+  const StateVector& state() const { return state_; }
+
+  /// Classical measurement-bit register (bit i paired with qubit i).
+  const std::vector<int>& bits() const { return bits_; }
+
+  Rng& rng() { return rng_; }
+
+  /// Number of unitary gates applied since construction/reset counter zero.
+  std::size_t gates_executed() const { return gates_executed_; }
+
+ private:
+  void apply_unitary(const qasm::Instruction& instr);
+
+  StateVector state_;
+  QubitModel model_;
+  std::unique_ptr<ErrorModel> errors_;
+  GateDurations durations_;
+  Rng rng_;
+  std::vector<int> bits_;
+  std::size_t gates_executed_ = 0;
+};
+
+}  // namespace qs::sim

@@ -1,0 +1,213 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qs::sim {
+
+StateVector::StateVector(std::size_t qubit_count) : n_(qubit_count) {
+  if (qubit_count == 0)
+    throw std::invalid_argument("StateVector: need at least one qubit");
+  if (qubit_count > kMaxQubits)
+    throw std::invalid_argument(
+        "StateVector: " + std::to_string(qubit_count) +
+        " qubits exceeds the " + std::to_string(kMaxQubits) +
+        "-qubit memory guard");
+  amps_.assign(StateIndex{1} << n_, cplx(0.0, 0.0));
+  amps_[0] = cplx(1.0, 0.0);
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx(0.0, 0.0));
+  amps_[0] = cplx(1.0, 0.0);
+}
+
+void StateVector::check_qubit(QubitIndex q) const {
+  if (q >= n_)
+    throw std::out_of_range("StateVector: qubit index " + std::to_string(q) +
+                            " out of range (n=" + std::to_string(n_) + ")");
+}
+
+void StateVector::apply_1q(const Matrix& u, QubitIndex q) {
+  check_qubit(q);
+  if (u.rows() != 2 || u.cols() != 2)
+    throw std::invalid_argument("apply_1q: matrix must be 2x2");
+  const StateIndex stride = StateIndex{1} << q;
+  const StateIndex dim = amps_.size();
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  for (StateIndex base = 0; base < dim; base += stride * 2) {
+    for (StateIndex off = 0; off < stride; ++off) {
+      const StateIndex i0 = base + off;
+      const StateIndex i1 = i0 + stride;
+      const cplx a0 = amps_[i0];
+      const cplx a1 = amps_[i1];
+      amps_[i0] = u00 * a0 + u01 * a1;
+      amps_[i1] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled_1q(const Matrix& u,
+                                      const std::vector<QubitIndex>& controls,
+                                      QubitIndex target) {
+  check_qubit(target);
+  if (u.rows() != 2 || u.cols() != 2)
+    throw std::invalid_argument("apply_controlled_1q: matrix must be 2x2");
+  StateIndex control_mask = 0;
+  for (QubitIndex c : controls) {
+    check_qubit(c);
+    if (c == target)
+      throw std::invalid_argument(
+          "apply_controlled_1q: control equals target");
+    control_mask |= StateIndex{1} << c;
+  }
+  const StateIndex stride = StateIndex{1} << target;
+  const StateIndex dim = amps_.size();
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  for (StateIndex base = 0; base < dim; base += stride * 2) {
+    for (StateIndex off = 0; off < stride; ++off) {
+      const StateIndex i0 = base + off;
+      if ((i0 & control_mask) != control_mask) continue;
+      const StateIndex i1 = i0 + stride;
+      const cplx a0 = amps_[i0];
+      const cplx a1 = amps_[i1];
+      amps_[i0] = u00 * a0 + u01 * a1;
+      amps_[i1] = u10 * a0 + u11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0) {
+  check_qubit(q1);
+  check_qubit(q0);
+  if (q1 == q0)
+    throw std::invalid_argument("apply_2q: identical qubit operands");
+  if (u.rows() != 4 || u.cols() != 4)
+    throw std::invalid_argument("apply_2q: matrix must be 4x4");
+  const StateIndex m1 = StateIndex{1} << q1;
+  const StateIndex m0 = StateIndex{1} << q0;
+  const StateIndex dim = amps_.size();
+  for (StateIndex i = 0; i < dim; ++i) {
+    // Visit each 4-amplitude block once, from its (q1=0, q0=0) member.
+    if ((i & m1) || (i & m0)) continue;
+    const StateIndex i00 = i;
+    const StateIndex i01 = i | m0;
+    const StateIndex i10 = i | m1;
+    const StateIndex i11 = i | m1 | m0;
+    const cplx a00 = amps_[i00];
+    const cplx a01 = amps_[i01];
+    const cplx a10 = amps_[i10];
+    const cplx a11 = amps_[i11];
+    amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
+    amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
+    amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
+    amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
+  }
+}
+
+void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) throw std::invalid_argument("apply_swap: identical operands");
+  const StateIndex ma = StateIndex{1} << a;
+  const StateIndex mb = StateIndex{1} << b;
+  const StateIndex dim = amps_.size();
+  for (StateIndex i = 0; i < dim; ++i) {
+    // Swap amplitudes between (a=1,b=0) and (a=0,b=1) once per pair.
+    if ((i & ma) && !(i & mb)) {
+      const StateIndex j = (i & ~ma) | mb;
+      std::swap(amps_[i], amps_[j]);
+    }
+  }
+}
+
+double StateVector::prob_one(QubitIndex q) const {
+  check_qubit(q);
+  const StateIndex mask = StateIndex{1} << q;
+  double p = 0.0;
+  for (StateIndex i = 0; i < amps_.size(); ++i)
+    if (i & mask) p += std::norm(amps_[i]);
+  return p;
+}
+
+int StateVector::measure(QubitIndex q, Rng& rng) {
+  const double p1 = prob_one(q);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const StateIndex mask = StateIndex{1} << q;
+  const double keep_prob = outcome ? p1 : 1.0 - p1;
+  const double scale =
+      keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  for (StateIndex i = 0; i < amps_.size(); ++i) {
+    const bool bit = (i & mask) != 0;
+    if (bit == static_cast<bool>(outcome))
+      amps_[i] *= scale;
+    else
+      amps_[i] = cplx(0.0, 0.0);
+  }
+  return outcome;
+}
+
+void StateVector::prep_z(QubitIndex q, Rng& rng) {
+  if (measure(q, rng) == 1) apply_1q(Matrix{{0, 1}, {1, 0}}, q);
+}
+
+std::vector<int> StateVector::measure_all(Rng& rng) {
+  std::vector<int> bits(n_);
+  for (QubitIndex q = 0; q < n_; ++q) bits[q] = measure(q, rng);
+  return bits;
+}
+
+StateIndex StateVector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  for (StateIndex i = 0; i < amps_.size(); ++i) {
+    r -= std::norm(amps_[i]);
+    if (r < 0.0) return i;
+  }
+  return amps_.size() - 1;
+}
+
+double StateVector::expectation_z(QubitIndex q) const {
+  return 1.0 - 2.0 * prob_one(q);
+}
+
+double StateVector::expectation_diagonal(
+    const std::function<double(StateIndex)>& f) const {
+  double e = 0.0;
+  for (StateIndex i = 0; i < amps_.size(); ++i) {
+    const double p = std::norm(amps_[i]);
+    if (p > 0.0) e += p * f(i);
+  }
+  return e;
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const cplx& a : amps_) s += std::norm(a);
+  return s;
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n <= 0.0)
+    throw std::runtime_error("StateVector::normalize: zero state");
+  const double scale = 1.0 / std::sqrt(n);
+  for (cplx& a : amps_) a *= scale;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  if (other.n_ != n_)
+    throw std::invalid_argument("fidelity: qubit count mismatch");
+  cplx overlap(0.0, 0.0);
+  for (StateIndex i = 0; i < amps_.size(); ++i)
+    overlap += std::conj(amps_[i]) * other.amps_[i];
+  return std::norm(overlap);
+}
+
+std::string StateVector::basis_string(StateIndex basis) const {
+  std::string s(n_, '0');
+  for (QubitIndex q = 0; q < n_; ++q)
+    if (basis & (StateIndex{1} << q)) s[q] = '1';
+  return s;
+}
+
+}  // namespace qs::sim

@@ -1,0 +1,93 @@
+// Dense 2^n state-vector engine — the mathematical core of the QX-like
+// simulator (paper Section 2.7). Qubit 0 is the least significant bit of
+// the basis-state index; bitstrings render with q[0] as the leftmost
+// character (cQASM display convention).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace qs::sim {
+
+class StateVector {
+ public:
+  /// Initialises |0...0> on `qubit_count` qubits.
+  /// Throws std::invalid_argument above kMaxQubits (memory guard).
+  explicit StateVector(std::size_t qubit_count);
+
+  static constexpr std::size_t kMaxQubits = 28;
+
+  std::size_t qubit_count() const { return n_; }
+  std::size_t dimension() const { return amps_.size(); }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  const cplx& amplitude(StateIndex basis) const { return amps_[basis]; }
+  void set_amplitude(StateIndex basis, cplx value) { amps_[basis] = value; }
+
+  /// Applies a 2x2 unitary to qubit q.
+  void apply_1q(const Matrix& u, QubitIndex q);
+
+  /// Applies a 2x2 unitary to the target, conditioned on all controls = 1.
+  void apply_controlled_1q(const Matrix& u,
+                           const std::vector<QubitIndex>& controls,
+                           QubitIndex target);
+
+  /// Applies a full 4x4 unitary to (q1, q0) where q1 indexes the most
+  /// significant bit of the matrix ordering.
+  void apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0);
+
+  /// Swap without matrix arithmetic (pure amplitude permutation).
+  void apply_swap(QubitIndex a, QubitIndex b);
+
+  /// Probability of reading 1 on qubit q.
+  double prob_one(QubitIndex q) const;
+
+  /// Projective Z measurement with collapse; returns the outcome bit.
+  int measure(QubitIndex q, Rng& rng);
+
+  /// Forces qubit q into |0> (projective preparation: measure + conditional X).
+  void prep_z(QubitIndex q, Rng& rng);
+
+  /// Measures every qubit (in index order) with collapse.
+  std::vector<int> measure_all(Rng& rng);
+
+  /// Samples a basis state from |amp|^2 without collapsing.
+  StateIndex sample(Rng& rng) const;
+
+  /// <Z_q> expectation.
+  double expectation_z(QubitIndex q) const;
+
+  /// Expectation of a diagonal observable: sum_i |amp_i|^2 * f(i).
+  double expectation_diagonal(
+      const std::function<double(StateIndex)>& f) const;
+
+  /// Squared norm (should stay 1 within rounding).
+  double norm() const;
+
+  /// Rescales amplitudes to unit norm.
+  void normalize();
+
+  /// Fidelity |<this|other>|^2 against another state of equal size.
+  double fidelity(const StateVector& other) const;
+
+  /// Renders basis index as bitstring with q[0] leftmost.
+  std::string basis_string(StateIndex basis) const;
+
+  /// Direct access for benchmarks and tests.
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+
+ private:
+  void check_qubit(QubitIndex q) const;
+
+  std::size_t n_;
+  std::vector<cplx> amps_;
+};
+
+}  // namespace qs::sim

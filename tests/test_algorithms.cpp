@@ -1,0 +1,162 @@
+// Tests for the canonical algorithm builders: Deutsch-Jozsa,
+// Bernstein-Vazirani, Grover search and quantum phase estimation — each
+// verified end to end on the simulator, plus parameterised sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/algorithms.h"
+#include "compiler/compiler.h"
+#include "sim/simulator.h"
+
+namespace qs::compiler::algorithms {
+namespace {
+
+/// Runs the program once and returns the integer read LSB-first from the
+/// first `bits` measured classical bits.
+std::uint64_t run_and_read(const Program& p, std::size_t bits,
+                           std::uint64_t seed = 1) {
+  sim::Simulator s(p.qubit_count(), sim::QubitModel::perfect(), seed);
+  const auto measured = s.run_once(p.to_qasm());
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits; ++i)
+    v |= static_cast<std::uint64_t>(measured[i]) << i;
+  return v;
+}
+
+// ------------------------------------------------------ Deutsch-Jozsa ----
+
+TEST(DeutschJozsa, ConstantOracleReadsZero) {
+  for (std::size_t n : {1u, 3u, 5u}) {
+    const Program p = deutsch_jozsa(n, /*oracle_constant=*/true);
+    EXPECT_EQ(run_and_read(p, n), 0u) << "n=" << n;
+  }
+}
+
+TEST(DeutschJozsa, BalancedOracleReadsNonZero) {
+  for (std::uint64_t mask : {0b1ull, 0b101ull, 0b111ull}) {
+    const Program p = deutsch_jozsa(3, /*oracle_constant=*/false, mask);
+    EXPECT_NE(run_and_read(p, 3), 0u) << "mask=" << mask;
+  }
+}
+
+TEST(DeutschJozsa, SingleQueryOnly) {
+  // The whole point: one oracle invocation. Count oracle-kernel gates.
+  const Program p = deutsch_jozsa(4, false, 0b1010);
+  ASSERT_EQ(p.kernels().size(), 3u);  // prep, oracle, readout
+  EXPECT_EQ(p.kernels()[1].circuit().two_qubit_gate_count(), 2u);  // |mask|
+}
+
+TEST(DeutschJozsa, RejectsBadArguments) {
+  EXPECT_THROW(deutsch_jozsa(0, true), std::invalid_argument);
+  EXPECT_THROW(deutsch_jozsa(3, false, 0), std::invalid_argument);
+  EXPECT_THROW(deutsch_jozsa(3, false, 0b10000), std::invalid_argument);
+}
+
+// -------------------------------------------------- Bernstein-Vazirani ----
+
+class BernsteinVaziraniP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BernsteinVaziraniP, RecoversSecretInOneQuery) {
+  const std::uint64_t secret = GetParam();
+  const Program p = bernstein_vazirani(5, secret);
+  EXPECT_EQ(run_and_read(p, 5), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, BernsteinVaziraniP,
+                         ::testing::Values(0b00000, 0b00001, 0b10000,
+                                           0b10101, 0b11111, 0b01110));
+
+TEST(BernsteinVazirani, WorksThroughTransmonCompilation) {
+  // Full-stack: decompose to the native set, then run — answer unchanged.
+  const Program p = bernstein_vazirani(4, 0b1011);
+  Platform platform = Platform::perfect(5);
+  platform.primitive_gates = Platform::superconducting17().primitive_gates;
+  Compiler compiler(platform);
+  const CompileResult compiled = compiler.compile(p);
+  sim::Simulator s(5, sim::QubitModel::perfect(), 3);
+  const auto bits = s.run_once(compiled.program);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint64_t>(bits[i]) << i;
+  EXPECT_EQ(v, 0b1011u);
+}
+
+// --------------------------------------------------------------- Grover ----
+
+class GroverSearchP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroverSearchP, FindsMarkedStateWithHighProbability) {
+  const std::uint64_t marked = GetParam();
+  const Program p = grover_search(4, marked);
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    hits += run_and_read(p, 4, seed) == marked ? 1 : 0;
+  // Theoretical success at k_opt for N=16 is ~0.961.
+  EXPECT_GE(hits, 16) << "marked=" << marked;
+}
+
+INSTANTIATE_TEST_SUITE_P(MarkedStates, GroverSearchP,
+                         ::testing::Values(0, 1, 7, 9, 15));
+
+TEST(GroverSearch, IterationCountScaling) {
+  EXPECT_EQ(grover_iterations(2), 1u);
+  EXPECT_EQ(grover_iterations(4), 3u);
+  // pi/4 sqrt(2^10) ~ 25.
+  EXPECT_NEAR(static_cast<double>(grover_iterations(10)), 25.0, 1.0);
+}
+
+TEST(GroverSearch, TwoQubitCaseIsExact) {
+  // N=4 single iteration: certainty.
+  const Program p = grover_search(2, 0b10);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    EXPECT_EQ(run_and_read(p, 2, seed), 0b10u);
+}
+
+TEST(GroverSearch, RejectsBadArguments) {
+  EXPECT_THROW(grover_search(1, 0), std::invalid_argument);
+  EXPECT_THROW(grover_search(13, 0), std::invalid_argument);
+  EXPECT_THROW(grover_search(3, 8), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ QPE ----
+
+class PhaseEstimationP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseEstimationP, ExactPhasesMeasureExactly) {
+  const int k = GetParam();
+  const std::size_t m = 4;
+  const double phi = static_cast<double>(k) / 16.0;
+  const Program p = phase_estimation(m, phi);
+  EXPECT_EQ(run_and_read(p, m), static_cast<std::uint64_t>(k))
+      << "phi=" << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(SixteenthTurns, PhaseEstimationP,
+                         ::testing::Range(0, 16));
+
+TEST(PhaseEstimation, InexactPhaseLandsOnNeighbour) {
+  // phi = 0.2 with 4 bits: 0.2 * 16 = 3.2; mass concentrates on the
+  // neighbourhood of 3 (the sinc-shaped QPE distribution).
+  const Program p = phase_estimation(4, 0.2);
+  int near = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto v = run_and_read(p, 4, seed);
+    if (v >= 2 && v <= 5) ++near;
+  }
+  EXPECT_GE(near, 19);
+}
+
+TEST(PhaseEstimation, MorePrecisionBitsSharpenEstimate) {
+  // phi = 11/64 is exact at 6 bits but inexact at 3.
+  const double phi = 11.0 / 64.0;
+  const Program exact = phase_estimation(6, phi);
+  EXPECT_EQ(run_and_read(exact, 6), 11u);
+}
+
+TEST(PhaseEstimation, RejectsBadArguments) {
+  EXPECT_THROW(phase_estimation(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(phase_estimation(13, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qs::compiler::algorithms

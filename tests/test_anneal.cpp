@@ -1,0 +1,394 @@
+// Unit tests for the annealing substrate: QUBO/Ising algebra, simulated
+// (quantum) annealers, Chimera graphs, minor embedding and the digital
+// annealer.
+#include <gtest/gtest.h>
+
+#include "anneal/annealer.h"
+#include "anneal/chimera.h"
+#include "anneal/digital_annealer.h"
+#include "anneal/embedding.h"
+#include "anneal/qubo.h"
+
+namespace qs::anneal {
+namespace {
+
+/// Small frustrated QUBO with known minimum: a triangle of antiferro
+/// couplings plus a field. min at x = (1,0,1) or symmetric variants.
+Qubo triangle_qubo() {
+  Qubo q(3);
+  q.add(0, 1, 2.0);
+  q.add(1, 2, 2.0);
+  q.add(0, 2, 2.0);
+  q.add(0, 0, -1.0);
+  q.add(1, 1, -1.0);
+  q.add(2, 2, -1.0);
+  return q;
+}
+
+/// MaxCut-style Ising ring of n spins with antiferromagnetic couplings.
+IsingModel af_ring(std::size_t n) {
+  IsingModel m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    m.add_coupling(i, (i + 1) % n, 1.0);
+  return m;
+}
+
+// ---------------------------------------------------------------- QUBO ----
+
+TEST(Qubo, EnergyEvaluation) {
+  Qubo q(2);
+  q.add(0, 0, -1.0);
+  q.add(0, 1, 2.0);
+  EXPECT_EQ(q.energy({0, 0}), 0.0);
+  EXPECT_EQ(q.energy({1, 0}), -1.0);
+  EXPECT_EQ(q.energy({1, 1}), 1.0);
+  EXPECT_THROW(q.energy({1}), std::invalid_argument);
+}
+
+TEST(Qubo, SymmetricAccumulation) {
+  Qubo q(3);
+  q.add(2, 0, 1.5);
+  q.add(0, 2, 0.5);
+  EXPECT_EQ(q.coeff(0, 2), 2.0);
+  EXPECT_EQ(q.coeff(2, 0), 2.0);
+}
+
+TEST(Qubo, BruteForceFindsTriangleMinimum) {
+  // Setting one variable gives -1; any second adds +2 -1 = +1.
+  const auto [x, e] = triangle_qubo().brute_force_minimum();
+  EXPECT_EQ(e, -1.0);
+  EXPECT_EQ(x[0] + x[1] + x[2], 1);
+}
+
+TEST(Qubo, BruteForceEnumeratesExactly) {
+  // For the triangle QUBO, setting exactly one variable gives -1; two
+  // variables gives -2 + 2 = 0 ... enumerate explicitly to pin semantics.
+  const Qubo q = triangle_qubo();
+  EXPECT_EQ(q.energy({1, 0, 0}), -1.0);
+  EXPECT_EQ(q.energy({1, 1, 0}), 0.0);
+  EXPECT_EQ(q.energy({1, 1, 1}), 3.0);
+  const auto [x, e] = q.brute_force_minimum();
+  EXPECT_EQ(e, -1.0);
+}
+
+TEST(Qubo, IsingRoundTripPreservesArgmin) {
+  const Qubo q = triangle_qubo();
+  const IsingModel ising = q.to_ising();
+  // Energies must agree up to the constant offset for every assignment.
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    std::vector<int> x(3), s(3);
+    for (int i = 0; i < 3; ++i) {
+      x[i] = (mask >> i) & 1;
+      s[i] = x[i] ? 1 : -1;
+    }
+    EXPECT_NEAR(q.energy(x), ising.energy(s), 1e-12) << mask;
+  }
+}
+
+TEST(Qubo, FromIsingInverts) {
+  IsingModel m(3);
+  m.add_field(0, 0.5);
+  m.add_coupling(0, 1, -1.0);
+  m.add_coupling(1, 2, 0.7);
+  const Qubo q = Qubo::from_ising(m);
+  // Argmin must match brute-force over the Ising model.
+  const auto [x, e] = q.brute_force_minimum();
+  double best_ising = 1e18;
+  std::vector<int> best_s;
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    std::vector<int> s(3);
+    for (int i = 0; i < 3; ++i) s[i] = (mask >> i) & 1 ? 1 : -1;
+    if (m.energy(s) < best_ising) {
+      best_ising = m.energy(s);
+      best_s = s;
+    }
+  }
+  EXPECT_EQ(x, spins_to_binary(best_s));
+}
+
+TEST(Qubo, SpinBinaryConversions) {
+  EXPECT_EQ(spins_to_binary({1, -1, 1}), (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(binary_to_spins({1, 0, 1}), (std::vector<int>{1, -1, 1}));
+}
+
+TEST(Qubo, EdgesAndCouplingCount) {
+  const Qubo q = triangle_qubo();
+  EXPECT_EQ(q.coupling_count(), 3u);
+  EXPECT_EQ(q.edges().size(), 3u);
+}
+
+TEST(Ising, AdjacencyFromCouplings) {
+  const IsingModel m = af_ring(4);
+  const auto adj = m.adjacency();
+  for (const auto& neighbours : adj) EXPECT_EQ(neighbours.size(), 2u);
+}
+
+// ----------------------------------------------------------- Annealers ----
+
+TEST(SimulatedAnnealer, SolvesAfRing) {
+  const IsingModel m = af_ring(8);
+  Rng rng(5);
+  AnnealSchedule schedule;
+  schedule.sweeps = 500;
+  const AnnealResult r = SimulatedAnnealer(schedule).solve(m, rng);
+  // Ground state of even AF ring: alternating spins, energy -n.
+  EXPECT_EQ(r.best_energy, -8.0);
+}
+
+TEST(SimulatedAnnealer, SolveQuboMatchesBruteForce) {
+  Rng rng(7);
+  const Qubo q = triangle_qubo();
+  AnnealSchedule schedule;
+  schedule.sweeps = 400;
+  schedule.restarts = 3;
+  const auto [x, e] = SimulatedAnnealer(schedule).solve_qubo(q, rng);
+  EXPECT_EQ(e, q.brute_force_minimum().second);
+}
+
+TEST(SimulatedAnnealer, RandomQuboMatchesBruteForce) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    Qubo q(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      q.add(i, i, rng.uniform(-1, 1));
+      for (std::size_t j = i + 1; j < 8; ++j)
+        if (rng.bernoulli(0.5)) q.add(i, j, rng.uniform(-1, 1));
+    }
+    AnnealSchedule schedule;
+    schedule.sweeps = 800;
+    schedule.restarts = 4;
+    const auto [x, e] = SimulatedAnnealer(schedule).solve_qubo(q, rng);
+    EXPECT_NEAR(e, q.brute_force_minimum().second, 1e-9) << trial;
+  }
+}
+
+TEST(SimulatedAnnealer, EmptyModelThrows) {
+  Rng rng(1);
+  EXPECT_THROW(SimulatedAnnealer().solve(IsingModel(0), rng),
+               std::invalid_argument);
+}
+
+TEST(QuantumAnnealer, SolvesAfRing) {
+  const IsingModel m = af_ring(8);
+  Rng rng(13);
+  QuantumAnnealSchedule schedule;
+  schedule.sweeps = 400;
+  schedule.restarts = 2;
+  const AnnealResult r = SimulatedQuantumAnnealer(schedule).solve(m, rng);
+  EXPECT_EQ(r.best_energy, -8.0);
+}
+
+TEST(QuantumAnnealer, SolveQuboFindsOptimum) {
+  Rng rng(17);
+  const Qubo q = triangle_qubo();
+  QuantumAnnealSchedule schedule;
+  schedule.sweeps = 400;
+  schedule.restarts = 3;
+  const auto [x, e] = SimulatedQuantumAnnealer(schedule).solve_qubo(q, rng);
+  EXPECT_NEAR(e, -1.0, 1e-12);
+}
+
+TEST(QuantumAnnealer, MoreSweepsNotWorse) {
+  // Statistical sanity: long schedules find the AF-ring ground state more
+  // reliably than 1-sweep schedules.
+  const IsingModel m = af_ring(12);
+  int hits_short = 0, hits_long = 0;
+  for (int t = 0; t < 10; ++t) {
+    Rng rng(100 + t);
+    QuantumAnnealSchedule s1;
+    s1.sweeps = 2;
+    QuantumAnnealSchedule s2;
+    s2.sweeps = 300;
+    if (SimulatedQuantumAnnealer(s1).solve(m, rng).best_energy == -12.0)
+      ++hits_short;
+    if (SimulatedQuantumAnnealer(s2).solve(m, rng).best_energy == -12.0)
+      ++hits_long;
+  }
+  EXPECT_GE(hits_long, hits_short);
+  EXPECT_GE(hits_long, 8);
+}
+
+// ------------------------------------------------------------- Chimera ----
+
+TEST(Chimera, Dwave2000qDimensions) {
+  const ChimeraGraph g = ChimeraGraph::dwave2000q();
+  EXPECT_EQ(g.size(), 2048u);
+  // Edges: cells 16*16*16 (K44) + vertical 15*16*4 + horizontal 16*15*4.
+  EXPECT_EQ(g.edge_count(), 16u * 16 * 16 + 2u * 15 * 16 * 4);
+}
+
+TEST(Chimera, IntraCellBipartite) {
+  const ChimeraGraph g(2, 2, 4);
+  // side-0 shore connects to all side-1 in same cell, none within shore.
+  EXPECT_TRUE(g.connected(g.node_id(0, 0, 0, 0), g.node_id(0, 0, 1, 3)));
+  EXPECT_FALSE(g.connected(g.node_id(0, 0, 0, 0), g.node_id(0, 0, 0, 1)));
+}
+
+TEST(Chimera, InterCellCouplers) {
+  const ChimeraGraph g(2, 2, 4);
+  // Vertical: side-0 same k, row neighbour.
+  EXPECT_TRUE(g.connected(g.node_id(0, 0, 0, 2), g.node_id(1, 0, 0, 2)));
+  EXPECT_FALSE(g.connected(g.node_id(0, 0, 0, 2), g.node_id(1, 0, 0, 3)));
+  // Horizontal: side-1 same k, column neighbour.
+  EXPECT_TRUE(g.connected(g.node_id(0, 0, 1, 1), g.node_id(0, 1, 1, 1)));
+  EXPECT_FALSE(g.connected(g.node_id(0, 0, 1, 1), g.node_id(1, 0, 1, 1)));
+}
+
+TEST(Chimera, DegreeBounds) {
+  const ChimeraGraph g = ChimeraGraph::dwave2000q();
+  // Interior node: 4 intra + 2 inter = 6.
+  EXPECT_NEAR(g.average_degree(), 5.875, 0.01);
+  EXPECT_THROW(g.node_id(16, 0, 0, 0), std::out_of_range);
+}
+
+// ----------------------------------------------------------- Embedding ----
+
+HardwareGraph chimera_hw(const ChimeraGraph& g) {
+  HardwareGraph hw;
+  hw.adjacency.resize(g.size());
+  for (std::size_t n = 0; n < g.size(); ++n) hw.adjacency[n] = g.neighbours(n);
+  return hw;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> complete_graph_edges(
+    std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return edges;
+}
+
+/// Validates an embedding: chains disjoint and connected, every logical
+/// edge has a physical coupler between its chains.
+void expect_valid_embedding(
+    const Embedding& emb, std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const HardwareGraph& hw) {
+  ASSERT_TRUE(emb.success);
+  std::vector<int> owner(hw.size(), -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_FALSE(emb.chains[v].empty());
+    for (std::size_t node : emb.chains[v]) {
+      ASSERT_EQ(owner[node], -1) << "chains overlap at node " << node;
+      owner[node] = static_cast<int>(v);
+    }
+  }
+  // Chain connectivity by BFS within chain.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& chain = emb.chains[v];
+    std::vector<std::size_t> stack{chain[0]};
+    std::vector<bool> seen(hw.size(), false);
+    seen[chain[0]] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t w : hw.adjacency[u]) {
+        if (!seen[w] && owner[w] == static_cast<int>(v)) {
+          seen[w] = true;
+          ++reached;
+          stack.push_back(w);
+        }
+      }
+    }
+    EXPECT_EQ(reached, chain.size()) << "chain " << v << " disconnected";
+  }
+  // Coupler per logical edge.
+  for (const auto& [a, b] : edges) {
+    bool coupled = false;
+    for (std::size_t u : emb.chains[a]) {
+      for (std::size_t w : hw.adjacency[u])
+        if (owner[w] == static_cast<int>(b)) coupled = true;
+    }
+    EXPECT_TRUE(coupled) << "edge " << a << "-" << b << " uncoupled";
+  }
+}
+
+TEST(Embedding, TriangleOnChimera) {
+  const ChimeraGraph g(2, 2, 4);
+  const HardwareGraph hw = chimera_hw(g);
+  Rng rng(3);
+  const auto edges = complete_graph_edges(3);
+  const Embedding emb = Embedder(4).embed(3, edges, hw, rng);
+  expect_valid_embedding(emb, 3, edges, hw);
+}
+
+TEST(Embedding, HeuristicK6OnSmallChimera) {
+  const ChimeraGraph g(4, 4, 4);
+  const HardwareGraph hw = chimera_hw(g);
+  Rng rng(5);
+  const auto edges = complete_graph_edges(6);
+  const Embedding emb = Embedder(4).embed(6, edges, hw, rng);
+  expect_valid_embedding(emb, 6, edges, hw);
+  EXPECT_GT(emb.max_chain_length, 1u);  // K6 needs chains on Chimera
+}
+
+TEST(Embedding, CliqueTemplateK64OnDwave2000q) {
+  const ChimeraGraph g = ChimeraGraph::dwave2000q();
+  EXPECT_EQ(chimera_clique_capacity(g), 64u);
+  const HardwareGraph hw = chimera_hw(g);
+  const auto edges = complete_graph_edges(64);
+  const Embedding emb = chimera_clique_embedding(64, g);
+  expect_valid_embedding(emb, 64, edges, hw);
+  EXPECT_EQ(emb.max_chain_length, 17u);  // m + 1
+}
+
+TEST(Embedding, CliqueTemplateRejectsOversize) {
+  const ChimeraGraph g = ChimeraGraph::dwave2000q();
+  EXPECT_FALSE(chimera_clique_embedding(65, g).success);
+  EXPECT_THROW(chimera_clique_embedding(4, ChimeraGraph(2, 3, 4)),
+               std::invalid_argument);
+}
+
+TEST(Embedding, ImpossibleOnTinyHardware) {
+  // K5 cannot embed in a 4-node path.
+  HardwareGraph hw;
+  hw.adjacency = {{1}, {0, 2}, {1, 3}, {2}};
+  Rng rng(7);
+  const Embedding emb = Embedder(3).embed(5, complete_graph_edges(5), hw, rng);
+  EXPECT_FALSE(emb.success);
+}
+
+TEST(Embedding, EdgelessGraphTrivial) {
+  const ChimeraGraph g(1, 1, 4);
+  const HardwareGraph hw = chimera_hw(g);
+  Rng rng(9);
+  const Embedding emb = Embedder(1).embed(4, {}, hw, rng);
+  ASSERT_TRUE(emb.success);
+  EXPECT_EQ(emb.physical_qubits_used, 4u);
+  EXPECT_EQ(emb.max_chain_length, 1u);
+}
+
+// ------------------------------------------------------ DigitalAnnealer ----
+
+TEST(DigitalAnnealer, SolvesTriangle) {
+  Rng rng(11);
+  DigitalAnnealerParams params;
+  params.iterations = 3000;
+  params.restarts = 2;
+  const auto [x, e] = DigitalAnnealer(params).solve(triangle_qubo(), rng);
+  EXPECT_NEAR(e, -1.0, 1e-12);
+}
+
+TEST(DigitalAnnealer, MatchesBruteForceOnRandom) {
+  Rng rng(13);
+  Qubo q(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    q.add(i, i, rng.uniform(-1, 1));
+    for (std::size_t j = i + 1; j < 10; ++j)
+      q.add(i, j, rng.uniform(-0.5, 0.5));
+  }
+  DigitalAnnealerParams params;
+  params.iterations = 8000;
+  params.restarts = 3;
+  const auto [x, e] = DigitalAnnealer(params).solve(q, rng);
+  EXPECT_NEAR(e, q.brute_force_minimum().second, 1e-9);
+}
+
+TEST(DigitalAnnealer, CapacityGuard) {
+  EXPECT_TRUE(DigitalAnnealer::fits(8192));
+  EXPECT_FALSE(DigitalAnnealer::fits(8193));
+}
+
+}  // namespace
+}  // namespace qs::anneal

@@ -1,0 +1,138 @@
+// Tests for the quantum arithmetic module: Cuccaro ripple-carry and
+// Draper Fourier-basis adders, verified exhaustively at small widths and
+// on superpositions.
+#include <gtest/gtest.h>
+
+#include "compiler/arithmetic.h"
+#include "compiler/compiler.h"
+#include "sim/simulator.h"
+
+namespace qs::compiler::arithmetic {
+namespace {
+
+std::uint64_t read_bits(const std::vector<int>& bits, std::size_t offset,
+                        std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    v |= static_cast<std::uint64_t>(bits[offset + i]) << i;
+  return v;
+}
+
+// ---------------------------------------------------- exhaustive sweeps ----
+
+class CuccaroWidthP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CuccaroWidthP, AllInputPairsAddCorrectly) {
+  const std::size_t n = GetParam();
+  const std::uint64_t mask = (1ULL << n) - 1;
+  for (std::uint64_t a = 0; a <= mask; ++a) {
+    for (std::uint64_t b = 0; b <= mask; ++b) {
+      const Program p = cuccaro_demo(n, a, b);
+      sim::Simulator s(2 * n + 1, sim::QubitModel::perfect(), 1);
+      const auto bits = s.run_once(p.to_qasm());
+      ASSERT_EQ(read_bits(bits, n, n), (a + b) & mask)
+          << a << "+" << b << " (n=" << n << ")";
+      // The `a` register and the ancilla must be restored.
+      // (a register is not measured; check the state directly.)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CuccaroWidthP, ::testing::Values(1, 2, 3));
+
+class DraperWidthP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DraperWidthP, AllConstantsAddCorrectly) {
+  const std::size_t n = GetParam();
+  const std::uint64_t mask = (1ULL << n) - 1;
+  for (std::uint64_t b = 0; b <= mask; ++b) {
+    for (std::uint64_t c = 0; c <= mask; ++c) {
+      const Program p = draper_demo(n, b, c);
+      sim::Simulator s(n, sim::QubitModel::perfect(), 1);
+      const auto bits = s.run_once(p.to_qasm());
+      ASSERT_EQ(read_bits(bits, 0, n), (b + c) & mask)
+          << b << "+" << c << " (n=" << n << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DraperWidthP, ::testing::Values(1, 2, 3, 4));
+
+// ----------------------------------------------------------- properties ----
+
+TEST(Cuccaro, PreservesInputRegisterAndAncilla) {
+  // |a>|b> -> |a>|a+b>: verify the a register and ancilla by state probe.
+  const std::size_t n = 3;
+  Program p("probe", 2 * n + 1);
+  auto& prep = p.add_kernel("prep");
+  prep.x(0).x(2);  // a = 0b101
+  prep.x(4);       // b = 0b010
+  auto& add = p.add_kernel("add");
+  cuccaro_add(add, n);
+  sim::Simulator s(2 * n + 1);
+  s.run_once(p.to_qasm());
+  // a register must still read 0b101, ancilla 0.
+  EXPECT_NEAR(s.state().prob_one(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.state().prob_one(1), 0.0, 1e-9);
+  EXPECT_NEAR(s.state().prob_one(2), 1.0, 1e-9);
+  EXPECT_NEAR(s.state().prob_one(6), 0.0, 1e-9);
+}
+
+TEST(Cuccaro, AddsInSuperposition) {
+  // a in (|0> + |1>)/sqrt2, b = 1: result entangles b with a as 1 or 2.
+  const std::size_t n = 2;
+  Program p("super", 2 * n + 1);
+  auto& prep = p.add_kernel("prep");
+  prep.h(0);  // a = |0> + |1>
+  prep.x(2);  // b = 1
+  auto& add = p.add_kernel("add");
+  cuccaro_add(add, n);
+  sim::Simulator s(2 * n + 1);
+  s.run_once(p.to_qasm());
+  // Expect equal weight on (a=0,b=01) and (a=1,b=10):
+  // basis: q0=a0, q1=a1, q2=b0, q3=b1, q4=anc.
+  const double p0 = std::norm(s.state().amplitude(0b00100));  // a=0,b=1
+  const double p1 = std::norm(s.state().amplitude(0b01001));  // a=1,b=2
+  EXPECT_NEAR(p0, 0.5, 1e-9);
+  EXPECT_NEAR(p1, 0.5, 1e-9);
+}
+
+TEST(Draper, AdditionIsModular) {
+  const Program p = draper_demo(3, 7, 3);  // 10 mod 8 = 2
+  sim::Simulator s(3);
+  const auto bits = s.run_once(p.to_qasm());
+  EXPECT_EQ(read_bits(bits, 0, 3), 2u);
+}
+
+TEST(Draper, ZeroConstantIsIdentity) {
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    const Program p = draper_demo(3, b, 0);
+    sim::Simulator s(3);
+    const auto bits = s.run_once(p.to_qasm());
+    EXPECT_EQ(read_bits(bits, 0, 3), b);
+  }
+}
+
+TEST(Draper, ComposesWithTransmonCompilation) {
+  // The adder survives decomposition to the native gate set.
+  const Program p = draper_demo(3, 5, 4);  // 9 mod 8 = 1
+  Platform platform = Platform::perfect(3);
+  platform.primitive_gates = Platform::superconducting17().primitive_gates;
+  Compiler compiler(platform);
+  const CompileResult compiled = compiler.compile(p);
+  sim::Simulator s(3, sim::QubitModel::perfect(), 2);
+  const auto bits = s.run_once(compiled.program);
+  EXPECT_EQ(read_bits(bits, 0, 3), 1u);
+}
+
+TEST(Arithmetic, ArgumentValidation) {
+  EXPECT_THROW(cuccaro_demo(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(cuccaro_demo(9, 0, 0), std::invalid_argument);
+  EXPECT_THROW(cuccaro_demo(3, 8, 0), std::invalid_argument);
+  EXPECT_THROW(draper_demo(3, 9, 0), std::invalid_argument);
+  Kernel small("k", 4);
+  EXPECT_THROW(cuccaro_add(small, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qs::compiler::arithmetic

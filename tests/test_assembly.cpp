@@ -1,0 +1,178 @@
+// Tests for the de novo assembly path (overlap graph + QUBO ordering +
+// annealer), the TTS metric, and Display-state logging.
+#include <gtest/gtest.h>
+
+#include "anneal/tts.h"
+#include "apps/genome/assembly.h"
+#include "apps/genome/dna.h"
+#include "common/logging.h"
+#include "qasm/parser.h"
+#include "sim/simulator.h"
+
+namespace qs {
+namespace {
+
+using namespace qs::apps::genome;
+
+// -------------------------------------------------------- OverlapGraph ----
+
+TEST(OverlapGraph, SuffixPrefixOverlaps) {
+  const OverlapGraph g({"ACGT", "GTAC", "TACG"});
+  EXPECT_EQ(g.overlap(0, 1), 2u);  // ACGT -> GTAC share "GT"
+  EXPECT_EQ(g.overlap(1, 2), 3u);  // GTAC -> TACG share "TAC"
+  EXPECT_EQ(g.overlap(2, 0), 3u);  // TACG -> ACGT share "ACG"
+  EXPECT_EQ(g.overlap(1, 0), 2u);  // GTAC -> ACGT share "AC"
+}
+
+TEST(OverlapGraph, OverlapDefinitionPinned) {
+  const OverlapGraph g({"AAGG", "GGAA"});
+  EXPECT_EQ(g.overlap(0, 1), 2u);  // "GG"
+  EXPECT_EQ(g.overlap(1, 0), 2u);  // "AA"
+  EXPECT_THROW(g.overlap(0, 5), std::out_of_range);
+  EXPECT_THROW(OverlapGraph({"ONE"}), std::invalid_argument);
+}
+
+TEST(OverlapGraph, AssembleMergesAlongOverlaps) {
+  const OverlapGraph g({"ACGT", "GTAC"});
+  EXPECT_EQ(g.assemble({0, 1}), "ACGTAC");
+  EXPECT_EQ(g.total_overlap({0, 1}), 2u);
+}
+
+TEST(OverlapGraph, GreedyRecoversShreddedGenome) {
+  DnaGenerator gen(3);
+  const std::string genome = gen.markov(30);
+  const auto reads = shred(genome, 10, 5);
+  const OverlapGraph g(reads);
+  const auto order = greedy_assembly_order(g);
+  EXPECT_EQ(g.assemble(order), genome);
+}
+
+TEST(Shred, CoversGenome) {
+  const auto reads = shred("ACGTACGTAC", 4, 2);
+  // Every read is a window; first starts at 0; last ends at genome end.
+  EXPECT_EQ(reads.front(), "ACGT");
+  EXPECT_EQ(reads.back(), "GTAC");
+  EXPECT_THROW(shred("ACG", 4, 2), std::invalid_argument);
+  EXPECT_THROW(shred("ACGT", 2, 3), std::invalid_argument);
+}
+
+// -------------------------------------------------------- AssemblyQubo ----
+
+TEST(AssemblyQubo, EncodingAndDecode) {
+  const OverlapGraph g({"ACGT", "GTAC", "TACG"});
+  const AssemblyQubo q(g);
+  EXPECT_EQ(q.variable_count(), 9u);
+  std::vector<int> x(9, 0);
+  x[q.var(2, 0)] = 1;
+  x[q.var(0, 1)] = 1;
+  x[q.var(1, 2)] = 1;
+  std::vector<std::size_t> order;
+  ASSERT_TRUE(q.decode(x, order));
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1}));
+  // Violations rejected.
+  x[q.var(0, 0)] = 1;
+  EXPECT_FALSE(q.decode(x, order));
+}
+
+TEST(AssemblyQubo, BruteForceMinimumIsBestOrdering) {
+  const OverlapGraph g({"ACGT", "GTAC", "TACG"});
+  const AssemblyQubo q(g);
+  const auto [x, e] = q.qubo().brute_force_minimum();
+  std::vector<std::size_t> order;
+  ASSERT_TRUE(q.decode(x, order));
+  // Exhaustive check over the 6 permutations.
+  std::size_t best = 0;
+  std::vector<std::size_t> perm{0, 1, 2};
+  std::sort(perm.begin(), perm.end());
+  do {
+    best = std::max(best, g.total_overlap(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(g.total_overlap(order), best);
+}
+
+// ------------------------------------------------------ denovo_assemble ----
+
+TEST(DenovoAssembly, ReconstructsGenomeEndToEnd) {
+  DnaGenerator gen(11);
+  const std::string genome = gen.markov(25);
+  const auto reads = shred(genome, 10, 5);
+  ASSERT_LE(reads.size() * reads.size(), 64u);  // QUBO stays small
+  Rng rng(5);
+  const AssemblyResult result = denovo_assemble(reads, rng);
+  EXPECT_EQ(result.sequence, genome);
+  EXPECT_GT(result.total_overlap, 0u);
+}
+
+TEST(DenovoAssembly, ShuffledReadsStillAssemble) {
+  DnaGenerator gen(13);
+  const std::string genome = gen.markov(22);
+  auto reads = shred(genome, 8, 4);
+  Rng shuffle_rng(17);
+  shuffle_rng.shuffle(reads);
+  Rng rng(7);
+  const AssemblyResult result = denovo_assemble(reads, rng);
+  EXPECT_EQ(result.sequence.size(), genome.size());
+  EXPECT_EQ(result.sequence, genome);
+}
+
+// ----------------------------------------------------------------- TTS ----
+
+TEST(TimeToSolution, AlwaysSucceedingSolver) {
+  Rng rng(1);
+  const anneal::TtsResult r = anneal::time_to_solution(
+      [](Rng&) { return -5.0; }, -5.0, 100.0, 20, rng);
+  EXPECT_EQ(r.success_probability, 1.0);
+  EXPECT_EQ(r.tts_sweeps, 100.0);
+}
+
+TEST(TimeToSolution, NeverSucceedingSolverIsInfinite) {
+  Rng rng(2);
+  const anneal::TtsResult r = anneal::time_to_solution(
+      [](Rng&) { return 0.0; }, -5.0, 100.0, 20, rng);
+  EXPECT_EQ(r.success_probability, 0.0);
+  EXPECT_TRUE(std::isinf(r.tts_sweeps));
+}
+
+TEST(TimeToSolution, HalfSuccessfulMatchesFormula) {
+  Rng rng(3);
+  int call = 0;
+  const anneal::TtsResult r = anneal::time_to_solution(
+      [&call](Rng&) { return (call++ % 2) ? 0.0 : -5.0; }, -5.0, 100.0, 40,
+      rng, 0.99);
+  EXPECT_NEAR(r.success_probability, 0.5, 1e-9);
+  // log(0.01)/log(0.5) ~ 6.64 runs.
+  EXPECT_NEAR(r.tts_sweeps, 100.0 * std::log(0.01) / std::log(0.5), 1e-6);
+}
+
+TEST(TimeToSolution, ArgumentValidation) {
+  Rng rng(4);
+  EXPECT_THROW(anneal::time_to_solution([](Rng&) { return 0.0; }, 0, 1, 0,
+                                        rng),
+               std::invalid_argument);
+  EXPECT_THROW(anneal::time_to_solution([](Rng&) { return 0.0; }, 0, 1, 5,
+                                        rng, 1.5),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Display ----
+
+TEST(Display, DumpsAmplitudesThroughLog) {
+  Log::set_capture(true);
+  Log::set_level(LogLevel::Info);
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 2
+h q[0]
+display
+)");
+  sim::Simulator s(2);
+  s.run_once(p);
+  const std::string captured = Log::drain_capture();
+  Log::set_capture(false);
+  Log::set_level(LogLevel::Warn);
+  EXPECT_NE(captured.find("state dump"), std::string::npos);
+  EXPECT_NE(captured.find("|00>"), std::string::npos);
+  EXPECT_NE(captured.find("|10>"), std::string::npos);  // q0=1 leftmost
+}
+
+}  // namespace
+}  // namespace qs

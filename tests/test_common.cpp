@@ -1,0 +1,273 @@
+// Unit tests for the common substrate: RNG, matrices, stats, config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/config.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace qs {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 40000; ++i)
+    ones += rng.discrete(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / 40000.0, 0.75, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsBadInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------- Matrix ----
+
+TEST(Matrix, IdentityTimesAnything) {
+  const Matrix m{{1, 2}, {3, cplx(0, 1)}};
+  EXPECT_TRUE((Matrix::identity(2) * m).approx_equal(m));
+  EXPECT_TRUE((m * Matrix::identity(2)).approx_equal(m));
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix expect{{19, 22}, {43, 50}};
+  EXPECT_TRUE((a * b).approx_equal(expect));
+}
+
+TEST(Matrix, DaggerOfProduct) {
+  const Matrix a{{cplx(0, 1), 1}, {0, 2}};
+  const Matrix b{{1, cplx(2, -1)}, {3, 0}};
+  // (AB)^dag = B^dag A^dag
+  EXPECT_TRUE((a * b).dagger().approx_equal(b.dagger() * a.dagger()));
+}
+
+TEST(Matrix, KronDimensions) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b = Matrix::identity(4);
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_TRUE(k.approx_equal(Matrix::identity(8)));
+}
+
+TEST(Matrix, KronOfPaulis) {
+  const Matrix x{{0, 1}, {1, 0}};
+  const Matrix z{{1, 0}, {0, -1}};
+  const Matrix xz = x.kron(z);
+  // X(x)Z maps |00> (col 0) to |10> with +1: entry (2,0) = 1.
+  EXPECT_NEAR(std::abs(xz(2, 0) - cplx(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(xz(3, 1) - cplx(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(Matrix, UnitarityChecks) {
+  const double s = 1.0 / std::sqrt(2.0);
+  const Matrix h{{s, s}, {s, -s}};
+  EXPECT_TRUE(h.is_unitary());
+  const Matrix not_unitary{{1, 1}, {0, 1}};
+  EXPECT_FALSE(not_unitary.is_unitary());
+}
+
+TEST(Matrix, EqualUpToPhase) {
+  const Matrix x{{0, 1}, {1, 0}};
+  const cplx phase = std::exp(cplx(0, 1.234));
+  EXPECT_TRUE((x * phase).equal_up_to_phase(x));
+  const Matrix z{{1, 0}, {0, -1}};
+  EXPECT_FALSE((x * phase).equal_up_to_phase(z));
+}
+
+TEST(Matrix, TraceAndErrors) {
+  const Matrix m{{1, 2}, {3, cplx(4, 5)}};
+  EXPECT_NEAR(std::abs(m.trace() - cplx(5, 5)), 0.0, 1e-12);
+  const Matrix rect(2, 3);
+  EXPECT_THROW(rect.trace(), std::invalid_argument);
+  EXPECT_THROW(rect + m, std::invalid_argument);
+  EXPECT_THROW(m * rect.dagger(), std::invalid_argument);
+  EXPECT_NO_THROW(m * rect);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndMode) {
+  Histogram h;
+  h.add("00");
+  h.add("01", 3);
+  h.add("00");
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count("00"), 2u);
+  EXPECT_EQ(h.count("10"), 0u);
+  EXPECT_NEAR(h.frequency("01"), 0.6, 1e-12);
+  EXPECT_EQ(h.mode(), "01");
+}
+
+TEST(Histogram, EmptyMode) {
+  Histogram h;
+  EXPECT_EQ(h.mode(), "");
+  EXPECT_EQ(h.frequency("x"), 0.0);
+}
+
+TEST(StatsHelpers, MeanStd) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_NEAR(mean_of({1, 2, 3}), 2.0, 1e-12);
+  EXPECT_NEAR(stddev_of({2, 4}), std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(stddev_of({5}), 0.0);
+}
+
+// -------------------------------------------------------------- Config ----
+
+TEST(Config, ParseSectionsAndTypes) {
+  const Config cfg = Config::parse(R"(
+# comment line
+top = 1
+[platform]
+name = test
+qubits = 17
+scale = 2.5
+enabled = true
+)");
+  EXPECT_EQ(cfg.get_string("", "top"), "1");
+  EXPECT_EQ(cfg.get_string("platform", "name"), "test");
+  EXPECT_EQ(cfg.get_int("platform", "qubits", 0), 17);
+  EXPECT_NEAR(cfg.get_double("platform", "scale", 0), 2.5, 1e-12);
+  EXPECT_TRUE(cfg.get_bool("platform", "enabled", false));
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config cfg = Config::parse("[a]\nx = 1\n");
+  EXPECT_EQ(cfg.get_int("a", "missing", -7), -7);
+  EXPECT_EQ(cfg.get_string("nosection", "x", "def"), "def");
+  EXPECT_FALSE(cfg.has("a", "missing"));
+  EXPECT_TRUE(cfg.has("a", "x"));
+}
+
+TEST(Config, SyntaxErrors) {
+  EXPECT_THROW(Config::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("keywithoutvalue\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse("= value\n"), std::runtime_error);
+}
+
+TEST(Config, RoundTrip) {
+  Config cfg;
+  cfg.set("s", "k", "v");
+  cfg.set("s", "n", "42");
+  const Config back = Config::parse(cfg.to_string());
+  EXPECT_EQ(back.get_string("s", "k"), "v");
+  EXPECT_EQ(back.get_int("s", "n", 0), 42);
+}
+
+TEST(Config, BadBooleanThrows) {
+  const Config cfg = Config::parse("[a]\nflag = maybe\n");
+  EXPECT_THROW(cfg.get_bool("a", "flag", false), std::runtime_error);
+}
+
+TEST(Config, KeysAndSectionsSorted) {
+  const Config cfg = Config::parse("[b]\nz=1\na=2\n[a]\nq=3\n");
+  const auto keys = cfg.keys("b");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "z");
+  const auto sections = cfg.sections();
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0], "a");
+}
+
+}  // namespace
+}  // namespace qs

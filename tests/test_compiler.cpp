@@ -1,0 +1,650 @@
+// Unit tests for the OpenQL-like compiler: topology, platform, kernels,
+// decomposition (verified by simulation equivalence), optimisation,
+// scheduling and mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "compiler/compiler.h"
+#include "compiler/decompose.h"
+#include "compiler/kernel.h"
+#include "compiler/mapper.h"
+#include "compiler/optimize.h"
+#include "compiler/platform.h"
+#include "compiler/schedule.h"
+#include "compiler/topology.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+
+namespace qs::compiler {
+namespace {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+/// Runs a (measurement-free) program on a fresh perfect simulator and
+/// returns the final state.
+sim::StateVector run_to_state(const qasm::Program& p, std::size_t qubits) {
+  sim::Simulator s(qubits, sim::QubitModel::perfect(), 1);
+  s.run_once(p);
+  return s.state();
+}
+
+/// Applies a random product-state prefix so equivalence checks do not pass
+/// trivially on |0...0>.
+void add_random_prefix(Kernel& k, std::size_t qubits, Rng& rng) {
+  for (QubitIndex q = 0; q < qubits; ++q) {
+    k.ry(q, rng.uniform(0, 2 * kPi));
+    k.rz(q, rng.uniform(0, 2 * kPi));
+  }
+}
+
+// ------------------------------------------------------------ Topology ----
+
+TEST(Topology, FullGraphDistances) {
+  const Topology t = Topology::full(5);
+  EXPECT_EQ(t.edge_count(), 10u);
+  EXPECT_EQ(t.distance(0, 4), 1u);
+  EXPECT_EQ(t.distance(2, 2), 0u);
+  EXPECT_TRUE(t.is_connected_graph());
+}
+
+TEST(Topology, LineDistances) {
+  const Topology t = Topology::line(6);
+  EXPECT_EQ(t.edge_count(), 5u);
+  EXPECT_EQ(t.distance(0, 5), 5u);
+  const auto path = t.shortest_path(0, 3);
+  EXPECT_EQ(path, (std::vector<QubitIndex>{0, 1, 2, 3}));
+}
+
+TEST(Topology, GridStructure) {
+  const Topology t = Topology::grid(3, 4);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.neighbours(5).size(), 4u);  // interior
+  EXPECT_EQ(t.neighbours(0).size(), 2u);  // corner
+  EXPECT_EQ(t.distance(0, 11), 5u);       // manhattan 2+3
+  EXPECT_TRUE(t.is_connected_graph());
+}
+
+TEST(Topology, Surface17Properties) {
+  const Topology t = Topology::surface17();
+  EXPECT_EQ(t.size(), 17u);
+  EXPECT_TRUE(t.is_connected_graph());
+  for (QubitIndex q = 0; q < 17; ++q)
+    EXPECT_GE(t.neighbours(q).size(), 1u);
+}
+
+TEST(Topology, AverageDistanceOrdering) {
+  const double full = Topology::full(9).average_distance();
+  const double grid = Topology::grid(3, 3).average_distance();
+  const double line = Topology::line(9).average_distance();
+  EXPECT_LT(full, grid);
+  EXPECT_LT(grid, line);
+}
+
+TEST(Topology, ErrorsAndEdgeIdempotence) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 1);  // duplicate ignored
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_THROW(t.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.add_edge(0, 9), std::out_of_range);
+  EXPECT_FALSE(t.is_connected_graph());  // node 2 isolated
+}
+
+// ------------------------------------------------------------ Platform ----
+
+TEST(Platform, BuiltinsAreConsistent) {
+  const Platform p = Platform::superconducting17();
+  EXPECT_EQ(p.qubit_count, 17u);
+  EXPECT_EQ(p.topology.size(), 17u);
+  EXPECT_TRUE(p.is_primitive(GateKind::CZ));
+  EXPECT_FALSE(p.is_primitive(GateKind::CNOT));
+  EXPECT_FALSE(p.is_primitive(GateKind::Toffoli));
+  EXPECT_EQ(p.qubit_model.kind, sim::QubitKind::Realistic);
+
+  const Platform perfect = Platform::perfect(10);
+  EXPECT_TRUE(perfect.is_primitive(GateKind::Toffoli));
+  EXPECT_EQ(perfect.qubit_model.kind, sim::QubitKind::Perfect);
+}
+
+TEST(Platform, CyclesOfRoundsUp) {
+  const Platform p = Platform::superconducting17();  // 20ns cycle
+  EXPECT_EQ(p.cycles_of(Instruction(GateKind::X90, {0})), 1u);
+  EXPECT_EQ(p.cycles_of(Instruction(GateKind::CZ, {0, 2})), 2u);
+  EXPECT_EQ(p.cycles_of(Instruction(GateKind::Measure, {0})), 15u);
+}
+
+TEST(Platform, ConfigRoundTrip) {
+  const Platform p = Platform::superconducting17();
+  const Platform back = Platform::from_config(p.to_config());
+  EXPECT_EQ(back.name, p.name);
+  EXPECT_EQ(back.qubit_count, p.qubit_count);
+  EXPECT_EQ(back.topology.edge_count(), p.topology.edge_count());
+  EXPECT_EQ(back.primitive_gates, p.primitive_gates);
+  EXPECT_EQ(back.durations.two_qubit, p.durations.two_qubit);
+  EXPECT_NEAR(back.qubit_model.gate_error_2q, p.qubit_model.gate_error_2q,
+              1e-12);
+}
+
+TEST(Platform, SemiconductingRetargetsByConfigOnly) {
+  // Same primitive set as the transmon platform; only timing/topology
+  // differ — the paper's configuration-only retargeting property.
+  const Platform sc = Platform::superconducting17();
+  const Platform spin = Platform::semiconducting_spin(4);
+  EXPECT_EQ(sc.primitive_gates, spin.primitive_gates);
+  EXPECT_GT(spin.durations.single_qubit, sc.durations.single_qubit);
+}
+
+TEST(Platform, ConfigErrors) {
+  EXPECT_THROW(Platform::from_config(Config::parse("[platform]\nname=x\n")),
+               std::runtime_error);
+  EXPECT_THROW(Platform::from_config(Config::parse(
+                   "[platform]\nqubits=4\ntopology=grid:3x3\n")),
+               std::runtime_error);
+  EXPECT_THROW(Platform::from_config(Config::parse(
+                   "[platform]\nqubits=4\nprimitives=bogus\n")),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------------- Kernel ----
+
+TEST(Kernel, BuilderProducesInstructions) {
+  Kernel k("t", 3);
+  k.h(0).cnot(0, 1).rx(2, 0.5).toffoli(0, 1, 2).measure_all();
+  EXPECT_EQ(k.size(), 5u);
+  EXPECT_EQ(k.circuit().instructions()[1].kind(), GateKind::CNOT);
+  EXPECT_THROW(k.h(7), std::out_of_range);
+}
+
+TEST(Kernel, GhzStateThroughSim) {
+  Program p("ghz", 4);
+  p.add_kernel("main").ghz(4);
+  const auto state = run_to_state(p.to_qasm(), 4);
+  EXPECT_NEAR(std::norm(state.amplitude(0b0000)), 0.5, 1e-9);
+  EXPECT_NEAR(std::norm(state.amplitude(0b1111)), 0.5, 1e-9);
+}
+
+TEST(Kernel, QftOnBasisStateGivesUniformMagnitudes) {
+  Program p("qft", 3);
+  auto& k = p.add_kernel("main");
+  k.x(0);
+  k.qft({0, 1, 2});
+  const auto state = run_to_state(p.to_qasm(), 3);
+  for (StateIndex i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::norm(state.amplitude(i)), 1.0 / 8.0, 1e-9);
+}
+
+TEST(Kernel, QftInverseIsIdentity) {
+  Rng rng(3);
+  Program p("qft_id", 4);
+  auto& k = p.add_kernel("main");
+  add_random_prefix(k, 4, rng);
+  Program ref("ref", 4);
+  auto& kr = ref.add_kernel("main");
+  kr.append(k);  // same prefix
+  k.qft({0, 1, 2, 3});
+  k.iqft({0, 1, 2, 3});
+  const auto a = run_to_state(p.to_qasm(), 4);
+  const auto b = run_to_state(ref.to_qasm(), 4);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST(Kernel, McxComputesAndOfControls) {
+  for (unsigned pattern : {0b11111u, 0b11011u, 0b00000u}) {
+    Program p("mcx", 9);
+    auto& k = p.add_kernel("main");
+    for (int c = 0; c < 5; ++c)
+      if ((pattern >> c) & 1) k.x(static_cast<QubitIndex>(c));
+    k.mcx({0, 1, 2, 3, 4}, 5, {6, 7, 8});
+    const auto state = run_to_state(p.to_qasm(), 9);
+    const bool expect_flip = pattern == 0b11111u;
+    StateIndex expected = pattern;
+    if (expect_flip) expected |= 1u << 5;
+    EXPECT_NEAR(std::norm(state.amplitude(expected)), 1.0, 1e-9)
+        << "pattern " << pattern;
+  }
+}
+
+TEST(Kernel, McxRestoresAncillas) {
+  Program p("mcx_anc", 9);
+  auto& k = p.add_kernel("main");
+  for (int c = 0; c < 5; ++c) k.x(static_cast<QubitIndex>(c));
+  k.mcx({0, 1, 2, 3, 4}, 5, {6, 7, 8});
+  const auto state = run_to_state(p.to_qasm(), 9);
+  for (QubitIndex a = 6; a < 9; ++a)
+    EXPECT_NEAR(state.prob_one(a), 0.0, 1e-9);
+}
+
+TEST(Kernel, McxInsufficientAncillasThrows) {
+  Kernel k("t", 8);
+  EXPECT_THROW(k.mcx({0, 1, 2, 3, 4}, 5, {6}), std::invalid_argument);
+}
+
+TEST(Kernel, MczPhaseFlipOnAllOnes) {
+  Program p("mcz", 5);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex q = 0; q < 4; ++q) k.h(q);
+  k.mcz({0, 1, 2, 3}, {4});
+  const auto state = run_to_state(p.to_qasm(), 5);
+  for (StateIndex i = 0; i < 16; ++i) {
+    const double expected_sign = (i == 15) ? -1.0 : 1.0;
+    EXPECT_NEAR(state.amplitude(i).real(), expected_sign * 0.25, 1e-9)
+        << "basis " << i;
+  }
+}
+
+TEST(Kernel, GroverDiffusionFixesUniformState) {
+  Program p("diff", 3);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex q = 0; q < 3; ++q) k.h(q);
+  k.grover_diffusion({0, 1, 2});
+  const auto state = run_to_state(p.to_qasm(), 3);
+  for (StateIndex i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::norm(state.amplitude(i)), 1.0 / 8.0, 1e-9);
+}
+
+TEST(Kernel, ControlledByAttachesConditions) {
+  Kernel k("t", 2);
+  k.x(1).controlled_by({0});
+  EXPECT_TRUE(k.circuit().instructions()[0].is_conditional());
+}
+
+// ---------------------------------------------------------- Decompose ----
+
+TEST(Decompose, ZyzRecoversRandomUnitaries) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix u = sim::rz(rng.uniform(-3, 3)) *
+                     sim::ry(rng.uniform(-3, 3)) *
+                     sim::rz(rng.uniform(-3, 3)) *
+                     (trial % 2 ? sim::hadamard() : Matrix::identity(2));
+    const ZyzAngles a = zyz_decompose(u);
+    const Matrix rebuilt =
+        sim::rz(a.phi) * sim::ry(a.theta) * sim::rz(a.lambda);
+    EXPECT_TRUE(rebuilt.equal_up_to_phase(u, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(Decompose, ZyzEdgeCases) {
+  for (const Matrix& u : {Matrix::identity(2), sim::pauli_x(),
+                          sim::pauli_z(), sim::rz(0.7), sim::rx(kPi)}) {
+    const ZyzAngles a = zyz_decompose(u);
+    const Matrix rebuilt =
+        sim::rz(a.phi) * sim::ry(a.theta) * sim::rz(a.lambda);
+    EXPECT_TRUE(rebuilt.equal_up_to_phase(u, 1e-8));
+  }
+}
+
+/// Equivalence harness: program with `gate` on a random state must match
+/// its decomposed form on the transmon primitive set.
+void expect_decompose_equivalent(const std::function<void(Kernel&)>& build,
+                                 std::size_t qubits, std::uint64_t seed) {
+  Rng rng(seed);
+  Program orig("orig", qubits);
+  auto& k = orig.add_kernel("main");
+  add_random_prefix(k, qubits, rng);
+  build(k);
+
+  Platform platform = Platform::superconducting17();
+  platform.qubit_count = qubits;
+  platform.topology = Topology::full(qubits);
+  platform.qubit_model = sim::QubitModel::perfect();
+
+  const qasm::Program lowered = decompose(orig.to_qasm(), platform);
+  for (const auto& c : lowered.circuits())
+    for (const auto& i : c.instructions())
+      EXPECT_TRUE(platform.is_primitive(i.kind()))
+          << qasm::gate_name(i.kind());
+
+  const auto a = run_to_state(orig.to_qasm(), qubits);
+  const auto b = run_to_state(lowered, qubits);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-8);
+}
+
+TEST(Decompose, SingleQubitGatesEquivalent) {
+  expect_decompose_equivalent([](Kernel& k) { k.h(0); }, 1, 1);
+  expect_decompose_equivalent([](Kernel& k) { k.x(0); }, 1, 2);
+  expect_decompose_equivalent([](Kernel& k) { k.y(0); }, 1, 3);
+  expect_decompose_equivalent([](Kernel& k) { k.z(0); }, 1, 4);
+  expect_decompose_equivalent([](Kernel& k) { k.s(0); }, 1, 5);
+  expect_decompose_equivalent([](Kernel& k) { k.t(0); }, 1, 6);
+  expect_decompose_equivalent([](Kernel& k) { k.tdag(0); }, 1, 7);
+  expect_decompose_equivalent([](Kernel& k) { k.rx(0, 1.3); }, 1, 8);
+  expect_decompose_equivalent([](Kernel& k) { k.ry(0, -0.6); }, 1, 9);
+}
+
+TEST(Decompose, TwoQubitGatesEquivalent) {
+  expect_decompose_equivalent([](Kernel& k) { k.cnot(0, 1); }, 2, 10);
+  expect_decompose_equivalent([](Kernel& k) { k.swap(0, 1); }, 2, 11);
+  expect_decompose_equivalent([](Kernel& k) { k.cr(0, 1, 0.9); }, 2, 12);
+  expect_decompose_equivalent([](Kernel& k) { k.crk(0, 1, 3); }, 2, 13);
+  expect_decompose_equivalent([](Kernel& k) { k.rzz(0, 1, 1.7); }, 2, 14);
+}
+
+TEST(Decompose, ToffoliEquivalent) {
+  expect_decompose_equivalent([](Kernel& k) { k.toffoli(0, 1, 2); }, 3, 15);
+}
+
+TEST(Decompose, WholeQftEquivalent) {
+  expect_decompose_equivalent([](Kernel& k) { k.qft({0, 1, 2}); }, 3, 16);
+}
+
+TEST(Decompose, StatsCountRewrites) {
+  Program p("stats", 3);
+  p.add_kernel("main").toffoli(0, 1, 2).h(0);
+  Platform platform = Platform::superconducting17();
+  platform.qubit_count = 3;
+  platform.topology = Topology::full(3);
+  DecomposeStats stats;
+  decompose(p.to_qasm(), platform, &stats);
+  EXPECT_EQ(stats.rewritten, 2u);  // toffoli and h
+  EXPECT_GT(stats.emitted, 10u);
+}
+
+TEST(Decompose, ConditionalGatePropagatesConditions) {
+  Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);
+  k.x(1).controlled_by({0});
+  Platform platform = Platform::superconducting17();
+  platform.qubit_count = 2;
+  platform.topology = Topology::full(2);
+  const qasm::Program lowered = decompose(p.to_qasm(), platform);
+  bool saw_conditional_unitary = false;
+  for (const auto& i : lowered.circuits()[0].instructions())
+    if (qasm::gate_is_unitary(i.kind()) && i.is_conditional())
+      saw_conditional_unitary = true;
+  EXPECT_TRUE(saw_conditional_unitary);
+}
+
+// ------------------------------------------------------------ Optimize ----
+
+TEST(Optimize, CancelsInversePairs) {
+  Program p("cancel", 2);
+  auto& k = p.add_kernel("main");
+  k.h(0).h(0).x(1).x(1).cnot(0, 1).cnot(0, 1);
+  OptimizeStats stats;
+  const qasm::Program out = optimize(p.to_qasm(), &stats);
+  EXPECT_EQ(out.circuits()[0].size(), 0u);
+  EXPECT_EQ(stats.cancelled_pairs, 3u);
+}
+
+TEST(Optimize, MergesRotations) {
+  Program p("merge", 1);
+  p.add_kernel("main").rz(0, 0.3).rz(0, 0.4);
+  OptimizeStats stats;
+  const qasm::Program out = optimize(p.to_qasm(), &stats);
+  ASSERT_EQ(out.circuits()[0].size(), 1u);
+  EXPECT_NEAR(out.circuits()[0].instructions()[0].angle(), 0.7, 1e-9);
+  EXPECT_EQ(stats.merged_rotations, 1u);
+}
+
+TEST(Optimize, RotationsSummingToZeroVanish) {
+  Program p("zero", 1);
+  p.add_kernel("main").rz(0, 1.1).rz(0, -1.1);
+  const qasm::Program out = optimize(p.to_qasm());
+  EXPECT_EQ(out.circuits()[0].size(), 0u);
+}
+
+TEST(Optimize, LooksPastDisjointGates) {
+  Program p("past", 2);
+  p.add_kernel("main").h(0).x(1).h(0);
+  const qasm::Program out = optimize(p.to_qasm());
+  ASSERT_EQ(out.circuits()[0].size(), 1u);
+  EXPECT_EQ(out.circuits()[0].instructions()[0].kind(), GateKind::X);
+}
+
+TEST(Optimize, BlockedBySharedQubit) {
+  Program p("blocked", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).h(0);
+  const qasm::Program out = optimize(p.to_qasm());
+  EXPECT_EQ(out.circuits()[0].size(), 3u);
+}
+
+TEST(Optimize, PreservesSemantics) {
+  Rng rng(23);
+  Program p("sem", 3);
+  auto& k = p.add_kernel("main");
+  add_random_prefix(k, 3, rng);
+  k.h(0).h(0).rz(1, 0.4).rz(1, 0.6).cnot(0, 2).x(1).cnot(0, 2).s(2).sdag(2);
+  const qasm::Program out = optimize(p.to_qasm());
+  EXPECT_LT(out.total_instructions(), p.to_qasm().total_instructions());
+  const auto a = run_to_state(p.to_qasm(), 3);
+  const auto b = run_to_state(out, 3);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST(Optimize, ConditionalGatesUntouched) {
+  Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);
+  k.x(1).controlled_by({0});
+  k.x(1).controlled_by({0});
+  const qasm::Program out = optimize(p.to_qasm());
+  EXPECT_EQ(out.circuits()[0].size(), 3u);
+}
+
+// ------------------------------------------------------------ Schedule ----
+
+TEST(Schedule, IndependentGatesShareCycle) {
+  Program p("par", 3);
+  p.add_kernel("main").h(0).h(1).h(2);
+  const Platform platform = Platform::perfect(3);
+  const qasm::Program out = schedule(p.to_qasm(), platform);
+  const auto& ins = out.circuits()[0].instructions();
+  EXPECT_EQ(ins[0].cycle(), 0);
+  EXPECT_EQ(ins[1].cycle(), 0);
+  EXPECT_EQ(ins[2].cycle(), 0);
+}
+
+TEST(Schedule, DependentGatesSerialise) {
+  Program p("dep", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).h(1);
+  Platform platform = Platform::perfect(2);
+  ScheduleStats stats;
+  const qasm::Program out =
+      schedule(p.to_qasm(), platform, SchedulerKind::ASAP, &stats);
+  const auto& ins = out.circuits()[0].instructions();
+  EXPECT_EQ(ins[0].cycle(), 0);
+  EXPECT_GT(ins[1].cycle(), ins[0].cycle());
+  EXPECT_GT(ins[2].cycle(), ins[1].cycle());
+  EXPECT_GT(stats.parallelism, 0.0);
+}
+
+TEST(Schedule, DurationsRespected) {
+  Program p("dur", 1);
+  p.add_kernel("main").measure(0).x90(0);
+  Platform platform = Platform::superconducting17();
+  const qasm::Program out = schedule(p.to_qasm(), platform);
+  const auto& ins = out.circuits()[0].instructions();
+  EXPECT_GE(ins[1].cycle() - ins[0].cycle(), 15);
+}
+
+TEST(Schedule, AlapPushesGatesLate) {
+  Program p("alap", 2);
+  p.add_kernel("main").h(1).h(0).h(0).h(0).cnot(0, 1);
+  const Platform platform = Platform::perfect(2);
+  const qasm::Program asap =
+      schedule(p.to_qasm(), platform, SchedulerKind::ASAP);
+  const qasm::Program alap =
+      schedule(p.to_qasm(), platform, SchedulerKind::ALAP);
+  auto find_h1 = [](const qasm::Program& prog) {
+    for (const auto& i : prog.circuits()[0].instructions())
+      if (i.kind() == GateKind::H && i.qubits()[0] == 1) return i.cycle();
+    return std::int64_t{-1};
+  };
+  EXPECT_EQ(find_h1(asap), 0);
+  EXPECT_GT(find_h1(alap), 0);
+  EXPECT_EQ(asap.circuits()[0].depth(), alap.circuits()[0].depth());
+}
+
+TEST(Schedule, BarrierOrdersAcrossQubits) {
+  Program p("bar", 2);
+  auto& k = p.add_kernel("main");
+  k.h(0);
+  k.barrier({0, 1});
+  k.h(1);
+  const Platform platform = Platform::perfect(2);
+  const qasm::Program out = schedule(p.to_qasm(), platform);
+  const auto& ins = out.circuits()[0].instructions();
+  EXPECT_GT(ins[2].cycle(), ins[0].cycle());
+}
+
+TEST(Schedule, ConditionalAfterMeasurement) {
+  Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);
+  k.x(1).controlled_by({0});
+  const Platform platform = Platform::superconducting17();
+  const qasm::Program out = schedule(p.to_qasm(), platform);
+  const auto& ins = out.circuits()[0].instructions();
+  EXPECT_GE(ins[1].cycle(),
+            ins[0].cycle() +
+                static_cast<std::int64_t>(platform.cycles_of(ins[0])));
+}
+
+TEST(Schedule, SemanticsPreserved) {
+  Rng rng(31);
+  Program p("sem", 4);
+  auto& k = p.add_kernel("main");
+  add_random_prefix(k, 4, rng);
+  k.qft({0, 1, 2, 3});
+  const Platform platform = Platform::perfect(4);
+  const qasm::Program out = schedule(p.to_qasm(), platform);
+  const auto a = run_to_state(p.to_qasm(), 4);
+  const auto b = run_to_state(out, 4);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+// -------------------------------------------------------------- Mapper ----
+
+TEST(Mapper, AdjacentGatesUntouched) {
+  Program p("adj", 2);
+  p.add_kernel("main").cnot(0, 1);
+  const Platform platform = Platform::perfect_grid(1, 2);
+  MapStats stats;
+  Mapper mapper;
+  mapper.map(p.to_qasm(), platform, &stats);
+  EXPECT_EQ(stats.added_swaps, 0u);
+}
+
+TEST(Mapper, DistantGateGetsSwaps) {
+  Program p("far", 4);
+  p.add_kernel("main").cnot(0, 3);
+  const Platform platform = Platform::perfect_grid(1, 4);
+  MapStats stats;
+  Mapper mapper;
+  const qasm::Program out = mapper.map(p.to_qasm(), platform, &stats);
+  EXPECT_EQ(stats.added_swaps, 2u);  // distance 3 -> 2 swaps
+  EXPECT_EQ(stats.routed_gates, 1u);
+  for (const auto& i : out.circuits()[0].instructions())
+    if (qasm::gate_is_two_qubit(i.kind()))
+      EXPECT_LE(platform.topology.distance(i.qubits()[0], i.qubits()[1]), 1u);
+}
+
+TEST(Mapper, SemanticsPreservedUnderRouting) {
+  Rng rng(41);
+  Program p("sem", 4);
+  auto& k = p.add_kernel("main");
+  add_random_prefix(k, 4, rng);
+  k.cnot(0, 3).cnot(1, 2).cnot(0, 2).cnot(3, 1);
+  const Platform line = Platform::perfect_grid(1, 4);
+  MapStats stats;
+  Mapper mapper;
+  const qasm::Program routed = mapper.map(p.to_qasm(), line, &stats);
+  EXPECT_GT(stats.added_swaps, 0u);
+
+  const auto orig = run_to_state(p.to_qasm(), 4);
+  const auto mapped = run_to_state(routed, 4);
+  sim::StateVector expect(4);
+  expect.set_amplitude(0, cplx(0, 0));
+  for (StateIndex basis = 0; basis < 16; ++basis) {
+    StateIndex phys = 0;
+    for (QubitIndex l = 0; l < 4; ++l)
+      if (basis & (StateIndex{1} << l))
+        phys |= StateIndex{1} << stats.final_map[l];
+    expect.set_amplitude(phys, orig.amplitude(basis));
+  }
+  EXPECT_NEAR(mapped.fidelity(expect), 1.0, 1e-9);
+}
+
+TEST(Mapper, GreedyPlacementReducesSwaps) {
+  Program p("greedy", 6);
+  auto& k = p.add_kernel("main");
+  for (int r = 0; r < 4; ++r) k.cnot(0, 5);
+  const Platform line = Platform::perfect_grid(1, 6);
+  MapStats id_stats, greedy_stats;
+  Mapper(PlacementKind::Identity).map(p.to_qasm(), line, &id_stats);
+  Mapper(PlacementKind::Greedy).map(p.to_qasm(), line, &greedy_stats);
+  EXPECT_LT(greedy_stats.added_swaps, id_stats.added_swaps);
+  EXPECT_EQ(greedy_stats.added_swaps, 0u);
+}
+
+TEST(Mapper, RejectsConditionalPrograms) {
+  Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);
+  k.x(1).controlled_by({0});
+  const Platform platform = Platform::perfect_grid(1, 2);
+  Mapper mapper;
+  EXPECT_THROW(mapper.map(p.to_qasm(), platform), std::invalid_argument);
+}
+
+TEST(Mapper, TooManyLogicalQubitsThrows) {
+  Program p("big", 5);
+  p.add_kernel("main").h(4);
+  const Platform platform = Platform::perfect_grid(1, 3);
+  Mapper mapper;
+  EXPECT_THROW(mapper.map(p.to_qasm(), platform), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Compiler ----
+
+TEST(Compiler, FullPipelineOnTransmon) {
+  Program p("pipe", 3);
+  auto& k = p.add_kernel("main");
+  k.h(0).toffoli(0, 1, 2).measure_all();
+  Compiler c(Platform::superconducting17());
+  CompileOptions opts;
+  opts.map = true;
+  const CompileResult r = c.compile(p, opts);
+  for (const auto& circuit : r.program.circuits())
+    for (const auto& i : circuit.instructions()) {
+      EXPECT_TRUE(c.platform().is_primitive(i.kind()));
+      EXPECT_TRUE(i.is_scheduled());
+    }
+  EXPECT_GT(r.gates_after, 0u);
+  EXPECT_FALSE(r.cqasm.empty());
+  EXPECT_GT(r.schedule_stats.depth_cycles, 0u);
+}
+
+TEST(Compiler, OptimizationReducesGateCount) {
+  Program p("opt", 2);
+  auto& k = p.add_kernel("main");
+  k.h(0).h(0).rz(0, 0.5).rz(0, -0.5).x(1).x(1).cnot(0, 1);
+  Compiler c(Platform::perfect(2));
+  CompileOptions with, without;
+  with.optimize = true;
+  without.optimize = false;
+  const auto a = c.compile(p, with);
+  const auto b = c.compile(p, without);
+  EXPECT_LT(a.gates_after, b.gates_after);
+}
+
+TEST(Compiler, CompiledProgramRunsOnSim) {
+  Program p("run", 2);
+  auto& k = p.add_kernel("main");
+  k.h(0).cnot(0, 1).measure_all();
+  Compiler c(Platform::perfect(2));
+  const CompileResult r = c.compile(p);
+  sim::Simulator s(2);
+  const auto result = s.run(r.program, 500);
+  EXPECT_NEAR(result.histogram.frequency("00") +
+                  result.histogram.frequency("11"),
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qs::compiler

@@ -1,0 +1,163 @@
+// Targeted tests for paths the per-module suites leave thin: the SPSA
+// branch of QAOA, the micro-architecture accelerator path, QWAITR,
+// printer options, accelerator trajectory averaging and host accounting.
+#include <gtest/gtest.h>
+
+#include "microarch/executor.h"
+#include "qasm/printer.h"
+#include "runtime/accelerator.h"
+#include "runtime/hybrid.h"
+#include "runtime/qaoa.h"
+
+namespace qs {
+namespace {
+
+TEST(QaoaSpsa, SolvesMaxCutWithStochasticOptimizer) {
+  anneal::Qubo q(2);
+  q.add(0, 0, -1.0);
+  q.add(1, 1, -1.0);
+  q.add(0, 1, 2.0);
+  runtime::QaoaOptions opts;
+  opts.optimizer = runtime::QaoaOptions::Optimizer::SpsaOpt;
+  opts.optimizer_iterations = 120;
+  runtime::Qaoa qaoa(q, opts);
+  runtime::GateAccelerator acc(compiler::Platform::perfect(2));
+  const runtime::QaoaResult r = qaoa.solve(acc);
+  EXPECT_EQ(r.energy, -1.0);
+  EXPECT_LT(r.expectation, -0.5);  // better than the uniform average
+}
+
+TEST(GateAccelerator, MicroArchAndDirectPathsAgree) {
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  runtime::GateAccelerator direct(platform, {}, runtime::GatePath::Direct, 3);
+  runtime::GateAccelerator micro(platform, {}, runtime::GatePath::MicroArch,
+                                 3);
+  compiler::Program p("ghz3", 3);
+  p.add_kernel("main").ghz(3).measure_all();
+  const Histogram a = direct.execute(p.to_qasm(), 400);
+  const Histogram b = micro.execute(p.to_qasm(), 400);
+  auto correlated = [](const Histogram& h) {
+    double total = 0;
+    for (const auto& [bits, count] : h.counts())
+      if (bits.substr(0, 3) == "000" || bits.substr(0, 3) == "111")
+        total += static_cast<double>(count);
+    return total / static_cast<double>(h.total());
+  };
+  EXPECT_NEAR(correlated(a), 1.0, 1e-9);
+  EXPECT_NEAR(correlated(b), 1.0, 1e-9);
+  EXPECT_NE(direct.name(), micro.name());
+}
+
+TEST(GateAccelerator, LastCompileExposesStats) {
+  runtime::GateAccelerator acc(compiler::Platform::superconducting17());
+  compiler::Program p2("t", 3);
+  p2.add_kernel("main").toffoli(0, 1, 2).measure_all();
+  acc.execute(p2.to_qasm(), 5);
+  EXPECT_GT(acc.last_compile().decompose_stats.rewritten, 0u);
+  EXPECT_GT(acc.last_compile().gates_after, 0u);
+}
+
+TEST(GateAccelerator, NoisyExpectationAveragesTrajectories) {
+  // With noise, repeated expectation calls differ (fresh trajectories),
+  // but averaging many trajectories stabilises the estimate.
+  compiler::Platform platform = compiler::Platform::perfect(1);
+  platform.qubit_model =
+      sim::QubitModel::realistic(0.2, 0.2, 0.0, 0.0, 0.0);
+  platform.qubit_model.t1_ns = 0.0;
+  platform.qubit_model.t2_ns = 0.0;
+  runtime::GateAccelerator acc(platform);
+  acc.set_noise_trajectories(1);
+  compiler::Program p("x", 1);
+  p.add_kernel("main").x(0);
+  auto z_of = [&]() {
+    return acc.expectation(p.to_qasm(), [](StateIndex basis) {
+      return basis & 1 ? -1.0 : 1.0;
+    });
+  };
+  // Single trajectories: values in {-1, +1}-ish, varying across calls.
+  bool varied = false;
+  const double first = z_of();
+  for (int i = 0; i < 20 && !varied; ++i) varied = z_of() != first;
+  EXPECT_TRUE(varied);
+}
+
+TEST(Executor, QwaitrUsesRegisterValue) {
+  using namespace microarch;
+  EqProgram p("qwaitr");
+  EqInstruction ldi;
+  ldi.op = EqOpcode::LDI;
+  ldi.rd = 4;
+  ldi.imm = 25;
+  p.add(ldi);
+  EqInstruction qw;
+  qw.op = EqOpcode::QWAITR;
+  qw.rs = 4;
+  p.add(qw);
+  EqInstruction smis;
+  smis.op = EqOpcode::SMIS;
+  smis.rd = 0;
+  smis.mask_qubits = {0};
+  p.add(smis);
+  EqInstruction bundle;
+  bundle.op = EqOpcode::BUNDLE;
+  bundle.pre_interval = 1;
+  QOp op;
+  op.name = "x90";
+  op.kind = qasm::GateKind::X90;
+  op.mask_reg = 0;
+  bundle.qops.push_back(op);
+  p.add(bundle);
+  EqInstruction stop;
+  stop.op = EqOpcode::STOP;
+  p.add(stop);
+
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  Executor executor(platform);
+  executor.run(p);
+  // (25 + 1) cycles * 20 ns.
+  ASSERT_EQ(executor.adi().events().size(), 1u);
+  EXPECT_EQ(executor.adi().events()[0].start_ns, 520u);
+}
+
+TEST(Printer, CycleCommentsOption) {
+  qasm::Program p("t", 1);
+  auto& c = p.add_circuit("main");
+  qasm::Instruction i(qasm::GateKind::H, {0});
+  i.set_cycle(3);
+  c.add(i);
+  qasm::PrinterOptions opts;
+  opts.cycle_comments = true;
+  const std::string text = qasm::to_cqasm(p, opts);
+  EXPECT_NE(text.find("# cycle 3"), std::string::npos);
+  qasm::PrinterOptions no_bundles;
+  no_bundles.bundles = false;
+  EXPECT_EQ(qasm::to_cqasm(p, no_bundles).find("{"), std::string::npos);
+}
+
+TEST(HostCpu, MixedOffloadAccounting) {
+  runtime::HostCpu host;
+  runtime::GateAccelerator gate(compiler::Platform::perfect(2));
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").ghz(2).measure_all();
+  host.offload(gate, p.to_qasm(), 50);
+
+  anneal::Qubo q(2);
+  q.add(0, 0, -1.0);
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 30;
+  runtime::AnnealAccelerator annealer(8, schedule);
+  Rng rng(3);
+  host.offload(annealer, q, rng);
+
+  const int sum = host.classical("post", [] { return 1 + 1; });
+  EXPECT_EQ(sum, 2);
+  ASSERT_EQ(host.offloads().size(), 2u);
+  EXPECT_NE(host.offloads()[0].accelerator, host.offloads()[1].accelerator);
+  EXPECT_GE(host.quantum_ms(), 0.0);
+  EXPECT_GE(host.classical_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,303 @@
+// Unit tests for the quantum genome sequencing app: DNA generation,
+// classical baselines, Grover mathematics and the gate-level quantum
+// associative memory aligner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/genome/aligner.h"
+#include "apps/genome/classical_align.h"
+#include "apps/genome/dna.h"
+#include "apps/genome/qam.h"
+#include "sim/simulator.h"
+
+namespace qs::apps::genome {
+namespace {
+
+// ----------------------------------------------------------------- DNA ----
+
+TEST(Dna, Validation) {
+  EXPECT_TRUE(is_valid_dna("ACGT"));
+  EXPECT_TRUE(is_valid_dna(""));
+  EXPECT_FALSE(is_valid_dna("ACGU"));
+  EXPECT_FALSE(is_valid_dna("acgt"));
+}
+
+TEST(Dna, BaseBitsRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T'})
+    EXPECT_EQ(bits_to_base(base_to_bits(c)), c);
+  EXPECT_THROW(base_to_bits('X'), std::invalid_argument);
+  EXPECT_THROW(bits_to_base(4), std::invalid_argument);
+}
+
+TEST(Dna, EntropyBounds) {
+  EXPECT_NEAR(base_entropy("ACGT"), 2.0, 1e-12);  // uniform: max entropy
+  EXPECT_NEAR(base_entropy("AAAA"), 0.0, 1e-12);
+  EXPECT_EQ(base_entropy(""), 0.0);
+}
+
+TEST(Dna, GcContent) {
+  EXPECT_NEAR(gc_content("GCGC"), 1.0, 1e-12);
+  EXPECT_NEAR(gc_content("ATAT"), 0.0, 1e-12);
+  EXPECT_NEAR(gc_content("ACGT"), 0.5, 1e-12);
+}
+
+TEST(Dna, GeneratorDeterministicPerSeed) {
+  DnaGenerator g1(5), g2(5);
+  EXPECT_EQ(g1.markov(100), g2.markov(100));
+}
+
+TEST(Dna, MarkovPreservesStatisticalComplexity) {
+  DnaGenerator gen(7);
+  const std::string seq = gen.markov(20000);
+  EXPECT_TRUE(is_valid_dna(seq));
+  // High entropy (statistically rich) ...
+  EXPECT_GT(base_entropy(seq), 1.9);
+  // ... with genome-like AT bias (GC < 50%) ...
+  EXPECT_LT(gc_content(seq), 0.5);
+  EXPECT_GT(gc_content(seq), 0.3);
+  // ... and CpG suppression: count CG dinucleotides vs GC.
+  std::size_t cg = 0, gc = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    if (seq[i] == 'C' && seq[i + 1] == 'G') ++cg;
+    if (seq[i] == 'G' && seq[i + 1] == 'C') ++gc;
+  }
+  EXPECT_LT(cg, gc / 2);
+}
+
+TEST(Dna, ReadsMatchReferenceWithoutErrors) {
+  DnaGenerator gen(9);
+  const std::string ref = gen.markov(200);
+  const auto reads = gen.sample_reads(ref, 20, 50, 0.0);
+  for (const auto& [read, pos] : reads)
+    EXPECT_EQ(read, ref.substr(pos, 20));
+}
+
+TEST(Dna, ReadErrorsAtConfiguredRate) {
+  DnaGenerator gen(11);
+  const std::string ref = gen.markov(100);
+  std::size_t mismatches = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string read = gen.read_at(ref, 10, 50, 0.1);
+    mismatches += hamming_distance(read, ref.substr(10, 50));
+    total += 50;
+  }
+  EXPECT_NEAR(static_cast<double>(mismatches) / static_cast<double>(total),
+              0.1, 0.02);
+}
+
+TEST(Dna, ReadWindowOutOfRangeThrows) {
+  DnaGenerator gen(1);
+  EXPECT_THROW(gen.read_at("ACGT", 2, 4, 0.0), std::out_of_range);
+}
+
+// ---------------------------------------------------- Classical aligner ----
+
+TEST(ClassicalAlign, HammingDistance) {
+  EXPECT_EQ(hamming_distance("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(hamming_distance("ACGT", "ACGA"), 1u);
+  EXPECT_THROW(hamming_distance("AC", "ACG"), std::invalid_argument);
+}
+
+TEST(ClassicalAlign, ExactSearchFindsPattern) {
+  const AlignmentResult r = exact_search("AAACGTAAA", "ACGT");
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.position, 2u);
+  EXPECT_EQ(r.comparisons, 3u);  // scans up to the hit
+}
+
+TEST(ClassicalAlign, ExactSearchMiss) {
+  const AlignmentResult r = exact_search("AAAAAA", "ACGT");
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.comparisons, 3u);  // full scan
+}
+
+TEST(ClassicalAlign, BestMatchToleratesErrors) {
+  const AlignmentResult r = best_match("TTTTACGATTTT", "ACGT");
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.position, 4u);
+  EXPECT_EQ(r.distance, 1u);
+}
+
+TEST(ClassicalAlign, LinearScanCost) {
+  // Classical best-match is O(N): comparisons = N - M + 1.
+  const std::string ref(100, 'A');
+  const AlignmentResult r = best_match(ref, "AAAA");
+  EXPECT_EQ(r.comparisons, 97u);
+}
+
+// -------------------------------------------------- Grover mathematics ----
+
+TEST(GroverMath, SuccessProbabilityClosedForm) {
+  // N=4, 1 solution, 1 iteration: exact certainty.
+  EXPECT_NEAR(grover_success_probability(4, 1, 1), 1.0, 1e-12);
+  // 0 iterations: p = s/N.
+  EXPECT_NEAR(grover_success_probability(8, 1, 0), 1.0 / 8.0, 1e-12);
+  EXPECT_EQ(grover_success_probability(8, 0, 3), 0.0);
+}
+
+TEST(GroverMath, OptimalIterationsScaling) {
+  EXPECT_EQ(grover_optimal_iterations(4, 1), 1u);
+  // pi/4 sqrt(N) growth.
+  const std::size_t k1024 = grover_optimal_iterations(1024, 1);
+  EXPECT_NEAR(static_cast<double>(k1024),
+              kPi / 4.0 * std::sqrt(1024.0) - 0.5, 1.0);
+  // Quadrupling N doubles iterations.
+  const std::size_t k4096 = grover_optimal_iterations(4096, 1);
+  EXPECT_NEAR(static_cast<double>(k4096) / static_cast<double>(k1024), 2.0,
+              0.1);
+}
+
+TEST(GroverMath, ExpectedQueriesNearOptimalSuccess) {
+  // At the optimal iteration count success is near 1, so expected queries
+  // stay near the per-attempt count.
+  const double q = grover_expected_queries(1024, 1);
+  const std::size_t k = grover_optimal_iterations(1024, 1);
+  EXPECT_GE(q, static_cast<double>(k));
+  EXPECT_LE(q, static_cast<double>(k) * 1.2);
+}
+
+// --------------------------------------------------- QuantumAlignment ----
+
+TEST(QuantumAlignment, WindowSlicing) {
+  // Reference of 11 bases, read length 4: 8 natural windows, no padding.
+  const QuantumAlignment qam("ACGTACGTACG", 4);
+  EXPECT_EQ(qam.window_count(), 8u);
+  EXPECT_EQ(qam.window(0), "ACGT");
+  EXPECT_EQ(qam.window(7), "TACG");  // last natural window, no padding
+  EXPECT_EQ(qam.layout().index_bits, 3u);
+  EXPECT_EQ(qam.layout().pattern_bits, 8u);
+}
+
+TEST(QuantumAlignment, LayoutGuard) {
+  // Too many qubits must be rejected, not attempted.
+  EXPECT_THROW(QuantumAlignment(std::string(200, 'A') + "CGT", 8),
+               std::invalid_argument);
+  EXPECT_THROW(QuantumAlignment("ACGT", 0), std::invalid_argument);
+  EXPECT_THROW(QuantumAlignment("AC", 4), std::invalid_argument);
+}
+
+TEST(QuantumAlignment, DatabasePrepBuildsSuperposedMemory) {
+  // 4 windows of length 2: verify the prepared state is
+  // (1/2) sum_i |i>|slice_i> by checking amplitudes.
+  const QuantumAlignment qam("ACGTA", 2);  // windows AC,CG,GT,TA
+  ASSERT_EQ(qam.window_count(), 4u);
+  compiler::Program prog("prep", qam.layout().total);
+  prog.add_kernel(qam.database_prep_kernel());
+  sim::Simulator sim(qam.layout().total);
+  sim.run_once(prog.to_qasm());
+  const auto& layout = qam.layout();
+  for (std::size_t w = 0; w < 4; ++w) {
+    // Expected basis: index bits | pattern bits of the slice.
+    StateIndex basis = w;
+    for (std::size_t pos = 0; pos < 2; ++pos) {
+      const int bits = base_to_bits(qam.window(w)[pos]);
+      for (int b = 0; b < 2; ++b)
+        if ((bits >> b) & 1)
+          basis |= StateIndex{1}
+                   << (layout.index_bits + 2 * pos + static_cast<std::size_t>(b));
+    }
+    EXPECT_NEAR(std::norm(sim.state().amplitude(basis)), 0.25, 1e-9)
+        << "window " << w;
+  }
+}
+
+TEST(QuantumAlignment, UnprepInvertsPrep) {
+  const QuantumAlignment qam("ACGTA", 2);
+  compiler::Program prog("roundtrip", qam.layout().total);
+  prog.add_kernel(qam.database_prep_kernel());
+  prog.add_kernel(qam.database_unprep_kernel());
+  sim::Simulator sim(qam.layout().total);
+  sim.run_once(prog.to_qasm());
+  EXPECT_NEAR(std::norm(sim.state().amplitude(0)), 1.0, 1e-9);
+}
+
+TEST(QuantumAlignment, MatchingWindows) {
+  const QuantumAlignment qam("ACGACG", 3);  // windows ACG,CGA,GAC,ACG
+  const auto hits = qam.matching_windows("ACG");
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 3}));
+  EXPECT_TRUE(qam.matching_windows("TTT").empty());
+}
+
+TEST(QuantumAlignment, GroverAmplifiesUniqueMatch) {
+  // Reference with a unique 'GT' window among 4.
+  const QuantumAlignment qam("ACGTA", 2);  // AC,CG,GT,TA: all unique
+  const QuantumAlignment::QueryResult r = qam.align("GT", 3);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.position, 2u);
+  // N=4, s=1, k=1: success probability exactly 1.
+  EXPECT_NEAR(r.success_probability, 1.0, 1e-9);
+  EXPECT_EQ(r.oracle_queries, 1u);
+}
+
+TEST(QuantumAlignment, GroverProbabilityMatchesTheory8) {
+  // 8 distinct windows of length 3 via a de-Bruijn-ish reference.
+  const std::string ref = "AACAGATCCG";  // windows: AAC,ACA,CAG,AGA,GAT,ATC,TCC,CCG
+  const QuantumAlignment qam(ref, 3);
+  ASSERT_EQ(qam.window_count(), 8u);
+  ASSERT_EQ(qam.matching_windows("GAT").size(), 1u);
+  const auto r = qam.align("GAT", 5);
+  const double expected = grover_success_probability(8, 1, r.oracle_queries);
+  EXPECT_NEAR(r.success_probability, expected, 1e-6);
+  EXPECT_GT(r.success_probability, 0.9);
+}
+
+TEST(QuantumAlignment, OracleOnlyMarksMatches) {
+  const QuantumAlignment qam("ACGTA", 2);
+  compiler::Program prog("oracle", qam.layout().total);
+  prog.add_kernel(qam.database_prep_kernel());
+  prog.add_kernel(qam.oracle_kernel("CG"));
+  prog.add_kernel(qam.database_unprep_kernel());
+  // prep^-1 . oracle . prep |0> has overlap <0|...|0> = 1 - 2/W for a
+  // single marked window among W: probability (1-2/4)^2 = 0.25.
+  sim::Simulator sim(qam.layout().total);
+  sim.run_once(prog.to_qasm());
+  EXPECT_NEAR(std::norm(sim.state().amplitude(0)), 0.25, 1e-9);
+}
+
+// --------------------------------------------------------- QgsAligner ----
+
+TEST(QgsAligner, ExactReadAligns) {
+  DnaGenerator gen(13);
+  const std::string ref = gen.markov(10);  // 8 windows of length 3
+  QgsAligner aligner(ref, 3);
+  const std::string read = ref.substr(3, 3);
+  const auto r = aligner.align_quantum(read, 2);
+  EXPECT_TRUE(r.found);
+  // Position must correspond to a window equal to the read.
+  EXPECT_EQ(aligner.quantum_memory().window(r.position), read);
+  EXPECT_EQ(r.variants_tried, 1u);
+}
+
+TEST(QgsAligner, ErroneousReadAlignsViaVariants) {
+  DnaGenerator gen(17);
+  std::string ref;
+  // Build a reference with distinct windows to keep matches unique.
+  ref = "AACAGATCCG";
+  QgsAligner aligner(ref, 3);
+  std::string read = "GAT";
+  read[1] = read[1] == 'A' ? 'C' : 'A';  // inject one substitution
+  const auto r = aligner.align_quantum(read, 3);
+  EXPECT_TRUE(r.found);
+  EXPECT_GT(r.variants_tried, 1u);
+  EXPECT_EQ(aligner.quantum_memory().window(r.position), std::string("GAT"));
+}
+
+TEST(QgsAligner, ClassicalBaselineAgrees) {
+  const std::string ref = "AACAGATCCG";
+  QgsAligner aligner(ref, 3);
+  const auto classical = aligner.align_classical("GAT");
+  EXPECT_TRUE(classical.found);
+  EXPECT_EQ(classical.position, 4u);
+  const auto quantum = aligner.align_quantum("GAT", 7);
+  EXPECT_TRUE(quantum.found);
+  EXPECT_EQ(quantum.position, classical.position);
+}
+
+TEST(QgsAligner, WrongReadLengthThrows) {
+  QgsAligner aligner("AACAGATCCG", 3);
+  EXPECT_THROW(aligner.align_quantum("ACGT"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qs::apps::genome

@@ -1,0 +1,189 @@
+// Cross-module integration tests: the full stack of the paper, end to end.
+//   OpenQL-like API -> compiler -> cQASM -> eQASM -> micro-architecture ->
+//   QX simulator -> results back through the accelerator interface.
+#include <gtest/gtest.h>
+
+#include "anneal/annealer.h"
+#include "apps/genome/aligner.h"
+#include "apps/genome/dna.h"
+#include "apps/tsp/qubo_encode.h"
+#include "apps/tsp/solvers.h"
+#include "apps/tsp/tsp.h"
+#include "compiler/compiler.h"
+#include "microarch/assembler.h"
+#include "microarch/executor.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "qec/repetition.h"
+#include "runtime/accelerator.h"
+#include "runtime/qaoa.h"
+
+namespace qs {
+namespace {
+
+/// Full-stack Bell pair: written in the kernel API, compiled for the
+/// transmon platform, serialised to cQASM text, re-parsed, assembled to
+/// eQASM and executed on the micro-architecture with the QX back-end.
+TEST(FullStack, BellThroughEveryLayer) {
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).measure_all();
+
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  compiler::Compiler c(platform);
+  const compiler::CompileResult compiled = c.compile(p);
+
+  // cQASM text round-trip (the "common assembly" interchange point).
+  const qasm::Program reparsed = qasm::Parser::parse(compiled.cqasm);
+  EXPECT_EQ(reparsed.qubit_count(), compiled.program.qubit_count());
+
+  microarch::Assembler assembler(platform);
+  const microarch::EqProgram eq = assembler.assemble(reparsed);
+  microarch::Executor executor(platform, 11);
+  const Histogram hist = executor.run_shots(eq, 300);
+
+  double correlated = 0.0;
+  for (const auto& [bits, count] : hist.counts())
+    if (bits.substr(0, 2) == "00" || bits.substr(0, 2) == "11")
+      correlated += static_cast<double>(count);
+  EXPECT_NEAR(correlated / 300.0, 1.0, 1e-9);
+}
+
+/// The paper's Figure 2 split: the same program under perfect vs realistic
+/// qubits. Perfect gives the ideal distribution; realistic degrades it.
+TEST(FullStack, PerfectVersusRealisticQubits) {
+  compiler::Program p("ghz5", 5);
+  p.add_kernel("main").ghz(5).measure_all();
+
+  runtime::GateAccelerator perfect(compiler::Platform::perfect(5));
+  const Histogram ideal = perfect.execute(p.to_qasm(), 400);
+  EXPECT_NEAR(ideal.frequency("00000") + ideal.frequency("11111"), 1.0,
+              1e-9);
+
+  compiler::Platform noisy_platform = compiler::Platform::perfect(5);
+  noisy_platform.qubit_model =
+      sim::QubitModel::realistic(1e-2, 5e-2, 1e-2, 20, 10);
+  runtime::GateAccelerator noisy(noisy_platform);
+  const Histogram degraded = noisy.execute(p.to_qasm(), 400);
+  EXPECT_LT(degraded.frequency("00000") + degraded.frequency("11111"), 0.98);
+}
+
+/// Figure 9 end-to-end: the 4-city TSP on all three solver families —
+/// exact classical, gate-based QAOA (16 qubits), and quantum annealing.
+TEST(FullStack, Tsp4CitiesAllThreeSolverFamilies) {
+  const apps::tsp::TspInstance nl = apps::tsp::TspInstance::netherlands4();
+  const apps::tsp::TspQubo encoding(nl);
+  ASSERT_EQ(encoding.variable_count(), 16u);
+
+  // Exact classical reference.
+  const double optimal = apps::tsp::brute_force(nl).cost;
+  EXPECT_NEAR(optimal, 1.42, 1e-9);
+
+  // Annealing accelerator (fully connected, SQA backend).
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 600;
+  schedule.restarts = 4;
+  runtime::AnnealAccelerator annealer(64, schedule);
+  Rng rng(3);
+  const runtime::AnnealOutcome outcome = annealer.solve(encoding.qubo(), rng);
+  std::vector<std::size_t> tour;
+  ASSERT_TRUE(encoding.decode(outcome.solution, tour));
+  EXPECT_NEAR(nl.tour_cost(tour), optimal, 0.35);  // near-optimal tour
+
+  // Gate-model accelerator via QAOA on 16 perfect qubits.
+  runtime::QaoaOptions qopts;
+  qopts.depth = 1;
+  qopts.optimizer_iterations = 12;
+  qopts.readout_shots = 96;
+  runtime::Qaoa qaoa(encoding.qubo(), qopts);
+  runtime::GateAccelerator gate(compiler::Platform::perfect(16));
+  const runtime::QaoaResult qr = qaoa.solve(gate);
+  std::vector<std::size_t> qaoa_tour;
+  if (encoding.decode(qr.solution, qaoa_tour)) {
+    // When QAOA sampling lands on a feasible tour it must be a real tour.
+    EXPECT_TRUE(nl.is_valid_tour(qaoa_tour));
+  }
+  // The optimised expectation must improve on the uniform-state average.
+  runtime::Qaoa probe(encoding.qubo(), qopts);
+  const double uniform =
+      probe.expectation({0.0, 0.0}, gate);
+  EXPECT_LT(qr.expectation, uniform);
+}
+
+/// Genome pipeline: artificial DNA -> reads with errors -> quantum
+/// alignment vs classical baseline, agreeing on positions.
+TEST(FullStack, GenomeAlignmentQuantumMatchesClassical) {
+  apps::genome::DnaGenerator gen(31);
+  // Use a fixed reference with unique windows for deterministic checks.
+  const std::string ref = "AACAGATCCG";
+  apps::genome::QgsAligner aligner(ref, 3);
+
+  for (std::size_t pos = 0; pos <= ref.size() - 3; ++pos) {
+    const std::string read = ref.substr(pos, 3);
+    if (aligner.quantum_memory().matching_windows(read).size() != 1)
+      continue;  // skip ambiguous reads
+    const auto q = aligner.align_quantum(read, 100 + pos);
+    const auto c = aligner.align_classical(read);
+    ASSERT_TRUE(q.found) << "position " << pos;
+    EXPECT_EQ(q.position, c.position) << "position " << pos;
+  }
+}
+
+/// Realistic-qubit QEC full stack: repetition-code ESM circuit under a
+/// bit-flip channel, decoded classically — error suppression visible.
+TEST(FullStack, RepetitionCodeUnderBitFlipChannel) {
+  const qec::RepetitionCode code(3);
+  Rng rng(37);
+  const double physical = 0.08;
+  const double logical =
+      code.monte_carlo_logical_error_rate(physical, 1, 30000, rng);
+  EXPECT_LT(logical, physical);  // below threshold: code helps
+  EXPECT_NEAR(logical, code.analytic_logical_error_rate(physical), 0.01);
+}
+
+/// cQASM as the interchange format: compile -> print -> parse -> execute
+/// equals compile -> execute.
+TEST(FullStack, CqasmTextInterchangeStable) {
+  compiler::Program p("qft4", 4);
+  auto& k = p.add_kernel("main");
+  k.x(0).x(2);
+  k.qft({0, 1, 2, 3});
+  compiler::Compiler c(compiler::Platform::perfect(4));
+  const compiler::CompileResult compiled = c.compile(p);
+
+  sim::Simulator direct(4, sim::QubitModel::perfect(), 1);
+  direct.run_once(compiled.program);
+
+  const qasm::Program reparsed = qasm::Parser::parse(compiled.cqasm);
+  sim::Simulator via_text(4, sim::QubitModel::perfect(), 1);
+  via_text.run_once(reparsed);
+
+  EXPECT_NEAR(direct.state().fidelity(via_text.state()), 1.0, 1e-9);
+}
+
+/// Mapping pressure across platforms (Section 2.6): the same deep circuit
+/// pays more swaps on a line than on a grid, and none with full
+/// connectivity.
+TEST(FullStack, TopologyDeterminesRoutingCost) {
+  compiler::Program p("dense", 9);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex a = 0; a < 9; ++a)
+    for (QubitIndex b = a + 1; b < 9; ++b) k.cnot(a, b);
+
+  auto swaps_on = [&](const compiler::Platform& platform) {
+    compiler::MapStats stats;
+    compiler::Mapper mapper;
+    mapper.map(p.to_qasm(), platform, &stats);
+    return stats.added_swaps;
+  };
+
+  const std::size_t on_full = swaps_on(compiler::Platform::perfect(9));
+  const std::size_t on_grid = swaps_on(compiler::Platform::perfect_grid(3, 3));
+  const std::size_t on_line = swaps_on(compiler::Platform::perfect_grid(1, 9));
+  EXPECT_EQ(on_full, 0u);
+  EXPECT_GT(on_grid, 0u);
+  EXPECT_GT(on_line, on_grid);
+}
+
+}  // namespace
+}  // namespace qs

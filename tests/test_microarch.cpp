@@ -1,0 +1,535 @@
+// Unit tests for the eQASM micro-architecture: ISA, assembler, microcode,
+// ADI timing queues and the cycle-level executor.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "microarch/adi.h"
+#include "microarch/assembler.h"
+#include "microarch/eqasm.h"
+#include "microarch/executor.h"
+#include "microarch/microcode.h"
+
+namespace qs::microarch {
+namespace {
+
+using compiler::CompileOptions;
+using compiler::Compiler;
+using compiler::Platform;
+using qasm::GateKind;
+
+/// Compiles an OpenQL-style program and assembles to eQASM for `platform`.
+EqProgram build_eqasm(const compiler::Program& program,
+                      const Platform& platform,
+                      AssembleStats* stats = nullptr) {
+  Compiler c(platform);
+  const auto compiled = c.compile(program);
+  Assembler assembler(platform);
+  return assembler.assemble(compiled.program, stats);
+}
+
+// --------------------------------------------------------------- eQASM ----
+
+TEST(Eqasm, InstructionTextForms) {
+  EqInstruction ldi;
+  ldi.op = EqOpcode::LDI;
+  ldi.rd = 3;
+  ldi.imm = 42;
+  EXPECT_EQ(ldi.to_string(), "LDI r3, 42");
+
+  EqInstruction smis;
+  smis.op = EqOpcode::SMIS;
+  smis.rd = 1;
+  smis.mask_qubits = {0, 2, 5};
+  EXPECT_EQ(smis.to_string(), "SMIS s1, {0, 2, 5}");
+
+  EqInstruction bundle;
+  bundle.op = EqOpcode::BUNDLE;
+  bundle.pre_interval = 2;
+  QOp op;
+  op.name = "x90";
+  op.mask_reg = 1;
+  bundle.qops.push_back(op);
+  EXPECT_EQ(bundle.to_string(), "2, x90 s1");
+}
+
+TEST(Eqasm, LabelsResolve) {
+  EqProgram p("test");
+  EqInstruction i;
+  i.op = EqOpcode::LDI;
+  p.add(i);
+  p.define_label("loop");
+  p.add(i);
+  EXPECT_EQ(p.label_target("loop"), 1u);
+  EXPECT_TRUE(p.has_label("loop"));
+  EXPECT_FALSE(p.has_label("nope"));
+  EXPECT_THROW(p.label_target("nope"), std::out_of_range);
+  EXPECT_THROW(p.define_label("loop"), std::invalid_argument);
+}
+
+TEST(Eqasm, ListingContainsLabels) {
+  EqProgram p("test");
+  p.define_label("start");
+  EqInstruction stop;
+  stop.op = EqOpcode::STOP;
+  p.add(stop);
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("start:"), std::string::npos);
+  EXPECT_NE(text.find("STOP"), std::string::npos);
+}
+
+// ----------------------------------------------------------- Microcode ----
+
+TEST(Microcode, TableFromPlatform) {
+  const Platform platform = Platform::superconducting17();
+  const MicrocodeTable table = MicrocodeTable::for_platform(platform);
+  EXPECT_TRUE(table.supports("x90"));
+  EXPECT_TRUE(table.supports("cz"));
+  EXPECT_TRUE(table.supports("measure"));
+  EXPECT_FALSE(table.supports("toffoli"));  // not primitive on transmon
+
+  EXPECT_EQ(table.entry("x90").ops[0].channel, ChannelKind::Microwave);
+  EXPECT_EQ(table.entry("x90").ops[0].duration_ns,
+            platform.durations.single_qubit);
+  EXPECT_EQ(table.entry("cz").ops[0].channel, ChannelKind::Flux);
+  EXPECT_EQ(table.entry("measure").ops[0].channel, ChannelKind::Readout);
+  EXPECT_TRUE(table.entry("wait").ops.empty());  // pseudo-op: no pulses
+}
+
+TEST(Microcode, RetargetingChangesDurationsOnly) {
+  const MicrocodeTable sc =
+      MicrocodeTable::for_platform(Platform::superconducting17());
+  const MicrocodeTable spin =
+      MicrocodeTable::for_platform(Platform::semiconducting_spin(4));
+  // Same operation vocabulary, different pulse durations: the paper's
+  // config-only retargeting.
+  EXPECT_EQ(sc.size(), spin.size());
+  EXPECT_LT(sc.entry("x90").ops[0].duration_ns,
+            spin.entry("x90").ops[0].duration_ns);
+}
+
+TEST(Microcode, UnknownOpThrows) {
+  MicrocodeTable t;
+  EXPECT_THROW(t.entry("zap"), std::out_of_range);
+}
+
+// ----------------------------------------------------------------- ADI ----
+
+TEST(Adi, ChannelLayout) {
+  AnalogDigitalInterface adi(4);
+  EXPECT_EQ(adi.channel_count(), 12u);
+  EXPECT_EQ(adi.channel_of(0, ChannelKind::Microwave), 0u);
+  EXPECT_EQ(adi.channel_of(0, ChannelKind::Flux), 4u);
+  EXPECT_EQ(adi.channel_of(3, ChannelKind::Readout), 11u);
+  EXPECT_THROW(adi.channel_of(9, ChannelKind::Flux), std::out_of_range);
+}
+
+TEST(Adi, SerialisesBusyChannel) {
+  AnalogDigitalInterface adi(2);
+  const NanoSec s1 = adi.emit(0, ChannelKind::Microwave, 1, 100, 20, "x90");
+  EXPECT_EQ(s1, 100u);
+  // Second pulse requested during the first: delayed to 120.
+  const NanoSec s2 = adi.emit(0, ChannelKind::Microwave, 2, 110, 20, "y90");
+  EXPECT_EQ(s2, 120u);
+  EXPECT_EQ(adi.delayed_pulses(), 1u);
+  // Different qubit: no conflict.
+  const NanoSec s3 = adi.emit(1, ChannelKind::Microwave, 3, 110, 20, "x90");
+  EXPECT_EQ(s3, 110u);
+  EXPECT_EQ(adi.horizon(), 140u);
+  EXPECT_EQ(adi.pulse_count(), 3u);
+}
+
+TEST(Adi, ClearResets) {
+  AnalogDigitalInterface adi(1);
+  adi.emit(0, ChannelKind::Readout, 1, 0, 300, "measure");
+  adi.clear();
+  EXPECT_EQ(adi.pulse_count(), 0u);
+  EXPECT_EQ(adi.horizon(), 0u);
+}
+
+// ----------------------------------------------------------- Assembler ----
+
+TEST(Assembler, BellProgramStructure) {
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).measure_all();
+  AssembleStats stats;
+  const Platform platform = Platform::superconducting17();
+  const EqProgram eq = build_eqasm(p, platform, &stats);
+  EXPECT_GT(stats.bundles, 0u);
+  EXPECT_GT(stats.qops, 0u);
+  EXPECT_GT(stats.mask_registers_used, 0u);
+  // Last instruction is STOP.
+  EXPECT_EQ(eq.instructions().back().op, EqOpcode::STOP);
+  // At least one SMIS before the first bundle.
+  bool saw_smis_first = false;
+  for (const auto& i : eq.instructions()) {
+    if (i.op == EqOpcode::SMIS) {
+      saw_smis_first = true;
+      break;
+    }
+    if (i.op == EqOpcode::BUNDLE) break;
+  }
+  EXPECT_TRUE(saw_smis_first);
+}
+
+TEST(Assembler, ParallelGatesShareBundle) {
+  compiler::Program p("par", 3);
+  p.add_kernel("main").x90(0).x90(1).x90(2);
+  const Platform platform = Platform::superconducting17();
+  const EqProgram eq = build_eqasm(p, platform);
+  // One bundle with a single x90 qop addressing three qubits.
+  for (const auto& i : eq.instructions()) {
+    if (i.op == EqOpcode::BUNDLE) {
+      ASSERT_EQ(i.qops.size(), 1u);
+      EXPECT_EQ(i.qops[0].qubits.size(), 3u);
+      return;
+    }
+  }
+  FAIL() << "no bundle found";
+}
+
+TEST(Assembler, NonPrimitiveGateRejected) {
+  qasm::Program raw("bad", 3);
+  auto& c = raw.add_circuit("main");
+  c.add(qasm::Instruction(GateKind::Toffoli, {0, 1, 2}));
+  const Platform platform = Platform::superconducting17();
+  Assembler assembler(platform);
+  EXPECT_THROW(assembler.assemble(raw), std::runtime_error);
+}
+
+TEST(Assembler, MaskRegisterReuse) {
+  compiler::Program p("reuse", 1);
+  auto& k = p.add_kernel("main");
+  // Same single-qubit mask {0} used repeatedly: one SMIS suffices.
+  k.x90(0).x90(0).x90(0).x90(0);
+  AssembleStats stats;
+  const Platform platform = Platform::superconducting17();
+  const EqProgram eq = build_eqasm(p, platform, &stats);
+  std::size_t smis_count = 0;
+  for (const auto& i : eq.instructions())
+    if (i.op == EqOpcode::SMIS) ++smis_count;
+  EXPECT_EQ(smis_count, 1u);
+}
+
+TEST(Assembler, ConditionalGateEmitsBranch) {
+  compiler::Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);
+  k.x90(1).controlled_by({0});
+  const Platform platform = Platform::superconducting17();
+  const EqProgram eq = build_eqasm(p, platform);
+  bool saw_fmr = false, saw_cmp = false, saw_br = false;
+  for (const auto& i : eq.instructions()) {
+    saw_fmr |= i.op == EqOpcode::FMR;
+    saw_cmp |= i.op == EqOpcode::CMP;
+    saw_br |= i.op == EqOpcode::BR;
+  }
+  EXPECT_TRUE(saw_fmr);
+  EXPECT_TRUE(saw_cmp);
+  EXPECT_TRUE(saw_br);
+}
+
+// ------------------------------------------------------------ Executor ----
+
+TEST(Executor, BellStateEndToEnd) {
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).measure_all();
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();  // exact statistics
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform, 5);
+  const Histogram hist = executor.run_shots(eq, 400);
+  double correlated = 0.0;
+  for (const auto& [bits, count] : hist.counts()) {
+    if (bits.substr(0, 2) == "00" || bits.substr(0, 2) == "11")
+      correlated += static_cast<double>(count);
+  }
+  EXPECT_NEAR(correlated / 400.0, 1.0, 1e-9);
+}
+
+TEST(Executor, PulsesReachAdi) {
+  compiler::Program p("pulse", 2);
+  p.add_kernel("main").x90(0).cz(0, 2 - 1).measure(0);
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform);
+  const ExecutionResult r = executor.run(eq);
+  // x90 -> 1 microwave pulse; cz -> 2 flux pulses; measure -> 1 readout.
+  EXPECT_EQ(r.stats.pulses_emitted, 4u);
+  EXPECT_EQ(r.stats.measurements, 1u);
+  EXPECT_GT(r.stats.quantum_time_ns, 0u);
+  // Readout pulse present on qubit 0's readout channel.
+  bool saw_readout = false;
+  for (const auto& e : executor.adi().events())
+    if (e.kind == ChannelKind::Readout && e.qubit == 0) saw_readout = true;
+  EXPECT_TRUE(saw_readout);
+}
+
+TEST(Executor, TimingFollowsSchedule) {
+  // Two sequential x90 on the same qubit: second pulse starts exactly one
+  // cycle (20ns) after the first (1-cycle gate duration).
+  compiler::Program p("timing", 1);
+  p.add_kernel("main").x90(0).y90(0);
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform);
+  executor.run(eq);
+  const auto& events = executor.adi().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].start_ns - events[0].start_ns, 20u);
+}
+
+TEST(Executor, ConditionalFeedbackLoop) {
+  // x q0; measure q0; c-x90 b[0], q1 twice (X90 X90 = X up to phase):
+  // q1 must measure 1.
+  compiler::Program p("feedback", 2);
+  auto& k = p.add_kernel("main");
+  // x as two x90 (native).
+  k.x90(0).x90(0);
+  k.measure(0);
+  k.x90(1).controlled_by({0});
+  k.x90(1).controlled_by({0});
+  k.measure(1);
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform);
+  const ExecutionResult r = executor.run(eq);
+  EXPECT_EQ(r.bits[0], 1);
+  EXPECT_EQ(r.bits[1], 1);
+}
+
+TEST(Executor, ConditionalSkippedWhenBitZero) {
+  compiler::Program p("skip", 2);
+  auto& k = p.add_kernel("main");
+  k.measure(0);  // reads 0
+  k.x90(1).controlled_by({0});
+  k.x90(1).controlled_by({0});
+  k.measure(1);
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform);
+  const ExecutionResult r = executor.run(eq);
+  EXPECT_EQ(r.bits[0], 0);
+  EXPECT_EQ(r.bits[1], 0);
+}
+
+TEST(Executor, ClassicalInstructions) {
+  // Hand-written classical program: r1 = 5; r2 = 7; r3 = r1 + r2;
+  // branch over an LDI that would clobber r3.
+  EqProgram p("classic");
+  auto ldi = [](int rd, std::int64_t imm) {
+    EqInstruction i;
+    i.op = EqOpcode::LDI;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+  };
+  p.add(ldi(1, 5));
+  p.add(ldi(2, 7));
+  EqInstruction add;
+  add.op = EqOpcode::ADD;
+  add.rd = 3;
+  add.rs = 1;
+  add.rt = 2;
+  p.add(add);
+  EqInstruction cmp;
+  cmp.op = EqOpcode::CMP;
+  cmp.rs = 1;
+  cmp.rt = 2;
+  p.add(cmp);
+  EqInstruction br;
+  br.op = EqOpcode::BR;
+  br.cond = BranchCond::LT;  // 5 < 7: taken
+  br.label = "end";
+  p.add(br);
+  p.add(ldi(3, 0));  // skipped
+  p.define_label("end");
+  EqInstruction stop;
+  stop.op = EqOpcode::STOP;
+  p.add(stop);
+
+  const Platform platform = Platform::superconducting17();
+  Executor executor(platform);
+  const ExecutionResult r = executor.run(p);
+  EXPECT_EQ(r.stats.classical_instructions, 6u);  // LDI at 5 skipped
+}
+
+TEST(Executor, InfiniteLoopGuard) {
+  EqProgram p("loop");
+  p.define_label("top");
+  EqInstruction br;
+  br.op = EqOpcode::BR;
+  br.cond = BranchCond::Always;
+  br.label = "top";
+  p.add(br);
+  const Platform platform = Platform::superconducting17();
+  Executor executor(platform);
+  executor.set_instruction_budget(1000);
+  EXPECT_THROW(executor.run(p), std::runtime_error);
+}
+
+TEST(Executor, MissingStopThrows) {
+  EqProgram p("nostop");
+  EqInstruction ldi;
+  ldi.op = EqOpcode::LDI;
+  p.add(ldi);
+  const Platform platform = Platform::superconducting17();
+  Executor executor(platform);
+  EXPECT_THROW(executor.run(p), std::runtime_error);
+}
+
+TEST(Executor, QwaitAdvancesTime) {
+  EqProgram p("qwait");
+  EqInstruction qw;
+  qw.op = EqOpcode::QWAIT;
+  qw.imm = 10;
+  p.add(qw);
+  EqInstruction smis;
+  smis.op = EqOpcode::SMIS;
+  smis.rd = 0;
+  smis.mask_qubits = {0};
+  p.add(smis);
+  EqInstruction bundle;
+  bundle.op = EqOpcode::BUNDLE;
+  bundle.pre_interval = 1;
+  QOp op;
+  op.name = "x90";
+  op.kind = GateKind::X90;
+  op.mask_reg = 0;
+  op.qubits = {0};
+  bundle.qops.push_back(op);
+  p.add(bundle);
+  EqInstruction stop;
+  stop.op = EqOpcode::STOP;
+  p.add(stop);
+
+  Platform platform = Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  Executor executor(platform);
+  executor.run(p);
+  // Pulse starts at (10 + 1 pre-interval) * 20ns.
+  ASSERT_EQ(executor.adi().events().size(), 1u);
+  EXPECT_EQ(executor.adi().events()[0].start_ns, 220u);
+}
+
+TEST(Executor, RetargetToSemiconductingPlatform) {
+  // The same OpenQL program runs on the spin-qubit platform with slower
+  // pulses — config-only retargeting end to end.
+  compiler::Program p("retarget", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).measure_all();
+  Platform platform = Platform::semiconducting_spin(4);
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  Executor executor(platform, 3);
+  const Histogram hist = executor.run_shots(eq, 200);
+  double correlated = 0.0;
+  for (const auto& [bits, count] : hist.counts())
+    if (bits.substr(0, 2) == "00" || bits.substr(0, 2) == "11")
+      correlated += static_cast<double>(count);
+  EXPECT_NEAR(correlated / 200.0, 1.0, 1e-9);
+  // Spin pulses are 100ns, not 20ns.
+  bool saw_long_pulse = false;
+  for (const auto& e : executor.adi().events())
+    if (e.kind == ChannelKind::Microwave && e.duration_ns == 100u)
+      saw_long_pulse = true;
+  EXPECT_TRUE(saw_long_pulse);
+}
+
+}  // namespace
+}  // namespace qs::microarch
+
+// ------------------------------------------------- eQASM text parser ----
+
+#include "microarch/eqasm_parser.h"
+
+namespace qs::microarch {
+namespace {
+
+TEST(EqasmParser, RoundTripBellProgram) {
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").h(0).cnot(0, 1).measure_all();
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  const EqProgram parsed = parse_eqasm(eq.to_string());
+  // Text fixed point.
+  EXPECT_EQ(parsed.to_string(), eq.to_string());
+  // Behavioural equivalence through the executor.
+  Executor direct(platform, 9);
+  Executor via_text(platform, 9);
+  const Histogram a = direct.run_shots(eq, 200);
+  const Histogram b = via_text.run_shots(parsed, 200);
+  EXPECT_EQ(a.counts(), b.counts());
+}
+
+TEST(EqasmParser, RoundTripConditionalProgram) {
+  compiler::Program p("cond", 2);
+  auto& k = p.add_kernel("main");
+  k.x90(0).x90(0);
+  k.measure(0);
+  k.x90(1).controlled_by({0});
+  k.x90(1).controlled_by({0});
+  k.measure(1);
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  const EqProgram parsed = parse_eqasm(eq.to_string());
+  Executor executor(platform);
+  const ExecutionResult r = executor.run(parsed);
+  EXPECT_EQ(r.bits[0], 1);
+  EXPECT_EQ(r.bits[1], 1);
+}
+
+TEST(EqasmParser, RoundTripParameterisedGates) {
+  compiler::Program p("params", 2);
+  p.add_kernel("main").rz(0, 1.234567890123).rz(1, -0.5).cz(0, 1);
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  const EqProgram eq = build_eqasm(p, platform);
+  const EqProgram parsed = parse_eqasm(eq.to_string());
+  bool found_angle = false;
+  for (const auto& i : parsed.instructions())
+    if (i.op == EqOpcode::BUNDLE)
+      for (const auto& qop : i.qops)
+        if (qop.kind == qasm::GateKind::Rz && qop.mask_reg >= 0) {
+          found_angle = true;
+        }
+  EXPECT_TRUE(found_angle);
+  EXPECT_EQ(parsed.to_string(), eq.to_string());
+}
+
+TEST(EqasmParser, HandwrittenProgram) {
+  const EqProgram p = parse_eqasm(R"(# eQASM program: hand
+    LDI r1, 3
+    LDI r2, 3
+    CMP r1, r2
+    BR ne, end
+    SMIS s0, {0}
+    1, x90 s0
+    1, x90 s0
+end:
+    STOP
+)");
+  EXPECT_TRUE(p.has_label("end"));
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  Executor executor(platform);
+  executor.run(p);
+  // Two x90 = X: qubit 0 ends in |1>.
+  EXPECT_NEAR(executor.backend().state().prob_one(0), 1.0, 1e-9);
+}
+
+TEST(EqasmParser, Errors) {
+  EXPECT_THROW(parse_eqasm("FROB r1, 2\n"), EqasmParseError);
+  EXPECT_THROW(parse_eqasm("LDI r1\n"), EqasmParseError);
+  EXPECT_THROW(parse_eqasm("BR sometimes, x\n"), EqasmParseError);
+  EXPECT_THROW(parse_eqasm("1, zap s0\n"), EqasmParseError);
+  EXPECT_THROW(parse_eqasm("1, rz s0\n"), EqasmParseError);   // missing angle
+  EXPECT_THROW(parse_eqasm("SMIS s0, {0\n"), EqasmParseError);
+}
+
+}  // namespace
+}  // namespace qs::microarch

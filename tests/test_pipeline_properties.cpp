@@ -1,0 +1,190 @@
+// End-to-end pipeline properties: whole-stack equivalences that compose
+// multiple passes (decompose + optimise + map + schedule + assemble) and
+// spectral checks of the algorithm builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "microarch/assembler.h"
+#include "microarch/eqasm_parser.h"
+#include "microarch/executor.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+
+namespace qs {
+namespace {
+
+// ------------------------------------------- full pipeline equivalence ----
+
+class FullPipelineP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullPipelineP, CompiledMappedCircuitMatchesOriginal) {
+  Rng rng(GetParam() * 6151 + 11);
+  const std::size_t n = 6;
+  compiler::Program p("pipe", n);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex q = 0; q < n; ++q) k.ry(q, rng.uniform(0, 2 * kPi));
+  for (int g = 0; g < 12; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    switch (rng.uniform_int(3)) {
+      case 0: k.cnot(a, b); break;
+      case 1: k.cr(a, b, rng.uniform(-2, 2)); break;
+      default: k.t(a); break;
+    }
+  }
+
+  // Compile with the full pipeline (decompose to transmon natives,
+  // optimise, route on a 2x3 grid, schedule).
+  compiler::Platform platform = compiler::Platform::perfect_grid(2, 3);
+  platform.primitive_gates =
+      compiler::Platform::superconducting17().primitive_gates;
+  compiler::Compiler compiler(platform);
+  compiler::CompileOptions opts;
+  opts.map = true;
+  const compiler::CompileResult r = compiler.compile(p, opts);
+
+  sim::Simulator direct(n, sim::QubitModel::perfect(), 1);
+  direct.run_once(p.to_qasm());
+  sim::Simulator compiled(n, sim::QubitModel::perfect(), 1);
+  compiled.run_once(r.program);
+
+  // Undo the final logical->physical permutation.
+  sim::StateVector expect(n);
+  expect.set_amplitude(0, cplx(0, 0));
+  for (StateIndex basis = 0; basis < (StateIndex{1} << n); ++basis) {
+    StateIndex phys = 0;
+    for (QubitIndex l = 0; l < n; ++l)
+      if (basis & (StateIndex{1} << l))
+        phys |= StateIndex{1} << r.map_stats.final_map[l];
+    expect.set_amplitude(phys, direct.state().amplitude(basis));
+  }
+  EXPECT_NEAR(compiled.state().fidelity(expect), 1.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullPipelineP,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------- QFT spectral check ----
+
+class QftSpectralP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QftSpectralP, MatchesDiscreteFourierTransform) {
+  const std::size_t n = GetParam();
+  const std::size_t dim = std::size_t{1} << n;
+  // QFT of basis state |j> must be (1/sqrt(D)) sum_k w^{jk} |k> where the
+  // bit order follows Kernel::qft's first-listed-qubit-is-MSB convention.
+  Rng rng(n);
+  const std::size_t j = rng.uniform_int(dim);
+
+  compiler::Program p("qft", n);
+  auto& k = p.add_kernel("main");
+  std::vector<QubitIndex> line(n);
+  // First-listed qubit = MSB of j: use qubit 0 as MSB.
+  for (std::size_t q = 0; q < n; ++q) line[q] = static_cast<QubitIndex>(q);
+  for (std::size_t bit = 0; bit < n; ++bit)
+    if ((j >> (n - 1 - bit)) & 1) k.x(static_cast<QubitIndex>(bit));
+  k.qft(line);
+
+  sim::Simulator s(n);
+  s.run_once(p.to_qasm());
+
+  for (std::size_t out = 0; out < dim; ++out) {
+    // basis index: qubit 0 (MSB of the integer) is the LSB of the
+    // state-vector index, so translate bit order.
+    StateIndex basis = 0;
+    for (std::size_t bit = 0; bit < n; ++bit)
+      if ((out >> (n - 1 - bit)) & 1) basis |= StateIndex{1} << bit;
+    const double phase =
+        2.0 * kPi * static_cast<double>(j) * static_cast<double>(out) /
+        static_cast<double>(dim);
+    const cplx expected =
+        cplx(std::cos(phase), std::sin(phase)) / std::sqrt(double(dim));
+    EXPECT_NEAR(std::abs(s.state().amplitude(basis) - expected), 0.0, 1e-9)
+        << "n=" << n << " j=" << j << " k=" << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QftSpectralP, ::testing::Values(2, 3, 4, 5));
+
+// ------------------------------------------ eQASM round-trip properties ----
+
+class EqasmRoundTripP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EqasmRoundTripP, TextFormExecutesIdentically) {
+  Rng rng(GetParam() * 911 + 3);
+  const std::size_t n = 4;
+  compiler::Program p("rt", n);
+  auto& k = p.add_kernel("main");
+  for (int g = 0; g < 25; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    switch (rng.uniform_int(4)) {
+      case 0: k.x90(a); break;
+      case 1: k.rz(a, rng.uniform(-3, 3)); break;
+      case 2: k.cz(a, b); break;
+      default: k.y90(a); break;
+    }
+  }
+  k.measure_all();
+
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  compiler::Compiler compiler(platform);
+  const auto compiled = compiler.compile(p);
+  microarch::Assembler assembler(platform);
+  const microarch::EqProgram eq = assembler.assemble(compiled.program);
+  const microarch::EqProgram reparsed =
+      microarch::parse_eqasm(eq.to_string());
+
+  microarch::Executor a_exec(platform, 42);
+  microarch::Executor b_exec(platform, 42);
+  const Histogram ha = a_exec.run_shots(eq, 60);
+  const Histogram hb = b_exec.run_shots(reparsed, 60);
+  EXPECT_EQ(ha.counts(), hb.counts()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqasmRoundTripP,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// -------------------------------------- measurement statistics property ----
+
+class BornRuleP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BornRuleP, SampledFrequenciesTrackAmplitudes) {
+  Rng rng(GetParam() * 1327 + 7);
+  const std::size_t n = 3;
+  // Random product-plus-entangler state.
+  compiler::Program p("born", n);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex q = 0; q < n; ++q) k.ry(q, rng.uniform(0, kPi));
+  k.cnot(0, 1).cnot(1, 2);
+  // Exact probabilities from a measurement-free run.
+  sim::Simulator exact(n, sim::QubitModel::perfect(), 1);
+  exact.run_once(p.to_qasm());
+  std::vector<double> probs(1 << n);
+  for (StateIndex i = 0; i < (StateIndex{1} << n); ++i)
+    probs[i] = std::norm(exact.state().amplitude(i));
+
+  // Sampled frequencies from measured shots.
+  compiler::Program measured = p;
+  measured.kernels().back().measure_all();
+  sim::Simulator sampler(n, sim::QubitModel::perfect(), GetParam());
+  const auto result = sampler.run(measured.to_qasm(), 4000);
+  for (StateIndex i = 0; i < (StateIndex{1} << n); ++i) {
+    std::string key(n, '0');
+    for (std::size_t q = 0; q < n; ++q)
+      if (i & (StateIndex{1} << q)) key[q] = '1';
+    EXPECT_NEAR(result.histogram.frequency(key), probs[i], 0.035)
+        << "basis " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BornRuleP,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace qs

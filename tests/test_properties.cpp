@@ -1,0 +1,531 @@
+// Property-based tests (parameterised gtest sweeps): invariants that must
+// hold across randomised inputs and whole parameter families, exercising
+// the algebraic core of the stack harder than the per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anneal/annealer.h"
+#include "anneal/qubo.h"
+#include "apps/genome/qam.h"
+#include "apps/tsp/solvers.h"
+#include "apps/tsp/tsp.h"
+#include "compiler/compiler.h"
+#include "compiler/decompose.h"
+#include "compiler/mapper.h"
+#include "compiler/schedule.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "qec/repetition.h"
+#include "qec/surface.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+
+namespace qs {
+namespace {
+
+// ------------------------------------------------ gate unitarity sweep ----
+
+class GateUnitarityP : public ::testing::TestWithParam<qasm::GateKind> {};
+
+TEST_P(GateUnitarityP, MatrixIsUnitaryForRandomParameters) {
+  const qasm::GateKind kind = GetParam();
+  Rng rng(static_cast<std::uint64_t>(kind) + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double angle = rng.uniform(-2 * kPi, 2 * kPi);
+    const std::int64_t k = static_cast<std::int64_t>(rng.uniform_int(6));
+    Matrix u;
+    if (qasm::gate_arity(kind) == 1) {
+      u = sim::gate_matrix_1q(kind, angle);
+    } else if (qasm::gate_arity(kind) == 2) {
+      u = sim::gate_matrix_2q(kind, angle, k);
+    } else {
+      u = sim::gate_matrix(qasm::Instruction(kind, {0, 1, 2}));
+    }
+    EXPECT_TRUE(u.is_unitary(1e-9))
+        << qasm::gate_name(kind) << " angle " << angle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnitaryGates, GateUnitarityP,
+    ::testing::Values(qasm::GateKind::I, qasm::GateKind::X, qasm::GateKind::Y,
+                      qasm::GateKind::Z, qasm::GateKind::H, qasm::GateKind::S,
+                      qasm::GateKind::Sdag, qasm::GateKind::T,
+                      qasm::GateKind::Tdag, qasm::GateKind::X90,
+                      qasm::GateKind::MX90, qasm::GateKind::Y90,
+                      qasm::GateKind::MY90, qasm::GateKind::Rx,
+                      qasm::GateKind::Ry, qasm::GateKind::Rz,
+                      qasm::GateKind::CNOT, qasm::GateKind::CZ,
+                      qasm::GateKind::Swap, qasm::GateKind::CR,
+                      qasm::GateKind::CRK, qasm::GateKind::RZZ,
+                      qasm::GateKind::Toffoli),
+    [](const ::testing::TestParamInfo<qasm::GateKind>& info) {
+      std::string name = qasm::gate_name(info.param);
+      for (auto& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+// -------------------------------------------- norm preservation sweep ----
+
+class NormPreservationP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormPreservationP, RandomCircuitKeepsUnitNorm) {
+  Rng rng(GetParam());
+  const std::size_t n = 5;
+  sim::StateVector sv(n);
+  for (int g = 0; g < 80; ++g) {
+    switch (rng.uniform_int(5)) {
+      case 0:
+        sv.apply_1q(sim::rx(rng.uniform(-3, 3)),
+                    static_cast<QubitIndex>(rng.uniform_int(n)));
+        break;
+      case 1:
+        sv.apply_1q(sim::hadamard(),
+                    static_cast<QubitIndex>(rng.uniform_int(n)));
+        break;
+      case 2: {
+        const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+        QubitIndex b = a;
+        while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+        sv.apply_controlled_1q(sim::pauli_x(), {a}, b);
+        break;
+      }
+      case 3: {
+        const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+        QubitIndex b = a;
+        while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+        sv.apply_2q(sim::gate_matrix_2q(qasm::GateKind::RZZ,
+                                        rng.uniform(-3, 3)),
+                    a, b);
+        break;
+      }
+      default: {
+        const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+        QubitIndex b = a;
+        while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+        sv.apply_swap(a, b);
+      }
+    }
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+  // Probabilities of all measurement outcomes sum to 1 per qubit.
+  for (QubitIndex q = 0; q < n; ++q) {
+    const double p1 = sv.prob_one(q);
+    EXPECT_GE(p1, -1e-12);
+    EXPECT_LE(p1, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormPreservationP,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ----------------------------------------- decompose equivalence sweep ----
+
+struct DecomposeCase {
+  const char* name;
+  std::size_t qubits;
+  void (*build)(compiler::Kernel&, Rng&);
+};
+
+void build_random_1q(compiler::Kernel& k, Rng& rng) {
+  static const qasm::GateKind kinds[] = {
+      qasm::GateKind::H, qasm::GateKind::X,  qasm::GateKind::Y,
+      qasm::GateKind::Z, qasm::GateKind::S,  qasm::GateKind::Sdag,
+      qasm::GateKind::T, qasm::GateKind::Tdag};
+  for (int g = 0; g < 10; ++g)
+    k.add(qasm::Instruction(kinds[rng.uniform_int(8)], {0}));
+}
+void build_random_rot(compiler::Kernel& k, Rng& rng) {
+  for (int g = 0; g < 8; ++g) {
+    k.rx(0, rng.uniform(-3, 3));
+    k.ry(0, rng.uniform(-3, 3));
+    k.rz(0, rng.uniform(-3, 3));
+  }
+}
+void build_two_qubit_mix(compiler::Kernel& k, Rng& rng) {
+  for (int g = 0; g < 6; ++g) {
+    k.cnot(0, 1);
+    k.cr(1, 0, rng.uniform(-3, 3));
+    k.rzz(0, 1, rng.uniform(-3, 3));
+    k.swap(0, 1);
+  }
+}
+void build_toffoli_mix(compiler::Kernel& k, Rng& rng) {
+  for (int g = 0; g < 3; ++g) {
+    k.toffoli(0, 1, 2);
+    k.h(static_cast<QubitIndex>(rng.uniform_int(3)));
+    k.toffoli(2, 0, 1);
+  }
+}
+void build_qft(compiler::Kernel& k, Rng&) { k.qft({0, 1, 2, 3}); }
+
+class DecomposeEquivalenceP
+    : public ::testing::TestWithParam<std::tuple<DecomposeCase, int>> {};
+
+TEST_P(DecomposeEquivalenceP, LoweredCircuitMatchesOriginal) {
+  const auto& [c, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+  compiler::Program orig("p", c.qubits);
+  auto& k = orig.add_kernel("main");
+  for (QubitIndex q = 0; q < c.qubits; ++q) {
+    k.ry(q, rng.uniform(0, 2 * kPi));
+    k.rz(q, rng.uniform(0, 2 * kPi));
+  }
+  c.build(k, rng);
+
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_count = c.qubits;
+  platform.topology = compiler::Topology::full(c.qubits);
+  platform.qubit_model = sim::QubitModel::perfect();
+
+  const qasm::Program lowered = compiler::decompose(orig.to_qasm(), platform);
+  for (const auto& circuit : lowered.circuits())
+    for (const auto& instr : circuit.instructions())
+      ASSERT_TRUE(platform.is_primitive(instr.kind()));
+
+  sim::Simulator a(c.qubits, sim::QubitModel::perfect(), 1);
+  a.run_once(orig.to_qasm());
+  sim::Simulator b(c.qubits, sim::QubitModel::perfect(), 1);
+  b.run_once(lowered);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DecomposeEquivalenceP,
+    ::testing::Combine(
+        ::testing::Values(DecomposeCase{"clifford1q", 1, build_random_1q},
+                          DecomposeCase{"rotations", 1, build_random_rot},
+                          DecomposeCase{"twoqubit", 2, build_two_qubit_mix},
+                          DecomposeCase{"toffoli", 3, build_toffoli_mix},
+                          DecomposeCase{"qft4", 4, build_qft}),
+        ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<DecomposeCase, int>>& info) {
+      return std::string(std::get<0>(info.param).name) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------ parser round-trips ----
+
+class ParserRoundTripP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTripP, PrintedProgramParsesBack) {
+  Rng rng(GetParam() * 31 + 5);
+  const std::size_t n = 2 + rng.uniform_int(5);
+  qasm::Program p("fuzz", n);
+  auto& c = p.add_circuit("main", 1 + rng.uniform_int(3));
+  const std::size_t instr_count = 5 + rng.uniform_int(30);
+  for (std::size_t g = 0; g < instr_count; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    if (n > 1)
+      while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    switch (rng.uniform_int(8)) {
+      case 0: c.add(qasm::Instruction(qasm::GateKind::H, {a})); break;
+      case 1:
+        c.add(qasm::Instruction(qasm::GateKind::Rx, {a},
+                                rng.uniform(-6, 6)));
+        break;
+      case 2:
+        if (n > 1) c.add(qasm::Instruction(qasm::GateKind::CNOT, {a, b}));
+        break;
+      case 3:
+        if (n > 1)
+          c.add(qasm::Instruction(
+              qasm::GateKind::CRK, {a, b}, 0.0,
+              static_cast<std::int64_t>(1 + rng.uniform_int(5))));
+        break;
+      case 4: c.add(qasm::Instruction(qasm::GateKind::Measure, {a})); break;
+      case 5: {
+        qasm::Instruction cond(qasm::GateKind::Z, {a});
+        cond.set_conditions({static_cast<BitIndex>(rng.uniform_int(n))});
+        c.add(std::move(cond));
+        break;
+      }
+      case 6:
+        c.add(qasm::Instruction(qasm::GateKind::PrepZ, {a}));
+        break;
+      default:
+        c.add(qasm::Instruction(qasm::GateKind::Wait, {a}, 0.0,
+                                static_cast<std::int64_t>(
+                                    1 + rng.uniform_int(9))));
+    }
+  }
+
+  const std::string text = qasm::to_cqasm(p);
+  const qasm::Program back = qasm::Parser::parse(text);
+  ASSERT_EQ(back.qubit_count(), p.qubit_count());
+  ASSERT_EQ(back.circuits().size(), p.circuits().size());
+  const auto& orig = p.circuits()[0].instructions();
+  const auto& parsed = back.circuits()[0].instructions();
+  ASSERT_EQ(parsed.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    EXPECT_TRUE(parsed[i] == orig[i]) << text << "\nat instruction " << i;
+  // Printing the parsed program again is a fixed point.
+  EXPECT_EQ(qasm::to_cqasm(back), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripP,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// --------------------------------------------- scheduler invariants ----
+
+class ScheduleInvariantsP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleInvariantsP, DependenciesRespectedAndDepthsEqual) {
+  Rng rng(GetParam() * 7919 + 3);
+  const std::size_t n = 5;
+  compiler::Program p("sched", n);
+  auto& k = p.add_kernel("main");
+  for (int g = 0; g < 40; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    if (rng.bernoulli(0.5))
+      k.h(a);
+    else
+      k.cnot(a, b);
+  }
+  const compiler::Platform platform = compiler::Platform::perfect(n);
+
+  for (auto kind :
+       {compiler::SchedulerKind::ASAP, compiler::SchedulerKind::ALAP}) {
+    const qasm::Program out = compiler::schedule(p.to_qasm(), platform, kind);
+    const auto& ins = out.circuits()[0].instructions();
+    // No two instructions sharing a qubit may overlap in time.
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      for (std::size_t j = i + 1; j < ins.size(); ++j) {
+        bool shares = false;
+        for (QubitIndex q : ins[i].qubits())
+          if (ins[j].uses_qubit(q)) shares = true;
+        if (!shares) continue;
+        const auto di = static_cast<std::int64_t>(platform.cycles_of(ins[i]));
+        const auto dj = static_cast<std::int64_t>(platform.cycles_of(ins[j]));
+        const bool disjoint_time =
+            ins[i].cycle() + di <= ins[j].cycle() ||
+            ins[j].cycle() + dj <= ins[i].cycle();
+        EXPECT_TRUE(disjoint_time)
+            << ins[i].to_string() << " overlaps " << ins[j].to_string();
+      }
+    }
+  }
+
+  // ASAP and ALAP give the same makespan (both are critical-path tight).
+  compiler::ScheduleStats asap_stats, alap_stats;
+  compiler::schedule(p.to_qasm(), platform, compiler::SchedulerKind::ASAP,
+                     &asap_stats);
+  compiler::schedule(p.to_qasm(), platform, compiler::SchedulerKind::ALAP,
+                     &alap_stats);
+  EXPECT_EQ(asap_stats.depth_cycles, alap_stats.depth_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleInvariantsP,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ------------------------------------------------- mapper invariants ----
+
+class MapperInvariantsP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperInvariantsP, RoutedProgramIsNearestNeighbourAndEquivalent) {
+  Rng rng(GetParam() * 104729 + 7);
+  const std::size_t n = 6;
+  compiler::Program p("map", n);
+  auto& k = p.add_kernel("main");
+  for (QubitIndex q = 0; q < n; ++q) k.ry(q, rng.uniform(0, 2 * kPi));
+  for (int g = 0; g < 15; ++g) {
+    const QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(n));
+    QubitIndex b = a;
+    while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(n));
+    k.cnot(a, b);
+  }
+  const compiler::Platform grid = compiler::Platform::perfect_grid(2, 3);
+  compiler::MapStats stats;
+  const compiler::Mapper mapper(GetParam() % 2 == 0
+                                    ? compiler::PlacementKind::Identity
+                                    : compiler::PlacementKind::Greedy);
+  const qasm::Program routed = mapper.map(p.to_qasm(), grid, &stats);
+
+  // Every 2q gate acts on adjacent physical qubits.
+  for (const auto& c : routed.circuits())
+    for (const auto& i : c.instructions())
+      if (qasm::gate_is_two_qubit(i.kind()))
+        EXPECT_LE(grid.topology.distance(i.qubits()[0], i.qubits()[1]), 1u);
+
+  // Semantics preserved modulo the final qubit permutation.
+  sim::Simulator orig(n, sim::QubitModel::perfect(), 1);
+  orig.run_once(p.to_qasm());
+  sim::Simulator mapped(n, sim::QubitModel::perfect(), 1);
+  mapped.run_once(routed);
+  sim::StateVector expect(n);
+  expect.set_amplitude(0, cplx(0, 0));
+  for (StateIndex basis = 0; basis < (StateIndex{1} << n); ++basis) {
+    StateIndex phys = 0;
+    for (QubitIndex l = 0; l < n; ++l)
+      if (basis & (StateIndex{1} << l))
+        phys |= StateIndex{1} << stats.final_map[l];
+    expect.set_amplitude(phys, orig.state().amplitude(basis));
+  }
+  EXPECT_NEAR(mapped.state().fidelity(expect), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperInvariantsP,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// -------------------------------------------------- QUBO/Ising sweep ----
+
+class QuboIsingP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuboIsingP, EnergiesAgreeOnEveryAssignment) {
+  Rng rng(GetParam() * 53 + 11);
+  const std::size_t n = 6;
+  anneal::Qubo q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.add(i, i, rng.uniform(-2, 2));
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.6)) q.add(i, j, rng.uniform(-2, 2));
+  }
+  const anneal::IsingModel ising = q.to_ising();
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<int> x(n), s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = (mask >> i) & 1;
+      s[i] = x[i] ? 1 : -1;
+    }
+    ASSERT_NEAR(q.energy(x), ising.energy(s), 1e-9) << mask;
+  }
+  // And argmin is preserved through the inverse transform.
+  const anneal::Qubo back = anneal::Qubo::from_ising(ising);
+  EXPECT_EQ(back.brute_force_minimum().first, q.brute_force_minimum().first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuboIsingP,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------------------- annealer optimum ----
+
+class AnnealerOptimumP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealerOptimumP, FindsBruteForceMinimumOnRandomQubo) {
+  Rng rng(GetParam() * 37 + 19);
+  const std::size_t n = 9;
+  anneal::Qubo q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.add(i, i, rng.uniform(-1, 1));
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.4)) q.add(i, j, rng.uniform(-1, 1));
+  }
+  const double optimal = q.brute_force_minimum().second;
+  anneal::AnnealSchedule schedule;
+  schedule.sweeps = 800;
+  schedule.restarts = 4;
+  EXPECT_NEAR(anneal::SimulatedAnnealer(schedule).solve_qubo(q, rng).second,
+              optimal, 1e-9);
+  anneal::QuantumAnnealSchedule qschedule;
+  qschedule.sweeps = 600;
+  qschedule.restarts = 4;
+  EXPECT_NEAR(
+      anneal::SimulatedQuantumAnnealer(qschedule).solve_qubo(q, rng).second,
+      optimal, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealerOptimumP,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// -------------------------------------------- repetition code sweep ----
+
+class RepetitionDecodeP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RepetitionDecodeP, CorrectsAllErrorsUpToHalfDistance) {
+  const std::size_t d = GetParam();
+  const qec::RepetitionCode code(d);
+  const std::size_t t = (d - 1) / 2;  // correctable weight
+  // Enumerate every error pattern of weight <= t.
+  for (unsigned err = 0; err < (1u << d); ++err) {
+    unsigned weight = 0;
+    for (std::size_t i = 0; i < d; ++i)
+      if (err & (1u << i)) ++weight;
+    if (weight > t) continue;
+    std::vector<int> data(d);
+    for (std::size_t i = 0; i < d; ++i) data[i] = (err >> i) & 1;
+    std::vector<int> syndrome(d - 1);
+    for (std::size_t i = 0; i + 1 < d; ++i)
+      syndrome[i] = data[i] ^ data[i + 1];
+    for (std::size_t flip : code.decode_syndrome(syndrome)) data[flip] ^= 1;
+    EXPECT_EQ(code.majority_decode(data), 0)
+        << "d=" << d << " error=" << err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RepetitionDecodeP,
+                         ::testing::Values(3, 5, 7, 9));
+
+// ------------------------------------------------ surface code sweep ----
+
+class SurfaceWeightP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SurfaceWeightP, UndetectedErrorsAreStabilizersOrLogicals) {
+  // Property: any X-error pattern with trivial syndrome is either a
+  // product of Z-stabilizer... (for X errors: product of X stabilizers)
+  // or a logical operator times one — i.e. corrects to no-logical or
+  // flips logical Z; it must never fire a syndrome.
+  const qec::SurfaceCode17 code;
+  const unsigned err = GetParam();
+  const unsigned syn = code.syndrome_of_x_errors(err);
+  if (syn == 0) {
+    // Decoder must return a correction with the same (trivial) syndrome.
+    EXPECT_EQ(code.decode_z_syndrome(syn), 0u);
+  } else {
+    const unsigned corr = code.decode_z_syndrome(syn);
+    EXPECT_EQ(code.syndrome_of_x_errors(corr), syn);
+    // The residual is undetectable by construction.
+    EXPECT_EQ(code.syndrome_of_x_errors(err ^ corr), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorPatterns, SurfaceWeightP,
+                         ::testing::Range(0u, 128u));
+
+// ------------------------------------------------ Grover closed form ----
+
+class GroverFormP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroverFormP, OptimalIterationsNearMaximiseSuccess) {
+  const std::size_t n = std::size_t{1} << GetParam();
+  const std::size_t k = apps::genome::grover_optimal_iterations(n, 1);
+  const double at_k = apps::genome::grover_success_probability(n, 1, k);
+  // k_opt must beat its neighbours or be within rounding of them.
+  const double at_km1 =
+      k > 0 ? apps::genome::grover_success_probability(n, 1, k - 1) : 0.0;
+  const double at_kp1 =
+      apps::genome::grover_success_probability(n, 1, k + 1);
+  EXPECT_GE(at_k + 1e-9, at_km1);
+  EXPECT_GE(at_k + 1e-9, at_kp1);
+  EXPECT_GT(at_k, 0.8);  // near-certain at the optimum for N >= 4
+}
+
+INSTANTIATE_TEST_SUITE_P(DatabaseSizes, GroverFormP,
+                         ::testing::Range<std::size_t>(2, 16));
+
+// -------------------------------------------------- TSP exactness ----
+
+class TspSolversP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TspSolversP, ExactSolversAgreeAndHeuristicsAreUpperBounds) {
+  Rng rng(GetParam() * 2003 + 1);
+  const std::size_t n = 5 + rng.uniform_int(4);
+  const apps::tsp::TspInstance inst = apps::tsp::TspInstance::random(n, rng);
+  const double bf = apps::tsp::brute_force(inst).cost;
+  EXPECT_NEAR(apps::tsp::held_karp(inst).cost, bf, 1e-9);
+  EXPECT_NEAR(apps::tsp::branch_and_bound(inst).cost, bf, 1e-9);
+  EXPECT_GE(apps::tsp::nearest_neighbour(inst).cost + 1e-12, bf);
+  EXPECT_GE(apps::tsp::two_opt(inst).cost + 1e-12, bf);
+  Rng mc(GetParam());
+  EXPECT_GE(apps::tsp::monte_carlo(inst, 50, mc).cost + 1e-12, bf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TspSolversP,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace qs

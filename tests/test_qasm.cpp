@@ -1,0 +1,295 @@
+// Unit tests for the cQASM layer: gate metadata, instructions, programs,
+// parser and printer (including round-trip properties).
+#include <gtest/gtest.h>
+
+#include "qasm/gate_kind.h"
+#include "qasm/instruction.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "qasm/program.h"
+
+namespace qs::qasm {
+namespace {
+
+// ----------------------------------------------------------- GateKind ----
+
+TEST(GateKind, ArityTable) {
+  EXPECT_EQ(gate_arity(GateKind::H), 1u);
+  EXPECT_EQ(gate_arity(GateKind::CNOT), 2u);
+  EXPECT_EQ(gate_arity(GateKind::Toffoli), 3u);
+  EXPECT_EQ(gate_arity(GateKind::MeasureAll), 0u);
+}
+
+TEST(GateKind, NameRoundTrip) {
+  for (GateKind k : {GateKind::PrepZ, GateKind::X, GateKind::H, GateKind::Rz,
+                     GateKind::CNOT, GateKind::CRK, GateKind::Toffoli,
+                     GateKind::MeasureAll, GateKind::Swap, GateKind::RZZ}) {
+    const auto back = gate_from_name(gate_name(k));
+    ASSERT_TRUE(back.has_value()) << gate_name(k);
+    EXPECT_EQ(*back, k);
+  }
+}
+
+TEST(GateKind, UnknownNameIsEmpty) {
+  EXPECT_FALSE(gate_from_name("nonsense").has_value());
+}
+
+TEST(GateKind, InversePairs) {
+  EXPECT_EQ(gate_inverse(GateKind::S), GateKind::Sdag);
+  EXPECT_EQ(gate_inverse(GateKind::Sdag), GateKind::S);
+  EXPECT_EQ(gate_inverse(GateKind::T), GateKind::Tdag);
+  EXPECT_EQ(gate_inverse(GateKind::X90), GateKind::MX90);
+  EXPECT_EQ(gate_inverse(GateKind::X), GateKind::X);  // self-inverse
+  EXPECT_EQ(gate_inverse(GateKind::CNOT), GateKind::CNOT);
+}
+
+TEST(GateKind, Classification) {
+  EXPECT_TRUE(gate_is_unitary(GateKind::H));
+  EXPECT_FALSE(gate_is_unitary(GateKind::Measure));
+  EXPECT_FALSE(gate_is_unitary(GateKind::Barrier));
+  EXPECT_TRUE(gate_has_angle(GateKind::Rx));
+  EXPECT_FALSE(gate_has_angle(GateKind::X));
+  EXPECT_TRUE(gate_has_int_param(GateKind::CRK));
+  EXPECT_TRUE(gate_is_two_qubit(GateKind::CZ));
+}
+
+// -------------------------------------------------------- Instruction ----
+
+TEST(Instruction, ArityValidation) {
+  EXPECT_NO_THROW(Instruction(GateKind::H, {0}));
+  EXPECT_THROW(Instruction(GateKind::H, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(Instruction(GateKind::CNOT, {0}), std::invalid_argument);
+  EXPECT_THROW(Instruction(GateKind::MeasureAll, {0}), std::invalid_argument);
+}
+
+TEST(Instruction, DuplicateOperandsRejected) {
+  EXPECT_THROW(Instruction(GateKind::CNOT, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(Instruction(GateKind::Toffoli, {0, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(Instruction, WaitIsVariadic) {
+  EXPECT_NO_THROW(Instruction(GateKind::Wait, {0, 1, 2}, 0.0, 5));
+  EXPECT_THROW(Instruction(GateKind::Wait, {}), std::invalid_argument);
+}
+
+TEST(Instruction, ToStringForms) {
+  EXPECT_EQ(Instruction(GateKind::H, {0}).to_string(), "h q[0]");
+  EXPECT_EQ(Instruction(GateKind::CNOT, {0, 1}).to_string(),
+            "cnot q[0], q[1]");
+  EXPECT_EQ(Instruction(GateKind::Rx, {2}, 1.5).to_string(), "rx q[2], 1.5");
+  EXPECT_EQ(Instruction(GateKind::CRK, {0, 1}, 0.0, 3).to_string(),
+            "crk q[0], q[1], 3");
+  Instruction cond(GateKind::X, {1});
+  cond.set_conditions({0});
+  EXPECT_EQ(cond.to_string(), "c-x b[0], q[1]");
+}
+
+TEST(Instruction, RemapQubits) {
+  Instruction i(GateKind::CNOT, {0, 1});
+  i.remap_qubits({5, 3});
+  EXPECT_EQ(i.qubits()[0], 5u);
+  EXPECT_EQ(i.qubits()[1], 3u);
+  EXPECT_THROW(i.remap_qubits({0}), std::out_of_range);
+}
+
+TEST(Instruction, SchedulingState) {
+  Instruction i(GateKind::X, {0});
+  EXPECT_FALSE(i.is_scheduled());
+  i.set_cycle(12);
+  EXPECT_TRUE(i.is_scheduled());
+  EXPECT_EQ(i.cycle(), 12);
+}
+
+// ------------------------------------------------------------- Program ----
+
+TEST(Program, CircuitCountsAndDepth) {
+  Circuit c("body");
+  c.add(Instruction(GateKind::H, {0}));
+  c.add(Instruction(GateKind::CNOT, {0, 1}));
+  c.add(Instruction(GateKind::Measure, {0}));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate_count(), 2u);  // measure excluded
+  EXPECT_EQ(c.two_qubit_gate_count(), 1u);
+  EXPECT_EQ(c.max_qubit_plus_one(), 2u);
+  EXPECT_EQ(c.depth(), 3u);  // unscheduled: sequential depth
+}
+
+TEST(Program, ScheduledDepthUsesCycles) {
+  Circuit c("body");
+  Instruction a(GateKind::H, {0});
+  a.set_cycle(0);
+  Instruction b(GateKind::H, {1});
+  b.set_cycle(0);
+  c.add(a);
+  c.add(b);
+  EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Program, FlattenHonoursIterations) {
+  Program p("test", 2);
+  Circuit c("loop", 3);
+  c.add(Instruction(GateKind::X, {0}));
+  p.add_circuit(c);
+  EXPECT_EQ(p.flatten().size(), 3u);
+  EXPECT_EQ(p.total_instructions(), 3u);
+}
+
+TEST(Program, ValidateRejectsOutOfRange) {
+  Program p("test", 2);
+  Circuit c("bad");
+  c.add(Instruction(GateKind::X, {5}));
+  p.add_circuit(c);
+  EXPECT_THROW(p.validate(), std::out_of_range);
+}
+
+// -------------------------------------------------------------- Parser ----
+
+TEST(Parser, MinimalProgram) {
+  const Program p = Parser::parse(R"(
+version 1.0
+qubits 3
+h q[0]
+cnot q[0], q[1]
+measure q[1]
+)");
+  EXPECT_EQ(p.qubit_count(), 3u);
+  ASSERT_EQ(p.circuits().size(), 1u);  // implicit "main"
+  EXPECT_EQ(p.circuits()[0].size(), 3u);
+  EXPECT_EQ(p.circuits()[0].instructions()[1].kind(), GateKind::CNOT);
+}
+
+TEST(Parser, SubcircuitsWithIterations) {
+  const Program p = Parser::parse(R"(
+version 1.0
+qubits 2
+.init
+prep_z q[0]
+.loop(5)
+x q[0]
+)");
+  ASSERT_EQ(p.circuits().size(), 2u);
+  EXPECT_EQ(p.circuits()[0].name(), "init");
+  EXPECT_EQ(p.circuits()[1].name(), "loop");
+  EXPECT_EQ(p.circuits()[1].iterations(), 5u);
+  EXPECT_EQ(p.total_instructions(), 6u);
+}
+
+TEST(Parser, Bundles) {
+  const Program p = Parser::parse(R"(
+qubits 2
+{ h q[0] | h q[1] }
+cnot q[0], q[1]
+)");
+  const auto& ins = p.circuits()[0].instructions();
+  ASSERT_EQ(ins.size(), 3u);
+  EXPECT_EQ(ins[0].cycle(), ins[1].cycle());
+  EXPECT_GT(ins[2].cycle(), ins[0].cycle());
+}
+
+TEST(Parser, AnglesAndParams) {
+  const Program p = Parser::parse(R"(
+qubits 2
+rx q[0], 3.14159
+crk q[0], q[1], 2
+wait q[0], 10
+)");
+  const auto& ins = p.circuits()[0].instructions();
+  EXPECT_NEAR(ins[0].angle(), 3.14159, 1e-9);
+  EXPECT_EQ(ins[1].param_k(), 2);
+  EXPECT_EQ(ins[2].param_k(), 10);
+}
+
+TEST(Parser, BinaryControlledGate) {
+  const Program p = Parser::parse(R"(
+qubits 2
+measure q[0]
+c-x b[0], q[1]
+)");
+  const auto& instr = p.circuits()[0].instructions()[1];
+  EXPECT_TRUE(instr.is_conditional());
+  ASSERT_EQ(instr.conditions().size(), 1u);
+  EXPECT_EQ(instr.conditions()[0], 0u);
+  EXPECT_EQ(instr.kind(), GateKind::X);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const Program p = Parser::parse(R"(
+# full-line comment
+qubits 1
+
+x q[0]  # trailing comment
+)");
+  EXPECT_EQ(p.circuits()[0].size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(Parser::parse("x q[0]\n"), ParseError);  // missing qubits
+  EXPECT_THROW(Parser::parse("qubits 2\nfrobnicate q[0]\n"), ParseError);
+  EXPECT_THROW(Parser::parse("qubits 2\nrx q[0]\n"), ParseError);  // no angle
+  EXPECT_THROW(Parser::parse("qubits 2\nh q[5]\n"), std::out_of_range);
+  EXPECT_THROW(Parser::parse("qubits 2\nqubits 3\n"), ParseError);
+  EXPECT_THROW(Parser::parse("qubits 2\n{ h q[0] |  }\n"), ParseError);
+  EXPECT_THROW(Parser::parse("qubits 2\nh q[x]\n"), ParseError);
+}
+
+TEST(Parser, ErrorCarriesLineNumber) {
+  try {
+    Parser::parse("qubits 2\nh q[0]\nbogus q[1]\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+// ------------------------------------------------------------- Printer ----
+
+TEST(Printer, HeaderAndBody) {
+  Program p("demo", 2);
+  auto& c = p.add_circuit("main");
+  c.add(Instruction(GateKind::H, {0}));
+  c.add(Instruction(GateKind::CNOT, {0, 1}));
+  const std::string text = to_cqasm(p);
+  EXPECT_NE(text.find("version 1.0"), std::string::npos);
+  EXPECT_NE(text.find("qubits 2"), std::string::npos);
+  EXPECT_NE(text.find("h q[0]"), std::string::npos);
+  EXPECT_NE(text.find(".main"), std::string::npos);
+}
+
+TEST(Printer, BundleNotationForSharedCycles) {
+  Program p("demo", 2);
+  auto& c = p.add_circuit("main");
+  Instruction a(GateKind::H, {0});
+  a.set_cycle(0);
+  Instruction b(GateKind::H, {1});
+  b.set_cycle(0);
+  c.add(a);
+  c.add(b);
+  const std::string text = to_cqasm(p);
+  EXPECT_NE(text.find("{ h q[0] | h q[1] }"), std::string::npos);
+}
+
+TEST(Printer, RoundTripThroughParser) {
+  Program p("roundtrip", 3);
+  auto& c = p.add_circuit("k1", 2);
+  c.add(Instruction(GateKind::H, {0}));
+  c.add(Instruction(GateKind::Rx, {1}, 0.25));
+  c.add(Instruction(GateKind::CRK, {0, 2}, 0.0, 4));
+  c.add(Instruction(GateKind::Measure, {0}));
+  Instruction cond(GateKind::Z, {2});
+  cond.set_conditions({0});
+  c.add(cond);
+
+  const Program back = Parser::parse(to_cqasm(p));
+  EXPECT_EQ(back.qubit_count(), p.qubit_count());
+  ASSERT_EQ(back.circuits().size(), 1u);
+  EXPECT_EQ(back.circuits()[0].iterations(), 2u);
+  const auto& orig = p.circuits()[0].instructions();
+  const auto& parsed = back.circuits()[0].instructions();
+  ASSERT_EQ(parsed.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    EXPECT_TRUE(parsed[i] == orig[i]) << "instruction " << i;
+}
+
+}  // namespace
+}  // namespace qs::qasm

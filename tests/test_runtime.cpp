@@ -1,0 +1,299 @@
+// Unit tests for the runtime: classical optimisers, accelerator
+// co-processor models, QAOA and the host offload bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anneal/chimera.h"
+#include "runtime/accelerator.h"
+#include "runtime/hybrid.h"
+#include "runtime/optimizer.h"
+#include "runtime/qaoa.h"
+
+namespace qs::runtime {
+namespace {
+
+// ---------------------------------------------------------- Optimizers ----
+
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  return 100.0 * std::pow(x[1] - x[0] * x[0], 2) + std::pow(1.0 - x[0], 2);
+}
+
+TEST(NelderMead, MinimisesSphere) {
+  NelderMead::Options opts;
+  opts.max_iterations = 300;
+  const OptimizeResult r =
+      NelderMead(opts).minimize(sphere, {2.0, -1.5, 0.7});
+  EXPECT_LT(r.value, 1e-6);
+  for (double v : r.x) EXPECT_NEAR(v, 0.0, 1e-2);
+  EXPECT_GT(r.evaluations, 10u);
+}
+
+TEST(NelderMead, MinimisesRosenbrock) {
+  NelderMead::Options opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-12;
+  const OptimizeResult r = NelderMead(opts).minimize(rosenbrock, {-1.2, 1.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HistoryMonotoneNonIncreasing) {
+  NelderMead::Options opts;
+  opts.max_iterations = 100;
+  const OptimizeResult r = NelderMead(opts).minimize(sphere, {3.0, 3.0});
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(NelderMead().minimize(sphere, {}), std::invalid_argument);
+}
+
+TEST(Spsa, MinimisesSphereUnderNoise) {
+  Rng noise(3);
+  const Objective noisy = [&](const std::vector<double>& x) {
+    return sphere(x) + noise.normal(0.0, 0.01);
+  };
+  Spsa::Options opts;
+  opts.iterations = 300;
+  opts.a = 0.1;
+  const OptimizeResult r = Spsa(opts).minimize(noisy, {1.5, -1.0});
+  EXPECT_LT(r.value, 0.1);
+}
+
+TEST(Spsa, EvaluationBudgetIndependentOfDimension) {
+  Spsa::Options opts;
+  opts.iterations = 50;
+  const OptimizeResult r2 =
+      Spsa(opts).minimize(sphere, std::vector<double>(2, 1.0));
+  const OptimizeResult r10 =
+      Spsa(opts).minimize(sphere, std::vector<double>(10, 1.0));
+  EXPECT_EQ(r2.evaluations, r10.evaluations);  // SPSA's selling point
+}
+
+TEST(GridSearch, FindsBoxMinimum) {
+  GridSearch::Options opts;
+  opts.points_per_dim = 21;
+  opts.lower = {-1.0, -1.0};
+  opts.upper = {1.0, 1.0};
+  const OptimizeResult r = GridSearch(opts).minimize(
+      [](const std::vector<double>& x) { return sphere(x); });
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+  EXPECT_EQ(r.evaluations, 21u * 21u);
+}
+
+TEST(GridSearch, BadBoundsThrow) {
+  GridSearch::Options opts;
+  opts.lower = {0.0};
+  opts.upper = {};
+  EXPECT_THROW(GridSearch(opts).minimize(sphere), std::invalid_argument);
+}
+
+// ------------------------------------------------------- Accelerators ----
+
+TEST(GateAccelerator, ExecuteBellDirect) {
+  GateAccelerator acc(compiler::Platform::perfect(2));
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").ghz(2).measure_all();
+  const Histogram hist = acc.execute(p.to_qasm(), 300);
+  EXPECT_NEAR(hist.frequency("00") + hist.frequency("11"), 1.0, 1e-9);
+  EXPECT_EQ(acc.qubit_count(), 2u);
+}
+
+TEST(GateAccelerator, ExecuteBellThroughMicroArch) {
+  compiler::Platform platform = compiler::Platform::superconducting17();
+  platform.qubit_model = sim::QubitModel::perfect();
+  GateAccelerator acc(platform, {}, GatePath::MicroArch, 7);
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").ghz(2).measure_all();
+  const Histogram hist = acc.execute(p.to_qasm(), 200);
+  double correlated = 0.0;
+  for (const auto& [bits, count] : hist.counts())
+    if (bits.substr(0, 2) == "00" || bits.substr(0, 2) == "11")
+      correlated += static_cast<double>(count);
+  EXPECT_NEAR(correlated / 200.0, 1.0, 1e-9);
+}
+
+TEST(GateAccelerator, ExpectationOfDiagonal) {
+  GateAccelerator acc(compiler::Platform::perfect(1));
+  compiler::Program p("plus", 1);
+  p.add_kernel("main").h(0);
+  // <Z> via f(basis) = 1 - 2*bit.
+  const double z = acc.expectation(p.to_qasm(), [](StateIndex basis) {
+    return basis & 1 ? -1.0 : 1.0;
+  });
+  EXPECT_NEAR(z, 0.0, 1e-9);
+}
+
+TEST(AnnealAccelerator, FullyConnectedSolvesTriangle) {
+  anneal::Qubo q(3);
+  q.add(0, 1, 2.0);
+  q.add(1, 2, 2.0);
+  q.add(0, 2, 2.0);
+  for (std::size_t i = 0; i < 3; ++i) q.add(i, i, -1.0);
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 300;
+  schedule.restarts = 3;
+  AnnealAccelerator acc(/*capacity=*/64, schedule);
+  EXPECT_FALSE(acc.requires_embedding());
+  Rng rng(5);
+  const AnnealOutcome outcome = acc.solve(q, rng);
+  EXPECT_NEAR(outcome.energy, -1.0, 1e-12);
+  EXPECT_FALSE(outcome.embedded);
+}
+
+TEST(AnnealAccelerator, TopologyDeviceEmbedsAndSolves) {
+  anneal::Qubo q(4);
+  // Square of couplings, solvable on a small Chimera.
+  q.add(0, 1, 1.0);
+  q.add(1, 2, 1.0);
+  q.add(2, 3, 1.0);
+  q.add(0, 3, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) q.add(i, i, -1.5);
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 400;
+  schedule.restarts = 2;
+  AnnealAccelerator acc(
+      AnnealAccelerator::chimera_hardware(anneal::ChimeraGraph(2, 2, 4)),
+      schedule);
+  EXPECT_TRUE(acc.requires_embedding());
+  Rng rng(7);
+  const AnnealOutcome outcome = acc.solve(q, rng);
+  EXPECT_TRUE(outcome.embedded);
+  EXPECT_GE(outcome.physical_qubits_used, 4u);
+  EXPECT_NEAR(outcome.energy, q.brute_force_minimum().second, 1e-9);
+}
+
+TEST(AnnealAccelerator, CapacityExceededThrows) {
+  anneal::Qubo q(10);
+  q.add(0, 1, 1.0);
+  AnnealAccelerator acc(/*capacity=*/4);
+  Rng rng(1);
+  EXPECT_THROW(acc.solve(q, rng), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- QAOA ----
+
+/// MaxCut QUBO for a 2-node graph: minimum -1 at x = (1,0) or (0,1).
+anneal::Qubo maxcut2() {
+  anneal::Qubo q(2);
+  q.add(0, 0, -1.0);
+  q.add(1, 1, -1.0);
+  q.add(0, 1, 2.0);
+  return q;
+}
+
+/// MaxCut QUBO of a 4-cycle: optimal cut value 4 -> energy -4.
+anneal::Qubo maxcut_ring4() {
+  anneal::Qubo q(4);
+  const std::pair<int, int> edges[] = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  for (auto [a, b] : edges) {
+    q.add(a, a, -1.0);
+    q.add(b, b, -1.0);
+    q.add(a, b, 2.0);
+  }
+  return q;
+}
+
+TEST(Qaoa, CircuitShape) {
+  Qaoa qaoa(maxcut2(), QaoaOptions{});
+  const qasm::Program circuit = qaoa.build_circuit({0.3, 0.5});
+  EXPECT_EQ(circuit.qubit_count(), 2u);
+  // init + cost + mixer kernels.
+  EXPECT_EQ(circuit.circuits().size(), 3u);
+  EXPECT_THROW(qaoa.build_circuit({0.3}), std::invalid_argument);
+}
+
+TEST(Qaoa, ExpectationAtZeroParamsIsUniformAverage) {
+  // gamma=beta=0: state stays |+...+>, <H> = average QUBO energy.
+  Qaoa qaoa(maxcut2(), QaoaOptions{});
+  GateAccelerator acc(compiler::Platform::perfect(2));
+  const double e = qaoa.expectation({0.0, 0.0}, acc);
+  // Energies: 0, -1, -1, 0 -> average -0.5.
+  EXPECT_NEAR(e, -0.5, 1e-9);
+}
+
+TEST(Qaoa, OptimisedExpectationBeatsUniform) {
+  QaoaOptions opts;
+  opts.depth = 1;
+  opts.optimizer_iterations = 80;
+  Qaoa qaoa(maxcut_ring4(), opts);
+  GateAccelerator acc(compiler::Platform::perfect(4));
+  const QaoaResult r = qaoa.solve(acc);
+  EXPECT_LT(r.expectation, -2.0);  // uniform average is -2
+  EXPECT_EQ(r.energy, -4.0);       // sampling finds the optimal cut
+  EXPECT_GT(r.circuit_evaluations, 10u);
+}
+
+TEST(Qaoa, DeeperAnsatzNotWorse) {
+  GateAccelerator acc(compiler::Platform::perfect(4));
+  QaoaOptions p1;
+  p1.depth = 1;
+  p1.optimizer_iterations = 60;
+  QaoaOptions p2;
+  p2.depth = 2;
+  p2.optimizer_iterations = 120;
+  const double e1 = Qaoa(maxcut_ring4(), p1).solve(acc).expectation;
+  const double e2 = Qaoa(maxcut_ring4(), p2).solve(acc).expectation;
+  EXPECT_LE(e2, e1 + 0.1);
+}
+
+TEST(Qaoa, DecodeBasisConvention) {
+  Qaoa qaoa(maxcut2(), QaoaOptions{});
+  // basis 0b00 -> both spins +1 -> x = (1,1).
+  EXPECT_EQ(qaoa.decode_basis(0), (std::vector<int>{1, 1}));
+  // basis 0b01 (q0 = 1) -> x0 = 0.
+  EXPECT_EQ(qaoa.decode_basis(1), (std::vector<int>{0, 1}));
+}
+
+TEST(Qaoa, ZeroDepthRejected) {
+  QaoaOptions opts;
+  opts.depth = 0;
+  EXPECT_THROW(Qaoa(maxcut2(), opts), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- HostCpu ----
+
+TEST(HostCpu, RecordsOffloads) {
+  HostCpu host;
+  GateAccelerator acc(compiler::Platform::perfect(2));
+  compiler::Program p("bell", 2);
+  p.add_kernel("main").ghz(2).measure_all();
+  const Histogram hist = host.offload(acc, p.to_qasm(), 100);
+  EXPECT_EQ(hist.total(), 100u);
+  ASSERT_EQ(host.offloads().size(), 1u);
+  EXPECT_EQ(host.offloads()[0].shots, 100u);
+  EXPECT_EQ(host.offloads()[0].kernel, "bell");
+  EXPECT_GE(host.quantum_ms(), 0.0);
+}
+
+TEST(HostCpu, ClassicalSectionsTimed) {
+  HostCpu host;
+  const int result = host.classical("prep", [] { return 41 + 1; });
+  EXPECT_EQ(result, 42);
+  EXPECT_GE(host.classical_ms(), 0.0);
+}
+
+TEST(HostCpu, AnnealOffload) {
+  HostCpu host;
+  anneal::Qubo q(2);
+  q.add(0, 0, -1.0);
+  anneal::QuantumAnnealSchedule schedule;
+  schedule.sweeps = 50;
+  AnnealAccelerator acc(16, schedule);
+  Rng rng(3);
+  const AnnealOutcome outcome = host.offload(acc, q, rng);
+  EXPECT_EQ(outcome.energy, -1.0);
+  ASSERT_EQ(host.offloads().size(), 1u);
+  EXPECT_EQ(host.offloads()[0].kernel, "qubo[2]");
+}
+
+}  // namespace
+}  // namespace qs::runtime

@@ -1,0 +1,453 @@
+// Unit tests for the QX-like simulator: gate matrices, state-vector
+// engine semantics, measurement statistics and error models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "qasm/parser.h"
+#include "sim/error_model.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+#include "sim/statevector.h"
+
+namespace qs::sim {
+namespace {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+// --------------------------------------------------------------- Gates ----
+
+TEST(Gates, AllFixedGatesUnitary) {
+  for (GateKind k : {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z,
+                     GateKind::H, GateKind::S, GateKind::Sdag, GateKind::T,
+                     GateKind::Tdag, GateKind::X90, GateKind::MX90,
+                     GateKind::Y90, GateKind::MY90}) {
+    EXPECT_TRUE(gate_matrix_1q(k).is_unitary()) << qasm::gate_name(k);
+  }
+}
+
+TEST(Gates, RotationsUnitaryForRandomAngles) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const double t = rng.uniform(-6.3, 6.3);
+    EXPECT_TRUE(rx(t).is_unitary());
+    EXPECT_TRUE(ry(t).is_unitary());
+    EXPECT_TRUE(rz(t).is_unitary());
+  }
+}
+
+TEST(Gates, HSquaredIsIdentity) {
+  EXPECT_TRUE((hadamard() * hadamard()).approx_equal(Matrix::identity(2)));
+}
+
+TEST(Gates, SSquaredIsZ) {
+  EXPECT_TRUE((phase_s() * phase_s()).approx_equal(pauli_z()));
+}
+
+TEST(Gates, TSquaredIsS) {
+  EXPECT_TRUE((gate_t() * gate_t()).approx_equal(phase_s()));
+}
+
+TEST(Gates, XYZAnticommute) {
+  const Matrix xy = pauli_x() * pauli_y();
+  const Matrix yx = pauli_y() * pauli_x();
+  EXPECT_TRUE((xy + yx).approx_equal(Matrix(2, 2)));
+}
+
+TEST(Gates, X90SquaredIsXUpToPhase) {
+  const Matrix x90 = gate_matrix_1q(GateKind::X90);
+  EXPECT_TRUE((x90 * x90).equal_up_to_phase(pauli_x()));
+}
+
+TEST(Gates, RzIsPhaseUpToGlobal) {
+  // Rz(pi/2) ~ S up to global phase.
+  EXPECT_TRUE(rz(kPi / 2).equal_up_to_phase(phase_s()));
+}
+
+TEST(Gates, TwoQubitMatrices) {
+  EXPECT_TRUE(gate_matrix_2q(GateKind::CNOT).is_unitary());
+  EXPECT_TRUE(gate_matrix_2q(GateKind::CZ).is_unitary());
+  EXPECT_TRUE(gate_matrix_2q(GateKind::Swap).is_unitary());
+  EXPECT_TRUE(gate_matrix_2q(GateKind::CR, 0.7).is_unitary());
+  EXPECT_TRUE(gate_matrix_2q(GateKind::CRK, 0, 3).is_unitary());
+  EXPECT_TRUE(gate_matrix_2q(GateKind::RZZ, 1.1).is_unitary());
+}
+
+TEST(Gates, CrkMatchesCrAngle) {
+  // CRK(k=2) == CR(2*pi/4).
+  EXPECT_TRUE(gate_matrix_2q(GateKind::CRK, 0.0, 2)
+                  .approx_equal(gate_matrix_2q(GateKind::CR, kPi / 2)));
+}
+
+TEST(Gates, WrongArityThrows) {
+  EXPECT_THROW(gate_matrix_1q(GateKind::CNOT), std::invalid_argument);
+  EXPECT_THROW(gate_matrix_2q(GateKind::H), std::invalid_argument);
+}
+
+// --------------------------------------------------------- StateVector ----
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dimension(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - cplx(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, GuardsAndErrors) {
+  EXPECT_THROW(StateVector(0), std::invalid_argument);
+  EXPECT_THROW(StateVector(29), std::invalid_argument);
+  StateVector sv(2);
+  EXPECT_THROW(sv.apply_1q(Matrix::identity(2), 5), std::out_of_range);
+  EXPECT_THROW(sv.apply_swap(1, 1), std::invalid_argument);
+  EXPECT_THROW(sv.apply_2q(Matrix::identity(4), 0, 0),
+               std::invalid_argument);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector sv(2);
+  sv.apply_1q(pauli_x(), 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, 1e-12);
+  EXPECT_NEAR(sv.prob_one(1), 1.0, 1e-12);
+  EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, HadamardSuperposition) {
+  StateVector sv(1);
+  sv.apply_1q(hadamard(), 0);
+  EXPECT_NEAR(sv.prob_one(0), 0.5, 1e-12);
+  EXPECT_NEAR(sv.expectation_z(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  sv.apply_1q(hadamard(), 0);
+  sv.apply_controlled_1q(pauli_x(), {0}, 1);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b01)), 0.0, 1e-12);
+}
+
+TEST(StateVector, BellMeasurementsCorrelate) {
+  Rng rng(99);
+  int mismatches = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    StateVector sv(2);
+    sv.apply_1q(hadamard(), 0);
+    sv.apply_controlled_1q(pauli_x(), {0}, 1);
+    const int a = sv.measure(0, rng);
+    const int b = sv.measure(1, rng);
+    if (a != b) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(StateVector, MeasurementCollapses) {
+  Rng rng(1);
+  StateVector sv(1);
+  sv.apply_1q(hadamard(), 0);
+  const int first = sv.measure(0, rng);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sv.measure(0, rng), first);
+}
+
+TEST(StateVector, MeasurementFrequency) {
+  Rng rng(7);
+  int ones = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    StateVector sv(1);
+    sv.apply_1q(ry(2.0 * std::asin(std::sqrt(0.3))), 0);  // P(1) = 0.3
+    ones += sv.measure(0, rng);
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.3, 0.04);
+}
+
+TEST(StateVector, SwapPermutesAmplitudes) {
+  StateVector sv(2);
+  sv.apply_1q(pauli_x(), 0);  // |01> (q0 = 1)
+  sv.apply_swap(0, 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapMatchesMatrixForm) {
+  Rng rng(5);
+  StateVector a(3), b(3);
+  // Random product state via rotations.
+  for (QubitIndex q = 0; q < 3; ++q) {
+    const double t1 = rng.uniform(0, 6.28);
+    const double t2 = rng.uniform(0, 6.28);
+    a.apply_1q(ry(t1), q);
+    a.apply_1q(rz(t2), q);
+    b.apply_1q(ry(t1), q);
+    b.apply_1q(rz(t2), q);
+  }
+  a.apply_swap(0, 2);
+  b.apply_2q(gate_matrix_2q(GateKind::Swap), 0, 2);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST(StateVector, Apply2qOperandOrder) {
+  // CNOT via apply_2q with first operand (q1 param) as control.
+  StateVector sv(2);
+  sv.apply_1q(pauli_x(), 0);  // control q0 = 1
+  sv.apply_2q(gate_matrix_2q(GateKind::CNOT), 0, 1);
+  // Target q1 must now be 1: state |11>.
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1.0, 1e-12);
+}
+
+TEST(StateVector, ToffoliViaControlledX) {
+  StateVector sv(3);
+  sv.apply_1q(pauli_x(), 0);
+  sv.apply_1q(pauli_x(), 1);
+  sv.apply_controlled_1q(pauli_x(), {0, 1}, 2);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b111)), 1.0, 1e-12);
+  // Remove one control: target must not flip back.
+  sv.apply_1q(pauli_x(), 0);
+  sv.apply_controlled_1q(pauli_x(), {0, 1}, 2);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b110)), 1.0, 1e-12);
+}
+
+TEST(StateVector, PrepZResets) {
+  Rng rng(4);
+  StateVector sv(2);
+  sv.apply_1q(pauli_x(), 0);
+  sv.apply_1q(hadamard(), 1);
+  sv.prep_z(0, rng);
+  sv.prep_z(1, rng);
+  EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+  EXPECT_NEAR(sv.prob_one(1), 0.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationDiagonal) {
+  StateVector sv(2);
+  sv.apply_1q(hadamard(), 0);
+  // f(basis) = basis index value.
+  const double e = sv.expectation_diagonal(
+      [](StateIndex i) { return static_cast<double>(i); });
+  EXPECT_NEAR(e, 0.5, 1e-12);  // half |00> (0) + half |01> (1)
+}
+
+TEST(StateVector, SampleMatchesDistribution) {
+  Rng rng(21);
+  StateVector sv(1);
+  sv.apply_1q(ry(2.0 * std::asin(std::sqrt(0.25))), 0);
+  int ones = 0;
+  for (int i = 0; i < 4000; ++i) ones += (sv.sample(rng) & 1) ? 1 : 0;
+  EXPECT_NEAR(ones / 4000.0, 0.25, 0.03);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);  // sampling does not collapse
+}
+
+TEST(StateVector, BasisString) {
+  StateVector sv(4);
+  EXPECT_EQ(sv.basis_string(0b0101), "1010");  // q0 leftmost
+}
+
+TEST(StateVector, GhzFidelity) {
+  StateVector sv(4);
+  sv.apply_1q(hadamard(), 0);
+  for (QubitIndex q = 0; q + 1 < 4; ++q)
+    sv.apply_controlled_1q(pauli_x(), {q}, q + 1);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b0000)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b1111)), 0.5, 1e-12);
+}
+
+// --------------------------------------------------------- ErrorModels ----
+
+TEST(ErrorModel, PerfectModelIsNoOp) {
+  auto model = make_error_model(QubitModel::perfect());
+  Rng rng(1);
+  StateVector sv(1);
+  sv.apply_1q(hadamard(), 0);
+  StateVector before = sv;
+  model->after_gate(sv, {0}, 20, rng);
+  EXPECT_NEAR(sv.fidelity(before), 1.0, 1e-12);
+  EXPECT_EQ(model->corrupt_readout(1, rng), 1);
+}
+
+TEST(ErrorModel, DepolarizingInjectsAtExpectedRate) {
+  DepolarizingModel model(/*p1=*/0.5, /*p2=*/0.5);
+  Rng rng(2);
+  int corrupted = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);  // |0>
+    model.after_gate(sv, {0}, 20, rng);
+    // X or Y error flips the bit; Z leaves |0> unchanged.
+    if (sv.prob_one(0) > 0.5) ++corrupted;
+  }
+  // P(flip) = p * 2/3.
+  EXPECT_NEAR(corrupted / static_cast<double>(trials), 0.5 * 2.0 / 3.0, 0.04);
+}
+
+TEST(ErrorModel, ReadoutCorruption) {
+  DepolarizingModel model(0, 0, /*readout=*/0.25);
+  Rng rng(3);
+  int flips = 0;
+  for (int t = 0; t < 4000; ++t)
+    flips += model.corrupt_readout(0, rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(flips / 4000.0, 0.25, 0.03);
+}
+
+TEST(ErrorModel, BitFlipOnlyFlipsX) {
+  BitFlipModel model(1.0);  // always flip
+  Rng rng(4);
+  StateVector sv(1);
+  model.after_gate(sv, {0}, 20, rng);
+  EXPECT_NEAR(sv.prob_one(0), 1.0, 1e-12);
+}
+
+TEST(ErrorModel, DecoherenceDecaysExcitedState) {
+  // A qubit in |1> idling for t = T1 should decay with prob 1 - 1/e.
+  DecoherenceModel model(/*t1=*/1000.0, /*t2=*/0.0);
+  Rng rng(5);
+  int decayed = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);
+    sv.apply_1q(pauli_x(), 0);
+    model.idle(sv, {0}, 1000, rng);
+    if (sv.prob_one(0) < 0.5) ++decayed;
+  }
+  EXPECT_NEAR(decayed / static_cast<double>(trials), 1.0 - std::exp(-1.0),
+              0.04);
+}
+
+TEST(ErrorModel, FactoryComposition) {
+  QubitModel m = QubitModel::realistic();
+  auto model = make_error_model(m);
+  EXPECT_NE(dynamic_cast<CompositeErrorModel*>(model.get()), nullptr);
+  auto perfect = make_error_model(QubitModel::perfect());
+  EXPECT_NE(dynamic_cast<NoErrorModel*>(perfect.get()), nullptr);
+}
+
+// ----------------------------------------------------------- Simulator ----
+
+TEST(Simulator, BellHistogram) {
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 2
+h q[0]
+cnot q[0], q[1]
+measure q[0]
+measure q[1]
+)");
+  Simulator sim(2);
+  const RunResult r = sim.run(p, 2000);
+  EXPECT_EQ(r.shots, 2000u);
+  const double p00 = r.histogram.frequency("00");
+  const double p11 = r.histogram.frequency("11");
+  EXPECT_NEAR(p00, 0.5, 0.05);
+  EXPECT_NEAR(p11, 0.5, 0.05);
+  EXPECT_EQ(r.histogram.count("01"), 0u);
+  EXPECT_EQ(r.histogram.count("10"), 0u);
+}
+
+TEST(Simulator, ConditionalGateFires) {
+  // Measure |1>, then c-x flips q1.
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 2
+x q[0]
+measure q[0]
+c-x b[0], q[1]
+measure q[1]
+)");
+  Simulator sim(2);
+  const auto bits = sim.run_once(p);
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[1], 1);
+}
+
+TEST(Simulator, ConditionalGateSkipped) {
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 2
+measure q[0]
+c-x b[0], q[1]
+measure q[1]
+)");
+  Simulator sim(2);
+  const auto bits = sim.run_once(p);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[1], 0);
+}
+
+TEST(Simulator, MeasureAllAndPrep) {
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 3
+x q[0]
+x q[2]
+measure_all
+)");
+  Simulator sim(3);
+  const auto bits = sim.run_once(p);
+  EXPECT_EQ(bits, (std::vector<int>{1, 0, 1}));
+}
+
+TEST(Simulator, GateCounting) {
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 1
+h q[0]
+x q[0]
+measure q[0]
+)");
+  Simulator sim(1);
+  sim.run_once(p);
+  EXPECT_EQ(sim.gates_executed(), 2u);  // measure is not a gate
+}
+
+TEST(Simulator, RealisticQubitsDegradeGhz) {
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 4
+h q[0]
+cnot q[0], q[1]
+cnot q[1], q[2]
+cnot q[2], q[3]
+measure_all
+)");
+  Simulator perfect(4, QubitModel::perfect(), 1);
+  Simulator noisy(4, QubitModel::realistic(5e-2, 1e-1, 2e-2, 10, 5), 1);
+  const auto rp = perfect.run(p, 500);
+  const auto rn = noisy.run(p, 500);
+  const double good_p =
+      rp.histogram.frequency("0000") + rp.histogram.frequency("1111");
+  const double good_n =
+      rn.histogram.frequency("0000") + rn.histogram.frequency("1111");
+  EXPECT_NEAR(good_p, 1.0, 1e-9);
+  EXPECT_LT(good_n, 0.95);  // noise must visibly degrade the GHZ state
+}
+
+TEST(Simulator, ProgramTooLargeThrows) {
+  qasm::Program p("big", 5);
+  Simulator sim(3);
+  EXPECT_THROW(sim.run_once(p), std::invalid_argument);
+}
+
+TEST(Simulator, WaitAppliesIdleDecoherence) {
+  QubitModel m;
+  m.kind = QubitKind::Realistic;
+  m.t1_ns = 100.0;
+  Simulator sim(1, m, 11);
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 1
+x q[0]
+wait q[0], 500
+measure q[0]
+)");
+  // 500 cycles * 20ns = 10000ns >> T1=100ns: decay almost certain.
+  int ones = 0;
+  for (int t = 0; t < 50; ++t) {
+    sim.reset();
+    ones += sim.run_once(p)[0];
+  }
+  EXPECT_LT(ones, 10);
+}
+
+TEST(GateDurations, PerClassLookup) {
+  GateDurations d;
+  EXPECT_EQ(d.of(Instruction(GateKind::H, {0})), d.single_qubit);
+  EXPECT_EQ(d.of(Instruction(GateKind::CZ, {0, 1})), d.two_qubit);
+  EXPECT_EQ(d.of(Instruction(GateKind::Measure, {0})), d.measure);
+  EXPECT_EQ(d.of(Instruction(GateKind::Wait, {0}, 0.0, 5)), 5 * d.cycle);
+  EXPECT_EQ(d.of(Instruction(GateKind::Barrier, {0})), 0u);
+}
+
+}  // namespace
+}  // namespace qs::sim

@@ -1,0 +1,196 @@
+// Unit tests for the TSP application: instances (incl. the paper's
+// Figure 9 Netherlands example), classical solvers and the QUBO encoding.
+#include <gtest/gtest.h>
+
+#include "apps/tsp/qubo_encode.h"
+#include "apps/tsp/solvers.h"
+#include "apps/tsp/tsp.h"
+
+namespace qs::apps::tsp {
+namespace {
+
+// ------------------------------------------------------------ Instance ----
+
+TEST(TspInstance, Netherlands4MatchesPaperFigure9) {
+  const TspInstance nl = TspInstance::netherlands4();
+  EXPECT_EQ(nl.size(), 4u);
+  // The paper's quoted optimal tour cost.
+  const TourResult opt = brute_force(nl);
+  EXPECT_NEAR(opt.cost, 1.42, 1e-9);
+  // The optimal route visits Utrecht from Amsterdam then Rotterdam, The
+  // Hague (or the reverse cycle).
+  EXPECT_EQ(opt.tour.size(), 4u);
+}
+
+TEST(TspInstance, WeightsSymmetricAndZeroDiagonal) {
+  Rng rng(3);
+  const TspInstance inst = TspInstance::random(6, rng);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(inst.weight(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(inst.weight(i, j), inst.weight(j, i));
+  }
+}
+
+TEST(TspInstance, TriangleInequalityForEuclidean) {
+  Rng rng(5);
+  const TspInstance inst = TspInstance::random(5, rng);
+  for (std::size_t a = 0; a < 5; ++a)
+    for (std::size_t b = 0; b < 5; ++b)
+      for (std::size_t c = 0; c < 5; ++c)
+        EXPECT_LE(inst.weight(a, c),
+                  inst.weight(a, b) + inst.weight(b, c) + 1e-12);
+}
+
+TEST(TspInstance, TourValidation) {
+  const TspInstance nl = TspInstance::netherlands4();
+  EXPECT_TRUE(nl.is_valid_tour({0, 1, 2, 3}));
+  EXPECT_FALSE(nl.is_valid_tour({0, 1, 2}));
+  EXPECT_FALSE(nl.is_valid_tour({0, 1, 2, 2}));
+  EXPECT_FALSE(nl.is_valid_tour({0, 1, 2, 7}));
+  EXPECT_THROW(nl.tour_cost({0, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(TspInstance, TooFewCitiesRejected) {
+  EXPECT_THROW(TspInstance({{"only", 0, 0}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Exact ----
+
+TEST(ExactSolvers, AgreeOnRandomInstances) {
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(100 + trial);
+    const TspInstance inst = TspInstance::random(7, rng);
+    const double bf = brute_force(inst).cost;
+    const double hk = held_karp(inst).cost;
+    const double bb = branch_and_bound(inst).cost;
+    EXPECT_NEAR(hk, bf, 1e-9) << trial;
+    EXPECT_NEAR(bb, bf, 1e-9) << trial;
+  }
+}
+
+TEST(ExactSolvers, ReturnedTourCostConsistent) {
+  Rng rng(7);
+  const TspInstance inst = TspInstance::random(6, rng);
+  for (const TourResult& r :
+       {brute_force(inst), held_karp(inst), branch_and_bound(inst)}) {
+    EXPECT_TRUE(inst.is_valid_tour(r.tour));
+    EXPECT_NEAR(inst.tour_cost(r.tour), r.cost, 1e-9);
+  }
+}
+
+TEST(ExactSolvers, BranchAndBoundPrunes) {
+  Rng rng(9);
+  const TspInstance inst = TspInstance::random(8, rng);
+  const TourResult bf = brute_force(inst);
+  const TourResult bb = branch_and_bound(inst);
+  EXPECT_NEAR(bb.cost, bf.cost, 1e-9);
+  EXPECT_LT(bb.nodes_explored, bf.nodes_explored * 7);  // visits < full tree
+}
+
+TEST(ExactSolvers, SizeGuards) {
+  Rng rng(11);
+  const TspInstance inst = TspInstance::random(21, rng);
+  EXPECT_THROW(brute_force(inst), std::invalid_argument);
+  EXPECT_THROW(held_karp(inst), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Heuristics ----
+
+TEST(Heuristics, NearestNeighbourValidTour) {
+  Rng rng(13);
+  const TspInstance inst = TspInstance::random(10, rng);
+  const TourResult r = nearest_neighbour(inst);
+  EXPECT_TRUE(inst.is_valid_tour(r.tour));
+  EXPECT_THROW(nearest_neighbour(inst, 99), std::out_of_range);
+}
+
+TEST(Heuristics, TwoOptImprovesNearestNeighbour) {
+  Rng rng(17);
+  double nn_total = 0, opt_total = 0;
+  for (int t = 0; t < 5; ++t) {
+    const TspInstance inst = TspInstance::random(12, rng);
+    nn_total += nearest_neighbour(inst).cost;
+    opt_total += two_opt(inst).cost;
+  }
+  EXPECT_LE(opt_total, nn_total);
+}
+
+TEST(Heuristics, TwoOptFindsOptimumOnSmall) {
+  const TspInstance nl = TspInstance::netherlands4();
+  EXPECT_NEAR(two_opt(nl).cost, 1.42, 1e-9);
+}
+
+TEST(Heuristics, MonteCarloConvergesWithSamples) {
+  Rng rng(19);
+  const TspInstance inst = TspInstance::random(8, rng);
+  const double opt = held_karp(inst).cost;
+  Rng mc_rng(23);
+  const double few = monte_carlo(inst, 10, mc_rng).cost;
+  const double many = monte_carlo(inst, 20000, mc_rng).cost;
+  EXPECT_LE(many, few);
+  EXPECT_LT(many, opt * 1.3);  // lots of samples get close on n=8
+}
+
+// ---------------------------------------------------------------- QUBO ----
+
+TEST(TspQubo, VariableCountIsNSquared) {
+  // The paper: "the total possible combinations of (c,t) is square of the
+  // number of cities. We need 16 qubits to encode the example TSP".
+  const TspQubo q4(TspInstance::netherlands4());
+  EXPECT_EQ(q4.variable_count(), 16u);
+  Rng rng(29);
+  const TspQubo q5(TspInstance::random(5, rng));
+  EXPECT_EQ(q5.variable_count(), 25u);
+}
+
+TEST(TspQubo, ValidTourEnergyEqualsCost) {
+  const TspInstance nl = TspInstance::netherlands4();
+  const TspQubo qubo(nl);
+  const std::vector<std::size_t> tour{0, 1, 2, 3};
+  const std::vector<int> x = qubo.encode_tour(tour);
+  EXPECT_NEAR(qubo.qubo().energy(x) + qubo.constant_offset(),
+              nl.tour_cost(tour), 1e-9);
+}
+
+TEST(TspQubo, DecodeInvertsEncode) {
+  const TspQubo qubo(TspInstance::netherlands4());
+  const std::vector<std::size_t> tour{2, 0, 3, 1};
+  std::vector<std::size_t> decoded;
+  ASSERT_TRUE(qubo.decode(qubo.encode_tour(tour), decoded));
+  EXPECT_EQ(decoded, tour);
+}
+
+TEST(TspQubo, DecodeRejectsConstraintViolations) {
+  const TspQubo qubo(TspInstance::netherlands4());
+  std::vector<std::size_t> out;
+  std::vector<int> empty(16, 0);
+  EXPECT_FALSE(qubo.decode(empty, out));  // empty slots
+  std::vector<int> doubled(16, 0);
+  doubled[qubo.var(0, 0)] = 1;
+  doubled[qubo.var(1, 0)] = 1;  // two cities at t=0
+  EXPECT_FALSE(qubo.decode(doubled, out));
+}
+
+TEST(TspQubo, InvalidAssignmentsPayPenalty) {
+  const TspInstance nl = TspInstance::netherlands4();
+  const TspQubo qubo(nl);
+  const std::vector<int> valid = qubo.encode_tour({0, 1, 2, 3});
+  std::vector<int> broken = valid;
+  broken[qubo.var(1, 1)] = 0;  // drop one assignment
+  EXPECT_GT(qubo.qubo().energy(broken), qubo.qubo().energy(valid));
+}
+
+TEST(TspQubo, BruteForceMinimumIsOptimalTour) {
+  // Globally minimising the 16-variable QUBO recovers the cost-1.42 tour.
+  const TspInstance nl = TspInstance::netherlands4();
+  const TspQubo qubo(nl);
+  const auto [x, e] = qubo.qubo().brute_force_minimum();
+  std::vector<std::size_t> tour;
+  ASSERT_TRUE(qubo.decode(x, tour));
+  EXPECT_NEAR(nl.tour_cost(tour), 1.42, 1e-9);
+  EXPECT_NEAR(e + qubo.constant_offset(), 1.42, 1e-9);
+}
+
+}  // namespace
+}  // namespace qs::apps::tsp
