@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_error_channels.dir/bench_a1_error_channels.cpp.o"
+  "CMakeFiles/bench_a1_error_channels.dir/bench_a1_error_channels.cpp.o.d"
+  "bench_a1_error_channels"
+  "bench_a1_error_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_error_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

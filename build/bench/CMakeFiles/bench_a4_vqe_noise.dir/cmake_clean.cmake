@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_vqe_noise.dir/bench_a4_vqe_noise.cpp.o"
+  "CMakeFiles/bench_a4_vqe_noise.dir/bench_a4_vqe_noise.cpp.o.d"
+  "bench_a4_vqe_noise"
+  "bench_a4_vqe_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_vqe_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

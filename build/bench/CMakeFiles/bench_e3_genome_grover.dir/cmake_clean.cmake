@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_genome_grover.dir/bench_e3_genome_grover.cpp.o"
+  "CMakeFiles/bench_e3_genome_grover.dir/bench_e3_genome_grover.cpp.o.d"
+  "bench_e3_genome_grover"
+  "bench_e3_genome_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_genome_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

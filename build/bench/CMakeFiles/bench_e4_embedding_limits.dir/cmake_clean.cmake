@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_embedding_limits.dir/bench_e4_embedding_limits.cpp.o"
+  "CMakeFiles/bench_e4_embedding_limits.dir/bench_e4_embedding_limits.cpp.o.d"
+  "bench_e4_embedding_limits"
+  "bench_e4_embedding_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_embedding_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_mapping_overhead.dir/bench_e5_mapping_overhead.cpp.o"
+  "CMakeFiles/bench_e5_mapping_overhead.dir/bench_e5_mapping_overhead.cpp.o.d"
+  "bench_e5_mapping_overhead"
+  "bench_e5_mapping_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_mapping_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

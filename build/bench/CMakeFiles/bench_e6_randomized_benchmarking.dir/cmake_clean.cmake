@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_randomized_benchmarking.dir/bench_e6_randomized_benchmarking.cpp.o"
+  "CMakeFiles/bench_e6_randomized_benchmarking.dir/bench_e6_randomized_benchmarking.cpp.o.d"
+  "bench_e6_randomized_benchmarking"
+  "bench_e6_randomized_benchmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_randomized_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_qec_realistic.dir/bench_e7_qec_realistic.cpp.o"
+  "CMakeFiles/bench_e7_qec_realistic.dir/bench_e7_qec_realistic.cpp.o.d"
+  "bench_e7_qec_realistic"
+  "bench_e7_qec_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_qec_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

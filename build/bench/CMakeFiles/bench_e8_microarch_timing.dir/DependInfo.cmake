@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e8_microarch_timing.cpp" "bench/CMakeFiles/bench_e8_microarch_timing.dir/bench_e8_microarch_timing.cpp.o" "gcc" "bench/CMakeFiles/bench_e8_microarch_timing.dir/bench_e8_microarch_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/qs_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/qs_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qs_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/genome/CMakeFiles/qs_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/tsp/CMakeFiles/qs_tsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_microarch_timing.dir/bench_e8_microarch_timing.cpp.o"
+  "CMakeFiles/bench_e8_microarch_timing.dir/bench_e8_microarch_timing.cpp.o.d"
+  "bench_e8_microarch_timing"
+  "bench_e8_microarch_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_microarch_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_qaoa_vs_annealing.dir/bench_e9_qaoa_vs_annealing.cpp.o"
+  "CMakeFiles/bench_e9_qaoa_vs_annealing.dir/bench_e9_qaoa_vs_annealing.cpp.o.d"
+  "bench_e9_qaoa_vs_annealing"
+  "bench_e9_qaoa_vs_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_qaoa_vs_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

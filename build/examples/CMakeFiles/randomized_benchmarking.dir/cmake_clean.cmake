@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_benchmarking.dir/randomized_benchmarking.cpp.o"
+  "CMakeFiles/randomized_benchmarking.dir/randomized_benchmarking.cpp.o.d"
+  "randomized_benchmarking"
+  "randomized_benchmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_route_planner.dir/tsp_route_planner.cpp.o"
+  "CMakeFiles/tsp_route_planner.dir/tsp_route_planner.cpp.o.d"
+  "tsp_route_planner"
+  "tsp_route_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_route_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

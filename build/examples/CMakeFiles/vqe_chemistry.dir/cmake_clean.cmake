@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_chemistry.dir/vqe_chemistry.cpp.o"
+  "CMakeFiles/vqe_chemistry.dir/vqe_chemistry.cpp.o.d"
+  "vqe_chemistry"
+  "vqe_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

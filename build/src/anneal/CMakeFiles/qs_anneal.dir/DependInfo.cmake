@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/annealer.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/annealer.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/annealer.cpp.o.d"
+  "/root/repo/src/anneal/chimera.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/chimera.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/chimera.cpp.o.d"
+  "/root/repo/src/anneal/digital_annealer.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/digital_annealer.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/digital_annealer.cpp.o.d"
+  "/root/repo/src/anneal/embedding.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/embedding.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/embedding.cpp.o.d"
+  "/root/repo/src/anneal/qubo.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/qubo.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/qubo.cpp.o.d"
+  "/root/repo/src/anneal/tts.cpp" "src/anneal/CMakeFiles/qs_anneal.dir/tts.cpp.o" "gcc" "src/anneal/CMakeFiles/qs_anneal.dir/tts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_anneal.dir/annealer.cpp.o"
+  "CMakeFiles/qs_anneal.dir/annealer.cpp.o.d"
+  "CMakeFiles/qs_anneal.dir/chimera.cpp.o"
+  "CMakeFiles/qs_anneal.dir/chimera.cpp.o.d"
+  "CMakeFiles/qs_anneal.dir/digital_annealer.cpp.o"
+  "CMakeFiles/qs_anneal.dir/digital_annealer.cpp.o.d"
+  "CMakeFiles/qs_anneal.dir/embedding.cpp.o"
+  "CMakeFiles/qs_anneal.dir/embedding.cpp.o.d"
+  "CMakeFiles/qs_anneal.dir/qubo.cpp.o"
+  "CMakeFiles/qs_anneal.dir/qubo.cpp.o.d"
+  "CMakeFiles/qs_anneal.dir/tts.cpp.o"
+  "CMakeFiles/qs_anneal.dir/tts.cpp.o.d"
+  "libqs_anneal.a"
+  "libqs_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

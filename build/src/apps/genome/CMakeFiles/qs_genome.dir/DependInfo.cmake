@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/genome/aligner.cpp" "src/apps/genome/CMakeFiles/qs_genome.dir/aligner.cpp.o" "gcc" "src/apps/genome/CMakeFiles/qs_genome.dir/aligner.cpp.o.d"
+  "/root/repo/src/apps/genome/assembly.cpp" "src/apps/genome/CMakeFiles/qs_genome.dir/assembly.cpp.o" "gcc" "src/apps/genome/CMakeFiles/qs_genome.dir/assembly.cpp.o.d"
+  "/root/repo/src/apps/genome/classical_align.cpp" "src/apps/genome/CMakeFiles/qs_genome.dir/classical_align.cpp.o" "gcc" "src/apps/genome/CMakeFiles/qs_genome.dir/classical_align.cpp.o.d"
+  "/root/repo/src/apps/genome/dna.cpp" "src/apps/genome/CMakeFiles/qs_genome.dir/dna.cpp.o" "gcc" "src/apps/genome/CMakeFiles/qs_genome.dir/dna.cpp.o.d"
+  "/root/repo/src/apps/genome/qam.cpp" "src/apps/genome/CMakeFiles/qs_genome.dir/qam.cpp.o" "gcc" "src/apps/genome/CMakeFiles/qs_genome.dir/qam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qs_anneal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

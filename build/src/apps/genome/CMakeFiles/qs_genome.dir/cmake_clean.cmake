@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_genome.dir/aligner.cpp.o"
+  "CMakeFiles/qs_genome.dir/aligner.cpp.o.d"
+  "CMakeFiles/qs_genome.dir/assembly.cpp.o"
+  "CMakeFiles/qs_genome.dir/assembly.cpp.o.d"
+  "CMakeFiles/qs_genome.dir/classical_align.cpp.o"
+  "CMakeFiles/qs_genome.dir/classical_align.cpp.o.d"
+  "CMakeFiles/qs_genome.dir/dna.cpp.o"
+  "CMakeFiles/qs_genome.dir/dna.cpp.o.d"
+  "CMakeFiles/qs_genome.dir/qam.cpp.o"
+  "CMakeFiles/qs_genome.dir/qam.cpp.o.d"
+  "libqs_genome.a"
+  "libqs_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

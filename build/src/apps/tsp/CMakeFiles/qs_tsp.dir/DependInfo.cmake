@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/tsp/qubo_encode.cpp" "src/apps/tsp/CMakeFiles/qs_tsp.dir/qubo_encode.cpp.o" "gcc" "src/apps/tsp/CMakeFiles/qs_tsp.dir/qubo_encode.cpp.o.d"
+  "/root/repo/src/apps/tsp/solvers.cpp" "src/apps/tsp/CMakeFiles/qs_tsp.dir/solvers.cpp.o" "gcc" "src/apps/tsp/CMakeFiles/qs_tsp.dir/solvers.cpp.o.d"
+  "/root/repo/src/apps/tsp/tsp.cpp" "src/apps/tsp/CMakeFiles/qs_tsp.dir/tsp.cpp.o" "gcc" "src/apps/tsp/CMakeFiles/qs_tsp.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qs_anneal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

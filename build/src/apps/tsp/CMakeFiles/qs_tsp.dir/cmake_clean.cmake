@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_tsp.dir/qubo_encode.cpp.o"
+  "CMakeFiles/qs_tsp.dir/qubo_encode.cpp.o.d"
+  "CMakeFiles/qs_tsp.dir/solvers.cpp.o"
+  "CMakeFiles/qs_tsp.dir/solvers.cpp.o.d"
+  "CMakeFiles/qs_tsp.dir/tsp.cpp.o"
+  "CMakeFiles/qs_tsp.dir/tsp.cpp.o.d"
+  "libqs_tsp.a"
+  "libqs_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_common.dir/config.cpp.o"
+  "CMakeFiles/qs_common.dir/config.cpp.o.d"
+  "CMakeFiles/qs_common.dir/logging.cpp.o"
+  "CMakeFiles/qs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/qs_common.dir/matrix.cpp.o"
+  "CMakeFiles/qs_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/qs_common.dir/rng.cpp.o"
+  "CMakeFiles/qs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qs_common.dir/stats.cpp.o"
+  "CMakeFiles/qs_common.dir/stats.cpp.o.d"
+  "libqs_common.a"
+  "libqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/algorithms.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/algorithms.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/algorithms.cpp.o.d"
+  "/root/repo/src/compiler/arithmetic.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/arithmetic.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/arithmetic.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/decompose.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/decompose.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/decompose.cpp.o.d"
+  "/root/repo/src/compiler/kernel.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/kernel.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/kernel.cpp.o.d"
+  "/root/repo/src/compiler/mapper.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/mapper.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/mapper.cpp.o.d"
+  "/root/repo/src/compiler/optimize.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/optimize.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/optimize.cpp.o.d"
+  "/root/repo/src/compiler/platform.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/platform.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/platform.cpp.o.d"
+  "/root/repo/src/compiler/schedule.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/schedule.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/schedule.cpp.o.d"
+  "/root/repo/src/compiler/topology.cpp" "src/compiler/CMakeFiles/qs_compiler.dir/topology.cpp.o" "gcc" "src/compiler/CMakeFiles/qs_compiler.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_compiler.dir/algorithms.cpp.o"
+  "CMakeFiles/qs_compiler.dir/algorithms.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/arithmetic.cpp.o"
+  "CMakeFiles/qs_compiler.dir/arithmetic.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/qs_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/decompose.cpp.o"
+  "CMakeFiles/qs_compiler.dir/decompose.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/kernel.cpp.o"
+  "CMakeFiles/qs_compiler.dir/kernel.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/mapper.cpp.o"
+  "CMakeFiles/qs_compiler.dir/mapper.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/optimize.cpp.o"
+  "CMakeFiles/qs_compiler.dir/optimize.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/platform.cpp.o"
+  "CMakeFiles/qs_compiler.dir/platform.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/schedule.cpp.o"
+  "CMakeFiles/qs_compiler.dir/schedule.cpp.o.d"
+  "CMakeFiles/qs_compiler.dir/topology.cpp.o"
+  "CMakeFiles/qs_compiler.dir/topology.cpp.o.d"
+  "libqs_compiler.a"
+  "libqs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

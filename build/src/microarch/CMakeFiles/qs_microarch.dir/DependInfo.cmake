@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microarch/adi.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/adi.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/adi.cpp.o.d"
+  "/root/repo/src/microarch/assembler.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/assembler.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/assembler.cpp.o.d"
+  "/root/repo/src/microarch/eqasm.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/eqasm.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/eqasm.cpp.o.d"
+  "/root/repo/src/microarch/eqasm_parser.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/eqasm_parser.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/eqasm_parser.cpp.o.d"
+  "/root/repo/src/microarch/executor.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/executor.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/executor.cpp.o.d"
+  "/root/repo/src/microarch/microcode.cpp" "src/microarch/CMakeFiles/qs_microarch.dir/microcode.cpp.o" "gcc" "src/microarch/CMakeFiles/qs_microarch.dir/microcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qs_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_microarch.dir/adi.cpp.o"
+  "CMakeFiles/qs_microarch.dir/adi.cpp.o.d"
+  "CMakeFiles/qs_microarch.dir/assembler.cpp.o"
+  "CMakeFiles/qs_microarch.dir/assembler.cpp.o.d"
+  "CMakeFiles/qs_microarch.dir/eqasm.cpp.o"
+  "CMakeFiles/qs_microarch.dir/eqasm.cpp.o.d"
+  "CMakeFiles/qs_microarch.dir/eqasm_parser.cpp.o"
+  "CMakeFiles/qs_microarch.dir/eqasm_parser.cpp.o.d"
+  "CMakeFiles/qs_microarch.dir/executor.cpp.o"
+  "CMakeFiles/qs_microarch.dir/executor.cpp.o.d"
+  "CMakeFiles/qs_microarch.dir/microcode.cpp.o"
+  "CMakeFiles/qs_microarch.dir/microcode.cpp.o.d"
+  "libqs_microarch.a"
+  "libqs_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

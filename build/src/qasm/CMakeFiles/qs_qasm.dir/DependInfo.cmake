@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/gate_kind.cpp" "src/qasm/CMakeFiles/qs_qasm.dir/gate_kind.cpp.o" "gcc" "src/qasm/CMakeFiles/qs_qasm.dir/gate_kind.cpp.o.d"
+  "/root/repo/src/qasm/instruction.cpp" "src/qasm/CMakeFiles/qs_qasm.dir/instruction.cpp.o" "gcc" "src/qasm/CMakeFiles/qs_qasm.dir/instruction.cpp.o.d"
+  "/root/repo/src/qasm/parser.cpp" "src/qasm/CMakeFiles/qs_qasm.dir/parser.cpp.o" "gcc" "src/qasm/CMakeFiles/qs_qasm.dir/parser.cpp.o.d"
+  "/root/repo/src/qasm/printer.cpp" "src/qasm/CMakeFiles/qs_qasm.dir/printer.cpp.o" "gcc" "src/qasm/CMakeFiles/qs_qasm.dir/printer.cpp.o.d"
+  "/root/repo/src/qasm/program.cpp" "src/qasm/CMakeFiles/qs_qasm.dir/program.cpp.o" "gcc" "src/qasm/CMakeFiles/qs_qasm.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_qasm.dir/gate_kind.cpp.o"
+  "CMakeFiles/qs_qasm.dir/gate_kind.cpp.o.d"
+  "CMakeFiles/qs_qasm.dir/instruction.cpp.o"
+  "CMakeFiles/qs_qasm.dir/instruction.cpp.o.d"
+  "CMakeFiles/qs_qasm.dir/parser.cpp.o"
+  "CMakeFiles/qs_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/qs_qasm.dir/printer.cpp.o"
+  "CMakeFiles/qs_qasm.dir/printer.cpp.o.d"
+  "CMakeFiles/qs_qasm.dir/program.cpp.o"
+  "CMakeFiles/qs_qasm.dir/program.cpp.o.d"
+  "libqs_qasm.a"
+  "libqs_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

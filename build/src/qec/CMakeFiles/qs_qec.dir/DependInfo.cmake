@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qec/repetition.cpp" "src/qec/CMakeFiles/qs_qec.dir/repetition.cpp.o" "gcc" "src/qec/CMakeFiles/qs_qec.dir/repetition.cpp.o.d"
+  "/root/repo/src/qec/surface.cpp" "src/qec/CMakeFiles/qs_qec.dir/surface.cpp.o" "gcc" "src/qec/CMakeFiles/qs_qec.dir/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

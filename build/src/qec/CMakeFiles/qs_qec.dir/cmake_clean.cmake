@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_qec.dir/repetition.cpp.o"
+  "CMakeFiles/qs_qec.dir/repetition.cpp.o.d"
+  "CMakeFiles/qs_qec.dir/surface.cpp.o"
+  "CMakeFiles/qs_qec.dir/surface.cpp.o.d"
+  "libqs_qec.a"
+  "libqs_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/accelerator.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/accelerator.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/accelerator.cpp.o.d"
+  "/root/repo/src/runtime/hybrid.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/hybrid.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/hybrid.cpp.o.d"
+  "/root/repo/src/runtime/observable.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/observable.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/observable.cpp.o.d"
+  "/root/repo/src/runtime/optimizer.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/optimizer.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/optimizer.cpp.o.d"
+  "/root/repo/src/runtime/qaoa.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/qaoa.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/qaoa.cpp.o.d"
+  "/root/repo/src/runtime/vqe.cpp" "src/runtime/CMakeFiles/qs_runtime.dir/vqe.cpp.o" "gcc" "src/runtime/CMakeFiles/qs_runtime.dir/vqe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/qs_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qs_anneal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

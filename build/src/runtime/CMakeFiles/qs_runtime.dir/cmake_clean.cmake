@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_runtime.dir/accelerator.cpp.o"
+  "CMakeFiles/qs_runtime.dir/accelerator.cpp.o.d"
+  "CMakeFiles/qs_runtime.dir/hybrid.cpp.o"
+  "CMakeFiles/qs_runtime.dir/hybrid.cpp.o.d"
+  "CMakeFiles/qs_runtime.dir/observable.cpp.o"
+  "CMakeFiles/qs_runtime.dir/observable.cpp.o.d"
+  "CMakeFiles/qs_runtime.dir/optimizer.cpp.o"
+  "CMakeFiles/qs_runtime.dir/optimizer.cpp.o.d"
+  "CMakeFiles/qs_runtime.dir/qaoa.cpp.o"
+  "CMakeFiles/qs_runtime.dir/qaoa.cpp.o.d"
+  "CMakeFiles/qs_runtime.dir/vqe.cpp.o"
+  "CMakeFiles/qs_runtime.dir/vqe.cpp.o.d"
+  "libqs_runtime.a"
+  "libqs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

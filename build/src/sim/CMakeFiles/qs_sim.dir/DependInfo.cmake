@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/error_model.cpp" "src/sim/CMakeFiles/qs_sim.dir/error_model.cpp.o" "gcc" "src/sim/CMakeFiles/qs_sim.dir/error_model.cpp.o.d"
+  "/root/repo/src/sim/gates.cpp" "src/sim/CMakeFiles/qs_sim.dir/gates.cpp.o" "gcc" "src/sim/CMakeFiles/qs_sim.dir/gates.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/qs_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/qs_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qs_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qs_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qs_qasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_sim.dir/error_model.cpp.o"
+  "CMakeFiles/qs_sim.dir/error_model.cpp.o.d"
+  "CMakeFiles/qs_sim.dir/gates.cpp.o"
+  "CMakeFiles/qs_sim.dir/gates.cpp.o.d"
+  "CMakeFiles/qs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/qs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/qs_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qs_sim.dir/statevector.cpp.o.d"
+  "libqs_sim.a"
+  "libqs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arithmetic.dir/test_arithmetic.cpp.o"
+  "CMakeFiles/test_arithmetic.dir/test_arithmetic.cpp.o.d"
+  "test_arithmetic"
+  "test_arithmetic.pdb"
+  "test_arithmetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arithmetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

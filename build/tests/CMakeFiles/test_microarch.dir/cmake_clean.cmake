@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microarch.dir/test_microarch.cpp.o"
+  "CMakeFiles/test_microarch.dir/test_microarch.cpp.o.d"
+  "test_microarch"
+  "test_microarch.pdb"
+  "test_microarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qec.dir/test_qec.cpp.o"
+  "CMakeFiles/test_qec.dir/test_qec.cpp.o.d"
+  "test_qec"
+  "test_qec.pdb"
+  "test_qec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsp.dir/test_tsp.cpp.o"
+  "CMakeFiles/test_tsp.dir/test_tsp.cpp.o.d"
+  "test_tsp"
+  "test_tsp.pdb"
+  "test_tsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

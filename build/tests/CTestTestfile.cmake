@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_qasm[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_microarch[1]_include.cmake")
+include("/root/repo/build/tests/test_qec[1]_include.cmake")
+include("/root/repo/build/tests/test_anneal[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_genome[1]_include.cmake")
+include("/root/repo/build/tests/test_tsp[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_assembly[1]_include.cmake")
+include("/root/repo/build/tests/test_vqe[1]_include.cmake")
+include("/root/repo/build/tests/test_arithmetic[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_gaps[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_properties[1]_include.cmake")
