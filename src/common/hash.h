@@ -1,0 +1,31 @@
+// Stable (process- and platform-independent) content hashing, used for
+// cache keys: the compiled-program cache keys entries by a content hash of
+// the cQASM text plus the platform/compile-option fingerprints, so equal
+// submissions hit the cache across service instances and process runs.
+// std::hash gives no such guarantee, hence this explicit FNV-1a.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qs {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Mixes a new 64-bit value into an existing hash (boost-style combine with
+/// a 64-bit golden-ratio constant and an avalanche multiply).
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 12) + (h >> 4);
+  h *= 0x2545F4914F6CDD1DULL;
+  return h ^ (h >> 29);
+}
+
+}  // namespace qs

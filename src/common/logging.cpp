@@ -4,13 +4,16 @@
 
 namespace qs {
 
-LogLevel Log::level_ = LogLevel::Warn;
+std::atomic<LogLevel> Log::level_{LogLevel::Warn};
+std::mutex Log::mutex_;
 bool Log::capture_ = false;
 std::ostringstream Log::captured_;
 
-void Log::set_level(LogLevel level) { level_ = level; }
+void Log::set_level(LogLevel level) {
+  level_.store(level, std::memory_order_relaxed);
+}
 
-LogLevel Log::level() { return level_; }
+LogLevel Log::level() { return level_.load(std::memory_order_relaxed); }
 
 namespace {
 const char* level_name(LogLevel l) {
@@ -28,19 +31,27 @@ const char* level_name(LogLevel l) {
 
 void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(Log::level())) return;
+  // Format outside the lock; emit the completed line under it so lines from
+  // concurrent workers never interleave.
+  std::ostringstream line;
+  line << '[' << level_name(level) << "][" << component << "] " << message
+       << '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
   if (capture_) {
-    captured_ << '[' << level_name(level) << "][" << component << "] "
-              << message << '\n';
+    captured_ << line.str();
   } else {
-    std::cerr << '[' << level_name(level) << "][" << component << "] "
-              << message << '\n';
+    std::cerr << line.str();
   }
 }
 
-void Log::set_capture(bool on) { capture_ = on; }
+void Log::set_capture(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capture_ = on;
+}
 
 std::string Log::drain_capture() {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out = captured_.str();
   captured_.str("");
   return out;

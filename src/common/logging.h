@@ -1,7 +1,11 @@
 // Minimal leveled logger. The micro-architecture executor and the compiler
 // passes use it for optional trace output; benchmarks keep it at Warn.
+// Thread-safe: the service worker pool logs concurrently, so the sink is
+// serialised by a mutex and the level is an atomic read on the hot path.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -16,6 +20,7 @@ class Log {
   static LogLevel level();
 
   /// Emits a message at the given level (no-op when below threshold).
+  /// Each call appends its line atomically with respect to other threads.
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
 
@@ -25,7 +30,8 @@ class Log {
   static std::string drain_capture();
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  static std::mutex mutex_;  ///< guards capture_ and captured_ and the sink
   static bool capture_;
   static std::ostringstream captured_;
 };

@@ -78,6 +78,17 @@ double Rng::normal(double mean, double stddev) {
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream_index) {
+  // Two rounds of splitmix64 over (base ^ phi*index): consecutive indices
+  // land far apart in seed space, and Rng's own splitmix64 expansion then
+  // decorrelates the xoshiro states.
+  std::uint64_t x = base_seed ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1));
+  std::uint64_t a = splitmix64(x);
+  std::uint64_t b = splitmix64(x);
+  return a ^ rotl(b, 32);
+}
+
 std::size_t Rng::discrete(const std::vector<double>& weights) {
   if (weights.empty())
     throw std::invalid_argument("Rng::discrete: empty weight vector");

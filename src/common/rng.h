@@ -58,4 +58,15 @@ class Rng {
   double spare_ = 0.0;
 };
 
+/// Derives the seed of an independent RNG stream from a base seed and a
+/// stream index (counter-based splitting, SplitMix64-style finalisation).
+///
+/// The execution service shards a job's shots into fixed-size shards and
+/// seeds shard `i` with `derive_stream_seed(job_seed, i)`: because the
+/// derivation depends only on (base seed, index) — never on which worker
+/// thread runs the shard — the merged result of a sharded run is
+/// bit-identical to a single-threaded run of the same shards.
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream_index);
+
 }  // namespace qs

@@ -1,8 +1,21 @@
 #include "compiler/compiler.h"
 
+#include "common/hash.h"
 #include "qasm/printer.h"
 
 namespace qs::compiler {
+
+std::uint64_t fingerprint(const CompileOptions& options) {
+  // One tag byte per field keeps the encoding unambiguous as options grow.
+  const char bytes[] = {
+      static_cast<char>(options.decompose ? 'D' : 'd'),
+      static_cast<char>(options.optimize ? 'O' : 'o'),
+      static_cast<char>(options.map ? 'M' : 'm'),
+      static_cast<char>('P' + static_cast<int>(options.placement)),
+      static_cast<char>('S' + static_cast<int>(options.scheduler)),
+  };
+  return fnv1a64(std::string_view(bytes, sizeof bytes));
+}
 
 namespace {
 

@@ -24,6 +24,10 @@ struct CompileOptions {
   SchedulerKind scheduler = SchedulerKind::ASAP;
 };
 
+/// Stable content hash of the compile options; combined with the platform
+/// fingerprint and the cQASM text to key the compiled-program cache.
+std::uint64_t fingerprint(const CompileOptions& options);
+
 struct CompileResult {
   qasm::Program program;       ///< final scheduled cQASM program
   std::string cqasm;           ///< pretty-printed cQASM text

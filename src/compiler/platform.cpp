@@ -25,6 +25,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/hash.h"
+
 namespace qs::compiler {
 
 Cycle Platform::cycles_of(const qasm::Instruction& instr) const {
@@ -229,6 +231,10 @@ Config Platform::to_config() const {
   cfg.set("qubits", "t1_us", std::to_string(qubit_model.t1_ns / 1000.0));
   cfg.set("qubits", "t2_us", std::to_string(qubit_model.t2_ns / 1000.0));
   return cfg;
+}
+
+std::uint64_t fingerprint(const Platform& platform) {
+  return fnv1a64(platform.to_config().to_string());
 }
 
 }  // namespace qs::compiler

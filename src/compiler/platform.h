@@ -64,4 +64,9 @@ struct Platform {
   Config to_config() const;
 };
 
+/// Stable content hash of a platform description (FNV-1a over the INI
+/// serialisation). Two platforms with identical configuration hash equally
+/// across processes and runs; used in compiled-program cache keys.
+std::uint64_t fingerprint(const Platform& platform);
+
 }  // namespace qs::compiler

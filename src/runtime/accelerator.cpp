@@ -42,17 +42,36 @@ std::uint64_t GateAccelerator::next_seed() {
 
 Histogram GateAccelerator::execute(const qasm::Program& program,
                                    std::size_t shots) {
-  const compiler::CompileResult compiled = compile(program);
-  if (path_ == GatePath::MicroArch) {
-    microarch::Assembler assembler(compiler_.platform());
-    const microarch::EqProgram eq = assembler.assemble(compiled.program);
-    microarch::Executor executor(compiler_.platform(), next_seed());
-    return executor.run_shots(eq, shots);
-  }
+  return run_compiled(compile(program), shots, next_seed());
+}
+
+compiler::CompileResult GateAccelerator::compile_const(
+    const qasm::Program& program) const {
+  return compiler_.compile(program, options_);
+}
+
+microarch::EqProgram GateAccelerator::assemble(
+    const compiler::CompileResult& compiled) const {
+  microarch::Assembler assembler(compiler_.platform());
+  return assembler.assemble(compiled.program);
+}
+
+Histogram GateAccelerator::run_compiled(
+    const compiler::CompileResult& compiled, std::size_t shots,
+    std::uint64_t seed) const {
+  if (path_ == GatePath::MicroArch)
+    return run_eqasm(assemble(compiled), shots, seed);
   sim::Simulator simulator(compiler_.platform().qubit_count,
-                           compiler_.platform().qubit_model, next_seed(),
+                           compiler_.platform().qubit_model, seed,
                            compiler_.platform().durations);
   return simulator.run(compiled.program, shots).histogram;
+}
+
+Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
+                                     std::size_t shots,
+                                     std::uint64_t seed) const {
+  microarch::Executor executor(compiler_.platform(), seed);
+  return executor.run_shots(eq, shots);
 }
 
 double GateAccelerator::expectation(

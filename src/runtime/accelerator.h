@@ -67,6 +67,32 @@ class GateAccelerator final : public QuantumAccelerator {
       const qasm::Program& program,
       const std::function<double(StateIndex)>& observable) override;
 
+  // ---- Const-safe path for concurrent serving ---------------------------
+  // The execution service shares one accelerator between worker threads;
+  // these methods touch no mutable state (no last_compile bookkeeping, no
+  // per-instance seed counter — the caller supplies the seed), so any
+  // number of workers may call them concurrently on the same instance.
+
+  const compiler::Platform& platform() const { return compiler_.platform(); }
+  const compiler::CompileOptions& options() const { return options_; }
+  GatePath path() const { return path_; }
+
+  /// Compiles without recording last_compile(); safe from any thread.
+  compiler::CompileResult compile_const(const qasm::Program& program) const;
+
+  /// Assembles a compiled program to eQASM for the micro-arch path.
+  microarch::EqProgram assemble(
+      const compiler::CompileResult& compiled) const;
+
+  /// Runs an already-compiled program for `shots` trajectories with an
+  /// explicit seed, honouring the configured GatePath.
+  Histogram run_compiled(const compiler::CompileResult& compiled,
+                         std::size_t shots, std::uint64_t seed) const;
+
+  /// Runs pre-assembled eQASM on a fresh micro-architecture instance.
+  Histogram run_eqasm(const microarch::EqProgram& eq, std::size_t shots,
+                      std::uint64_t seed) const;
+
   /// Last compilation result (for stats inspection).
   const compiler::CompileResult& last_compile() const { return last_; }
 

@@ -1,0 +1,89 @@
+#include "service/cache.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace qs::service {
+
+std::uint64_t compiled_program_key(const std::string& cqasm_text,
+                                   std::uint64_t platform_fingerprint,
+                                   std::uint64_t options_fingerprint) {
+  std::uint64_t h = fnv1a64(cqasm_text);
+  h = hash_combine(h, platform_fingerprint);
+  h = hash_combine(h, options_fingerprint);
+  return h;
+}
+
+CompiledProgramCache::CompiledProgramCache(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument(
+        "CompiledProgramCache: capacity must be >= 1");
+}
+
+std::shared_ptr<const CompiledEntry> CompiledProgramCache::lookup(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->entry;
+}
+
+void CompiledProgramCache::insert(std::uint64_t key,
+                                  std::shared_ptr<const CompiledEntry> entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t CompiledProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t CompiledProgramCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t CompiledProgramCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t CompiledProgramCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+double CompiledProgramCache::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void CompiledProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace qs::service

@@ -1,0 +1,73 @@
+// LRU cache of compiled programs. Repeat submissions of the same kernel —
+// the common case for a serving workload (parameter sweeps, shot batches,
+// many clients running the same algorithm) — skip the compile and eQASM
+// assembly passes entirely. Keyed by a stable content hash of the cQASM
+// text + platform fingerprint + compile-option fingerprint, so a config
+// change can never serve a stale artefact.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/compiler.h"
+#include "microarch/eqasm.h"
+
+namespace qs::service {
+
+/// A cached compilation artefact: the scheduled cQASM plus, for the
+/// micro-architecture path, the assembled eQASM (so cache hits skip both
+/// passes). Immutable once inserted — workers share it by shared_ptr.
+struct CompiledEntry {
+  compiler::CompileResult compiled;
+  std::shared_ptr<const microarch::EqProgram> eqasm;  ///< null on Direct path
+};
+
+/// Computes the cache key for a program against a platform/options pair.
+std::uint64_t compiled_program_key(const std::string& cqasm_text,
+                                   std::uint64_t platform_fingerprint,
+                                   std::uint64_t options_fingerprint);
+
+/// Thread-safe LRU cache keyed by compiled_program_key.
+class CompiledProgramCache {
+ public:
+  explicit CompiledProgramCache(std::size_t capacity = 128);
+
+  /// Returns the entry and refreshes its recency, or nullptr on miss.
+  std::shared_ptr<const CompiledEntry> lookup(std::uint64_t key);
+
+  /// Inserts (or replaces) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void insert(std::uint64_t key, std::shared_ptr<const CompiledEntry> entry);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  /// hits / (hits + misses); 0 when no lookups have happened.
+  double hit_rate() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::shared_ptr<const CompiledEntry> entry;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Slot>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace qs::service

@@ -1,0 +1,85 @@
+// Job model of the execution service: what a client submits (a cQASM
+// program or a QUBO, plus shots/seed/priority) and what it gets back (a
+// merged histogram with latency and cache accounting). The service is the
+// serving layer the paper's host-accelerator picture (Figures 1/3/8)
+// implies but never builds: the host CPU delegates kernels, and something
+// must batch, schedule, cache and measure those delegations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "common/stats.h"
+#include "qasm/program.h"
+
+namespace qs::service {
+
+/// What a job runs on: the gate-model stack or the annealing stack.
+enum class JobKind { Gate, Anneal };
+
+const char* to_string(JobKind kind);
+
+/// A unit of work submitted to the QuantumService. Exactly one of
+/// `program` (gate model) or `qubo` (annealing model) must be set.
+struct JobRequest {
+  std::optional<qasm::Program> program;  ///< gate-model kernel (cQASM)
+  std::optional<anneal::Qubo> qubo;      ///< annealing problem
+
+  /// Gate model: measurement trajectories. Anneal model: independent reads.
+  std::size_t shots = 1024;
+
+  /// Base seed; shard `i` derives its stream via derive_stream_seed(seed,i),
+  /// making the merged result independent of worker count.
+  std::uint64_t seed = 1;
+
+  /// Higher priority dispatches first; FIFO within equal priority.
+  int priority = 0;
+
+  /// Optional client tag echoed into the result (tracing / metrics label).
+  std::string tag;
+
+  JobKind kind() const { return program ? JobKind::Gate : JobKind::Anneal; }
+
+  /// Throws std::invalid_argument unless exactly one payload is set and
+  /// shots >= 1.
+  void validate() const;
+
+  // Convenience constructors.
+  static JobRequest gate(qasm::Program program, std::size_t shots,
+                         std::uint64_t seed = 1, int priority = 0);
+  static JobRequest anneal(anneal::Qubo qubo, std::size_t reads,
+                           std::uint64_t seed = 1, int priority = 0);
+};
+
+/// Result of one job, fulfilled through the future submit() returns.
+struct JobResult {
+  std::uint64_t job_id = 0;
+  JobKind kind = JobKind::Gate;
+  std::string tag;
+
+  /// Gate model: histogram of full-register bitstrings (merged across
+  /// shards). Anneal model: histogram of solution bitstrings.
+  Histogram histogram;
+
+  /// Annealing only: best (lowest-energy) solution over all reads. Ties
+  /// resolve to the lowest read index, keeping the merge deterministic.
+  std::vector<int> best_solution;
+  double best_energy = 0.0;
+
+  bool cache_hit = false;     ///< compiled program came from the cache
+  std::size_t shards = 0;     ///< number of shard tasks the job split into
+  std::uint64_t dispatch_seq = 0;  ///< dispatch order stamp (1 = first)
+
+  double wait_us = 0.0;  ///< submit -> dispatch (queue wait)
+  double run_us = 0.0;   ///< dispatch -> last shard merged
+};
+
+/// Number of fixed-size shards a job of `shots` splits into. Shard size is
+/// a service constant, never a function of worker count — this is what
+/// keeps merged histograms bit-identical across pool sizes.
+std::size_t shard_count(std::size_t shots, std::size_t shard_shots);
+
+}  // namespace qs::service

@@ -1,0 +1,128 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace qs::service {
+
+LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "LatencyHistogram: bounds must be strictly increasing");
+}
+
+void LatencyHistogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double LatencyHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double LatencyHistogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target && buckets_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : lo * 2.0;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+std::vector<double> LatencyHistogram::default_us_bounds() {
+  // 1us .. 1e8us (100s) in half-decade steps.
+  std::vector<double> b;
+  for (double v = 1.0; v <= 1e8; v *= 10.0) {
+    b.push_back(v);
+    b.push_back(v * 3.162);
+  }
+  return b;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+namespace {
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::render() const {
+  // Copy the metric pointers under the lock, then read each metric through
+  // its own synchronisation (maps are only mutated under mutex_, and
+  // entries are never removed, so the pointers stay valid).
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_)
+    out << name << ' ' << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    out << name << ' ' << g->value() << '\n';
+  for (const auto& [name, h] : histograms_) {
+    out << name << "_count " << h->count() << '\n';
+    out << name << "_sum " << fmt_double(h->sum()) << '\n';
+    out << name << "_mean " << fmt_double(h->mean()) << '\n';
+    out << name << "_p50 " << fmt_double(h->quantile(0.5)) << '\n';
+    out << name << "_p99 " << fmt_double(h->quantile(0.99)) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace qs::service

@@ -1,0 +1,109 @@
+// Bounded, priority-ordered MPMC queue for job admission. Higher priority
+// pops first; entries of equal priority pop in submission (FIFO) order via
+// a monotonic sequence number — a plain std::priority_queue would not give
+// the FIFO-within-priority guarantee the service promises.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace qs::service {
+
+/// Thread-safe bounded priority queue.
+///
+/// push() blocks while the queue is full (backpressure towards clients);
+/// try_push() rejects instead. pop() blocks while empty; both unblock when
+/// close() is called, after which pop() drains remaining entries and then
+/// returns nullopt, and pushes are refused.
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
+  BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
+
+  /// Blocks until space is available (or the queue closes). Returns false
+  /// if the queue was closed before the entry could be admitted.
+  bool push(T value, int priority) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || entries_.size() < capacity_; });
+    if (closed_) return false;
+    admit(std::move(value), priority);
+    return true;
+  }
+
+  /// Non-blocking admission; false when full or closed.
+  bool try_push(T value, int priority) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || entries_.size() >= capacity_) return false;
+    admit(std::move(value), priority);
+    return true;
+  }
+
+  /// Blocks until an entry is available; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+    if (entries_.empty()) return std::nullopt;
+    auto first = entries_.begin();
+    T value = std::move(first->value);
+    entries_.erase(first);
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Stops admissions and wakes all waiters. Entries already queued can
+  /// still be popped (drain semantics).
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;
+    mutable T value;  // moved out on pop; the key part stays untouched
+
+    // Ordering key: highest priority first, then earliest sequence.
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq < other.seq;
+    }
+  };
+
+  void admit(T value, int priority) {
+    entries_.insert(Entry{priority, next_seq_++, std::move(value)});
+    not_empty_.notify_one();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::set<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qs::service

@@ -1,0 +1,347 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "qasm/printer.h"
+
+namespace qs::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+std::string solution_bits(const std::vector<int>& solution) {
+  std::string bits(solution.size(), '0');
+  for (std::size_t i = 0; i < solution.size(); ++i)
+    if (solution[i]) bits[i] = '1';
+  return bits;
+}
+
+}  // namespace
+
+/// Per-job bookkeeping shared between the dispatcher and shard tasks.
+struct QuantumService::JobState {
+  std::uint64_t id = 0;
+  JobRequest request;
+  std::promise<JobResult> promise;
+  Clock::time_point submitted;
+  Clock::time_point dispatched;
+  std::uint64_t dispatch_seq = 0;
+  double wait_us = 0.0;
+  bool cache_hit = false;
+  std::size_t shards = 0;
+  std::shared_ptr<const CompiledEntry> entry;  // gate jobs only
+
+  // Shard merge state. Histogram addition is commutative, so taking the
+  // merge mutex in arbitrary shard-completion order still yields a
+  // deterministic merged result.
+  std::mutex merge_mutex;
+  Histogram merged;
+  bool has_best = false;
+  double best_energy = 0.0;
+  std::uint64_t best_read = 0;
+  std::vector<int> best_solution;
+  std::exception_ptr error;  // first shard/compile error wins
+
+  std::atomic<std::size_t> remaining{0};
+};
+
+QuantumService::QuantumService(runtime::GateAccelerator gate,
+                               ServiceOptions options)
+    : options_(options),
+      gate_(std::move(gate)),
+      cache_(options.cache_capacity),
+      queue_(options.queue_capacity),
+      pool_(options.workers),
+      paused_(options.start_paused) {
+  metrics_.gauge("qs_workers").set(
+      static_cast<std::int64_t>(pool_.thread_count()));
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+QuantumService::QuantumService(runtime::GateAccelerator gate,
+                               runtime::AnnealAccelerator annealer,
+                               ServiceOptions options)
+    : QuantumService(std::move(gate), options) {
+  annealer_.emplace(std::move(annealer));
+}
+
+QuantumService::~QuantumService() { shutdown(); }
+
+std::future<JobResult> QuantumService::submit(JobRequest request) {
+  request.validate();
+  if (request.qubo && !annealer_)
+    throw std::invalid_argument(
+        "QuantumService: no annealing accelerator attached");
+
+  auto job = std::make_shared<JobState>();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (closing_)
+      throw std::runtime_error("QuantumService: submit after shutdown");
+    job->id = next_job_id_++;
+    ++inflight_;
+  }
+  job->request = std::move(request);
+  job->submitted = Clock::now();
+  std::future<JobResult> fut = job->promise.get_future();
+
+  const int priority = job->request.priority;
+  metrics_.counter("qs_jobs_submitted_total").inc();
+  if (!queue_.push(job, priority)) {
+    job_done();
+    throw std::runtime_error("QuantumService: submit after shutdown");
+  }
+  metrics_.gauge("qs_queue_depth")
+      .set(static_cast<std::int64_t>(queue_.size()));
+  return fut;
+}
+
+std::optional<std::future<JobResult>> QuantumService::try_submit(
+    JobRequest request) {
+  request.validate();
+  if (request.qubo && !annealer_)
+    throw std::invalid_argument(
+        "QuantumService: no annealing accelerator attached");
+
+  auto job = std::make_shared<JobState>();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (closing_) return std::nullopt;
+    job->id = next_job_id_++;
+    ++inflight_;
+  }
+  job->request = std::move(request);
+  job->submitted = Clock::now();
+  std::future<JobResult> fut = job->promise.get_future();
+
+  if (!queue_.try_push(job, job->request.priority)) {
+    metrics_.counter("qs_jobs_rejected_total").inc();
+    job_done();
+    return std::nullopt;
+  }
+  metrics_.counter("qs_jobs_submitted_total").inc();
+  metrics_.gauge("qs_queue_depth")
+      .set(static_cast<std::int64_t>(queue_.size()));
+  return fut;
+}
+
+void QuantumService::pause() {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  paused_ = true;
+}
+
+void QuantumService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    paused_ = false;
+  }
+  control_cv_.notify_all();
+}
+
+void QuantumService::drain() {
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  control_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void QuantumService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    closing_ = true;
+  }
+  control_cv_.notify_all();
+  queue_.close();  // dispatcher drains remaining jobs, then exits
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.wait_idle();
+}
+
+void QuantumService::dispatcher_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      control_cv_.wait(lock, [&] { return !paused_ || closing_; });
+    }
+    std::optional<std::shared_ptr<JobState>> job = queue_.pop();
+    if (!job) return;  // queue closed and drained
+    metrics_.gauge("qs_queue_depth")
+        .set(static_cast<std::int64_t>(queue_.size()));
+    dispatch(*job);
+  }
+}
+
+void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
+  job->dispatched = Clock::now();
+  job->dispatch_seq = ++dispatch_counter_;
+  job->wait_us = us_between(job->submitted, job->dispatched);
+  metrics_.histogram("qs_job_wait_us").observe(job->wait_us);
+
+  const JobRequest& req = job->request;
+  if (req.kind() == JobKind::Gate) {
+    try {
+      job->entry = resolve_compiled(*req.program, &job->cache_hit);
+    } catch (...) {
+      fail_job(job, std::current_exception());
+      return;
+    }
+  }
+
+  job->shards = shard_count(req.shots, options_.shard_shots);
+  job->remaining.store(job->shards, std::memory_order_relaxed);
+  QS_LOG(LogLevel::Debug, "service",
+         "dispatch job " << job->id << " (" << to_string(req.kind()) << ", "
+                         << req.shots << " shots, " << job->shards
+                         << " shards, cache_hit=" << job->cache_hit << ")");
+
+  const bool is_gate = req.kind() == JobKind::Gate;
+  for (std::size_t i = 0; i < job->shards; ++i) {
+    pool_.submit([this, job, i, is_gate] {
+      if (is_gate)
+        run_gate_shard(job, i);
+      else
+        run_anneal_shard(job, i);
+    });
+  }
+}
+
+std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
+    const qasm::Program& program, bool* cache_hit) {
+  *cache_hit = false;
+  const std::string text = qasm::to_cqasm(program);
+  const std::uint64_t key = compiled_program_key(
+      text, compiler::fingerprint(gate_.platform()),
+      compiler::fingerprint(gate_.options()));
+
+  if (options_.cache_enabled) {
+    if (auto entry = cache_.lookup(key)) {
+      *cache_hit = true;
+      metrics_.counter("qs_cache_hits_total").inc();
+      return entry;
+    }
+    metrics_.counter("qs_cache_misses_total").inc();
+  }
+
+  auto entry = std::make_shared<CompiledEntry>();
+  entry->compiled = gate_.compile_const(program);
+  if (gate_.path() == runtime::GatePath::MicroArch)
+    entry->eqasm = std::make_shared<const microarch::EqProgram>(
+        gate_.assemble(entry->compiled));
+  if (options_.cache_enabled) cache_.insert(key, entry);
+  return entry;
+}
+
+void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
+                                    std::size_t shard_index) {
+  try {
+    const JobRequest& req = job->request;
+    const std::size_t begin = shard_index * options_.shard_shots;
+    const std::size_t count =
+        std::min(options_.shard_shots, req.shots - begin);
+    const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
+    const Histogram shard =
+        job->entry->eqasm
+            ? gate_.run_eqasm(*job->entry->eqasm, count, seed)
+            : gate_.run_compiled(job->entry->compiled, count, seed);
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    if (!job->error) job->error = std::current_exception();
+  }
+  finish_shard(job);
+}
+
+void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
+                                      std::size_t shard_index) {
+  try {
+    const JobRequest& req = job->request;
+    const std::size_t begin = shard_index * options_.shard_shots;
+    const std::size_t end =
+        std::min(begin + options_.shard_shots, req.shots);
+    for (std::size_t read = begin; read < end; ++read) {
+      // Per-read (not per-shard) stream: each anneal is an independent
+      // restart, and per-read seeding keeps the best-of-N reduction
+      // identical however reads are grouped into shards.
+      Rng rng(derive_stream_seed(req.seed, read));
+      const runtime::AnnealOutcome outcome =
+          annealer_->solve(*req.qubo, rng);
+      std::lock_guard<std::mutex> lock(job->merge_mutex);
+      job->merged.add(solution_bits(outcome.solution));
+      const bool better =
+          !job->has_best || outcome.energy < job->best_energy ||
+          (outcome.energy == job->best_energy && read < job->best_read);
+      if (better) {
+        job->has_best = true;
+        job->best_energy = outcome.energy;
+        job->best_read = read;
+        job->best_solution = outcome.solution;
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    if (!job->error) job->error = std::current_exception();
+  }
+  finish_shard(job);
+}
+
+void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
+  if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  // Last shard out assembles and publishes the result.
+  if (job->error) {
+    metrics_.counter("qs_jobs_failed_total").inc();
+    job->promise.set_exception(job->error);
+    job_done();
+    return;
+  }
+
+  JobResult result;
+  result.job_id = job->id;
+  result.kind = job->request.kind();
+  result.tag = job->request.tag;
+  result.histogram = std::move(job->merged);
+  result.best_solution = std::move(job->best_solution);
+  result.best_energy = job->best_energy;
+  result.cache_hit = job->cache_hit;
+  result.shards = job->shards;
+  result.dispatch_seq = job->dispatch_seq;
+  result.wait_us = job->wait_us;
+  result.run_us = us_between(job->dispatched, Clock::now());
+
+  metrics_.counter("qs_jobs_completed_total").inc();
+  metrics_.counter(result.kind == JobKind::Gate ? "qs_gate_shots_total"
+                                                : "qs_anneal_reads_total")
+      .inc(job->request.shots);
+  metrics_.histogram("qs_job_run_us").observe(result.run_us);
+
+  job->promise.set_value(std::move(result));
+  job_done();
+}
+
+void QuantumService::fail_job(const std::shared_ptr<JobState>& job,
+                              std::exception_ptr err) {
+  metrics_.counter("qs_jobs_failed_total").inc();
+  job->promise.set_exception(std::move(err));
+  job_done();
+}
+
+void QuantumService::job_done() {
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    --inflight_;
+    if (inflight_ != 0) return;
+  }
+  control_cv_.notify_all();
+}
+
+}  // namespace qs::service

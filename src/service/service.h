@@ -1,0 +1,125 @@
+// QuantumService: the serving layer over the accelerator stack. Clients
+// submit jobs (cQASM program or QUBO + shots + seed + priority) into a
+// bounded priority queue and get a future back; a dispatcher thread pulls
+// jobs in priority order, resolves the compiled program through an LRU
+// cache, shards the job's shots into fixed-size shard tasks with
+// counter-derived RNG streams, and a worker pool executes the shards and
+// merges per-shard histograms. Because shard boundaries and shard seeds
+// depend only on (job seed, shard index) — never on the pool size — the
+// merged histogram is bit-identical for any worker count.
+//
+// Job lifecycle:  submitted -> queued -> dispatched (compile/cache)
+//                 -> sharded -> running -> merged -> future fulfilled
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "runtime/accelerator.h"
+#include "service/cache.h"
+#include "service/job.h"
+#include "service/metrics.h"
+#include "service/queue.h"
+#include "service/worker_pool.h"
+
+namespace qs::service {
+
+struct ServiceOptions {
+  std::size_t workers = 4;          ///< shard-executing worker threads
+  std::size_t queue_capacity = 64;  ///< max jobs awaiting dispatch
+  /// Shots per shard. A service constant independent of worker count:
+  /// changing it changes shard seeds and thus the (still valid) sampled
+  /// histogram, so treat it as part of the reproducibility contract.
+  std::size_t shard_shots = 256;
+  bool cache_enabled = true;        ///< compiled-program cache on/off
+  std::size_t cache_capacity = 128;
+  bool start_paused = false;        ///< accept jobs but hold dispatch
+};
+
+/// The execution service. One instance serves one gate platform (and
+/// optionally one annealing device) from a shared worker pool.
+class QuantumService {
+ public:
+  explicit QuantumService(runtime::GateAccelerator gate,
+                          ServiceOptions options = {});
+  QuantumService(runtime::GateAccelerator gate,
+                 runtime::AnnealAccelerator annealer,
+                 ServiceOptions options = {});
+
+  /// Drains in-flight work and joins all threads.
+  ~QuantumService();
+
+  QuantumService(const QuantumService&) = delete;
+  QuantumService& operator=(const QuantumService&) = delete;
+
+  /// Validates and enqueues a job; blocks while the queue is full
+  /// (backpressure). Throws std::invalid_argument on a malformed request
+  /// and std::runtime_error after shutdown().
+  std::future<JobResult> submit(JobRequest request);
+
+  /// Non-blocking admission: nullopt when the queue is full (the job is
+  /// counted as rejected) or the service is shut down.
+  std::optional<std::future<JobResult>> try_submit(JobRequest request);
+
+  /// Holds/resumes dispatch while still accepting submissions — lets a
+  /// client batch a burst and lets tests freeze the queue to observe
+  /// ordering.
+  void pause();
+  void resume();
+
+  /// Blocks until every job submitted so far has completed.
+  void drain();
+
+  /// Stops admissions, finishes all accepted jobs, joins threads.
+  /// Idempotent; also invoked by the destructor.
+  void shutdown();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const CompiledProgramCache& cache() const { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+  const runtime::GateAccelerator& gate() const { return gate_; }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t worker_count() const { return pool_.thread_count(); }
+
+ private:
+  struct JobState;
+
+  void dispatcher_loop();
+  void dispatch(const std::shared_ptr<JobState>& job);
+  std::shared_ptr<const CompiledEntry> resolve_compiled(
+      const qasm::Program& program, bool* cache_hit);
+  void run_gate_shard(const std::shared_ptr<JobState>& job,
+                      std::size_t shard_index);
+  void run_anneal_shard(const std::shared_ptr<JobState>& job,
+                        std::size_t shard_index);
+  void finish_shard(const std::shared_ptr<JobState>& job);
+  void fail_job(const std::shared_ptr<JobState>& job, std::exception_ptr err);
+  void job_done();
+
+  ServiceOptions options_;
+  runtime::GateAccelerator gate_;
+  std::optional<runtime::AnnealAccelerator> annealer_;
+
+  CompiledProgramCache cache_;
+  MetricsRegistry metrics_;
+  BoundedPriorityQueue<std::shared_ptr<JobState>> queue_;
+  WorkerPool pool_;
+
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  bool paused_ = false;
+  bool closing_ = false;
+  bool shut_down_ = false;
+  std::size_t inflight_ = 0;  ///< submitted but not yet completed jobs
+
+  std::uint64_t next_job_id_ = 1;     // under control_mutex_
+  std::uint64_t dispatch_counter_ = 0;  // dispatcher thread only
+
+  std::thread dispatcher_;  // last member: starts after everything is built
+};
+
+}  // namespace qs::service

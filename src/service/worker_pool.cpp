@@ -1,0 +1,62 @@
+#include "service/worker_pool.h"
+
+#include <algorithm>
+
+namespace qs::service {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+}
+
+std::size_t WorkerPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace qs::service

@@ -1,0 +1,53 @@
+// Fixed-size worker thread pool executing shard tasks. Deliberately dumb:
+// determinism lives in the seeding scheme (counter-derived RNG streams per
+// shard), not in the scheduler, so the pool is free to run shards in any
+// order on any thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qs::service {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit WorkerPool(std::size_t threads);
+
+  /// Finishes queued tasks, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — they run on worker threads
+  /// with no one to catch; the service wraps execution and routes errors
+  /// into the job's promise.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the task queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Tasks currently queued (excludes running ones); for queue-depth gauges.
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace qs::service

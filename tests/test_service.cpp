@@ -1,0 +1,448 @@
+// Tests for the execution service: queue ordering (FIFO within priority),
+// shot-sharded determinism across worker counts, compiled-program cache
+// accounting, metrics exposition, and the thread-safety of qs::Log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "compiler/algorithms.h"
+#include "compiler/kernel.h"
+#include "service/cache.h"
+#include "service/job.h"
+#include "service/metrics.h"
+#include "service/queue.h"
+#include "service/service.h"
+#include "service/worker_pool.h"
+
+namespace qs::service {
+namespace {
+
+qasm::Program ghz_program(std::size_t n) {
+  compiler::Program p("ghz", n);
+  p.add_kernel("main").ghz(n).measure_all();
+  return p.to_qasm();
+}
+
+runtime::GateAccelerator perfect_gate(std::size_t qubits) {
+  return runtime::GateAccelerator(compiler::Platform::perfect(qubits));
+}
+
+// ------------------------------------------------------------- Queue ----
+
+TEST(BoundedPriorityQueue, PopsHigherPriorityFirst) {
+  BoundedPriorityQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1, /*priority=*/0));
+  ASSERT_TRUE(q.try_push(2, /*priority=*/5));
+  ASSERT_TRUE(q.try_push(3, /*priority=*/-1));
+  ASSERT_TRUE(q.try_push(4, /*priority=*/5));
+  EXPECT_EQ(q.pop(), 2);  // priority 5, first in
+  EXPECT_EQ(q.pop(), 4);  // priority 5, second in
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedPriorityQueue, FifoWithinEqualPriority) {
+  BoundedPriorityQueue<int> q(32);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(q.try_push(i, 7));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedPriorityQueue, TryPushRejectsWhenFull) {
+  BoundedPriorityQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1, 0));
+  EXPECT_TRUE(q.try_push(2, 0));
+  EXPECT_FALSE(q.try_push(3, 0));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3, 0));
+}
+
+TEST(BoundedPriorityQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedPriorityQueue<int> q(4);
+  q.try_push(1, 0);
+  q.close();
+  EXPECT_FALSE(q.try_push(2, 0));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// ------------------------------------------------------- RNG streams ----
+
+TEST(DeriveStreamSeed, DistinctConsecutiveStreams) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    seeds.push_back(derive_stream_seed(42, i));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(DeriveStreamSeed, PureFunctionOfInputs) {
+  EXPECT_EQ(derive_stream_seed(7, 3), derive_stream_seed(7, 3));
+  EXPECT_NE(derive_stream_seed(7, 3), derive_stream_seed(8, 3));
+  EXPECT_NE(derive_stream_seed(7, 3), derive_stream_seed(7, 4));
+}
+
+// --------------------------------------------------------------- Log ----
+
+TEST(Log, ConcurrentWritersProduceWholeLines) {
+  Log::set_capture(true);
+  Log::set_level(LogLevel::Info);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 100;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i)
+        QS_LOG(LogLevel::Info, "t" + std::to_string(t), "line " << i);
+    });
+  for (auto& w : writers) w.join();
+  const std::string captured = Log::drain_capture();
+  Log::set_capture(false);
+  Log::set_level(LogLevel::Warn);
+
+  const auto newlines =
+      std::count(captured.begin(), captured.end(), '\n');
+  EXPECT_EQ(newlines, kThreads * kLines);
+  // Every line is intact: starts with the level tag, no interleaving.
+  std::size_t pos = 0;
+  while (pos < captured.size()) {
+    EXPECT_EQ(captured.compare(pos, 6, "[INFO]"), 0)
+        << "corrupt line at offset " << pos;
+    pos = captured.find('\n', pos) + 1;
+  }
+}
+
+// ------------------------------------------------------------- Cache ----
+
+TEST(CompiledProgramCache, HitMissAndEvictionAccounting) {
+  CompiledProgramCache cache(2);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert(1, std::make_shared<CompiledEntry>());
+  cache.insert(2, std::make_shared<CompiledEntry>());
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // 1 is now most recent, so inserting 3 evicts 2.
+  cache.insert(3, std::make_shared<CompiledEntry>());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_NEAR(cache.hit_rate(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(CompiledProgramCache, KeyDependsOnProgramPlatformAndOptions) {
+  const auto p1 = compiler::Platform::perfect(4);
+  const auto p2 = compiler::Platform::perfect(5);
+  compiler::CompileOptions o1;
+  compiler::CompileOptions o2;
+  o2.optimize = false;
+  const std::uint64_t base = compiled_program_key(
+      "qubits 4", compiler::fingerprint(p1), compiler::fingerprint(o1));
+  EXPECT_NE(base,
+            compiled_program_key("qubits 5", compiler::fingerprint(p1),
+                                 compiler::fingerprint(o1)));
+  EXPECT_NE(base,
+            compiled_program_key("qubits 4", compiler::fingerprint(p2),
+                                 compiler::fingerprint(o1)));
+  EXPECT_NE(base,
+            compiled_program_key("qubits 4", compiler::fingerprint(p1),
+                                 compiler::fingerprint(o2)));
+  EXPECT_EQ(base,
+            compiled_program_key("qubits 4", compiler::fingerprint(p1),
+                                 compiler::fingerprint(o1)));
+}
+
+// ----------------------------------------------------------- Metrics ----
+
+TEST(MetricsRegistry, CountersGaugesAndHistogramsRender) {
+  MetricsRegistry reg;
+  reg.counter("jobs_total").inc(3);
+  reg.gauge("depth").set(-2);
+  auto& h = reg.histogram("wait_us");
+  h.observe(5.0);
+  h.observe(50.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_NEAR(h.mean(), 27.5, 1e-9);
+
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("jobs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("depth -2"), std::string::npos);
+  EXPECT_NE(text.find("wait_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("wait_us_p50"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.counter("c").inc();
+  EXPECT_EQ(reg.counter("c").value(), 2u);
+}
+
+// -------------------------------------------------------- WorkerPool ----
+
+TEST(WorkerPool, ExecutesAllTasksAndWaitsIdle) {
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// ------------------------------------------------------------ Service ----
+
+TEST(QuantumService, JobRequestValidation) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+  EXPECT_THROW(svc.submit(JobRequest{}), std::invalid_argument);
+  JobRequest both = JobRequest::gate(ghz_program(3), 16);
+  both.qubo = anneal::Qubo(2);
+  EXPECT_THROW(svc.submit(both), std::invalid_argument);
+  JobRequest zero = JobRequest::gate(ghz_program(3), 0);
+  EXPECT_THROW(svc.submit(zero), std::invalid_argument);
+  // Anneal job without an annealer attached.
+  EXPECT_THROW(svc.submit(JobRequest::anneal(anneal::Qubo(2), 8)),
+               std::invalid_argument);
+}
+
+TEST(QuantumService, GateJobMergesAllShots) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 64;
+  QuantumService svc(perfect_gate(4), opts);
+  auto fut = svc.submit(JobRequest::gate(ghz_program(4), 1000, /*seed=*/9));
+  const JobResult r = fut.get();
+  EXPECT_EQ(r.histogram.total(), 1000u);
+  EXPECT_EQ(r.shards, shard_count(1000, 64));
+  EXPECT_EQ(r.kind, JobKind::Gate);
+  // GHZ: only the all-zeros and all-ones bitstrings occur.
+  for (const auto& [bits, n] : r.histogram.counts()) {
+    EXPECT_TRUE(bits == "0000" || bits == "1111") << bits << " x" << n;
+  }
+}
+
+// The headline determinism contract: same seed => byte-identical merged
+// histogram for 1, 2, and 8 workers, because shard boundaries and shard
+// seeds are worker-count independent.
+TEST(QuantumService, MergedHistogramIdenticalAcrossWorkerCounts) {
+  std::vector<std::map<std::string, std::size_t>> results;
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    ServiceOptions opts;
+    opts.workers = workers;
+    opts.shard_shots = 32;
+    QuantumService svc(perfect_gate(6), opts);
+    auto fut =
+        svc.submit(JobRequest::gate(ghz_program(6), 777, /*seed=*/12345));
+    results.push_back(fut.get().histogram.counts());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(QuantumService, RepeatSubmissionsHitTheCompiledProgramCache) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  QuantumService svc(perfect_gate(4), opts);
+  const qasm::Program prog = ghz_program(4);
+
+  bool first_hit = true;
+  std::size_t hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto fut = svc.submit(JobRequest::gate(prog, 64, /*seed=*/i + 1));
+    const JobResult r = fut.get();
+    if (i == 0) first_hit = r.cache_hit;
+    hits += r.cache_hit ? 1 : 0;
+  }
+  EXPECT_FALSE(first_hit);
+  EXPECT_EQ(hits, 9u);
+  EXPECT_EQ(svc.cache().misses(), 1u);
+  EXPECT_EQ(svc.cache().hits(), 9u);
+  EXPECT_GT(svc.cache().hit_rate(), 0.89);
+  EXPECT_EQ(svc.metrics().counter("qs_cache_hits_total").value(), 9u);
+}
+
+TEST(QuantumService, CacheDisabledNeverReportsHits) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.cache_enabled = false;
+  QuantumService svc(perfect_gate(3), opts);
+  const qasm::Program prog = ghz_program(3);
+  for (int i = 0; i < 3; ++i) {
+    const JobResult r = svc.submit(JobRequest::gate(prog, 32)).get();
+    EXPECT_FALSE(r.cache_hit);
+  }
+  EXPECT_EQ(svc.cache().hits(), 0u);
+  EXPECT_EQ(svc.cache().misses(), 0u);
+}
+
+TEST(QuantumService, CachedAndUncachedResultsAgree) {
+  // The cache must be semantically invisible: same seed, same histogram,
+  // whether the compiled program was fresh or cached.
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 50;
+  QuantumService svc(perfect_gate(5), opts);
+  const qasm::Program prog = ghz_program(5);
+  const JobResult fresh =
+      svc.submit(JobRequest::gate(prog, 300, /*seed=*/555)).get();
+  const JobResult cached =
+      svc.submit(JobRequest::gate(prog, 300, /*seed=*/555)).get();
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(fresh.histogram.counts(), cached.histogram.counts());
+}
+
+TEST(QuantumService, DispatchOrderIsPriorityThenFifo) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  QuantumService svc(perfect_gate(3), opts);
+  const qasm::Program prog = ghz_program(3);
+
+  auto a = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/0));
+  auto b = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/5));
+  auto c = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/0));
+  auto d = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/5));
+  EXPECT_EQ(svc.queue_depth(), 4u);
+  svc.resume();
+
+  EXPECT_EQ(b.get().dispatch_seq, 1u);
+  EXPECT_EQ(d.get().dispatch_seq, 2u);
+  EXPECT_EQ(a.get().dispatch_seq, 3u);
+  EXPECT_EQ(c.get().dispatch_seq, 4u);
+}
+
+TEST(QuantumService, TrySubmitRejectsWhenQueueFull) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.start_paused = true;
+  QuantumService svc(perfect_gate(3), opts);
+  const qasm::Program prog = ghz_program(3);
+
+  auto a = svc.try_submit(JobRequest::gate(prog, 16));
+  auto b = svc.try_submit(JobRequest::gate(prog, 16));
+  auto rejected = svc.try_submit(JobRequest::gate(prog, 16));
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_rejected_total").value(), 1u);
+
+  svc.resume();
+  EXPECT_EQ(a->get().histogram.total(), 16u);
+  EXPECT_EQ(b->get().histogram.total(), 16u);
+}
+
+TEST(QuantumService, MicroArchPathServesFromAssembledCache) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 16;
+  runtime::GateAccelerator gate(compiler::Platform::perfect(3), {},
+                                runtime::GatePath::MicroArch);
+  QuantumService svc(std::move(gate), opts);
+  const qasm::Program prog = ghz_program(3);
+  const JobResult r1 = svc.submit(JobRequest::gate(prog, 48, 7)).get();
+  const JobResult r2 = svc.submit(JobRequest::gate(prog, 48, 7)).get();
+  EXPECT_EQ(r1.histogram.total(), 48u);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.histogram.counts(), r2.histogram.counts());
+}
+
+TEST(QuantumService, AnnealJobFindsMinimumAndIsWorkerCountInvariant) {
+  // x0 XOR-like QUBO with known minimum at (1, 0, 1): brute-force checked.
+  anneal::Qubo qubo(3);
+  qubo.add(0, 0, -2.0);
+  qubo.add(1, 1, 1.0);
+  qubo.add(2, 2, -2.0);
+  qubo.add(0, 1, 1.5);
+  qubo.add(1, 2, 1.5);
+
+  std::vector<JobResult> results;
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    ServiceOptions opts;
+    opts.workers = workers;
+    opts.shard_shots = 8;
+    QuantumService svc(perfect_gate(2),
+                       runtime::AnnealAccelerator(/*capacity=*/8), opts);
+    auto fut = svc.submit(JobRequest::anneal(qubo, /*reads=*/40, /*seed=*/3));
+    results.push_back(fut.get());
+  }
+  EXPECT_EQ(results[0].best_solution, (std::vector<int>{1, 0, 1}));
+  EXPECT_DOUBLE_EQ(results[0].best_energy, -4.0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].histogram.counts(), results[i].histogram.counts());
+    EXPECT_EQ(results[0].best_solution, results[i].best_solution);
+    EXPECT_DOUBLE_EQ(results[0].best_energy, results[i].best_energy);
+  }
+}
+
+TEST(QuantumService, DrainWaitsForAllSubmittedJobs) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  QuantumService svc(perfect_gate(4), opts);
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(
+        svc.submit(JobRequest::gate(ghz_program(4), 128, i + 1)));
+  svc.drain();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().histogram.total(), 128u);
+  }
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), 6u);
+  EXPECT_EQ(svc.metrics().counter("qs_gate_shots_total").value(), 6u * 128u);
+}
+
+TEST(QuantumService, SubmitAfterShutdownThrows) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+  svc.shutdown();
+  EXPECT_THROW(svc.submit(JobRequest::gate(ghz_program(3), 16)),
+               std::runtime_error);
+  EXPECT_FALSE(svc.try_submit(JobRequest::gate(ghz_program(3), 16)));
+}
+
+TEST(QuantumService, FailedJobPropagatesThroughFuture) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  // Annealer capacity 2 < QUBO size 4: solve throws inside the shard.
+  QuantumService svc(perfect_gate(2), runtime::AnnealAccelerator(2), opts);
+  auto fut = svc.submit(JobRequest::anneal(anneal::Qubo(4), 8));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
+}
+
+TEST(QuantumService, MetricsSnapshotCoversServingSignals) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  QuantumService svc(perfect_gate(4), opts);
+  const qasm::Program prog = ghz_program(4);
+  for (int i = 0; i < 4; ++i)
+    svc.submit(JobRequest::gate(prog, 100, i + 1)).get();
+
+  const std::string snapshot = svc.metrics().render();
+  for (const char* key :
+       {"qs_jobs_submitted_total 4", "qs_jobs_completed_total 4",
+        "qs_gate_shots_total 400", "qs_cache_hits_total 3",
+        "qs_cache_misses_total 1", "qs_workers 2", "qs_job_wait_us_count",
+        "qs_job_run_us_p99"}) {
+    EXPECT_NE(snapshot.find(key), std::string::npos)
+        << "missing '" << key << "' in:\n"
+        << snapshot;
+  }
+}
+
+}  // namespace
+}  // namespace qs::service
