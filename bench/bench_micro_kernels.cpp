@@ -39,6 +39,79 @@ void BM_StateVector_CNOT(benchmark::State& state) {
 }
 BENCHMARK(BM_StateVector_CNOT)->Arg(10)->Arg(16)->Arg(20);
 
+void BM_StateVector_X_Generic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const Matrix x = sim::pauli_x();
+  for (auto _ : state) sv.apply_1q(x, 0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_X_Generic)->Arg(16)->Arg(20);
+
+void BM_StateVector_X_Fused(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  for (auto _ : state) sv.apply_x(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_X_Fused)->Arg(16)->Arg(20);
+
+void BM_StateVector_RZ_Generic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const Matrix m = sim::rz(0.37);
+  for (auto _ : state) sv.apply_1q(m, 0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_RZ_Generic)->Arg(16)->Arg(20);
+
+void BM_StateVector_RZ_Fused(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const cplx d0 = std::exp(cplx(0.0, -0.37 / 2.0));
+  const cplx d1 = std::exp(cplx(0.0, 0.37 / 2.0));
+  for (auto _ : state) sv.apply_diag(0, d0, d1);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_RZ_Fused)->Arg(16)->Arg(20);
+
+void BM_StateVector_CNOT_Fused(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  for (auto _ : state) sv.apply_cnot(0, 1);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_CNOT_Fused)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_StateVector_H_Threaded(benchmark::State& state) {
+  const std::size_t n = 20;
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  sim::StateVector sv(n);
+  sv.set_kernel_policy({&pool, 0});
+  const Matrix h = sim::hadamard();
+  for (auto _ : state) sv.apply_1q(h, 0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_H_Threaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StateVector_ProbOne(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const Matrix h = sim::hadamard();
+  sv.apply_1q(h, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(sv.prob_one(0));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_ProbOne)->Arg(16)->Arg(20);
+
 void BM_StateVector_Measure(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);

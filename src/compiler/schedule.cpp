@@ -23,9 +23,11 @@ std::vector<QubitIndex> footprint(const Instruction& instr,
       return all;
     }
     case GateKind::Barrier:
-      return instr.qubits().empty()
-                 ? footprint(Instruction(GateKind::Display, {}), qubit_count)
-                 : instr.qubits();
+    case GateKind::Wait:
+      // Operand-less wait/barrier fences the whole register.
+      if (instr.qubits().empty())
+        return footprint(Instruction(GateKind::Display, {}), qubit_count);
+      [[fallthrough]];
     default: {
       std::vector<QubitIndex> fp = instr.qubits();
       // A conditional gate also reads its condition bits, which are

@@ -5,12 +5,13 @@
 
 namespace qs::microarch {
 
-Executor::Executor(const compiler::Platform& platform, std::uint64_t seed)
+Executor::Executor(const compiler::Platform& platform, std::uint64_t seed,
+                   sim::SimOptions sim_options)
     : platform_(platform),
       microcode_(MicrocodeTable::for_platform(platform)),
       adi_(platform.qubit_count),
       sim_(platform.qubit_count, platform.qubit_model, seed,
-           platform.durations) {}
+           platform.durations, sim_options) {}
 
 ExecutionResult Executor::run(const EqProgram& program) {
   ExecutionResult result;

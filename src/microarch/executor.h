@@ -38,9 +38,11 @@ class Executor {
  public:
   /// Builds the micro-architecture for a platform: microcode table from the
   /// platform config, ADI channel banks, and a QX back-end with the
-  /// platform's qubit model.
+  /// platform's qubit model. `sim_options` configures the back-end's
+  /// kernel layer (fused gates, intra-shot threading).
   explicit Executor(const compiler::Platform& platform,
-                    std::uint64_t seed = 1);
+                    std::uint64_t seed = 1,
+                    sim::SimOptions sim_options = sim::SimOptions{});
 
   /// Executes the program from the entry point until STOP (or the
   /// instruction budget is exhausted — guards against infinite loops).

@@ -14,9 +14,10 @@ Instruction::Instruction(GateKind kind, std::vector<QubitIndex> qubits,
       param_k_(param_k) {
   const std::size_t arity = gate_arity(kind);
   // Wait/Barrier are variadic (arity reported as 0); MeasureAll/Display take
-  // no operands and must get none.
+  // no operands and must get none. A bare `wait n` with no qubit operands
+  // is legal cQASM and means "idle the whole register".
   if (kind == GateKind::Wait || kind == GateKind::Barrier) {
-    if (qubits_.empty())
+    if (qubits_.empty() && kind == GateKind::Barrier)
       throw std::invalid_argument("Instruction: " + gate_name(kind) +
                                   " needs at least one qubit operand");
   } else if (qubits_.size() != arity) {

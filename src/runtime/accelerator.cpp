@@ -59,18 +59,30 @@ microarch::EqProgram GateAccelerator::assemble(
 Histogram GateAccelerator::run_compiled(
     const compiler::CompileResult& compiled, std::size_t shots,
     std::uint64_t seed) const {
+  return run_compiled(compiled, shots, seed, sim_options_);
+}
+
+Histogram GateAccelerator::run_compiled(
+    const compiler::CompileResult& compiled, std::size_t shots,
+    std::uint64_t seed, const sim::SimOptions& sim_options) const {
   if (path_ == GatePath::MicroArch)
-    return run_eqasm(assemble(compiled), shots, seed);
+    return run_eqasm(assemble(compiled), shots, seed, sim_options);
   sim::Simulator simulator(compiler_.platform().qubit_count,
                            compiler_.platform().qubit_model, seed,
-                           compiler_.platform().durations);
+                           compiler_.platform().durations, sim_options);
   return simulator.run(compiled.program, shots).histogram;
 }
 
 Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
                                      std::size_t shots,
                                      std::uint64_t seed) const {
-  microarch::Executor executor(compiler_.platform(), seed);
+  return run_eqasm(eq, shots, seed, sim_options_);
+}
+
+Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
+                                     std::size_t shots, std::uint64_t seed,
+                                     const sim::SimOptions& sim_options) const {
+  microarch::Executor executor(compiler_.platform(), seed, sim_options);
   return executor.run_shots(eq, shots);
 }
 

@@ -89,9 +89,28 @@ class GateAccelerator final : public QuantumAccelerator {
   Histogram run_compiled(const compiler::CompileResult& compiled,
                          std::size_t shots, std::uint64_t seed) const;
 
+  /// As above, with explicit simulator kernel options (intra-shot thread
+  /// budget, fused kernels). Results are bit-identical for a fixed seed
+  /// whatever the thread count — callers tune throughput, not output.
+  Histogram run_compiled(const compiler::CompileResult& compiled,
+                         std::size_t shots, std::uint64_t seed,
+                         const sim::SimOptions& sim_options) const;
+
   /// Runs pre-assembled eQASM on a fresh micro-architecture instance.
   Histogram run_eqasm(const microarch::EqProgram& eq, std::size_t shots,
                       std::uint64_t seed) const;
+
+  /// As above, with explicit simulator kernel options for the back-end.
+  Histogram run_eqasm(const microarch::EqProgram& eq, std::size_t shots,
+                      std::uint64_t seed,
+                      const sim::SimOptions& sim_options) const;
+
+  /// Default kernel options used by execute()/run_compiled() when none are
+  /// passed explicitly (threads still resolve QS_SIM_THREADS when 0).
+  void set_sim_options(const sim::SimOptions& options) {
+    sim_options_ = options;
+  }
+  const sim::SimOptions& sim_options() const { return sim_options_; }
 
   /// Last compilation result (for stats inspection).
   const compiler::CompileResult& last_compile() const { return last_; }
@@ -110,6 +129,7 @@ class GateAccelerator final : public QuantumAccelerator {
   std::uint64_t seed_;
   std::uint64_t invocation_ = 0;
   std::size_t noise_trajectories_ = 8;
+  sim::SimOptions sim_options_;
   compiler::CompileResult last_;
 };
 

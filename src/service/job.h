@@ -38,6 +38,12 @@ struct JobRequest {
   /// Higher priority dispatches first; FIFO within equal priority.
   int priority = 0;
 
+  /// Gate model: intra-shot simulator threads for this job's shards
+  /// (0 = service default). The service clamps the effective budget
+  /// against worker-count oversubscription; the histogram is bit-identical
+  /// whatever value wins — this knob tunes throughput, never output.
+  std::size_t sim_threads = 0;
+
   /// Optional client tag echoed into the result (tracing / metrics label).
   std::string tag;
 

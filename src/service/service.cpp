@@ -240,6 +240,24 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   return entry;
 }
 
+std::size_t QuantumService::effective_sim_threads(
+    std::size_t job_threads) const {
+  // Per-job budget wins over the service default; both resolve
+  // QS_SIM_THREADS when zero (sim::resolve_sim_threads handles that).
+  const std::size_t want = sim::resolve_sim_threads(
+      job_threads != 0 ? job_threads : options_.sim_threads);
+  if (!options_.clamp_sim_threads) return want;
+  // Shard workers already fan out across cores: cap kernel threads per
+  // shard at hardware_concurrency / workers so total threads stay at or
+  // below the core count. Bit-identity makes this clamp output-invisible.
+  const std::size_t hw =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  const std::size_t per_shard =
+      std::max<std::size_t>(hw / std::max<std::size_t>(pool_.thread_count(), 1),
+                            1);
+  return std::min(want, per_shard);
+}
+
 void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
                                     std::size_t shard_index) {
   try {
@@ -248,10 +266,13 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
     const std::size_t count =
         std::min(options_.shard_shots, req.shots - begin);
     const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
+    sim::SimOptions sim_options = gate_.sim_options();
+    sim_options.threads = effective_sim_threads(req.sim_threads);
     const Histogram shard =
         job->entry->eqasm
-            ? gate_.run_eqasm(*job->entry->eqasm, count, seed)
-            : gate_.run_compiled(job->entry->compiled, count, seed);
+            ? gate_.run_eqasm(*job->entry->eqasm, count, seed, sim_options)
+            : gate_.run_compiled(job->entry->compiled, count, seed,
+                                 sim_options);
     std::lock_guard<std::mutex> lock(job->merge_mutex);
     for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
   } catch (...) {

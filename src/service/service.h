@@ -37,6 +37,13 @@ struct ServiceOptions {
   bool cache_enabled = true;        ///< compiled-program cache on/off
   std::size_t cache_capacity = 128;
   bool start_paused = false;        ///< accept jobs but hold dispatch
+  /// Default intra-shot simulator threads per shard when the job does not
+  /// set its own budget (0 = scalar kernels / QS_SIM_THREADS).
+  std::size_t sim_threads = 0;
+  /// Clamp the per-shard thread budget to hardware_concurrency / workers so
+  /// shard workers and kernel threads never oversubscribe the machine.
+  /// Disable to force the requested budget (thread-scaling benchmarks).
+  bool clamp_sim_threads = true;
 };
 
 /// The execution service. One instance serves one gate platform (and
@@ -92,6 +99,7 @@ class QuantumService {
   void dispatch(const std::shared_ptr<JobState>& job);
   std::shared_ptr<const CompiledEntry> resolve_compiled(
       const qasm::Program& program, bool* cache_hit);
+  std::size_t effective_sim_threads(std::size_t job_threads) const;
   void run_gate_shard(const std::shared_ptr<JobState>& job,
                       std::size_t shard_index);
   void run_anneal_shard(const std::shared_ptr<JobState>& job,

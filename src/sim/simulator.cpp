@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <cstdlib>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,6 +10,10 @@
 #include "sim/gates.h"
 
 namespace qs::sim {
+
+namespace {
+const cplx kImag(0.0, 1.0);
+}
 
 NanoSec GateDurations::of(const qasm::Instruction& instr) const {
   using qasm::GateKind;
@@ -29,46 +35,127 @@ NanoSec GateDurations::of(const qasm::Instruction& instr) const {
   }
 }
 
+std::size_t resolve_sim_threads(std::size_t requested) {
+  std::size_t t = requested;
+  if (t == 0) {
+    if (const char* env = std::getenv("QS_SIM_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) t = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (t == 0) t = 1;
+  return t > 64 ? 64 : t;
+}
+
 Simulator::Simulator(std::size_t qubit_count, QubitModel model,
-                     std::uint64_t seed, GateDurations durations)
+                     std::uint64_t seed, GateDurations durations,
+                     SimOptions options)
     : state_(qubit_count),
       model_(model),
       errors_(make_error_model(model)),
       durations_(durations),
       rng_(seed),
-      bits_(qubit_count, 0) {}
+      bits_(qubit_count, 0),
+      options_(options) {
+  options_.threads = resolve_sim_threads(options.threads);
+  if (options_.threads > 1)
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  state_.set_kernel_policy({pool_.get(), options_.min_parallel_qubits});
+}
 
 void Simulator::reset() {
   state_.reset();
   std::fill(bits_.begin(), bits_.end(), 0);
 }
 
+bool Simulator::apply_fused(const qasm::Instruction& instr) {
+  using qasm::GateKind;
+  const auto& q = instr.qubits();
+  // Phase constants mirror gates.cpp expression-for-expression so the
+  // fused path produces the same doubles as the generic matrix path.
+  switch (instr.kind()) {
+    case GateKind::X:
+      state_.apply_x(q[0]);
+      return true;
+    case GateKind::Y:
+      state_.apply_y(q[0]);
+      return true;
+    case GateKind::Z:
+      state_.apply_z(q[0]);
+      return true;
+    case GateKind::S:
+      state_.apply_phase(q[0], kImag);
+      return true;
+    case GateKind::Sdag:
+      state_.apply_phase(q[0], -kImag);
+      return true;
+    case GateKind::T:
+      state_.apply_phase(q[0], std::exp(kImag * (kPi / 4.0)));
+      return true;
+    case GateKind::Tdag:
+      state_.apply_phase(q[0], std::conj(std::exp(kImag * (kPi / 4.0))));
+      return true;
+    case GateKind::Rz:
+      state_.apply_diag(q[0], std::exp(-kImag * (instr.angle() / 2.0)),
+                        std::exp(kImag * (instr.angle() / 2.0)));
+      return true;
+    case GateKind::CNOT:
+      state_.apply_cnot(q[0], q[1]);
+      return true;
+    case GateKind::CZ:
+      state_.apply_cphase(q[0], q[1], cplx(-1.0, 0.0));
+      return true;
+    case GateKind::Swap:
+      state_.apply_swap(q[0], q[1]);
+      return true;
+    case GateKind::CR:
+      state_.apply_cphase(q[0], q[1], std::exp(kImag * instr.angle()));
+      return true;
+    case GateKind::CRK: {
+      if (instr.param_k() < 0) return false;  // generic path raises the error
+      const double phi =
+          2.0 * kPi / static_cast<double>(1LL << instr.param_k());
+      state_.apply_cphase(q[0], q[1], std::exp(kImag * phi));
+      return true;
+    }
+    case GateKind::RZZ:
+      state_.apply_zz_phase(q[0], q[1],
+                            std::exp(-kImag * (instr.angle() / 2.0)),
+                            std::exp(kImag * (instr.angle() / 2.0)));
+      return true;
+    default:
+      return false;
+  }
+}
+
 void Simulator::apply_unitary(const qasm::Instruction& instr) {
   using qasm::GateKind;
   const auto& q = instr.qubits();
-  switch (instr.kind()) {
-    case GateKind::CNOT:
-      state_.apply_controlled_1q(pauli_x(), {q[0]}, q[1]);
-      break;
-    case GateKind::CZ:
-      state_.apply_controlled_1q(pauli_z(), {q[0]}, q[1]);
-      break;
-    case GateKind::Swap:
-      state_.apply_swap(q[0], q[1]);
-      break;
-    case GateKind::Toffoli:
-      state_.apply_controlled_1q(pauli_x(), {q[0], q[1]}, q[2]);
-      break;
-    case GateKind::CR:
-    case GateKind::CRK:
-    case GateKind::RZZ:
-      state_.apply_2q(
-          gate_matrix_2q(instr.kind(), instr.angle(), instr.param_k()), q[0],
-          q[1]);
-      break;
-    default:
-      state_.apply_1q(gate_matrix_1q(instr.kind(), instr.angle()), q[0]);
-      break;
+  if (!options_.fused_kernels || !apply_fused(instr)) {
+    switch (instr.kind()) {
+      case GateKind::CNOT:
+        state_.apply_controlled_1q(pauli_x(), {q[0]}, q[1]);
+        break;
+      case GateKind::CZ:
+        state_.apply_controlled_1q(pauli_z(), {q[0]}, q[1]);
+        break;
+      case GateKind::Swap:
+        state_.apply_2q(gate_matrix_2q(GateKind::Swap), q[0], q[1]);
+        break;
+      case GateKind::Toffoli:
+        state_.apply_controlled_1q(pauli_x(), {q[0], q[1]}, q[2]);
+        break;
+      case GateKind::CR:
+      case GateKind::CRK:
+      case GateKind::RZZ:
+        state_.apply_2q(
+            gate_matrix_2q(instr.kind(), instr.angle(), instr.param_k()),
+            q[0], q[1]);
+        break;
+      default:
+        state_.apply_1q(gate_matrix_1q(instr.kind(), instr.angle()), q[0]);
+        break;
+    }
   }
   ++gates_executed_;
   errors_->after_gate(state_, q, durations_.of(instr), rng_);
@@ -120,9 +207,18 @@ bool Simulator::execute(const qasm::Instruction& instr) {
     }
     case GateKind::Barrier:
       return true;  // no simulation semantics
-    case GateKind::Wait:
-      errors_->idle(state_, instr.qubits(), durations_.of(instr), rng_);
+    case GateKind::Wait: {
+      // A bare `wait n` (no qubit operands — legal cQASM) idles the whole
+      // register; listing qubits restricts the idle to those.
+      if (instr.qubits().empty()) {
+        std::vector<QubitIndex> all(state_.qubit_count());
+        std::iota(all.begin(), all.end(), QubitIndex{0});
+        errors_->idle(state_, all, durations_.of(instr), rng_);
+      } else {
+        errors_->idle(state_, instr.qubits(), durations_.of(instr), rng_);
+      }
       return true;
+    }
     default:
       apply_unitary(instr);
       return true;
@@ -139,15 +235,22 @@ std::vector<int> Simulator::run_once(const qasm::Program& program) {
 }
 
 RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
+  program.validate();
+  if (program.qubit_count() > state_.qubit_count())
+    throw std::invalid_argument(
+        "Simulator: program needs more qubits than the simulator has");
+  // Flatten once and reuse the histogram key buffer: both used to be
+  // rebuilt per shot, dominating the cost of short circuits.
+  const std::vector<qasm::Instruction> flat = program.flatten();
   RunResult result;
   result.shots = shots;
   const std::size_t gates_before = gates_executed_;
+  std::string key(bits_.size(), '0');
   for (std::size_t s = 0; s < shots; ++s) {
     reset();
-    const std::vector<int> bits = run_once(program);
-    std::string key(bits.size(), '0');
-    for (std::size_t i = 0; i < bits.size(); ++i)
-      key[i] = bits[i] ? '1' : '0';
+    for (const auto& instr : flat) execute(instr);
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+      key[i] = bits_[i] ? '1' : '0';
     result.histogram.add(key);
   }
   result.total_gates = gates_executed_ - gates_before;

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "qasm/program.h"
 #include "sim/error_model.h"
 #include "sim/statevector.h"
@@ -29,6 +30,27 @@ struct GateDurations {
   NanoSec of(const qasm::Instruction& instr) const;
 };
 
+/// Kernel-execution knobs. Results are bit-identical for a fixed seed
+/// whatever the thread count (see docs/simulator.md for the contract);
+/// fused kernels are numerically equivalent to the generic matrix path.
+struct SimOptions {
+  /// Kernel threads for the state-vector hot loops. 0 resolves through the
+  /// QS_SIM_THREADS environment variable, defaulting to 1 (sequential).
+  std::size_t threads = 0;
+
+  /// Specialized fast-path kernels for X/Y/Z/S/T/phase/RZ/CNOT/CZ/SWAP/RZZ
+  /// (diagonals and permutations skip the generic 2x2/4x4 multiply).
+  bool fused_kernels = true;
+
+  /// States below this qubit count always run kernels sequentially; the
+  /// fork-join overhead dominates the arithmetic there.
+  std::size_t min_parallel_qubits = 14;
+};
+
+/// Resolves a requested kernel-thread count: `requested` if non-zero, else
+/// the QS_SIM_THREADS environment variable, else 1. Clamped to [1, 64].
+std::size_t resolve_sim_threads(std::size_t requested);
+
 /// Result of a multi-shot run.
 struct RunResult {
   Histogram histogram;          ///< full-register bitstrings, q[0] leftmost
@@ -39,14 +61,18 @@ struct RunResult {
 class Simulator {
  public:
   /// Creates a simulator over `qubit_count` qubits with the given qubit
-  /// quality model and RNG seed.
+  /// quality model, RNG seed and kernel options.
   explicit Simulator(std::size_t qubit_count,
                      QubitModel model = QubitModel::perfect(),
                      std::uint64_t seed = 1,
-                     GateDurations durations = GateDurations{});
+                     GateDurations durations = GateDurations{},
+                     SimOptions options = SimOptions{});
 
   std::size_t qubit_count() const { return state_.qubit_count(); }
   const QubitModel& qubit_model() const { return model_; }
+
+  /// Effective kernel options (threads resolved; see resolve_sim_threads).
+  const SimOptions& options() const { return options_; }
 
   /// Resets state and classical bits to all-zero.
   void reset();
@@ -60,7 +86,8 @@ class Simulator {
   std::vector<int> run_once(const qasm::Program& program);
 
   /// Runs `shots` independent trajectories; collects full-register
-  /// bitstrings (q[0] leftmost). Resets state before each shot.
+  /// bitstrings (q[0] leftmost). Resets state before each shot. The
+  /// program is flattened once, not per shot.
   RunResult run(const qasm::Program& program, std::size_t shots);
 
   /// Live state access (inspection after run_once; tests and QAOA use it).
@@ -77,6 +104,7 @@ class Simulator {
 
  private:
   void apply_unitary(const qasm::Instruction& instr);
+  bool apply_fused(const qasm::Instruction& instr);
 
   StateVector state_;
   QubitModel model_;
@@ -85,6 +113,8 @@ class Simulator {
   Rng rng_;
   std::vector<int> bits_;
   std::size_t gates_executed_ = 0;
+  SimOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< kernel threads (threads > 1 only)
 };
 
 }  // namespace qs::sim

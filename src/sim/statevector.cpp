@@ -5,6 +5,32 @@
 
 namespace qs::sim {
 
+namespace {
+
+// Fixed reduction granularity: 2^16 amplitudes per chunk. Chunk boundaries
+// depend only on the state size — never on the thread count — so partial
+// sums combine in the same order however the chunks are scheduled. States
+// up to 16 qubits are a single chunk, i.e. a plain left-to-right sum.
+constexpr StateIndex kReduceChunkBits = 16;
+
+/// Index of the pair member with bit q clear, for pair number p.
+inline StateIndex pair_index(StateIndex p, QubitIndex q, StateIndex stride) {
+  return ((p >> q) << (q + 1)) | (p & (stride - 1));
+}
+
+/// Inserts a zero bit at position b (shifting higher bits up).
+inline StateIndex insert_zero(StateIndex x, QubitIndex b) {
+  const StateIndex low = (StateIndex{1} << b) - 1;
+  return ((x >> b) << (b + 1)) | (x & low);
+}
+
+/// Index with bits a and b both clear, for quarter-space number t.
+inline StateIndex quad_index(StateIndex t, QubitIndex lo, QubitIndex hi) {
+  return insert_zero(insert_zero(t, lo), hi);
+}
+
+}  // namespace
+
 StateVector::StateVector(std::size_t qubit_count) : n_(qubit_count) {
   if (qubit_count == 0)
     throw std::invalid_argument("StateVector: need at least one qubit");
@@ -28,23 +54,61 @@ void StateVector::check_qubit(QubitIndex q) const {
                             " out of range (n=" + std::to_string(n_) + ")");
 }
 
+void StateVector::for_slices(
+    StateIndex count,
+    const std::function<void(StateIndex, StateIndex)>& body) const {
+  if (!parallel_active()) {
+    body(0, count);
+    return;
+  }
+  ThreadPool& pool = *policy_.pool;
+  const std::size_t slices = pool.size();
+  pool.run_chunks(slices, [&](std::size_t s) {
+    std::size_t lo = 0, hi = 0;
+    ThreadPool::slice(0, count, slices, s, &lo, &hi);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+double StateVector::reduce_chunks(
+    StateIndex count,
+    const std::function<double(StateIndex, StateIndex)>& chunk_sum) const {
+  const StateIndex chunk = StateIndex{1} << kReduceChunkBits;
+  if (count <= chunk) return chunk_sum(0, count);
+  const std::size_t chunks =
+      static_cast<std::size_t>((count + chunk - 1) >> kReduceChunkBits);
+  std::vector<double> partial(chunks, 0.0);
+  auto run_chunk = [&](std::size_t c) {
+    const StateIndex lo = static_cast<StateIndex>(c) << kReduceChunkBits;
+    const StateIndex hi = std::min(count, lo + chunk);
+    partial[c] = chunk_sum(lo, hi);
+  };
+  if (parallel_active()) {
+    policy_.pool->run_chunks(chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+  }
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
 void StateVector::apply_1q(const Matrix& u, QubitIndex q) {
   check_qubit(q);
   if (u.rows() != 2 || u.cols() != 2)
     throw std::invalid_argument("apply_1q: matrix must be 2x2");
   const StateIndex stride = StateIndex{1} << q;
-  const StateIndex dim = amps_.size();
   const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for (StateIndex base = 0; base < dim; base += stride * 2) {
-    for (StateIndex off = 0; off < stride; ++off) {
-      const StateIndex i0 = base + off;
-      const StateIndex i1 = i0 + stride;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i0 = pair_index(p, q, stride);
+      const StateIndex i1 = i0 | stride;
       const cplx a0 = amps_[i0];
       const cplx a1 = amps_[i1];
       amps_[i0] = u00 * a0 + u01 * a1;
       amps_[i1] = u10 * a0 + u11 * a1;
     }
-  }
+  });
 }
 
 void StateVector::apply_controlled_1q(const Matrix& u,
@@ -62,19 +126,18 @@ void StateVector::apply_controlled_1q(const Matrix& u,
     control_mask |= StateIndex{1} << c;
   }
   const StateIndex stride = StateIndex{1} << target;
-  const StateIndex dim = amps_.size();
   const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for (StateIndex base = 0; base < dim; base += stride * 2) {
-    for (StateIndex off = 0; off < stride; ++off) {
-      const StateIndex i0 = base + off;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i0 = pair_index(p, target, stride);
       if ((i0 & control_mask) != control_mask) continue;
-      const StateIndex i1 = i0 + stride;
+      const StateIndex i1 = i0 | stride;
       const cplx a0 = amps_[i0];
       const cplx a1 = amps_[i1];
       amps_[i0] = u00 * a0 + u01 * a1;
       amps_[i1] = u10 * a0 + u11 * a1;
     }
-  }
+  });
 }
 
 void StateVector::apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0) {
@@ -86,23 +149,141 @@ void StateVector::apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0) {
     throw std::invalid_argument("apply_2q: matrix must be 4x4");
   const StateIndex m1 = StateIndex{1} << q1;
   const StateIndex m0 = StateIndex{1} << q0;
-  const StateIndex dim = amps_.size();
-  for (StateIndex i = 0; i < dim; ++i) {
-    // Visit each 4-amplitude block once, from its (q1=0, q0=0) member.
-    if ((i & m1) || (i & m0)) continue;
-    const StateIndex i00 = i;
-    const StateIndex i01 = i | m0;
-    const StateIndex i10 = i | m1;
-    const StateIndex i11 = i | m1 | m0;
-    const cplx a00 = amps_[i00];
-    const cplx a01 = amps_[i01];
-    const cplx a10 = amps_[i10];
-    const cplx a11 = amps_[i11];
-    amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
-    amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
-    amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
-    amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
-  }
+  const QubitIndex blo = q1 < q0 ? q1 : q0;
+  const QubitIndex bhi = q1 < q0 ? q0 : q1;
+  cplx m[4][4];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) m[r][c] = u(r, c);
+  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex t = lo; t < hi; ++t) {
+      const StateIndex i00 = quad_index(t, blo, bhi);
+      const StateIndex i01 = i00 | m0;
+      const StateIndex i10 = i00 | m1;
+      const StateIndex i11 = i00 | m1 | m0;
+      const cplx a00 = amps_[i00];
+      const cplx a01 = amps_[i01];
+      const cplx a10 = amps_[i10];
+      const cplx a11 = amps_[i11];
+      amps_[i00] = m[0][0] * a00 + m[0][1] * a01 + m[0][2] * a10 + m[0][3] * a11;
+      amps_[i01] = m[1][0] * a00 + m[1][1] * a01 + m[1][2] * a10 + m[1][3] * a11;
+      amps_[i10] = m[2][0] * a00 + m[2][1] * a01 + m[2][2] * a10 + m[2][3] * a11;
+      amps_[i11] = m[3][0] * a00 + m[3][1] * a01 + m[3][2] * a10 + m[3][3] * a11;
+    }
+  });
+}
+
+void StateVector::apply_x(QubitIndex q) {
+  check_qubit(q);
+  const StateIndex stride = StateIndex{1} << q;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i0 = pair_index(p, q, stride);
+      std::swap(amps_[i0], amps_[i0 | stride]);
+    }
+  });
+}
+
+void StateVector::apply_y(QubitIndex q) {
+  check_qubit(q);
+  const StateIndex stride = StateIndex{1} << q;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i0 = pair_index(p, q, stride);
+      const StateIndex i1 = i0 | stride;
+      const cplx a0 = amps_[i0];
+      const cplx a1 = amps_[i1];
+      amps_[i0] = cplx(a1.imag(), -a1.real());   // -i * a1
+      amps_[i1] = cplx(-a0.imag(), a0.real());   //  i * a0
+    }
+  });
+}
+
+void StateVector::apply_z(QubitIndex q) {
+  check_qubit(q);
+  const StateIndex stride = StateIndex{1} << q;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i1 = pair_index(p, q, stride) | stride;
+      amps_[i1] = -amps_[i1];
+    }
+  });
+}
+
+void StateVector::apply_phase(QubitIndex q, cplx phase) {
+  check_qubit(q);
+  const StateIndex stride = StateIndex{1} << q;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i1 = pair_index(p, q, stride) | stride;
+      amps_[i1] = phase * amps_[i1];
+    }
+  });
+}
+
+void StateVector::apply_diag(QubitIndex q, cplx d0, cplx d1) {
+  check_qubit(q);
+  const StateIndex stride = StateIndex{1} << q;
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex p = lo; p < hi; ++p) {
+      const StateIndex i0 = pair_index(p, q, stride);
+      const StateIndex i1 = i0 | stride;
+      amps_[i0] = d0 * amps_[i0];
+      amps_[i1] = d1 * amps_[i1];
+    }
+  });
+}
+
+void StateVector::apply_cnot(QubitIndex control, QubitIndex target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target)
+    throw std::invalid_argument("apply_cnot: identical operands");
+  const StateIndex mc = StateIndex{1} << control;
+  const StateIndex mt = StateIndex{1} << target;
+  const QubitIndex blo = control < target ? control : target;
+  const QubitIndex bhi = control < target ? target : control;
+  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex t = lo; t < hi; ++t) {
+      const StateIndex i0 = quad_index(t, blo, bhi) | mc;  // control=1, target=0
+      std::swap(amps_[i0], amps_[i0 | mt]);
+    }
+  });
+}
+
+void StateVector::apply_cphase(QubitIndex a, QubitIndex b, cplx phase) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) throw std::invalid_argument("apply_cphase: identical operands");
+  const StateIndex both = (StateIndex{1} << a) | (StateIndex{1} << b);
+  const QubitIndex blo = a < b ? a : b;
+  const QubitIndex bhi = a < b ? b : a;
+  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex t = lo; t < hi; ++t) {
+      const StateIndex i11 = quad_index(t, blo, bhi) | both;
+      amps_[i11] = phase * amps_[i11];
+    }
+  });
+}
+
+void StateVector::apply_zz_phase(QubitIndex a, QubitIndex b, cplx same,
+                                 cplx diff) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b)
+    throw std::invalid_argument("apply_zz_phase: identical operands");
+  const StateIndex ma = StateIndex{1} << a;
+  const StateIndex mb = StateIndex{1} << b;
+  const QubitIndex blo = a < b ? a : b;
+  const QubitIndex bhi = a < b ? b : a;
+  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex t = lo; t < hi; ++t) {
+      const StateIndex i00 = quad_index(t, blo, bhi);
+      amps_[i00] = same * amps_[i00];
+      amps_[i00 | ma] = diff * amps_[i00 | ma];
+      amps_[i00 | mb] = diff * amps_[i00 | mb];
+      amps_[i00 | ma | mb] = same * amps_[i00 | ma | mb];
+    }
+  });
 }
 
 void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
@@ -111,44 +292,61 @@ void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
   if (a == b) throw std::invalid_argument("apply_swap: identical operands");
   const StateIndex ma = StateIndex{1} << a;
   const StateIndex mb = StateIndex{1} << b;
-  const StateIndex dim = amps_.size();
-  for (StateIndex i = 0; i < dim; ++i) {
-    // Swap amplitudes between (a=1,b=0) and (a=0,b=1) once per pair.
-    if ((i & ma) && !(i & mb)) {
-      const StateIndex j = (i & ~ma) | mb;
-      std::swap(amps_[i], amps_[j]);
+  const QubitIndex blo = a < b ? a : b;
+  const QubitIndex bhi = a < b ? b : a;
+  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex t = lo; t < hi; ++t) {
+      // Swap (a=1, b=0) with (a=0, b=1) once per 4-amplitude block.
+      const StateIndex i00 = quad_index(t, blo, bhi);
+      std::swap(amps_[i00 | ma], amps_[i00 | mb]);
     }
-  }
+  });
 }
 
 double StateVector::prob_one(QubitIndex q) const {
   check_qubit(q);
-  const StateIndex mask = StateIndex{1} << q;
-  double p = 0.0;
-  for (StateIndex i = 0; i < amps_.size(); ++i)
-    if (i & mask) p += std::norm(amps_[i]);
-  return p;
+  const StateIndex stride = StateIndex{1} << q;
+  // Block kernel over the bit-set half: no per-index bit test. Pair p
+  // visits basis states in increasing index order, so a single-chunk
+  // reduction equals the naive masked sum exactly.
+  return reduce_chunks(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    double s = 0.0;
+    for (StateIndex p = lo; p < hi; ++p)
+      s += std::norm(amps_[pair_index(p, q, stride) | stride]);
+    return s;
+  });
+}
+
+void StateVector::collapse(QubitIndex q, int outcome, double keep_prob) {
+  const StateIndex stride = StateIndex{1} << q;
+  const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  // Fused sweep: one pass rescales the kept half and zeroes the other.
+  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
+    if (outcome) {
+      for (StateIndex p = lo; p < hi; ++p) {
+        const StateIndex i0 = pair_index(p, q, stride);
+        amps_[i0] = cplx(0.0, 0.0);
+        amps_[i0 | stride] *= scale;
+      }
+    } else {
+      for (StateIndex p = lo; p < hi; ++p) {
+        const StateIndex i0 = pair_index(p, q, stride);
+        amps_[i0] *= scale;
+        amps_[i0 | stride] = cplx(0.0, 0.0);
+      }
+    }
+  });
 }
 
 int StateVector::measure(QubitIndex q, Rng& rng) {
   const double p1 = prob_one(q);
   const int outcome = rng.uniform() < p1 ? 1 : 0;
-  const StateIndex mask = StateIndex{1} << q;
-  const double keep_prob = outcome ? p1 : 1.0 - p1;
-  const double scale =
-      keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
-  for (StateIndex i = 0; i < amps_.size(); ++i) {
-    const bool bit = (i & mask) != 0;
-    if (bit == static_cast<bool>(outcome))
-      amps_[i] *= scale;
-    else
-      amps_[i] = cplx(0.0, 0.0);
-  }
+  collapse(q, outcome, outcome ? p1 : 1.0 - p1);
   return outcome;
 }
 
 void StateVector::prep_z(QubitIndex q, Rng& rng) {
-  if (measure(q, rng) == 1) apply_1q(Matrix{{0, 1}, {1, 0}}, q);
+  if (measure(q, rng) == 1) apply_x(q);
 }
 
 std::vector<int> StateVector::measure_all(Rng& rng) {
@@ -158,12 +356,19 @@ std::vector<int> StateVector::measure_all(Rng& rng) {
 }
 
 StateIndex StateVector::sample(Rng& rng) const {
-  double r = rng.uniform();
+  // Scale the draw by the total norm: after stochastic error channels the
+  // state can drift below unit norm, and an unscaled draw would bias the
+  // fallback toward the last basis state.
+  const double total = norm();
+  double r = rng.uniform() * total;
+  StateIndex last_occupied = 0;
   for (StateIndex i = 0; i < amps_.size(); ++i) {
-    r -= std::norm(amps_[i]);
+    const double w = std::norm(amps_[i]);
+    if (w > 0.0) last_occupied = i;
+    r -= w;
     if (r < 0.0) return i;
   }
-  return amps_.size() - 1;
+  return last_occupied;
 }
 
 double StateVector::expectation_z(QubitIndex q) const {
@@ -181,9 +386,11 @@ double StateVector::expectation_diagonal(
 }
 
 double StateVector::norm() const {
-  double s = 0.0;
-  for (const cplx& a : amps_) s += std::norm(a);
-  return s;
+  return reduce_chunks(amps_.size(), [&](StateIndex lo, StateIndex hi) {
+    double s = 0.0;
+    for (StateIndex i = lo; i < hi; ++i) s += std::norm(amps_[i]);
+    return s;
+  });
 }
 
 void StateVector::normalize() {
@@ -191,7 +398,9 @@ void StateVector::normalize() {
   if (n <= 0.0)
     throw std::runtime_error("StateVector::normalize: zero state");
   const double scale = 1.0 / std::sqrt(n);
-  for (cplx& a : amps_) a *= scale;
+  for_slices(amps_.size(), [&](StateIndex lo, StateIndex hi) {
+    for (StateIndex i = lo; i < hi; ++i) amps_[i] *= scale;
+  });
 }
 
 double StateVector::fidelity(const StateVector& other) const {

@@ -2,6 +2,12 @@
 // simulator (paper Section 2.7). Qubit 0 is the least significant bit of
 // the basis-state index; bitstrings render with q[0] as the leftmost
 // character (cQASM display convention).
+//
+// Kernel layer: every hot operation is written as a partitionable kernel
+// over the amplitude array. With a KernelPolicy attached (thread pool +
+// size threshold) the partitions run on pool threads; the per-amplitude
+// arithmetic and — for reductions — the combination order are identical in
+// both modes, so results are bit-identical for any thread count.
 #pragma once
 
 #include <functional>
@@ -10,9 +16,19 @@
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace qs::sim {
+
+/// How StateVector kernels execute. The pool is borrowed, not owned
+/// (typically the owning Simulator's); nullptr means sequential. States
+/// below `min_parallel_qubits` always run sequentially — fork-join
+/// overhead beats the arithmetic there.
+struct KernelPolicy {
+  ThreadPool* pool = nullptr;
+  std::size_t min_parallel_qubits = 14;
+};
 
 class StateVector {
  public:
@@ -27,6 +43,11 @@ class StateVector {
 
   /// Resets to |0...0>.
   void reset();
+
+  /// Attaches (or detaches, with pool = nullptr) the execution policy.
+  /// Copies the struct; the pool pointer must outlive this StateVector.
+  void set_kernel_policy(KernelPolicy policy) { policy_ = policy; }
+  const KernelPolicy& kernel_policy() const { return policy_; }
 
   const cplx& amplitude(StateIndex basis) const { return amps_[basis]; }
   void set_amplitude(StateIndex basis, cplx value) { amps_[basis] = value; }
@@ -43,6 +64,38 @@ class StateVector {
   /// significant bit of the matrix ordering.
   void apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0);
 
+  // ---- Fused fast-path kernels ------------------------------------------
+  // Specialized forms of the generic apply paths for the structured gates
+  // of the cQASM set: permutations and diagonals touch each amplitude once
+  // with no matrix fetch and no zero-term arithmetic. Each is numerically
+  // equivalent to the corresponding generic matrix application (identical
+  // doubles; only signs of exact zeros may differ).
+
+  /// Pauli X on q: swaps the two halves of every amplitude pair.
+  void apply_x(QubitIndex q);
+
+  /// Pauli Y on q: swap with +/-i phases.
+  void apply_y(QubitIndex q);
+
+  /// Pauli Z on q: negates amplitudes with bit q set.
+  void apply_z(QubitIndex q);
+
+  /// diag(1, phase) on q — S, Sdag, T, Tdag, and any phase gate.
+  void apply_phase(QubitIndex q, cplx phase);
+
+  /// diag(d0, d1) on q — RZ and friends.
+  void apply_diag(QubitIndex q, cplx d0, cplx d1);
+
+  /// CNOT: swaps target pairs inside the control=1 subspace.
+  void apply_cnot(QubitIndex control, QubitIndex target);
+
+  /// Controlled phase on |11>: CZ (phase = -1), CR, CRK.
+  void apply_cphase(QubitIndex a, QubitIndex b, cplx phase);
+
+  /// exp(-i theta/2 Z(x)Z) as diagonal phases by ZZ parity: `same` on
+  /// |00>/|11>, `diff` on |01>/|10>.
+  void apply_zz_phase(QubitIndex a, QubitIndex b, cplx same, cplx diff);
+
   /// Swap without matrix arithmetic (pure amplitude permutation).
   void apply_swap(QubitIndex a, QubitIndex b);
 
@@ -50,6 +103,8 @@ class StateVector {
   double prob_one(QubitIndex q) const;
 
   /// Projective Z measurement with collapse; returns the outcome bit.
+  /// Probability and collapse both run as fused block kernels (no
+  /// per-index bit tests).
   int measure(QubitIndex q, Rng& rng);
 
   /// Forces qubit q into |0> (projective preparation: measure + conditional X).
@@ -58,7 +113,9 @@ class StateVector {
   /// Measures every qubit (in index order) with collapse.
   std::vector<int> measure_all(Rng& rng);
 
-  /// Samples a basis state from |amp|^2 without collapsing.
+  /// Samples a basis state from |amp|^2 without collapsing. Weights are
+  /// normalized by the total norm, so a sub-unit state (e.g. after
+  /// stochastic error channels) does not bias the tail.
   StateIndex sample(Rng& rng) const;
 
   /// <Z_q> expectation.
@@ -86,8 +143,32 @@ class StateVector {
  private:
   void check_qubit(QubitIndex q) const;
 
+  /// True when kernels should fork onto the pool for this state size.
+  bool parallel_active() const {
+    return policy_.pool != nullptr && policy_.pool->size() > 1 &&
+           n_ >= policy_.min_parallel_qubits;
+  }
+
+  /// Runs body(lo, hi) over a disjoint partition of [0, count): one slice
+  /// per pool lane when parallel, a single slice otherwise. For kernels
+  /// with independent per-element writes only.
+  void for_slices(StateIndex count,
+                  const std::function<void(StateIndex, StateIndex)>& body) const;
+
+  /// Deterministic reduction: [0, count) in fixed-size chunks (independent
+  /// of thread count), per-chunk sums sequential, partials combined in
+  /// chunk order. Bit-identical for any pool size.
+  double reduce_chunks(
+      StateIndex count,
+      const std::function<double(StateIndex, StateIndex)>& chunk_sum) const;
+
+  /// Zeroes the discarded half and rescales the kept half after measuring
+  /// `outcome` on qubit q.
+  void collapse(QubitIndex q, int outcome, double keep_prob);
+
   std::size_t n_;
   std::vector<cplx> amps_;
+  KernelPolicy policy_;
 };
 
 }  // namespace qs::sim

@@ -1,0 +1,368 @@
+// Kernel-layer tests: the fork-join thread pool, the fused fast-path
+// gate kernels, and the bit-identity contract — scalar, fused and
+// threaded execution must produce byte-identical amplitudes and identical
+// measurement streams for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+#include "sim/statevector.h"
+
+namespace qs::sim {
+namespace {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+// ---------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, SliceCoversRangeDisjointly) {
+  for (std::size_t count : {0u, 1u, 7u, 64u, 1000u}) {
+    for (std::size_t slices : {1u, 2u, 3u, 4u, 7u}) {
+      std::size_t covered = 0;
+      std::size_t prev_hi = 0;
+      for (std::size_t s = 0; s < slices; ++s) {
+        std::size_t lo = 0, hi = 0;
+        ThreadPool::slice(0, count, slices, s, &lo, &hi);
+        EXPECT_EQ(lo, prev_hi);  // contiguous, in order, no overlap
+        EXPECT_LE(hi, count);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, count);
+      EXPECT_EQ(prev_hi, count);
+    }
+  }
+}
+
+TEST(ThreadPool, SliceIsIndependentOfPoolSize) {
+  // The partition is a pure function of (range, slices, index) — this is
+  // what makes elementwise kernels thread-count invariant.
+  std::size_t lo1 = 0, hi1 = 0, lo2 = 0, hi2 = 0;
+  ThreadPool::slice(0, 1 << 20, 4, 2, &lo1, &hi1);
+  ThreadPool::slice(0, 1 << 20, 4, 2, &lo2, &hi2);
+  EXPECT_EQ(lo1, lo2);
+  EXPECT_EQ(hi1, hi2);
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads == 0 ? 1u : threads);
+    for (std::size_t chunks : {1u, 2u, 5u, 32u, 257u}) {
+      std::vector<std::atomic<int>> hits(chunks);
+      for (auto& h : hits) h.store(0);
+      pool.run_chunks(chunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+      for (std::size_t c = 0; c < chunks; ++c)
+        EXPECT_EQ(hits[c].load(), 1) << "chunk " << c;
+    }
+  }
+}
+
+TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.run_chunks(8, [&](std::size_t c) { sum.fetch_add(c + 1); });
+    EXPECT_EQ(sum.load(), 36u);
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersAreSerialized) {
+  // Two external threads sharing one pool: each call must still run every
+  // chunk exactly once (job_mutex_ serializes the fork-join epochs).
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  auto hammer = [&] {
+    for (int i = 0; i < 100; ++i)
+      pool.run_chunks(5, [&](std::size_t) { total.fetch_add(1); });
+  };
+  std::thread a(hammer), b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2u * 100u * 5u);
+}
+
+TEST(SimOptions, ResolveThreads) {
+  // Explicit request wins and clamps to [1, 64].
+  EXPECT_EQ(resolve_sim_threads(3), 3u);
+  EXPECT_EQ(resolve_sim_threads(1000), 64u);
+#ifndef _WIN32
+  ::setenv("QS_SIM_THREADS", "5", 1);
+  EXPECT_EQ(resolve_sim_threads(0), 5u);
+  EXPECT_EQ(resolve_sim_threads(2), 2u);  // explicit beats environment
+  ::setenv("QS_SIM_THREADS", "garbage", 1);
+  EXPECT_EQ(resolve_sim_threads(0), 1u);
+  ::unsetenv("QS_SIM_THREADS");
+#endif
+  EXPECT_EQ(resolve_sim_threads(0), 1u);
+}
+
+// ------------------------------------------------- Fused kernel algebra ----
+
+/// Fills a state with a deterministic pseudo-random unit vector.
+StateVector random_state(std::size_t qubits, std::uint64_t seed) {
+  StateVector s(qubits);
+  Rng rng(seed);
+  for (StateIndex i = 0; i < s.dimension(); ++i)
+    s.set_amplitude(i, cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+  s.normalize();
+  return s;
+}
+
+void expect_states_equal(const StateVector& a, const StateVector& b,
+                         double tol = 0.0) {
+  ASSERT_EQ(a.dimension(), b.dimension());
+  for (StateIndex i = 0; i < a.dimension(); ++i) {
+    const cplx da = a.amplitude(i), db = b.amplitude(i);
+    if (tol == 0.0) {
+      EXPECT_EQ(da.real(), db.real()) << "re idx " << i;
+      EXPECT_EQ(da.imag(), db.imag()) << "im idx " << i;
+    } else {
+      EXPECT_NEAR(da.real(), db.real(), tol) << "re idx " << i;
+      EXPECT_NEAR(da.imag(), db.imag(), tol) << "im idx " << i;
+    }
+  }
+}
+
+TEST(FusedKernels, MatchGenericSingleQubit) {
+  const cplx kI(0.0, 1.0);
+  for (std::size_t q = 0; q < 5; ++q) {
+    StateVector fused = random_state(5, 11 + q);
+    StateVector generic = fused;
+
+    fused.apply_x(q);
+    generic.apply_1q(pauli_x(), q);
+    expect_states_equal(fused, generic);
+
+    fused.apply_y(q);
+    generic.apply_1q(pauli_y(), q);
+    expect_states_equal(fused, generic);
+
+    fused.apply_z(q);
+    generic.apply_1q(pauli_z(), q);
+    expect_states_equal(fused, generic);
+
+    fused.apply_phase(q, kI);  // S
+    generic.apply_1q(phase_s(), q);
+    expect_states_equal(fused, generic);
+
+    const double theta = 0.7 + static_cast<double>(q);
+    fused.apply_diag(q, std::exp(-kI * (theta / 2.0)),
+                     std::exp(kI * (theta / 2.0)));
+    generic.apply_1q(rz(theta), q);
+    expect_states_equal(fused, generic);
+  }
+}
+
+TEST(FusedKernels, MatchGenericTwoQubit) {
+  const cplx kI(0.0, 1.0);
+  const std::size_t n = 5;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      StateVector fused = random_state(n, 101 + a * n + b);
+      StateVector generic = fused;
+
+      fused.apply_cnot(a, b);
+      generic.apply_2q(gate_matrix_2q(GateKind::CNOT), a, b);
+      expect_states_equal(fused, generic);
+
+      fused.apply_cphase(a, b, cplx(-1.0, 0.0));
+      generic.apply_2q(gate_matrix_2q(GateKind::CZ), a, b);
+      expect_states_equal(fused, generic);
+
+      fused.apply_swap(a, b);
+      generic.apply_2q(gate_matrix_2q(GateKind::Swap), a, b);
+      expect_states_equal(fused, generic);
+
+      const double theta = 0.3 + static_cast<double>(a + b);
+      fused.apply_zz_phase(a, b, std::exp(-kI * (theta / 2.0)),
+                           std::exp(kI * (theta / 2.0)));
+      generic.apply_2q(gate_matrix_2q(GateKind::RZZ, theta), a, b);
+      expect_states_equal(fused, generic);
+    }
+  }
+}
+
+// -------------------------------------------- Randomized circuit streams ----
+
+/// Deterministic random circuit over the full fused-eligible gate set plus
+/// generic gates (H, Rx, Ry, Toffoli) so the state stays fully generic.
+/// Interleaves measurements so RNG-consuming paths are exercised too.
+std::vector<Instruction> random_circuit(std::size_t qubits, std::size_t ops,
+                                        std::uint64_t seed,
+                                        bool with_measure) {
+  Rng rng(seed);
+  std::vector<Instruction> out;
+  out.reserve(ops);
+  const std::vector<GateKind> one_q = {
+      GateKind::X,  GateKind::Y,    GateKind::Z, GateKind::H,
+      GateKind::S,  GateKind::Sdag, GateKind::T, GateKind::Tdag,
+      GateKind::Rx, GateKind::Ry,   GateKind::Rz};
+  const std::vector<GateKind> two_q = {GateKind::CNOT, GateKind::CZ,
+                                       GateKind::Swap, GateKind::CR,
+                                       GateKind::CRK,  GateKind::RZZ};
+  for (std::size_t i = 0; i < ops; ++i) {
+    const double pick = rng.uniform();
+    if (with_measure && pick < 0.05) {
+      out.emplace_back(GateKind::Measure,
+                       std::vector<QubitIndex>{static_cast<QubitIndex>(
+                           rng.uniform_int(qubits))});
+      continue;
+    }
+    if (pick < 0.55) {
+      const GateKind k = one_q[rng.uniform_int(one_q.size())];
+      const double angle = qasm::gate_has_angle(k)
+                               ? rng.uniform(-3.14159, 3.14159)
+                               : 0.0;
+      out.emplace_back(k,
+                       std::vector<QubitIndex>{static_cast<QubitIndex>(
+                           rng.uniform_int(qubits))},
+                       angle);
+    } else {
+      const GateKind k = two_q[rng.uniform_int(two_q.size())];
+      QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      QubitIndex b = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      const double angle = qasm::gate_has_angle(k)
+                               ? rng.uniform(-3.14159, 3.14159)
+                               : 0.0;
+      const std::int64_t param_k =
+          qasm::gate_has_int_param(k)
+              ? static_cast<std::int64_t>(1 + rng.uniform_int(4))
+              : 0;
+      out.emplace_back(k, std::vector<QubitIndex>{a, b}, angle, param_k);
+    }
+  }
+  return out;
+}
+
+/// Runs a circuit under the given options; returns the simulator for
+/// inspection (amplitudes, bits).
+Simulator run_circuit(const std::vector<Instruction>& circuit,
+                      std::size_t qubits, const SimOptions& options,
+                      std::vector<int>* measured = nullptr) {
+  Simulator sim(qubits, QubitModel::perfect(), /*seed=*/42, GateDurations{},
+                options);
+  for (const Instruction& instr : circuit) {
+    sim.execute(instr);
+    if (measured && instr.kind() == GateKind::Measure)
+      measured->push_back(sim.bits()[instr.qubits()[0]]);
+  }
+  return sim;
+}
+
+TEST(KernelEquivalence, FusedMatchesScalarAmplitudesExactly) {
+  const std::size_t qubits = 6;
+  for (std::uint64_t seed : {7u, 19u, 333u}) {
+    const auto circuit = random_circuit(qubits, 120, seed, false);
+    SimOptions scalar;
+    scalar.fused_kernels = false;
+    SimOptions fused;
+    fused.fused_kernels = true;
+
+    const Simulator a = run_circuit(circuit, qubits, scalar);
+    const Simulator b = run_circuit(circuit, qubits, fused);
+    expect_states_equal(a.state(), b.state());
+  }
+}
+
+TEST(KernelEquivalence, ThreadCountDoesNotChangeAmplitudes) {
+  const std::size_t qubits = 8;
+  const auto circuit = random_circuit(qubits, 150, 91, false);
+
+  SimOptions base;
+  base.threads = 1;
+  base.min_parallel_qubits = 0;  // force the parallel code path
+  const Simulator ref = run_circuit(circuit, qubits, base);
+
+  for (std::size_t threads : {2u, 3u, 4u}) {
+    SimOptions opt = base;
+    opt.threads = threads;
+    const Simulator got = run_circuit(circuit, qubits, opt);
+    expect_states_equal(ref.state(), got.state());
+  }
+}
+
+TEST(KernelEquivalence, MeasurementStreamsIdenticalAcrossConfigs) {
+  const std::size_t qubits = 6;
+  const auto circuit = random_circuit(qubits, 200, 55, true);
+
+  SimOptions scalar;
+  scalar.fused_kernels = false;
+  std::vector<int> ref_bits;
+  run_circuit(circuit, qubits, scalar, &ref_bits);
+  ASSERT_FALSE(ref_bits.empty());  // circuit must actually measure
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    SimOptions opt;
+    opt.fused_kernels = true;
+    opt.threads = threads;
+    opt.min_parallel_qubits = 0;
+    std::vector<int> bits;
+    run_circuit(circuit, qubits, opt, &bits);
+    EXPECT_EQ(ref_bits, bits) << "threads=" << threads;
+  }
+}
+
+TEST(KernelEquivalence, ReductionsExactAcrossThreadCounts) {
+  // prob_one and norm use fixed-size chunked reductions: the result must
+  // be the same double for any pool size, including above the chunk size.
+  const std::size_t qubits = 18;  // 2^18 amplitudes = 4 chunks of 2^16
+  StateVector ref = random_state(qubits, 2024);
+
+  std::vector<double> ref_probs(qubits);
+  for (std::size_t q = 0; q < qubits; ++q) ref_probs[q] = ref.prob_one(q);
+  const double ref_norm = ref.norm();
+
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    StateVector s = ref;
+    s.set_kernel_policy({&pool, 0});
+    for (std::size_t q = 0; q < qubits; ++q)
+      EXPECT_EQ(s.prob_one(q), ref_probs[q]) << "q=" << q
+                                             << " threads=" << threads;
+    EXPECT_EQ(s.norm(), ref_norm) << "threads=" << threads;
+  }
+}
+
+TEST(KernelEquivalence, NoisyHistogramIdenticalAcrossThreadCounts) {
+  // Full pipeline determinism: stochastic error channels consume RNG via
+  // probabilities computed by the (possibly threaded) reduction kernels.
+  const std::size_t qubits = 5;
+  qasm::Program program("noisy_determinism", qubits);
+  qasm::Circuit circuit("bell_chain");
+  circuit.add(Instruction(GateKind::H, {0}));
+  for (std::size_t q = 0; q + 1 < qubits; ++q)
+    circuit.add(Instruction(GateKind::CNOT,
+                            {static_cast<QubitIndex>(q),
+                             static_cast<QubitIndex>(q + 1)}));
+  circuit.add(Instruction(GateKind::MeasureAll, {}));
+  program.add_circuit(std::move(circuit));
+
+  QubitModel noisy = QubitModel::realistic(0.02, 0.05, 0.01);
+  Histogram ref;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    SimOptions opt;
+    opt.threads = threads;
+    opt.min_parallel_qubits = 0;
+    Simulator sim(qubits, noisy, /*seed=*/7, GateDurations{}, opt);
+    const RunResult r = sim.run(program, 300);
+    if (threads == 1)
+      ref = r.histogram;
+    else
+      EXPECT_EQ(ref.counts(), r.histogram.counts()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace qs::sim

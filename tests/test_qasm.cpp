@@ -70,7 +70,9 @@ TEST(Instruction, DuplicateOperandsRejected) {
 
 TEST(Instruction, WaitIsVariadic) {
   EXPECT_NO_THROW(Instruction(GateKind::Wait, {0, 1, 2}, 0.0, 5));
-  EXPECT_THROW(Instruction(GateKind::Wait, {}), std::invalid_argument);
+  // Bare `wait n` is legal cQASM: it idles the whole register.
+  EXPECT_NO_THROW(Instruction(GateKind::Wait, {}, 0.0, 5));
+  EXPECT_THROW(Instruction(GateKind::Barrier, {}), std::invalid_argument);
 }
 
 TEST(Instruction, ToStringForms) {

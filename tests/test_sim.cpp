@@ -440,6 +440,103 @@ measure q[0]
   EXPECT_LT(ones, 10);
 }
 
+TEST(Simulator, BareWaitIdlesAllQubits) {
+  // Regression: a bare `wait n` (no qubit operands) is legal cQASM and
+  // must idle the WHOLE register. Before the fix the instruction was
+  // rejected outright, so no decay was ever applied.
+  QubitModel m;
+  m.kind = QubitKind::Realistic;
+  m.t1_ns = 10000.0;
+  const qasm::Program p = qasm::Parser::parse(R"(
+qubits 3
+x q[0]
+x q[1]
+x q[2]
+wait 250
+measure_all
+)");
+  // 250 cycles * 20ns = 5000ns = T1/2: analytic survival exp(-0.5).
+  const double survival = std::exp(-0.5);
+  Simulator sim(3, m, 17);
+  const RunResult r = sim.run(p, 4000);
+  double ones[3] = {0.0, 0.0, 0.0};
+  for (const auto& [bits, count] : r.histogram.counts())
+    for (int q = 0; q < 3; ++q)
+      if (bits[static_cast<std::size_t>(q)] == '1')
+        ones[q] += static_cast<double>(count);
+  for (int q = 0; q < 3; ++q)
+    EXPECT_NEAR(ones[q] / 4000.0, survival, 0.04) << "q=" << q;
+}
+
+TEST(Simulator, BareWaitMatchesExplicitAllQubitWait) {
+  // Same seed, same model: `wait n` must behave exactly like listing
+  // every qubit explicitly.
+  QubitModel m;
+  m.kind = QubitKind::Realistic;
+  m.t1_ns = 2000.0;
+  m.t2_ns = 1500.0;
+  const qasm::Program bare = qasm::Parser::parse(R"(
+qubits 2
+h q[0]
+cnot q[0], q[1]
+wait 100
+measure_all
+)");
+  const qasm::Program expl = qasm::Parser::parse(R"(
+qubits 2
+h q[0]
+cnot q[0], q[1]
+wait q[0], q[1], 100
+measure_all
+)");
+  Simulator a(2, m, 23);
+  Simulator b(2, m, 23);
+  EXPECT_EQ(a.run(bare, 500).histogram.counts(),
+            b.run(expl, 500).histogram.counts());
+}
+
+TEST(StateVector, SampleNormalizesSubUnitState) {
+  // Regression: sample() must weight by |amp|^2 / norm. On a sub-unit
+  // state (as left behind by trajectory error channels) the old code
+  // compared the running sum against a [0,1) uniform, so most draws fell
+  // off the end and landed on the fallback (last occupied) basis state.
+  StateVector sv(1);
+  sv.set_amplitude(0, cplx(0.3, 0.0));
+  sv.set_amplitude(1, cplx(0.4, 0.0));  // norm^2 = 0.25, p1|norm = 0.64
+  Rng rng(29);
+  int ones = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) ones += (sv.sample(rng) & 1) ? 1 : 0;
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.64, 0.03);
+}
+
+TEST(Simulator, RunMatchesManuallyFlattenedProgram) {
+  // run() flattens the program once before the shot loop; semantics must
+  // match executing the expanded iteration stream.
+  qasm::Program iterated("iterated", 2);
+  qasm::Circuit loop("loop", /*iterations=*/3);
+  loop.add(Instruction(GateKind::H, {0}));
+  loop.add(Instruction(GateKind::CNOT, {0, 1}));
+  iterated.add_circuit(loop);
+  qasm::Circuit tail("tail");
+  tail.add(Instruction(GateKind::MeasureAll, {}));
+  iterated.add_circuit(tail);
+
+  qasm::Program expanded("expanded", 2);
+  qasm::Circuit body("body");
+  for (int i = 0; i < 3; ++i) {
+    body.add(Instruction(GateKind::H, {0}));
+    body.add(Instruction(GateKind::CNOT, {0, 1}));
+  }
+  body.add(Instruction(GateKind::MeasureAll, {}));
+  expanded.add_circuit(body);
+
+  Simulator a(2, QubitModel::perfect(), 31);
+  Simulator b(2, QubitModel::perfect(), 31);
+  EXPECT_EQ(a.run(iterated, 400).histogram.counts(),
+            b.run(expanded, 400).histogram.counts());
+}
+
 TEST(GateDurations, PerClassLookup) {
   GateDurations d;
   EXPECT_EQ(d.of(Instruction(GateKind::H, {0})), d.single_qubit);
