@@ -1,5 +1,6 @@
 // E11 — Execution-service throughput: jobs/sec and shots/sec vs. worker
-// count on a fixed kernel mix, cache-on vs. cache-off.
+// count on a fixed kernel mix, cache-on vs. cache-off, plus overload
+// shedding (try_submit rejection rate against a full queue).
 //
 // The paper's host/accelerator split (Figures 1/3/8) says nothing about
 // serving: this bench measures the layer that batches, schedules, caches
@@ -51,18 +52,20 @@ ConfigResult run_config(const std::vector<qasm::Program>& kernels,
   service::QuantumService svc(
       runtime::GateAccelerator(compiler::Platform::perfect(12)), opts);
 
-  std::vector<std::future<service::JobResult>> futures;
+  std::vector<service::JobHandle> handles;
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t j = 0; j < jobs; ++j) {
     // Fixed mix and fixed per-job seeds: every configuration runs the
     // byte-identical workload.
-    futures.push_back(svc.submit(service::JobRequest::gate(
+    handles.push_back(svc.submit(service::RunRequest::gate(
         kernels[j % kernels.size()], shots, /*seed=*/j + 1)));
   }
   ConfigResult r;
-  for (std::size_t j = 0; j < futures.size(); ++j) {
-    const service::JobResult jr = futures[j].get();
-    if (j == 0) r.first_histogram = jr.histogram.counts();
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const service::RunResult rr = handles[j].get();
+    if (!rr.ok())
+      std::printf("  !! job %zu failed: %s\n", j, rr.status.to_string().c_str());
+    if (j == 0) r.first_histogram = rr.histogram.counts();
   }
   const auto end = std::chrono::steady_clock::now();
 
@@ -92,18 +95,18 @@ ConfigResult run_threads_config(const qasm::Program& kernel,
   service::QuantumService svc(
       runtime::GateAccelerator(compiler::Platform::perfect(16)), opts);
 
-  std::vector<std::future<service::JobResult>> futures;
+  std::vector<service::JobHandle> handles;
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t j = 0; j < jobs; ++j) {
-    service::JobRequest req =
-        service::JobRequest::gate(kernel, shots, /*seed=*/j + 1);
+    service::RunRequest req =
+        service::RunRequest::gate(kernel, shots, /*seed=*/j + 1);
     req.sim_threads = sim_threads;
-    futures.push_back(svc.submit(std::move(req)));
+    handles.push_back(svc.submit(std::move(req)));
   }
   ConfigResult r;
-  for (std::size_t j = 0; j < futures.size(); ++j) {
-    const service::JobResult jr = futures[j].get();
-    if (j == 0) r.first_histogram = jr.histogram.counts();
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const service::RunResult rr = handles[j].get();
+    if (j == 0) r.first_histogram = rr.histogram.counts();
   }
   const auto end = std::chrono::steady_clock::now();
   r.workers = workers;
@@ -192,5 +195,56 @@ int main() {
   std::printf("(speedup from sim_threads appears on multi-core hosts; the "
               "clamp\n keeps workers x kernel-threads <= cores in "
               "production configs.)\n");
+
+  // ---- Overload shedding: try_submit burst against a tiny queue ---------
+  // An admission-controlled service rejects (kResourceExhausted) instead of
+  // buffering without bound. Burst 64 jobs into a capacity-8 queue behind a
+  // paused dispatcher and measure the rejection rate; every handle resolves
+  // either way, so the client sees a typed status, never a hang.
+  std::printf("\noverload burst (queue_capacity=8, dispatcher paused, 64 "
+              "try_submit):\n\n");
+  {
+    service::ServiceOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 8;
+    opts.shard_shots = 128;
+    opts.start_paused = true;
+    service::QuantumService svc(
+        runtime::GateAccelerator(compiler::Platform::perfect(12)), opts);
+
+    constexpr std::size_t kBurst = 64;
+    std::vector<service::JobHandle> burst;
+    for (std::size_t j = 0; j < kBurst; ++j)
+      burst.push_back(svc.try_submit(
+          service::RunRequest::gate(kernels[j % kernels.size()], shots,
+                                    /*seed=*/j + 1)));
+    svc.resume();
+
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    for (auto& h : burst) {
+      const service::RunResult r = h.get();
+      if (r.ok())
+        ++accepted;
+      else if (r.status.code() == qs::StatusCode::kResourceExhausted)
+        ++rejected;
+    }
+    const double rejection_rate =
+        static_cast<double>(rejected) / static_cast<double>(kBurst);
+    std::printf("accepted %zu, rejected %zu  ->  rejection rate %.1f%% "
+                "[expected ~87.5%%: 8 of 64 admitted]\n",
+                accepted, rejected, 100.0 * rejection_rate);
+    std::printf("metrics: qs_jobs_rejected_total=%llu "
+                "qs_jobs_completed_total=%llu\n",
+                static_cast<unsigned long long>(
+                    svc.metrics().counter("qs_jobs_rejected_total").value()),
+                static_cast<unsigned long long>(
+                    svc.metrics().counter("qs_jobs_completed_total").value()));
+    if (accepted + rejected != kBurst) {
+      std::printf("!! %zu jobs vanished without a terminal status\n",
+                  kBurst - accepted - rejected);
+      return 1;
+    }
+  }
   return (deterministic && t_deterministic) ? 0 : 1;
 }

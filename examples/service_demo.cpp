@@ -1,8 +1,11 @@
 // Serving quickstart: stand up a QuantumService over a gate accelerator
-// and an annealing device, submit a mixed batch of jobs with priorities,
-// and read back merged histograms plus the metrics snapshot.
+// and an annealing device, submit a mixed batch of RunRequests with
+// priorities, cancel one job, let another expire on its deadline, and read
+// back merged histograms plus the metrics snapshot. Every outcome arrives
+// as a typed qs::Status inside RunResult — nothing here throws.
 //
 // Build & run:   ./examples/service_demo   (from the build directory)
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -11,6 +14,26 @@
 #include "service/service.h"
 
 using namespace qs;
+using namespace std::chrono_literals;
+
+static void print_result(const service::RunResult& r) {
+  std::printf("job %llu (%s)%s: %s\n",
+              static_cast<unsigned long long>(r.job_id),
+              service::to_string(r.kind),
+              r.stats.compile_cache_hit ? " [cache hit]" : "",
+              r.status.to_string().c_str());
+  if (!r.ok()) return;
+  std::printf("  %zu shard(s), wait %.0fus, run %.0fus\n", r.stats.shards,
+              r.stats.queue_wait_us, r.stats.run_us);
+  if (r.kind == service::JobKind::Gate) {
+    for (const auto& [bits, n] : r.histogram.counts())
+      std::printf("  %s  x%zu\n", bits.c_str(), n);
+  } else {
+    std::printf("  best solution ");
+    for (int x : r.best_solution) std::printf("%d", x);
+    std::printf("  energy %.1f\n", r.best_energy);
+  }
+}
 
 int main() {
   // A 6-qubit GHZ kernel: the canonical "is the stack alive" program.
@@ -32,31 +55,30 @@ int main() {
       runtime::GateAccelerator(compiler::Platform::perfect(6)),
       runtime::AnnealAccelerator(/*capacity=*/16), opts);
 
-  // Submit a batch: repeated gate jobs (the second is a cache hit) and a
-  // high-priority annealing job that jumps the queue.
-  std::vector<std::future<service::JobResult>> futures;
-  futures.push_back(
-      svc.submit(service::JobRequest::gate(ghz.to_qasm(), 2048, /*seed=*/1)));
-  futures.push_back(
-      svc.submit(service::JobRequest::gate(ghz.to_qasm(), 2048, /*seed=*/2)));
-  futures.push_back(svc.submit(service::JobRequest::anneal(
+  // Hold dispatch so the whole batch queues up; the high-priority anneal
+  // job jumps the queue, the cancelled job never runs, and the 1ns
+  // deadline expires before its job is dequeued.
+  svc.pause();
+
+  std::vector<service::JobHandle> handles;
+  handles.push_back(
+      svc.submit(service::RunRequest::gate(ghz.to_qasm(), 2048, /*seed=*/1)));
+  handles.push_back(
+      svc.submit(service::RunRequest::gate(ghz.to_qasm(), 2048, /*seed=*/2)));
+  handles.push_back(svc.submit(service::RunRequest::anneal(
       qubo, /*reads=*/64, /*seed=*/7, /*priority=*/10)));
 
-  for (auto& fut : futures) {
-    const service::JobResult r = fut.get();
-    std::printf("job %llu (%s)%s: %zu shard(s), wait %.0fus, run %.0fus\n",
-                static_cast<unsigned long long>(r.job_id),
-                service::to_string(r.kind), r.cache_hit ? " [cache hit]" : "",
-                r.shards, r.wait_us, r.run_us);
-    if (r.kind == service::JobKind::Gate) {
-      for (const auto& [bits, n] : r.histogram.counts())
-        std::printf("  %s  x%zu\n", bits.c_str(), n);
-    } else {
-      std::printf("  best solution ");
-      for (int x : r.best_solution) std::printf("%d", x);
-      std::printf("  energy %.1f\n", r.best_energy);
-    }
-  }
+  service::RunRequest doomed =
+      service::RunRequest::gate(ghz.to_qasm(), 2048, /*seed=*/3);
+  doomed.deadline = 1ns;  // guaranteed to expire in the queue
+  handles.push_back(svc.submit(std::move(doomed)));
+
+  handles.push_back(
+      svc.submit(service::RunRequest::gate(ghz.to_qasm(), 2048, /*seed=*/4)));
+  handles.back().cancel();  // client changed its mind before dispatch
+
+  svc.resume();
+  for (auto& h : handles) print_result(h.get());
 
   std::printf("\n--- metrics snapshot ---\n%s", svc.metrics().render().c_str());
   return 0;

@@ -1,0 +1,18 @@
+#include "common/backoff.h"
+
+#include <cmath>
+
+namespace qs {
+
+std::chrono::microseconds BackoffPolicy::delay(std::size_t attempt) const {
+  if (initial.count() <= 0) return std::chrono::microseconds{0};
+  const double factor =
+      std::pow(multiplier > 1.0 ? multiplier : 1.0,
+               static_cast<double>(attempt));
+  const double raw = static_cast<double>(initial.count()) * factor;
+  const double capped = std::min(raw, static_cast<double>(cap.count()));
+  return std::chrono::microseconds{
+      static_cast<std::chrono::microseconds::rep>(capped)};
+}
+
+}  // namespace qs

@@ -1,0 +1,35 @@
+// Retry policy for transiently-failed work. The delay schedule is a pure
+// function of the attempt index (exponential with a cap, no RNG), so a
+// retried shard is reproducible: the *timing* of a retry never feeds into
+// any seed derivation, and the retried attempt re-derives the exact same
+// counter-based RNG stream as the attempt it replaces.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace qs {
+
+/// A failure worth retrying: the operation may succeed if repeated with the
+/// same inputs (injected fault, exhausted transient resource). Everything
+/// else — bad program, capacity overflow — must NOT be retried.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic exponential backoff: delay(a) = initial * multiplier^a,
+/// clamped to cap. Attempt 0 is the first *retry* (i.e. the delay before
+/// the second execution attempt).
+struct BackoffPolicy {
+  std::chrono::microseconds initial{200};
+  double multiplier = 2.0;
+  std::chrono::microseconds cap{5000};
+
+  std::chrono::microseconds delay(std::size_t attempt) const;
+};
+
+}  // namespace qs

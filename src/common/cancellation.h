@@ -1,0 +1,98 @@
+// Cooperative cancellation and deadlines. A CancelSource is held by the
+// producer of the stop request (the service's JobHandle); CancelTokens are
+// cheap copies handed down the stack — shard workers check between shards,
+// the simulator checks between shots — so a cancel or an expired deadline
+// aborts a job at the next shot boundary instead of hanging the worker.
+//
+// Layers below the service report an observed stop by throwing
+// CancelledError; the service catches it at the shard boundary and maps it
+// to Status::kCancelled / kDeadlineExceeded. The exception never crosses
+// the service's client-facing API.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+namespace qs {
+
+/// Read side of a cancellation request, optionally combined with an
+/// absolute deadline. Default-constructed tokens never request a stop.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(std::shared_ptr<const std::atomic<bool>> flag,
+              std::optional<Clock::time_point> deadline)
+      : flag_(std::move(flag)), deadline_(deadline) {}
+
+  /// The owning CancelSource requested a cancel.
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+  /// The attached deadline (if any) has passed.
+  bool deadline_expired() const {
+    return deadline_ && Clock::now() > *deadline_;
+  }
+
+  /// Work should stop: cancelled or past deadline. Cancellation is checked
+  /// first so a job that is both cancelled and expired reports kCancelled.
+  bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+  const std::optional<Clock::time_point>& deadline() const {
+    return deadline_;
+  }
+
+ private:
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  std::optional<Clock::time_point> deadline_;
+};
+
+/// Write side: request_cancel() flips a shared atomic observed by every
+/// token minted from this source. Copyable (shares the flag).
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  CancelToken token(
+      std::optional<CancelToken::Clock::time_point> deadline = std::nullopt)
+      const {
+    return CancelToken(flag_, deadline);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Thrown by shot/read loops when their CancelToken requests a stop.
+/// `deadline_expired` distinguishes a timeout from a client cancel.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(bool deadline_expired)
+      : std::runtime_error(deadline_expired ? "deadline exceeded"
+                                            : "cancelled"),
+        deadline_expired_(deadline_expired) {}
+
+  bool deadline_expired() const { return deadline_expired_; }
+
+ private:
+  bool deadline_expired_;
+};
+
+/// Throws CancelledError when `token` requests a stop; call at shot/read
+/// boundaries inside long-running loops.
+inline void throw_if_stopped(const CancelToken& token) {
+  if (token.cancelled()) throw CancelledError(/*deadline_expired=*/false);
+  if (token.deadline_expired()) throw CancelledError(/*deadline_expired=*/true);
+}
+
+}  // namespace qs

@@ -1,0 +1,124 @@
+// Typed error propagation for the serving surface. A qs::Status is a
+// (code, message) pair modelled on the gRPC/absl canonical codes; the
+// service-facing API returns Status (or StatusOr<T>) instead of letting
+// exceptions cross the boundary, so a host integrating the accelerator can
+// switch on the code — retry on kUnavailable, shed load on
+// kResourceExhausted, surface kInvalidArgument to the client — without
+// string-matching exception text.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace qs {
+
+/// Canonical status codes. Terminal job states map onto these: done -> kOk,
+/// failed -> kInternal / kInvalidArgument, cancelled -> kCancelled,
+/// timed-out -> kDeadlineExceeded, rejected -> kResourceExhausted (queue
+/// full) or kInvalidArgument (malformed request).
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,            ///< cooperatively cancelled by the client
+  kInvalidArgument,      ///< malformed request (caller bug, never retry)
+  kDeadlineExceeded,     ///< deadline expired in queue or mid-run
+  kNotFound,             ///< referenced entity does not exist
+  kResourceExhausted,    ///< admission refused (queue full)
+  kFailedPrecondition,   ///< system not in a state to serve this request
+  kUnavailable,          ///< transient failure; retrying may succeed
+  kInternal,             ///< invariant broken or unclassified failure
+};
+
+const char* to_string(StatusCode code);
+
+/// Value-type status: ok() by default, or a code plus human-readable
+/// message. Cheap to copy and move; never throws.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "DEADLINE_EXCEEDED: deadline expired after 1200us in queue".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status. Accessing value() on an error aborts via
+/// std::logic_error — that is an internal misuse, not a serving-path error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok())
+      throw std::logic_error("StatusOr: constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    require();
+    return *value_;
+  }
+  const T& value() const {
+    require();
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void require() const {
+    if (!value_)
+      throw std::logic_error("StatusOr: value() on error status: " +
+                             status_.to_string());
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qs

@@ -168,6 +168,7 @@ ExecutionResult Executor::run(const EqProgram& program) {
 Histogram Executor::run_shots(const EqProgram& program, std::size_t shots) {
   Histogram hist;
   for (std::size_t s = 0; s < shots; ++s) {
+    throw_if_stopped(sim_.options().cancel);
     const ExecutionResult r = run(program);
     std::string key(r.bits.size(), '0');
     for (std::size_t i = 0; i < r.bits.size(); ++i)

@@ -1,11 +1,14 @@
 #include "runtime/accelerator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "anneal/qubo.h"
+#include "common/cancellation.h"
 #include "sim/simulator.h"
 
 namespace qs::runtime {
@@ -84,6 +87,67 @@ Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
                                      const sim::SimOptions& sim_options) const {
   microarch::Executor executor(compiler_.platform(), seed, sim_options);
   return executor.run_shots(eq, shots);
+}
+
+RunResult GateAccelerator::run(const RunRequest& request) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+
+  RunResult result;
+  result.kind = request.kind();
+  result.tag = request.tag;
+  result.stats.shards = 1;
+
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    result.stats.run_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    return result;
+  };
+
+  if (Status v = request.validate(); !v.ok()) return finish(std::move(v));
+  if (request.qubo)
+    return finish(Status::InvalidArgument(
+        "GateAccelerator: cannot run an annealing request; attach the "
+        "request to a QuantumService with an AnnealAccelerator"));
+  if (request.program->qubit_count() > qubit_count())
+    return finish(Status::InvalidArgument(
+        "GateAccelerator: program needs " +
+        std::to_string(request.program->qubit_count()) +
+        " qubits, platform has " + std::to_string(qubit_count())));
+  if (request.faults && request.faults->fail_compile)
+    return finish(Status::Internal("injected compile failure (FaultPlan)"));
+
+  std::optional<Clock::time_point> deadline_at;
+  if (request.deadline) deadline_at = start + *request.deadline;
+  const CancelToken token(nullptr, deadline_at);
+
+  compiler::CompileResult compiled;
+  try {
+    compiled = compile_const(*request.program);
+  } catch (const std::exception& e) {
+    return finish(Status::InvalidArgument(
+        std::string("GateAccelerator: compile failed: ") + e.what()));
+  }
+
+  if (request.faults && request.faults->shard_latency.count() > 0)
+    std::this_thread::sleep_for(request.faults->shard_latency);
+
+  sim::SimOptions sim_options = sim_options_;
+  if (request.sim_threads != 0) sim_options.threads = request.sim_threads;
+  sim_options.cancel = token;
+  try {
+    result.histogram =
+        run_compiled(compiled, request.shots, request.seed, sim_options);
+  } catch (const CancelledError&) {
+    return finish(Status::DeadlineExceeded(
+        "GateAccelerator: deadline expired mid-run"));
+  } catch (const std::exception& e) {
+    return finish(Status::Internal(std::string("GateAccelerator: ") +
+                                   e.what()));
+  }
+  return finish(Status::Ok());
 }
 
 double GateAccelerator::expectation(

@@ -21,6 +21,7 @@
 #include "microarch/assembler.h"
 #include "microarch/executor.h"
 #include "qasm/program.h"
+#include "runtime/run_api.h"
 
 namespace qs::runtime {
 
@@ -66,6 +67,16 @@ class GateAccelerator final : public QuantumAccelerator {
   double expectation(
       const qasm::Program& program,
       const std::function<double(StateIndex)>& observable) override;
+
+  /// The unified front door: compiles and runs a RunRequest synchronously,
+  /// honouring its seed, sim_threads budget, relative deadline (measured
+  /// from the call) and fault plan. Never throws — bad programs resolve to
+  /// kInvalidArgument, deadline expiry to kDeadlineExceeded, everything
+  /// else to kInternal. The sharded/cancellable/retried serving path is
+  /// service::QuantumService::submit; this is the one-offload equivalent
+  /// (stats.shards == 1, no queue wait). Wraps compile_const/run_compiled,
+  /// which remain available for callers that manage compilation themselves.
+  RunResult run(const RunRequest& request) const;
 
   // ---- Const-safe path for concurrent serving ---------------------------
   // The execution service shares one accelerator between worker threads;

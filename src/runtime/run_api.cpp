@@ -1,0 +1,55 @@
+#include "runtime/run_api.h"
+
+namespace qs::runtime {
+
+const char* to_string(JobKind kind) {
+  return kind == JobKind::Gate ? "gate" : "anneal";
+}
+
+std::size_t FaultPlan::failures_for(std::size_t shard) const {
+  for (const ShardFault& f : shard_faults)
+    if (f.shard_index == shard) return f.failures;
+  return 0;
+}
+
+Status RunRequest::validate() const {
+  if (program.has_value() == qubo.has_value())
+    return Status::InvalidArgument(
+        "RunRequest: exactly one of program/qubo must be set");
+  if (shots == 0)
+    return Status::InvalidArgument("RunRequest: shots must be >= 1");
+  if (deadline && deadline->count() <= 0)
+    return Status::InvalidArgument(
+        "RunRequest: deadline must be positive when set");
+  if (program) {
+    try {
+      program->validate();
+    } catch (const std::exception& e) {
+      return Status::InvalidArgument(std::string("RunRequest: bad program: ") +
+                                     e.what());
+    }
+  }
+  return Status::Ok();
+}
+
+RunRequest RunRequest::gate(qasm::Program program, std::size_t shots,
+                            std::uint64_t seed, int priority) {
+  RunRequest r;
+  r.program = std::move(program);
+  r.shots = shots;
+  r.seed = seed;
+  r.priority = priority;
+  return r;
+}
+
+RunRequest RunRequest::anneal(anneal::Qubo qubo, std::size_t reads,
+                              std::uint64_t seed, int priority) {
+  RunRequest r;
+  r.qubo = std::move(qubo);
+  r.shots = reads;
+  r.seed = seed;
+  r.priority = priority;
+  return r;
+}
+
+}  // namespace qs::runtime

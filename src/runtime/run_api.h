@@ -1,0 +1,136 @@
+// The unified serving front door. A RunRequest describes one unit of work
+// (a cQASM program or a QUBO, plus shots, seed, priority, deadline and
+// kernel-thread budget); a RunResult carries the merged histogram, a typed
+// qs::Status terminal state (done / failed / cancelled / timed-out /
+// rejected) and per-job serving stats. Both `service::QuantumService`
+// (batched, sharded, retried execution) and `runtime::GateAccelerator`
+// (synchronous single-offload execution) speak this type, replacing the
+// overload family (`execute`, `compile_const`+`run_compiled`+`run_eqasm`,
+// multiple `submit` signatures) that accreted around the paper's
+// host-accelerator offload picture (Figures 1/3/8).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "qasm/program.h"
+
+namespace qs::runtime {
+
+/// What a request runs on: the gate-model stack or the annealing stack.
+enum class JobKind { Gate, Anneal };
+
+const char* to_string(JobKind kind);
+
+/// Deterministic fault-injection plan, attached to a RunRequest by tests
+/// and chaos benches. Every robustness path — compile failure, transient
+/// shard failure with retry, slow shards racing a deadline — becomes
+/// reproducible in CI instead of depending on real infrastructure faults.
+struct FaultPlan {
+  /// Compilation resolves to an injected internal failure.
+  bool fail_compile = false;
+
+  /// Injected latency before each shard attempt (simulates a slow or
+  /// contended backend; used to pin deadline/cancel races in tests).
+  std::chrono::microseconds shard_latency{0};
+
+  /// Shard `shard_index` throws a TransientError on its first `failures`
+  /// execution attempts, then succeeds. With `failures` above the retry
+  /// budget the shard fails terminally (Status::kUnavailable).
+  struct ShardFault {
+    std::size_t shard_index = 0;
+    std::size_t failures = 1;
+  };
+  std::vector<ShardFault> shard_faults;
+
+  /// Injected failures for `shard` (0 when the shard has no planned fault).
+  std::size_t failures_for(std::size_t shard) const;
+};
+
+/// A unit of work. Exactly one of `program` (gate model) or `qubo`
+/// (annealing model) must be set.
+struct RunRequest {
+  std::optional<qasm::Program> program;  ///< gate-model kernel (cQASM)
+  std::optional<anneal::Qubo> qubo;      ///< annealing problem
+
+  /// Gate model: measurement trajectories. Anneal model: independent reads.
+  std::size_t shots = 1024;
+
+  /// Base seed; shard `i` derives its stream via derive_stream_seed(seed,i),
+  /// making the merged result independent of worker count — and of how many
+  /// times a shard was retried.
+  std::uint64_t seed = 1;
+
+  /// Higher priority dispatches first; FIFO within equal priority.
+  int priority = 0;
+
+  /// Relative deadline, measured from submission. An expired job is
+  /// rejected on dequeue (never dispatched) or stopped between shards /
+  /// shots while running; either way it resolves to kDeadlineExceeded.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+
+  /// Gate model: intra-shot simulator threads (0 = service/accelerator
+  /// default). Tunes throughput, never output (kernel bit-identity).
+  std::size_t sim_threads = 0;
+
+  /// Optional client tag echoed into the result (tracing / metrics label).
+  std::string tag;
+
+  /// Deterministic fault injection (tests / chaos benches only).
+  std::shared_ptr<const FaultPlan> faults;
+
+  JobKind kind() const { return program ? JobKind::Gate : JobKind::Anneal; }
+
+  /// kInvalidArgument unless exactly one payload is set, shots >= 1 and the
+  /// program (if any) is well-formed. Never throws.
+  Status validate() const;
+
+  // Convenience constructors.
+  static RunRequest gate(qasm::Program program, std::size_t shots,
+                         std::uint64_t seed = 1, int priority = 0);
+  static RunRequest anneal(anneal::Qubo qubo, std::size_t reads,
+                           std::uint64_t seed = 1, int priority = 0);
+};
+
+/// Per-job serving accounting, reported with every RunResult.
+struct JobStats {
+  double queue_wait_us = 0.0;  ///< submit -> dispatch (0 for direct runs)
+  double run_us = 0.0;         ///< dispatch -> terminal state
+  bool compile_cache_hit = false;
+  std::size_t retries = 0;     ///< transient shard failures retried
+  std::size_t shards = 0;      ///< shard tasks the job split into
+  std::uint64_t dispatch_seq = 0;  ///< dispatch order stamp (1 = first)
+};
+
+/// Terminal outcome of a RunRequest. `status` is the job's terminal state;
+/// on a non-OK status the histogram holds whatever shards completed before
+/// the stop (possibly empty) and must not be treated as a full sample.
+struct RunResult {
+  std::uint64_t job_id = 0;
+  JobKind kind = JobKind::Gate;
+  std::string tag;
+
+  Status status;
+
+  /// Gate model: histogram of full-register bitstrings (merged across
+  /// shards). Anneal model: histogram of solution bitstrings.
+  Histogram histogram;
+
+  /// Annealing only: best (lowest-energy) solution over all reads. Ties
+  /// resolve to the lowest read index, keeping the merge deterministic.
+  std::vector<int> best_solution;
+  double best_energy = 0.0;
+
+  JobStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace qs::runtime

@@ -4,8 +4,10 @@
 
 namespace qs::service {
 
-const char* to_string(JobKind kind) {
-  return kind == JobKind::Gate ? "gate" : "anneal";
+std::size_t shard_count(std::size_t shots, std::size_t shard_shots) {
+  if (shard_shots == 0)
+    throw std::invalid_argument("shard_count: shard_shots must be >= 1");
+  return (shots + shard_shots - 1) / shard_shots;
 }
 
 void JobRequest::validate() const {
@@ -15,6 +17,18 @@ void JobRequest::validate() const {
   if (shots == 0)
     throw std::invalid_argument("JobRequest: shots must be >= 1");
   if (program) program->validate();
+}
+
+RunRequest JobRequest::to_run_request() const {
+  RunRequest r;
+  r.program = program;
+  r.qubo = qubo;
+  r.shots = shots;
+  r.seed = seed;
+  r.priority = priority;
+  r.sim_threads = sim_threads;
+  r.tag = tag;
+  return r;
 }
 
 JobRequest JobRequest::gate(qasm::Program program, std::size_t shots,
@@ -35,12 +49,6 @@ JobRequest JobRequest::anneal(anneal::Qubo qubo, std::size_t reads,
   r.seed = seed;
   r.priority = priority;
   return r;
-}
-
-std::size_t shard_count(std::size_t shots, std::size_t shard_shots) {
-  if (shard_shots == 0)
-    throw std::invalid_argument("shard_count: shard_shots must be >= 1");
-  return (shots + shard_shots - 1) / shard_shots;
 }
 
 }  // namespace qs::service

@@ -1,50 +1,100 @@
-// Job model of the execution service: what a client submits (a cQASM
-// program or a QUBO, plus shots/seed/priority) and what it gets back (a
-// merged histogram with latency and cache accounting). The service is the
-// serving layer the paper's host-accelerator picture (Figures 1/3/8)
-// implies but never builds: the host CPU delegates kernels, and something
-// must batch, schedule, cache and measure those delegations.
+// Job model of the execution service. The serving front door is the
+// runtime::RunRequest / RunResult pair (re-exported here): one request
+// type for gate and anneal work, one result type carrying a typed
+// qs::Status terminal state. submit() hands back a JobHandle — a future
+// plus a cooperative cancel switch.
+//
+// The original JobRequest/JobResult surface (throwing validate(),
+// exception-carrying std::future) remains below as a deprecated
+// compatibility shim for one release; new code should use RunRequest.
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "anneal/qubo.h"
+#include "common/cancellation.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "qasm/program.h"
+#include "runtime/run_api.h"
 
 namespace qs::service {
 
-/// What a job runs on: the gate-model stack or the annealing stack.
-enum class JobKind { Gate, Anneal };
+// The serving API types live at the runtime layer so GateAccelerator can
+// speak them too; service code refers to them unqualified.
+using runtime::FaultPlan;
+using runtime::JobKind;
+using runtime::JobStats;
+using runtime::RunRequest;
+using runtime::RunResult;
+using runtime::to_string;
 
-const char* to_string(JobKind kind);
+/// Client-side handle for a submitted job: observe completion through
+/// get()/wait(), request cooperative cancellation through cancel().
+/// Copyable — copies share the same underlying job. Cancellation is
+/// best-effort and race-free: workers observe the cancel token between
+/// shards, the simulator between shots, and a job cancelled before
+/// dispatch never compiles or runs. Whatever wins the race, get() always
+/// returns (status kOk if the job finished first, kCancelled otherwise) —
+/// it never throws and never hangs.
+class JobHandle {
+ public:
+  JobHandle() = default;
 
-/// A unit of work submitted to the QuantumService. Exactly one of
-/// `program` (gate model) or `qubo` (annealing model) must be set.
+  /// Service-assigned job id (0 for requests rejected before admission).
+  std::uint64_t id() const { return id_; }
+
+  /// True when the handle refers to a job (even an already-rejected one).
+  bool valid() const { return future_.valid(); }
+
+  /// Requests cooperative cancellation. Idempotent, callable from any
+  /// thread, returns immediately; the job resolves to kCancelled at the
+  /// next cancellation point unless it already reached a terminal state.
+  void cancel() { cancel_.request_cancel(); }
+
+  bool cancel_requested() const { return cancel_.cancel_requested(); }
+
+  /// Blocks until the job reaches a terminal state; never throws.
+  RunResult get() const { return future_.get(); }
+
+  void wait() const { future_.wait(); }
+
+  template <typename Rep, typename Period>
+  std::future_status wait_for(
+      const std::chrono::duration<Rep, Period>& d) const {
+    return future_.wait_for(d);
+  }
+
+ private:
+  friend class QuantumService;
+
+  std::uint64_t id_ = 0;
+  CancelSource cancel_;
+  std::shared_future<RunResult> future_;
+};
+
+/// Number of fixed-size shards a job of `shots` splits into. Shard size is
+/// a service constant, never a function of worker count — this is what
+/// keeps merged histograms bit-identical across pool sizes.
+std::size_t shard_count(std::size_t shots, std::size_t shard_shots);
+
+// ---------------------------------------------------------------------------
+// Deprecated compatibility shim (pre-RunRequest API). Removed next release.
+// ---------------------------------------------------------------------------
+
+/// DEPRECATED: use runtime::RunRequest. Differences: validate() throws
+/// instead of returning Status, and there is no deadline or fault plan.
 struct JobRequest {
   std::optional<qasm::Program> program;  ///< gate-model kernel (cQASM)
   std::optional<anneal::Qubo> qubo;      ///< annealing problem
-
-  /// Gate model: measurement trajectories. Anneal model: independent reads.
   std::size_t shots = 1024;
-
-  /// Base seed; shard `i` derives its stream via derive_stream_seed(seed,i),
-  /// making the merged result independent of worker count.
   std::uint64_t seed = 1;
-
-  /// Higher priority dispatches first; FIFO within equal priority.
   int priority = 0;
-
-  /// Gate model: intra-shot simulator threads for this job's shards
-  /// (0 = service default). The service clamps the effective budget
-  /// against worker-count oversubscription; the histogram is bit-identical
-  /// whatever value wins — this knob tunes throughput, never output.
   std::size_t sim_threads = 0;
-
-  /// Optional client tag echoed into the result (tracing / metrics label).
   std::string tag;
 
   JobKind kind() const { return program ? JobKind::Gate : JobKind::Anneal; }
@@ -53,39 +103,29 @@ struct JobRequest {
   /// shots >= 1.
   void validate() const;
 
-  // Convenience constructors.
+  /// Lossless conversion to the new request type.
+  RunRequest to_run_request() const;
+
   static JobRequest gate(qasm::Program program, std::size_t shots,
                          std::uint64_t seed = 1, int priority = 0);
   static JobRequest anneal(anneal::Qubo qubo, std::size_t reads,
                            std::uint64_t seed = 1, int priority = 0);
 };
 
-/// Result of one job, fulfilled through the future submit() returns.
+/// DEPRECATED: use runtime::RunResult. Fulfilled through the future the
+/// deprecated submit() overload returns; failures arrive as exceptions.
 struct JobResult {
   std::uint64_t job_id = 0;
   JobKind kind = JobKind::Gate;
   std::string tag;
-
-  /// Gate model: histogram of full-register bitstrings (merged across
-  /// shards). Anneal model: histogram of solution bitstrings.
   Histogram histogram;
-
-  /// Annealing only: best (lowest-energy) solution over all reads. Ties
-  /// resolve to the lowest read index, keeping the merge deterministic.
   std::vector<int> best_solution;
   double best_energy = 0.0;
-
-  bool cache_hit = false;     ///< compiled program came from the cache
-  std::size_t shards = 0;     ///< number of shard tasks the job split into
-  std::uint64_t dispatch_seq = 0;  ///< dispatch order stamp (1 = first)
-
-  double wait_us = 0.0;  ///< submit -> dispatch (queue wait)
-  double run_us = 0.0;   ///< dispatch -> last shard merged
+  bool cache_hit = false;
+  std::size_t shards = 0;
+  std::uint64_t dispatch_seq = 0;
+  double wait_us = 0.0;
+  double run_us = 0.0;
 };
-
-/// Number of fixed-size shards a job of `shots` splits into. Shard size is
-/// a service constant, never a function of worker count — this is what
-/// keeps merged histograms bit-identical across pool sizes.
-std::size_t shard_count(std::size_t shots, std::size_t shard_shots);
 
 }  // namespace qs::service

@@ -75,6 +75,10 @@ std::vector<double> LatencyHistogram::default_us_bounds() {
   return b;
 }
 
+std::vector<double> MetricsRegistry::fraction_bounds() {
+  return {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 2.0, 5.0};
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];

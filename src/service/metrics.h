@@ -80,6 +80,11 @@ class MetricsRegistry {
   /// sorted by name (stable for golden-file tests).
   std::string render() const;
 
+  /// Bucket bounds for ratio-of-budget histograms (e.g. queue wait as a
+  /// fraction of the job's deadline): 0.01 .. 5.0, log-ish spaced, with
+  /// the 1.0 boundary separating "made it" from "expired in queue".
+  static std::vector<double> fraction_bounds();
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

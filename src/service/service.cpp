@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "qasm/printer.h"
@@ -19,6 +20,10 @@ double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
+double us_of(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
 std::string solution_bits(const std::vector<int>& solution) {
   std::string bits(solution.size(), '0');
   for (std::size_t i = 0; i < solution.size(); ++i)
@@ -26,13 +31,24 @@ std::string solution_bits(const std::vector<int>& solution) {
   return bits;
 }
 
+/// Exception the deprecated future-based API surfaces for a status code.
+std::exception_ptr status_to_exception(const Status& status) {
+  if (status.code() == StatusCode::kInvalidArgument)
+    return std::make_exception_ptr(std::invalid_argument(status.message()));
+  return std::make_exception_ptr(std::runtime_error(status.to_string()));
+}
+
 }  // namespace
 
 /// Per-job bookkeeping shared between the dispatcher and shard tasks.
 struct QuantumService::JobState {
   std::uint64_t id = 0;
-  JobRequest request;
-  std::promise<JobResult> promise;
+  RunRequest request;
+  std::promise<RunResult> promise;
+  std::shared_future<RunResult> future;  // handed to the JobHandle
+  std::unique_ptr<std::promise<JobResult>> legacy;  // deprecated API only
+  CancelSource cancel;
+  std::optional<Clock::time_point> deadline_at;
   Clock::time_point submitted;
   Clock::time_point dispatched;
   std::uint64_t dispatch_seq = 0;
@@ -50,8 +66,12 @@ struct QuantumService::JobState {
   double best_energy = 0.0;
   std::uint64_t best_read = 0;
   std::vector<int> best_solution;
-  std::exception_ptr error;  // first shard/compile error wins
+  Status status;  // first failure wins; guarded by merge_mutex
 
+  /// Set alongside a failure status: remaining shards skip their work
+  /// (they still run through finish_shard to keep the count exact).
+  std::atomic<bool> abort{false};
+  std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> remaining{0};
 };
 
@@ -77,32 +97,128 @@ QuantumService::QuantumService(runtime::GateAccelerator gate,
 
 QuantumService::~QuantumService() { shutdown(); }
 
-std::future<JobResult> QuantumService::submit(JobRequest request) {
-  request.validate();
-  if (request.qubo && !annealer_)
-    throw std::invalid_argument(
-        "QuantumService: no annealing accelerator attached");
+// ---------------------------------------------------------- admission ----
 
+std::shared_ptr<QuantumService::JobState> QuantumService::make_job(
+    RunRequest request, std::unique_ptr<std::promise<JobResult>> legacy,
+    Status* status) {
   auto job = std::make_shared<JobState>();
   {
     std::lock_guard<std::mutex> lock(control_mutex_);
-    if (closing_)
-      throw std::runtime_error("QuantumService: submit after shutdown");
+    if (closing_) {
+      *status = Status::Unavailable("QuantumService: submit after shutdown");
+      return nullptr;
+    }
     job->id = next_job_id_++;
     ++inflight_;
   }
   job->request = std::move(request);
+  job->legacy = std::move(legacy);
   job->submitted = Clock::now();
-  std::future<JobResult> fut = job->promise.get_future();
+  if (job->request.deadline)
+    job->deadline_at = job->submitted + *job->request.deadline;
+  job->future = job->promise.get_future().share();
+  *status = Status::Ok();
+  return job;
+}
 
+Status QuantumService::admit(const std::shared_ptr<JobState>& job,
+                             bool blocking) {
   const int priority = job->request.priority;
+  const bool admitted = blocking ? queue_.push(job, priority)
+                                 : queue_.try_push(job, priority);
+  if (!admitted) {
+    // Blocking push only fails once the queue is closed; try_push also
+    // fails on a full queue. Either way the job never ran.
+    Status status =
+        queue_.closed()
+            ? Status::Unavailable("QuantumService: submit after shutdown")
+            : Status::ResourceExhausted(
+                  "QuantumService: queue full (depth " +
+                  std::to_string(queue_.size()) + "/" +
+                  std::to_string(queue_.capacity()) + ")");
+    metrics_.counter("qs_jobs_rejected_total").inc();
+    return status;
+  }
   metrics_.counter("qs_jobs_submitted_total").inc();
-  if (!queue_.push(job, priority)) {
+  metrics_.gauge("qs_queue_depth")
+      .set(static_cast<std::int64_t>(queue_.size()));
+  return Status::Ok();
+}
+
+JobHandle QuantumService::rejected_handle(Status status) {
+  metrics_.counter("qs_jobs_rejected_total").inc();
+  JobHandle handle;
+  std::promise<RunResult> promise;
+  handle.future_ = promise.get_future().share();
+  RunResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return handle;
+}
+
+JobHandle QuantumService::submit(RunRequest request) {
+  if (Status v = request.validate(); !v.ok())
+    return rejected_handle(std::move(v));
+  if (request.qubo && !annealer_)
+    return rejected_handle(Status::FailedPrecondition(
+        "QuantumService: no annealing accelerator attached"));
+
+  Status status;
+  auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
+  if (!job) return rejected_handle(std::move(status));
+
+  JobHandle handle;
+  handle.id_ = job->id;
+  handle.cancel_ = job->cancel;
+  handle.future_ = job->future;
+
+  if (Status admitted = admit(job, /*blocking=*/true); !admitted.ok())
+    resolve_unadmitted(job, std::move(admitted));
+  return handle;
+}
+
+JobHandle QuantumService::try_submit(RunRequest request) {
+  if (Status v = request.validate(); !v.ok())
+    return rejected_handle(std::move(v));
+  if (request.qubo && !annealer_)
+    return rejected_handle(Status::FailedPrecondition(
+        "QuantumService: no annealing accelerator attached"));
+
+  Status status;
+  auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
+  if (!job) return rejected_handle(std::move(status));
+
+  JobHandle handle;
+  handle.id_ = job->id;
+  handle.cancel_ = job->cancel;
+  handle.future_ = job->future;
+
+  if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok())
+    resolve_unadmitted(job, std::move(admitted));
+  return handle;
+}
+
+// ---- Deprecated pre-RunRequest API -------------------------------------
+
+std::future<JobResult> QuantumService::submit(JobRequest request) {
+  request.validate();  // throws std::invalid_argument (old contract)
+  if (request.qubo && !annealer_)
+    throw std::invalid_argument(
+        "QuantumService: no annealing accelerator attached");
+
+  auto legacy = std::make_unique<std::promise<JobResult>>();
+  std::future<JobResult> fut = legacy->get_future();
+
+  Status status;
+  auto job =
+      make_job(request.to_run_request(), std::move(legacy), &status);
+  if (!job) throw std::runtime_error("QuantumService: submit after shutdown");
+
+  if (Status admitted = admit(job, /*blocking=*/true); !admitted.ok()) {
     job_done();
     throw std::runtime_error("QuantumService: submit after shutdown");
   }
-  metrics_.gauge("qs_queue_depth")
-      .set(static_cast<std::int64_t>(queue_.size()));
   return fut;
 }
 
@@ -113,27 +229,22 @@ std::optional<std::future<JobResult>> QuantumService::try_submit(
     throw std::invalid_argument(
         "QuantumService: no annealing accelerator attached");
 
-  auto job = std::make_shared<JobState>();
-  {
-    std::lock_guard<std::mutex> lock(control_mutex_);
-    if (closing_) return std::nullopt;
-    job->id = next_job_id_++;
-    ++inflight_;
-  }
-  job->request = std::move(request);
-  job->submitted = Clock::now();
-  std::future<JobResult> fut = job->promise.get_future();
+  auto legacy = std::make_unique<std::promise<JobResult>>();
+  std::future<JobResult> fut = legacy->get_future();
 
-  if (!queue_.try_push(job, job->request.priority)) {
-    metrics_.counter("qs_jobs_rejected_total").inc();
+  Status status;
+  auto job =
+      make_job(request.to_run_request(), std::move(legacy), &status);
+  if (!job) return std::nullopt;
+
+  if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok()) {
     job_done();
     return std::nullopt;
   }
-  metrics_.counter("qs_jobs_submitted_total").inc();
-  metrics_.gauge("qs_queue_depth")
-      .set(static_cast<std::int64_t>(queue_.size()));
   return fut;
 }
+
+// ------------------------------------------------------------ control ----
 
 void QuantumService::pause() {
   std::lock_guard<std::mutex> lock(control_mutex_);
@@ -166,6 +277,92 @@ void QuantumService::shutdown() {
   pool_.wait_idle();
 }
 
+// --------------------------------------------------------- resolution ----
+
+void QuantumService::resolve(const std::shared_ptr<JobState>& job,
+                             RunResult result) {
+  switch (result.status.code()) {
+    case StatusCode::kOk:
+      metrics_.counter("qs_jobs_completed_total").inc();
+      metrics_
+          .counter(result.kind == JobKind::Gate ? "qs_gate_shots_total"
+                                                : "qs_anneal_reads_total")
+          .inc(job->request.shots);
+      metrics_.histogram("qs_job_run_us").observe(result.stats.run_us);
+      break;
+    case StatusCode::kCancelled:
+      metrics_.counter("qs_jobs_cancelled_total").inc();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics_.counter("qs_jobs_timed_out_total").inc();
+      break;
+    default:
+      metrics_.counter("qs_jobs_failed_total").inc();
+      break;
+  }
+
+  if (job->legacy) {
+    if (result.status.ok()) {
+      JobResult jr;
+      jr.job_id = result.job_id;
+      jr.kind = result.kind;
+      jr.tag = result.tag;
+      jr.histogram = result.histogram;  // copy: RunResult keeps its own
+      jr.best_solution = result.best_solution;
+      jr.best_energy = result.best_energy;
+      jr.cache_hit = result.stats.compile_cache_hit;
+      jr.shards = result.stats.shards;
+      jr.dispatch_seq = result.stats.dispatch_seq;
+      jr.wait_us = result.stats.queue_wait_us;
+      jr.run_us = result.stats.run_us;
+      job->legacy->set_value(std::move(jr));
+    } else {
+      job->legacy->set_exception(status_to_exception(result.status));
+    }
+  }
+
+  job->promise.set_value(std::move(result));
+  job_done();
+}
+
+void QuantumService::resolve_unadmitted(const std::shared_ptr<JobState>& job,
+                                        Status status) {
+  // Never dispatched: the rejection was already counted in admit(), so
+  // fulfil the promise directly without bumping a terminal-state metric.
+  RunResult result;
+  result.job_id = job->id;
+  result.kind = job->request.kind();
+  result.tag = job->request.tag;
+  result.status = std::move(status);
+  if (job->legacy) job->legacy->set_exception(status_to_exception(result.status));
+  job->promise.set_value(std::move(result));
+  job_done();
+}
+
+void QuantumService::resolve_at_dispatch(
+    const std::shared_ptr<JobState>& job, Status status) {
+  RunResult result;
+  result.job_id = job->id;
+  result.kind = job->request.kind();
+  result.tag = job->request.tag;
+  result.status = std::move(status);
+  result.stats.queue_wait_us = job->wait_us;
+  result.stats.dispatch_seq = job->dispatch_seq;
+  result.stats.run_us = us_between(job->dispatched, Clock::now());
+  resolve(job, std::move(result));
+}
+
+void QuantumService::note_failure(const std::shared_ptr<JobState>& job,
+                                  Status status) {
+  {
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    if (job->status.ok()) job->status = std::move(status);
+  }
+  job->abort.store(true, std::memory_order_release);
+}
+
+// ----------------------------------------------------------- dispatch ----
+
 void QuantumService::dispatcher_loop() {
   for (;;) {
     {
@@ -185,17 +382,64 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
   job->dispatch_seq = ++dispatch_counter_;
   job->wait_us = us_between(job->submitted, job->dispatched);
   metrics_.histogram("qs_job_wait_us").observe(job->wait_us);
+  if (job->request.deadline) {
+    // Fraction of the deadline budget consumed while waiting in queue:
+    // > 1 means the job expired before it ever ran (capacity signal).
+    metrics_
+        .histogram("qs_deadline_wait_fraction",
+                   MetricsRegistry::fraction_bounds())
+        .observe(job->wait_us / us_of(*job->request.deadline));
+  }
 
-  const JobRequest& req = job->request;
+  // Rejected-on-dequeue paths: never compile, never shard.
+  if (job->cancel.cancel_requested()) {
+    resolve_at_dispatch(job,
+                        Status::Cancelled("job cancelled before dispatch"));
+    return;
+  }
+  if (job->deadline_at && job->dispatched > *job->deadline_at) {
+    resolve_at_dispatch(
+        job, Status::DeadlineExceeded(
+                 "deadline expired in queue after " +
+                 std::to_string(static_cast<long long>(job->wait_us)) +
+                 "us (budget " +
+                 std::to_string(static_cast<long long>(
+                     us_of(*job->request.deadline))) +
+                 "us)"));
+    return;
+  }
+
+  const RunRequest& req = job->request;
   if (req.kind() == JobKind::Gate) {
+    if (req.program->qubit_count() > gate_.qubit_count()) {
+      resolve_at_dispatch(
+          job, Status::InvalidArgument(
+                   "program needs " +
+                   std::to_string(req.program->qubit_count()) +
+                   " qubits, platform has " +
+                   std::to_string(gate_.qubit_count())));
+      return;
+    }
+    if (req.faults && req.faults->fail_compile) {
+      resolve_at_dispatch(
+          job, Status::Internal("injected compile failure (FaultPlan)"));
+      return;
+    }
     try {
       job->entry = resolve_compiled(*req.program, &job->cache_hit);
+    } catch (const std::exception& e) {
+      resolve_at_dispatch(job, Status::InvalidArgument(
+                                   std::string("compile failed: ") +
+                                   e.what()));
+      return;
     } catch (...) {
-      fail_job(job, std::current_exception());
+      resolve_at_dispatch(job,
+                          Status::Internal("compile failed: unknown error"));
       return;
     }
   }
 
+  metrics_.counter("qs_jobs_dispatched_total").inc();
   job->shards = shard_count(req.shots, options_.shard_shots);
   job->remaining.store(job->shards, std::memory_order_relaxed);
   QS_LOG(LogLevel::Debug, "service",
@@ -258,59 +502,169 @@ std::size_t QuantumService::effective_sim_threads(
   return std::min(want, per_shard);
 }
 
+// ------------------------------------------------------------- shards ----
+
 void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
                                     std::size_t shard_index) {
-  try {
-    const JobRequest& req = job->request;
-    const std::size_t begin = shard_index * options_.shard_shots;
-    const std::size_t count =
-        std::min(options_.shard_shots, req.shots - begin);
-    const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
-    sim::SimOptions sim_options = gate_.sim_options();
-    sim_options.threads = effective_sim_threads(req.sim_threads);
-    const Histogram shard =
-        job->entry->eqasm
-            ? gate_.run_eqasm(*job->entry->eqasm, count, seed, sim_options)
-            : gate_.run_compiled(job->entry->compiled, count, seed,
-                                 sim_options);
-    std::lock_guard<std::mutex> lock(job->merge_mutex);
-    for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(job->merge_mutex);
-    if (!job->error) job->error = std::current_exception();
+  const RunRequest& req = job->request;
+  const CancelToken token = job->cancel.token(job->deadline_at);
+  const std::size_t begin = shard_index * options_.shard_shots;
+  const std::size_t count = std::min(options_.shard_shots, req.shots - begin);
+  // Retries re-derive the same stream: the seed is a pure function of
+  // (job seed, shard index), so attempt j of shard k samples exactly what
+  // attempt 0 would have — a job that succeeds after retries produces the
+  // histogram of a job that never failed.
+  const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
+  const std::size_t planned_failures =
+      req.faults ? req.faults->failures_for(shard_index) : 0;
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (job->abort.load(std::memory_order_acquire)) break;
+    if (token.cancelled()) {
+      note_failure(job, Status::Cancelled("job cancelled mid-run"));
+      break;
+    }
+    if (token.deadline_expired()) {
+      note_failure(job,
+                   Status::DeadlineExceeded("deadline expired mid-run"));
+      break;
+    }
+    try {
+      if (req.faults && req.faults->shard_latency.count() > 0)
+        std::this_thread::sleep_for(req.faults->shard_latency);
+      if (attempt < planned_failures)
+        throw TransientError("injected fault: shard " +
+                             std::to_string(shard_index) + " attempt " +
+                             std::to_string(attempt));
+      sim::SimOptions sim_options = gate_.sim_options();
+      sim_options.threads = effective_sim_threads(req.sim_threads);
+      sim_options.cancel = token;
+      const Histogram shard =
+          job->entry->eqasm
+              ? gate_.run_eqasm(*job->entry->eqasm, count, seed, sim_options)
+              : gate_.run_compiled(job->entry->compiled, count, seed,
+                                   sim_options);
+      std::lock_guard<std::mutex> lock(job->merge_mutex);
+      for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
+      break;
+    } catch (const CancelledError& e) {
+      note_failure(job, e.deadline_expired()
+                            ? Status::DeadlineExceeded(
+                                  "deadline expired mid-run")
+                            : Status::Cancelled("job cancelled mid-run"));
+      break;
+    } catch (const TransientError& e) {
+      if (attempt >= options_.max_shard_retries) {
+        note_failure(job, Status::Unavailable(
+                              "shard " + std::to_string(shard_index) +
+                              " failed after " +
+                              std::to_string(attempt + 1) +
+                              " attempts: " + e.what()));
+        break;
+      }
+      job->retries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.counter("qs_shard_retries_total").inc();
+      std::this_thread::sleep_for(options_.retry_backoff.delay(attempt));
+    } catch (const std::exception& e) {
+      note_failure(job,
+                   Status::Internal(std::string("shard failed: ") + e.what()));
+      break;
+    } catch (...) {
+      note_failure(job, Status::Internal("shard failed: unknown exception"));
+      break;
+    }
   }
   finish_shard(job);
 }
 
 void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
                                       std::size_t shard_index) {
-  try {
-    const JobRequest& req = job->request;
-    const std::size_t begin = shard_index * options_.shard_shots;
-    const std::size_t end =
-        std::min(begin + options_.shard_shots, req.shots);
-    for (std::size_t read = begin; read < end; ++read) {
-      // Per-read (not per-shard) stream: each anneal is an independent
-      // restart, and per-read seeding keeps the best-of-N reduction
-      // identical however reads are grouped into shards.
-      Rng rng(derive_stream_seed(req.seed, read));
-      const runtime::AnnealOutcome outcome =
-          annealer_->solve(*req.qubo, rng);
-      std::lock_guard<std::mutex> lock(job->merge_mutex);
-      job->merged.add(solution_bits(outcome.solution));
-      const bool better =
-          !job->has_best || outcome.energy < job->best_energy ||
-          (outcome.energy == job->best_energy && read < job->best_read);
-      if (better) {
-        job->has_best = true;
-        job->best_energy = outcome.energy;
-        job->best_read = read;
-        job->best_solution = outcome.solution;
+  const RunRequest& req = job->request;
+  const CancelToken token = job->cancel.token(job->deadline_at);
+  const std::size_t begin = shard_index * options_.shard_shots;
+  const std::size_t end = std::min(begin + options_.shard_shots, req.shots);
+  const std::size_t planned_failures =
+      req.faults ? req.faults->failures_for(shard_index) : 0;
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (job->abort.load(std::memory_order_acquire)) break;
+    try {
+      throw_if_stopped(token);
+      if (req.faults && req.faults->shard_latency.count() > 0)
+        std::this_thread::sleep_for(req.faults->shard_latency);
+      if (attempt < planned_failures)
+        throw TransientError("injected fault: shard " +
+                             std::to_string(shard_index) + " attempt " +
+                             std::to_string(attempt));
+      // Accumulate locally and merge once at the end: keeps the job state
+      // untouched until the shard is known-good, so a retried attempt can
+      // never double-count its completed reads.
+      Histogram local;
+      bool local_has_best = false;
+      double local_best_energy = 0.0;
+      std::uint64_t local_best_read = 0;
+      std::vector<int> local_best;
+      for (std::size_t read = begin; read < end; ++read) {
+        throw_if_stopped(token);
+        // Per-read (not per-shard) stream: each anneal is an independent
+        // restart, and per-read seeding keeps the best-of-N reduction
+        // identical however reads are grouped into shards.
+        Rng rng(derive_stream_seed(req.seed, read));
+        const runtime::AnnealOutcome outcome =
+            annealer_->solve(*req.qubo, rng);
+        local.add(solution_bits(outcome.solution));
+        const bool better = !local_has_best ||
+                            outcome.energy < local_best_energy ||
+                            (outcome.energy == local_best_energy &&
+                             read < local_best_read);
+        if (better) {
+          local_has_best = true;
+          local_best_energy = outcome.energy;
+          local_best_read = read;
+          local_best = outcome.solution;
+        }
       }
+      std::lock_guard<std::mutex> lock(job->merge_mutex);
+      for (const auto& [bits, n] : local.counts()) job->merged.add(bits, n);
+      if (local_has_best) {
+        const bool better = !job->has_best ||
+                            local_best_energy < job->best_energy ||
+                            (local_best_energy == job->best_energy &&
+                             local_best_read < job->best_read);
+        if (better) {
+          job->has_best = true;
+          job->best_energy = local_best_energy;
+          job->best_read = local_best_read;
+          job->best_solution = std::move(local_best);
+        }
+      }
+      break;
+    } catch (const CancelledError& e) {
+      note_failure(job, e.deadline_expired()
+                            ? Status::DeadlineExceeded(
+                                  "deadline expired mid-run")
+                            : Status::Cancelled("job cancelled mid-run"));
+      break;
+    } catch (const TransientError& e) {
+      if (attempt >= options_.max_shard_retries) {
+        note_failure(job, Status::Unavailable(
+                              "shard " + std::to_string(shard_index) +
+                              " failed after " +
+                              std::to_string(attempt + 1) +
+                              " attempts: " + e.what()));
+        break;
+      }
+      job->retries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.counter("qs_shard_retries_total").inc();
+      std::this_thread::sleep_for(options_.retry_backoff.delay(attempt));
+    } catch (const std::exception& e) {
+      note_failure(job,
+                   Status::Internal(std::string("shard failed: ") + e.what()));
+      break;
+    } catch (...) {
+      note_failure(job, Status::Internal("shard failed: unknown exception"));
+      break;
     }
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(job->merge_mutex);
-    if (!job->error) job->error = std::current_exception();
   }
   finish_shard(job);
 }
@@ -318,42 +672,23 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
 void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
-  // Last shard out assembles and publishes the result.
-  if (job->error) {
-    metrics_.counter("qs_jobs_failed_total").inc();
-    job->promise.set_exception(job->error);
-    job_done();
-    return;
-  }
-
-  JobResult result;
+  // Last shard out assembles and publishes the result. The acq_rel
+  // decrement chain orders every shard's writes before this read.
+  RunResult result;
   result.job_id = job->id;
   result.kind = job->request.kind();
   result.tag = job->request.tag;
+  result.status = job->status;
   result.histogram = std::move(job->merged);
   result.best_solution = std::move(job->best_solution);
   result.best_energy = job->best_energy;
-  result.cache_hit = job->cache_hit;
-  result.shards = job->shards;
-  result.dispatch_seq = job->dispatch_seq;
-  result.wait_us = job->wait_us;
-  result.run_us = us_between(job->dispatched, Clock::now());
-
-  metrics_.counter("qs_jobs_completed_total").inc();
-  metrics_.counter(result.kind == JobKind::Gate ? "qs_gate_shots_total"
-                                                : "qs_anneal_reads_total")
-      .inc(job->request.shots);
-  metrics_.histogram("qs_job_run_us").observe(result.run_us);
-
-  job->promise.set_value(std::move(result));
-  job_done();
-}
-
-void QuantumService::fail_job(const std::shared_ptr<JobState>& job,
-                              std::exception_ptr err) {
-  metrics_.counter("qs_jobs_failed_total").inc();
-  job->promise.set_exception(std::move(err));
-  job_done();
+  result.stats.queue_wait_us = job->wait_us;
+  result.stats.run_us = us_between(job->dispatched, Clock::now());
+  result.stats.compile_cache_hit = job->cache_hit;
+  result.stats.retries = job->retries.load(std::memory_order_relaxed);
+  result.stats.shards = job->shards;
+  result.stats.dispatch_seq = job->dispatch_seq;
+  resolve(job, std::move(result));
 }
 
 void QuantumService::job_done() {

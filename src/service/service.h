@@ -1,15 +1,25 @@
 // QuantumService: the serving layer over the accelerator stack. Clients
-// submit jobs (cQASM program or QUBO + shots + seed + priority) into a
-// bounded priority queue and get a future back; a dispatcher thread pulls
-// jobs in priority order, resolves the compiled program through an LRU
-// cache, shards the job's shots into fixed-size shard tasks with
-// counter-derived RNG streams, and a worker pool executes the shards and
-// merges per-shard histograms. Because shard boundaries and shard seeds
-// depend only on (job seed, shard index) — never on the pool size — the
-// merged histogram is bit-identical for any worker count.
+// submit RunRequests (cQASM program or QUBO + shots + seed + priority +
+// optional deadline) into a bounded priority queue and get a JobHandle
+// back; a dispatcher thread pulls jobs in priority order, resolves the
+// compiled program through an LRU cache, shards the job's shots into
+// fixed-size shard tasks with counter-derived RNG streams, and a worker
+// pool executes the shards and merges per-shard histograms. Because shard
+// boundaries and shard seeds depend only on (job seed, shard index) —
+// never on the pool size or on how often a shard was retried — the merged
+// histogram is bit-identical for any worker count and any fault history.
+//
+// Robustness layer: jobs carry deadlines (rejected on dequeue if already
+// expired, stopped between shards/shots while running), are cooperatively
+// cancellable through JobHandle::cancel(), and transiently-failed shards
+// retry with deterministic exponential backoff. All terminal states —
+// done / failed / cancelled / timed-out / rejected — arrive as a typed
+// qs::Status inside RunResult; the new API never throws across the
+// service boundary and never hangs the dispatcher.
 //
 // Job lifecycle:  submitted -> queued -> dispatched (compile/cache)
-//                 -> sharded -> running -> merged -> future fulfilled
+//                 -> sharded -> running -> { merged | cancelled |
+//                    timed-out | failed } -> JobHandle fulfilled
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,8 @@
 #include <optional>
 #include <thread>
 
+#include "common/backoff.h"
+#include "common/status.h"
 #include "runtime/accelerator.h"
 #include "service/cache.h"
 #include "service/job.h"
@@ -44,6 +56,14 @@ struct ServiceOptions {
   /// shard workers and kernel threads never oversubscribe the machine.
   /// Disable to force the requested budget (thread-scaling benchmarks).
   bool clamp_sim_threads = true;
+  /// Retry budget per shard for transient failures (a shard runs at most
+  /// 1 + max_shard_retries times). Retries re-derive the same RNG stream,
+  /// so a job that succeeds after retries produces the histogram of a job
+  /// that never failed.
+  std::size_t max_shard_retries = 2;
+  /// Deterministic exponential backoff between shard retry attempts.
+  BackoffPolicy retry_backoff{std::chrono::microseconds(200), 2.0,
+                              std::chrono::microseconds(5000)};
 };
 
 /// The execution service. One instance serves one gate platform (and
@@ -62,14 +82,19 @@ class QuantumService {
   QuantumService(const QuantumService&) = delete;
   QuantumService& operator=(const QuantumService&) = delete;
 
-  /// Validates and enqueues a job; blocks while the queue is full
-  /// (backpressure). Throws std::invalid_argument on a malformed request
-  /// and std::runtime_error after shutdown().
-  std::future<JobResult> submit(JobRequest request);
+  /// The serving front door. Validates and enqueues the request; blocks
+  /// while the queue is full (backpressure). Never throws: a malformed
+  /// request resolves the handle immediately with kInvalidArgument, an
+  /// anneal request without an annealer with kFailedPrecondition, and
+  /// submission after shutdown() with kUnavailable. All later outcomes —
+  /// done, failed, cancelled, timed-out — arrive through the handle as a
+  /// typed Status inside RunResult.
+  JobHandle submit(RunRequest request);
 
-  /// Non-blocking admission: nullopt when the queue is full (the job is
-  /// counted as rejected) or the service is shut down.
-  std::optional<std::future<JobResult>> try_submit(JobRequest request);
+  /// Non-blocking admission: a full queue resolves the handle immediately
+  /// with kResourceExhausted (queue depth in the message) and counts the
+  /// job as rejected, instead of applying backpressure.
+  JobHandle try_submit(RunRequest request);
 
   /// Holds/resumes dispatch while still accepting submissions — lets a
   /// client batch a burst and lets tests freeze the queue to observe
@@ -84,6 +109,21 @@ class QuantumService {
   /// Idempotent; also invoked by the destructor.
   void shutdown();
 
+  // ---- Deprecated pre-RunRequest API (one release of compatibility) -----
+
+  /// DEPRECATED: use submit(RunRequest). Throws std::invalid_argument on a
+  /// malformed request and std::runtime_error after shutdown(); job
+  /// failures arrive as exceptions through the future.
+  [[deprecated("use submit(RunRequest) -> JobHandle")]]
+  std::future<JobResult> submit(JobRequest request);
+
+  /// DEPRECATED: use try_submit(RunRequest). nullopt when the queue is
+  /// full or the service is shut down.
+  [[deprecated("use try_submit(RunRequest) -> JobHandle")]]
+  std::optional<std::future<JobResult>> try_submit(JobRequest request);
+
+  // -----------------------------------------------------------------------
+
   MetricsRegistry& metrics() { return metrics_; }
   const CompiledProgramCache& cache() const { return cache_; }
   const ServiceOptions& options() const { return options_; }
@@ -95,6 +135,39 @@ class QuantumService {
  private:
   struct JobState;
 
+  /// Builds a JobState (id assignment, deadline stamping, legacy promise
+  /// attachment). Returns nullptr with *status = kUnavailable after
+  /// shutdown.
+  std::shared_ptr<JobState> make_job(
+      RunRequest request, std::unique_ptr<std::promise<JobResult>> legacy,
+      Status* status);
+
+  /// Admits a job into the queue (blocking or not). On failure the job's
+  /// inflight slot is released and the returned status is non-OK; the
+  /// caller resolves the job's promise.
+  Status admit(const std::shared_ptr<JobState>& job, bool blocking);
+
+  /// A handle whose future is already resolved with `status` (requests
+  /// rejected before admission). Counts the job as rejected.
+  JobHandle rejected_handle(Status status);
+
+  /// Fulfils the job's promise (and legacy promise, if any), bumps the
+  /// terminal-state metric for result.status, and releases the inflight
+  /// slot. Every dispatched job resolves through here exactly once.
+  void resolve(const std::shared_ptr<JobState>& job, RunResult result);
+
+  /// Fulfils a job that was refused admission (already counted rejected).
+  void resolve_unadmitted(const std::shared_ptr<JobState>& job,
+                          Status status);
+
+  /// Terminal state reached at dispatch, before any shard ran.
+  void resolve_at_dispatch(const std::shared_ptr<JobState>& job,
+                           Status status);
+
+  /// Records the first failure status for a job (first writer wins) and
+  /// flags remaining shards to skip work.
+  void note_failure(const std::shared_ptr<JobState>& job, Status status);
+
   void dispatcher_loop();
   void dispatch(const std::shared_ptr<JobState>& job);
   std::shared_ptr<const CompiledEntry> resolve_compiled(
@@ -105,7 +178,6 @@ class QuantumService {
   void run_anneal_shard(const std::shared_ptr<JobState>& job,
                         std::size_t shard_index);
   void finish_shard(const std::shared_ptr<JobState>& job);
-  void fail_job(const std::shared_ptr<JobState>& job, std::exception_ptr err);
   void job_done();
 
   ServiceOptions options_;

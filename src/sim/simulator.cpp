@@ -247,6 +247,7 @@ RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
   const std::size_t gates_before = gates_executed_;
   std::string key(bits_.size(), '0');
   for (std::size_t s = 0; s < shots; ++s) {
+    throw_if_stopped(options_.cancel);
     reset();
     for (const auto& instr : flat) execute(instr);
     for (std::size_t i = 0; i < bits_.size(); ++i)

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -45,6 +46,13 @@ struct SimOptions {
   /// States below this qubit count always run kernels sequentially; the
   /// fork-join overhead dominates the arithmetic there.
   std::size_t min_parallel_qubits = 14;
+
+  /// Cooperative stop: multi-shot loops (Simulator::run, Executor::
+  /// run_shots) check between shots and throw qs::CancelledError when a
+  /// cancel is requested or the attached deadline expires. The default
+  /// token never fires. Checking at shot granularity keeps a cancelled or
+  /// expired job from occupying a worker for more than one trajectory.
+  CancelToken cancel;
 };
 
 /// Resolves a requested kernel-thread count: `requested` if non-zero, else

@@ -1,13 +1,19 @@
-// Unit tests for the common substrate: RNG, matrices, stats, config.
+// Unit tests for the common substrate: RNG, matrices, stats, config, and
+// the robustness primitives (Status, backoff, cancellation).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <string>
 
+#include "common/backoff.h"
+#include "common/cancellation.h"
 #include "common/config.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/types.h"
 
 namespace qs {
@@ -267,6 +273,67 @@ TEST(Config, KeysAndSectionsSorted) {
   const auto sections = cfg.sections();
   ASSERT_EQ(sections.size(), 2u);
   EXPECT_EQ(sections[0], "a");
+}
+
+// ------------------------------------------------------------- Status ----
+
+TEST(Status, EveryCodeRendersADistinctName) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kCancelled, StatusCode::kInvalidArgument,
+        StatusCode::kDeadlineExceeded, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    names.insert(to_string(code));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Cancelled("x"), Status::Cancelled("x"));
+  EXPECT_NE(Status::Cancelled("x"), Status::Cancelled("y"));
+  EXPECT_NE(Status::Cancelled("x"), Status::Internal("x"));
+  EXPECT_TRUE(Status().ok());
+}
+
+TEST(StatusOr, MovesValueOutOnce) {
+  StatusOr<std::string> s(std::string(100, 'a'));
+  ASSERT_TRUE(s.ok());
+  const std::string taken = std::move(s.value());
+  EXPECT_EQ(taken.size(), 100u);
+  EXPECT_THROW(StatusOr<int>(Status::Internal("boom")).value(),
+               std::logic_error);
+}
+
+// ------------------------------------------------------------ Backoff ----
+
+TEST(BackoffPolicy, DefaultPolicyIsMonotonicUpToCap) {
+  const BackoffPolicy policy;
+  for (std::size_t attempt = 0; attempt + 1 < 10; ++attempt)
+    EXPECT_LE(policy.delay(attempt), policy.delay(attempt + 1));
+  EXPECT_LE(policy.delay(64), policy.cap);  // no overflow at high attempts
+}
+
+// ------------------------------------------------------- Cancellation ----
+
+TEST(CancelToken, FutureDeadlineIsNotExpired) {
+  CancelSource source;
+  const CancelToken token =
+      source.token(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(throw_if_stopped(token));
+  source.request_cancel();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_FALSE(token.deadline_expired());
+}
+
+TEST(CancelToken, CopiesObserveTheSameSource) {
+  CancelSource source;
+  const CancelToken original = source.token();
+  const CancelToken copy = original;
+  source.request_cancel();
+  EXPECT_TRUE(copy.cancelled());
 }
 
 }  // namespace

@@ -1,0 +1,437 @@
+// Fault-injection and robustness tests: the deterministic FaultPlan,
+// retry/backoff policy, cooperative cancellation primitives, the typed
+// Status surface, and the end-to-end behaviour of GateAccelerator::run and
+// QuantumService under injected compile failures, transient shard faults,
+// slow shards racing deadlines, and concurrent cancellation. Everything
+// here is deterministic — no real infrastructure faults required — and the
+// concurrency tests are meant to run under TSan/ASan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "anneal/qubo.h"
+#include "common/backoff.h"
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "compiler/algorithms.h"
+#include "compiler/kernel.h"
+#include "runtime/accelerator.h"
+#include "service/service.h"
+
+namespace qs {
+namespace {
+
+using namespace std::chrono_literals;
+using runtime::FaultPlan;
+using runtime::GateAccelerator;
+using runtime::RunRequest;
+using runtime::RunResult;
+
+qasm::Program ghz_program(std::size_t n) {
+  compiler::Program p("ghz", n);
+  p.add_kernel("main").ghz(n).measure_all();
+  return p.to_qasm();
+}
+
+// ----------------------------------------------------------- FaultPlan ----
+
+TEST(FaultPlan, FailuresForDefaultsToZero) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.failures_for(0), 0u);
+  EXPECT_EQ(plan.failures_for(17), 0u);
+}
+
+TEST(FaultPlan, FailuresForMatchesConfiguredShards) {
+  FaultPlan plan;
+  plan.shard_faults = {{/*shard_index=*/0, /*failures=*/2},
+                       {/*shard_index=*/3, /*failures=*/1}};
+  EXPECT_EQ(plan.failures_for(0), 2u);
+  EXPECT_EQ(plan.failures_for(1), 0u);
+  EXPECT_EQ(plan.failures_for(3), 1u);
+}
+
+// ------------------------------------------------------- BackoffPolicy ----
+
+TEST(BackoffPolicy, GrowsExponentiallyAndCaps) {
+  BackoffPolicy policy{std::chrono::microseconds(100), 2.0,
+                       std::chrono::microseconds(450)};
+  EXPECT_EQ(policy.delay(0), std::chrono::microseconds(100));
+  EXPECT_EQ(policy.delay(1), std::chrono::microseconds(200));
+  EXPECT_EQ(policy.delay(2), std::chrono::microseconds(400));
+  EXPECT_EQ(policy.delay(3), std::chrono::microseconds(450));  // capped
+  EXPECT_EQ(policy.delay(50), std::chrono::microseconds(450));
+}
+
+TEST(BackoffPolicy, DeterministicAcrossCalls) {
+  BackoffPolicy policy;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt)
+    EXPECT_EQ(policy.delay(attempt), policy.delay(attempt));
+}
+
+TEST(BackoffPolicy, NonPositiveInitialMeansNoDelay) {
+  BackoffPolicy policy{std::chrono::microseconds(0), 2.0,
+                       std::chrono::microseconds(1000)};
+  EXPECT_EQ(policy.delay(0), std::chrono::microseconds(0));
+  EXPECT_EQ(policy.delay(5), std::chrono::microseconds(0));
+}
+
+// -------------------------------------------------------- Cancellation ----
+
+TEST(Cancellation, DefaultTokenNeverStops) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_NO_THROW(throw_if_stopped(token));
+}
+
+TEST(Cancellation, RequestCancelReachesEveryToken) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token();
+  EXPECT_FALSE(a.stop_requested());
+  source.request_cancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  try {
+    throw_if_stopped(a);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_FALSE(e.deadline_expired());
+  }
+}
+
+TEST(Cancellation, DeadlineTokenExpires) {
+  CancelSource source;
+  const CancelToken token =
+      source.token(std::chrono::steady_clock::now() - 1ms);  // already past
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.deadline_expired());
+  try {
+    throw_if_stopped(token);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_TRUE(e.deadline_expired());
+  }
+}
+
+TEST(Cancellation, CancellationWinsOverExpiredDeadline) {
+  // A job that is both cancelled and past its deadline reports kCancelled:
+  // the explicit client action dominates.
+  CancelSource source;
+  const CancelToken token =
+      source.token(std::chrono::steady_clock::now() - 1ms);
+  source.request_cancel();
+  try {
+    throw_if_stopped(token);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_FALSE(e.deadline_expired());
+  }
+}
+
+// -------------------------------------------------------------- Status ----
+
+TEST(Status, DefaultIsOkAndFactoriesCarryCodes) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+
+  const Status cancelled = Status::Cancelled("stop");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.message(), "stop");
+  EXPECT_EQ(cancelled.to_string(), "CANCELLED: stop");
+
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_NE(Status::Internal("a"), Status::Unavailable("a"));
+}
+
+TEST(StatusOr, HoldsValueOrError) {
+  StatusOr<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+
+  StatusOr<int> error(Status::NotFound("missing"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(error.value(), std::logic_error);
+}
+
+// ------------------------------------------- GateAccelerator::run -------
+
+TEST(GateAcceleratorRun, MatchesDirectExecutionBitForBit) {
+  const GateAccelerator acc(compiler::Platform::perfect(4));
+  RunRequest req = RunRequest::gate(ghz_program(4), 128, /*seed=*/5);
+  const RunResult r = acc.run(req);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.histogram.total(), 128u);
+  EXPECT_EQ(r.stats.shards, 1u);
+  EXPECT_EQ(r.stats.retries, 0u);
+  EXPECT_GT(r.stats.run_us, 0.0);
+
+  // Same seed through the low-level path: bit-identical.
+  const auto compiled = acc.compile_const(ghz_program(4));
+  EXPECT_EQ(r.histogram.counts(),
+            acc.run_compiled(compiled, 128, 5).counts());
+}
+
+TEST(GateAcceleratorRun, InvalidRequestsResolveNotThrow) {
+  const GateAccelerator acc(compiler::Platform::perfect(3));
+  EXPECT_EQ(acc.run(RunRequest{}).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(acc.run(RunRequest::gate(ghz_program(3), 0)).status.code(),
+            StatusCode::kInvalidArgument);
+  const RunResult anneal = acc.run(RunRequest::anneal(anneal::Qubo(2), 8));
+  EXPECT_EQ(anneal.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(anneal.status.message().find("annealing"), std::string::npos);
+}
+
+TEST(GateAcceleratorRun, CompileFailureIsInvalidArgument) {
+  // 5-qubit program on a 3-qubit platform: fails inside the compiler.
+  const GateAccelerator acc(compiler::Platform::perfect(3));
+  const RunResult r = acc.run(RunRequest::gate(ghz_program(5), 16));
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.histogram.total(), 0u);
+}
+
+TEST(GateAcceleratorRun, InjectedCompileFailure) {
+  const GateAccelerator acc(compiler::Platform::perfect(3));
+  auto plan = std::make_shared<FaultPlan>();
+  plan->fail_compile = true;
+  RunRequest req = RunRequest::gate(ghz_program(3), 16);
+  req.faults = plan;
+  const RunResult r = acc.run(req);
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_NE(r.status.message().find("injected compile failure"),
+            std::string::npos);
+}
+
+TEST(GateAcceleratorRun, DeadlineExpiresMidRun) {
+  const GateAccelerator acc(compiler::Platform::perfect(3));
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_latency = std::chrono::microseconds(30'000);
+  RunRequest req = RunRequest::gate(ghz_program(3), 64);
+  req.deadline = 10ms;  // expires during the injected 30ms stall
+  req.faults = plan;
+  const RunResult r = acc.run(req);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.histogram.total(), 0u);
+}
+
+TEST(GateAcceleratorRun, GenerousDeadlineDoesNotTrigger) {
+  const GateAccelerator acc(compiler::Platform::perfect(3));
+  RunRequest req = RunRequest::gate(ghz_program(3), 32, /*seed=*/9);
+  req.deadline = 10s;
+  const RunResult r = acc.run(req);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.histogram.total(), 32u);
+}
+
+TEST(GateAcceleratorRun, SimThreadBudgetDoesNotChangeOutput) {
+  const GateAccelerator acc(compiler::Platform::perfect(6));
+  RunRequest scalar = RunRequest::gate(ghz_program(6), 64, /*seed=*/21);
+  RunRequest threaded = scalar;
+  threaded.sim_threads = 4;
+  EXPECT_EQ(acc.run(scalar).histogram.counts(),
+            acc.run(threaded).histogram.counts());
+}
+
+// ----------------------------------- Service robustness under faults ----
+
+TEST(ServiceFaults, MultiShardFaultsRetryAndStayDeterministic) {
+  service::ServiceOptions opts;
+  opts.workers = 4;
+  opts.shard_shots = 32;
+  opts.max_shard_retries = 2;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+
+  auto run_with = [&](std::shared_ptr<const FaultPlan> plan) {
+    service::QuantumService svc(
+        GateAccelerator(compiler::Platform::perfect(5)), opts);
+    RunRequest req = RunRequest::gate(ghz_program(5), 160, /*seed=*/31);
+    req.faults = std::move(plan);
+    return svc.submit(std::move(req)).get();
+  };
+
+  const RunResult clean = run_with(nullptr);
+  ASSERT_TRUE(clean.ok());
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{0, 1}, {2, 2}, {4, 1}};  // 4 retries across 3 shards
+  const RunResult faulty = run_with(plan);
+  ASSERT_TRUE(faulty.ok()) << faulty.status.to_string();
+  EXPECT_EQ(faulty.stats.retries, 4u);
+  EXPECT_EQ(faulty.histogram.counts(), clean.histogram.counts());
+}
+
+TEST(ServiceFaults, AnnealShardRetriesNeverDoubleCountReads) {
+  anneal::Qubo qubo(3);
+  qubo.add(0, 0, -2.0);
+  qubo.add(1, 1, 1.0);
+  qubo.add(2, 2, -2.0);
+  qubo.add(0, 1, 1.5);
+  qubo.add(1, 2, 1.5);
+
+  service::ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 8;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+
+  auto run_with = [&](std::shared_ptr<const FaultPlan> plan) {
+    service::QuantumService svc(
+        GateAccelerator(compiler::Platform::perfect(2)),
+        runtime::AnnealAccelerator(/*capacity=*/8), opts);
+    RunRequest req = RunRequest::anneal(qubo, /*reads=*/40, /*seed=*/3);
+    req.faults = std::move(plan);
+    return svc.submit(std::move(req)).get();
+  };
+
+  const RunResult clean = run_with(nullptr);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.histogram.total(), 40u);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{1, 2}};
+  const RunResult faulty = run_with(plan);
+  ASSERT_TRUE(faulty.ok()) << faulty.status.to_string();
+  EXPECT_EQ(faulty.stats.retries, 2u);
+  EXPECT_EQ(faulty.histogram.total(), 40u);  // no reads double-counted
+  EXPECT_EQ(faulty.histogram.counts(), clean.histogram.counts());
+  EXPECT_EQ(faulty.best_solution, clean.best_solution);
+  EXPECT_DOUBLE_EQ(faulty.best_energy, clean.best_energy);
+}
+
+TEST(ServiceFaults, RetriesCompleteWithinGenerousDeadline) {
+  service::ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 32;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+  service::QuantumService svc(
+      GateAccelerator(compiler::Platform::perfect(4)), opts);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{1, 2}};
+  RunRequest req = RunRequest::gate(ghz_program(4), 128, /*seed=*/8);
+  req.deadline = 30s;  // generous: retries must not be mistaken for expiry
+  req.faults = plan;
+  const RunResult r = svc.submit(std::move(req)).get();
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.stats.retries, 2u);
+  EXPECT_EQ(r.histogram.total(), 128u);
+}
+
+TEST(ServiceFaults, FaultyShardDoesNotPoisonOtherJobs) {
+  // A job that exhausts its retries fails alone; jobs sharing the worker
+  // pool before and after it complete normally.
+  service::ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 32;
+  opts.max_shard_retries = 1;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+  service::QuantumService svc(
+      GateAccelerator(compiler::Platform::perfect(4)), opts);
+  const qasm::Program prog = ghz_program(4);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{0, 10}};
+  RunRequest doomed = RunRequest::gate(prog, 64);
+  doomed.faults = plan;
+
+  service::JobHandle ok_before = svc.submit(RunRequest::gate(prog, 64, 2));
+  service::JobHandle failed = svc.submit(std::move(doomed));
+  service::JobHandle ok_after = svc.submit(RunRequest::gate(prog, 64, 3));
+
+  EXPECT_EQ(failed.get().status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ok_before.get().ok());
+  EXPECT_TRUE(ok_after.get().ok());
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), 2u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
+}
+
+TEST(ServiceFaults, ConcurrentCancellationIsRaceFreeAndNeverHangs) {
+  // Stress the cancel path under TSan: 16 slow jobs, half cancelled from a
+  // second thread while they run. Every handle must resolve (no hang), to
+  // either kOk or kCancelled, and the terminal metrics must account for
+  // every job exactly once.
+  service::ServiceOptions opts;
+  opts.workers = 4;
+  opts.shard_shots = 8;
+  service::QuantumService svc(
+      GateAccelerator(compiler::Platform::perfect(3)), opts);
+  const qasm::Program prog = ghz_program(3);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_latency = std::chrono::microseconds(2'000);
+
+  constexpr std::size_t kJobs = 16;
+  std::vector<service::JobHandle> handles;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    RunRequest req = RunRequest::gate(prog, 32, /*seed=*/i + 1);
+    req.faults = plan;
+    handles.push_back(svc.submit(std::move(req)));
+  }
+
+  std::thread canceller([&handles] {
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      handles[i].cancel();
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  canceller.join();
+
+  std::size_t ok = 0, cancelled = 0;
+  for (auto& h : handles) {
+    const RunResult r = h.get();  // must not hang
+    if (r.ok())
+      ++ok;
+    else {
+      ASSERT_EQ(r.status.code(), StatusCode::kCancelled)
+          << r.status.to_string();
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, kJobs);
+  EXPECT_GE(cancelled, 1u);  // the first cancel lands before its job ends
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), ok);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_cancelled_total").value(),
+            cancelled);
+}
+
+TEST(ServiceFaults, ShutdownWithInflightSlowJobsCompletesThem) {
+  // Destruction while slow faulted jobs are in flight must drain, not
+  // hang and not drop promises (a dropped promise would surface as
+  // broken_promise in get()).
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_latency = std::chrono::microseconds(5'000);
+  std::vector<service::JobHandle> handles;
+  {
+    service::ServiceOptions opts;
+    opts.workers = 2;
+    opts.shard_shots = 16;
+    service::QuantumService svc(
+        GateAccelerator(compiler::Platform::perfect(3)), opts);
+    for (int i = 0; i < 4; ++i) {
+      RunRequest req = RunRequest::gate(ghz_program(3), 32, i + 1);
+      req.faults = plan;
+      handles.push_back(svc.submit(std::move(req)));
+    }
+  }  // ~QuantumService: shutdown + drain
+  for (auto& h : handles) {
+    const RunResult r = h.get();
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    EXPECT_EQ(r.histogram.total(), 32u);
+  }
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,9 +1,13 @@
 // Tests for the execution service: queue ordering (FIFO within priority),
 // shot-sharded determinism across worker counts, compiled-program cache
-// accounting, metrics exposition, and the thread-safety of qs::Log.
+// accounting, metrics exposition, the thread-safety of qs::Log, and the
+// robustness layer — deadlines, cooperative cancellation, shard retry with
+// deterministic seeds, and fault injection — behind the RunRequest/
+// RunResult/JobHandle front door.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -12,6 +16,7 @@
 #include "anneal/qubo.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "compiler/algorithms.h"
 #include "compiler/kernel.h"
 #include "service/cache.h"
@@ -24,6 +29,8 @@
 namespace qs::service {
 namespace {
 
+using namespace std::chrono_literals;
+
 qasm::Program ghz_program(std::size_t n) {
   compiler::Program p("ghz", n);
   p.add_kernel("main").ghz(n).measure_all();
@@ -32,6 +39,16 @@ qasm::Program ghz_program(std::size_t n) {
 
 runtime::GateAccelerator perfect_gate(std::size_t qubits) {
   return runtime::GateAccelerator(compiler::Platform::perfect(qubits));
+}
+
+/// Spin until the dispatcher has actually sharded a job (bounded wait).
+void wait_for_dispatch(QuantumService& svc, std::uint64_t count = 1) {
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  while (svc.metrics().counter("qs_jobs_dispatched_total").value() < count) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "job never dispatched";
+    std::this_thread::sleep_for(1ms);
+  }
 }
 
 // ------------------------------------------------------------- Queue ----
@@ -198,21 +215,35 @@ TEST(WorkerPool, ExecutesAllTasksAndWaitsIdle) {
   EXPECT_EQ(done.load(), 64);
 }
 
-// ------------------------------------------------------------ Service ----
+// --------------------------------------------- Service: RunRequest API ----
 
-TEST(QuantumService, JobRequestValidation) {
+TEST(QuantumService, InvalidRequestsResolveWithStatusNotExceptions) {
   ServiceOptions opts;
   opts.workers = 1;
   QuantumService svc(perfect_gate(3), opts);
-  EXPECT_THROW(svc.submit(JobRequest{}), std::invalid_argument);
-  JobRequest both = JobRequest::gate(ghz_program(3), 16);
+
+  // Neither payload set.
+  RunResult empty = svc.submit(RunRequest{}).get();
+  EXPECT_EQ(empty.status.code(), StatusCode::kInvalidArgument);
+
+  // Both payloads set.
+  RunRequest both = RunRequest::gate(ghz_program(3), 16);
   both.qubo = anneal::Qubo(2);
-  EXPECT_THROW(svc.submit(both), std::invalid_argument);
-  JobRequest zero = JobRequest::gate(ghz_program(3), 0);
-  EXPECT_THROW(svc.submit(zero), std::invalid_argument);
+  EXPECT_EQ(svc.submit(both).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Zero shots.
+  EXPECT_EQ(svc.submit(RunRequest::gate(ghz_program(3), 0)).get()
+                .status.code(),
+            StatusCode::kInvalidArgument);
+
   // Anneal job without an annealer attached.
-  EXPECT_THROW(svc.submit(JobRequest::anneal(anneal::Qubo(2), 8)),
-               std::invalid_argument);
+  EXPECT_EQ(svc.submit(RunRequest::anneal(anneal::Qubo(2), 8)).get()
+                .status.code(),
+            StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_rejected_total").value(), 4u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_submitted_total").value(), 0u);
 }
 
 TEST(QuantumService, GateJobMergesAllShots) {
@@ -220,10 +251,13 @@ TEST(QuantumService, GateJobMergesAllShots) {
   opts.workers = 2;
   opts.shard_shots = 64;
   QuantumService svc(perfect_gate(4), opts);
-  auto fut = svc.submit(JobRequest::gate(ghz_program(4), 1000, /*seed=*/9));
-  const JobResult r = fut.get();
+  JobHandle h = svc.submit(RunRequest::gate(ghz_program(4), 1000, /*seed=*/9));
+  EXPECT_GT(h.id(), 0u);
+  const RunResult r = h.get();
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.histogram.total(), 1000u);
-  EXPECT_EQ(r.shards, shard_count(1000, 64));
+  EXPECT_EQ(r.stats.shards, shard_count(1000, 64));
+  EXPECT_EQ(r.stats.retries, 0u);
   EXPECT_EQ(r.kind, JobKind::Gate);
   // GHZ: only the all-zeros and all-ones bitstrings occur.
   for (const auto& [bits, n] : r.histogram.counts()) {
@@ -241,9 +275,9 @@ TEST(QuantumService, MergedHistogramIdenticalAcrossWorkerCounts) {
     opts.workers = workers;
     opts.shard_shots = 32;
     QuantumService svc(perfect_gate(6), opts);
-    auto fut =
-        svc.submit(JobRequest::gate(ghz_program(6), 777, /*seed=*/12345));
-    results.push_back(fut.get().histogram.counts());
+    JobHandle h =
+        svc.submit(RunRequest::gate(ghz_program(6), 777, /*seed=*/12345));
+    results.push_back(h.get().histogram.counts());
   }
   EXPECT_EQ(results[0], results[1]);
   EXPECT_EQ(results[0], results[2]);
@@ -258,10 +292,10 @@ TEST(QuantumService, RepeatSubmissionsHitTheCompiledProgramCache) {
   bool first_hit = true;
   std::size_t hits = 0;
   for (int i = 0; i < 10; ++i) {
-    auto fut = svc.submit(JobRequest::gate(prog, 64, /*seed=*/i + 1));
-    const JobResult r = fut.get();
-    if (i == 0) first_hit = r.cache_hit;
-    hits += r.cache_hit ? 1 : 0;
+    const RunResult r =
+        svc.submit(RunRequest::gate(prog, 64, /*seed=*/i + 1)).get();
+    if (i == 0) first_hit = r.stats.compile_cache_hit;
+    hits += r.stats.compile_cache_hit ? 1 : 0;
   }
   EXPECT_FALSE(first_hit);
   EXPECT_EQ(hits, 9u);
@@ -278,8 +312,8 @@ TEST(QuantumService, CacheDisabledNeverReportsHits) {
   QuantumService svc(perfect_gate(3), opts);
   const qasm::Program prog = ghz_program(3);
   for (int i = 0; i < 3; ++i) {
-    const JobResult r = svc.submit(JobRequest::gate(prog, 32)).get();
-    EXPECT_FALSE(r.cache_hit);
+    const RunResult r = svc.submit(RunRequest::gate(prog, 32)).get();
+    EXPECT_FALSE(r.stats.compile_cache_hit);
   }
   EXPECT_EQ(svc.cache().hits(), 0u);
   EXPECT_EQ(svc.cache().misses(), 0u);
@@ -293,12 +327,12 @@ TEST(QuantumService, CachedAndUncachedResultsAgree) {
   opts.shard_shots = 50;
   QuantumService svc(perfect_gate(5), opts);
   const qasm::Program prog = ghz_program(5);
-  const JobResult fresh =
-      svc.submit(JobRequest::gate(prog, 300, /*seed=*/555)).get();
-  const JobResult cached =
-      svc.submit(JobRequest::gate(prog, 300, /*seed=*/555)).get();
-  EXPECT_FALSE(fresh.cache_hit);
-  EXPECT_TRUE(cached.cache_hit);
+  const RunResult fresh =
+      svc.submit(RunRequest::gate(prog, 300, /*seed=*/555)).get();
+  const RunResult cached =
+      svc.submit(RunRequest::gate(prog, 300, /*seed=*/555)).get();
+  EXPECT_FALSE(fresh.stats.compile_cache_hit);
+  EXPECT_TRUE(cached.stats.compile_cache_hit);
   EXPECT_EQ(fresh.histogram.counts(), cached.histogram.counts());
 }
 
@@ -309,20 +343,20 @@ TEST(QuantumService, DispatchOrderIsPriorityThenFifo) {
   QuantumService svc(perfect_gate(3), opts);
   const qasm::Program prog = ghz_program(3);
 
-  auto a = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/0));
-  auto b = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/5));
-  auto c = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/0));
-  auto d = svc.submit(JobRequest::gate(prog, 16, 1, /*priority=*/5));
+  JobHandle a = svc.submit(RunRequest::gate(prog, 16, 1, /*priority=*/0));
+  JobHandle b = svc.submit(RunRequest::gate(prog, 16, 1, /*priority=*/5));
+  JobHandle c = svc.submit(RunRequest::gate(prog, 16, 1, /*priority=*/0));
+  JobHandle d = svc.submit(RunRequest::gate(prog, 16, 1, /*priority=*/5));
   EXPECT_EQ(svc.queue_depth(), 4u);
   svc.resume();
 
-  EXPECT_EQ(b.get().dispatch_seq, 1u);
-  EXPECT_EQ(d.get().dispatch_seq, 2u);
-  EXPECT_EQ(a.get().dispatch_seq, 3u);
-  EXPECT_EQ(c.get().dispatch_seq, 4u);
+  EXPECT_EQ(b.get().stats.dispatch_seq, 1u);
+  EXPECT_EQ(d.get().stats.dispatch_seq, 2u);
+  EXPECT_EQ(a.get().stats.dispatch_seq, 3u);
+  EXPECT_EQ(c.get().stats.dispatch_seq, 4u);
 }
 
-TEST(QuantumService, TrySubmitRejectsWhenQueueFull) {
+TEST(QuantumService, TrySubmitRejectsWithResourceExhaustedWhenFull) {
   ServiceOptions opts;
   opts.workers = 1;
   opts.queue_capacity = 2;
@@ -330,17 +364,21 @@ TEST(QuantumService, TrySubmitRejectsWhenQueueFull) {
   QuantumService svc(perfect_gate(3), opts);
   const qasm::Program prog = ghz_program(3);
 
-  auto a = svc.try_submit(JobRequest::gate(prog, 16));
-  auto b = svc.try_submit(JobRequest::gate(prog, 16));
-  auto rejected = svc.try_submit(JobRequest::gate(prog, 16));
-  EXPECT_TRUE(a.has_value());
-  EXPECT_TRUE(b.has_value());
-  EXPECT_FALSE(rejected.has_value());
+  JobHandle a = svc.try_submit(RunRequest::gate(prog, 16));
+  JobHandle b = svc.try_submit(RunRequest::gate(prog, 16));
+  JobHandle rejected = svc.try_submit(RunRequest::gate(prog, 16));
+
+  // The rejection is immediate, typed, and names the queue depth.
+  ASSERT_EQ(rejected.wait_for(0s), std::future_status::ready);
+  const RunResult rr = rejected.get();
+  EXPECT_EQ(rr.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rr.status.message().find("depth 2/2"), std::string::npos)
+      << rr.status.message();
   EXPECT_EQ(svc.metrics().counter("qs_jobs_rejected_total").value(), 1u);
 
   svc.resume();
-  EXPECT_EQ(a->get().histogram.total(), 16u);
-  EXPECT_EQ(b->get().histogram.total(), 16u);
+  EXPECT_EQ(a.get().histogram.total(), 16u);
+  EXPECT_EQ(b.get().histogram.total(), 16u);
 }
 
 TEST(QuantumService, MicroArchPathServesFromAssembledCache) {
@@ -351,10 +389,10 @@ TEST(QuantumService, MicroArchPathServesFromAssembledCache) {
                                 runtime::GatePath::MicroArch);
   QuantumService svc(std::move(gate), opts);
   const qasm::Program prog = ghz_program(3);
-  const JobResult r1 = svc.submit(JobRequest::gate(prog, 48, 7)).get();
-  const JobResult r2 = svc.submit(JobRequest::gate(prog, 48, 7)).get();
+  const RunResult r1 = svc.submit(RunRequest::gate(prog, 48, 7)).get();
+  const RunResult r2 = svc.submit(RunRequest::gate(prog, 48, 7)).get();
   EXPECT_EQ(r1.histogram.total(), 48u);
-  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_TRUE(r2.stats.compile_cache_hit);
   EXPECT_EQ(r1.histogram.counts(), r2.histogram.counts());
 }
 
@@ -367,15 +405,16 @@ TEST(QuantumService, AnnealJobFindsMinimumAndIsWorkerCountInvariant) {
   qubo.add(0, 1, 1.5);
   qubo.add(1, 2, 1.5);
 
-  std::vector<JobResult> results;
+  std::vector<RunResult> results;
   for (std::size_t workers : {1u, 2u, 8u}) {
     ServiceOptions opts;
     opts.workers = workers;
     opts.shard_shots = 8;
     QuantumService svc(perfect_gate(2),
                        runtime::AnnealAccelerator(/*capacity=*/8), opts);
-    auto fut = svc.submit(JobRequest::anneal(qubo, /*reads=*/40, /*seed=*/3));
-    results.push_back(fut.get());
+    JobHandle h =
+        svc.submit(RunRequest::anneal(qubo, /*reads=*/40, /*seed=*/3));
+    results.push_back(h.get());
   }
   EXPECT_EQ(results[0].best_solution, (std::vector<int>{1, 0, 1}));
   EXPECT_DOUBLE_EQ(results[0].best_energy, -4.0);
@@ -390,37 +429,221 @@ TEST(QuantumService, DrainWaitsForAllSubmittedJobs) {
   ServiceOptions opts;
   opts.workers = 2;
   QuantumService svc(perfect_gate(4), opts);
-  std::vector<std::future<JobResult>> futures;
+  std::vector<JobHandle> handles;
   for (int i = 0; i < 6; ++i)
-    futures.push_back(
-        svc.submit(JobRequest::gate(ghz_program(4), 128, i + 1)));
+    handles.push_back(
+        svc.submit(RunRequest::gate(ghz_program(4), 128, i + 1)));
   svc.drain();
-  for (auto& f : futures) {
-    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
-              std::future_status::ready);
-    EXPECT_EQ(f.get().histogram.total(), 128u);
+  for (JobHandle& h : handles) {
+    ASSERT_EQ(h.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(h.get().histogram.total(), 128u);
   }
   EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), 6u);
   EXPECT_EQ(svc.metrics().counter("qs_gate_shots_total").value(), 6u * 128u);
 }
 
-TEST(QuantumService, SubmitAfterShutdownThrows) {
+TEST(QuantumService, SubmitAfterShutdownResolvesUnavailable) {
   ServiceOptions opts;
   opts.workers = 1;
   QuantumService svc(perfect_gate(3), opts);
   svc.shutdown();
-  EXPECT_THROW(svc.submit(JobRequest::gate(ghz_program(3), 16)),
-               std::runtime_error);
-  EXPECT_FALSE(svc.try_submit(JobRequest::gate(ghz_program(3), 16)));
+  const RunResult r = svc.submit(RunRequest::gate(ghz_program(3), 16)).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(svc.try_submit(RunRequest::gate(ghz_program(3), 16))
+                .get()
+                .status.code(),
+            StatusCode::kUnavailable);
 }
 
-TEST(QuantumService, FailedJobPropagatesThroughFuture) {
+TEST(QuantumService, FailedJobCarriesInternalStatus) {
   ServiceOptions opts;
   opts.workers = 1;
-  // Annealer capacity 2 < QUBO size 4: solve throws inside the shard.
+  // Annealer capacity 2 < QUBO size 4: solve throws inside the shard; the
+  // exception is mapped to a Status at the service boundary.
   QuantumService svc(perfect_gate(2), runtime::AnnealAccelerator(2), opts);
-  auto fut = svc.submit(JobRequest::anneal(anneal::Qubo(4), 8));
-  EXPECT_THROW(fut.get(), std::runtime_error);
+  const RunResult r = svc.submit(RunRequest::anneal(anneal::Qubo(4), 8)).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_NE(r.status.message().find("capacity"), std::string::npos)
+      << r.status.message();
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
+}
+
+// ------------------------------------------- Cancellation & deadlines ----
+
+TEST(QuantumService, CancelBeforeDispatchNeverRuns) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  QuantumService svc(perfect_gate(3), opts);
+  JobHandle h = svc.submit(RunRequest::gate(ghz_program(3), 64));
+  h.cancel();
+  EXPECT_TRUE(h.cancel_requested());
+  svc.resume();
+  const RunResult r = h.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.stats.shards, 0u);  // never compiled, never sharded
+  EXPECT_EQ(r.histogram.total(), 0u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_cancelled_total").value(), 1u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), 0u);
+}
+
+TEST(QuantumService, CancelMidRunStopsBetweenShards) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.shard_shots = 16;
+  QuantumService svc(perfect_gate(3), opts);
+
+  // 8 shards, each held up ~25ms by injected latency: the job takes
+  // >= 200ms on one worker, so a cancel sent right after dispatch lands
+  // mid-run deterministically.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_latency = std::chrono::microseconds(25'000);
+  RunRequest req = RunRequest::gate(ghz_program(3), 128, /*seed=*/4);
+  req.faults = plan;
+
+  JobHandle h = svc.submit(std::move(req));
+  wait_for_dispatch(svc);
+  h.cancel();
+
+  const RunResult r = h.get();  // must not hang
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.stats.shards, 8u);
+  EXPECT_LT(r.histogram.total(), 128u);  // partial at best
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_cancelled_total").value(), 1u);
+}
+
+TEST(QuantumService, CancelAfterCompletionIsANoOp) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+  JobHandle h = svc.submit(RunRequest::gate(ghz_program(3), 16));
+  const RunResult r = h.get();
+  ASSERT_TRUE(r.ok());
+  h.cancel();  // too late, harmless
+  EXPECT_TRUE(h.get().ok());
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_cancelled_total").value(), 0u);
+}
+
+TEST(QuantumService, DeadlineExpiredInQueueIsRejectedOnDequeue) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  QuantumService svc(perfect_gate(3), opts);
+
+  RunRequest req = RunRequest::gate(ghz_program(3), 64);
+  req.deadline = 20ms;
+  JobHandle h = svc.submit(std::move(req));
+  std::this_thread::sleep_for(60ms);  // expire while paused in queue
+  svc.resume();
+
+  const RunResult r = h.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status.message().find("in queue"), std::string::npos)
+      << r.status.message();
+  EXPECT_EQ(r.stats.shards, 0u);  // never dispatched to workers
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_timed_out_total").value(), 1u);
+  // Queue wait consumed more than the whole deadline budget.
+  auto& frac = svc.metrics().histogram("qs_deadline_wait_fraction",
+                                       MetricsRegistry::fraction_bounds());
+  EXPECT_EQ(frac.count(), 1u);
+  EXPECT_GT(frac.sum(), 1.0);
+}
+
+TEST(QuantumService, DeadlineExpiredMidRunStopsBetweenShards) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.shard_shots = 16;
+  QuantumService svc(perfect_gate(3), opts);
+
+  // 4 shards x ~100ms injected latency on one worker vs a 150ms deadline:
+  // shard 0 completes, the deadline expires during shard 1.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_latency = std::chrono::microseconds(100'000);
+  RunRequest req = RunRequest::gate(ghz_program(3), 64, /*seed=*/2);
+  req.deadline = 150ms;
+  req.faults = plan;
+
+  const RunResult r = svc.submit(std::move(req)).get();  // must not hang
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.stats.shards, 4u);
+  EXPECT_LT(r.histogram.total(), 64u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_timed_out_total").value(), 1u);
+}
+
+// ------------------------------------------------ Retries and faults ----
+
+TEST(QuantumService, RetriedShardsProduceByteIdenticalHistogram) {
+  // The reproducibility contract under faults: a job whose shard fails
+  // twice and then succeeds yields exactly the histogram of a job that
+  // never failed, because the retried shard re-derives the same
+  // counter-based RNG stream.
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 64;
+  opts.max_shard_retries = 2;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+
+  std::map<std::string, std::size_t> clean;
+  {
+    QuantumService svc(perfect_gate(5), opts);
+    const RunResult r =
+        svc.submit(RunRequest::gate(ghz_program(5), 256, /*seed=*/77)).get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.stats.retries, 0u);
+    clean = r.histogram.counts();
+  }
+
+  QuantumService svc(perfect_gate(5), opts);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{/*shard_index=*/1, /*failures=*/2}};
+  RunRequest req = RunRequest::gate(ghz_program(5), 256, /*seed=*/77);
+  req.faults = plan;
+  const RunResult faulty = svc.submit(std::move(req)).get();
+
+  ASSERT_TRUE(faulty.ok()) << faulty.status.to_string();
+  EXPECT_EQ(faulty.stats.retries, 2u);
+  EXPECT_EQ(svc.metrics().counter("qs_shard_retries_total").value(), 2u);
+  EXPECT_EQ(faulty.histogram.counts(), clean);  // byte-identical
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_completed_total").value(), 1u);
+}
+
+TEST(QuantumService, ShardExhaustingRetriesFailsUnavailable) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 32;
+  opts.max_shard_retries = 2;
+  opts.retry_backoff.initial = std::chrono::microseconds(1);
+  QuantumService svc(perfect_gate(4), opts);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->shard_faults = {{/*shard_index=*/0, /*failures=*/100}};
+  RunRequest req = RunRequest::gate(ghz_program(4), 128);
+  req.faults = plan;
+
+  const RunResult r = svc.submit(std::move(req)).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status.message().find("failed after 3 attempts"),
+            std::string::npos)
+      << r.status.message();
+  EXPECT_EQ(svc.metrics().counter("qs_shard_retries_total").value(), 2u);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
+}
+
+TEST(QuantumService, InjectedCompileFailureFailsJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->fail_compile = true;
+  RunRequest req = RunRequest::gate(ghz_program(3), 32);
+  req.faults = plan;
+
+  const RunResult r = svc.submit(std::move(req)).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_NE(r.status.message().find("injected compile failure"),
+            std::string::npos);
+  EXPECT_EQ(r.stats.shards, 0u);  // failed before sharding
   EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
 }
 
@@ -430,19 +653,70 @@ TEST(QuantumService, MetricsSnapshotCoversServingSignals) {
   QuantumService svc(perfect_gate(4), opts);
   const qasm::Program prog = ghz_program(4);
   for (int i = 0; i < 4; ++i)
-    svc.submit(JobRequest::gate(prog, 100, i + 1)).get();
+    svc.submit(RunRequest::gate(prog, 100, i + 1)).get();
 
   const std::string snapshot = svc.metrics().render();
   for (const char* key :
        {"qs_jobs_submitted_total 4", "qs_jobs_completed_total 4",
-        "qs_gate_shots_total 400", "qs_cache_hits_total 3",
-        "qs_cache_misses_total 1", "qs_workers 2", "qs_job_wait_us_count",
-        "qs_job_run_us_p99"}) {
+        "qs_jobs_dispatched_total 4", "qs_gate_shots_total 400",
+        "qs_cache_hits_total 3", "qs_cache_misses_total 1", "qs_workers 2",
+        "qs_job_wait_us_count", "qs_job_run_us_p99"}) {
     EXPECT_NE(snapshot.find(key), std::string::npos)
         << "missing '" << key << "' in:\n"
         << snapshot;
   }
 }
+
+// ------------------------------------- Deprecated pre-RunRequest shim ----
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(QuantumServiceDeprecated, JobRequestValidationStillThrows) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+  EXPECT_THROW(svc.submit(JobRequest{}), std::invalid_argument);
+  JobRequest zero = JobRequest::gate(ghz_program(3), 0);
+  EXPECT_THROW(svc.submit(zero), std::invalid_argument);
+  EXPECT_THROW(svc.submit(JobRequest::anneal(anneal::Qubo(2), 8)),
+               std::invalid_argument);
+}
+
+TEST(QuantumServiceDeprecated, FutureApiMatchesHandleApi) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.shard_shots = 32;
+  QuantumService svc(perfect_gate(4), opts);
+  std::future<JobResult> legacy =
+      svc.submit(JobRequest::gate(ghz_program(4), 200, /*seed=*/11));
+  const JobResult jr = legacy.get();
+  const RunResult rr =
+      svc.submit(RunRequest::gate(ghz_program(4), 200, /*seed=*/11)).get();
+  EXPECT_EQ(jr.histogram.counts(), rr.histogram.counts());
+  EXPECT_EQ(jr.shards, rr.stats.shards);
+}
+
+TEST(QuantumServiceDeprecated, FailuresStillArriveAsExceptions) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(2), runtime::AnnealAccelerator(2), opts);
+  auto fut = svc.submit(JobRequest::anneal(anneal::Qubo(4), 8));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
+}
+
+TEST(QuantumServiceDeprecated, SubmitAfterShutdownThrows) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  QuantumService svc(perfect_gate(3), opts);
+  svc.shutdown();
+  EXPECT_THROW(svc.submit(JobRequest::gate(ghz_program(3), 16)),
+               std::runtime_error);
+  EXPECT_FALSE(svc.try_submit(JobRequest::gate(ghz_program(3), 16)));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace qs::service
