@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -246,5 +247,87 @@ int main() {
       return 1;
     }
   }
-  return (deterministic && t_deterministic) ? 0 : 1;
+
+  // ---- Degraded mode: supervised pool with one crash-looping backend ----
+  // Three equivalent gate backends behind the BackendPool; a FaultPlan
+  // marks one of them crash-looping (every shard attempt fails over). The
+  // supervised run must produce the byte-identical histogram of the
+  // healthy run — failover is output-invisible — while the circuit breaker
+  // caps the throughput cost at a few failed attempts before quarantine.
+  std::printf("\ndegraded mode (3-backend pool, 1 crash-looping, "
+              "workers=4):\n\n");
+  bool degraded_deterministic = true;
+  {
+    const qasm::Program kernel = ghz_kernel(12);
+    const std::size_t d_jobs = 12;
+    const std::size_t d_shots = 1024;
+
+    auto run_pool = [&](bool inject_crash) {
+      service::BackendPoolOptions pool_opts;
+      pool_opts.breaker.open_cooldown = std::chrono::microseconds(60'000'000);
+      auto pool = std::make_shared<service::BackendPool>(pool_opts);
+      for (const char* name : {"b0", "b1", "b2"})
+        pool->register_gate(name,
+                            std::make_shared<runtime::GateAccelerator>(
+                                compiler::Platform::perfect(12)));
+      service::ServiceOptions opts;
+      opts.workers = 4;
+      opts.queue_capacity = d_jobs + 1;
+      opts.shard_shots = 128;
+      service::QuantumService svc(pool, opts);
+
+      std::shared_ptr<runtime::FaultPlan> plan;
+      if (inject_crash) {
+        auto p = std::make_shared<runtime::FaultPlan>();
+        p->backend_faults = {{"b1", runtime::BackendFaultKind::kCrash}};
+        plan = std::move(p);
+      }
+
+      std::vector<service::JobHandle> handles;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t j = 0; j < d_jobs; ++j) {
+        service::RunRequest req =
+            service::RunRequest::gate(kernel, d_shots, /*seed=*/j + 1);
+        req.faults = plan;
+        handles.push_back(svc.submit(std::move(req)));
+      }
+      ConfigResult r;
+      std::size_t failed = 0;
+      for (std::size_t j = 0; j < handles.size(); ++j) {
+        const service::RunResult rr = handles[j].get();
+        if (!rr.ok()) ++failed;
+        if (j == 0) r.first_histogram = rr.histogram.counts();
+      }
+      const auto end = std::chrono::steady_clock::now();
+      r.seconds = std::chrono::duration<double>(end - start).count();
+      r.shots_per_sec =
+          static_cast<double>(d_jobs * d_shots) / r.seconds;
+      const auto failovers =
+          svc.metrics().counter("qs_backend_failovers_total").value();
+      const char* b1_state =
+          service::to_string(svc.backends().breaker_state("b1"));
+      std::printf("  %-8s %8.3fs  %10.1f shots/s  failovers=%llu  "
+                  "breaker[b1]=%s  failed_jobs=%zu\n",
+                  inject_crash ? "faulty" : "healthy", r.seconds,
+                  r.shots_per_sec,
+                  static_cast<unsigned long long>(failovers), b1_state,
+                  failed);
+      if (failed != 0) degraded_deterministic = false;
+      return r;
+    };
+
+    const ConfigResult healthy = run_pool(/*inject_crash=*/false);
+    const ConfigResult faulty = run_pool(/*inject_crash=*/true);
+    if (faulty.first_histogram != healthy.first_histogram)
+      degraded_deterministic = false;
+    std::printf("\nthroughput retention under crash-loop: %.1f%%  "
+                "[breaker opens after %zu failed attempts, then full "
+                "re-route]\n",
+                100.0 * faulty.shots_per_sec / healthy.shots_per_sec,
+                service::BreakerOptions{}.failure_threshold);
+    std::printf("histogram identical healthy vs degraded: %s\n",
+                degraded_deterministic ? "yes" : "NO — DETERMINISM BROKEN");
+  }
+
+  return (deterministic && t_deterministic && degraded_deterministic) ? 0 : 1;
 }

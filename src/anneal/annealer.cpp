@@ -52,7 +52,8 @@ double cluster_flip_delta(
 }  // namespace
 
 AnnealResult SimulatedAnnealer::solve(const IsingModel& model, Rng& rng,
-                                      const SpinClusters& clusters) const {
+                                      const SpinClusters& clusters,
+                                      const CancelToken& cancel) const {
   if (model.n == 0)
     throw std::invalid_argument("SimulatedAnnealer: empty model");
   const auto adj = model.adjacency();
@@ -77,6 +78,7 @@ AnnealResult SimulatedAnnealer::solve(const IsingModel& model, Rng& rng,
     std::iota(order.begin(), order.end(), 0);
     std::vector<char> in_cluster(model.n, 0);
     for (std::size_t sweep = 0; sweep < schedule_.sweeps; ++sweep) {
+      throw_if_stopped(cancel);
       rng.shuffle(order);
       for (std::size_t i : order) {
         // E contains h_i s_i + sum_k J_ik s_i s_k = s_i * local(i), so a
@@ -123,15 +125,16 @@ AnnealResult SimulatedAnnealer::solve(const IsingModel& model, Rng& rng,
 }
 
 std::pair<std::vector<int>, double> SimulatedAnnealer::solve_qubo(
-    const Qubo& qubo, Rng& rng) const {
+    const Qubo& qubo, Rng& rng, const CancelToken& cancel) const {
   const IsingModel ising = qubo.to_ising();
-  const AnnealResult r = solve(ising, rng);
+  const AnnealResult r = solve(ising, rng, /*clusters=*/{}, cancel);
   std::vector<int> x = spins_to_binary(r.best_spins);
   return {x, qubo.energy(x)};
 }
 
 AnnealResult SimulatedQuantumAnnealer::solve(
-    const IsingModel& model, Rng& rng, const SpinClusters& clusters) const {
+    const IsingModel& model, Rng& rng, const SpinClusters& clusters,
+    const CancelToken& cancel) const {
   if (model.n == 0)
     throw std::invalid_argument("SimulatedQuantumAnnealer: empty model");
   const std::size_t P = std::max<std::size_t>(2, schedule_.trotter_slices);
@@ -160,6 +163,7 @@ AnnealResult SimulatedQuantumAnnealer::solve(
     std::iota(order.begin(), order.end(), 0);
     std::vector<char> in_cluster(model.n, 0);
     for (std::size_t sweep = 0; sweep < schedule_.sweeps; ++sweep) {
+      throw_if_stopped(cancel);
       // Ferromagnetic replica coupling grows as the field shrinks,
       // freezing the slices together into a classical state.
       const double jperp =
@@ -221,9 +225,9 @@ AnnealResult SimulatedQuantumAnnealer::solve(
 }
 
 std::pair<std::vector<int>, double> SimulatedQuantumAnnealer::solve_qubo(
-    const Qubo& qubo, Rng& rng) const {
+    const Qubo& qubo, Rng& rng, const CancelToken& cancel) const {
   const IsingModel ising = qubo.to_ising();
-  const AnnealResult r = solve(ising, rng);
+  const AnnealResult r = solve(ising, rng, /*clusters=*/{}, cancel);
   std::vector<int> x = spins_to_binary(r.best_spins);
   return {x, qubo.energy(x)};
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "anneal/qubo.h"
+#include "common/cancellation.h"
 #include "common/rng.h"
 
 namespace qs::anneal {
@@ -34,17 +35,23 @@ struct AnnealSchedule {
 using SpinClusters = std::vector<std::vector<std::size_t>>;
 
 /// Classical simulated annealing with a geometric beta schedule.
+///
+/// Both solvers observe an optional CancelToken at every sweep boundary
+/// and throw CancelledError when it requests a stop, so a deadline or a
+/// client cancel aborts a long anneal mid-schedule instead of running the
+/// sweep budget to completion. The default token never stops.
 class SimulatedAnnealer {
  public:
   explicit SimulatedAnnealer(AnnealSchedule schedule = {})
       : schedule_(schedule) {}
 
   AnnealResult solve(const IsingModel& model, Rng& rng,
-                     const SpinClusters& clusters = {}) const;
+                     const SpinClusters& clusters = {},
+                     const CancelToken& cancel = {}) const;
 
   /// Convenience wrapper: anneal the QUBO's Ising image, return binary x.
-  std::pair<std::vector<int>, double> solve_qubo(const Qubo& qubo,
-                                                 Rng& rng) const;
+  std::pair<std::vector<int>, double> solve_qubo(
+      const Qubo& qubo, Rng& rng, const CancelToken& cancel = {}) const;
 
  private:
   AnnealSchedule schedule_;
@@ -69,10 +76,11 @@ class SimulatedQuantumAnnealer {
       : schedule_(schedule) {}
 
   AnnealResult solve(const IsingModel& model, Rng& rng,
-                     const SpinClusters& clusters = {}) const;
+                     const SpinClusters& clusters = {},
+                     const CancelToken& cancel = {}) const;
 
-  std::pair<std::vector<int>, double> solve_qubo(const Qubo& qubo,
-                                                 Rng& rng) const;
+  std::pair<std::vector<int>, double> solve_qubo(
+      const Qubo& qubo, Rng& rng, const CancelToken& cancel = {}) const;
 
  private:
   QuantumAnnealSchedule schedule_;

@@ -258,4 +258,14 @@ EqProgram parse_eqasm(const std::string& text) {
   return program;
 }
 
+StatusOr<EqProgram> parse_eqasm_or_status(const std::string& text) {
+  try {
+    return parse_eqasm(text);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("eQASM: ") + e.what());
+  } catch (...) {
+    return Status::InvalidArgument("eQASM: unknown parse failure");
+  }
+}
+
 }  // namespace qs::microarch

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/status.h"
 #include "microarch/eqasm.h"
 
 namespace qs::microarch {
@@ -25,5 +26,10 @@ class EqasmParseError : public std::runtime_error {
 
 /// Parses eQASM assembly text. Throws EqasmParseError on malformed input.
 EqProgram parse_eqasm(const std::string& text);
+
+/// Exception-free parse for the serving boundary: malformed assembly
+/// (unknown mnemonic, bad register, truncated line, ...) returns
+/// kInvalidArgument with the parse diagnostic instead of throwing.
+StatusOr<EqProgram> parse_eqasm_or_status(const std::string& text);
 
 }  // namespace qs::microarch

@@ -249,4 +249,18 @@ Program Parser::parse(const std::string& text) {
   return program;
 }
 
+StatusOr<Program> Parser::parse_or_status(const std::string& text) {
+  // parse() reports malformed input through several exception types
+  // (ParseError for grammar errors, std::out_of_range for bad qubit
+  // indices, std::invalid_argument from numeric conversions); all of them
+  // mean "caller sent bad cQASM", i.e. kInvalidArgument.
+  try {
+    return parse(text);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("cQASM: ") + e.what());
+  } catch (...) {
+    return Status::InvalidArgument("cQASM: unknown parse failure");
+  }
+}
+
 }  // namespace qs::qasm

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/status.h"
 #include "qasm/program.h"
 
 namespace qs::qasm {
@@ -28,6 +29,11 @@ class Parser {
  public:
   /// Parses a complete cQASM program. Throws ParseError on malformed input.
   static Program parse(const std::string& text);
+
+  /// Exception-free parse for the serving boundary: malformed input
+  /// (unknown gate, out-of-range qubit index, truncated line, ...) returns
+  /// kInvalidArgument with the parse diagnostic instead of throwing.
+  static StatusOr<Program> parse_or_status(const std::string& text);
 };
 
 }  // namespace qs::qasm

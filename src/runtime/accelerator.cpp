@@ -9,6 +9,7 @@
 
 #include "anneal/qubo.h"
 #include "common/cancellation.h"
+#include "qasm/parser.h"
 #include "sim/simulator.h"
 
 namespace qs::runtime {
@@ -111,10 +112,23 @@ RunResult GateAccelerator::run(const RunRequest& request) const {
     return finish(Status::InvalidArgument(
         "GateAccelerator: cannot run an annealing request; attach the "
         "request to a QuantumService with an AnnealAccelerator"));
-  if (request.program->qubit_count() > qubit_count())
+
+  // Raw-source requests parse here; malformed text maps to a typed
+  // kInvalidArgument result, never an exception across the boundary.
+  qasm::Program parsed;
+  const qasm::Program* program = request.program ? &*request.program : nullptr;
+  if (!program) {
+    qs::StatusOr<qasm::Program> maybe =
+        qasm::Parser::parse_or_status(*request.program_text);
+    if (!maybe.ok()) return finish(maybe.status());
+    parsed = std::move(*maybe);
+    program = &parsed;
+  }
+
+  if (program->qubit_count() > qubit_count())
     return finish(Status::InvalidArgument(
         "GateAccelerator: program needs " +
-        std::to_string(request.program->qubit_count()) +
+        std::to_string(program->qubit_count()) +
         " qubits, platform has " + std::to_string(qubit_count())));
   if (request.faults && request.faults->fail_compile)
     return finish(Status::Internal("injected compile failure (FaultPlan)"));
@@ -125,7 +139,7 @@ RunResult GateAccelerator::run(const RunRequest& request) const {
 
   compiler::CompileResult compiled;
   try {
-    compiled = compile_const(*request.program);
+    compiled = compile_const(*program);
   } catch (const std::exception& e) {
     return finish(Status::InvalidArgument(
         std::string("GateAccelerator: compile failed: ") + e.what()));
@@ -212,8 +226,8 @@ anneal::Embedding AnnealAccelerator::find_embedding(const anneal::Qubo& qubo,
   return embedder.embed(qubo.size(), qubo.edges(), *hardware_, rng);
 }
 
-AnnealOutcome AnnealAccelerator::solve(const anneal::Qubo& qubo,
-                                       Rng& rng) const {
+AnnealOutcome AnnealAccelerator::solve(const anneal::Qubo& qubo, Rng& rng,
+                                       const CancelToken& cancel) const {
   AnnealOutcome outcome;
   const std::size_t n = qubo.size();
   if (n > capacity_)
@@ -222,7 +236,7 @@ AnnealOutcome AnnealAccelerator::solve(const anneal::Qubo& qubo,
   anneal::SimulatedQuantumAnnealer annealer(schedule_);
 
   if (!hardware_) {
-    auto [x, e] = annealer.solve_qubo(qubo, rng);
+    auto [x, e] = annealer.solve_qubo(qubo, rng, cancel);
     outcome.solution = std::move(x);
     outcome.energy = e;
     outcome.physical_qubits_used = n;
@@ -292,7 +306,8 @@ AnnealOutcome AnnealAccelerator::solve(const anneal::Qubo& qubo,
           "AnnealAccelerator: embedding lacks coupler for a logical edge");
   }
 
-  const anneal::AnnealResult r = annealer.solve(physical, rng, emb.chains);
+  const anneal::AnnealResult r =
+      annealer.solve(physical, rng, emb.chains, cancel);
 
   // Unembed: majority vote within each chain.
   outcome.solution.resize(n);

@@ -180,7 +180,10 @@ class AnnealAccelerator {
   /// Solves the QUBO: embeds if required (throws std::runtime_error when
   /// embedding fails — the paper's "finding an embedding for 10 cities
   /// will fail" behaviour), anneals, unembeds by majority vote per chain.
-  AnnealOutcome solve(const anneal::Qubo& qubo, Rng& rng) const;
+  /// The token is observed at every anneal sweep boundary (CancelledError
+  /// on stop), so QUBO jobs honour deadlines and cancellation mid-anneal.
+  AnnealOutcome solve(const anneal::Qubo& qubo, Rng& rng,
+                      const CancelToken& cancel = {}) const;
 
  private:
   anneal::Embedding find_embedding(const anneal::Qubo& qubo, Rng& rng) const;

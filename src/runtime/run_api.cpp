@@ -6,16 +6,36 @@ const char* to_string(JobKind kind) {
   return kind == JobKind::Gate ? "gate" : "anneal";
 }
 
+const char* to_string(BackendFaultKind kind) {
+  switch (kind) {
+    case BackendFaultKind::kCrash: return "backend_crash";
+    case BackendFaultKind::kCorruptHistogram: return "corrupt_histogram";
+    case BackendFaultKind::kStuckShard: return "stuck_shard";
+  }
+  return "unknown";
+}
+
 std::size_t FaultPlan::failures_for(std::size_t shard) const {
   for (const ShardFault& f : shard_faults)
     if (f.shard_index == shard) return f.failures;
   return 0;
 }
 
+bool FaultPlan::backend_fault(const std::string& backend,
+                              BackendFaultKind kind) const {
+  for (const BackendFault& f : backend_faults)
+    if (f.backend == backend && f.kind == kind) return true;
+  return false;
+}
+
 Status RunRequest::validate() const {
-  if (program.has_value() == qubo.has_value())
+  const int payloads = (program ? 1 : 0) + (program_text ? 1 : 0) +
+                       (qubo ? 1 : 0);
+  if (payloads != 1)
     return Status::InvalidArgument(
-        "RunRequest: exactly one of program/qubo must be set");
+        "RunRequest: exactly one of program/program_text/qubo must be set");
+  if (program_text && program_text->empty())
+    return Status::InvalidArgument("RunRequest: program_text is empty");
   if (shots == 0)
     return Status::InvalidArgument("RunRequest: shots must be >= 1");
   if (deadline && deadline->count() <= 0)
@@ -36,6 +56,16 @@ RunRequest RunRequest::gate(qasm::Program program, std::size_t shots,
                             std::uint64_t seed, int priority) {
   RunRequest r;
   r.program = std::move(program);
+  r.shots = shots;
+  r.seed = seed;
+  r.priority = priority;
+  return r;
+}
+
+RunRequest RunRequest::gate_source(std::string cqasm, std::size_t shots,
+                                   std::uint64_t seed, int priority) {
+  RunRequest r;
+  r.program_text = std::move(cqasm);
   r.shots = shots;
   r.seed = seed;
   r.priority = priority;

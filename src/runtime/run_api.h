@@ -29,10 +29,22 @@ enum class JobKind { Gate, Anneal };
 
 const char* to_string(JobKind kind);
 
+/// Backend-level fault modes, attached to a FaultPlan by name: every
+/// breaker transition, failover and quarantine in the supervision layer
+/// (service::BackendPool) becomes reproducible in CI.
+enum class BackendFaultKind {
+  kCrash,             ///< every shard attempt on the backend throws
+  kCorruptHistogram,  ///< shard result is corrupted (fails validation)
+  kStuckShard,        ///< shard stalls until a watchdog/deadline/cancel fires
+};
+
+const char* to_string(BackendFaultKind kind);
+
 /// Deterministic fault-injection plan, attached to a RunRequest by tests
 /// and chaos benches. Every robustness path — compile failure, transient
-/// shard failure with retry, slow shards racing a deadline — becomes
-/// reproducible in CI instead of depending on real infrastructure faults.
+/// shard failure with retry, slow shards racing a deadline, backend
+/// crash-loops and silent corruption — becomes reproducible in CI instead
+/// of depending on real infrastructure faults.
 struct FaultPlan {
   /// Compilation resolves to an injected internal failure.
   bool fail_compile = false;
@@ -50,14 +62,34 @@ struct FaultPlan {
   };
   std::vector<ShardFault> shard_faults;
 
+  /// Backend-level faults, keyed by the pool name of the backend they
+  /// afflict. A kCrash backend crash-loops (every attempt fails over), a
+  /// kCorruptHistogram backend returns results that fail validation and
+  /// quarantine it, a kStuckShard backend stalls shards until the
+  /// service's per-shard watchdog budget (or the job deadline) fires.
+  struct BackendFault {
+    std::string backend;
+    BackendFaultKind kind = BackendFaultKind::kCrash;
+  };
+  std::vector<BackendFault> backend_faults;
+
   /// Injected failures for `shard` (0 when the shard has no planned fault).
   std::size_t failures_for(std::size_t shard) const;
+
+  /// True when `backend` carries an injected fault of `kind`.
+  bool backend_fault(const std::string& backend, BackendFaultKind kind) const;
 };
 
-/// A unit of work. Exactly one of `program` (gate model) or `qubo`
-/// (annealing model) must be set.
+/// A unit of work. Exactly one of `program` / `program_text` (gate model)
+/// or `qubo` (annealing model) must be set.
 struct RunRequest {
   std::optional<qasm::Program> program;  ///< gate-model kernel (cQASM)
+
+  /// Raw cQASM source, parsed at dispatch. Malformed text resolves the job
+  /// to kInvalidArgument inside RunResult (typed, no exception) instead of
+  /// propagating a ParseError across the serving boundary.
+  std::optional<std::string> program_text;
+
   std::optional<anneal::Qubo> qubo;      ///< annealing problem
 
   /// Gate model: measurement trajectories. Anneal model: independent reads.
@@ -83,18 +115,32 @@ struct RunRequest {
   /// Optional client tag echoed into the result (tracing / metrics label).
   std::string tag;
 
+  /// Crash-safe checkpoint/resume key. When non-empty and the service has a
+  /// CheckpointStore configured, merged partial histograms plus the shard
+  /// cursor are snapshotted after every completed shard, and a resubmitted
+  /// job with the same key (and an unchanged payload/seed/shot plan)
+  /// re-runs only the unfinished shards.
+  std::string checkpoint_key;
+
   /// Deterministic fault injection (tests / chaos benches only).
   std::shared_ptr<const FaultPlan> faults;
 
-  JobKind kind() const { return program ? JobKind::Gate : JobKind::Anneal; }
+  JobKind kind() const {
+    return (program || program_text) ? JobKind::Gate : JobKind::Anneal;
+  }
 
   /// kInvalidArgument unless exactly one payload is set, shots >= 1 and the
-  /// program (if any) is well-formed. Never throws.
+  /// program (if any) is well-formed. Never throws. `program_text` is only
+  /// checked for presence here — it is parsed at dispatch, where a
+  /// malformed source maps to kInvalidArgument in the RunResult.
   Status validate() const;
 
   // Convenience constructors.
   static RunRequest gate(qasm::Program program, std::size_t shots,
                          std::uint64_t seed = 1, int priority = 0);
+  /// Raw-source submission: the cQASM text is parsed at dispatch.
+  static RunRequest gate_source(std::string cqasm, std::size_t shots,
+                                std::uint64_t seed = 1, int priority = 0);
   static RunRequest anneal(anneal::Qubo qubo, std::size_t reads,
                            std::uint64_t seed = 1, int priority = 0);
 };
@@ -106,6 +152,9 @@ struct JobStats {
   bool compile_cache_hit = false;
   std::size_t retries = 0;     ///< transient shard failures retried
   std::size_t shards = 0;      ///< shard tasks the job split into
+  std::size_t failovers = 0;   ///< shard attempts re-routed to another backend
+  std::size_t shards_resumed = 0;   ///< shards restored from a checkpoint
+  std::size_t shards_executed = 0;  ///< shards actually run this submission
   std::uint64_t dispatch_seq = 0;  ///< dispatch order stamp (1 = first)
 };
 

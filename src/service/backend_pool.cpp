@@ -1,0 +1,400 @@
+#include "service/backend_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anneal/qubo.h"
+#include "common/rng.h"
+#include "compiler/compiler.h"
+#include "compiler/platform.h"
+
+namespace qs::service {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------- circuit breaker ----
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options)
+    : options_(options) {}
+
+BreakerState CircuitBreaker::state_locked() const {
+  if (state_ == BreakerState::Open &&
+      Clock::now() - opened_at_ >= options_.open_cooldown)
+    state_ = BreakerState::HalfOpen;
+  return state_;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_locked();
+}
+
+bool CircuitBreaker::allow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_locked() != BreakerState::Open;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_locked()) {
+    case BreakerState::Closed:
+      failures_ = 0;
+      break;
+    case BreakerState::HalfOpen:
+      if (++trial_successes_ >= options_.half_open_successes) {
+        state_ = BreakerState::Closed;
+        failures_ = 0;
+        trial_successes_ = 0;
+      }
+      break;
+    case BreakerState::Open:
+      // A success report racing the trip (the shard started before the
+      // breaker opened) does not reopen traffic; the cooldown stands.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_locked()) {
+    case BreakerState::Closed:
+      if (++failures_ >= options_.failure_threshold) {
+        state_ = BreakerState::Open;
+        opened_at_ = Clock::now();
+        trial_successes_ = 0;
+      }
+      break;
+    case BreakerState::HalfOpen:
+      // The trial failed: straight back to Open for another cooldown.
+      state_ = BreakerState::Open;
+      opened_at_ = Clock::now();
+      trial_successes_ = 0;
+      ++failures_;
+      break;
+    case BreakerState::Open:
+      ++failures_;
+      break;
+  }
+}
+
+void CircuitBreaker::trip() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = BreakerState::Open;
+  opened_at_ = Clock::now();
+  trial_successes_ = 0;
+  failures_ = std::max(failures_ + 1, options_.failure_threshold);
+}
+
+std::size_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+// ----------------------------------------------------------------- pool ----
+
+BackendPool::BackendPool(BackendPoolOptions options)
+    : options_(options) {}
+
+BackendPool::~BackendPool() { stop_probing(); }
+
+Status BackendPool::register_gate(
+    std::string name, std::shared_ptr<runtime::GateAccelerator> gate) {
+  if (!gate)
+    return Status::InvalidArgument("BackendPool: null gate accelerator");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : backends_)
+    if (b->name == name)
+      return Status::InvalidArgument("BackendPool: duplicate backend name '" +
+                                     name + "'");
+  // Shard failover preserves byte-identical merged histograms only when
+  // every gate backend compiles to the same target: same platform, same
+  // compile options (SimOptions and GatePath may differ — the kernel
+  // bit-identity contract covers those).
+  for (const auto& b : backends_) {
+    if (!b->gate) continue;
+    if (compiler::fingerprint(b->gate->platform()) !=
+            compiler::fingerprint(gate->platform()) ||
+        compiler::fingerprint(b->gate->options()) !=
+            compiler::fingerprint(gate->options()))
+      return Status::FailedPrecondition(
+          "BackendPool: gate backend '" + name +
+          "' has a different platform/compile-options fingerprint than '" +
+          b->name + "'; failover would not be histogram-preserving");
+    break;  // all registered gate backends already match each other
+  }
+  auto backend = std::make_shared<Backend>(options_.breaker);
+  backend->name = std::move(name);
+  backend->gate = std::move(gate);
+  backends_.push_back(std::move(backend));
+  publish_breaker_gauge(*backends_.back());
+  return Status::Ok();
+}
+
+Status BackendPool::register_anneal(
+    std::string name, std::shared_ptr<runtime::AnnealAccelerator> annealer) {
+  if (!annealer)
+    return Status::InvalidArgument("BackendPool: null anneal accelerator");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : backends_)
+    if (b->name == name)
+      return Status::InvalidArgument("BackendPool: duplicate backend name '" +
+                                     name + "'");
+  auto backend = std::make_shared<Backend>(options_.breaker);
+  backend->name = std::move(name);
+  backend->annealer = std::move(annealer);
+  backends_.push_back(std::move(backend));
+  publish_breaker_gauge(*backends_.back());
+  return Status::Ok();
+}
+
+std::vector<std::shared_ptr<Backend>> BackendPool::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backends_;
+}
+
+std::shared_ptr<Backend> BackendPool::acquire(runtime::JobKind kind,
+                                              const std::string& exclude) {
+  const auto backends = snapshot();
+  if (backends.empty()) return nullptr;
+  const std::size_t start =
+      rotation_.fetch_add(1, std::memory_order_relaxed) % backends.size();
+  std::shared_ptr<Backend> excluded_fallback;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const auto& backend = backends[(start + i) % backends.size()];
+    if (backend->kind() != kind) continue;
+    if (!backend->breaker.allow()) continue;
+    if (!exclude.empty() && backend->name == exclude) {
+      excluded_fallback = backend;
+      continue;
+    }
+    return backend;
+  }
+  // Only the just-failed backend is healthy: retrying there beats failing
+  // the shard outright (its fault may have been transient).
+  return excluded_fallback;
+}
+
+std::shared_ptr<Backend> BackendPool::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : backends_)
+    if (b->name == name) return b;
+  return nullptr;
+}
+
+std::shared_ptr<Backend> BackendPool::primary(runtime::JobKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : backends_)
+    if (b->kind() == kind) return b;
+  return nullptr;
+}
+
+std::size_t BackendPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backends_.size();
+}
+
+std::size_t BackendPool::healthy_count(runtime::JobKind kind) const {
+  std::size_t n = 0;
+  for (const auto& b : snapshot())
+    if (b->kind() == kind && b->breaker.allow()) ++n;
+  return n;
+}
+
+bool BackendPool::any_microarch() const {
+  for (const auto& b : snapshot())
+    if (b->gate && b->gate->path() == runtime::GatePath::MicroArch) return true;
+  return false;
+}
+
+void BackendPool::record_success(Backend& backend) {
+  backend.shards_ok.fetch_add(1, std::memory_order_relaxed);
+  backend.breaker.record_success();
+  publish_breaker_gauge(backend);
+}
+
+void BackendPool::record_failure(Backend& backend) {
+  backend.shards_failed.fetch_add(1, std::memory_order_relaxed);
+  backend.breaker.record_failure();
+  publish_breaker_gauge(backend);
+}
+
+void BackendPool::quarantine(Backend& backend) {
+  backend.shards_failed.fetch_add(1, std::memory_order_relaxed);
+  backend.breaker.trip();
+  if (auto* metrics = metrics_.load(std::memory_order_acquire))
+    metrics->counter("qs_backend_quarantines_total").inc();
+  publish_breaker_gauge(backend);
+}
+
+void BackendPool::publish_breaker_gauge(const Backend& backend) {
+  auto* metrics = metrics_.load(std::memory_order_acquire);
+  if (!metrics) return;
+  // 0 = closed, 1 = half-open, 2 = open — ordered by severity so alerts
+  // can threshold on > 0.
+  std::int64_t level = 0;
+  switch (backend.breaker.state()) {
+    case BreakerState::Closed:
+      level = 0;
+      break;
+    case BreakerState::HalfOpen:
+      level = 1;
+      break;
+    case BreakerState::Open:
+      level = 2;
+      break;
+  }
+  metrics->gauge("qs_backend_breaker_state_" + backend.name).set(level);
+}
+
+// --------------------------------------------------------------- probes ----
+
+namespace {
+
+/// 2-qubit Bell pair; a healthy backend's histogram concentrates on
+/// {"00", "11"} in roughly equal halves.
+constexpr const char* kBellProbeSource =
+    "version 1.0\n"
+    "qubits 2\n"
+    "h q[0]\n"
+    "cnot q[0], q[1]\n"
+    "measure q[0]\n"
+    "measure q[1]\n";
+
+bool bell_histogram_sane(const Histogram& histogram, std::size_t shots,
+                         double chi2_threshold, double max_leak_fraction) {
+  if (histogram.total() != shots || shots == 0) return false;
+  std::size_t n00 = 0, n11 = 0;
+  for (const auto& [bits, n] : histogram.counts()) {
+    if (bits == "00")
+      n00 = n;
+    else if (bits == "11")
+      n11 = n;
+  }
+  const std::size_t kept = n00 + n11;
+  const double leak =
+      static_cast<double>(shots - kept) / static_cast<double>(shots);
+  if (leak > max_leak_fraction) return false;
+  if (kept == 0) return false;
+  // Chi-square of the observed 00/11 split against the ideal 50/50.
+  const double expected = static_cast<double>(kept) / 2.0;
+  const double d0 = static_cast<double>(n00) - expected;
+  const double d1 = static_cast<double>(n11) - expected;
+  const double chi2 = (d0 * d0 + d1 * d1) / expected;
+  return chi2 <= chi2_threshold;
+}
+
+}  // namespace
+
+bool BackendPool::probe_backend(Backend& backend) {
+  if (backend.inject_probe_failure.load(std::memory_order_relaxed))
+    return false;
+  if (backend.gate) {
+    if (backend.gate->qubit_count() < 2) return false;
+    runtime::RunRequest request = runtime::RunRequest::gate_source(
+        kBellProbeSource, options_.probe_shots, options_.probe_seed);
+    runtime::RunResult result = backend.gate->run(request);
+    if (!result.ok()) return false;
+    return bell_histogram_sane(result.histogram, options_.probe_shots,
+                               options_.probe_chi2_threshold,
+                               options_.probe_max_leak_fraction);
+  }
+  // Anneal probe: a 2-variable QUBO whose optimum (x = {1,1}, energy -1)
+  // any functioning annealer finds essentially always.
+  anneal::Qubo qubo(2);
+  qubo.add(0, 0, 1.0);
+  qubo.add(1, 1, 1.0);
+  qubo.add(0, 1, -3.0);
+  try {
+    Rng rng(options_.probe_seed);
+    runtime::AnnealOutcome outcome = backend.annealer->solve(qubo, rng);
+    return outcome.energy <= -1.0 + 1e-9 &&
+           outcome.solution == std::vector<int>{1, 1};
+  } catch (const std::exception&) {
+    return false;  // embedding failure / injected fault: unhealthy
+  }
+}
+
+std::size_t BackendPool::run_probes() {
+  std::size_t failed = 0;
+  for (const auto& backend : snapshot()) {
+    if (probe_backend(*backend)) {
+      // A passing probe is evidence of health: it walks a quarantined
+      // backend through half-open back to closed without client traffic.
+      backend->breaker.record_success();
+      publish_breaker_gauge(*backend);
+      continue;
+    }
+    ++failed;
+    backend->probes_failed.fetch_add(1, std::memory_order_relaxed);
+    if (auto* metrics = metrics_.load(std::memory_order_acquire))
+      metrics->counter("qs_backend_probe_failures_total").inc();
+    quarantine(*backend);
+  }
+  return failed;
+}
+
+void BackendPool::start_probing() {
+  if (options_.probe_interval.count() <= 0) return;
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  if (probe_thread_.joinable()) return;
+  probe_stop_ = false;
+  probe_thread_ = std::thread([this] { probe_loop(); });
+}
+
+void BackendPool::stop_probing() {
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+void BackendPool::probe_loop() {
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  while (!probe_stop_) {
+    if (probe_cv_.wait_for(lock, options_.probe_interval,
+                           [this] { return probe_stop_; }))
+      return;
+    lock.unlock();
+    run_probes();
+    lock.lock();
+  }
+}
+
+void BackendPool::attach_metrics(MetricsRegistry* metrics) {
+  metrics_.store(metrics, std::memory_order_release);
+  for (const auto& backend : snapshot()) publish_breaker_gauge(*backend);
+}
+
+std::vector<BackendStatus> BackendPool::status() const {
+  std::vector<BackendStatus> out;
+  for (const auto& b : snapshot()) {
+    BackendStatus s;
+    s.name = b->name;
+    s.kind = b->kind();
+    s.breaker = b->breaker.state();
+    s.shards_ok = b->shards_ok.load(std::memory_order_relaxed);
+    s.shards_failed = b->shards_failed.load(std::memory_order_relaxed);
+    s.probes_failed = b->probes_failed.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+BreakerState BackendPool::breaker_state(const std::string& name) const {
+  auto backend = find(name);
+  return backend ? backend->breaker.state() : BreakerState::Open;
+}
+
+}  // namespace qs::service

@@ -1,0 +1,237 @@
+// Backend supervision (paper Secs. 2.4-2.7): the runtime drives multiple
+// heterogeneous execution substrates — gate accelerators over distinct
+// SimOptions (Direct or MicroArch route) and annealing accelerators — and
+// none of them is implicitly trusted. A BackendPool registers N named
+// backends, tracks per-backend health through a closed/open/half-open
+// circuit breaker driven by observed failures, and runs self-test probes
+// (a 2-qubit Bell circuit whose histogram must pass a chi-square sanity
+// gate) that quarantine a silently-corrupting backend before client work
+// reaches it.
+//
+// The service dispatches shards through acquire(): round-robin over the
+// healthy backends of the right kind, skipping open breakers and the
+// backend a shard just failed on. Because shard RNG streams are derived
+// from (job seed, shard index) only, re-routing a shard to a different
+// backend of the same platform cannot change the merged histogram.
+//
+// Breaker state machine:
+//
+//           failures >= threshold                 cooldown elapsed
+//   Closed ───────────────────────▶ Open ───────────────────────▶ HalfOpen
+//     ▲                              ▲                               │
+//     │   half_open_successes        │        any failure            │
+//     └──────────────────────────────┴───────────────────────────────┘
+//
+// quarantine() (probe failure, corrupt result) trips straight to Open.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/accelerator.h"
+#include "service/metrics.h"
+
+namespace qs::service {
+
+/// Thrown by shard execution when an injected backend crash fires; the
+/// service maps it to a breaker failure plus a failover, never to a
+/// client-visible exception.
+class BackendError : public std::runtime_error {
+ public:
+  explicit BackendError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive failures that open a closed breaker.
+  std::size_t failure_threshold = 3;
+  /// How long an open breaker blocks traffic before admitting trial
+  /// requests (half-open). Zero means the next allow() is already a trial.
+  std::chrono::microseconds open_cooldown{50'000};
+  /// Consecutive half-open successes that close the breaker again.
+  std::size_t half_open_successes = 2;
+};
+
+/// Per-backend health switch. Thread-safe; all transitions happen under an
+/// internal mutex so concurrent shard workers observe a consistent state.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  /// Current state; an Open breaker whose cooldown elapsed reports (and
+  /// becomes) HalfOpen.
+  BreakerState state() const;
+
+  /// True when a request may be routed here (Closed, or HalfOpen trial).
+  bool allow() const;
+
+  void record_success();
+  void record_failure();
+
+  /// Trips straight to Open regardless of counters (quarantine).
+  void trip();
+
+  std::size_t consecutive_failures() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  BreakerState state_locked() const;  // applies Open->HalfOpen on cooldown
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  mutable BreakerState state_ = BreakerState::Closed;
+  std::size_t failures_ = 0;        ///< consecutive, resets on success
+  std::size_t trial_successes_ = 0; ///< consecutive successes in HalfOpen
+  Clock::time_point opened_at_{};
+};
+
+/// One supervised execution substrate. Gate backends wrap a
+/// GateAccelerator (any GatePath / SimOptions), anneal backends an
+/// AnnealAccelerator; a backend serves exactly one job kind.
+struct Backend {
+  std::string name;
+  std::shared_ptr<runtime::GateAccelerator> gate;
+  std::shared_ptr<runtime::AnnealAccelerator> annealer;
+  CircuitBreaker breaker;
+
+  std::atomic<std::uint64_t> shards_ok{0};
+  std::atomic<std::uint64_t> shards_failed{0};
+  std::atomic<std::uint64_t> probes_failed{0};
+  /// Test hook: force the next probes to fail (deterministic CI stand-in
+  /// for a silently-corrupting device).
+  std::atomic<bool> inject_probe_failure{false};
+
+  explicit Backend(BreakerOptions breaker_options)
+      : breaker(breaker_options) {}
+
+  runtime::JobKind kind() const {
+    return gate ? runtime::JobKind::Gate : runtime::JobKind::Anneal;
+  }
+};
+
+/// Point-in-time health summary of one backend (status()/operators).
+struct BackendStatus {
+  std::string name;
+  runtime::JobKind kind = runtime::JobKind::Gate;
+  BreakerState breaker = BreakerState::Closed;
+  std::uint64_t shards_ok = 0;
+  std::uint64_t shards_failed = 0;
+  std::uint64_t probes_failed = 0;
+};
+
+struct BackendPoolOptions {
+  BreakerOptions breaker;
+
+  /// Self-test probe: shots for the Bell circuit, fixed seed (probes are
+  /// as deterministic as everything else), and the acceptance gates.
+  std::size_t probe_shots = 256;
+  std::uint64_t probe_seed = 0xB311'57A7E5ULL;
+  /// Chi-square of the 00/11 split among non-leaked counts; 16 is far
+  /// beyond any plausible p=1/2 fluctuation at 256 shots.
+  double probe_chi2_threshold = 16.0;
+  /// Fraction of probe mass outside {|00..0>, |11..0>} tolerated before
+  /// the probe fails (realistic/noisy platforms leak a little; a
+  /// corrupting backend leaks a lot).
+  double probe_max_leak_fraction = 0.25;
+
+  /// Period of the background probe loop; zero disables the thread
+  /// (run_probes() stays available for deterministic tests).
+  std::chrono::microseconds probe_interval{0};
+};
+
+/// Registry + health tracker + router for the execution backends.
+/// Thread-safe: registration happens before serving, acquire()/record_*()
+/// run concurrently from shard workers, probes from the probe thread.
+class BackendPool {
+ public:
+  explicit BackendPool(BackendPoolOptions options = {});
+  ~BackendPool();
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  /// Registers a gate backend. All gate backends must share the primary's
+  /// platform/compile-option fingerprints — that is the precondition for
+  /// shard failover to preserve byte-identical merged histograms — so a
+  /// mismatch is refused with kFailedPrecondition.
+  Status register_gate(std::string name,
+                       std::shared_ptr<runtime::GateAccelerator> gate);
+
+  Status register_anneal(std::string name,
+                         std::shared_ptr<runtime::AnnealAccelerator> annealer);
+
+  /// Round-robin over healthy backends of `kind`, skipping open breakers
+  /// and `exclude` (the backend a shard just failed on). Returns nullptr
+  /// when no healthy backend remains — the caller fails the shard with
+  /// kUnavailable rather than waiting.
+  std::shared_ptr<Backend> acquire(runtime::JobKind kind,
+                                   const std::string& exclude = {});
+
+  std::shared_ptr<Backend> find(const std::string& name) const;
+  /// First registered backend of `kind` (compile authority for gate jobs).
+  std::shared_ptr<Backend> primary(runtime::JobKind kind) const;
+
+  std::size_t size() const;
+  std::size_t healthy_count(runtime::JobKind kind) const;
+  /// True when any gate backend routes through the micro-architecture
+  /// (the compile cache then pre-assembles eQASM).
+  bool any_microarch() const;
+
+  void record_success(Backend& backend);
+  void record_failure(Backend& backend);
+
+  /// Trips the breaker immediately (invalid result, failed probe).
+  void quarantine(Backend& backend);
+
+  /// Runs one self-test probe on every backend; returns how many failed.
+  /// A failed probe quarantines the backend; a passing probe records a
+  /// breaker success, which is how a quarantined backend that recovers
+  /// works its way through half-open back to closed.
+  std::size_t run_probes();
+
+  /// Starts/stops the periodic probe thread (no-op when the configured
+  /// interval is zero or the thread is already running).
+  void start_probing();
+  void stop_probing();
+
+  /// Metrics sink for breaker-state gauges and probe/quarantine counters
+  /// (optional; the service attaches its registry).
+  void attach_metrics(MetricsRegistry* metrics);
+
+  std::vector<BackendStatus> status() const;
+  BreakerState breaker_state(const std::string& name) const;
+
+  const BackendPoolOptions& options() const { return options_; }
+
+ private:
+  bool probe_backend(Backend& backend);
+  void publish_breaker_gauge(const Backend& backend);
+  void probe_loop();
+  std::vector<std::shared_ptr<Backend>> snapshot() const;
+
+  BackendPoolOptions options_;
+  mutable std::mutex mutex_;                       // guards backends_
+  std::vector<std::shared_ptr<Backend>> backends_;
+  std::atomic<std::size_t> rotation_{0};
+  std::atomic<MetricsRegistry*> metrics_{nullptr};
+
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  std::thread probe_thread_;
+};
+
+}  // namespace qs::service

@@ -1,0 +1,201 @@
+#include "service/checkpoint.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace qs::service {
+
+namespace {
+
+/// Bitstring keys and solutions are written verbatim; doubles round-trip
+/// through max_digits10 so a resumed best_energy compares exactly equal.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Status malformed(const std::string& what) {
+  return Status::InvalidArgument("JobCheckpoint: malformed snapshot: " + what);
+}
+
+}  // namespace
+
+std::size_t JobCheckpoint::completed() const {
+  std::size_t n = 0;
+  for (char d : shard_done) n += d ? 1 : 0;
+  return n;
+}
+
+std::string JobCheckpoint::serialize() const {
+  std::ostringstream out;
+  out << "qs-checkpoint v1\n";
+  out << "fingerprint " << fingerprint << "\n";
+  out << "shards " << shards << "\n";
+  for (std::size_t i = 0; i < shard_done.size(); ++i)
+    if (shard_done[i]) out << "done " << i << "\n";
+  if (has_best) {
+    out << "best " << format_double(best_energy) << " " << best_read << " ";
+    for (int b : best_solution) out << (b ? '1' : '0');
+    out << "\n";
+  }
+  for (const auto& [bits, n] : merged.counts())
+    out << "count " << bits << " " << n << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<JobCheckpoint> JobCheckpoint::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "qs-checkpoint v1")
+    return malformed("missing header");
+
+  JobCheckpoint cp;
+  bool saw_fingerprint = false, saw_shards = false, saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "fingerprint") {
+      if (!(fields >> cp.fingerprint)) return malformed(line);
+      saw_fingerprint = true;
+    } else if (tag == "shards") {
+      if (!(fields >> cp.shards)) return malformed(line);
+      cp.shard_done.assign(cp.shards, 0);
+      saw_shards = true;
+    } else if (tag == "done") {
+      std::size_t index = 0;
+      if (!saw_shards || !(fields >> index) || index >= cp.shards)
+        return malformed(line);
+      cp.shard_done[index] = 1;
+    } else if (tag == "best") {
+      std::string bits;
+      if (!(fields >> cp.best_energy >> cp.best_read >> bits))
+        return malformed(line);
+      cp.has_best = true;
+      cp.best_solution.clear();
+      for (char c : bits) {
+        if (c != '0' && c != '1') return malformed(line);
+        cp.best_solution.push_back(c == '1' ? 1 : 0);
+      }
+    } else if (tag == "count") {
+      std::string bits;
+      std::size_t n = 0;
+      if (!(fields >> bits >> n) || n == 0) return malformed(line);
+      cp.merged.add(bits, n);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return malformed(line);
+    }
+  }
+  // The trailing "end" marker distinguishes a complete snapshot from a
+  // torn write; refuse anything that is not provably whole.
+  if (!saw_fingerprint || !saw_shards || !saw_end)
+    return malformed("truncated snapshot");
+  return cp;
+}
+
+// ------------------------------------------------------------ in-memory ----
+
+Status InMemoryCheckpointStore::save(const std::string& key,
+                                     const JobCheckpoint& cp) {
+  std::string text = cp.serialize();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_[key] = std::move(text);
+  return Status::Ok();
+}
+
+std::optional<JobCheckpoint> InMemoryCheckpointStore::load(
+    const std::string& key) {
+  std::string text;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = snapshots_.find(key);
+    if (it == snapshots_.end()) return std::nullopt;
+    text = it->second;
+  }
+  StatusOr<JobCheckpoint> cp = JobCheckpoint::deserialize(text);
+  if (!cp.ok()) return std::nullopt;
+  return std::move(*cp);
+}
+
+void InMemoryCheckpointStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.erase(key);
+}
+
+std::size_t InMemoryCheckpointStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.size();
+}
+
+// ---------------------------------------------------------- file-backed ----
+
+FileCheckpointStore::FileCheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  // A failed mkdir surfaces as a save() error; construction stays noexcept
+  // so an operator typo cannot take the service down.
+}
+
+std::string FileCheckpointStore::path_for(const std::string& key) const {
+  // Filesystem-safe name: keep [A-Za-z0-9._-] verbatim, replace the rest,
+  // and append the key hash so sanitisation can never collide two keys.
+  std::string safe;
+  for (char c : key)
+    safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+             c == '_' || c == '-')
+                ? c
+                : '_';
+  char hash[20];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return directory_ + "/" + safe + "." + hash + ".ckpt";
+}
+
+Status FileCheckpointStore::save(const std::string& key,
+                                 const JobCheckpoint& cp) {
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Status::Unavailable("FileCheckpointStore: cannot write " + tmp);
+    out << cp.serialize();
+    if (!out.flush())
+      return Status::Unavailable("FileCheckpointStore: write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    return Status::Unavailable("FileCheckpointStore: rename failed: " +
+                               ec.message());
+  return Status::Ok();
+}
+
+std::optional<JobCheckpoint> FileCheckpointStore::load(const std::string& key) {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  StatusOr<JobCheckpoint> cp = JobCheckpoint::deserialize(text.str());
+  if (!cp.ok()) return std::nullopt;  // torn/corrupt snapshot: start fresh
+  return std::move(*cp);
+}
+
+void FileCheckpointStore::remove(const std::string& key) {
+  std::error_code ec;
+  std::filesystem::remove(path_for(key), ec);
+}
+
+}  // namespace qs::service

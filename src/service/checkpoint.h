@@ -1,0 +1,105 @@
+// Crash-safe checkpoint/resume for long jobs. After every completed shard
+// the service snapshots the job's merged partial histogram plus the shard
+// cursor (which shard indices are done); a worker crash, a failed job or a
+// full service restart can then resume from the snapshot and re-run only
+// the unfinished shards. Because shard seeds are a pure function of
+// (job seed, shard index) and histogram merging is commutative, a resumed
+// job's final histogram is byte-identical to an uninterrupted run.
+//
+// A checkpoint is only trusted when its fingerprint — a stable hash of the
+// job payload, seed, shot count and shard size — matches the resubmitted
+// request; anything else (changed program, different shard plan) starts
+// fresh rather than merging incompatible partials.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace qs::service {
+
+/// Snapshot of a partially-completed job: which shards finished and what
+/// they merged to. The anneal best-of-N reduction state rides along so
+/// annealing jobs resume their tie-break-deterministic best solution too.
+struct JobCheckpoint {
+  std::uint64_t fingerprint = 0;  ///< request/shard-plan hash, must match
+  std::size_t shards = 0;         ///< total shards in the plan
+  std::vector<char> shard_done;   ///< size == shards; 1 = merged
+  Histogram merged;               ///< union of the completed shards
+
+  // Annealing best-of-N state (ignored for gate jobs).
+  bool has_best = false;
+  double best_energy = 0.0;
+  std::uint64_t best_read = 0;
+  std::vector<int> best_solution;
+
+  std::size_t completed() const;
+
+  /// Line-based text form (stable across platforms, safe to diff):
+  ///   qs-checkpoint v1
+  ///   fingerprint <u64> / shards <n> / done <i>... / best ... / count ...
+  std::string serialize() const;
+
+  /// Inverse of serialize(). kInvalidArgument on any malformed line —
+  /// a torn or hand-edited snapshot is refused, never half-applied.
+  static StatusOr<JobCheckpoint> deserialize(const std::string& text);
+};
+
+/// Where snapshots live. Implementations must be safe to call from
+/// concurrent shard workers (the service serialises saves per job, but
+/// different jobs checkpoint in parallel).
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  virtual Status save(const std::string& key, const JobCheckpoint& cp) = 0;
+  virtual std::optional<JobCheckpoint> load(const std::string& key) = 0;
+  virtual void remove(const std::string& key) = 0;
+};
+
+/// Process-local store: survives service restarts within one process
+/// (tests, embedded deployments). Stores the serialized text so the
+/// serialize/deserialize round trip is always exercised.
+class InMemoryCheckpointStore final : public CheckpointStore {
+ public:
+  Status save(const std::string& key, const JobCheckpoint& cp) override;
+  std::optional<JobCheckpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> snapshots_;
+};
+
+/// File-backed store: one file per key under `directory`, written
+/// tmp-then-rename so a crash mid-save never leaves a torn snapshot.
+/// Keys are sanitised to a filesystem-safe name (hash suffix keeps
+/// distinct keys distinct).
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  /// Creates `directory` if missing.
+  explicit FileCheckpointStore(std::string directory);
+
+  Status save(const std::string& key, const JobCheckpoint& cp) override;
+  std::optional<JobCheckpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+
+  const std::string& directory() const { return directory_; }
+
+  /// The on-disk path a key maps to (for tests / operators).
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace qs::service

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "common/cancellation.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "qasm/parser.h"
 #include "qasm/printer.h"
 
 namespace qs::service {
@@ -36,6 +39,73 @@ std::exception_ptr status_to_exception(const Status& status) {
   if (status.code() == StatusCode::kInvalidArgument)
     return std::make_exception_ptr(std::invalid_argument(status.message()));
   return std::make_exception_ptr(std::runtime_error(status.to_string()));
+}
+
+/// One-entry pool for the single-backend convenience constructors.
+std::shared_ptr<BackendPool> make_single_pool(
+    runtime::GateAccelerator gate,
+    std::optional<runtime::AnnealAccelerator> annealer) {
+  auto pool = std::make_shared<BackendPool>();
+  // A fresh pool with a unique name cannot collide or mismatch; the
+  // statuses are asserted OK rather than surfaced.
+  Status st = pool->register_gate(
+      "gate0", std::make_shared<runtime::GateAccelerator>(std::move(gate)));
+  if (!st.ok()) throw std::invalid_argument(st.to_string());
+  if (annealer) {
+    st = pool->register_anneal("anneal0",
+                               std::make_shared<runtime::AnnealAccelerator>(
+                                   std::move(*annealer)));
+    if (!st.ok()) throw std::invalid_argument(st.to_string());
+  }
+  return pool;
+}
+
+/// Identity of a checkpointed shard plan: payload content, base seed, total
+/// shots and shard size. A resumed submission must match all four — any
+/// change re-derives different shard streams, so merging stale partials
+/// would corrupt the histogram.
+std::uint64_t checkpoint_fingerprint(const RunRequest& req,
+                                     std::size_t shard_shots) {
+  std::uint64_t h = 0;
+  if (req.kind() == JobKind::Gate) {
+    h = fnv1a64(qasm::to_cqasm(*req.program));
+  } else {
+    std::ostringstream payload;
+    payload << "qubo " << req.qubo->size();
+    for (const auto& [ij, w] : req.qubo->terms())
+      payload << ' ' << ij.first << ',' << ij.second << '='
+              << std::hexfloat << w;
+    h = fnv1a64(payload.str());
+  }
+  h = hash_combine(h, req.seed);
+  h = hash_combine(h, req.shots);
+  h = hash_combine(h, shard_shots);
+  return h;
+}
+
+/// Sanity gate every shard result passes before it may merge: counts sum
+/// to the shard's shot count, every bitstring has the register's arity and
+/// is binary. A violation means the backend silently corrupted the result
+/// (as opposed to failing loudly) — the caller quarantines it and
+/// re-routes the shard.
+Status validate_shard_histogram(const Histogram& shard, std::size_t shots,
+                                std::size_t arity) {
+  if (shard.total() != shots)
+    return Status::Internal("shard histogram counts sum to " +
+                            std::to_string(shard.total()) + ", expected " +
+                            std::to_string(shots));
+  for (const auto& [bits, n] : shard.counts()) {
+    if (n == 0) return Status::Internal("shard histogram has a zero count");
+    if (bits.size() != arity)
+      return Status::Internal("shard histogram key '" + bits +
+                              "' does not match register arity " +
+                              std::to_string(arity));
+    for (char c : bits)
+      if (c != '0' && c != '1')
+        return Status::Internal("shard histogram key '" + bits +
+                                "' is not binary");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -73,27 +143,46 @@ struct QuantumService::JobState {
   std::atomic<bool> abort{false};
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> remaining{0};
+
+  // Supervision / checkpoint state.
+  std::vector<char> shard_done;        ///< guarded by merge_mutex
+  std::uint64_t checkpoint_fp = 0;     ///< 0 = checkpointing off
+  std::size_t shards_resumed = 0;      ///< restored at dispatch
+  std::atomic<std::size_t> failovers{0};
+  std::atomic<std::size_t> shards_executed{0};
 };
 
-QuantumService::QuantumService(runtime::GateAccelerator gate,
+QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
                                ServiceOptions options)
     : options_(options),
-      gate_(std::move(gate)),
+      backends_(std::move(backends)),
       cache_(options.cache_capacity),
       queue_(options.queue_capacity),
       pool_(options.workers),
       paused_(options.start_paused) {
+  if (!backends_)
+    throw std::invalid_argument("QuantumService: null backend pool");
+  auto primary = backends_->primary(runtime::JobKind::Gate);
+  if (!primary)
+    throw std::invalid_argument("QuantumService: pool has no gate backend");
+  primary_gate_ = primary->gate;
+  backends_->attach_metrics(&metrics_);
+  backends_->start_probing();
   metrics_.gauge("qs_workers").set(
       static_cast<std::int64_t>(pool_.thread_count()));
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 QuantumService::QuantumService(runtime::GateAccelerator gate,
+                               ServiceOptions options)
+    : QuantumService(make_single_pool(std::move(gate), std::nullopt),
+                     options) {}
+
+QuantumService::QuantumService(runtime::GateAccelerator gate,
                                runtime::AnnealAccelerator annealer,
                                ServiceOptions options)
-    : QuantumService(std::move(gate), options) {
-  annealer_.emplace(std::move(annealer));
-}
+    : QuantumService(make_single_pool(std::move(gate), std::move(annealer)),
+                     options) {}
 
 QuantumService::~QuantumService() { shutdown(); }
 
@@ -160,7 +249,7 @@ JobHandle QuantumService::rejected_handle(Status status) {
 JobHandle QuantumService::submit(RunRequest request) {
   if (Status v = request.validate(); !v.ok())
     return rejected_handle(std::move(v));
-  if (request.qubo && !annealer_)
+  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     return rejected_handle(Status::FailedPrecondition(
         "QuantumService: no annealing accelerator attached"));
 
@@ -181,7 +270,7 @@ JobHandle QuantumService::submit(RunRequest request) {
 JobHandle QuantumService::try_submit(RunRequest request) {
   if (Status v = request.validate(); !v.ok())
     return rejected_handle(std::move(v));
-  if (request.qubo && !annealer_)
+  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     return rejected_handle(Status::FailedPrecondition(
         "QuantumService: no annealing accelerator attached"));
 
@@ -203,7 +292,7 @@ JobHandle QuantumService::try_submit(RunRequest request) {
 
 std::future<JobResult> QuantumService::submit(JobRequest request) {
   request.validate();  // throws std::invalid_argument (old contract)
-  if (request.qubo && !annealer_)
+  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     throw std::invalid_argument(
         "QuantumService: no annealing accelerator attached");
 
@@ -225,7 +314,7 @@ std::future<JobResult> QuantumService::submit(JobRequest request) {
 std::optional<std::future<JobResult>> QuantumService::try_submit(
     JobRequest request) {
   request.validate();
-  if (request.qubo && !annealer_)
+  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     throw std::invalid_argument(
         "QuantumService: no annealing accelerator attached");
 
@@ -275,6 +364,10 @@ void QuantumService::shutdown() {
   queue_.close();  // dispatcher drains remaining jobs, then exits
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_.wait_idle();
+  // The pool may be shared and outlive this service: stop its probe
+  // thread and detach our metrics registry before the registry dies.
+  backends_->stop_probing();
+  backends_->attach_metrics(nullptr);
 }
 
 // --------------------------------------------------------- resolution ----
@@ -411,13 +504,24 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
 
   const RunRequest& req = job->request;
   if (req.kind() == JobKind::Gate) {
-    if (req.program->qubit_count() > gate_.qubit_count()) {
+    if (!job->request.program) {
+      // Raw-source submission: parse here so malformed cQASM maps to a
+      // typed kInvalidArgument in the result, never an exception.
+      StatusOr<qasm::Program> parsed =
+          qasm::Parser::parse_or_status(*job->request.program_text);
+      if (!parsed.ok()) {
+        resolve_at_dispatch(job, parsed.status());
+        return;
+      }
+      job->request.program = std::move(*parsed);
+    }
+    if (req.program->qubit_count() > primary_gate_->qubit_count()) {
       resolve_at_dispatch(
           job, Status::InvalidArgument(
                    "program needs " +
                    std::to_string(req.program->qubit_count()) +
                    " qubits, platform has " +
-                   std::to_string(gate_.qubit_count())));
+                   std::to_string(primary_gate_->qubit_count())));
       return;
     }
     if (req.faults && req.faults->fail_compile) {
@@ -441,14 +545,49 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
 
   metrics_.counter("qs_jobs_dispatched_total").inc();
   job->shards = shard_count(req.shots, options_.shard_shots);
-  job->remaining.store(job->shards, std::memory_order_relaxed);
+  job->shard_done.assign(job->shards, 0);
+
+  // Checkpoint resume: restore the merged partials of a previous
+  // submission with the same key, provided the fingerprint proves the
+  // payload/seed/shot/shard plan is unchanged. Anything else starts fresh.
+  if (!req.checkpoint_key.empty() && options_.checkpoint_store) {
+    job->checkpoint_fp = checkpoint_fingerprint(req, options_.shard_shots);
+    std::optional<JobCheckpoint> cp =
+        options_.checkpoint_store->load(req.checkpoint_key);
+    if (cp && cp->fingerprint == job->checkpoint_fp &&
+        cp->shards == job->shards && cp->shard_done.size() == job->shards) {
+      job->merged = std::move(cp->merged);
+      job->shard_done = std::move(cp->shard_done);
+      job->has_best = cp->has_best;
+      job->best_energy = cp->best_energy;
+      job->best_read = cp->best_read;
+      job->best_solution = std::move(cp->best_solution);
+      for (char d : job->shard_done) job->shards_resumed += d ? 1 : 0;
+      if (job->shards_resumed > 0)
+        metrics_.counter("qs_shards_resumed_total")
+            .inc(job->shards_resumed);
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < job->shards; ++i)
+    if (!job->shard_done[i]) pending.push_back(i);
   QS_LOG(LogLevel::Debug, "service",
          "dispatch job " << job->id << " (" << to_string(req.kind()) << ", "
                          << req.shots << " shots, " << job->shards
-                         << " shards, cache_hit=" << job->cache_hit << ")");
+                         << " shards, " << job->shards_resumed
+                         << " resumed, cache_hit=" << job->cache_hit << ")");
 
+  if (pending.empty()) {
+    // Every shard was restored from the checkpoint: assemble directly.
+    job->remaining.store(1, std::memory_order_relaxed);
+    finish_shard(job);
+    return;
+  }
+
+  job->remaining.store(pending.size(), std::memory_order_relaxed);
   const bool is_gate = req.kind() == JobKind::Gate;
-  for (std::size_t i = 0; i < job->shards; ++i) {
+  for (std::size_t i : pending) {
     pool_.submit([this, job, i, is_gate] {
       if (is_gate)
         run_gate_shard(job, i);
@@ -463,8 +602,8 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   *cache_hit = false;
   const std::string text = qasm::to_cqasm(program);
   const std::uint64_t key = compiled_program_key(
-      text, compiler::fingerprint(gate_.platform()),
-      compiler::fingerprint(gate_.options()));
+      text, compiler::fingerprint(primary_gate_->platform()),
+      compiler::fingerprint(primary_gate_->options()));
 
   if (options_.cache_enabled) {
     if (auto entry = cache_.lookup(key)) {
@@ -476,10 +615,12 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   }
 
   auto entry = std::make_shared<CompiledEntry>();
-  entry->compiled = gate_.compile_const(program);
-  if (gate_.path() == runtime::GatePath::MicroArch)
+  entry->compiled = primary_gate_->compile_const(program);
+  // Pre-assemble eQASM when any pool backend takes the micro-arch route —
+  // a shard may fail over to such a backend even if the primary is Direct.
+  if (backends_->any_microarch())
     entry->eqasm = std::make_shared<const microarch::EqProgram>(
-        gate_.assemble(entry->compiled));
+        primary_gate_->assemble(entry->compiled));
   if (options_.cache_enabled) cache_.insert(key, entry);
   return entry;
 }
@@ -504,72 +645,197 @@ std::size_t QuantumService::effective_sim_threads(
 
 // ------------------------------------------------------------- shards ----
 
+CancelToken QuantumService::attempt_token(const JobState& job) const {
+  std::optional<Clock::time_point> deadline = job.deadline_at;
+  if (options_.shard_time_budget.count() > 0) {
+    const Clock::time_point watchdog_at =
+        Clock::now() + options_.shard_time_budget;
+    if (!deadline || watchdog_at < *deadline) deadline = watchdog_at;
+  }
+  return job.cancel.token(deadline);
+}
+
+void QuantumService::save_checkpoint_locked(JobState& job) {
+  if (job.checkpoint_fp == 0 || !options_.checkpoint_store) return;
+  JobCheckpoint cp;
+  cp.fingerprint = job.checkpoint_fp;
+  cp.shards = job.shards;
+  cp.shard_done = job.shard_done;
+  cp.merged = job.merged;
+  cp.has_best = job.has_best;
+  cp.best_energy = job.best_energy;
+  cp.best_read = job.best_read;
+  cp.best_solution = job.best_solution;
+  if (options_.checkpoint_store->save(job.request.checkpoint_key, cp).ok())
+    metrics_.counter("qs_checkpoint_saves_total").inc();
+  else
+    metrics_.counter("qs_checkpoint_save_failures_total").inc();
+}
+
 void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
                                     std::size_t shard_index) {
   const RunRequest& req = job->request;
-  const CancelToken token = job->cancel.token(job->deadline_at);
   const std::size_t begin = shard_index * options_.shard_shots;
   const std::size_t count = std::min(options_.shard_shots, req.shots - begin);
-  // Retries re-derive the same stream: the seed is a pure function of
-  // (job seed, shard index), so attempt j of shard k samples exactly what
-  // attempt 0 would have — a job that succeeds after retries produces the
-  // histogram of a job that never failed.
+  // Retries and failovers re-derive the same stream: the seed is a pure
+  // function of (job seed, shard index) — never of the attempt count or
+  // of which backend runs the shard — so a job that succeeds after
+  // retries or re-routing produces the histogram of a job that never
+  // failed, on whatever backend.
   const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
+  const std::size_t arity = req.program->qubit_count();
   const std::size_t planned_failures =
       req.faults ? req.faults->failures_for(shard_index) : 0;
 
-  for (std::size_t attempt = 0;; ++attempt) {
+  std::size_t transient_attempt = 0;  // same-route retries (TransientError)
+  std::size_t failover_count = 0;     // re-routes to another backend
+  std::string exclude;                // backend the last attempt failed on
+
+  // Re-route the shard after a backend-level failure; returns false once
+  // the failover budget is spent (the shard then fails terminally).
+  const auto fail_over = [&](Backend& backend, const std::string& reason,
+                             bool quarantine_backend) {
+    if (quarantine_backend)
+      backends_->quarantine(backend);
+    else
+      backends_->record_failure(backend);
+    exclude = backend.name;
+    metrics_.counter("qs_backend_failovers_total").inc();
+    job->failovers.fetch_add(1, std::memory_order_relaxed);
+    if (++failover_count > options_.max_shard_failovers) {
+      note_failure(job, Status::Unavailable(
+                            "shard " + std::to_string(shard_index) + ": " +
+                            reason + " (failover budget exhausted after " +
+                            std::to_string(failover_count) + " re-routes)"));
+      return false;
+    }
+    return true;
+  };
+
+  for (;;) {
     if (job->abort.load(std::memory_order_acquire)) break;
-    if (token.cancelled()) {
+    if (job->cancel.cancel_requested()) {
       note_failure(job, Status::Cancelled("job cancelled mid-run"));
       break;
     }
-    if (token.deadline_expired()) {
+    if (job->deadline_at && Clock::now() > *job->deadline_at) {
       note_failure(job,
                    Status::DeadlineExceeded("deadline expired mid-run"));
       break;
     }
+
+    std::shared_ptr<Backend> backend =
+        backends_->acquire(JobKind::Gate, exclude);
+    if (!backend) {
+      note_failure(job, Status::Unavailable(
+                            "shard " + std::to_string(shard_index) +
+                            ": no healthy gate backend in the pool"));
+      break;
+    }
+    // Watchdog: the attempt runs under the job deadline tightened by the
+    // per-shard time budget; expiry cancels the kernel at the next shot
+    // boundary and the shard re-routes instead of hanging the worker.
+    const CancelToken token = attempt_token(*job);
+
     try {
       if (req.faults && req.faults->shard_latency.count() > 0)
         std::this_thread::sleep_for(req.faults->shard_latency);
-      if (attempt < planned_failures)
+      if (transient_attempt < planned_failures)
         throw TransientError("injected fault: shard " +
                              std::to_string(shard_index) + " attempt " +
-                             std::to_string(attempt));
-      sim::SimOptions sim_options = gate_.sim_options();
+                             std::to_string(transient_attempt));
+      if (req.faults && req.faults->backend_fault(
+                            backend->name, runtime::BackendFaultKind::kCrash))
+        throw BackendError("injected crash on backend '" + backend->name +
+                           "'");
+      if (req.faults &&
+          req.faults->backend_fault(backend->name,
+                                    runtime::BackendFaultKind::kStuckShard)) {
+        // Stall until the watchdog, the job deadline or a cancel fires —
+        // a stuck shard with none of the three configured stays stuck,
+        // which is exactly what the watchdog budget exists to prevent.
+        while (!token.stop_requested())
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        throw_if_stopped(token);
+      }
+
+      sim::SimOptions sim_options = backend->gate->sim_options();
       sim_options.threads = effective_sim_threads(req.sim_threads);
       sim_options.cancel = token;
-      const Histogram shard =
-          job->entry->eqasm
-              ? gate_.run_eqasm(*job->entry->eqasm, count, seed, sim_options)
-              : gate_.run_compiled(job->entry->compiled, count, seed,
-                                   sim_options);
+      Histogram shard =
+          (backend->gate->path() == runtime::GatePath::MicroArch &&
+           job->entry->eqasm)
+              ? backend->gate->run_eqasm(*job->entry->eqasm, count, seed,
+                                         sim_options)
+              : backend->gate->run_compiled(job->entry->compiled, count, seed,
+                                            sim_options);
+      if (req.faults &&
+          req.faults->backend_fault(
+              backend->name, runtime::BackendFaultKind::kCorruptHistogram))
+        shard.add(std::string(arity + 1, '1'));  // wrong-arity poison key
+
+      if (Status valid = validate_shard_histogram(shard, count, arity);
+          !valid.ok()) {
+        // Result-level corruption: the backend lied without failing, so
+        // it is quarantined outright and the shard re-runs elsewhere
+        // (same seed — the merged histogram cannot tell the difference).
+        if (!fail_over(*backend,
+                       "invalid shard result: " + valid.message(),
+                       /*quarantine_backend=*/true))
+          break;
+        continue;
+      }
+
+      backends_->record_success(*backend);
+      job->shards_executed.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(job->merge_mutex);
       for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
+      if (shard_index < job->shard_done.size())
+        job->shard_done[shard_index] = 1;
+      save_checkpoint_locked(*job);
       break;
     } catch (const CancelledError& e) {
-      note_failure(job, e.deadline_expired()
+      const bool job_cancelled = job->cancel.cancel_requested();
+      const bool job_deadline_hit =
+          job->deadline_at && Clock::now() > *job->deadline_at;
+      if (e.deadline_expired() && !job_cancelled && !job_deadline_hit) {
+        // The watchdog (not the job deadline) fired: the backend was too
+        // slow or stuck. Blame it and re-route.
+        if (!fail_over(*backend, "watchdog: shard exceeded time budget",
+                       /*quarantine_backend=*/false))
+          break;
+        continue;
+      }
+      note_failure(job, e.deadline_expired() && !job_cancelled
                             ? Status::DeadlineExceeded(
                                   "deadline expired mid-run")
                             : Status::Cancelled("job cancelled mid-run"));
       break;
+    } catch (const BackendError& e) {
+      if (!fail_over(*backend, e.what(), /*quarantine_backend=*/false))
+        break;
+      continue;
     } catch (const TransientError& e) {
-      if (attempt >= options_.max_shard_retries) {
+      if (transient_attempt >= options_.max_shard_retries) {
         note_failure(job, Status::Unavailable(
                               "shard " + std::to_string(shard_index) +
                               " failed after " +
-                              std::to_string(attempt + 1) +
+                              std::to_string(transient_attempt + 1) +
                               " attempts: " + e.what()));
         break;
       }
       job->retries.fetch_add(1, std::memory_order_relaxed);
       metrics_.counter("qs_shard_retries_total").inc();
-      std::this_thread::sleep_for(options_.retry_backoff.delay(attempt));
+      std::this_thread::sleep_for(
+          options_.retry_backoff.delay(transient_attempt));
+      ++transient_attempt;
     } catch (const std::exception& e) {
+      backends_->record_failure(*backend);
       note_failure(job,
                    Status::Internal(std::string("shard failed: ") + e.what()));
       break;
     } catch (...) {
+      backends_->record_failure(*backend);
       note_failure(job, Status::Internal("shard failed: unknown exception"));
       break;
     }
@@ -580,22 +846,75 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
 void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
                                       std::size_t shard_index) {
   const RunRequest& req = job->request;
-  const CancelToken token = job->cancel.token(job->deadline_at);
   const std::size_t begin = shard_index * options_.shard_shots;
   const std::size_t end = std::min(begin + options_.shard_shots, req.shots);
+  const std::size_t arity = req.qubo->size();
   const std::size_t planned_failures =
       req.faults ? req.faults->failures_for(shard_index) : 0;
 
-  for (std::size_t attempt = 0;; ++attempt) {
+  std::size_t transient_attempt = 0;
+  std::size_t failover_count = 0;
+  std::string exclude;
+
+  const auto fail_over = [&](Backend& backend, const std::string& reason,
+                             bool quarantine_backend) {
+    if (quarantine_backend)
+      backends_->quarantine(backend);
+    else
+      backends_->record_failure(backend);
+    exclude = backend.name;
+    metrics_.counter("qs_backend_failovers_total").inc();
+    job->failovers.fetch_add(1, std::memory_order_relaxed);
+    if (++failover_count > options_.max_shard_failovers) {
+      note_failure(job, Status::Unavailable(
+                            "shard " + std::to_string(shard_index) + ": " +
+                            reason + " (failover budget exhausted after " +
+                            std::to_string(failover_count) + " re-routes)"));
+      return false;
+    }
+    return true;
+  };
+
+  for (;;) {
     if (job->abort.load(std::memory_order_acquire)) break;
+    if (job->cancel.cancel_requested()) {
+      note_failure(job, Status::Cancelled("job cancelled mid-run"));
+      break;
+    }
+    if (job->deadline_at && Clock::now() > *job->deadline_at) {
+      note_failure(job,
+                   Status::DeadlineExceeded("deadline expired mid-run"));
+      break;
+    }
+
+    std::shared_ptr<Backend> backend =
+        backends_->acquire(JobKind::Anneal, exclude);
+    if (!backend) {
+      note_failure(job, Status::Unavailable(
+                            "shard " + std::to_string(shard_index) +
+                            ": no healthy anneal backend in the pool"));
+      break;
+    }
+    const CancelToken token = attempt_token(*job);
+
     try {
-      throw_if_stopped(token);
       if (req.faults && req.faults->shard_latency.count() > 0)
         std::this_thread::sleep_for(req.faults->shard_latency);
-      if (attempt < planned_failures)
+      if (transient_attempt < planned_failures)
         throw TransientError("injected fault: shard " +
                              std::to_string(shard_index) + " attempt " +
-                             std::to_string(attempt));
+                             std::to_string(transient_attempt));
+      if (req.faults && req.faults->backend_fault(
+                            backend->name, runtime::BackendFaultKind::kCrash))
+        throw BackendError("injected crash on backend '" + backend->name +
+                           "'");
+      if (req.faults &&
+          req.faults->backend_fault(backend->name,
+                                    runtime::BackendFaultKind::kStuckShard)) {
+        while (!token.stop_requested())
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        throw_if_stopped(token);
+      }
       // Accumulate locally and merge once at the end: keeps the job state
       // untouched until the shard is known-good, so a retried attempt can
       // never double-count its completed reads.
@@ -608,10 +927,14 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
         throw_if_stopped(token);
         // Per-read (not per-shard) stream: each anneal is an independent
         // restart, and per-read seeding keeps the best-of-N reduction
-        // identical however reads are grouped into shards.
+        // identical however reads are grouped into shards — and whichever
+        // backend runs them.
         Rng rng(derive_stream_seed(req.seed, read));
+        // The token reaches the annealer's sweep loop: a deadline or
+        // cancel (or the watchdog) stops a QUBO job mid-anneal instead of
+        // waiting out the full schedule.
         const runtime::AnnealOutcome outcome =
-            annealer_->solve(*req.qubo, rng);
+            backend->annealer->solve(*req.qubo, rng, token);
         local.add(solution_bits(outcome.solution));
         const bool better = !local_has_best ||
                             outcome.energy < local_best_energy ||
@@ -624,6 +947,23 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
           local_best = outcome.solution;
         }
       }
+      if (req.faults &&
+          req.faults->backend_fault(
+              backend->name, runtime::BackendFaultKind::kCorruptHistogram))
+        local.add(std::string(arity + 1, '1'));
+
+      if (Status valid =
+              validate_shard_histogram(local, end - begin, arity);
+          !valid.ok()) {
+        if (!fail_over(*backend,
+                       "invalid shard result: " + valid.message(),
+                       /*quarantine_backend=*/true))
+          break;
+        continue;
+      }
+
+      backends_->record_success(*backend);
+      job->shards_executed.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(job->merge_mutex);
       for (const auto& [bits, n] : local.counts()) job->merged.add(bits, n);
       if (local_has_best) {
@@ -638,30 +978,50 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
           job->best_solution = std::move(local_best);
         }
       }
+      if (shard_index < job->shard_done.size())
+        job->shard_done[shard_index] = 1;
+      save_checkpoint_locked(*job);
       break;
     } catch (const CancelledError& e) {
-      note_failure(job, e.deadline_expired()
+      const bool job_cancelled = job->cancel.cancel_requested();
+      const bool job_deadline_hit =
+          job->deadline_at && Clock::now() > *job->deadline_at;
+      if (e.deadline_expired() && !job_cancelled && !job_deadline_hit) {
+        if (!fail_over(*backend, "watchdog: shard exceeded time budget",
+                       /*quarantine_backend=*/false))
+          break;
+        continue;
+      }
+      note_failure(job, e.deadline_expired() && !job_cancelled
                             ? Status::DeadlineExceeded(
                                   "deadline expired mid-run")
                             : Status::Cancelled("job cancelled mid-run"));
       break;
+    } catch (const BackendError& e) {
+      if (!fail_over(*backend, e.what(), /*quarantine_backend=*/false))
+        break;
+      continue;
     } catch (const TransientError& e) {
-      if (attempt >= options_.max_shard_retries) {
+      if (transient_attempt >= options_.max_shard_retries) {
         note_failure(job, Status::Unavailable(
                               "shard " + std::to_string(shard_index) +
                               " failed after " +
-                              std::to_string(attempt + 1) +
+                              std::to_string(transient_attempt + 1) +
                               " attempts: " + e.what()));
         break;
       }
       job->retries.fetch_add(1, std::memory_order_relaxed);
       metrics_.counter("qs_shard_retries_total").inc();
-      std::this_thread::sleep_for(options_.retry_backoff.delay(attempt));
+      std::this_thread::sleep_for(
+          options_.retry_backoff.delay(transient_attempt));
+      ++transient_attempt;
     } catch (const std::exception& e) {
+      backends_->record_failure(*backend);
       note_failure(job,
                    Status::Internal(std::string("shard failed: ") + e.what()));
       break;
     } catch (...) {
+      backends_->record_failure(*backend);
       note_failure(job, Status::Internal("shard failed: unknown exception"));
       break;
     }
@@ -688,6 +1048,16 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   result.stats.retries = job->retries.load(std::memory_order_relaxed);
   result.stats.shards = job->shards;
   result.stats.dispatch_seq = job->dispatch_seq;
+  result.stats.failovers = job->failovers.load(std::memory_order_relaxed);
+  result.stats.shards_resumed = job->shards_resumed;
+  result.stats.shards_executed =
+      job->shards_executed.load(std::memory_order_relaxed);
+  // A finished job's checkpoint has served its purpose; a failed,
+  // cancelled or timed-out job keeps its snapshot so a resubmission with
+  // the same key resumes from the completed shards.
+  if (job->checkpoint_fp != 0 && options_.checkpoint_store &&
+      result.status.ok())
+    options_.checkpoint_store->remove(job->request.checkpoint_key);
   resolve(job, std::move(result));
 }
 

@@ -31,7 +31,9 @@
 #include "common/backoff.h"
 #include "common/status.h"
 #include "runtime/accelerator.h"
+#include "service/backend_pool.h"
 #include "service/cache.h"
+#include "service/checkpoint.h"
 #include "service/job.h"
 #include "service/metrics.h"
 #include "service/queue.h"
@@ -64,12 +66,38 @@ struct ServiceOptions {
   /// Deterministic exponential backoff between shard retry attempts.
   BackoffPolicy retry_backoff{std::chrono::microseconds(200), 2.0,
                               std::chrono::microseconds(5000)};
+  /// Failover budget per shard: how many times a shard may be re-routed to
+  /// another backend (backend crash, corrupt result, watchdog timeout)
+  /// before it fails terminally with kUnavailable. Distinct from
+  /// max_shard_retries, which covers transient same-route failures.
+  std::size_t max_shard_failovers = 3;
+  /// Per-shard watchdog: an attempt exceeding this wall-clock budget is
+  /// cancelled (at the next shot boundary) and re-routed to another
+  /// backend. Zero disables the watchdog; the job deadline still applies.
+  std::chrono::microseconds shard_time_budget{0};
+  /// Crash-safe checkpoint/resume (null = disabled). Jobs submitted with a
+  /// non-empty checkpoint_key snapshot their merged partial histogram and
+  /// shard cursor here after every completed shard, and a resubmission
+  /// with the same key re-runs only the unfinished shards.
+  std::shared_ptr<CheckpointStore> checkpoint_store;
 };
 
-/// The execution service. One instance serves one gate platform (and
-/// optionally one annealing device) from a shared worker pool.
+/// The execution service. One instance serves one gate platform — through
+/// one backend or a supervised pool of equivalent backends — and
+/// optionally annealing devices, from a shared worker pool.
 class QuantumService {
  public:
+  /// Supervised-pool constructor: shards dispatch through `backends`
+  /// (health-checked, circuit-broken, failover-routed). The pool must hold
+  /// at least one gate backend; all its gate backends share one platform
+  /// fingerprint (BackendPool::register_gate enforces this), which is what
+  /// makes failover histogram-preserving. Throws std::invalid_argument on
+  /// a null or gate-less pool — a wiring bug, not a serving-path error.
+  explicit QuantumService(std::shared_ptr<BackendPool> backends,
+                          ServiceOptions options = {});
+
+  /// Single-backend convenience constructors: wrap the accelerator(s) in a
+  /// one-entry ("gate0" / "anneal0") pool.
   explicit QuantumService(runtime::GateAccelerator gate,
                           ServiceOptions options = {});
   QuantumService(runtime::GateAccelerator gate,
@@ -127,7 +155,11 @@ class QuantumService {
   MetricsRegistry& metrics() { return metrics_; }
   const CompiledProgramCache& cache() const { return cache_; }
   const ServiceOptions& options() const { return options_; }
-  const runtime::GateAccelerator& gate() const { return gate_; }
+  /// The primary gate backend (compile authority for the whole pool).
+  const runtime::GateAccelerator& gate() const { return *primary_gate_; }
+  /// The supervised backend pool shards dispatch through.
+  BackendPool& backends() { return *backends_; }
+  const BackendPool& backends() const { return *backends_; }
 
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t worker_count() const { return pool_.thread_count(); }
@@ -180,9 +212,17 @@ class QuantumService {
   void finish_shard(const std::shared_ptr<JobState>& job);
   void job_done();
 
+  /// Per-attempt cancel token: the job deadline combined with the
+  /// watchdog's per-shard time budget, whichever fires first.
+  CancelToken attempt_token(const JobState& job) const;
+
+  /// Snapshots the job's merge state to the checkpoint store (no-op when
+  /// checkpointing is off for this job). Caller holds merge_mutex.
+  void save_checkpoint_locked(JobState& job);
+
   ServiceOptions options_;
-  runtime::GateAccelerator gate_;
-  std::optional<runtime::AnnealAccelerator> annealer_;
+  std::shared_ptr<BackendPool> backends_;
+  std::shared_ptr<runtime::GateAccelerator> primary_gate_;
 
   CompiledProgramCache cache_;
   MetricsRegistry metrics_;

@@ -53,6 +53,30 @@ TEST(FaultPlan, FailuresForMatchesConfiguredShards) {
   EXPECT_EQ(plan.failures_for(3), 1u);
 }
 
+TEST(FaultPlan, BackendFaultMatchesNameAndKind) {
+  FaultPlan plan;
+  plan.backend_faults = {{"b1", runtime::BackendFaultKind::kCrash},
+                         {"b2", runtime::BackendFaultKind::kCorruptHistogram}};
+  EXPECT_TRUE(plan.backend_fault("b1", runtime::BackendFaultKind::kCrash));
+  EXPECT_FALSE(
+      plan.backend_fault("b1", runtime::BackendFaultKind::kCorruptHistogram));
+  EXPECT_TRUE(
+      plan.backend_fault("b2", runtime::BackendFaultKind::kCorruptHistogram));
+  EXPECT_FALSE(plan.backend_fault("b3", runtime::BackendFaultKind::kCrash));
+  EXPECT_FALSE(
+      FaultPlan{}.backend_fault("b1", runtime::BackendFaultKind::kCrash));
+}
+
+TEST(FaultPlan, BackendFaultKindNames) {
+  EXPECT_STREQ(runtime::to_string(runtime::BackendFaultKind::kCrash),
+               "backend_crash");
+  EXPECT_STREQ(
+      runtime::to_string(runtime::BackendFaultKind::kCorruptHistogram),
+      "corrupt_histogram");
+  EXPECT_STREQ(runtime::to_string(runtime::BackendFaultKind::kStuckShard),
+               "stuck_shard");
+}
+
 // ------------------------------------------------------- BackoffPolicy ----
 
 TEST(BackoffPolicy, GrowsExponentiallyAndCaps) {
