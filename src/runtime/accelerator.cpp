@@ -77,6 +77,28 @@ Histogram GateAccelerator::run_compiled(
   return simulator.run(compiled.program, shots).histogram;
 }
 
+Histogram GateAccelerator::run_flat(
+    const std::vector<qasm::Instruction>& flat,
+    const sim::TrajectoryAnalysis& analysis, std::size_t shots,
+    std::uint64_t seed, const sim::SimOptions& sim_options) const {
+  sim::Simulator simulator(compiler_.platform().qubit_count,
+                           compiler_.platform().qubit_model, seed,
+                           compiler_.platform().durations, sim_options);
+  return simulator.run_flat(flat, analysis, shots).histogram;
+}
+
+sim::FinalDistribution GateAccelerator::final_distribution(
+    const std::vector<qasm::Instruction>& flat,
+    const sim::TrajectoryAnalysis& analysis,
+    const sim::SimOptions& sim_options) const {
+  // The seed is immaterial: a samplable trajectory consumes no RNG that
+  // could perturb the state (that is what analyze_trajectory proves).
+  sim::Simulator simulator(compiler_.platform().qubit_count,
+                           compiler_.platform().qubit_model, /*seed=*/1,
+                           compiler_.platform().durations, sim_options);
+  return simulator.final_distribution(flat, analysis);
+}
+
 Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
                                      std::size_t shots,
                                      std::uint64_t seed) const {

@@ -107,6 +107,25 @@ class GateAccelerator final : public QuantumAccelerator {
                          std::size_t shots, std::uint64_t seed,
                          const sim::SimOptions& sim_options) const;
 
+  /// Direct QX execution of a pre-flattened, pre-analyzed compiled
+  /// program (the service caches the flattened stream and its sampling
+  /// verdict per compiled entry, so shards skip flatten()/validate()).
+  /// Eligible circuits take the sampling fast path; the rest run the
+  /// per-shot trajectory loop. Ignores the configured GatePath — the
+  /// service routes micro-arch backends through run_eqasm itself.
+  Histogram run_flat(const std::vector<qasm::Instruction>& flat,
+                     const sim::TrajectoryAnalysis& analysis,
+                     std::size_t shots, std::uint64_t seed,
+                     const sim::SimOptions& sim_options) const;
+
+  /// Evolves a shot-deterministic circuit once on a fresh simulator and
+  /// returns its reusable final distribution (see sim::FinalDistribution).
+  /// Requires analysis.samplable; honours sim_options.cancel.
+  sim::FinalDistribution final_distribution(
+      const std::vector<qasm::Instruction>& flat,
+      const sim::TrajectoryAnalysis& analysis,
+      const sim::SimOptions& sim_options) const;
+
   /// Runs pre-assembled eQASM on a fresh micro-architecture instance.
   Histogram run_eqasm(const microarch::EqProgram& eq, std::size_t shots,
                       std::uint64_t seed) const;

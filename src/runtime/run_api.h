@@ -156,6 +156,12 @@ struct JobStats {
   std::size_t shards_resumed = 0;   ///< shards restored from a checkpoint
   std::size_t shards_executed = 0;  ///< shards actually run this submission
   std::uint64_t dispatch_seq = 0;  ///< dispatch order stamp (1 = first)
+  /// Shot-deterministic circuit served by the sampling fast path (one
+  /// evolution + counter-derived draws) instead of per-shot trajectories.
+  bool sampled = false;
+  /// The job's final distribution came from the service's FinalStateCache
+  /// (implies sampled: not even the single evolution ran).
+  bool final_state_cache_hit = false;
 };
 
 /// Terminal outcome of a RunRequest. `status` is the job's terminal state;

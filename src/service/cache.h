@@ -16,15 +16,23 @@
 
 #include "compiler/compiler.h"
 #include "microarch/eqasm.h"
+#include "sim/trajectory_analysis.h"
 
 namespace qs::service {
 
 /// A cached compilation artefact: the scheduled cQASM plus, for the
 /// micro-architecture path, the assembled eQASM (so cache hits skip both
-/// passes). Immutable once inserted — workers share it by shared_ptr.
+/// passes), plus the flattened instruction stream and its
+/// shot-determinism verdict (so shards skip flatten()/validate() and the
+/// dispatcher knows whether the job may take the sampling fast path
+/// without re-walking the program). Immutable once inserted — workers
+/// share it by shared_ptr.
 struct CompiledEntry {
+  std::uint64_t key = 0;  ///< compiled_program_key this entry was cached under
   compiler::CompileResult compiled;
   std::shared_ptr<const microarch::EqProgram> eqasm;  ///< null on Direct path
+  std::vector<qasm::Instruction> flat;  ///< compiled.program, flattened
+  sim::TrajectoryAnalysis analysis;     ///< verdict for the platform's model
 };
 
 /// Computes the cache key for a program against a platform/options pair.

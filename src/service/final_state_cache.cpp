@@ -1,0 +1,101 @@
+#include "service/final_state_cache.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace qs::service {
+
+std::uint64_t final_state_key(std::uint64_t compiled_key,
+                              const sim::QubitModel& model,
+                              bool fused_kernels) {
+  // Hexfloat round-trips doubles exactly, so two models hash equal iff
+  // their parameters are bit-equal (same rule the platform fingerprint
+  // follows for durations).
+  std::ostringstream os;
+  os << static_cast<int>(model.kind) << ' ' << std::hexfloat
+     << model.gate_error_1q << ' ' << model.gate_error_2q << ' '
+     << model.readout_error << ' ' << model.t1_ns << ' ' << model.t2_ns
+     << ' ' << (fused_kernels ? 'f' : 'g');
+  return hash_combine(compiled_key, fnv1a64(os.str()));
+}
+
+FinalStateCache::FinalStateCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::shared_ptr<const sim::FinalDistribution> FinalStateCache::lookup(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->dist;
+}
+
+void FinalStateCache::evict_lru_locked() {
+  const Slot& victim = lru_.back();
+  bytes_ -= victim.bytes;
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+std::size_t FinalStateCache::insert(
+    std::uint64_t key, std::shared_ptr<const sim::FinalDistribution> dist) {
+  if (!dist) return 0;
+  const std::size_t cost = dist->bytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (cost > capacity_bytes_) return 0;  // would evict everything for one job
+  std::size_t evicted = 0;
+  while (!lru_.empty() && bytes_ + cost > capacity_bytes_) {
+    evict_lru_locked();
+    ++evicted;
+  }
+  lru_.push_front(Slot{key, std::move(dist), cost});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  return evicted;
+}
+
+std::size_t FinalStateCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t FinalStateCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t FinalStateCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FinalStateCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t FinalStateCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void FinalStateCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace qs::service

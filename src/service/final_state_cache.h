@@ -1,0 +1,79 @@
+// Memory-bounded LRU cache of final-state distributions for the sampling
+// fast path. A repeated RunRequest for the same circuit — the common case
+// the compile cache's ~92% hit rate demonstrates — skips even the single
+// evolution and goes straight to binary-search sampling; shards of one
+// job share the entry by shared_ptr. Keyed by the compiled-program cache
+// key (cQASM text + platform + compile options) combined with a
+// fingerprint of the qubit model and the kernel flavour, so a config
+// change can never serve a stale distribution. Seed and thread count are
+// deliberately NOT part of the key: the distribution of a
+// shot-deterministic circuit is seed-independent, and the kernel layer's
+// bit-identity contract makes it thread-count-independent.
+//
+// Unlike the compile cache, entries here are O(2^n) doubles, so the
+// budget is bytes, not entry count.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/error_model.h"
+#include "sim/trajectory_analysis.h"
+
+namespace qs::service {
+
+/// Key for a final distribution: the compiled-program cache key combined
+/// with the qubit-model parameters and the kernel flavour that produced
+/// the amplitudes.
+std::uint64_t final_state_key(std::uint64_t compiled_key,
+                              const sim::QubitModel& model,
+                              bool fused_kernels);
+
+/// Thread-safe, byte-budgeted LRU cache keyed by final_state_key.
+class FinalStateCache {
+ public:
+  explicit FinalStateCache(std::size_t capacity_bytes = 128ull << 20);
+
+  /// Returns the entry and refreshes its recency, or nullptr on miss.
+  std::shared_ptr<const sim::FinalDistribution> lookup(std::uint64_t key);
+
+  /// Inserts (or replaces) an entry, evicting least-recently-used entries
+  /// until the byte budget holds; returns how many were evicted. An entry
+  /// larger than the whole budget is not cached at all (callers keep
+  /// their shared_ptr — the job still samples, later jobs re-evolve).
+  std::size_t insert(std::uint64_t key,
+                     std::shared_ptr<const sim::FinalDistribution> dist);
+
+  std::size_t size() const;
+  std::size_t bytes() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::shared_ptr<const sim::FinalDistribution> dist;
+    std::size_t bytes;
+  };
+
+  void evict_lru_locked();
+
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Slot>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace qs::service

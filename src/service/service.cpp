@@ -127,6 +127,16 @@ struct QuantumService::JobState {
   std::size_t shards = 0;
   std::shared_ptr<const CompiledEntry> entry;  // gate jobs only
 
+  // Sampling fast path (gate jobs whose trajectory is shot-deterministic).
+  // The distribution is materialised at most once per job — by the first
+  // shard to reach it, under dist_once — and shared read-only; call_once
+  // synchronises the fields below for every other shard.
+  bool sampled = false;             ///< decided at dispatch
+  std::uint64_t final_key = 0;      ///< FinalStateCache key
+  std::once_flag dist_once;
+  std::shared_ptr<const sim::FinalDistribution> final_dist;
+  bool final_cache_hit = false;     ///< written under dist_once
+
   // Shard merge state. Histogram addition is commutative, so taking the
   // merge mutex in arbitrary shard-completion order still yields a
   // deterministic merged result.
@@ -157,6 +167,7 @@ QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
     : options_(options),
       backends_(std::move(backends)),
       cache_(options.cache_capacity),
+      final_cache_(options.final_state_cache_bytes),
       queue_(options.queue_capacity),
       pool_(options.workers),
       paused_(options.start_paused) {
@@ -541,6 +552,25 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
                           Status::Internal("compile failed: unknown error"));
       return;
     }
+    // Sampling-path election. Purely a function of the analysis verdict —
+    // never of the FaultPlan or the backend route: sampled shards still
+    // traverse the full retry/failover machinery, so a faulted run stays
+    // byte-identical to a clean one.
+    if (options_.sampling_enabled && job->entry->analysis.samplable) {
+      job->sampled = true;
+      job->final_key = final_state_key(
+          job->entry->key, primary_gate_->platform().qubit_model,
+          primary_gate_->sim_options().fused_kernels);
+      metrics_.counter("qs_jobs_sampled_total").inc();
+    } else {
+      const sim::SamplingFallback reason =
+          options_.sampling_enabled ? job->entry->analysis.fallback
+                                    : sim::SamplingFallback::kDisabled;
+      metrics_
+          .counter(std::string("qs_sampling_fallback_total{reason=\"") +
+                   sim::to_string(reason) + "\"}")
+          .inc();
+    }
   }
 
   metrics_.counter("qs_jobs_dispatched_total").inc();
@@ -615,12 +645,21 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   }
 
   auto entry = std::make_shared<CompiledEntry>();
+  entry->key = key;
   entry->compiled = primary_gate_->compile_const(program);
   // Pre-assemble eQASM when any pool backend takes the micro-arch route —
   // a shard may fail over to such a backend even if the primary is Direct.
   if (backends_->any_microarch())
     entry->eqasm = std::make_shared<const microarch::EqProgram>(
         primary_gate_->assemble(entry->compiled));
+  // Flatten, validate and analyze once per compiled program: shards run
+  // the cached stream directly, and the dispatcher reads the cached
+  // verdict to elect the sampling fast path.
+  entry->compiled.program.validate();
+  entry->flat = entry->compiled.program.flatten();
+  entry->analysis = sim::analyze_trajectory(
+      entry->flat, primary_gate_->platform().qubit_count,
+      primary_gate_->platform().qubit_model);
   if (options_.cache_enabled) cache_.insert(key, entry);
   return entry;
 }
@@ -670,6 +709,37 @@ void QuantumService::save_checkpoint_locked(JobState& job) {
     metrics_.counter("qs_checkpoint_saves_total").inc();
   else
     metrics_.counter("qs_checkpoint_save_failures_total").inc();
+}
+
+void QuantumService::ensure_final_distribution(
+    const std::shared_ptr<JobState>& job, const CancelToken& token) {
+  // call_once: on a thrown CancelledError the flag stays unset, so a
+  // retried attempt (or another shard) re-runs the lookup/evolution under
+  // its own token instead of every shard inheriting the failure.
+  std::call_once(job->dist_once, [&] {
+    const bool cache_on = options_.final_state_cache_bytes > 0;
+    if (cache_on) {
+      if (auto dist = final_cache_.lookup(job->final_key)) {
+        metrics_.counter("qs_final_state_cache_hits_total").inc();
+        job->final_cache_hit = true;
+        job->final_dist = std::move(dist);
+        return;
+      }
+      metrics_.counter("qs_final_state_cache_misses_total").inc();
+    }
+    sim::SimOptions sim_options = primary_gate_->sim_options();
+    sim_options.threads = effective_sim_threads(job->request.sim_threads);
+    sim_options.cancel = token;
+    auto dist = std::make_shared<const sim::FinalDistribution>(
+        primary_gate_->final_distribution(job->entry->flat,
+                                          job->entry->analysis, sim_options));
+    if (cache_on) {
+      const std::size_t evicted = final_cache_.insert(job->final_key, dist);
+      if (evicted > 0)
+        metrics_.counter("qs_final_state_cache_evictions_total").inc(evicted);
+    }
+    job->final_dist = std::move(dist);
+  });
 }
 
 void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
@@ -762,13 +832,30 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
       sim::SimOptions sim_options = backend->gate->sim_options();
       sim_options.threads = effective_sim_threads(req.sim_threads);
       sim_options.cancel = token;
-      Histogram shard =
-          (backend->gate->path() == runtime::GatePath::MicroArch &&
-           job->entry->eqasm)
-              ? backend->gate->run_eqasm(*job->entry->eqasm, count, seed,
-                                         sim_options)
-              : backend->gate->run_compiled(job->entry->compiled, count, seed,
-                                            sim_options);
+      sim_options.sampling = options_.sampling_enabled;
+      Histogram shard;
+      if (job->sampled) {
+        // Sampling fast path: the job's shared distribution (cached, or
+        // computed once under dist_once) replaces the trajectory loop.
+        // Everything around the execution call — backend acquire, fault
+        // injection, validation, retries, failover accounting — is
+        // unchanged, and the shard's counter-derived stream makes the
+        // draws identical to what any other route would produce.
+        ensure_final_distribution(job, token);
+        shard = sim::sample_histogram(*job->final_dist, count, seed, token);
+      } else if (backend->gate->path() == runtime::GatePath::MicroArch) {
+        shard = job->entry->eqasm
+                    ? backend->gate->run_eqasm(*job->entry->eqasm, count,
+                                               seed, sim_options)
+                    : backend->gate->run_compiled(job->entry->compiled, count,
+                                                  seed, sim_options);
+      } else {
+        // Pre-flattened stream from the compiled entry: no per-shard
+        // flatten()/validate().
+        shard = backend->gate->run_flat(job->entry->flat,
+                                        job->entry->analysis, count, seed,
+                                        sim_options);
+      }
       if (req.faults &&
           req.faults->backend_fault(
               backend->name, runtime::BackendFaultKind::kCorruptHistogram))
@@ -1052,6 +1139,8 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   result.stats.shards_resumed = job->shards_resumed;
   result.stats.shards_executed =
       job->shards_executed.load(std::memory_order_relaxed);
+  result.stats.sampled = job->sampled;
+  result.stats.final_state_cache_hit = job->final_cache_hit;
   // A finished job's checkpoint has served its purpose; a failed,
   // cancelled or timed-out job keeps its snapshot so a resubmission with
   // the same key resumes from the completed shards.

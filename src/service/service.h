@@ -34,6 +34,7 @@
 #include "service/backend_pool.h"
 #include "service/cache.h"
 #include "service/checkpoint.h"
+#include "service/final_state_cache.h"
 #include "service/job.h"
 #include "service/metrics.h"
 #include "service/queue.h"
@@ -80,6 +81,15 @@ struct ServiceOptions {
   /// shard cursor here after every completed shard, and a resubmission
   /// with the same key re-runs only the unfinished shards.
   std::shared_ptr<CheckpointStore> checkpoint_store;
+  /// Terminal-measurement sampling fast path: shot-deterministic gate jobs
+  /// (perfect model, terminal measures, no conditionals) evolve once and
+  /// sample all shots from the final distribution. Off forces the
+  /// per-shot trajectory path for every job (A/B benchmarking).
+  bool sampling_enabled = true;
+  /// Byte budget of the FinalStateCache, which lets repeated submissions
+  /// of the same circuit skip even the single evolution. Zero disables
+  /// caching (each sampled job still evolves exactly once).
+  std::size_t final_state_cache_bytes = 128ull << 20;
 };
 
 /// The execution service. One instance serves one gate platform — through
@@ -154,6 +164,7 @@ class QuantumService {
 
   MetricsRegistry& metrics() { return metrics_; }
   const CompiledProgramCache& cache() const { return cache_; }
+  const FinalStateCache& final_state_cache() const { return final_cache_; }
   const ServiceOptions& options() const { return options_; }
   /// The primary gate backend (compile authority for the whole pool).
   const runtime::GateAccelerator& gate() const { return *primary_gate_; }
@@ -205,6 +216,14 @@ class QuantumService {
   std::shared_ptr<const CompiledEntry> resolve_compiled(
       const qasm::Program& program, bool* cache_hit);
   std::size_t effective_sim_threads(std::size_t job_threads) const;
+
+  /// Materialises the job's shared final distribution exactly once per
+  /// job (FinalStateCache lookup, else one evolution + insert); called
+  /// from the first sampled shard to reach it, other shards block on the
+  /// once-flag. Throws CancelledError when `token` stops the evolution.
+  void ensure_final_distribution(const std::shared_ptr<JobState>& job,
+                                 const CancelToken& token);
+
   void run_gate_shard(const std::shared_ptr<JobState>& job,
                       std::size_t shard_index);
   void run_anneal_shard(const std::shared_ptr<JobState>& job,
@@ -225,6 +244,7 @@ class QuantumService {
   std::shared_ptr<runtime::GateAccelerator> primary_gate_;
 
   CompiledProgramCache cache_;
+  FinalStateCache final_cache_;
   MetricsRegistry metrics_;
   BoundedPriorityQueue<std::shared_ptr<JobState>> queue_;
   WorkerPool pool_;

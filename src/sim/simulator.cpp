@@ -54,6 +54,7 @@ Simulator::Simulator(std::size_t qubit_count, QubitModel model,
       model_(model),
       errors_(make_error_model(model)),
       durations_(durations),
+      seed_(seed),
       rng_(seed),
       bits_(qubit_count, 0),
       options_(options) {
@@ -239,11 +240,30 @@ RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
   if (program.qubit_count() > state_.qubit_count())
     throw std::invalid_argument(
         "Simulator: program needs more qubits than the simulator has");
-  // Flatten once and reuse the histogram key buffer: both used to be
-  // rebuilt per shot, dominating the cost of short circuits.
+  // Flatten and analyze once: both the instruction stream and the
+  // shot-determinism verdict are per-program facts, not per-shot ones.
   const std::vector<qasm::Instruction> flat = program.flatten();
+  const TrajectoryAnalysis analysis =
+      analyze_trajectory(flat, state_.qubit_count(), model_);
+  return run_flat(flat, analysis, shots);
+}
+
+RunResult Simulator::run_flat(const std::vector<qasm::Instruction>& flat,
+                              const TrajectoryAnalysis& analysis,
+                              std::size_t shots) {
   RunResult result;
   result.shots = shots;
+  if (options_.sampling && analysis.samplable) {
+    // Shot-deterministic circuit: evolve once, sample every shot from the
+    // final distribution. One counter-derived draw per shot keeps the
+    // histogram byte-identical to any other sampler of the same
+    // (seed, shots) pair — whatever the thread count or shard layout.
+    const FinalDistribution dist = final_distribution(flat, analysis);
+    result.total_gates = dist.gates;
+    result.histogram = sample_histogram(dist, shots, seed_, options_.cancel);
+    result.sampled = true;
+    return result;
+  }
   const std::size_t gates_before = gates_executed_;
   std::string key(bits_.size(), '0');
   for (std::size_t s = 0; s < shots; ++s) {
@@ -256,6 +276,28 @@ RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
   }
   result.total_gates = gates_executed_ - gates_before;
   return result;
+}
+
+FinalDistribution Simulator::final_distribution(
+    const std::vector<qasm::Instruction>& flat,
+    const TrajectoryAnalysis& analysis) {
+  if (!analysis.samplable)
+    throw std::logic_error(
+        "Simulator::final_distribution: trajectory is not samplable");
+  throw_if_stopped(options_.cancel);
+  const std::size_t gates_before = gates_executed_;
+  reset();
+  for (std::size_t i = 0; i < analysis.terminal_start; ++i)
+    execute(flat[i]);
+  FinalDistribution dist;
+  dist.qubit_count = state_.qubit_count();
+  dist.measured_mask = analysis.measured_mask;
+  dist.gates = gates_executed_ - gates_before;
+  // Measurement-free circuits never consult the amplitudes; skip the
+  // prefix-sum pass entirely.
+  if (analysis.measured_mask != 0)
+    dist.cum = state_.cumulative_distribution(options_.cancel);
+  return dist;
 }
 
 }  // namespace qs::sim

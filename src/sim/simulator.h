@@ -15,6 +15,7 @@
 #include "qasm/program.h"
 #include "sim/error_model.h"
 #include "sim/statevector.h"
+#include "sim/trajectory_analysis.h"
 
 namespace qs::sim {
 
@@ -52,7 +53,16 @@ struct SimOptions {
   /// cancel is requested or the attached deadline expires. The default
   /// token never fires. Checking at shot granularity keeps a cancelled or
   /// expired job from occupying a worker for more than one trajectory.
+  /// The sampling fast path checks every 4096 draws and between
+  /// distribution-build chunks — the same order of granularity.
   CancelToken cancel;
+
+  /// Terminal-measurement sampling fast path: shot-deterministic circuits
+  /// (see analyze_trajectory) evolve once and draw all shots from the
+  /// final distribution. Off forces the per-shot trajectory loop — same
+  /// statistics, different (per-trajectory) RNG stream, so fixed-seed
+  /// histograms differ between the two paths by design.
+  bool sampling = true;
 };
 
 /// Resolves a requested kernel-thread count: `requested` if non-zero, else
@@ -64,6 +74,7 @@ struct RunResult {
   Histogram histogram;          ///< full-register bitstrings, q[0] leftmost
   std::size_t shots = 0;
   std::size_t total_gates = 0;  ///< unitary gates executed across all shots
+  bool sampled = false;         ///< took the sampling fast path
 };
 
 class Simulator {
@@ -93,10 +104,28 @@ class Simulator {
   /// register after the final instruction.
   std::vector<int> run_once(const qasm::Program& program);
 
-  /// Runs `shots` independent trajectories; collects full-register
-  /// bitstrings (q[0] leftmost). Resets state before each shot. The
-  /// program is flattened once, not per shot.
+  /// Runs the program for `shots` shots; collects full-register
+  /// bitstrings (q[0] leftmost). Shot-deterministic circuits (terminal
+  /// measurements only, no conditionals, stochastic-error-free model —
+  /// see analyze_trajectory) evolve ONCE and draw every shot from the
+  /// final distribution; everything else runs `shots` independent
+  /// trajectories with a reset before each. The program is flattened and
+  /// analyzed once, not per shot.
   RunResult run(const qasm::Program& program, std::size_t shots);
+
+  /// As run(), over a pre-flattened, pre-validated, pre-analyzed program
+  /// (the service caches all three per compiled entry). The analysis must
+  /// have been computed for this simulator's register width and qubit
+  /// model.
+  RunResult run_flat(const std::vector<qasm::Instruction>& flat,
+                     const TrajectoryAnalysis& analysis, std::size_t shots);
+
+  /// Evolves the shot-deterministic prefix once (from reset) and returns
+  /// the reusable final distribution. Requires analysis.samplable.
+  /// Observes options().cancel before/during the build.
+  FinalDistribution final_distribution(
+      const std::vector<qasm::Instruction>& flat,
+      const TrajectoryAnalysis& analysis);
 
   /// Live state access (inspection after run_once; tests and QAOA use it).
   StateVector& state() { return state_; }
@@ -118,6 +147,7 @@ class Simulator {
   QubitModel model_;
   std::unique_ptr<ErrorModel> errors_;
   GateDurations durations_;
+  std::uint64_t seed_;  ///< base seed for counter-derived sampling streams
   Rng rng_;
   std::vector<int> bits_;
   std::size_t gates_executed_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/statevector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -355,20 +356,79 @@ std::vector<int> StateVector::measure_all(Rng& rng) {
   return bits;
 }
 
+std::vector<double> StateVector::cumulative_distribution(
+    const CancelToken& cancel) const {
+  const StateIndex count = static_cast<StateIndex>(amps_.size());
+  const StateIndex chunk = StateIndex{1} << kReduceChunkBits;
+  const std::size_t chunks =
+      static_cast<std::size_t>((count + chunk - 1) >> kReduceChunkBits);
+  std::vector<double> cum(count);
+  // Pass 1: within-chunk inclusive running sums. The per-chunk arithmetic
+  // is the same left-to-right sum whether chunks run sequentially or on
+  // pool lanes, so the doubles never depend on the thread count.
+  auto fill_chunk = [&](std::size_t c) {
+    const StateIndex lo = static_cast<StateIndex>(c) << kReduceChunkBits;
+    const StateIndex hi = std::min(count, lo + chunk);
+    double running = 0.0;
+    for (StateIndex i = lo; i < hi; ++i) {
+      running += std::norm(amps_[i]);
+      cum[i] = running;
+    }
+  };
+  const bool parallel = parallel_active();
+  if (parallel) {
+    // Pool bodies must not throw: observe the token between passes.
+    throw_if_stopped(cancel);
+    policy_.pool->run_chunks(chunks, fill_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      throw_if_stopped(cancel);
+      fill_chunk(c);
+    }
+  }
+  if (chunks <= 1) return cum;
+
+  // Pass 2 (always sequential): chunk base offsets accumulated in chunk
+  // order — the same combination order reduce_chunks uses.
+  std::vector<double> base(chunks, 0.0);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const StateIndex prev_end =
+        std::min(count, static_cast<StateIndex>(c) << kReduceChunkBits);
+    base[c] = base[c - 1] + cum[prev_end - 1];
+  }
+
+  // Pass 3: shift each chunk by its base (elementwise, disjoint writes;
+  // chunk 0 adds exactly 0.0).
+  auto shift_chunk = [&](std::size_t c) {
+    const StateIndex lo = static_cast<StateIndex>(c) << kReduceChunkBits;
+    const StateIndex hi = std::min(count, lo + chunk);
+    const double b = base[c];
+    for (StateIndex i = lo; i < hi; ++i) cum[i] += b;
+  };
+  if (parallel) {
+    throw_if_stopped(cancel);
+    policy_.pool->run_chunks(chunks, shift_chunk);
+    throw_if_stopped(cancel);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      throw_if_stopped(cancel);
+      shift_chunk(c);
+    }
+  }
+  return cum;
+}
+
 StateIndex StateVector::sample(Rng& rng) const {
-  // Scale the draw by the total norm: after stochastic error channels the
+  // Prefix-sum + binary search (shared with the terminal-measurement
+  // sampling fast path) instead of a per-draw O(2^n) subtract scan. The
+  // draw scales by the running total: after stochastic error channels the
   // state can drift below unit norm, and an unscaled draw would bias the
   // fallback toward the last basis state.
-  const double total = norm();
-  double r = rng.uniform() * total;
-  StateIndex last_occupied = 0;
-  for (StateIndex i = 0; i < amps_.size(); ++i) {
-    const double w = std::norm(amps_[i]);
-    if (w > 0.0) last_occupied = i;
-    r -= w;
-    if (r < 0.0) return i;
-  }
-  return last_occupied;
+  const std::vector<double> cum = cumulative_distribution();
+  const double total = cum.back();
+  const double u = rng.uniform() * total;
+  if (total <= 0.0) return 0;
+  return sample_from_cumulative(cum, u);
 }
 
 double StateVector::expectation_z(QubitIndex q) const {
@@ -417,6 +477,17 @@ std::string StateVector::basis_string(StateIndex basis) const {
   for (QubitIndex q = 0; q < n_; ++q)
     if (basis & (StateIndex{1} << q)) s[q] = '1';
   return s;
+}
+
+StateIndex sample_from_cumulative(const std::vector<double>& cum, double u) {
+  if (cum.empty()) return 0;
+  const auto it = std::upper_bound(cum.begin(), cum.end(), u);
+  if (it != cum.end()) return static_cast<StateIndex>(it - cum.begin());
+  // Boundary draw: u * total can round up onto total itself. Return the
+  // last occupied index, mirroring the old linear scan's fallback.
+  StateIndex i = static_cast<StateIndex>(cum.size()) - 1;
+  while (i > 0 && cum[i - 1] == cum[i]) --i;
+  return i;
 }
 
 }  // namespace qs::sim

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -114,9 +115,21 @@ class StateVector {
   std::vector<int> measure_all(Rng& rng);
 
   /// Samples a basis state from |amp|^2 without collapsing. Weights are
-  /// normalized by the total norm, so a sub-unit state (e.g. after
-  /// stochastic error channels) does not bias the tail.
+  /// normalized by the running total, so a sub-unit state (e.g. after
+  /// stochastic error channels) does not bias the tail. One prefix-sum
+  /// pass plus an O(n) binary search per draw (shared machinery with the
+  /// terminal-measurement sampling fast path).
   StateIndex sample(Rng& rng) const;
+
+  /// Inclusive prefix sums of |amp_i|^2 in basis order: cum[i] =
+  /// sum_{j<=i} |amp_j|^2, cum.back() = total norm. Built with the fixed
+  /// 2^16-amplitude chunk scheme (per-chunk running sums, chunk bases
+  /// accumulated in chunk order), so the doubles are bit-identical for
+  /// any thread count; states up to 16 qubits are a single chunk, i.e. a
+  /// plain left-to-right sum. `cancel` is observed between chunks
+  /// (between passes when parallel); throws CancelledError on stop.
+  std::vector<double> cumulative_distribution(
+      const CancelToken& cancel = {}) const;
 
   /// <Z_q> expectation.
   double expectation_z(QubitIndex q) const;
@@ -170,5 +183,12 @@ class StateVector {
   std::vector<cplx> amps_;
   KernelPolicy policy_;
 };
+
+/// First index i with cum[i] > u (binary search over an inclusive
+/// prefix-sum array). Zero-weight basis states are unselectable: their
+/// cum entry equals their predecessor's, and upper_bound skips ties.
+/// When u lands on or beyond cum.back() (a floating-point boundary draw),
+/// returns the last occupied index, mirroring the linear-scan fallback.
+StateIndex sample_from_cumulative(const std::vector<double>& cum, double u);
 
 }  // namespace qs::sim

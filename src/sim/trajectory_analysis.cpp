@@ -1,0 +1,137 @@
+#include "sim/trajectory_analysis.h"
+
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace qs::sim {
+
+namespace {
+
+/// Mirrors make_error_model: a Perfect-kind model, or any kind whose
+/// parameters are all zero, builds a NoErrorModel — nothing stochastic
+/// ever touches the state or the readout, so the trajectory is exact.
+bool stochastic_model(const QubitModel& model) {
+  if (model.kind == QubitKind::Perfect) return false;
+  return model.gate_error_1q > 0.0 || model.gate_error_2q > 0.0 ||
+         model.readout_error > 0.0 || model.t1_ns > 0.0 || model.t2_ns > 0.0;
+}
+
+}  // namespace
+
+const char* to_string(SamplingFallback reason) {
+  switch (reason) {
+    case SamplingFallback::kNone:
+      return "none";
+    case SamplingFallback::kStochasticModel:
+      return "stochastic_model";
+    case SamplingFallback::kConditional:
+      return "conditional_gate";
+    case SamplingFallback::kMidCircuitMeasure:
+      return "mid_circuit_measure";
+    case SamplingFallback::kMidCircuitPrep:
+      return "mid_circuit_prep";
+    case SamplingFallback::kDisplay:
+      return "display";
+    case SamplingFallback::kDisabled:
+      return "disabled";
+  }
+  return "unknown";
+}
+
+TrajectoryAnalysis analyze_trajectory(
+    const std::vector<qasm::Instruction>& flat, std::size_t qubit_count,
+    const QubitModel& model) {
+  using qasm::GateKind;
+  TrajectoryAnalysis a;
+  a.terminal_start = flat.size();
+
+  const auto reject = [&a](SamplingFallback why) {
+    a.samplable = false;
+    a.fallback = why;
+    return a;
+  };
+
+  if (stochastic_model(model))
+    return reject(SamplingFallback::kStochasticModel);
+
+  bool state_left_origin = false;  // some unitary/measure already ran
+  bool in_terminal = false;        // a measurement has been seen
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const qasm::Instruction& instr = flat[i];
+    if (instr.is_conditional()) return reject(SamplingFallback::kConditional);
+    switch (instr.kind()) {
+      case GateKind::Measure:
+      case GateKind::MeasureAll:
+        if (!in_terminal) {
+          in_terminal = true;
+          a.terminal_start = i;
+        }
+        if (instr.kind() == GateKind::MeasureAll) {
+          a.measured_mask = (StateIndex{1} << qubit_count) - 1;
+        } else {
+          a.measured_mask |= StateIndex{1} << instr.qubits()[0];
+        }
+        state_left_origin = true;
+        break;
+      case GateKind::Barrier:
+      case GateKind::Wait:
+        // Exact no-ops under a stochastic-error-free model (idle() is
+        // empty), terminal or not.
+        break;
+      case GateKind::PrepZ:
+        // prep_z measures, then conditionally flips. On the untouched
+        // initial |0...0> the outcome is 0 with probability 1 and the
+        // collapse rescales by exactly 1.0 — a deterministic identity.
+        // Anywhere later the outcome can be random: fall back.
+        if (state_left_origin || in_terminal)
+          return reject(in_terminal ? SamplingFallback::kMidCircuitMeasure
+                                    : SamplingFallback::kMidCircuitPrep);
+        break;
+      case GateKind::Display:
+        // The dump is a per-shot side effect of the *collapsed* state;
+        // the fast path would log the uncollapsed superposition once.
+        return reject(SamplingFallback::kDisplay);
+      default:
+        // A unitary gate. After a measurement it makes the measurement
+        // mid-circuit: later shots' outcomes depend on the collapse.
+        if (in_terminal) return reject(SamplingFallback::kMidCircuitMeasure);
+        state_left_origin = true;
+        break;
+    }
+  }
+
+  a.samplable = true;
+  a.fallback = SamplingFallback::kNone;
+  return a;
+}
+
+Histogram sample_histogram(const FinalDistribution& dist, std::size_t shots,
+                           std::uint64_t seed, const CancelToken& cancel) {
+  Histogram histogram;
+  std::string key(dist.qubit_count, '0');
+  if (dist.measured_mask == 0) {
+    // Measurement-free circuit: every shot reads the all-zero classical
+    // register, exactly as the per-shot path leaves bits untouched.
+    throw_if_stopped(cancel);
+    if (shots > 0) histogram.add(key, shots);
+    return histogram;
+  }
+  const double total = dist.cum.empty() ? 0.0 : dist.cum.back();
+  for (std::size_t s = 0; s < shots; ++s) {
+    if ((s & 0xFFF) == 0) throw_if_stopped(cancel);
+    // One counter-derived uniform per shot: shot s's draw depends only on
+    // (seed, s), never on threads, shard layout or retry history.
+    Rng rng(derive_stream_seed(seed, s));
+    const StateIndex basis =
+        total > 0.0 ? sample_from_cumulative(dist.cum, rng.uniform() * total)
+                    : StateIndex{0};
+    for (std::size_t q = 0; q < dist.qubit_count; ++q) {
+      const bool measured = (dist.measured_mask >> q) & 1;
+      key[q] = (measured && ((basis >> q) & 1)) ? '1' : '0';
+    }
+    histogram.add(key);
+  }
+  return histogram;
+}
+
+}  // namespace qs::sim

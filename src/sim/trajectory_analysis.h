@@ -1,0 +1,94 @@
+// Shot-determinism analysis for the terminal-measurement sampling fast
+// path (paper Section 2.7 / experiment E2 context). The trajectory of a
+// circuit is shot-deterministic when nothing stochastic can perturb it:
+// a stochastic-error-free qubit model, no classically-controlled gates,
+// and measurements only in a terminal region (waits are exact no-ops
+// under such a model, prep_z on the initial |0...0> is a deterministic
+// identity). For such circuits every shot evolves the same final state,
+// so a multi-shot run can evolve ONCE, build a cumulative distribution
+// over the final amplitudes, and draw every shot by binary search — an
+// O(shots x gates x 2^n) -> O(gates x 2^n + shots x n) win.
+//
+// Determinism contract (same one the trajectory path keeps): shot s draws
+// from Rng(derive_stream_seed(seed, s)), one uniform per shot, so the
+// histogram is a pure function of (final state, seed, shots) — identical
+// across sim_threads, worker counts, shard layouts, retries and
+// failovers. The cumulative array itself is built with the fixed-chunk
+// scheme of docs/simulator.md, bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "qasm/instruction.h"
+#include "sim/error_model.h"
+
+namespace qs::sim {
+
+/// Why a program cannot take the sampling fast path (kNone = it can).
+/// The enum doubles as the `reason` label of the service's
+/// qs_sampling_fallback_total metric.
+enum class SamplingFallback {
+  kNone,              ///< eligible
+  kStochasticModel,   ///< qubit model injects stochastic errors
+  kConditional,       ///< classically-controlled gate (c-x et al.)
+  kMidCircuitMeasure, ///< measurement followed by non-terminal work
+  kMidCircuitPrep,    ///< prep_z after the state left |0...0>
+  kDisplay,           ///< state dump: per-shot side effect, not replayable
+  kDisabled,          ///< fast path switched off by options
+};
+
+/// Metrics-label spelling ("stochastic_model", "conditional_gate", ...).
+const char* to_string(SamplingFallback reason);
+
+/// Verdict of analyzing one flattened program against a qubit model.
+struct TrajectoryAnalysis {
+  bool samplable = false;
+  SamplingFallback fallback = SamplingFallback::kNone;
+
+  /// Index of the first terminal-region instruction (== flat.size() for a
+  /// measurement-free program). The single evolution executes [0, here).
+  std::size_t terminal_start = 0;
+
+  /// Bit q set when qubit q is read in the terminal region. Unmeasured
+  /// qubits report '0' in every histogram key, exactly as the per-shot
+  /// path leaves their classical bits untouched.
+  StateIndex measured_mask = 0;
+};
+
+/// Analyzes a flattened program for shot-determinism. `qubit_count` is the
+/// register width of the executing simulator (measure_all reads every
+/// register qubit, not just the ones the program names), `model` the qubit
+/// model it will run under.
+TrajectoryAnalysis analyze_trajectory(
+    const std::vector<qasm::Instruction>& flat, std::size_t qubit_count,
+    const QubitModel& model);
+
+/// The reusable product of one evolution: an inclusive prefix sum over
+/// |amp_i|^2 in basis order, plus the metadata needed to render histogram
+/// keys. Immutable; the service's FinalStateCache shares it across jobs.
+struct FinalDistribution {
+  std::size_t qubit_count = 0;
+  StateIndex measured_mask = 0;
+  std::vector<double> cum;  ///< inclusive prefix sums of |amp_i|^2
+  std::size_t gates = 0;    ///< unitary gates in the single evolution
+
+  /// Approximate resident size, for the cache's byte budget.
+  std::size_t bytes() const {
+    return sizeof(FinalDistribution) + cum.size() * sizeof(double);
+  }
+};
+
+/// Draws `shots` basis states from `dist` and bins them as full-register
+/// bitstrings (q[0] leftmost; unmeasured qubits '0'). Shot s consumes one
+/// uniform from Rng(derive_stream_seed(seed, s)); `cancel` is checked
+/// every 4096 draws, so deadlines and cancellation keep working after the
+/// per-shot trajectory loop disappears. Throws CancelledError on stop.
+Histogram sample_histogram(const FinalDistribution& dist, std::size_t shots,
+                           std::uint64_t seed,
+                           const CancelToken& cancel = {});
+
+}  // namespace qs::sim

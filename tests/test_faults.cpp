@@ -16,10 +16,14 @@
 #include "common/backoff.h"
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "compiler/algorithms.h"
 #include "compiler/kernel.h"
 #include "runtime/accelerator.h"
 #include "service/service.h"
+#include "sim/simulator.h"
+#include "sim/statevector.h"
+#include "sim/trajectory_analysis.h"
 
 namespace qs {
 namespace {
@@ -156,6 +160,72 @@ TEST(Cancellation, CancellationWinsOverExpiredDeadline) {
   } catch (const CancelledError& e) {
     EXPECT_FALSE(e.deadline_expired());
   }
+}
+
+// ----------------------------------------- sampling-path cancellation ----
+// The sampling fast path replaces the per-shot trajectory loop, which was
+// where cancellation and deadlines were observed. These regressions pin
+// the replacement check points: before the single evolution, between
+// reduction chunks of the distribution build, and every ~4096 draws of
+// the sampling loop.
+
+TEST(SamplingCancellation, SamplableRunObservesPreCancelledToken) {
+  CancelSource source;
+  source.request_cancel();
+  sim::SimOptions opts;
+  opts.cancel = source.token();
+  sim::Simulator simulator(3, sim::QubitModel::perfect(), /*seed=*/1,
+                           sim::GateDurations{}, opts);
+  compiler::Program p("ghz", 3);
+  p.add_kernel("main").ghz(3).measure_all();
+  EXPECT_THROW(simulator.run(p.to_qasm(), 1024), CancelledError);
+}
+
+TEST(SamplingCancellation, SampleHistogramChecksTokenWhileDrawing) {
+  sim::FinalDistribution dist;
+  dist.qubit_count = 1;
+  dist.measured_mask = 1;
+  dist.cum = {0.5, 1.0};
+  CancelSource source;
+  source.request_cancel();
+  EXPECT_THROW(
+      sim::sample_histogram(dist, /*shots=*/10000, /*seed=*/1, source.token()),
+      CancelledError);
+  // The first check fires at draw 0, so even tiny jobs stop promptly.
+  EXPECT_THROW(
+      sim::sample_histogram(dist, /*shots=*/1, /*seed=*/1, source.token()),
+      CancelledError);
+}
+
+TEST(SamplingCancellation, DistributionBuildChecksBetweenChunks) {
+  // 17 qubits = two reduction chunks: the sequential build checks the
+  // token before each chunk, the parallel build between passes.
+  sim::StateVector sv(17);
+  CancelSource source;
+  source.request_cancel();
+  EXPECT_THROW(sv.cumulative_distribution(source.token()), CancelledError);
+
+  ThreadPool pool(2);
+  sim::StateVector par(17);
+  par.set_kernel_policy({&pool, /*min_parallel_qubits=*/0});
+  EXPECT_THROW(par.cumulative_distribution(source.token()), CancelledError);
+}
+
+TEST(SamplingCancellation, ServiceDeadlineStillFiresOnSampledJobs) {
+  // An already-expired deadline must stop a sampled job exactly like it
+  // stopped a trajectory job (rejected on dequeue, kDeadlineExceeded).
+  service::ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  service::QuantumService svc(
+      GateAccelerator(compiler::Platform::perfect(3)), opts);
+  RunRequest req = RunRequest::gate(ghz_program(3), 4096, /*seed=*/1);
+  req.deadline = std::chrono::microseconds(1);
+  auto handle = svc.submit(std::move(req));
+  std::this_thread::sleep_for(5ms);
+  svc.resume();
+  const RunResult r = handle.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
 }
 
 // -------------------------------------------------------------- Status ----

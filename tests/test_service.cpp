@@ -660,11 +660,49 @@ TEST(QuantumService, MetricsSnapshotCoversServingSignals) {
        {"qs_jobs_submitted_total 4", "qs_jobs_completed_total 4",
         "qs_jobs_dispatched_total 4", "qs_gate_shots_total 400",
         "qs_cache_hits_total 3", "qs_cache_misses_total 1", "qs_workers 2",
-        "qs_job_wait_us_count", "qs_job_run_us_p99"}) {
+        "qs_job_wait_us_count", "qs_job_run_us_p99",
+        // Sampling fast path: all 4 GHZ jobs sampled; the first missed the
+        // final-state cache and primed it for the other three.
+        "qs_jobs_sampled_total 4", "qs_final_state_cache_misses_total 1",
+        "qs_final_state_cache_hits_total 3"}) {
     EXPECT_NE(snapshot.find(key), std::string::npos)
         << "missing '" << key << "' in:\n"
         << snapshot;
   }
+}
+
+TEST(QuantumService, SamplingFallbackMetricCarriesReasonLabel) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  compiler::Platform noisy = compiler::Platform::perfect(4);
+  noisy.qubit_model = sim::QubitModel::realistic();
+  QuantumService svc(runtime::GateAccelerator(noisy), opts);
+  ASSERT_TRUE(svc.submit(RunRequest::gate(ghz_program(4), 64, 1)).get().ok());
+  EXPECT_EQ(svc.metrics().counter("qs_jobs_sampled_total").value(), 0u);
+  EXPECT_EQ(
+      svc.metrics()
+          .counter("qs_sampling_fallback_total{reason=\"stochastic_model\"}")
+          .value(),
+      1u);
+  EXPECT_NE(svc.metrics().render().find(
+                "qs_sampling_fallback_total{reason=\"stochastic_model\"} 1"),
+            std::string::npos);
+}
+
+TEST(QuantumService, SamplingDisabledCountsDisabledFallback) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.sampling_enabled = false;
+  QuantumService svc(perfect_gate(3), opts);
+  const runtime::RunResult r =
+      svc.submit(RunRequest::gate(ghz_program(3), 64, 1)).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.stats.sampled);
+  EXPECT_EQ(svc.metrics()
+                .counter("qs_sampling_fallback_total{reason=\"disabled\"}")
+                .value(),
+            1u);
+  EXPECT_EQ(svc.final_state_cache().size(), 0u);
 }
 
 // ------------------------------------- Deprecated pre-RunRequest shim ----
