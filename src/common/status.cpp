@@ -26,6 +26,37 @@ const char* to_string(StatusCode code) {
   return "UNKNOWN";
 }
 
+std::uint16_t status_code_to_wire(StatusCode code) {
+  // gRPC canonical numbering (status.proto); stable across enum reorders.
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kCancelled: return 1;
+    case StatusCode::kInvalidArgument: return 3;
+    case StatusCode::kDeadlineExceeded: return 4;
+    case StatusCode::kNotFound: return 5;
+    case StatusCode::kResourceExhausted: return 8;
+    case StatusCode::kFailedPrecondition: return 9;
+    case StatusCode::kUnavailable: return 14;
+    case StatusCode::kInternal: return 13;
+  }
+  return 13;  // kInternal
+}
+
+StatusCode status_code_from_wire(std::uint16_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kCancelled;
+    case 3: return StatusCode::kInvalidArgument;
+    case 4: return StatusCode::kDeadlineExceeded;
+    case 5: return StatusCode::kNotFound;
+    case 8: return StatusCode::kResourceExhausted;
+    case 9: return StatusCode::kFailedPrecondition;
+    case 14: return StatusCode::kUnavailable;
+    case 13: return StatusCode::kInternal;
+    default: return StatusCode::kInternal;
+  }
+}
+
 std::string Status::to_string() const {
   if (ok()) return "OK";
   std::string out = qs::to_string(code_);

@@ -7,6 +7,7 @@
 // string-matching exception text.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -31,6 +32,18 @@ enum class StatusCode {
 };
 
 const char* to_string(StatusCode code);
+
+/// Stable on-the-wire numbering for StatusCode, independent of the enum's
+/// declaration order. The gateway protocol carries these values inside
+/// error and result frames; they follow the gRPC canonical numbering so a
+/// captured frame is readable with standard tooling. New codes must get
+/// new numbers — never renumber existing ones.
+std::uint16_t status_code_to_wire(StatusCode code);
+
+/// Inverse of status_code_to_wire. Unknown wire values decode to
+/// kInternal: a peer speaking a newer protocol revision must not make the
+/// receiver misclassify a failure as something retryable.
+StatusCode status_code_from_wire(std::uint16_t wire);
 
 /// Value-type status: ok() by default, or a code plus human-readable
 /// message. Cheap to copy and move; never throws.

@@ -1,0 +1,162 @@
+#include "gateway/client.h"
+
+namespace qs::gateway {
+
+Status GatewayClient::connect(const std::string& host, std::uint16_t port,
+                              const std::string& client_name) {
+  close();
+  if (Status s = connect_tcp(host, port, &sock_); !s.ok()) return s;
+
+  HelloRequest hello;
+  hello.min_version = kProtocolVersionMin;
+  hello.max_version = kProtocolVersion;
+  hello.client_name = client_name;
+  Encoder e;
+  encode_hello(hello, &e);
+  if (Status s = write_frame(sock_, Op::kHello, e.bytes()); !s.ok()) {
+    close();
+    return s;
+  }
+
+  Frame frame;
+  if (Status s = read_reply(Op::kHelloOk, &frame); !s.ok()) {
+    close();
+    return s;
+  }
+  HelloReply reply;
+  Decoder d(frame.payload);
+  if (!decode_hello_reply(&d, &reply)) {
+    close();
+    return d.status();
+  }
+  version_ = reply.version;
+  session_ = reply.session;
+  return Status::Ok();
+}
+
+Status GatewayClient::read_reply(Op want, Frame* frame) {
+  if (!sock_.valid()) return Status::FailedPrecondition("not connected");
+  if (Status s = read_frame(sock_, frame); !s.ok()) return s;
+  if (frame->op == Op::kError) {
+    WireError err;
+    Decoder d(frame->payload);
+    if (!decode_error(&d, &err)) return d.status();
+    last_queue_depth_ = err.queue_depth;
+    return err.status.ok()
+               ? Status::Internal("server sent an OK error frame")
+               : err.status;
+  }
+  if (frame->op != want)
+    return Status::Internal("expected " + std::string(to_string(want)) +
+                            " reply, got " + to_string(frame->op));
+  return Status::Ok();
+}
+
+Status GatewayClient::submit_nowait(const runtime::RunRequest& request) {
+  if (!sock_.valid()) return Status::FailedPrecondition("not connected");
+  Encoder e;
+  encode_run_request(request, &e);
+  return write_frame(sock_, Op::kSubmit, e.bytes(), version_);
+}
+
+StatusOr<std::uint64_t> GatewayClient::read_submit_reply() {
+  Frame frame;
+  if (Status s = read_reply(Op::kSubmitOk, &frame); !s.ok()) return s;
+  SubmitReply reply;
+  Decoder d(frame.payload);
+  if (!decode_submit_reply(&d, &reply)) return d.status();
+  return reply.job_id;
+}
+
+StatusOr<std::uint64_t> GatewayClient::submit(
+    const runtime::RunRequest& request) {
+  if (Status s = submit_nowait(request); !s.ok()) return s;
+  return read_submit_reply();
+}
+
+Status GatewayClient::poll(std::uint64_t job_id,
+                           std::chrono::microseconds timeout, bool* done,
+                           runtime::RunResult* result) {
+  PollRequest poll;
+  poll.job_id = job_id;
+  poll.timeout_us = static_cast<std::uint64_t>(
+      timeout.count() < 0 ? 0 : timeout.count());
+  Encoder e;
+  encode_poll(poll, &e);
+  if (Status s = write_frame(sock_, Op::kPoll, e.bytes(), version_); !s.ok())
+    return s;
+  Frame frame;
+  if (Status s = read_reply(Op::kPollOk, &frame); !s.ok()) return s;
+  PollReply reply;
+  Decoder d(frame.payload);
+  if (!decode_poll_reply(&d, &reply)) return d.status();
+  *done = reply.done;
+  if (reply.done) *result = std::move(reply.result);
+  return Status::Ok();
+}
+
+StatusOr<runtime::RunResult> GatewayClient::wait(std::uint64_t job_id) {
+  for (;;) {
+    bool done = false;
+    runtime::RunResult result;
+    if (Status s = poll(job_id, std::chrono::seconds(5), &done, &result);
+        !s.ok())
+      return s;
+    if (done) return result;
+  }
+}
+
+Status GatewayClient::cancel(std::uint64_t job_id) {
+  CancelRequest cancel;
+  cancel.job_id = job_id;
+  Encoder e;
+  encode_cancel(cancel, &e);
+  if (Status s = write_frame(sock_, Op::kCancel, e.bytes(), version_); !s.ok())
+    return s;
+  Frame frame;
+  return read_reply(Op::kCancelOk, &frame);
+}
+
+Status GatewayClient::stream_progress(
+    std::uint64_t job_id,
+    const std::function<void(const ProgressUpdate&)>& on_update) {
+  StreamProgressRequest req;
+  req.job_id = job_id;
+  Encoder e;
+  encode_stream_progress(req, &e);
+  if (Status s = write_frame(sock_, Op::kStreamProgress, e.bytes(), version_);
+      !s.ok())
+    return s;
+  for (;;) {
+    Frame frame;
+    if (Status s = read_frame(sock_, &frame); !s.ok()) return s;
+    if (frame.op == Op::kProgressDone) return Status::Ok();
+    if (frame.op == Op::kError) {
+      WireError err;
+      Decoder d(frame.payload);
+      if (!decode_error(&d, &err)) return d.status();
+      last_queue_depth_ = err.queue_depth;
+      return err.status;
+    }
+    if (frame.op != Op::kProgress)
+      return Status::Internal("expected Progress frame, got " +
+                              std::string(to_string(frame.op)));
+    ProgressUpdate update;
+    Decoder d(frame.payload);
+    if (!decode_progress(&d, &update)) return d.status();
+    if (on_update) on_update(update);
+  }
+}
+
+StatusOr<std::string> GatewayClient::metrics() {
+  if (Status s = write_frame(sock_, Op::kMetrics, {}, version_); !s.ok())
+    return s;
+  Frame frame;
+  if (Status s = read_reply(Op::kMetricsOk, &frame); !s.ok()) return s;
+  std::string text;
+  Decoder d(frame.payload);
+  if (!d.str(&text) || !d.finish()) return d.status();
+  return text;
+}
+
+}  // namespace qs::gateway

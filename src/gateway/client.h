@@ -1,0 +1,103 @@
+// Client library for the gateway protocol: connect + version handshake,
+// submit / poll / wait / cancel / stream / metrics, all returning typed
+// qs::Status. The library owns the framing so callers never touch raw
+// sockets; it is also the reference implementation of the protocol — the
+// round-trip tests and the E12 bench drive the server exclusively through
+// it.
+//
+// A client is one connection and is NOT thread-safe (the protocol is
+// strictly request/response per connection); use one client per thread.
+// For load generation, submit_nowait()/read_submit_reply() split the
+// Submit round trip so a driver can pipeline many requests per RTT.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "gateway/socket.h"
+#include "gateway/wire.h"
+#include "runtime/run_api.h"
+
+namespace qs::gateway {
+
+class GatewayClient {
+ public:
+  GatewayClient() = default;
+  ~GatewayClient() = default;
+
+  GatewayClient(GatewayClient&&) = default;
+  GatewayClient& operator=(GatewayClient&&) = default;
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  /// Connects and performs the Hello handshake. kFailedPrecondition when
+  /// the server speaks no common protocol version.
+  Status connect(const std::string& host, std::uint16_t port,
+                 const std::string& client_name = "qs-client");
+
+  bool connected() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  /// Negotiated protocol version / server-assigned session id (valid after
+  /// connect()).
+  std::uint16_t version() const { return version_; }
+  std::uint64_t session() const { return session_; }
+
+  /// Submits one job; returns its server-assigned id. Admission rejections
+  /// come back as the server's typed status (kResourceExhausted /
+  /// kDeadlineExceeded / kUnavailable / kInvalidArgument) with the queue
+  /// depth readable via last_queue_depth().
+  StatusOr<std::uint64_t> submit(const runtime::RunRequest& request);
+
+  /// One Poll round trip. `timeout` is how long the *server* may block
+  /// before answering "still running" (0 = answer immediately); on a
+  /// not-done answer *done is false and *result is untouched.
+  Status poll(std::uint64_t job_id, std::chrono::microseconds timeout,
+              bool* done, runtime::RunResult* result);
+
+  /// Blocks until the job is terminal (repeated server-side-waiting Polls).
+  StatusOr<runtime::RunResult> wait(std::uint64_t job_id);
+
+  /// Requests cooperative cancellation; the terminal result (kCancelled,
+  /// or kOk if the job won the race) still arrives through poll()/wait().
+  Status cancel(std::uint64_t job_id);
+
+  /// Streams shard-boundary progress snapshots, invoking `on_update` per
+  /// snapshot, until the job reaches a terminal state. The connection is
+  /// busy for the duration — submit from another client if overlapping.
+  Status stream_progress(
+      std::uint64_t job_id,
+      const std::function<void(const ProgressUpdate&)>& on_update);
+
+  /// The service's metrics text exposition (counters, gauges, histograms
+  /// including qs_queue_wait_seconds and the per-tenant families).
+  StatusOr<std::string> metrics();
+
+  // --- Pipelining (load generators) --------------------------------------
+
+  /// Writes a Submit frame without reading the reply. Pair every call with
+  /// one read_submit_reply(), in order.
+  Status submit_nowait(const runtime::RunRequest& request);
+
+  /// Reads one Submit reply (SubmitOk or a typed rejection).
+  StatusOr<std::uint64_t> read_submit_reply();
+
+  /// Queue depth carried by the most recent Error frame (0 if none) — the
+  /// backpressure signal for informed client backoff.
+  std::uint64_t last_queue_depth() const { return last_queue_depth_; }
+
+ private:
+  /// Reads one frame, expecting `want`; an Error frame decodes into the
+  /// returned status (and last_queue_depth_).
+  Status read_reply(Op want, Frame* frame);
+
+  Socket sock_;
+  std::uint16_t version_ = kProtocolVersion;
+  std::uint64_t session_ = 0;
+  std::uint64_t last_queue_depth_ = 0;
+};
+
+}  // namespace qs::gateway

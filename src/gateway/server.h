@@ -1,0 +1,170 @@
+// GatewayServer: the network front door of the serving stack. Listens on
+// TCP, speaks the versioned binary frame protocol (wire.h), and drives one
+// QuantumService on behalf of remote, mutually-untrusted tenants.
+//
+// Connection model: one blocking reader thread per connection (bounded by
+// GatewayOptions::max_connections; excess connections are turned away with
+// kResourceExhausted before Hello). A connection is strictly
+// request/response — one op at a time — so a client that wants to stream
+// progress while submitting more work opens a second connection.
+//
+// Admission pipeline for Submit, in order, all *before* the service queue
+// (shed-before-queue — an overloaded gateway rejects with a typed status
+// carrying the current queue depth; it never queues work it will drop):
+//   1. drain gate            — kUnavailable once shutdown() began;
+//   2. request validation    — kInvalidArgument;
+//   3. tenant token bucket   — kResourceExhausted (rate);
+//   4. tenant in-flight cap  — kResourceExhausted (quota);
+//   5. deadline feasibility  — kDeadlineExceeded when the EWMA-estimated
+//      queue wait already exceeds the request deadline;
+//   6. service queue         — try_submit; a full queue is
+//      kResourceExhausted with the depth, never blocking backpressure.
+// Admitted jobs land in the service's weighted-fair queue, which shares
+// dispatch across tenants by configured weight.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "gateway/socket.h"
+#include "gateway/tenant.h"
+#include "gateway/wire.h"
+#include "service/service.h"
+
+namespace qs::gateway {
+
+struct GatewayOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds a kernel-assigned ephemeral port; read it back via port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_connections = 64;
+
+  /// Admission budget for tenants without an explicit entry below.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+
+  /// How long shutdown() waits for outstanding jobs to be retrieved before
+  /// forcing connections closed.
+  std::chrono::milliseconds drain_timeout{2000};
+  /// StreamProgress poll cadence (how often the streamer re-checks the
+  /// job's progress sequence number).
+  std::chrono::microseconds progress_poll{500};
+  /// Cap on the server-side block of a single Poll, whatever the client
+  /// asked for (bounds reader-thread occupancy).
+  std::chrono::microseconds max_poll_wait{30'000'000};
+
+  std::string server_name = "qs-gateway";
+
+  /// kInvalidArgument on configurations that would misbehave silently:
+  /// empty host, non-positive backlog / connection cap / poll cadence, and
+  /// any quota with a non-positive token-bucket rate, burst below one
+  /// token, or a zero in-flight cap (each would blackhole a tenant).
+  Status validate() const;
+};
+
+/// The TCP server. Construction validates options (throwing
+/// std::invalid_argument on a bad config — a wiring bug); start() binds
+/// and begins accepting; shutdown() drains and joins. One instance serves
+/// one QuantumService, which must outlive it.
+class GatewayServer {
+ public:
+  GatewayServer(service::QuantumService& service, GatewayOptions options = {});
+
+  /// Calls shutdown().
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  /// Binds host:port and starts the accept thread. kUnavailable when the
+  /// bind fails (port taken); safe to call once.
+  Status start();
+
+  /// Graceful stop: (1) new Submits are rejected with kUnavailable while
+  /// Poll / StreamProgress / Metrics keep working, (2) waits up to
+  /// drain_timeout for outstanding jobs to be retrieved, (3) closes the
+  /// listener and all connections, cancelling whatever jobs were never
+  /// retrieved, and joins every thread. Idempotent.
+  void shutdown();
+
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  std::uint16_t port() const { return port_; }
+  const GatewayOptions& options() const { return options_; }
+
+  std::size_t active_connections() const;
+  /// Jobs admitted through this gateway and not yet retrieved.
+  std::size_t outstanding_jobs() const { return outstanding_.load(); }
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// A job owned by one connection: the service handle plus the tenant
+  /// whose in-flight slot it holds.
+  struct JobEntry {
+    service::JobHandle handle;
+    std::string tenant;
+  };
+
+  void accept_loop();
+  void serve(Conn* conn);
+
+  /// Hello exchange. On success *version holds the negotiated protocol
+  /// version and the HelloOk frame has been sent.
+  Status negotiate(const Socket& sock, std::uint64_t session,
+                   std::uint16_t* version);
+
+  void handle_submit(const Socket& sock, const Frame& frame,
+                     std::uint64_t session,
+                     std::map<std::uint64_t, JobEntry>* jobs);
+  void handle_poll(const Socket& sock, const Frame& frame,
+                   std::map<std::uint64_t, JobEntry>* jobs);
+  void handle_cancel(const Socket& sock, const Frame& frame,
+                     std::map<std::uint64_t, JobEntry>* jobs);
+  void handle_stream(const Socket& sock, const Frame& frame,
+                     std::map<std::uint64_t, JobEntry>* jobs);
+  void handle_metrics(const Socket& sock);
+
+  /// Marks one outstanding job retrieved: releases the tenant slot, feeds
+  /// the runtime estimator, wakes the drain waiter.
+  void retire(const JobEntry& entry, const runtime::RunResult* result);
+
+  Status send_error(const Socket& sock, Status status,
+                    std::uint64_t queue_depth = 0);
+
+  service::QuantumService& service_;
+  GatewayOptions options_;
+  TenantGovernor governor_;
+  RuntimeEstimator estimator_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<std::size_t> outstanding_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};  ///< reject new Submits
+  std::atomic<bool> stopping_{false};  ///< tear down connections
+  std::atomic<std::uint64_t> next_session_{1};
+};
+
+}  // namespace qs::gateway

@@ -1,0 +1,132 @@
+#include "gateway/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qs::gateway {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status parse_addr(const std::string& host, std::uint16_t port,
+                  sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1)
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Socket::shutdown_rdwr() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  Socket* out, std::uint16_t* bound_port) {
+  sockaddr_in addr;
+  if (Status s = parse_addr(host, port, &addr); !s.ok()) return s;
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::Unavailable(errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    return Status::Unavailable(errno_text("bind"));
+  if (::listen(sock.fd(), backlog) < 0)
+    return Status::Unavailable(errno_text("listen"));
+  if (bound_port) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+      return Status::Unavailable(errno_text("getsockname"));
+    *bound_port = ntohs(addr.sin_port);
+  }
+  *out = std::move(sock);
+  return Status::Ok();
+}
+
+Status accept_tcp(const Socket& listener, Socket* out) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      *out = Socket(fd);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(errno_text("accept"));
+  }
+}
+
+Status connect_tcp(const std::string& host, std::uint16_t port, Socket* out) {
+  sockaddr_in addr;
+  if (Status s = parse_addr(host, port, &addr); !s.ok()) return s;
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Status::Unavailable(errno_text("socket"));
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      break;
+    if (errno == EINTR) continue;
+    return Status::Unavailable(errno_text("connect"));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  *out = std::move(sock);
+  return Status::Ok();
+}
+
+Status read_exact(const Socket& sock, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(sock.fd(), p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0)
+      return Status::Unavailable(got == 0 ? "connection closed"
+                                          : "connection closed mid-frame");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(errno_text("recv"));
+  }
+  return Status::Ok();
+}
+
+Status write_all(const Socket& sock, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(sock.fd(), p + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(errno_text("send"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace qs::gateway

@@ -1,0 +1,84 @@
+// Minimal POSIX TCP helpers for the gateway: an RAII fd wrapper plus
+// typed-Status listen / connect / exact-read / full-write primitives. No
+// external dependencies — just <sys/socket.h> — and no exceptions: every
+// I/O failure maps to a qs::Status the wire layer can forward. All
+// sockets are blocking; shutdown-for-wakeup (Socket::shutdown_rdwr) is how
+// the server unblocks reader threads during drain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace qs::gateway {
+
+/// Move-only owner of a socket file descriptor. Closing is idempotent;
+/// shutdown_rdwr() wakes any thread blocked in read()/accept() on this fd
+/// without racing the close (the fd number stays reserved until close()).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Releases ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Disallows further sends/receives, waking blocked readers with EOF.
+  /// Safe to call from another thread while a read is in flight.
+  void shutdown_rdwr();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = kernel-assigned ephemeral
+/// port; *bound_port reports the actual one). kUnavailable on any socket /
+/// bind / listen failure, with errno text.
+Status listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  Socket* out, std::uint16_t* bound_port);
+
+/// Blocking accept. kUnavailable once the listener is shut down or closed.
+Status accept_tcp(const Socket& listener, Socket* out);
+
+/// Blocking connect with TCP_NODELAY set (the protocol is request /
+/// response; Nagle would add 40ms stalls). kUnavailable on failure.
+Status connect_tcp(const std::string& host, std::uint16_t port, Socket* out);
+
+/// Reads exactly `n` bytes, retrying on EINTR / short reads.
+/// - clean EOF before the first byte: kUnavailable with message
+///   "connection closed" (the peer hung up between frames — normal);
+/// - EOF mid-buffer: kUnavailable "connection closed mid-frame" (a
+///   truncated frame — the caller must treat the stream as corrupt);
+/// - any other error: kUnavailable with errno text.
+Status read_exact(const Socket& sock, void* buf, std::size_t n);
+
+/// Writes all `n` bytes, retrying on EINTR / short writes. Uses
+/// MSG_NOSIGNAL so a dead peer surfaces as kUnavailable, never SIGPIPE.
+Status write_all(const Socket& sock, const void* buf, std::size_t n);
+
+}  // namespace qs::gateway

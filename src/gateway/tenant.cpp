@@ -1,0 +1,78 @@
+#include "gateway/tenant.h"
+
+#include <algorithm>
+
+namespace qs::gateway {
+
+TenantGovernor::TenantGovernor(TenantQuota default_quota,
+                               std::map<std::string, TenantQuota> overrides)
+    : default_quota_(default_quota), overrides_(std::move(overrides)) {}
+
+const TenantQuota& TenantGovernor::quota_for(const std::string& tenant) const {
+  const auto it = overrides_.find(tenant);
+  return it == overrides_.end() ? default_quota_ : it->second;
+}
+
+Status TenantGovernor::admit(const std::string& tenant) {
+  const TenantQuota& quota = quota_for(tenant);
+  const auto now = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    bucket.tokens = quota.burst;  // a fresh tenant starts with a full burst
+    bucket.last = now;
+    bucket.initialized = true;
+  } else {
+    const double dt =
+        std::chrono::duration<double>(now - bucket.last).count();
+    bucket.tokens =
+        std::min(quota.burst, bucket.tokens + dt * quota.submit_rate);
+    bucket.last = now;
+  }
+
+  if (bucket.tokens < 1.0)
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' rate limit: bucket empty (rate " +
+        std::to_string(quota.submit_rate) + "/s, burst " +
+        std::to_string(quota.burst) + ")");
+  if (bucket.inflight >= quota.max_inflight)
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' in-flight quota: " +
+        std::to_string(bucket.inflight) + "/" +
+        std::to_string(quota.max_inflight) + " jobs outstanding");
+
+  bucket.tokens -= 1.0;
+  ++bucket.inflight;
+  return Status::Ok();
+}
+
+void TenantGovernor::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end() && it->second.inflight > 0) --it->second.inflight;
+}
+
+std::size_t TenantGovernor::inflight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? 0 : it->second.inflight;
+}
+
+void RuntimeEstimator::observe(double run_us) {
+  if (run_us < 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!primed_) {
+    ewma_us_ = run_us;
+    primed_ = true;
+  } else {
+    ewma_us_ = 0.8 * ewma_us_ + 0.2 * run_us;
+  }
+}
+
+double RuntimeEstimator::estimate_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return primed_ ? ewma_us_ : 0.0;
+}
+
+}  // namespace qs::gateway

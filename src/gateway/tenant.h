@@ -1,0 +1,92 @@
+// Multi-tenant admission control for the gateway: per-tenant token-bucket
+// rate limiting, in-flight quotas and deadline-feasibility shedding. The
+// governor decides *before* a Submit touches the service queue — overload
+// is shed at the edge with a typed rejection carrying the queue depth,
+// never queued-then-dropped and never silently discarded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace qs::gateway {
+
+/// Admission budget for one tenant. A quota is always fully specified:
+/// "unlimited" is expressed by a large rate / inflight cap, not by zero —
+/// zero and negative values are configuration bugs GatewayOptions::validate
+/// rejects (a silent zero-rate bucket would blackhole a tenant).
+struct TenantQuota {
+  /// Token-bucket refill: Submits per second this tenant may sustain.
+  double submit_rate = 1e6;
+  /// Bucket capacity: how many Submits may burst above the sustained rate.
+  double burst = 256.0;
+  /// Jobs admitted but not yet retrieved (result fetched / cancelled /
+  /// connection closed). Caps a tenant's share of queue + worker capacity.
+  std::size_t max_inflight = 256;
+};
+
+/// Decides admission for Submit requests. One instance per gateway, shared
+/// by all connection threads; every method is thread-safe.
+///
+/// Two independent gates, checked in order:
+///   1. token bucket  — sustained-rate + burst control (kResourceExhausted);
+///   2. in-flight cap — bounds a tenant's outstanding jobs
+///      (kResourceExhausted).
+/// Both are charged only on success: a rejected Submit consumes neither a
+/// token nor an in-flight slot.
+class TenantGovernor {
+ public:
+  TenantGovernor(TenantQuota default_quota,
+                 std::map<std::string, TenantQuota> overrides);
+
+  /// Admission check for one Submit from `tenant`. On Ok an in-flight slot
+  /// is held until release(). Rejections name the exhausted budget.
+  Status admit(const std::string& tenant);
+
+  /// Returns `tenant`'s in-flight slot (result retrieved, job cancelled,
+  /// or owning connection closed).
+  void release(const std::string& tenant);
+
+  std::size_t inflight(const std::string& tenant) const;
+  const TenantQuota& quota_for(const std::string& tenant) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last{};
+    std::size_t inflight = 0;
+    bool initialized = false;
+  };
+
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> overrides_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+/// EWMA of completed-job wall time, feeding the gateway's deadline
+/// feasibility check: a Submit whose deadline cannot survive the current
+/// backlog (queue_depth x estimated job time / workers) is rejected with
+/// kDeadlineExceeded at admission instead of wasting queue capacity on a
+/// job that will time out anyway. Thread-safe.
+class RuntimeEstimator {
+ public:
+  /// Folds one completed job's wall time into the estimate (alpha = 0.2).
+  void observe(double run_us);
+
+  /// Current estimate; 0 until the first observation (feasibility checks
+  /// pass trivially while the gateway has no data).
+  double estimate_us() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double ewma_us_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace qs::gateway

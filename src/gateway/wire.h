@@ -1,0 +1,242 @@
+// The gateway's length-prefixed binary RPC protocol.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic      0x51474154 ("QGAT", big-endian constant)
+//   4       2     version    protocol version of the sender (LE)
+//   6       2     op         Op code (LE)
+//   8       4     length     payload byte count (LE), <= kMaxPayloadBytes
+//   12      len   payload    op-specific body, little-endian primitives
+//
+// Integers are little-endian; f64 is the IEEE-754 bit pattern as u64;
+// strings are u32 length + raw bytes; histograms are u32 entry count +
+// (string key, u64 count) pairs in key order. Decoders are total: any
+// truncation, overflow, oversized length or bad tag decodes to a typed
+// kInvalidArgument — never a crash, never an uncaught exception.
+//
+// Connection lifecycle: the client's first frame must be Hello carrying
+// [min_version, max_version]; the server answers HelloOk with the
+// negotiated version (the highest both sides support) or an Error frame
+// with kFailedPrecondition and closes. After negotiation each request op
+// gets exactly one response frame, except StreamProgress which yields any
+// number of Progress frames terminated by one ProgressDone (or Error).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "gateway/socket.h"
+#include "runtime/run_api.h"
+
+namespace qs::gateway {
+
+inline constexpr std::uint32_t kMagic = 0x51474154;  // "QGAT"
+/// Highest protocol version this build speaks / lowest it still accepts.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersionMin = 1;
+/// Hard cap on a frame payload; a length prefix above this is rejected
+/// before any allocation (a corrupt or hostile peer cannot OOM the
+/// server).
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// Frame op codes. Requests are 1..99, responses 101..199. Never reuse or
+/// renumber — version negotiation only works if old codes keep meaning.
+enum class Op : std::uint16_t {
+  kHello = 1,
+  kSubmit = 2,
+  kPoll = 3,
+  kCancel = 4,
+  kStreamProgress = 5,
+  kMetrics = 6,
+
+  kHelloOk = 101,
+  kSubmitOk = 102,
+  kPollOk = 103,
+  kCancelOk = 104,
+  kProgress = 105,
+  kProgressDone = 106,
+  kMetricsOk = 107,
+  kError = 199,
+};
+
+const char* to_string(Op op);
+
+struct Frame {
+  Op op = Op::kError;
+  std::uint16_t version = kProtocolVersion;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder primitives
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+  void histogram(const Histogram& h);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a payload. Every accessor
+/// returns false (and latches a kInvalidArgument status) on truncation;
+/// decode functions bail out on the first failure. A decoder never reads
+/// past its buffer and never throws.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : p_(data), n_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& payload)
+      : Decoder(payload.data(), payload.size()) {}
+
+  bool u8(std::uint8_t* v);
+  bool u16(std::uint16_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool i32(std::int32_t* v);
+  bool f64(double* v);
+  bool str(std::string* s);
+  bool histogram(Histogram* h);
+
+  /// True when the payload was consumed exactly; trailing garbage is a
+  /// framing error (fail()s the decoder).
+  bool finish();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  std::size_t remaining() const { return n_ - off_; }
+
+  /// Latches a decode failure (used by message-level decoders for value
+  /// errors, e.g. an unknown enum tag).
+  void fail(std::string message);
+
+ private:
+  bool need(std::size_t k);
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+  Status status_;
+};
+
+// ---------------------------------------------------------------------------
+// Message bodies
+// ---------------------------------------------------------------------------
+
+struct HelloRequest {
+  std::uint16_t min_version = kProtocolVersionMin;
+  std::uint16_t max_version = kProtocolVersion;
+  std::string client_name;
+};
+
+struct HelloReply {
+  std::uint16_t version = kProtocolVersion;  ///< negotiated
+  std::string server_name;
+  std::uint64_t session = 0;  ///< server-assigned session id
+};
+
+struct SubmitReply {
+  std::uint64_t job_id = 0;
+};
+
+struct PollRequest {
+  std::uint64_t job_id = 0;
+  /// How long the server may block waiting for completion before replying
+  /// "still running". 0 = return immediately.
+  std::uint64_t timeout_us = 0;
+};
+
+struct PollReply {
+  bool done = false;
+  runtime::RunResult result;  ///< meaningful only when done
+};
+
+struct CancelRequest {
+  std::uint64_t job_id = 0;
+};
+
+struct StreamProgressRequest {
+  std::uint64_t job_id = 0;
+};
+
+struct ProgressUpdate {
+  std::uint64_t job_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_done = 0;
+  Histogram partial;
+};
+
+/// Error frame body. `queue_depth` rides along on admission rejections
+/// (kResourceExhausted / kDeadlineExceeded) so clients can implement
+/// informed backoff; 0 otherwise.
+struct WireError {
+  Status status;
+  std::uint64_t queue_depth = 0;
+};
+
+void encode_hello(const HelloRequest& m, Encoder* e);
+bool decode_hello(Decoder* d, HelloRequest* m);
+void encode_hello_reply(const HelloReply& m, Encoder* e);
+bool decode_hello_reply(Decoder* d, HelloReply* m);
+
+/// RunRequest on the wire. Carried fields: tenant, session, payload (cQASM
+/// text or QUBO terms), shots, seed, priority, deadline_us, sim_threads,
+/// tag. Not carried (host-side concerns): faults, checkpoint_key; a
+/// structured `program` is printed to cQASM text by the client library.
+void encode_run_request(const runtime::RunRequest& m, Encoder* e);
+bool decode_run_request(Decoder* d, runtime::RunRequest* m);
+
+void encode_run_result(const runtime::RunResult& m, Encoder* e);
+bool decode_run_result(Decoder* d, runtime::RunResult* m);
+
+void encode_submit_reply(const SubmitReply& m, Encoder* e);
+bool decode_submit_reply(Decoder* d, SubmitReply* m);
+void encode_poll(const PollRequest& m, Encoder* e);
+bool decode_poll(Decoder* d, PollRequest* m);
+void encode_poll_reply(const PollReply& m, Encoder* e);
+bool decode_poll_reply(Decoder* d, PollReply* m);
+void encode_cancel(const CancelRequest& m, Encoder* e);
+bool decode_cancel(Decoder* d, CancelRequest* m);
+void encode_stream_progress(const StreamProgressRequest& m, Encoder* e);
+bool decode_stream_progress(Decoder* d, StreamProgressRequest* m);
+void encode_progress(const ProgressUpdate& m, Encoder* e);
+bool decode_progress(Decoder* d, ProgressUpdate* m);
+void encode_error(const WireError& m, Encoder* e);
+bool decode_error(Decoder* d, WireError* m);
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Reads one frame. Typed failures:
+/// - kUnavailable "connection closed": clean EOF between frames;
+/// - kUnavailable "connection closed mid-frame": peer died mid-frame;
+/// - kInvalidArgument: bad magic / length above kMaxPayloadBytes /
+///   version outside [min_version, kProtocolVersion] — the stream is
+///   unsynchronized and the caller must close the connection.
+Status read_frame(const Socket& sock, Frame* frame,
+                  std::uint16_t min_version = kProtocolVersionMin);
+
+/// Writes header + payload as one buffer (one syscall on the fast path).
+Status write_frame(const Socket& sock, Op op,
+                   const std::vector<std::uint8_t>& payload,
+                   std::uint16_t version = kProtocolVersion);
+
+}  // namespace qs::gateway

@@ -41,6 +41,14 @@ Status RunRequest::validate() const {
   if (deadline && deadline->count() <= 0)
     return Status::InvalidArgument(
         "RunRequest: deadline must be positive when set");
+  if (tenant.size() > 64)
+    return Status::InvalidArgument(
+        "RunRequest: tenant name longer than 64 characters");
+  for (char c : tenant)
+    if (c < 0x21 || c > 0x7e || c == '"')
+      return Status::InvalidArgument(
+          "RunRequest: tenant name must be printable, non-space, non-quote "
+          "ASCII (it keys metrics labels and wire frames)");
   if (program) {
     try {
       program->validate();

@@ -115,6 +115,18 @@ struct RunRequest {
   /// Optional client tag echoed into the result (tracing / metrics label).
   std::string tag;
 
+  /// Tenant identity for multi-tenant serving. Empty means the anonymous
+  /// "default" tenant. The service's weighted-fair queue schedules across
+  /// tenants by this name (priority preserved within a tenant), and the
+  /// gateway's quotas / token buckets / per-tenant metrics key on it.
+  /// Must be <= 64 printable non-quote characters (validate() enforces).
+  std::string tenant;
+
+  /// Opaque client session id, echoed through for tracing; the gateway
+  /// stamps one per connection so multiplexed clients can correlate
+  /// submissions with progress streams. Never affects scheduling.
+  std::uint64_t session = 0;
+
   /// Crash-safe checkpoint/resume key. When non-empty and the service has a
   /// CheckpointStore configured, merged partial histograms plus the shard
   /// cursor are snapshotted after every completed shard, and a resubmitted

@@ -82,6 +82,19 @@ class JobHandle {
 /// keeps merged histograms bit-identical across pool sizes.
 std::size_t shard_count(std::size_t shots, std::size_t shard_shots);
 
+/// Point-in-time snapshot of a running job's merge state, taken at shard
+/// granularity: `partial` holds the histogram of every shard merged so
+/// far. QuantumService::progress() serves these to the gateway's
+/// StreamProgress op; `seq` increments once per merged shard, so a
+/// streamer only ships snapshots when something actually advanced.
+struct JobProgress {
+  std::uint64_t job_id = 0;
+  std::uint64_t seq = 0;          ///< merged-shard counter (monotonic)
+  std::size_t shards_total = 0;   ///< 0 until the job is dispatched
+  std::size_t shards_done = 0;    ///< merged shards (incl. resumed ones)
+  Histogram partial;              ///< merge of the completed shards
+};
+
 // ---------------------------------------------------------------------------
 // Deprecated compatibility shim (pre-RunRequest API). Removed next release.
 // ---------------------------------------------------------------------------

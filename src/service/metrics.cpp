@@ -75,6 +75,16 @@ std::vector<double> LatencyHistogram::default_us_bounds() {
   return b;
 }
 
+std::vector<double> LatencyHistogram::default_seconds_bounds() {
+  // 1us .. 100s in half-decade steps, denominated in seconds.
+  std::vector<double> b;
+  for (double v = 1e-6; v <= 1e2; v *= 10.0) {
+    b.push_back(v);
+    b.push_back(v * 3.162);
+  }
+  return b;
+}
+
 std::vector<double> MetricsRegistry::fraction_bounds() {
   return {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 2.0, 5.0};
 }

@@ -56,6 +56,10 @@ class LatencyHistogram {
   /// Default bounds for microsecond latencies: 1us .. ~100s, log-spaced.
   static std::vector<double> default_us_bounds();
 
+  /// Default bounds for second-denominated latencies (1us .. 100s,
+  /// log-spaced) — the `qs_queue_wait_seconds` exposition unit.
+  static std::vector<double> default_seconds_bounds();
+
  private:
   std::vector<double> bounds_;
   mutable std::mutex mutex_;

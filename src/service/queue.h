@@ -1,14 +1,26 @@
-// Bounded, priority-ordered MPMC queue for job admission. Higher priority
-// pops first; entries of equal priority pop in submission (FIFO) order via
-// a monotonic sequence number — a plain std::priority_queue would not give
-// the FIFO-within-priority guarantee the service promises.
+// Bounded, priority-ordered MPMC queues for job admission.
+//
+// BoundedPriorityQueue: higher priority pops first; entries of equal
+// priority pop in submission (FIFO) order via a monotonic sequence number —
+// a plain std::priority_queue would not give the FIFO-within-priority
+// guarantee the service promises.
+//
+// WeightedFairQueue: the multi-tenant replacement. Entries carry a tenant
+// name; each tenant keeps its own priority-FIFO sub-queue, and pop()
+// start-time fair queues across tenants so sustained throughput shares are
+// proportional to configured weights — a flood from one tenant can no
+// longer starve the others. With a single tenant it degenerates to exactly
+// the BoundedPriorityQueue order.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 
 namespace qs::service {
@@ -102,6 +114,169 @@ class BoundedPriorityQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::set<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+/// Thread-safe bounded queue, weighted-fair across tenants and
+/// priority-FIFO within a tenant.
+///
+/// Scheduling is start-time fair queuing (SFQ) with unit job cost. A
+/// tenant's head-of-line job carries a virtual start tag S: stamped at the
+/// current vclock when the tenant transitions idle -> backlogged, and set
+/// to the previous job's finish F = S + 1/weight(t) while the backlog
+/// persists. pop() serves the backlogged tenant with the smallest F (ties
+/// break on tenant name, keeping the schedule deterministic) and advances
+/// vclock to the served tag. Stamping at backlog entry — not at pop — is
+/// what makes shares converge to weight proportions: heavier tenants
+/// accrue finish tags in smaller steps, so they win proportionally more
+/// of the tag race. A tenant's tags lapse when its sub-queue empties, so
+/// returning tenants re-enter at the live vclock — no banked credit, no
+/// starvation.
+///
+/// The capacity bound is global (total entries across tenants): per-tenant
+/// backlog limits are the admission layer's job, not the queue's.
+template <typename T>
+class WeightedFairQueue {
+ public:
+  explicit WeightedFairQueue(std::size_t capacity, double default_weight = 1.0)
+      : capacity_(capacity), default_weight_(default_weight) {}
+
+  WeightedFairQueue(const WeightedFairQueue&) = delete;
+  WeightedFairQueue& operator=(const WeightedFairQueue&) = delete;
+
+  /// Sets the scheduling weight for `tenant` (must be > 0; values <= 0 are
+  /// ignored rather than corrupting the virtual clock). Takes effect from
+  /// the tenant's next pop.
+  void set_weight(const std::string& tenant, double weight) {
+    if (!(weight > 0.0)) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    weights_[tenant] = weight;
+  }
+
+  double weight(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = weights_.find(tenant);
+    return it != weights_.end() ? it->second : default_weight_;
+  }
+
+  /// Blocks until space is available (or the queue closes). Returns false
+  /// if the queue was closed before the entry could be admitted.
+  bool push(T value, int priority, const std::string& tenant) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    admit(std::move(value), priority, tenant);
+    return true;
+  }
+
+  /// Non-blocking admission; false when full or closed.
+  bool try_push(T value, int priority, const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || size_ >= capacity_) return false;
+    admit(std::move(value), priority, tenant);
+    return true;
+  }
+
+  /// Blocks until an entry is available; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+
+    // Pick the backlogged tenant with the smallest virtual finish tag.
+    // Iteration is in tenant-name order, so `<` tie-breaks by name.
+    auto best = tenants_.end();
+    double best_finish = 0.0;
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+      const double finish =
+          it->second.start + 1.0 / lookup_weight(it->first);
+      if (best == tenants_.end() || finish < best_finish) {
+        best = it;
+        best_finish = finish;
+      }
+    }
+
+    auto first = best->second.entries.begin();
+    T value = std::move(first->value);
+    best->second.entries.erase(first);
+    --size_;
+    vclock_ = std::max(vclock_, best->second.start);
+    if (best->second.entries.empty())
+      tenants_.erase(best);  // idle tenants re-enter at the live vclock
+    else
+      best->second.start = best_finish;  // next job starts where this ended
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Stops admissions and wakes all waiters. Entries already queued can
+  /// still be popped (drain semantics).
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  /// Entries queued for one tenant (its current backlog).
+  std::size_t tenant_depth(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    return it != tenants_.end() ? it->second.entries.size() : 0;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;
+    mutable T value;  // moved out on pop; the key part stays untouched
+
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq < other.seq;
+    }
+  };
+
+  struct TenantQueue {
+    std::set<Entry> entries;  // priority-FIFO, same ordering key as above
+    double start = 0.0;       ///< virtual start tag of the head-of-line job
+  };
+
+  double lookup_weight(const std::string& tenant) const {
+    auto it = weights_.find(tenant);
+    return it != weights_.end() ? it->second : default_weight_;
+  }
+
+  void admit(T value, int priority, const std::string& tenant) {
+    auto [it, newly_backlogged] = tenants_.try_emplace(tenant);
+    if (newly_backlogged) it->second.start = vclock_;
+    it->second.entries.insert(Entry{priority, next_seq_++, std::move(value)});
+    ++size_;
+    not_empty_.notify_one();
+  }
+
+  const std::size_t capacity_;
+  const double default_weight_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::map<std::string, TenantQueue> tenants_;
+  std::map<std::string, double> weights_;
+  std::size_t size_ = 0;
+  double vclock_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };

@@ -108,11 +108,57 @@ Status validate_shard_histogram(const Histogram& shard, std::size_t shots,
   return Status::Ok();
 }
 
+/// Queue / metrics key for a request's tenant: the anonymous tenant maps
+/// to "default" so single-tenant callers never see an empty label.
+std::string tenant_of(const RunRequest& request) {
+  return request.tenant.empty() ? "default" : request.tenant;
+}
+
+std::string tenant_metric(const char* stem, const std::string& tenant) {
+  return std::string(stem) + "{tenant=\"" + tenant + "\"}";
+}
+
+/// Throws the validate() message before any member (worker pool, caches,
+/// queue) is built from a bad value.
+ServiceOptions validated(ServiceOptions options) {
+  if (Status v = options.validate(); !v.ok())
+    throw std::invalid_argument(v.message());
+  return options;
+}
+
 }  // namespace
+
+Status ServiceOptions::validate() const {
+  if (workers == 0)
+    return Status::InvalidArgument(
+        "ServiceOptions: workers must be >= 1 (0 would accept jobs and "
+        "never run a shard)");
+  if (queue_capacity == 0)
+    return Status::InvalidArgument(
+        "ServiceOptions: queue_capacity must be >= 1 (0 would reject or "
+        "block every submission)");
+  if (shard_shots == 0)
+    return Status::InvalidArgument(
+        "ServiceOptions: shard_shots must be >= 1");
+  if (!(default_tenant_weight > 0.0))
+    return Status::InvalidArgument(
+        "ServiceOptions: default_tenant_weight must be > 0");
+  for (const auto& [tenant, weight] : tenant_weights)
+    if (!(weight > 0.0))
+      return Status::InvalidArgument(
+          "ServiceOptions: tenant_weights[\"" + tenant +
+          "\"] must be > 0 (a zero-weight tenant would never dequeue)");
+  if (cache_capacity == 0)
+    return Status::InvalidArgument(
+        "ServiceOptions: cache_capacity must be >= 1 (disable the cache "
+        "with cache_enabled=false, not a zero capacity)");
+  return Status::Ok();
+}
 
 /// Per-job bookkeeping shared between the dispatcher and shard tasks.
 struct QuantumService::JobState {
   std::uint64_t id = 0;
+  std::string tenant;  ///< normalized queue/metrics key ("" -> "default")
   RunRequest request;
   std::promise<RunResult> promise;
   std::shared_future<RunResult> future;  // handed to the JobHandle
@@ -154,6 +200,10 @@ struct QuantumService::JobState {
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> remaining{0};
 
+  /// Bumped once per merged shard (under merge_mutex); progress()
+  /// consumers ship a snapshot only when this advances.
+  std::atomic<std::uint64_t> progress_seq{0};
+
   // Supervision / checkpoint state.
   std::vector<char> shard_done;        ///< guarded by merge_mutex
   std::uint64_t checkpoint_fp = 0;     ///< 0 = checkpointing off
@@ -164,15 +214,17 @@ struct QuantumService::JobState {
 
 QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
                                ServiceOptions options)
-    : options_(options),
+    : options_(validated(std::move(options))),
       backends_(std::move(backends)),
-      cache_(options.cache_capacity),
-      final_cache_(options.final_state_cache_bytes),
-      queue_(options.queue_capacity),
-      pool_(options.workers),
-      paused_(options.start_paused) {
+      cache_(options_.cache_capacity),
+      final_cache_(options_.final_state_cache_bytes),
+      queue_(options_.queue_capacity, options_.default_tenant_weight),
+      pool_(options_.workers),
+      paused_(options_.start_paused) {
   if (!backends_)
     throw std::invalid_argument("QuantumService: null backend pool");
+  for (const auto& [tenant, weight] : options_.tenant_weights)
+    queue_.set_weight(tenant, weight);
   auto primary = backends_->primary(runtime::JobKind::Gate);
   if (!primary)
     throw std::invalid_argument("QuantumService: pool has no gate backend");
@@ -213,11 +265,17 @@ std::shared_ptr<QuantumService::JobState> QuantumService::make_job(
     ++inflight_;
   }
   job->request = std::move(request);
+  job->tenant = tenant_of(job->request);
   job->legacy = std::move(legacy);
   job->submitted = Clock::now();
   if (job->request.deadline)
     job->deadline_at = job->submitted + *job->request.deadline;
   job->future = job->promise.get_future().share();
+  metrics_.gauge(tenant_metric("qs_tenant_inflight", job->tenant)).add(1);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.emplace(job->id, job);
+  }
   *status = Status::Ok();
   return job;
 }
@@ -225,8 +283,9 @@ std::shared_ptr<QuantumService::JobState> QuantumService::make_job(
 Status QuantumService::admit(const std::shared_ptr<JobState>& job,
                              bool blocking) {
   const int priority = job->request.priority;
-  const bool admitted = blocking ? queue_.push(job, priority)
-                                 : queue_.try_push(job, priority);
+  const bool admitted =
+      blocking ? queue_.push(job, priority, job->tenant)
+               : queue_.try_push(job, priority, job->tenant);
   if (!admitted) {
     // Blocking push only fails once the queue is closed; try_push also
     // fails on a full queue. Either way the job never ran.
@@ -238,16 +297,22 @@ Status QuantumService::admit(const std::shared_ptr<JobState>& job,
                   std::to_string(queue_.size()) + "/" +
                   std::to_string(queue_.capacity()) + ")");
     metrics_.counter("qs_jobs_rejected_total").inc();
+    metrics_.counter(tenant_metric("qs_tenant_rejected_total", job->tenant))
+        .inc();
     return status;
   }
   metrics_.counter("qs_jobs_submitted_total").inc();
+  metrics_.counter(tenant_metric("qs_tenant_admitted_total", job->tenant))
+      .inc();
   metrics_.gauge("qs_queue_depth")
       .set(static_cast<std::int64_t>(queue_.size()));
   return Status::Ok();
 }
 
-JobHandle QuantumService::rejected_handle(Status status) {
+JobHandle QuantumService::rejected_handle(Status status,
+                                          const std::string& tenant) {
   metrics_.counter("qs_jobs_rejected_total").inc();
+  metrics_.counter(tenant_metric("qs_tenant_rejected_total", tenant)).inc();
   JobHandle handle;
   std::promise<RunResult> promise;
   handle.future_ = promise.get_future().share();
@@ -258,15 +323,16 @@ JobHandle QuantumService::rejected_handle(Status status) {
 }
 
 JobHandle QuantumService::submit(RunRequest request) {
+  const std::string tenant = tenant_of(request);
   if (Status v = request.validate(); !v.ok())
-    return rejected_handle(std::move(v));
+    return rejected_handle(std::move(v), tenant);
   if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     return rejected_handle(Status::FailedPrecondition(
-        "QuantumService: no annealing accelerator attached"));
+        "QuantumService: no annealing accelerator attached"), tenant);
 
   Status status;
   auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
-  if (!job) return rejected_handle(std::move(status));
+  if (!job) return rejected_handle(std::move(status), tenant);
 
   JobHandle handle;
   handle.id_ = job->id;
@@ -279,15 +345,16 @@ JobHandle QuantumService::submit(RunRequest request) {
 }
 
 JobHandle QuantumService::try_submit(RunRequest request) {
+  const std::string tenant = tenant_of(request);
   if (Status v = request.validate(); !v.ok())
-    return rejected_handle(std::move(v));
+    return rejected_handle(std::move(v), tenant);
   if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
     return rejected_handle(Status::FailedPrecondition(
-        "QuantumService: no annealing accelerator attached"));
+        "QuantumService: no annealing accelerator attached"), tenant);
 
   Status status;
   auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
-  if (!job) return rejected_handle(std::move(status));
+  if (!job) return rejected_handle(std::move(status), tenant);
 
   JobHandle handle;
   handle.id_ = job->id;
@@ -316,7 +383,7 @@ std::future<JobResult> QuantumService::submit(JobRequest request) {
   if (!job) throw std::runtime_error("QuantumService: submit after shutdown");
 
   if (Status admitted = admit(job, /*blocking=*/true); !admitted.ok()) {
-    job_done();
+    job_done(job);
     throw std::runtime_error("QuantumService: submit after shutdown");
   }
   return fut;
@@ -338,7 +405,7 @@ std::optional<std::future<JobResult>> QuantumService::try_submit(
   if (!job) return std::nullopt;
 
   if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok()) {
-    job_done();
+    job_done(job);
     return std::nullopt;
   }
   return fut;
@@ -426,7 +493,7 @@ void QuantumService::resolve(const std::shared_ptr<JobState>& job,
   }
 
   job->promise.set_value(std::move(result));
-  job_done();
+  job_done(job);
 }
 
 void QuantumService::resolve_unadmitted(const std::shared_ptr<JobState>& job,
@@ -440,7 +507,7 @@ void QuantumService::resolve_unadmitted(const std::shared_ptr<JobState>& job,
   result.status = std::move(status);
   if (job->legacy) job->legacy->set_exception(status_to_exception(result.status));
   job->promise.set_value(std::move(result));
-  job_done();
+  job_done(job);
 }
 
 void QuantumService::resolve_at_dispatch(
@@ -486,6 +553,10 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
   job->dispatch_seq = ++dispatch_counter_;
   job->wait_us = us_between(job->submitted, job->dispatched);
   metrics_.histogram("qs_job_wait_us").observe(job->wait_us);
+  metrics_
+      .histogram("qs_queue_wait_seconds",
+                 LatencyHistogram::default_seconds_bounds())
+      .observe(job->wait_us / 1e6);
   if (job->request.deadline) {
     // Fraction of the deadline budget consumed while waiting in queue:
     // > 1 means the job expired before it ever ran (capacity signal).
@@ -574,8 +645,12 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
   }
 
   metrics_.counter("qs_jobs_dispatched_total").inc();
-  job->shards = shard_count(req.shots, options_.shard_shots);
-  job->shard_done.assign(job->shards, 0);
+  {
+    // progress() may be reading concurrently from a gateway stream.
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    job->shards = shard_count(req.shots, options_.shard_shots);
+    job->shard_done.assign(job->shards, 0);
+  }
 
   // Checkpoint resume: restore the merged partials of a previous
   // submission with the same key, provided the fingerprint proves the
@@ -586,6 +661,7 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
         options_.checkpoint_store->load(req.checkpoint_key);
     if (cp && cp->fingerprint == job->checkpoint_fp &&
         cp->shards == job->shards && cp->shard_done.size() == job->shards) {
+      std::lock_guard<std::mutex> lock(job->merge_mutex);
       job->merged = std::move(cp->merged);
       job->shard_done = std::move(cp->shard_done);
       job->has_best = cp->has_best;
@@ -593,9 +669,12 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
       job->best_read = cp->best_read;
       job->best_solution = std::move(cp->best_solution);
       for (char d : job->shard_done) job->shards_resumed += d ? 1 : 0;
-      if (job->shards_resumed > 0)
+      if (job->shards_resumed > 0) {
         metrics_.counter("qs_shards_resumed_total")
             .inc(job->shards_resumed);
+        job->progress_seq.fetch_add(job->shards_resumed,
+                                    std::memory_order_relaxed);
+      }
     }
   }
 
@@ -753,7 +832,6 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
   // retries or re-routing produces the histogram of a job that never
   // failed, on whatever backend.
   const std::uint64_t seed = derive_stream_seed(req.seed, shard_index);
-  const std::size_t arity = req.program->qubit_count();
   const std::size_t planned_failures =
       req.faults ? req.faults->failures_for(shard_index) : 0;
 
@@ -802,6 +880,10 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
                             ": no healthy gate backend in the pool"));
       break;
     }
+    // The measured register is as wide as the backend's platform: a
+    // 4-qubit program on an 8-qubit device still reads out all 8 lines.
+    // Shard sanity checks must use that width, not the program's.
+    const std::size_t arity = backend->gate->qubit_count();
     // Watchdog: the attempt runs under the job deadline tightened by the
     // per-shard time budget; expiry cancels the kernel at the next shot
     // boundary and the shard re-routes instead of hanging the worker.
@@ -879,6 +961,7 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
       for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
       if (shard_index < job->shard_done.size())
         job->shard_done[shard_index] = 1;
+      job->progress_seq.fetch_add(1, std::memory_order_relaxed);
       save_checkpoint_locked(*job);
       break;
     } catch (const CancelledError& e) {
@@ -1067,6 +1150,7 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
       }
       if (shard_index < job->shard_done.size())
         job->shard_done[shard_index] = 1;
+      job->progress_seq.fetch_add(1, std::memory_order_relaxed);
       save_checkpoint_locked(*job);
       break;
     } catch (const CancelledError& e) {
@@ -1125,9 +1209,13 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   result.job_id = job->id;
   result.kind = job->request.kind();
   result.tag = job->request.tag;
-  result.status = job->status;
-  result.histogram = std::move(job->merged);
-  result.best_solution = std::move(job->best_solution);
+  {
+    // progress() snapshots may still be racing the final shard.
+    std::lock_guard<std::mutex> lock(job->merge_mutex);
+    result.status = job->status;
+    result.histogram = std::move(job->merged);
+    result.best_solution = std::move(job->best_solution);
+  }
   result.best_energy = job->best_energy;
   result.stats.queue_wait_us = job->wait_us;
   result.stats.run_us = us_between(job->dispatched, Clock::now());
@@ -1150,13 +1238,43 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   resolve(job, std::move(result));
 }
 
-void QuantumService::job_done() {
+void QuantumService::job_done(const std::shared_ptr<JobState>& job) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.erase(job->id);
+  }
+  metrics_.gauge(tenant_metric("qs_tenant_inflight", job->tenant)).add(-1);
   {
     std::lock_guard<std::mutex> lock(control_mutex_);
     --inflight_;
     if (inflight_ != 0) return;
   }
   control_cv_.notify_all();
+}
+
+std::optional<JobProgress> QuantumService::progress(
+    std::uint64_t job_id) const {
+  std::shared_ptr<JobState> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return std::nullopt;
+    job = it->second.lock();
+  }
+  if (!job) return std::nullopt;
+  JobProgress p;
+  p.job_id = job_id;
+  std::lock_guard<std::mutex> lock(job->merge_mutex);
+  p.seq = job->progress_seq.load(std::memory_order_relaxed);
+  p.shards_total = job->shards;
+  for (char d : job->shard_done) p.shards_done += d ? 1 : 0;
+  p.partial = job->merged;
+  return p;
+}
+
+void QuantumService::set_tenant_weight(const std::string& tenant,
+                                       double weight) {
+  queue_.set_weight(tenant, weight);
 }
 
 }  // namespace qs::service

@@ -24,9 +24,12 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/backoff.h"
 #include "common/status.h"
@@ -45,6 +48,13 @@ namespace qs::service {
 struct ServiceOptions {
   std::size_t workers = 4;          ///< shard-executing worker threads
   std::size_t queue_capacity = 64;  ///< max jobs awaiting dispatch
+  /// Weighted-fair scheduling weights by tenant name; tenants not listed
+  /// here run at `default_tenant_weight`. Sustained dispatch shares across
+  /// backlogged tenants are proportional to these weights (priority stays
+  /// FIFO-ordered *within* a tenant); weights can also be adjusted live
+  /// via set_tenant_weight().
+  std::map<std::string, double> tenant_weights;
+  double default_tenant_weight = 1.0;
   /// Shots per shard. A service constant independent of worker count:
   /// changing it changes shard seeds and thus the (still valid) sampled
   /// histogram, so treat it as part of the reproducibility contract.
@@ -90,6 +100,14 @@ struct ServiceOptions {
   /// of the same circuit skip even the single evolution. Zero disables
   /// caching (each sampled job still evolves exactly once).
   std::size_t final_state_cache_bytes = 128ull << 20;
+
+  /// kInvalidArgument on configurations that would misbehave silently
+  /// (zero workers, zero queue capacity, zero shard size, non-positive
+  /// scheduling weights). The QuantumService constructor enforces this —
+  /// throwing std::invalid_argument with the same message, since a bad
+  /// config is a wiring bug, not a serving-path error — and callers that
+  /// prefer a typed error can pre-check here.
+  Status validate() const;
 };
 
 /// The execution service. One instance serves one gate platform — through
@@ -143,6 +161,19 @@ class QuantumService {
   /// Blocks until every job submitted so far has completed.
   void drain();
 
+  /// Shard-granular progress snapshot of a live job: shards merged so far
+  /// plus the partial histogram. nullopt once the job reached a terminal
+  /// state (read the final result from the JobHandle) or for unknown ids.
+  /// Safe to call from any thread at any rate; the gateway's
+  /// StreamProgress op polls this and forwards snapshots whenever `seq`
+  /// advances — i.e. at shard boundaries.
+  std::optional<JobProgress> progress(std::uint64_t job_id) const;
+
+  /// Adjusts a tenant's weighted-fair scheduling weight at runtime
+  /// (weight must be > 0; non-positive values are ignored). Takes effect
+  /// from the next dequeue.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
   /// Stops admissions, finishes all accepted jobs, joins threads.
   /// Idempotent; also invoked by the destructor.
   void shutdown();
@@ -191,8 +222,9 @@ class QuantumService {
   Status admit(const std::shared_ptr<JobState>& job, bool blocking);
 
   /// A handle whose future is already resolved with `status` (requests
-  /// rejected before admission). Counts the job as rejected.
-  JobHandle rejected_handle(Status status);
+  /// rejected before admission). Counts the job as rejected, globally and
+  /// against `tenant`.
+  JobHandle rejected_handle(Status status, const std::string& tenant);
 
   /// Fulfils the job's promise (and legacy promise, if any), bumps the
   /// terminal-state metric for result.status, and releases the inflight
@@ -229,7 +261,11 @@ class QuantumService {
   void run_anneal_shard(const std::shared_ptr<JobState>& job,
                         std::size_t shard_index);
   void finish_shard(const std::shared_ptr<JobState>& job);
-  void job_done();
+
+  /// Final bookkeeping after a job's promise is fulfilled (or abandoned on
+  /// a legacy admission failure): drops the progress-registry entry, the
+  /// tenant inflight gauge and the service inflight count.
+  void job_done(const std::shared_ptr<JobState>& job);
 
   /// Per-attempt cancel token: the job deadline combined with the
   /// watchdog's per-shard time budget, whichever fires first.
@@ -246,8 +282,14 @@ class QuantumService {
   CompiledProgramCache cache_;
   FinalStateCache final_cache_;
   MetricsRegistry metrics_;
-  BoundedPriorityQueue<std::shared_ptr<JobState>> queue_;
+  WeightedFairQueue<std::shared_ptr<JobState>> queue_;
   WorkerPool pool_;
+
+  /// Live-job registry backing progress(): id -> state, inserted at
+  /// admission, erased at resolution. Weak pointers: the registry must
+  /// never extend a job's lifetime.
+  mutable std::mutex jobs_mutex_;
+  std::unordered_map<std::uint64_t, std::weak_ptr<JobState>> jobs_;
 
   std::mutex control_mutex_;
   std::condition_variable control_cv_;
