@@ -10,9 +10,15 @@ std::chrono::microseconds BackoffPolicy::delay(std::size_t attempt) const {
       std::pow(multiplier > 1.0 ? multiplier : 1.0,
                static_cast<double>(attempt));
   const double raw = static_cast<double>(initial.count()) * factor;
-  const double capped = std::min(raw, static_cast<double>(cap.count()));
+  // Saturate by comparison and return `cap` itself, never by casting the
+  // clamped double: static_cast<double>(microseconds::max().count())
+  // rounds *up* past the max rep, so min(raw, cap) can still hand the
+  // cast a value outside the rep's range — undefined behaviour. The
+  // negated comparison also routes pow()'s inf (large attempts) to cap.
+  const double cap_us = static_cast<double>(cap.count());
+  if (!(raw < cap_us)) return cap;
   return std::chrono::microseconds{
-      static_cast<std::chrono::microseconds::rep>(capped)};
+      static_cast<std::chrono::microseconds::rep>(raw)};
 }
 
 }  // namespace qs

@@ -1,0 +1,470 @@
+#include "fuzz/differential.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/hash.h"
+#include "compiler/platform.h"
+#include "fuzz/shrink.h"
+#include "gateway/client.h"
+#include "gateway/server.h"
+#include "qasm/printer.h"
+#include "runtime/accelerator.h"
+#include "service/backend_pool.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "sim/trajectory_analysis.h"
+
+namespace qs::fuzz {
+
+namespace {
+
+using runtime::FaultPlan;
+using runtime::GateAccelerator;
+using runtime::RunRequest;
+using runtime::RunResult;
+
+/// Indices into DifferentialHarness::Impl::services.
+enum ServiceIndex : int {
+  kSvcW1 = 0,        ///< 1 worker, sampling on (service-class reference)
+  kSvcW4 = 1,        ///< 4 workers, sampling on
+  kSvcPool = 2,      ///< 2 workers, sampling on, 2-backend pool (faults)
+  kSvcOffW1 = 3,     ///< 1 worker, sampling off (trajectory-class ref)
+  kSvcOffW2 = 4,     ///< 2 workers, sampling off
+  kSvcResume = 5,    ///< 1 worker, sampling on, checkpoint store
+  kServiceCount = 6,
+};
+
+}  // namespace
+
+std::string first_histogram_diff(const Histogram& ref, const Histogram& got) {
+  if (ref.counts() == got.counts()) return "";
+  for (const auto& [key, count] : ref.counts()) {
+    const std::size_t other = got.count(key);
+    if (other != count)
+      return "key \"" + key + "\": reference " + std::to_string(count) +
+             ", variant " + std::to_string(other);
+  }
+  for (const auto& [key, count] : got.counts()) {
+    if (ref.count(key) == 0)
+      return "key \"" + key + "\": reference 0, variant " +
+             std::to_string(count);
+  }
+  return "histograms differ";
+}
+
+std::string Divergence::to_string() const {
+  std::ostringstream os;
+  os << "=== determinism divergence ===\n";
+  os << "generator seed : " << generator_seed
+     << (generator_seed == 0 ? " (hand-built program)" : "") << '\n';
+  os << "shots / seed   : " << shots << " / " << run_seed << '\n';
+  os << "reference      : " << reference.name << " (total "
+     << reference_histogram.total() << ")\n";
+  os << "variant        : " << variant.name << " (total "
+     << variant_histogram.total() << ")\n";
+  os << "first diff     : " << detail << '\n';
+  os << "--- minimal cQASM repro (seed " << run_seed << ", " << shots
+     << " shots, configs above) ---\n";
+  os << qasm::to_cqasm(program);
+  return os.str();
+}
+
+struct DifferentialHarness::Impl {
+  GateAccelerator compile_authority;
+  std::vector<std::unique_ptr<service::QuantumService>> services;
+  std::shared_ptr<service::InMemoryCheckpointStore> checkpoints;
+
+  std::unique_ptr<service::QuantumService> gateway_service;
+  std::unique_ptr<gateway::GatewayServer> gateway;
+  gateway::GatewayClient client;
+
+  /// One-slot compile memo: within check() and within a shrink predicate
+  /// the same program is executed under many configs back to back.
+  std::string memo_text;
+  compiler::CompileResult memo_compiled;
+
+  explicit Impl(const Options& opts)
+      : compile_authority(compiler::Platform::perfect(opts.platform_qubits)) {}
+
+  const compiler::CompileResult& compiled_for(const qasm::Program& program,
+                                              const std::string& text) {
+    if (text != memo_text) {
+      memo_compiled = compile_authority.compile_const(program);
+      memo_text = text;
+    }
+    return memo_compiled;
+  }
+};
+
+DifferentialHarness::DifferentialHarness() : DifferentialHarness(Options{}) {}
+
+DifferentialHarness::DifferentialHarness(Options options)
+    : options_(options), impl_(std::make_unique<Impl>(options)) {
+  if (!options_.with_service) return;
+
+  auto make_options = [&](std::size_t workers, bool sampling) {
+    service::ServiceOptions so;
+    so.workers = workers;
+    so.shard_shots = options_.shard_shots;
+    so.queue_capacity = 64;
+    so.sampling_enabled = sampling;
+    so.retry_backoff.initial = std::chrono::microseconds(1);
+    so.retry_backoff.cap = std::chrono::microseconds(10);
+    return so;
+  };
+  auto gate = [&] {
+    return GateAccelerator(compiler::Platform::perfect(options_.platform_qubits));
+  };
+
+  impl_->services.resize(kServiceCount);
+  impl_->services[kSvcW1] = std::make_unique<service::QuantumService>(
+      gate(), make_options(1, true));
+  impl_->services[kSvcW4] = std::make_unique<service::QuantumService>(
+      gate(), make_options(4, true));
+
+  // Two-backend pool: b1 is the one fault plans crash, so shards re-route
+  // to b0. A short breaker cooldown lets b1 walk back through half-open
+  // between fuzz iterations, keeping the failover path exercised instead
+  // of permanently open after the first program.
+  service::BackendPoolOptions pool_opts;
+  pool_opts.breaker.open_cooldown = std::chrono::milliseconds(2);
+  auto pool = std::make_shared<service::BackendPool>(pool_opts);
+  for (const char* name : {"b0", "b1"}) {
+    const Status st = pool->register_gate(
+        name, std::make_shared<GateAccelerator>(
+                  compiler::Platform::perfect(options_.platform_qubits)));
+    if (!st.ok())
+      throw std::runtime_error("fuzz harness: " + st.to_string());
+  }
+  impl_->services[kSvcPool] = std::make_unique<service::QuantumService>(
+      std::move(pool), make_options(2, true));
+
+  impl_->services[kSvcOffW1] = std::make_unique<service::QuantumService>(
+      gate(), make_options(1, false));
+  impl_->services[kSvcOffW2] = std::make_unique<service::QuantumService>(
+      gate(), make_options(2, false));
+
+  impl_->checkpoints = std::make_shared<service::InMemoryCheckpointStore>();
+  service::ServiceOptions resume_opts = make_options(1, true);
+  resume_opts.checkpoint_store = impl_->checkpoints;
+  resume_opts.max_shard_retries = 0;  // the injected kill fails fast
+  impl_->services[kSvcResume] = std::make_unique<service::QuantumService>(
+      gate(), std::move(resume_opts));
+
+  if (!options_.with_gateway) return;
+  impl_->gateway_service = std::make_unique<service::QuantumService>(
+      gate(), make_options(2, true));
+  impl_->gateway = std::make_unique<gateway::GatewayServer>(
+      *impl_->gateway_service, gateway::GatewayOptions{});
+  Status st = impl_->gateway->start();
+  if (!st.ok()) throw std::runtime_error("fuzz harness: " + st.to_string());
+  st = impl_->client.connect("127.0.0.1", impl_->gateway->port(),
+                             "fuzz-harness");
+  if (!st.ok()) throw std::runtime_error("fuzz harness: " + st.to_string());
+}
+
+DifferentialHarness::~DifferentialHarness() {
+  if (impl_->client.connected()) impl_->client.close();
+  if (impl_->gateway) impl_->gateway->shutdown();
+}
+
+bool DifferentialHarness::samplable(const qasm::Program& program) const {
+  // Analyze the compiled flatten, exactly as the simulator and the
+  // service do. Judging the source flatten is wrong: the scheduler can
+  // legally move a commuting gate ahead of a measure (turning a
+  // mid-circuit measure terminal) and the optimiser can cancel inverse
+  // pairs inside iterated circuits, flipping eligibility between source
+  // and compiled forms. The harness's first hunt found exactly that.
+  const compiler::CompileResult& compiled =
+      impl_->compiled_for(program, qasm::to_cqasm(program));
+  const auto analysis =
+      sim::analyze_trajectory(compiled.program.flatten(),
+                              options_.platform_qubits,
+                              sim::QubitModel::perfect());
+  return analysis.samplable;
+}
+
+std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
+    const qasm::Program& program) const {
+  std::vector<std::vector<ExecConfig>> classes;
+
+  auto sim_config = [](std::string name, bool fused, std::size_t threads,
+                       bool sampling) {
+    ExecConfig c;
+    c.name = std::move(name);
+    c.level = ExecConfig::Level::kSim;
+    c.fused = fused;
+    c.threads = threads;
+    c.sampling = sampling;
+    return c;
+  };
+  auto svc_config = [](std::string name, int service) {
+    ExecConfig c;
+    c.name = std::move(name);
+    c.level = ExecConfig::Level::kService;
+    c.service = service;
+    return c;
+  };
+
+  // Class 0: direct trajectory runs — scalar/fused x thread counts.
+  std::vector<ExecConfig> trajectory = {
+      sim_config("sim/scalar/t1/trajectory", false, 1, false),
+      sim_config("sim/fused/t1/trajectory", true, 1, false),
+      sim_config("sim/scalar/t2/trajectory", false, 2, false),
+      sim_config("sim/fused/t4/trajectory", true, 4, false),
+  };
+  const bool eligible = samplable(program);
+  if (!eligible) {
+    // The sampling toggle must be a byte-exact no-op for ineligible
+    // circuits (analysis forces the trajectory fallback either way).
+    trajectory.push_back(
+        sim_config("sim/fused/t1/sampling-noop", true, 1, true));
+  }
+  classes.push_back(std::move(trajectory));
+
+  // Class 1: direct sampled runs (eligible circuits only).
+  if (eligible) {
+    classes.push_back({
+        sim_config("sim/scalar/t1/sampled", false, 1, true),
+        sim_config("sim/fused/t2/sampled", true, 2, true),
+    });
+  }
+
+  if (!options_.with_service) return classes;
+
+  // Class 2: service runs, sampling mode on — worker counts, cache hits,
+  // retries, failovers, checkpoint-resume and the gateway wire.
+  std::vector<ExecConfig> svc = {
+      svc_config("svc/w1", kSvcW1),
+      svc_config("svc/w4", kSvcW4),
+  };
+  {
+    ExecConfig c = svc_config("svc/w1/resubmit", kSvcW1);
+    c.resubmit = true;
+    svc.push_back(std::move(c));
+    c = svc_config("svc/pool/retry", kSvcPool);
+    c.retry_fault = true;
+    svc.push_back(std::move(c));
+    c = svc_config("svc/pool/crash-failover", kSvcPool);
+    c.crash_fault = true;
+    svc.push_back(std::move(c));
+    c = svc_config("svc/resume", kSvcResume);
+    c.resume = true;
+    svc.push_back(std::move(c));
+    if (options_.with_gateway) {
+      c = svc_config("gateway/wire", -1);
+      c.level = ExecConfig::Level::kGateway;
+      svc.push_back(std::move(c));
+    }
+  }
+  classes.push_back(std::move(svc));
+
+  // Class 3: service runs, sampling off (per-shot trajectory sharding).
+  classes.push_back({
+      svc_config("svc-off/w1", kSvcOffW1),
+      svc_config("svc-off/w2", kSvcOffW2),
+  });
+
+  return classes;
+}
+
+Histogram DifferentialHarness::run_config(const ExecConfig& config,
+                                          const qasm::Program& program,
+                                          std::size_t shots,
+                                          std::uint64_t run_seed,
+                                          std::string* error) {
+  error->clear();
+  const std::string text = qasm::to_cqasm(program);
+  try {
+    switch (config.level) {
+      case ExecConfig::Level::kSim: {
+        sim::SimOptions so;
+        so.threads = config.threads;
+        so.fused_kernels = config.fused;
+        so.sampling = config.sampling;
+        so.min_parallel_qubits = config.min_parallel_qubits;
+        return impl_->compile_authority.run_compiled(
+            impl_->compiled_for(program, text), shots, run_seed, so);
+      }
+
+      case ExecConfig::Level::kService: {
+        service::QuantumService& svc = *impl_->services.at(config.service);
+        RunRequest request = RunRequest::gate(program, shots, run_seed);
+        auto plan = std::make_shared<FaultPlan>();
+        if (config.retry_fault)
+          plan->shard_faults.push_back({/*shard_index=*/0, /*failures=*/1});
+        if (config.crash_fault)
+          plan->backend_faults.push_back(
+              {"b1", runtime::BackendFaultKind::kCrash});
+        if (config.retry_fault || config.crash_fault) request.faults = plan;
+
+        if (config.resume) {
+          // Kill the job on its last shard (terminal failure after every
+          // other shard merged and checkpointed), then resubmit on the
+          // same key: the resumed run must reproduce the clean histogram.
+          const std::size_t shards =
+              (shots + options_.shard_shots - 1) / options_.shard_shots;
+          const std::string key =
+              "fuzz-" + std::to_string(hash_combine(fnv1a64(text),
+                                                    run_seed ^ shots));
+          RunRequest failing = request;
+          failing.checkpoint_key = key;
+          auto kill = std::make_shared<FaultPlan>();
+          kill->shard_faults.push_back(
+              {/*shard_index=*/shards - 1, /*failures=*/1000});
+          failing.faults = kill;
+          const RunResult killed = svc.submit(std::move(failing)).get();
+          if (killed.status.ok()) {
+            *error = "resume: injected kill did not fail the job";
+            return {};
+          }
+          request.checkpoint_key = key;
+        }
+
+        if (config.resubmit) {
+          const RunResult warm = svc.submit(request).get();
+          if (!warm.status.ok()) {
+            *error = "resubmit warm-up failed: " + warm.status.to_string();
+            return {};
+          }
+        }
+
+        const RunResult result = svc.submit(std::move(request)).get();
+        if (!result.status.ok()) {
+          *error = result.status.to_string();
+          return {};
+        }
+        return result.histogram;
+      }
+
+      case ExecConfig::Level::kGateway: {
+        RunRequest request = RunRequest::gate_source(text, shots, run_seed);
+        const auto id = impl_->client.submit(request);
+        if (!id.ok()) {
+          *error = "gateway submit: " + id.status().to_string();
+          return {};
+        }
+        const auto result = impl_->client.wait(*id);
+        if (!result.ok()) {
+          *error = "gateway wait: " + result.status().to_string();
+          return {};
+        }
+        if (!result->status.ok()) {
+          *error = "gateway job: " + result->status.to_string();
+          return {};
+        }
+        return result->histogram;
+      }
+    }
+  } catch (const std::exception& e) {
+    *error = std::string("exception: ") + e.what();
+    return {};
+  }
+  *error = "unknown config level";
+  return {};
+}
+
+std::vector<Divergence> DifferentialHarness::check(
+    const qasm::Program& program, std::size_t shots, std::uint64_t run_seed,
+    std::uint64_t generator_seed) {
+  std::vector<Divergence> divergences;
+
+  auto report = [&](const ExecConfig& ref, const ExecConfig& var,
+                    Histogram ref_hist, Histogram var_hist,
+                    std::string detail) {
+    Divergence d;
+    d.generator_seed = generator_seed;
+    d.shots = shots;
+    d.run_seed = run_seed;
+    d.reference = ref;
+    d.variant = var;
+    d.reference_histogram = std::move(ref_hist);
+    d.variant_histogram = std::move(var_hist);
+    d.detail = std::move(detail);
+    d.program = program;
+    divergences.push_back(std::move(d));
+  };
+
+  for (const auto& cls : lattice(program)) {
+    std::string error;
+    const Histogram reference =
+        run_config(cls.front(), program, shots, run_seed, &error);
+    if (!error.empty()) {
+      report(cls.front(), cls.front(), {}, {},
+             "reference execution failed: " + error);
+      continue;
+    }
+    if (reference.total() != shots)
+      report(cls.front(), cls.front(), reference, reference,
+             "reference total " + std::to_string(reference.total()) +
+                 " != shots " + std::to_string(shots));
+
+    for (std::size_t i = 1; i < cls.size(); ++i) {
+      const Histogram got =
+          run_config(cls[i], program, shots, run_seed, &error);
+      if (!error.empty()) {
+        report(cls.front(), cls[i], reference, got,
+               "variant execution failed: " + error);
+        continue;
+      }
+      if (const std::string diff = first_histogram_diff(reference, got);
+          !diff.empty())
+        report(cls.front(), cls[i], reference, got, diff);
+    }
+  }
+  return divergences;
+}
+
+Divergence DifferentialHarness::minimize(const Divergence& divergence) {
+  const std::size_t shots = divergence.shots;
+  const std::uint64_t seed = divergence.run_seed;
+
+  // The lattice forks on sampling eligibility (sampled class vs the
+  // sampling-noop config), so whether the original config pair is even
+  // comparable depends on the program's eligibility. A shrink step that
+  // flips eligibility can turn a real divergence into a by-design
+  // difference (sampled vs trajectory draws) — the shrinker would then
+  // happily "minimise" toward the wrong failure. Pin eligibility to the
+  // original program's.
+  const bool original_eligible = samplable(divergence.program);
+
+  auto still_diverges = [&](const qasm::Program& candidate) {
+    if (samplable(candidate) != original_eligible) return false;
+    std::string ref_error, var_error;
+    const Histogram ref =
+        run_config(divergence.reference, candidate, shots, seed, &ref_error);
+    const Histogram var =
+        run_config(divergence.variant, candidate, shots, seed, &var_error);
+    // A failure of either side still counts as the divergence reproducing
+    // only when the original failure was an execution failure too;
+    // otherwise insist on a histogram mismatch so shrinking cannot drift
+    // to a different (easier) failure mode.
+    if (!ref_error.empty() || !var_error.empty())
+      return divergence.detail.find("execution failed") != std::string::npos;
+    return ref.counts() != var.counts();
+  };
+
+  Divergence minimal = divergence;
+  ShrinkStats stats;
+  minimal.program = shrink_program(divergence.program, still_diverges, &stats);
+
+  // Re-run the minimal program to attach fresh histograms and detail.
+  std::string error;
+  minimal.reference_histogram = run_config(divergence.reference,
+                                           minimal.program, shots, seed,
+                                           &error);
+  if (!error.empty()) minimal.detail = "reference execution failed: " + error;
+  minimal.variant_histogram =
+      run_config(divergence.variant, minimal.program, shots, seed, &error);
+  if (!error.empty()) {
+    minimal.detail = "variant execution failed: " + error;
+  } else if (minimal.detail.find("execution failed") == std::string::npos) {
+    minimal.detail = first_histogram_diff(minimal.reference_histogram,
+                                          minimal.variant_histogram);
+  }
+  return minimal;
+}
+
+}  // namespace qs::fuzz

@@ -1,0 +1,182 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "qasm/gate_kind.h"
+
+namespace qs::fuzz {
+
+namespace {
+
+using qasm::GateKind;
+
+constexpr double kPi = 3.14159265358979323846;
+
+const GateKind kOneQubitGates[] = {
+    GateKind::I,    GateKind::X,    GateKind::Y,   GateKind::Z,
+    GateKind::H,    GateKind::S,    GateKind::Sdag, GateKind::T,
+    GateKind::Tdag, GateKind::X90,  GateKind::MX90, GateKind::Y90,
+    GateKind::MY90, GateKind::Rx,   GateKind::Ry,   GateKind::Rz,
+};
+
+const GateKind kTwoQubitGates[] = {
+    GateKind::CNOT, GateKind::CZ, GateKind::Swap,
+    GateKind::CR,   GateKind::CRK, GateKind::RZZ,
+};
+
+/// `count` distinct qubit indices out of [0, n).
+std::vector<QubitIndex> pick_qubits(Rng& rng, std::size_t n,
+                                    std::size_t count) {
+  std::vector<QubitIndex> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  rng.shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+/// Angles mix exact multiples of pi/4 (hitting fused-kernel phase special
+/// cases) with arbitrary continuous values (hitting the generic path and
+/// the printer's round-trip precision).
+double pick_angle(Rng& rng) {
+  if (rng.bernoulli(0.5))
+    return (static_cast<double>(rng.uniform_int(16)) - 8.0) * (kPi / 4.0);
+  return rng.uniform(-2.0 * kPi, 2.0 * kPi);
+}
+
+/// One random unitary gate over n qubits (n >= 1).
+qasm::Instruction random_unitary(Rng& rng, std::size_t n) {
+  const double pick = rng.uniform();
+  if (n >= 3 && pick < 0.06) {
+    return qasm::Instruction(GateKind::Toffoli, pick_qubits(rng, n, 3));
+  }
+  if (n >= 2 && pick < 0.40) {
+    const GateKind kind =
+        kTwoQubitGates[rng.uniform_int(std::size(kTwoQubitGates))];
+    auto qubits = pick_qubits(rng, n, 2);
+    if (gate_has_angle(kind))
+      return qasm::Instruction(kind, std::move(qubits), pick_angle(rng));
+    if (gate_has_int_param(kind))  // CRK
+      return qasm::Instruction(kind, std::move(qubits), 0.0,
+                               1 + static_cast<std::int64_t>(rng.uniform_int(4)));
+    return qasm::Instruction(kind, std::move(qubits));
+  }
+  const GateKind kind =
+      kOneQubitGates[rng.uniform_int(std::size(kOneQubitGates))];
+  auto qubits = pick_qubits(rng, n, 1);
+  if (gate_has_angle(kind))
+    return qasm::Instruction(kind, std::move(qubits), pick_angle(rng));
+  return qasm::Instruction(kind, std::move(qubits));
+}
+
+/// A wait (sometimes bare — idles the whole register) or a barrier.
+qasm::Instruction random_idle(Rng& rng, std::size_t n) {
+  if (rng.bernoulli(0.5)) {
+    std::vector<QubitIndex> qubits;
+    if (!rng.bernoulli(0.3))  // 30% bare `wait k`
+      qubits = pick_qubits(rng, n, 1 + rng.uniform_int(n));
+    return qasm::Instruction(GateKind::Wait, std::move(qubits), 0.0,
+                             1 + static_cast<std::int64_t>(rng.uniform_int(8)));
+  }
+  return qasm::Instruction(GateKind::Barrier,
+                           pick_qubits(rng, n, 1 + rng.uniform_int(n)));
+}
+
+/// Terminal measurement block: measure_all, or a random nonempty set of
+/// per-qubit measures (distinct qubits, random order).
+void append_terminal_measures(Rng& rng, std::size_t n, qasm::Circuit* c) {
+  if (rng.bernoulli(0.5)) {
+    c->add(qasm::Instruction(GateKind::MeasureAll, {}));
+    return;
+  }
+  const auto qubits = pick_qubits(rng, n, 1 + rng.uniform_int(n));
+  for (QubitIndex q : qubits)
+    c->add(qasm::Instruction(GateKind::Measure, {q}));
+}
+
+}  // namespace
+
+qasm::Program generate_program(std::uint64_t seed,
+                               const GeneratorOptions& options) {
+  Rng rng(seed);
+  const std::size_t n =
+      options.min_qubits +
+      rng.uniform_int(options.max_qubits - options.min_qubits + 1);
+  qasm::Program program("fuzz_" + std::to_string(seed), n);
+
+  const bool samplable_shape = rng.bernoulli(options.samplable_bias);
+  const std::size_t budget = 1 + rng.uniform_int(options.max_instructions);
+  const std::size_t circuits = 1 + rng.uniform_int(options.max_circuits);
+
+  std::size_t emitted = 0;
+  for (std::size_t ci = 0; ci < circuits; ++ci) {
+    const std::size_t iterations =
+        rng.bernoulli(0.2) ? 1 + rng.uniform_int(options.max_iterations) : 1;
+    qasm::Circuit circuit("c" + std::to_string(ci), iterations);
+
+    // Leading preps keep the samplable shape eligible (prep_z on |0...0>
+    // is a deterministic identity only before any gate has run).
+    if (ci == 0 && rng.bernoulli(0.25)) {
+      for (QubitIndex q : pick_qubits(rng, n, 1 + rng.uniform_int(n)))
+        circuit.add(qasm::Instruction(GateKind::PrepZ, {q}));
+    }
+
+    const std::size_t body = budget / circuits + (ci == 0 ? budget % circuits : 0);
+    for (std::size_t i = 0; i < body; ++i, ++emitted) {
+      const double pick = rng.uniform();
+      if (samplable_shape) {
+        // Unitaries plus the occasional wait/barrier (no-ops under a
+        // perfect model; analysis must still prove that).
+        if (pick < 0.12)
+          circuit.add(random_idle(rng, n));
+        else
+          circuit.add(random_unitary(rng, n));
+        continue;
+      }
+      // Free-form shape: mid-circuit measures, preps and conditionals
+      // force the per-shot trajectory fallback in all its variants.
+      if (pick < 0.12) {
+        circuit.add(qasm::Instruction(GateKind::Measure,
+                                      pick_qubits(rng, n, 1)));
+      } else if (pick < 0.18) {
+        circuit.add(qasm::Instruction(GateKind::PrepZ,
+                                      pick_qubits(rng, n, 1)));
+      } else if (pick < 0.26) {
+        circuit.add(random_idle(rng, n));
+      } else {
+        qasm::Instruction instr = random_unitary(rng, n);
+        if (rng.bernoulli(0.18)) {
+          // Condition on 1-2 classical bits (bits pair with qubits).
+          std::vector<BitIndex> bits;
+          for (QubitIndex q : pick_qubits(rng, n, 1 + rng.uniform_int(2)))
+            bits.push_back(q);
+          std::sort(bits.begin(), bits.end());
+          instr.set_conditions(std::move(bits));
+        }
+        circuit.add(std::move(instr));
+      }
+    }
+
+    // Terminal measures on the last circuit (usually). A measurement-free
+    // program is legal and occasionally emitted on purpose: every shot
+    // then reports the all-zero classical register.
+    if (ci + 1 == circuits && !rng.bernoulli(0.08))
+      append_terminal_measures(rng, n, &circuit);
+
+    program.add_circuit(std::move(circuit));
+  }
+
+  program.validate();
+  return program;
+}
+
+std::size_t shots_for_seed(std::uint64_t seed) {
+  Rng rng(seed ^ 0x5A0775D1ull);
+  // 16..240 shots: 1-4 shards at the harness's shard size of 64, with
+  // ragged final shards common.
+  return 16 + rng.uniform_int(225);
+}
+
+}  // namespace qs::fuzz

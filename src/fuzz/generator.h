@@ -1,0 +1,46 @@
+// Seed-deterministic random cQASM program generator for the differential
+// determinism fuzzer. A generated program is a pure function of its seed:
+// the same seed always yields the same circuit, so any failure the fuzzer
+// prints reproduces from one integer. Programs span the full instruction
+// vocabulary — every unitary gate kind, mid-circuit and terminal
+// measurements, preps, waits, barriers and classically-controlled gates —
+// and are biased so roughly half satisfy the terminal-measurement sampling
+// eligibility rules (analyze_trajectory) and half exercise the per-shot
+// trajectory fallback paths.
+#pragma once
+
+#include <cstdint>
+
+#include "qasm/program.h"
+
+namespace qs::fuzz {
+
+struct GeneratorOptions {
+  std::size_t min_qubits = 1;
+  std::size_t max_qubits = 6;
+  /// Upper bound on instructions per program (before circuit iteration
+  /// multipliers). Small programs keep a multi-thousand-program fuzz run
+  /// inside a CI budget; the bug surface is configuration interplay, not
+  /// circuit volume.
+  std::size_t max_instructions = 24;
+  std::size_t max_circuits = 3;
+  /// A subcircuit occasionally repeats (cQASM `.name(n)`), covering the
+  /// flatten() iteration path.
+  std::size_t max_iterations = 3;
+
+  /// Probability the program is steered to the sampling-eligible shape
+  /// (unitaries only, measurements confined to a terminal region). The
+  /// rest draw freely from mid-circuit measures, conditionals and preps,
+  /// forcing the trajectory fallback.
+  double samplable_bias = 0.5;
+};
+
+/// Generates one well-formed program (validate() holds) from `seed`.
+qasm::Program generate_program(std::uint64_t seed,
+                               const GeneratorOptions& options = {});
+
+/// Deterministic shot count for a fuzz iteration: small, varied, and
+/// chosen so jobs split into 1..4 shards under the harness's shard size.
+std::size_t shots_for_seed(std::uint64_t seed);
+
+}  // namespace qs::fuzz

@@ -1,0 +1,111 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qs::fuzz {
+
+namespace {
+
+/// Program with instructions [begin, begin+count) of circuit `ci` removed.
+qasm::Program without_range(const qasm::Program& p, std::size_t ci,
+                            std::size_t begin, std::size_t count) {
+  qasm::Program out = p;
+  auto& instrs = out.circuits()[ci].instructions();
+  instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(begin),
+               instrs.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  return out;
+}
+
+/// Highest qubit (or condition-bit) index used anywhere, plus one.
+std::size_t used_width(const qasm::Program& p) {
+  std::size_t width = 0;
+  for (const auto& c : p.circuits()) {
+    for (const auto& i : c.instructions()) {
+      for (QubitIndex q : i.qubits())
+        width = std::max(width, static_cast<std::size_t>(q) + 1);
+      for (BitIndex b : i.conditions())
+        width = std::max(width, static_cast<std::size_t>(b) + 1);
+    }
+  }
+  return std::max<std::size_t>(width, 1);
+}
+
+}  // namespace
+
+qasm::Program shrink_program(const qasm::Program& failing,
+                             const FailurePredicate& fails,
+                             ShrinkStats* stats,
+                             const ShrinkOptions& options) {
+  qasm::Program best = failing;
+  ShrinkStats local;
+  ShrinkStats& s = stats ? *stats : local;
+  s = ShrinkStats{};
+
+  auto try_candidate = [&](qasm::Program candidate) {
+    if (s.attempts >= options.max_attempts) return false;
+    ++s.attempts;
+    if (!fails(candidate)) return false;
+    best = std::move(candidate);
+    ++s.accepted;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && s.attempts < options.max_attempts) {
+    progress = false;
+    ++s.rounds;
+
+    // 1. Delete instruction chunks, large to small. Scanning back-to-front
+    // keeps indices stable across an accepted deletion: removing
+    // [begin, pos) leaves everything before `begin` untouched.
+    for (std::size_t ci = 0; ci < best.circuits().size(); ++ci) {
+      std::size_t chunk =
+          std::max<std::size_t>(best.circuits()[ci].size() / 2, 1);
+      while (true) {
+        std::size_t pos = best.circuits()[ci].size();
+        while (pos > 0) {
+          const std::size_t begin = pos >= chunk ? pos - chunk : 0;
+          if (try_candidate(without_range(best, ci, begin, pos - begin)))
+            progress = true;
+          pos = begin;
+        }
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+
+    // 2. Collapse iteration counts to 1.
+    for (std::size_t ci = 0; ci < best.circuits().size(); ++ci) {
+      if (best.circuits()[ci].iterations() == 1) continue;
+      qasm::Program candidate = best;
+      candidate.circuits()[ci].set_iterations(1);
+      if (try_candidate(std::move(candidate))) progress = true;
+    }
+
+    // 3. Drop empty circuits (keep at least one so the program stays
+    // printable / parseable as a program).
+    for (std::size_t ci = 0;
+         best.circuits().size() > 1 && ci < best.circuits().size(); ++ci) {
+      if (!best.circuits()[ci].empty()) continue;
+      qasm::Program candidate = best;
+      candidate.circuits().erase(candidate.circuits().begin() +
+                                 static_cast<std::ptrdiff_t>(ci));
+      if (try_candidate(std::move(candidate))) progress = true;
+    }
+
+    // 4. Trim unused high qubits (a MeasureAll reads the whole register,
+    // so narrowing the register is a real simplification).
+    if (const std::size_t width = used_width(best);
+        width < best.qubit_count()) {
+      qasm::Program candidate = best;
+      candidate.set_qubit_count(width);
+      if (try_candidate(std::move(candidate))) progress = true;
+    }
+  }
+
+  return best;
+}
+
+}  // namespace qs::fuzz

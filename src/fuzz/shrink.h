@@ -1,0 +1,45 @@
+// Greedy test-case reduction for fuzzer failures. Given a failing program
+// and a predicate "does the failure still reproduce?", the shrinker
+// repeatedly tries semantics-simplifying edits — deleting instruction
+// chunks (delta-debugging style, halving chunk sizes down to single
+// instructions), collapsing subcircuit iteration counts to one, dropping
+// empty subcircuits, and trimming unused high qubits — keeping every edit
+// that preserves the failure, until a fixpoint. The result is the minimal
+// repro the fuzzer prints: typically a handful of instructions instead of
+// a 20-gate random soup.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "qasm/program.h"
+
+namespace qs::fuzz {
+
+/// Returns true when the candidate program still exhibits the failure
+/// being minimised. The predicate must be deterministic (the differential
+/// harness's fixed-seed runs are).
+using FailurePredicate = std::function<bool(const qasm::Program&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;   ///< candidate programs evaluated
+  std::size_t accepted = 0;   ///< edits that preserved the failure
+  std::size_t rounds = 0;     ///< fixpoint iterations
+};
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations; the shrinker returns its best
+  /// program so far when exhausted (each evaluation is a full
+  /// differential execution, so this bounds shrink cost).
+  std::size_t max_attempts = 2000;
+};
+
+/// Shrinks `failing` (for which `fails` must return true) to a smaller
+/// program that still fails. Never returns a program for which `fails` is
+/// false.
+qasm::Program shrink_program(const qasm::Program& failing,
+                             const FailurePredicate& fails,
+                             ShrinkStats* stats = nullptr,
+                             const ShrinkOptions& options = {});
+
+}  // namespace qs::fuzz

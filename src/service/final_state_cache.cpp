@@ -54,7 +54,10 @@ std::size_t FinalStateCache::insert(
     lru_.erase(it->second);
     index_.erase(it);
   }
-  if (cost > capacity_bytes_) return 0;  // would evict everything for one job
+  if (cost > capacity_bytes_) {  // would evict everything for one job
+    ++oversized_;
+    return 0;
+  }
   std::size_t evicted = 0;
   while (!lru_.empty() && bytes_ + cost > capacity_bytes_) {
     evict_lru_locked();
@@ -89,6 +92,11 @@ std::uint64_t FinalStateCache::misses() const {
 std::uint64_t FinalStateCache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t FinalStateCache::oversized() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return oversized_;
 }
 
 void FinalStateCache::clear() {

@@ -54,6 +54,9 @@ class FinalStateCache {
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
+  /// Entries rejected because a single distribution exceeded the whole
+  /// byte budget (exported as qs_final_state_cache_oversized_total).
+  std::uint64_t oversized() const;
 
   void clear();
 
@@ -74,6 +77,7 @@ class FinalStateCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t oversized_ = 0;
 };
 
 }  // namespace qs::service

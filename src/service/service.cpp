@@ -813,9 +813,12 @@ void QuantumService::ensure_final_distribution(
         primary_gate_->final_distribution(job->entry->flat,
                                           job->entry->analysis, sim_options));
     if (cache_on) {
+      const std::uint64_t oversized_before = final_cache_.oversized();
       const std::size_t evicted = final_cache_.insert(job->final_key, dist);
       if (evicted > 0)
         metrics_.counter("qs_final_state_cache_evictions_total").inc(evicted);
+      if (final_cache_.oversized() > oversized_before)
+        metrics_.counter("qs_final_state_cache_oversized_total").inc();
     }
     job->final_dist = std::move(dist);
   });

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -312,6 +313,46 @@ TEST(BackoffPolicy, DefaultPolicyIsMonotonicUpToCap) {
   for (std::size_t attempt = 0; attempt + 1 < 10; ++attempt)
     EXPECT_LE(policy.delay(attempt), policy.delay(attempt + 1));
   EXPECT_LE(policy.delay(64), policy.cap);  // no overflow at high attempts
+}
+
+TEST(BackoffPolicy, SaturatesAtCapForHugeAttemptsAndHugeCaps) {
+  // Regression: delay() used to compute min(initial * mult^attempt, cap)
+  // in double and cast back to the microseconds rep. With cap near
+  // microseconds::max() the cap itself rounds *up* when converted to
+  // double, so the cast was UB for large attempts (pow -> inf). The fix
+  // saturates by comparison and returns cap exactly.
+  BackoffPolicy policy;
+  policy.initial = std::chrono::microseconds{200};
+  policy.multiplier = 2.0;
+  policy.cap = std::chrono::microseconds::max();
+  EXPECT_EQ(policy.delay(0), std::chrono::microseconds{200});
+  EXPECT_EQ(policy.delay(10), std::chrono::microseconds{200 << 10});
+  // Well past the point where the double math reaches inf.
+  EXPECT_EQ(policy.delay(1 << 20), std::chrono::microseconds::max());
+  EXPECT_EQ(policy.delay(std::numeric_limits<std::size_t>::max()),
+            std::chrono::microseconds::max());
+}
+
+TEST(BackoffPolicy, CapSmallerThanInitialClampsImmediately) {
+  BackoffPolicy policy;
+  policy.initial = std::chrono::microseconds{500};
+  policy.cap = std::chrono::microseconds{100};
+  EXPECT_EQ(policy.delay(0), policy.cap);
+  EXPECT_EQ(policy.delay(7), policy.cap);
+}
+
+TEST(BackoffPolicy, NonPositiveInitialAndFlatMultiplierAreSafe) {
+  BackoffPolicy zero;
+  zero.initial = std::chrono::microseconds{0};
+  EXPECT_EQ(zero.delay(0), std::chrono::microseconds{0});
+  EXPECT_EQ(zero.delay(1000), std::chrono::microseconds{0});
+
+  BackoffPolicy flat;
+  flat.initial = std::chrono::microseconds{300};
+  flat.multiplier = 0.5;  // clamped to 1.0: backoff never shrinks
+  flat.cap = std::chrono::microseconds{5000};
+  EXPECT_EQ(flat.delay(0), std::chrono::microseconds{300});
+  EXPECT_EQ(flat.delay(50), std::chrono::microseconds{300});
 }
 
 // ------------------------------------------------------- Cancellation ----

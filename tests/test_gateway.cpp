@@ -166,6 +166,39 @@ TEST(TenantGovernor, QuotasAreIndependentPerTenant) {
   EXPECT_FALSE(gov.admit("vip").ok());
 }
 
+// ----------------------------------------------------- RuntimeEstimator ----
+
+TEST(RuntimeEstimator, UnprimedEstimateIsZero) {
+  RuntimeEstimator est;
+  EXPECT_EQ(est.estimate_us(), 0.0);
+  // Negative observations are garbage (clock skew) and must not prime.
+  est.observe(-50.0);
+  EXPECT_EQ(est.estimate_us(), 0.0);
+}
+
+TEST(RuntimeEstimator, FirstObservationPrimesExactly) {
+  RuntimeEstimator est;
+  est.observe(1000.0);
+  EXPECT_DOUBLE_EQ(est.estimate_us(), 1000.0);
+}
+
+TEST(RuntimeEstimator, EwmaFoldsWithAlphaOneFifth) {
+  RuntimeEstimator est;
+  est.observe(100.0);
+  est.observe(200.0);  // 0.8 * 100 + 0.2 * 200
+  EXPECT_DOUBLE_EQ(est.estimate_us(), 120.0);
+  est.observe(-1.0);  // ignored after priming too
+  EXPECT_DOUBLE_EQ(est.estimate_us(), 120.0);
+}
+
+TEST(RuntimeEstimator, ConvergesToStableRuntime) {
+  RuntimeEstimator est;
+  est.observe(10.0);  // stale outlier
+  for (int i = 0; i < 60; ++i) est.observe(5000.0);
+  EXPECT_NEAR(est.estimate_us(), 5000.0, 1.0);
+  EXPECT_LE(est.estimate_us(), 5000.0);  // approaches from below
+}
+
 // ----------------------------------------------------- Option validation ----
 
 TEST(ServiceOptionsValidation, RejectsZeroWorkersAndZeroQueue) {

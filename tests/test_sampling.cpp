@@ -422,7 +422,17 @@ TEST(FinalStateCache, OversizedEntryIsNotCached) {
   cache.insert(1, make_dist(1024));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
+  // The rejection is observable, not silent: a fleet whose circuits never
+  // fit the budget shows up as a climbing oversized counter instead of a
+  // mysterious 0% hit rate.
+  EXPECT_EQ(cache.oversized(), 1u);
+  cache.insert(2, make_dist(4096));
+  EXPECT_EQ(cache.oversized(), 2u);
+  cache.insert(3, make_dist(1));  // fits: not an oversized rejection
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.oversized(), 2u);
 }
+
 
 TEST(FinalStateCache, KeySeparatesModelsAndKernelFlavour) {
   const std::uint64_t perfect_fused =
@@ -511,6 +521,29 @@ TEST(ServiceSampling, CacheHitSkipsEvolutionAndStaysByteIdentical) {
   std::size_t total = 0;
   for (const auto& [key, count] : reseeded.histogram.counts()) total += count;
   EXPECT_EQ(total, 512u);
+}
+
+TEST(ServiceSampling, OversizedDistributionBumpsObservabilityCounter) {
+  service::ServiceOptions opts;
+  opts.workers = 1;
+  // A budget no 3-qubit distribution fits: every sampled job evolves,
+  // samples correctly, and records the rejection.
+  opts.final_state_cache_bytes = 8;
+  service::QuantumService svc(perfect_gate(3), opts);
+  for (int i = 0; i < 2; ++i) {
+    const runtime::RunResult r =
+        svc.submit(runtime::RunRequest::gate(ghz_program(3), 64, /*seed=*/1))
+            .get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.stats.sampled);
+    EXPECT_FALSE(r.stats.final_state_cache_hit);
+  }
+  EXPECT_EQ(svc.final_state_cache().oversized(), 2u);
+  EXPECT_EQ(
+      svc.metrics().counter("qs_final_state_cache_oversized_total").value(),
+      2u);
+  EXPECT_EQ(svc.metrics().counter("qs_final_state_cache_hits_total").value(),
+            0u);
 }
 
 TEST(ServiceSampling, ZeroCacheBudgetDisablesCachingButStillSamples) {

@@ -242,6 +242,23 @@ TEST(StateVector, BasisString) {
   EXPECT_EQ(sv.basis_string(0b0101), "1010");  // q0 leftmost
 }
 
+TEST(StateVector, SampleFromCumulativeClampsBoundaryDraws) {
+  // Regression: a cumulative that sums below 1.0 (float error, or a
+  // renormalised sub-distribution) used to fall off the end of the
+  // upper_bound search when the draw u landed at or above cum.back().
+  // The clamp must return the last *occupied* state, skipping trailing
+  // zero-probability entries whose cumulative value merely repeats.
+  const std::vector<double> cum = {0.25, 0.25, 0.999, 0.999, 0.999};
+  EXPECT_EQ(sample_from_cumulative(cum, 0.0), 0u);
+  EXPECT_EQ(sample_from_cumulative(cum, 0.25), 2u);  // p[1] == 0 is skipped
+  EXPECT_EQ(sample_from_cumulative(cum, 0.999), 2u);  // boundary draw
+  EXPECT_EQ(sample_from_cumulative(cum, 1.0), 2u);    // above the total
+  // Degenerate shapes stay in range.
+  EXPECT_EQ(sample_from_cumulative({}, 0.5), 0u);
+  EXPECT_EQ(sample_from_cumulative({0.0, 0.0, 1.0}, 1.0), 2u);
+  EXPECT_EQ(sample_from_cumulative({1.0}, 2.0), 0u);
+}
+
 TEST(StateVector, GhzFidelity) {
   StateVector sv(4);
   sv.apply_1q(hadamard(), 0);
