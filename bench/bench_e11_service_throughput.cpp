@@ -11,6 +11,7 @@
 // the merged histogram for a fixed seed is identical at every pool size.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -237,6 +238,62 @@ int main() {
   std::printf("\nserving speedup from sampling + final-state cache: %.1fx\n",
               trajectory_sec / sampled_sec);
 
+  // ---- Warm restart: persistent ArtifactStore across service lifetimes --
+  // The same 12-job workload against an on-disk store directory, run by two
+  // consecutive service instances (simulating a worker-process restart).
+  // The second instance holds no memory-tier state; every compile and
+  // final-state evolution must instead revive from the disk tier, so the
+  // warm run reduces to verified loads + counter-derived draws.
+  std::printf("\nwarm restart (ghz16, 12 jobs x 512 shots, on-disk store):"
+              "\n\n");
+  bool warm_deterministic = true;
+  {
+    const auto store_dir =
+        std::filesystem::temp_directory_path() / "qs-bench-e11-store";
+    std::filesystem::remove_all(store_dir);
+
+    bench::Table t4({10, 9, 12, 10, 10});
+    t4.header({"run", "sec", "shots/s", "disk_hit", "compiles"});
+    double cold_sec = 0.0, warm_sec = 0.0;
+    std::map<std::string, std::size_t> cold_hist, warm_hist;
+    for (const bool warm : {false, true}) {
+      service::ServiceOptions opts;
+      opts.workers = 2;
+      opts.queue_capacity = 16;
+      opts.shard_shots = 128;
+      opts.store_dir = store_dir.string();
+      service::QuantumService svc(
+          runtime::GateAccelerator(compiler::Platform::perfect(16)), opts);
+      std::vector<service::JobHandle> handles;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t j = 0; j < 12; ++j)
+        handles.push_back(svc.submit(
+            service::RunRequest::gate(deep, 512, /*seed=*/j + 1)));
+      for (std::size_t j = 0; j < handles.size(); ++j) {
+        const service::RunResult rr = handles[j].get();
+        if (j == 0) (warm ? warm_hist : cold_hist) = rr.histogram.counts();
+      }
+      const auto end = std::chrono::steady_clock::now();
+      const double sec = std::chrono::duration<double>(end - start).count();
+      (warm ? warm_sec : cold_sec) = sec;
+      t4.row({warm ? "warm" : "cold", bench::fmt(sec, 3),
+              bench::fmt(12.0 * 512.0 / sec, 1),
+              bench::fmt_int(svc.metrics()
+                                 .counter("qs_store_hits_total{tier=\"disk\"}")
+                                 .value()),
+              bench::fmt_int(
+                  svc.metrics().counter("qs_cache_misses_total").value())});
+    }  // each service dies between runs; only the store directory survives
+    std::filesystem::remove_all(store_dir);
+
+    warm_deterministic = (warm_hist == cold_hist);
+    std::printf("\nwarm-restart speedup (disk-tier revival, no recompile, "
+                "no re-evolve): %.1fx\n",
+                cold_sec / warm_sec);
+    std::printf("histogram identical cold vs warm restart: %s\n",
+                warm_deterministic ? "yes" : "NO — DETERMINISM BROKEN");
+  }
+
   // ---- Overload shedding: try_submit burst against a tiny queue ---------
   // An admission-controlled service rejects (kResourceExhausted) instead of
   // buffering without bound. Burst 64 jobs into a capacity-8 queue behind a
@@ -369,5 +426,8 @@ int main() {
                 degraded_deterministic ? "yes" : "NO — DETERMINISM BROKEN");
   }
 
-  return (deterministic && t_deterministic && degraded_deterministic) ? 0 : 1;
+  return (deterministic && t_deterministic && warm_deterministic &&
+          degraded_deterministic)
+             ? 0
+             : 1;
 }

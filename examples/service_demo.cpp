@@ -5,8 +5,15 @@
 // as a typed qs::Status inside RunResult — nothing here throws.
 //
 // Build & run:   ./examples/service_demo   (from the build directory)
+//
+// Pass --store-dir <path> to back the service with a persistent on-disk
+// ArtifactStore: run the demo twice against the same directory and the
+// second run revives every compiled program and final state from disk
+// (watch the qs_store_hits_total{tier="disk"} counter).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "anneal/qubo.h"
@@ -16,11 +23,19 @@
 using namespace qs;
 using namespace std::chrono_literals;
 
+static const char* tier_tag(runtime::CacheTier tier) {
+  switch (tier) {
+    case runtime::CacheTier::kMemory: return " [cache hit: memory]";
+    case runtime::CacheTier::kDisk: return " [cache hit: disk]";
+    default: return "";
+  }
+}
+
 static void print_result(const service::RunResult& r) {
   std::printf("job %llu (%s)%s: %s\n",
               static_cast<unsigned long long>(r.job_id),
               service::to_string(r.kind),
-              r.stats.compile_cache_hit ? " [cache hit]" : "",
+              tier_tag(r.stats.compile_cache_tier),
               r.status.to_string().c_str());
   if (!r.ok()) return;
   std::printf("  %zu shard(s), wait %.0fus, run %.0fus\n", r.stats.shards,
@@ -35,7 +50,13 @@ static void print_result(const service::RunResult& r) {
   }
 }
 
-int main() {
+int main(int argc, char** argv) {
+  std::string store_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc)
+      store_dir = argv[++i];
+  }
+
   // A 6-qubit GHZ kernel: the canonical "is the stack alive" program.
   compiler::Program ghz("ghz6", 6);
   ghz.add_kernel("main").ghz(6).measure_all();
@@ -51,6 +72,7 @@ int main() {
   service::ServiceOptions opts;
   opts.workers = 4;
   opts.shard_shots = 256;  // part of the reproducibility contract
+  opts.store_dir = store_dir;  // empty: memory-only store
   service::QuantumService svc(
       runtime::GateAccelerator(compiler::Platform::perfect(6)),
       runtime::AnnealAccelerator(/*capacity=*/16), opts);
@@ -79,6 +101,19 @@ int main() {
 
   svc.resume();
   for (auto& h : handles) print_result(h.get());
+
+  const store::StoreStats st = svc.artifact_store().stats();
+  std::printf("\n--- artifact store ---\n");
+  std::printf("memory: hits=%llu misses=%llu evictions=%llu oversized=%llu\n",
+              static_cast<unsigned long long>(st.memory.hits),
+              static_cast<unsigned long long>(st.memory.misses),
+              static_cast<unsigned long long>(st.memory.evictions),
+              static_cast<unsigned long long>(st.memory.oversized));
+  std::printf("disk:   hits=%llu misses=%llu corrupt=%llu%s\n",
+              static_cast<unsigned long long>(st.disk.hits),
+              static_cast<unsigned long long>(st.disk.misses),
+              static_cast<unsigned long long>(st.corrupt),
+              store_dir.empty() ? "  (disabled: no --store-dir)" : "");
 
   std::printf("\n--- metrics snapshot ---\n%s", svc.metrics().render().c_str());
   return 0;

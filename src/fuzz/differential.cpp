@@ -1,5 +1,6 @@
 #include "fuzz/differential.h"
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "service/checkpoint.h"
 #include "service/service.h"
 #include "sim/trajectory_analysis.h"
+#include "store/artifact_store.h"
 
 namespace qs::fuzz {
 
@@ -33,7 +35,8 @@ enum ServiceIndex : int {
   kSvcOffW1 = 3,     ///< 1 worker, sampling off (trajectory-class ref)
   kSvcOffW2 = 4,     ///< 2 workers, sampling off
   kSvcResume = 5,    ///< 1 worker, sampling on, checkpoint store
-  kServiceCount = 6,
+  kSvcStore = 6,     ///< 1 worker, sampling on, disk-backed artifact store
+  kServiceCount = 7,
 };
 
 }  // namespace
@@ -75,6 +78,11 @@ struct DifferentialHarness::Impl {
   GateAccelerator compile_authority;
   std::vector<std::unique_ptr<service::QuantumService>> services;
   std::shared_ptr<service::InMemoryCheckpointStore> checkpoints;
+
+  /// Disk-backed artifact store for the kSvcStore service; the directory
+  /// is private to this harness instance and removed on teardown.
+  std::shared_ptr<store::ArtifactStore> store;
+  std::filesystem::path store_dir;
 
   std::unique_ptr<service::QuantumService> gateway_service;
   std::unique_ptr<gateway::GatewayServer> gateway;
@@ -153,6 +161,22 @@ DifferentialHarness::DifferentialHarness(Options options)
   impl_->services[kSvcResume] = std::make_unique<service::QuantumService>(
       gate(), std::move(resume_opts));
 
+  // Disk-backed store service: a per-harness temp directory (the pointer
+  // value makes concurrent harnesses in one process collision-free). The
+  // shared store handle lets store_reload configs drop the memory tier
+  // between submissions, forcing the second run through disk revival.
+  {
+    std::ostringstream dir;
+    dir << "qs-fuzz-store-" << std::hex
+        << reinterpret_cast<std::uintptr_t>(impl_.get());
+    impl_->store_dir = std::filesystem::temp_directory_path() / dir.str();
+    service::ServiceOptions store_opts = make_options(1, true);
+    store_opts.store_dir = impl_->store_dir.string();
+    impl_->services[kSvcStore] = std::make_unique<service::QuantumService>(
+        gate(), std::move(store_opts));
+    impl_->store = impl_->services[kSvcStore]->store_ptr();
+  }
+
   if (!options_.with_gateway) return;
   impl_->gateway_service = std::make_unique<service::QuantumService>(
       gate(), make_options(2, true));
@@ -168,6 +192,12 @@ DifferentialHarness::DifferentialHarness(Options options)
 DifferentialHarness::~DifferentialHarness() {
   if (impl_->client.connected()) impl_->client.close();
   if (impl_->gateway) impl_->gateway->shutdown();
+  if (!impl_->store_dir.empty()) {
+    // Shut the store-backed service down before deleting its directory.
+    impl_->services[kSvcStore].reset();
+    std::error_code ec;
+    std::filesystem::remove_all(impl_->store_dir, ec);
+  }
 }
 
 bool DifferentialHarness::samplable(const qasm::Program& program) const {
@@ -253,6 +283,9 @@ std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
     c = svc_config("svc/resume", kSvcResume);
     c.resume = true;
     svc.push_back(std::move(c));
+    c = svc_config("svc/store/warm-disk", kSvcStore);
+    c.store_reload = true;
+    svc.push_back(std::move(c));
     if (options_.with_gateway) {
       c = svc_config("gateway/wire", -1);
       c.level = ExecConfig::Level::kGateway;
@@ -329,6 +362,18 @@ Histogram DifferentialHarness::run_config(const ExecConfig& config,
             *error = "resubmit warm-up failed: " + warm.status.to_string();
             return {};
           }
+        }
+
+        if (config.store_reload) {
+          // Warm the disk tier, then drop the memory tier: the kept run
+          // must revive the compiled program and final distribution from
+          // verified disk entries and still match the class reference.
+          const RunResult warm = svc.submit(request).get();
+          if (!warm.status.ok()) {
+            *error = "store warm-up failed: " + warm.status.to_string();
+            return {};
+          }
+          impl_->store->clear_memory();
         }
 
         const RunResult result = svc.submit(std::move(request)).get();

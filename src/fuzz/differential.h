@@ -66,6 +66,11 @@ struct ExecConfig {
   /// Submit the same request twice and keep the second result (exercises
   /// compile-cache and final-state-cache hits).
   bool resubmit = false;
+  /// Run against the disk-backed store service: warm submit, drop the
+  /// store's memory tier, submit again and keep the second result — the
+  /// kept histogram was produced from artifacts revived off disk
+  /// (exercises the store's serialize/verify/revive round trip).
+  bool store_reload = false;
 };
 
 /// A determinism violation: two configurations of the same equivalence

@@ -316,6 +316,8 @@ void encode_run_result(const runtime::RunResult& m, Encoder* e) {
   e->u64(m.stats.dispatch_seq);
   e->u8(m.stats.sampled ? 1 : 0);
   e->u8(m.stats.final_state_cache_hit ? 1 : 0);
+  e->u8(static_cast<std::uint8_t>(m.stats.compile_cache_tier));
+  e->u8(static_cast<std::uint8_t>(m.stats.final_state_cache_tier));
 }
 
 bool decode_run_result(Decoder* d, runtime::RunResult* m) {
@@ -339,13 +341,20 @@ bool decode_run_result(Decoder* d, runtime::RunResult* m) {
     m->best_solution.push_back(bit);
   }
   std::uint64_t retries, shards, failovers, resumed, executed, dispatch_seq;
-  std::uint8_t cache_hit, sampled, fsc_hit;
+  std::uint8_t cache_hit, sampled, fsc_hit, compile_tier, final_tier;
   if (!d->f64(&m->best_energy) || !d->f64(&m->stats.queue_wait_us) ||
       !d->f64(&m->stats.run_us) || !d->u8(&cache_hit) || !d->u64(&retries) ||
       !d->u64(&shards) || !d->u64(&failovers) || !d->u64(&resumed) ||
       !d->u64(&executed) || !d->u64(&dispatch_seq) || !d->u8(&sampled) ||
-      !d->u8(&fsc_hit) || !d->finish())
+      !d->u8(&fsc_hit) || !d->u8(&compile_tier) || !d->u8(&final_tier) ||
+      !d->finish())
     return false;
+  if (compile_tier > 2 || final_tier > 2) {
+    d->fail("bad store tier");
+    return false;
+  }
+  m->stats.compile_cache_tier = static_cast<runtime::CacheTier>(compile_tier);
+  m->stats.final_state_cache_tier = static_cast<runtime::CacheTier>(final_tier);
   m->stats.compile_cache_hit = cache_hit != 0;
   m->stats.retries = static_cast<std::size_t>(retries);
   m->stats.shards = static_cast<std::size_t>(shards);

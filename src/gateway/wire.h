@@ -36,8 +36,10 @@ namespace qs::gateway {
 
 inline constexpr std::uint32_t kMagic = 0x51474154;  // "QGAT"
 /// Highest protocol version this build speaks / lowest it still accepts.
-inline constexpr std::uint16_t kProtocolVersion = 1;
-inline constexpr std::uint16_t kProtocolVersionMin = 1;
+/// v2 appended two u8 store-tier fields (compile / final-state) to the
+/// RunResult body; v1 peers are no longer accepted.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersionMin = 2;
 /// Hard cap on a frame payload; a length prefix above this is rejected
 /// before any allocation (a corrupt or hostile peer cannot OOM the
 /// server).

@@ -6,6 +6,15 @@ const char* to_string(JobKind kind) {
   return kind == JobKind::Gate ? "gate" : "anneal";
 }
 
+const char* to_string(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kNone: return "none";
+    case CacheTier::kMemory: return "memory";
+    case CacheTier::kDisk: return "disk";
+  }
+  return "unknown";
+}
+
 const char* to_string(BackendFaultKind kind) {
   switch (kind) {
     case BackendFaultKind::kCrash: return "backend_crash";

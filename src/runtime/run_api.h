@@ -157,11 +157,23 @@ struct RunRequest {
                            std::uint64_t seed = 1, int priority = 0);
 };
 
+/// Which tier of the service's artifact store served a memoised artefact
+/// (kNone = it was derived fresh this submission). kDisk means the value
+/// survived a process restart — the warm-restart signal the store exists
+/// for. Mirrors store::Tier without making the runtime layer depend on
+/// the store library.
+enum class CacheTier : std::uint8_t { kNone = 0, kMemory = 1, kDisk = 2 };
+
+const char* to_string(CacheTier tier);
+
 /// Per-job serving accounting, reported with every RunResult.
 struct JobStats {
   double queue_wait_us = 0.0;  ///< submit -> dispatch (0 for direct runs)
   double run_us = 0.0;         ///< dispatch -> terminal state
   bool compile_cache_hit = false;
+  /// Which store tier served the compiled program (kNone = compiled
+  /// fresh; compile_cache_hit == (tier != kNone)).
+  CacheTier compile_cache_tier = CacheTier::kNone;
   std::size_t retries = 0;     ///< transient shard failures retried
   std::size_t shards = 0;      ///< shard tasks the job split into
   std::size_t failovers = 0;   ///< shard attempts re-routed to another backend
@@ -174,6 +186,9 @@ struct JobStats {
   /// The job's final distribution came from the service's FinalStateCache
   /// (implies sampled: not even the single evolution ran).
   bool final_state_cache_hit = false;
+  /// Which store tier served the final distribution (kNone = the job
+  /// evolved it; final_state_cache_hit == (tier != kNone)).
+  CacheTier final_state_cache_tier = CacheTier::kNone;
 };
 
 /// Terminal outcome of a RunRequest. `status` is the job's terminal state;

@@ -1,10 +1,87 @@
 #include "service/cache.h"
 
-#include <stdexcept>
+#include <utility>
 
 #include "common/hash.h"
+#include "microarch/eqasm_parser.h"
+#include "qasm/parser.h"
+#include "store/blob.h"
 
 namespace qs::service {
+
+namespace {
+
+/// Builds the codec for one revive context. The payload carries the
+/// artefact's *textual* forms — exact-round-trip cQASM and eQASM — plus
+/// the headline gate counts; the flatten and the trajectory analysis are
+/// cheap pure functions of the program and are recomputed on revival
+/// (per-pass compiler stats are not persisted and revive as zeros).
+store::Codec<CompiledEntry> make_codec(
+    CompiledProgramCache::ReviveContext ctx) {
+  store::Codec<CompiledEntry> codec;
+
+  codec.encode = [](const CompiledEntry& entry) {
+    store::BlobWriter w;
+    w.u64(entry.key);
+    w.str(entry.compiled.cqasm);
+    w.u8(entry.eqasm ? 1 : 0);
+    if (entry.eqasm) w.str(entry.eqasm->to_string());
+    w.u64(entry.compiled.gates_before);
+    w.u64(entry.compiled.gates_after);
+    w.u64(entry.compiled.two_qubit_gates_after);
+    return w.take();
+  };
+
+  codec.decode =
+      [ctx](const std::string& payload) -> std::shared_ptr<const CompiledEntry> {
+    store::BlobReader r(payload);
+    auto entry = std::make_shared<CompiledEntry>();
+    std::uint8_t has_eqasm = 0;
+    std::string eqasm_text;
+    std::uint64_t gates_before, gates_after, two_qubit;
+    if (!r.u64(&entry->key) || !r.str(&entry->compiled.cqasm) ||
+        !r.u8(&has_eqasm) || has_eqasm > 1 ||
+        (has_eqasm && !r.str(&eqasm_text)) || !r.u64(&gates_before) ||
+        !r.u64(&gates_after) || !r.u64(&two_qubit) || !r.done())
+      return nullptr;
+    // A payload from a store shared with a micro-arch pool may lack the
+    // eQASM this pool needs: reject (→ recompile) rather than serve an
+    // entry a failover route cannot execute.
+    if (ctx.want_eqasm && !has_eqasm) return nullptr;
+
+    StatusOr<qasm::Program> program =
+        qasm::Parser::parse_or_status(entry->compiled.cqasm);
+    if (!program.ok()) return nullptr;
+    entry->compiled.program = std::move(*program);
+    entry->compiled.gates_before = static_cast<std::size_t>(gates_before);
+    entry->compiled.gates_after = static_cast<std::size_t>(gates_after);
+    entry->compiled.two_qubit_gates_after =
+        static_cast<std::size_t>(two_qubit);
+    if (has_eqasm) {
+      StatusOr<microarch::EqProgram> eq =
+          microarch::parse_eqasm_or_status(eqasm_text);
+      if (!eq.ok()) return nullptr;
+      entry->eqasm =
+          std::make_shared<const microarch::EqProgram>(std::move(*eq));
+    }
+    try {
+      entry->compiled.program.validate();
+      entry->flat = entry->compiled.program.flatten();
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+    entry->analysis =
+        sim::analyze_trajectory(entry->flat, ctx.qubit_count, ctx.model);
+    return entry;
+  };
+
+  codec.resident_bytes = [](const CompiledEntry& entry) {
+    return compiled_entry_bytes(entry);
+  };
+  return codec;
+}
+
+}  // namespace
 
 std::uint64_t compiled_program_key(const std::string& cqasm_text,
                                    std::uint64_t platform_fingerprint,
@@ -15,75 +92,69 @@ std::uint64_t compiled_program_key(const std::string& cqasm_text,
   return h;
 }
 
-CompiledProgramCache::CompiledProgramCache(std::size_t capacity)
-    : capacity_(capacity) {
-  if (capacity_ == 0)
-    throw std::invalid_argument(
-        "CompiledProgramCache: capacity must be >= 1");
+std::size_t compiled_entry_bytes(const CompiledEntry& entry) {
+  std::size_t n = sizeof(CompiledEntry);
+  n += entry.compiled.cqasm.size();
+  n += entry.compiled.program.total_instructions() * sizeof(qasm::Instruction);
+  n += entry.flat.size() * sizeof(qasm::Instruction);
+  if (entry.eqasm)
+    n += entry.eqasm->instructions().size() * sizeof(microarch::EqInstruction);
+  return n;
 }
 
+CompiledProgramCache::CompiledProgramCache(std::size_t memory_budget_bytes)
+    : store_(std::make_shared<store::ArtifactStore>(store::StoreOptions{
+          memory_budget_bytes, /*directory=*/""})),
+      codec_(make_codec(ReviveContext{})) {}
+
+CompiledProgramCache::CompiledProgramCache(
+    std::shared_ptr<store::ArtifactStore> store, ReviveContext revive)
+    : store_(std::move(store)), codec_(make_codec(revive)) {}
+
 std::shared_ptr<const CompiledEntry> CompiledProgramCache::lookup(
-    std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->entry;
+    std::uint64_t key, store::Outcome* outcome) {
+  return store_->get(store::ArtifactKey::compiled(key), codec_, outcome);
 }
 
 void CompiledProgramCache::insert(std::uint64_t key,
-                                  std::shared_ptr<const CompiledEntry> entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->entry = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.push_front(Slot{key, std::move(entry)});
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-  }
+                                  std::shared_ptr<const CompiledEntry> entry,
+                                  store::Outcome* outcome) {
+  store_->put(store::ArtifactKey::compiled(key), std::move(entry), codec_,
+              outcome);
 }
 
 std::size_t CompiledProgramCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  return store_->memory_entries(store::ArtifactKind::kCompiled);
 }
 
 std::uint64_t CompiledProgramCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  const store::StoreStats s = stats();
+  return s.memory.hits + s.disk.hits;
 }
 
 std::uint64_t CompiledProgramCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  // A full miss is a miss of the deepest enabled tier: with a disk tier
+  // the memory misses that were answered from disk are not misses of the
+  // cache, they are (slower) hits.
+  const store::StoreStats s = stats();
+  return store_->disk_enabled() ? s.disk.misses : s.memory.misses;
 }
 
 std::uint64_t CompiledProgramCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return evictions_;
+  return stats().memory.evictions;
+}
+
+std::uint64_t CompiledProgramCache::oversized() const {
+  return stats().memory.oversized;
 }
 
 double CompiledProgramCache::hit_rate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::uint64_t total = hits_ + misses_;
+  const std::uint64_t h = hits();
+  const std::uint64_t total = h + misses();
   return total == 0 ? 0.0
-                    : static_cast<double>(hits_) / static_cast<double>(total);
+                    : static_cast<double>(h) / static_cast<double>(total);
 }
 
-void CompiledProgramCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-}
+void CompiledProgramCache::clear() { store_->clear_memory(); }
 
 }  // namespace qs::service

@@ -1,22 +1,28 @@
-// LRU cache of compiled programs. Repeat submissions of the same kernel —
-// the common case for a serving workload (parameter sweeps, shot batches,
-// many clients running the same algorithm) — skip the compile and eQASM
-// assembly passes entirely. Keyed by a stable content hash of the cQASM
-// text + platform fingerprint + compile-option fingerprint, so a config
-// change can never serve a stale artefact.
+// Compiled-program memoisation as a typed view over the ArtifactStore.
+// Repeat submissions of the same kernel — the common case for a serving
+// workload (parameter sweeps, shot batches, many clients running the same
+// algorithm) — skip the compile and eQASM assembly passes entirely; with
+// a disk-backed store they skip them across process restarts too. Keyed
+// by a stable content hash of the cQASM text + platform fingerprint +
+// compile-option fingerprint, so a config change can never serve a stale
+// artefact.
+//
+// Disk revival round-trips the compiled program through its exact cQASM
+// text (the printer guarantees value-exact angles) and the eQASM through
+// its textual form, then re-runs validate/flatten/analyze — cheap passes
+// whose outputs are pure functions of the program, so a revived entry is
+// behaviourally identical to a freshly compiled one.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "compiler/compiler.h"
 #include "microarch/eqasm.h"
+#include "sim/error_model.h"
 #include "sim/trajectory_analysis.h"
+#include "store/artifact_store.h"
 
 namespace qs::service {
 
@@ -40,42 +46,64 @@ std::uint64_t compiled_program_key(const std::string& cqasm_text,
                                    std::uint64_t platform_fingerprint,
                                    std::uint64_t options_fingerprint);
 
-/// Thread-safe LRU cache keyed by compiled_program_key.
+/// Approximate resident size of an entry, charged against the store's
+/// memory budget.
+std::size_t compiled_entry_bytes(const CompiledEntry& entry);
+
+/// Typed view over the ArtifactStore for compiled programs. Thread-safe
+/// (the store is). Several views may share one store — that is exactly
+/// how a service and a sibling worker process share artifacts.
 class CompiledProgramCache {
  public:
-  explicit CompiledProgramCache(std::size_t capacity = 128);
+  /// Everything a disk-revived entry needs that is not in the payload:
+  /// the platform the analysis runs against, and whether the pool needs
+  /// the eQASM form (a payload without it is then rejected → recompile).
+  struct ReviveContext {
+    std::size_t qubit_count = 0;
+    sim::QubitModel model = sim::QubitModel::perfect();
+    bool want_eqasm = false;
+  };
 
-  /// Returns the entry and refreshes its recency, or nullptr on miss.
-  std::shared_ptr<const CompiledEntry> lookup(std::uint64_t key);
+  /// Standalone view over a private memory-only store (unit tests,
+  /// embedded use).
+  explicit CompiledProgramCache(std::size_t memory_budget_bytes = 64ull
+                                                                  << 20);
 
-  /// Inserts (or replaces) an entry, evicting the least recently used
-  /// entry when over capacity.
-  void insert(std::uint64_t key, std::shared_ptr<const CompiledEntry> entry);
+  /// View over a shared store.
+  CompiledProgramCache(std::shared_ptr<store::ArtifactStore> store,
+                       ReviveContext revive);
+
+  /// Memory tier, then verified disk load (revive); nullptr on full miss.
+  std::shared_ptr<const CompiledEntry> lookup(
+      std::uint64_t key, store::Outcome* outcome = nullptr);
+
+  /// Inserts into the memory tier and persists to the disk tier.
+  void insert(std::uint64_t key, std::shared_ptr<const CompiledEntry> entry,
+              store::Outcome* outcome = nullptr);
 
   std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const;    ///< memory + disk hits
+  std::uint64_t misses() const;  ///< full misses (deepest tier missed)
   std::uint64_t evictions() const;
+  std::uint64_t oversized() const;
   /// hits / (hits + misses); 0 when no lookups have happened.
   double hit_rate() const;
 
-  void clear();
+  void clear();  ///< drops the store's memory tier (all kinds)
+
+  const store::ArtifactStore& store() const { return *store_; }
+  const std::shared_ptr<store::ArtifactStore>& store_ptr() const {
+    return store_;
+  }
 
  private:
-  struct Slot {
-    std::uint64_t key;
-    std::shared_ptr<const CompiledEntry> entry;
-  };
+  store::StoreStats stats() const {
+    return store_->stats(store::ArtifactKind::kCompiled);
+  }
 
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Slot> lru_;  // front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Slot>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::shared_ptr<store::ArtifactStore> store_;
+  store::Codec<CompiledEntry> codec_;
 };
 
 }  // namespace qs::service

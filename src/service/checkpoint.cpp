@@ -1,12 +1,9 @@
 #include "service/checkpoint.h"
 
-#include <cctype>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-
-#include "common/hash.h"
+#include <stdexcept>
+#include <utility>
 
 namespace qs::service {
 
@@ -138,64 +135,70 @@ std::size_t InMemoryCheckpointStore::size() const {
   return snapshots_.size();
 }
 
+// --------------------------------------------------------- store-backed ----
+
+StoreCheckpointStore::StoreCheckpointStore(
+    std::shared_ptr<store::ArtifactStore> store)
+    : store_(std::move(store)) {
+  if (!store_)
+    throw std::invalid_argument("StoreCheckpointStore: null artifact store");
+}
+
+Status StoreCheckpointStore::save(const std::string& key,
+                                  const JobCheckpoint& cp) {
+  const bool ok = store_->put_bytes(store::ArtifactKey::checkpoint(key),
+                                    cp.serialize(), use_memory_tier());
+  if (!ok)
+    return Status::Unavailable("StoreCheckpointStore: write failed for '" +
+                               key + "'");
+  return Status::Ok();
+}
+
+std::optional<JobCheckpoint> StoreCheckpointStore::load(
+    const std::string& key) {
+  std::optional<std::string> text = store_->get_bytes(
+      store::ArtifactKey::checkpoint(key), use_memory_tier());
+  if (!text) return std::nullopt;
+  // Second verification layer: the store proved the bytes whole, the
+  // deserializer proves they parse. A torn or hand-edited snapshot is
+  // refused either way — the resumed job just starts fresh.
+  StatusOr<JobCheckpoint> cp = JobCheckpoint::deserialize(*text);
+  if (!cp.ok()) return std::nullopt;
+  return std::move(*cp);
+}
+
+void StoreCheckpointStore::remove(const std::string& key) {
+  store_->remove(store::ArtifactKey::checkpoint(key));
+}
+
 // ---------------------------------------------------------- file-backed ----
 
 FileCheckpointStore::FileCheckpointStore(std::string directory)
-    : directory_(std::move(directory)) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory_, ec);
-  // A failed mkdir surfaces as a save() error; construction stays noexcept
-  // so an operator typo cannot take the service down.
+    : directory_(std::move(directory)),
+      inner_(std::make_shared<store::ArtifactStore>(store::StoreOptions{
+          /*memory_budget_bytes=*/1, directory_})) {
+  // The inner store creates the directory; a failure surfaces as a save()
+  // error, so construction stays noexcept and an operator typo cannot
+  // take the service down. The 1-byte memory budget is irrelevant — the
+  // checkpoint path bypasses the memory tier on disk-backed stores.
 }
 
 std::string FileCheckpointStore::path_for(const std::string& key) const {
-  // Filesystem-safe name: keep [A-Za-z0-9._-] verbatim, replace the rest,
-  // and append the key hash so sanitisation can never collide two keys.
-  std::string safe;
-  for (char c : key)
-    safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
-             c == '_' || c == '-')
-                ? c
-                : '_';
-  char hash[20];
-  std::snprintf(hash, sizeof(hash), "%016llx",
-                static_cast<unsigned long long>(fnv1a64(key)));
-  return directory_ + "/" + safe + "." + hash + ".ckpt";
+  return inner_.store().path_for(store::ArtifactKey::checkpoint(key));
 }
 
 Status FileCheckpointStore::save(const std::string& key,
                                  const JobCheckpoint& cp) {
-  const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      return Status::Unavailable("FileCheckpointStore: cannot write " + tmp);
-    out << cp.serialize();
-    if (!out.flush())
-      return Status::Unavailable("FileCheckpointStore: write failed: " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec)
-    return Status::Unavailable("FileCheckpointStore: rename failed: " +
-                               ec.message());
-  return Status::Ok();
+  return inner_.save(key, cp);
 }
 
-std::optional<JobCheckpoint> FileCheckpointStore::load(const std::string& key) {
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream text;
-  text << in.rdbuf();
-  StatusOr<JobCheckpoint> cp = JobCheckpoint::deserialize(text.str());
-  if (!cp.ok()) return std::nullopt;  // torn/corrupt snapshot: start fresh
-  return std::move(*cp);
+std::optional<JobCheckpoint> FileCheckpointStore::load(
+    const std::string& key) {
+  return inner_.load(key);
 }
 
 void FileCheckpointStore::remove(const std::string& key) {
-  std::error_code ec;
-  std::filesystem::remove(path_for(key), ec);
+  inner_.remove(key);
 }
 
 }  // namespace qs::service

@@ -22,6 +22,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "store/artifact_store.h"
 
 namespace qs::service {
 
@@ -80,10 +81,37 @@ class InMemoryCheckpointStore final : public CheckpointStore {
   std::map<std::string, std::string> snapshots_;
 };
 
-/// File-backed store: one file per key under `directory`, written
-/// tmp-then-rename so a crash mid-save never leaves a torn snapshot.
-/// Keys are sanitised to a filesystem-safe name (hash suffix keeps
-/// distinct keys distinct).
+/// Checkpoints as ArtifactStore entries: the snapshot text rides the
+/// store's verified on-disk layout (tmp+rename atomicity, magic + length
+/// + checksum on load), making the checkpoint store one more artifact
+/// kind rather than its own persistence mechanism. When the store has a
+/// disk tier, saves and loads bypass the memory tier so every load
+/// observes the durable bytes (torn-write detection stays honest); on a
+/// memory-only store snapshots live in the shared LRU tier instead
+/// (process-local resume, like InMemoryCheckpointStore — eviction just
+/// means a resume starts fresh).
+class StoreCheckpointStore final : public CheckpointStore {
+ public:
+  /// Throws std::invalid_argument on a null store (wiring bug).
+  explicit StoreCheckpointStore(std::shared_ptr<store::ArtifactStore> store);
+
+  Status save(const std::string& key, const JobCheckpoint& cp) override;
+  std::optional<JobCheckpoint> load(const std::string& key) override;
+  void remove(const std::string& key) override;
+
+  const store::ArtifactStore& store() const { return *store_; }
+
+ private:
+  bool use_memory_tier() const { return !store_->disk_enabled(); }
+
+  std::shared_ptr<store::ArtifactStore> store_;
+};
+
+/// File-backed store: one verified store entry per key under `directory`,
+/// written tmp-then-rename so a crash mid-save never leaves a torn
+/// snapshot. A thin compatibility wrapper over StoreCheckpointStore with
+/// a private disk-only ArtifactStore — kept because "point checkpoints at
+/// a directory" is the natural operator-facing configuration.
 class FileCheckpointStore final : public CheckpointStore {
  public:
   /// Creates `directory` if missing.
@@ -100,6 +128,7 @@ class FileCheckpointStore final : public CheckpointStore {
 
  private:
   std::string directory_;
+  StoreCheckpointStore inner_;
 };
 
 }  // namespace qs::service

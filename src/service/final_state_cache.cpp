@@ -3,8 +3,56 @@
 #include <sstream>
 
 #include "common/hash.h"
+#include "store/blob.h"
 
 namespace qs::service {
+
+namespace {
+
+/// Raw-bit payload: metadata as u64s, amplitudes' prefix sums as IEEE-754
+/// bit patterns. Never decimal formatting — the bit-identity regression
+/// test (store-loaded vs freshly-evolved) holds exactly because of this.
+store::Codec<sim::FinalDistribution> make_codec() {
+  store::Codec<sim::FinalDistribution> codec;
+
+  codec.encode = [](const sim::FinalDistribution& dist) {
+    store::BlobWriter w;
+    w.u64(dist.qubit_count);
+    w.u64(static_cast<std::uint64_t>(dist.measured_mask));
+    w.u64(dist.gates);
+    w.u64(dist.cum.size());
+    for (double v : dist.cum) w.f64(v);
+    return w.take();
+  };
+
+  codec.decode = [](const std::string& payload)
+      -> std::shared_ptr<const sim::FinalDistribution> {
+    store::BlobReader r(payload);
+    auto dist = std::make_shared<sim::FinalDistribution>();
+    std::uint64_t qubits, mask, gates, n;
+    if (!r.u64(&qubits) || !r.u64(&mask) || !r.u64(&gates) || !r.u64(&n))
+      return nullptr;
+    dist->qubit_count = static_cast<std::size_t>(qubits);
+    dist->measured_mask = static_cast<StateIndex>(mask);
+    dist->gates = static_cast<std::size_t>(gates);
+    dist->cum.resize(static_cast<std::size_t>(n));
+    for (double& v : dist->cum)
+      if (!r.f64(&v)) return nullptr;
+    if (!r.done()) return nullptr;
+    // Shape check: a distribution over q qubits has exactly 2^q buckets.
+    if (dist->qubit_count >= 64 ||
+        dist->cum.size() != (std::size_t{1} << dist->qubit_count))
+      return nullptr;
+    return dist;
+  };
+
+  codec.resident_bytes = [](const sim::FinalDistribution& dist) {
+    return dist.bytes();
+  };
+  return codec;
+}
+
+}  // namespace
 
 std::uint64_t final_state_key(std::uint64_t compiled_key,
                               const sim::QubitModel& model,
@@ -21,89 +69,53 @@ std::uint64_t final_state_key(std::uint64_t compiled_key,
 }
 
 FinalStateCache::FinalStateCache(std::size_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+    : store_(std::make_shared<store::ArtifactStore>(store::StoreOptions{
+          capacity_bytes, /*directory=*/""})),
+      codec_(make_codec()) {}
+
+FinalStateCache::FinalStateCache(std::shared_ptr<store::ArtifactStore> store)
+    : store_(std::move(store)), codec_(make_codec()) {}
 
 std::shared_ptr<const sim::FinalDistribution> FinalStateCache::lookup(
-    std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->dist;
-}
-
-void FinalStateCache::evict_lru_locked() {
-  const Slot& victim = lru_.back();
-  bytes_ -= victim.bytes;
-  index_.erase(victim.key);
-  lru_.pop_back();
-  ++evictions_;
+    std::uint64_t key, store::Outcome* outcome) {
+  return store_->get(store::ArtifactKey::final_state(key), codec_, outcome);
 }
 
 std::size_t FinalStateCache::insert(
-    std::uint64_t key, std::shared_ptr<const sim::FinalDistribution> dist) {
+    std::uint64_t key, std::shared_ptr<const sim::FinalDistribution> dist,
+    store::Outcome* outcome) {
   if (!dist) return 0;
-  const std::size_t cost = dist->bytes();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = index_.find(key); it != index_.end()) {
-    bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    index_.erase(it);
-  }
-  if (cost > capacity_bytes_) {  // would evict everything for one job
-    ++oversized_;
-    return 0;
-  }
-  std::size_t evicted = 0;
-  while (!lru_.empty() && bytes_ + cost > capacity_bytes_) {
-    evict_lru_locked();
-    ++evicted;
-  }
-  lru_.push_front(Slot{key, std::move(dist), cost});
-  index_[key] = lru_.begin();
-  bytes_ += cost;
-  return evicted;
+  store::Outcome local;
+  store::Outcome* o = outcome ? outcome : &local;
+  store_->put(store::ArtifactKey::final_state(key), std::move(dist), codec_,
+              o);
+  return o->evicted;
 }
 
 std::size_t FinalStateCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  return store_->memory_entries(store::ArtifactKind::kFinalState);
 }
 
-std::size_t FinalStateCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_;
-}
+std::size_t FinalStateCache::bytes() const { return store_->memory_bytes(); }
 
 std::uint64_t FinalStateCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  const store::StoreStats s = stats();
+  return s.memory.hits + s.disk.hits;
 }
 
 std::uint64_t FinalStateCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  const store::StoreStats s = stats();
+  return store_->disk_enabled() ? s.disk.misses : s.memory.misses;
 }
 
 std::uint64_t FinalStateCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return evictions_;
+  return stats().memory.evictions;
 }
 
 std::uint64_t FinalStateCache::oversized() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return oversized_;
+  return stats().memory.oversized;
 }
 
-void FinalStateCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
-}
+void FinalStateCache::clear() { store_->clear_memory(); }
 
 }  // namespace qs::service

@@ -1,27 +1,28 @@
-// Memory-bounded LRU cache of final-state distributions for the sampling
-// fast path. A repeated RunRequest for the same circuit — the common case
-// the compile cache's ~92% hit rate demonstrates — skips even the single
-// evolution and goes straight to binary-search sampling; shards of one
-// job share the entry by shared_ptr. Keyed by the compiled-program cache
-// key (cQASM text + platform + compile options) combined with a
-// fingerprint of the qubit model and the kernel flavour, so a config
-// change can never serve a stale distribution. Seed and thread count are
-// deliberately NOT part of the key: the distribution of a
-// shot-deterministic circuit is seed-independent, and the kernel layer's
-// bit-identity contract makes it thread-count-independent.
+// Final-state distributions as a typed view over the ArtifactStore, for
+// the sampling fast path. A repeated RunRequest for the same circuit —
+// the common case the compile cache's ~92% hit rate demonstrates — skips
+// even the single evolution and goes straight to binary-search sampling;
+// with a disk-backed store it skips it across process restarts too.
+// Shards of one job share the entry by shared_ptr. Keyed by the
+// compiled-program cache key (cQASM text + platform + compile options)
+// combined with a fingerprint of the qubit model and the kernel flavour,
+// so a config change can never serve a stale distribution. Seed and
+// thread count are deliberately NOT part of the key: the distribution of
+// a shot-deterministic circuit is seed-independent, and the kernel
+// layer's bit-identity contract makes it thread-count-independent.
 //
-// Unlike the compile cache, entries here are O(2^n) doubles, so the
-// budget is bytes, not entry count.
+// Entries are O(2^n) doubles, persisted as raw IEEE-754 bit patterns
+// (blob.h): a store-loaded distribution is bit-identical to the
+// freshly-evolved one, so the sampled histogram cannot depend on whether
+// the bytes came from memory, disk, or an evolution.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
 #include "sim/error_model.h"
 #include "sim/trajectory_analysis.h"
+#include "store/artifact_store.h"
 
 namespace qs::service {
 
@@ -32,52 +33,57 @@ std::uint64_t final_state_key(std::uint64_t compiled_key,
                               const sim::QubitModel& model,
                               bool fused_kernels);
 
-/// Thread-safe, byte-budgeted LRU cache keyed by final_state_key.
+/// Typed view over the ArtifactStore for final-state distributions.
+/// Thread-safe (the store is).
 class FinalStateCache {
  public:
+  /// Standalone view over a private memory-only store (unit tests,
+  /// embedded use).
   explicit FinalStateCache(std::size_t capacity_bytes = 128ull << 20);
 
-  /// Returns the entry and refreshes its recency, or nullptr on miss.
-  std::shared_ptr<const sim::FinalDistribution> lookup(std::uint64_t key);
+  /// View over a shared store.
+  explicit FinalStateCache(std::shared_ptr<store::ArtifactStore> store);
 
-  /// Inserts (or replaces) an entry, evicting least-recently-used entries
-  /// until the byte budget holds; returns how many were evicted. An entry
-  /// larger than the whole budget is not cached at all (callers keep
-  /// their shared_ptr — the job still samples, later jobs re-evolve).
+  /// Memory tier, then verified disk load; nullptr on full miss.
+  std::shared_ptr<const sim::FinalDistribution> lookup(
+      std::uint64_t key, store::Outcome* outcome = nullptr);
+
+  /// Inserts into the memory tier (evicting least-recently-used entries
+  /// until the byte budget holds) and persists to the disk tier; returns
+  /// how many memory entries were evicted. An entry larger than the
+  /// whole memory budget is not held in memory at all (callers keep
+  /// their shared_ptr — the job still samples; with a disk tier the
+  /// entry is still persisted there).
   std::size_t insert(std::uint64_t key,
-                     std::shared_ptr<const sim::FinalDistribution> dist);
+                     std::shared_ptr<const sim::FinalDistribution> dist,
+                     store::Outcome* outcome = nullptr);
 
   std::size_t size() const;
-  std::size_t bytes() const;
-  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t bytes() const;  ///< memory tier, all kinds (shared budget)
+  std::size_t capacity_bytes() const {
+    return store_->options().memory_budget_bytes;
+  }
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const;    ///< memory + disk hits
+  std::uint64_t misses() const;  ///< full misses (deepest tier missed)
   std::uint64_t evictions() const;
-  /// Entries rejected because a single distribution exceeded the whole
-  /// byte budget (exported as qs_final_state_cache_oversized_total).
+  /// Entries that skipped the memory tier because a single distribution
+  /// exceeded the whole byte budget (exported as
+  /// qs_store_oversized_total{tier="memory"} and the legacy
+  /// qs_final_state_cache_oversized_total).
   std::uint64_t oversized() const;
 
-  void clear();
+  void clear();  ///< drops the store's memory tier (all kinds)
+
+  const store::ArtifactStore& store() const { return *store_; }
 
  private:
-  struct Slot {
-    std::uint64_t key;
-    std::shared_ptr<const sim::FinalDistribution> dist;
-    std::size_t bytes;
-  };
+  store::StoreStats stats() const {
+    return store_->stats(store::ArtifactKind::kFinalState);
+  }
 
-  void evict_lru_locked();
-
-  const std::size_t capacity_bytes_;
-  mutable std::mutex mutex_;
-  std::list<Slot> lru_;  // front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Slot>::iterator> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t oversized_ = 0;
+  std::shared_ptr<store::ArtifactStore> store_;
+  store::Codec<sim::FinalDistribution> codec_;
 };
 
 }  // namespace qs::service

@@ -10,45 +10,4 @@ std::size_t shard_count(std::size_t shots, std::size_t shard_shots) {
   return (shots + shard_shots - 1) / shard_shots;
 }
 
-void JobRequest::validate() const {
-  if (program.has_value() == qubo.has_value())
-    throw std::invalid_argument(
-        "JobRequest: exactly one of program/qubo must be set");
-  if (shots == 0)
-    throw std::invalid_argument("JobRequest: shots must be >= 1");
-  if (program) program->validate();
-}
-
-RunRequest JobRequest::to_run_request() const {
-  RunRequest r;
-  r.program = program;
-  r.qubo = qubo;
-  r.shots = shots;
-  r.seed = seed;
-  r.priority = priority;
-  r.sim_threads = sim_threads;
-  r.tag = tag;
-  return r;
-}
-
-JobRequest JobRequest::gate(qasm::Program program, std::size_t shots,
-                            std::uint64_t seed, int priority) {
-  JobRequest r;
-  r.program = std::move(program);
-  r.shots = shots;
-  r.seed = seed;
-  r.priority = priority;
-  return r;
-}
-
-JobRequest JobRequest::anneal(anneal::Qubo qubo, std::size_t reads,
-                              std::uint64_t seed, int priority) {
-  JobRequest r;
-  r.qubo = std::move(qubo);
-  r.shots = reads;
-  r.seed = seed;
-  r.priority = priority;
-  return r;
-}
-
 }  // namespace qs::service

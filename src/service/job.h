@@ -4,22 +4,18 @@
 // qs::Status terminal state. submit() hands back a JobHandle — a future
 // plus a cooperative cancel switch.
 //
-// The original JobRequest/JobResult surface (throwing validate(),
-// exception-carrying std::future) remains below as a deprecated
-// compatibility shim for one release; new code should use RunRequest.
+// (The pre-RunRequest JobRequest/JobResult shim — throwing validate(),
+// exception-carrying std::future — was deprecated for one release and is
+// now removed; see docs/artifact_store.md "Migration notes".)
 #pragma once
 
 #include <cstdint>
 #include <future>
-#include <optional>
 #include <string>
-#include <vector>
 
-#include "anneal/qubo.h"
 #include "common/cancellation.h"
 #include "common/stats.h"
 #include "common/status.h"
-#include "qasm/program.h"
 #include "runtime/run_api.h"
 
 namespace qs::service {
@@ -93,52 +89,6 @@ struct JobProgress {
   std::size_t shards_total = 0;   ///< 0 until the job is dispatched
   std::size_t shards_done = 0;    ///< merged shards (incl. resumed ones)
   Histogram partial;              ///< merge of the completed shards
-};
-
-// ---------------------------------------------------------------------------
-// Deprecated compatibility shim (pre-RunRequest API). Removed next release.
-// ---------------------------------------------------------------------------
-
-/// DEPRECATED: use runtime::RunRequest. Differences: validate() throws
-/// instead of returning Status, and there is no deadline or fault plan.
-struct JobRequest {
-  std::optional<qasm::Program> program;  ///< gate-model kernel (cQASM)
-  std::optional<anneal::Qubo> qubo;      ///< annealing problem
-  std::size_t shots = 1024;
-  std::uint64_t seed = 1;
-  int priority = 0;
-  std::size_t sim_threads = 0;
-  std::string tag;
-
-  JobKind kind() const { return program ? JobKind::Gate : JobKind::Anneal; }
-
-  /// Throws std::invalid_argument unless exactly one payload is set and
-  /// shots >= 1.
-  void validate() const;
-
-  /// Lossless conversion to the new request type.
-  RunRequest to_run_request() const;
-
-  static JobRequest gate(qasm::Program program, std::size_t shots,
-                         std::uint64_t seed = 1, int priority = 0);
-  static JobRequest anneal(anneal::Qubo qubo, std::size_t reads,
-                           std::uint64_t seed = 1, int priority = 0);
-};
-
-/// DEPRECATED: use runtime::RunResult. Fulfilled through the future the
-/// deprecated submit() overload returns; failures arrive as exceptions.
-struct JobResult {
-  std::uint64_t job_id = 0;
-  JobKind kind = JobKind::Gate;
-  std::string tag;
-  Histogram histogram;
-  std::vector<int> best_solution;
-  double best_energy = 0.0;
-  bool cache_hit = false;
-  std::size_t shards = 0;
-  std::uint64_t dispatch_seq = 0;
-  double wait_us = 0.0;
-  double run_us = 0.0;
 };
 
 }  // namespace qs::service

@@ -34,13 +34,6 @@ std::string solution_bits(const std::vector<int>& solution) {
   return bits;
 }
 
-/// Exception the deprecated future-based API surfaces for a status code.
-std::exception_ptr status_to_exception(const Status& status) {
-  if (status.code() == StatusCode::kInvalidArgument)
-    return std::make_exception_ptr(std::invalid_argument(status.message()));
-  return std::make_exception_ptr(std::runtime_error(status.to_string()));
-}
-
 /// One-entry pool for the single-backend convenience constructors.
 std::shared_ptr<BackendPool> make_single_pool(
     runtime::GateAccelerator gate,
@@ -126,6 +119,37 @@ ServiceOptions validated(ServiceOptions options) {
   return options;
 }
 
+/// Resolves the pool's primary gate backend in the constructor init list,
+/// before the cache views need its platform for their revive context.
+std::shared_ptr<runtime::GateAccelerator> primary_gate_of(
+    const std::shared_ptr<BackendPool>& pool) {
+  if (!pool)
+    throw std::invalid_argument("QuantumService: null backend pool");
+  auto primary = pool->primary(runtime::JobKind::Gate);
+  if (!primary)
+    throw std::invalid_argument("QuantumService: pool has no gate backend");
+  return primary->gate;
+}
+
+/// The service's artifact store: a caller-shared instance when provided,
+/// else one built from the store_memory_bytes / store_dir knobs.
+std::shared_ptr<store::ArtifactStore> make_store(const ServiceOptions& o) {
+  if (o.artifact_store) return o.artifact_store;
+  store::StoreOptions so;
+  so.memory_budget_bytes = o.store_memory_bytes;
+  so.directory = o.store_dir;
+  return std::make_shared<store::ArtifactStore>(std::move(so));
+}
+
+runtime::CacheTier to_cache_tier(store::Tier tier) {
+  switch (tier) {
+    case store::Tier::kMemory: return runtime::CacheTier::kMemory;
+    case store::Tier::kDisk: return runtime::CacheTier::kDisk;
+    case store::Tier::kNone: break;
+  }
+  return runtime::CacheTier::kNone;
+}
+
 }  // namespace
 
 Status ServiceOptions::validate() const {
@@ -148,10 +172,11 @@ Status ServiceOptions::validate() const {
       return Status::InvalidArgument(
           "ServiceOptions: tenant_weights[\"" + tenant +
           "\"] must be > 0 (a zero-weight tenant would never dequeue)");
-  if (cache_capacity == 0)
+  if (store_memory_bytes == 0)
     return Status::InvalidArgument(
-        "ServiceOptions: cache_capacity must be >= 1 (disable the cache "
-        "with cache_enabled=false, not a zero capacity)");
+        "ServiceOptions: store_memory_bytes must be >= 1 (disable "
+        "memoisation with cache_enabled / final_state_cache_enabled, not a "
+        "zero budget)");
   return Status::Ok();
 }
 
@@ -162,7 +187,6 @@ struct QuantumService::JobState {
   RunRequest request;
   std::promise<RunResult> promise;
   std::shared_future<RunResult> future;  // handed to the JobHandle
-  std::unique_ptr<std::promise<JobResult>> legacy;  // deprecated API only
   CancelSource cancel;
   std::optional<Clock::time_point> deadline_at;
   Clock::time_point submitted;
@@ -170,6 +194,7 @@ struct QuantumService::JobState {
   std::uint64_t dispatch_seq = 0;
   double wait_us = 0.0;
   bool cache_hit = false;
+  runtime::CacheTier compile_tier = runtime::CacheTier::kNone;
   std::size_t shards = 0;
   std::shared_ptr<const CompiledEntry> entry;  // gate jobs only
 
@@ -182,6 +207,7 @@ struct QuantumService::JobState {
   std::once_flag dist_once;
   std::shared_ptr<const sim::FinalDistribution> final_dist;
   bool final_cache_hit = false;     ///< written under dist_once
+  runtime::CacheTier final_tier = runtime::CacheTier::kNone;  // dist_once
 
   // Shard merge state. Histogram addition is commutative, so taking the
   // merge mutex in arbitrary shard-completion order still yields a
@@ -216,19 +242,24 @@ QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
                                ServiceOptions options)
     : options_(validated(std::move(options))),
       backends_(std::move(backends)),
-      cache_(options_.cache_capacity),
-      final_cache_(options_.final_state_cache_bytes),
+      primary_gate_(primary_gate_of(backends_)),
+      store_(make_store(options_)),
+      cache_(store_,
+             CompiledProgramCache::ReviveContext{
+                 primary_gate_->platform().qubit_count,
+                 primary_gate_->platform().qubit_model,
+                 backends_->any_microarch()}),
+      final_cache_(store_),
       queue_(options_.queue_capacity, options_.default_tenant_weight),
       pool_(options_.workers),
       paused_(options_.start_paused) {
-  if (!backends_)
-    throw std::invalid_argument("QuantumService: null backend pool");
   for (const auto& [tenant, weight] : options_.tenant_weights)
     queue_.set_weight(tenant, weight);
-  auto primary = backends_->primary(runtime::JobKind::Gate);
-  if (!primary)
-    throw std::invalid_argument("QuantumService: pool has no gate backend");
-  primary_gate_ = primary->gate;
+  // A persistent store doubles as the checkpoint substrate: with a disk
+  // tier configured and no explicit CheckpointStore, checkpoint/resume
+  // lands in the same directory (same atomic-write + verified-load path).
+  if (!options_.checkpoint_store && store_->disk_enabled())
+    options_.checkpoint_store = std::make_shared<StoreCheckpointStore>(store_);
   backends_->attach_metrics(&metrics_);
   backends_->start_probing();
   metrics_.gauge("qs_workers").set(
@@ -252,8 +283,7 @@ QuantumService::~QuantumService() { shutdown(); }
 // ---------------------------------------------------------- admission ----
 
 std::shared_ptr<QuantumService::JobState> QuantumService::make_job(
-    RunRequest request, std::unique_ptr<std::promise<JobResult>> legacy,
-    Status* status) {
+    RunRequest request, Status* status) {
   auto job = std::make_shared<JobState>();
   {
     std::lock_guard<std::mutex> lock(control_mutex_);
@@ -266,7 +296,6 @@ std::shared_ptr<QuantumService::JobState> QuantumService::make_job(
   }
   job->request = std::move(request);
   job->tenant = tenant_of(job->request);
-  job->legacy = std::move(legacy);
   job->submitted = Clock::now();
   if (job->request.deadline)
     job->deadline_at = job->submitted + *job->request.deadline;
@@ -331,7 +360,7 @@ JobHandle QuantumService::submit(RunRequest request) {
         "QuantumService: no annealing accelerator attached"), tenant);
 
   Status status;
-  auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
+  auto job = make_job(std::move(request), &status);
   if (!job) return rejected_handle(std::move(status), tenant);
 
   JobHandle handle;
@@ -353,7 +382,7 @@ JobHandle QuantumService::try_submit(RunRequest request) {
         "QuantumService: no annealing accelerator attached"), tenant);
 
   Status status;
-  auto job = make_job(std::move(request), /*legacy=*/nullptr, &status);
+  auto job = make_job(std::move(request), &status);
   if (!job) return rejected_handle(std::move(status), tenant);
 
   JobHandle handle;
@@ -364,51 +393,6 @@ JobHandle QuantumService::try_submit(RunRequest request) {
   if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok())
     resolve_unadmitted(job, std::move(admitted));
   return handle;
-}
-
-// ---- Deprecated pre-RunRequest API -------------------------------------
-
-std::future<JobResult> QuantumService::submit(JobRequest request) {
-  request.validate();  // throws std::invalid_argument (old contract)
-  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
-    throw std::invalid_argument(
-        "QuantumService: no annealing accelerator attached");
-
-  auto legacy = std::make_unique<std::promise<JobResult>>();
-  std::future<JobResult> fut = legacy->get_future();
-
-  Status status;
-  auto job =
-      make_job(request.to_run_request(), std::move(legacy), &status);
-  if (!job) throw std::runtime_error("QuantumService: submit after shutdown");
-
-  if (Status admitted = admit(job, /*blocking=*/true); !admitted.ok()) {
-    job_done(job);
-    throw std::runtime_error("QuantumService: submit after shutdown");
-  }
-  return fut;
-}
-
-std::optional<std::future<JobResult>> QuantumService::try_submit(
-    JobRequest request) {
-  request.validate();
-  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
-    throw std::invalid_argument(
-        "QuantumService: no annealing accelerator attached");
-
-  auto legacy = std::make_unique<std::promise<JobResult>>();
-  std::future<JobResult> fut = legacy->get_future();
-
-  Status status;
-  auto job =
-      make_job(request.to_run_request(), std::move(legacy), &status);
-  if (!job) return std::nullopt;
-
-  if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok()) {
-    job_done(job);
-    return std::nullopt;
-  }
-  return fut;
 }
 
 // ------------------------------------------------------------ control ----
@@ -472,26 +456,6 @@ void QuantumService::resolve(const std::shared_ptr<JobState>& job,
       break;
   }
 
-  if (job->legacy) {
-    if (result.status.ok()) {
-      JobResult jr;
-      jr.job_id = result.job_id;
-      jr.kind = result.kind;
-      jr.tag = result.tag;
-      jr.histogram = result.histogram;  // copy: RunResult keeps its own
-      jr.best_solution = result.best_solution;
-      jr.best_energy = result.best_energy;
-      jr.cache_hit = result.stats.compile_cache_hit;
-      jr.shards = result.stats.shards;
-      jr.dispatch_seq = result.stats.dispatch_seq;
-      jr.wait_us = result.stats.queue_wait_us;
-      jr.run_us = result.stats.run_us;
-      job->legacy->set_value(std::move(jr));
-    } else {
-      job->legacy->set_exception(status_to_exception(result.status));
-    }
-  }
-
   job->promise.set_value(std::move(result));
   job_done(job);
 }
@@ -505,7 +469,6 @@ void QuantumService::resolve_unadmitted(const std::shared_ptr<JobState>& job,
   result.kind = job->request.kind();
   result.tag = job->request.tag;
   result.status = std::move(status);
-  if (job->legacy) job->legacy->set_exception(status_to_exception(result.status));
   job->promise.set_value(std::move(result));
   job_done(job);
 }
@@ -612,7 +575,8 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
       return;
     }
     try {
-      job->entry = resolve_compiled(*req.program, &job->cache_hit);
+      job->entry =
+          resolve_compiled(*req.program, &job->cache_hit, &job->compile_tier);
     } catch (const std::exception& e) {
       resolve_at_dispatch(job, Status::InvalidArgument(
                                    std::string("compile failed: ") +
@@ -706,17 +670,46 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
   }
 }
 
+void QuantumService::record_store_outcome(const store::Outcome& outcome) {
+  // Unified observability for the artifact store, labelled by tier. The
+  // per-cache legacy names (qs_cache_*, qs_final_state_cache_*) keep
+  // emitting for one release — docs/artifact_store.md has the mapping.
+  if (outcome.tier == store::Tier::kMemory)
+    metrics_.counter("qs_store_hits_total{tier=\"memory\"}").inc();
+  else if (outcome.tier == store::Tier::kDisk)
+    metrics_.counter("qs_store_hits_total{tier=\"disk\"}").inc();
+  if (outcome.memory_missed)
+    metrics_.counter("qs_store_misses_total{tier=\"memory\"}").inc();
+  if (outcome.disk_missed)
+    metrics_.counter("qs_store_misses_total{tier=\"disk\"}").inc();
+  if (outcome.corrupt) metrics_.counter("qs_store_corrupt_total").inc();
+  if (outcome.evicted > 0)
+    metrics_.counter("qs_store_evictions_total{tier=\"memory\"}")
+        .inc(outcome.evicted);
+  if (outcome.oversized)
+    metrics_.counter("qs_store_oversized_total{tier=\"memory\"}").inc();
+  if (outcome.wrote_disk) metrics_.counter("qs_store_writes_total").inc();
+  if (outcome.disk_write_failed)
+    metrics_.counter("qs_store_write_failures_total").inc();
+}
+
 std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
-    const qasm::Program& program, bool* cache_hit) {
+    const qasm::Program& program, bool* cache_hit,
+    runtime::CacheTier* tier) {
   *cache_hit = false;
+  *tier = runtime::CacheTier::kNone;
   const std::string text = qasm::to_cqasm(program);
   const std::uint64_t key = compiled_program_key(
       text, compiler::fingerprint(primary_gate_->platform()),
       compiler::fingerprint(primary_gate_->options()));
 
   if (options_.cache_enabled) {
-    if (auto entry = cache_.lookup(key)) {
+    store::Outcome outcome;
+    auto entry = cache_.lookup(key, &outcome);
+    record_store_outcome(outcome);
+    if (entry) {
       *cache_hit = true;
+      *tier = to_cache_tier(outcome.tier);
       metrics_.counter("qs_cache_hits_total").inc();
       return entry;
     }
@@ -739,7 +732,11 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   entry->analysis = sim::analyze_trajectory(
       entry->flat, primary_gate_->platform().qubit_count,
       primary_gate_->platform().qubit_model);
-  if (options_.cache_enabled) cache_.insert(key, entry);
+  if (options_.cache_enabled) {
+    store::Outcome outcome;
+    cache_.insert(key, entry, &outcome);
+    record_store_outcome(outcome);
+  }
   return entry;
 }
 
@@ -796,11 +793,15 @@ void QuantumService::ensure_final_distribution(
   // retried attempt (or another shard) re-runs the lookup/evolution under
   // its own token instead of every shard inheriting the failure.
   std::call_once(job->dist_once, [&] {
-    const bool cache_on = options_.final_state_cache_bytes > 0;
+    const bool cache_on = options_.final_state_cache_enabled;
     if (cache_on) {
-      if (auto dist = final_cache_.lookup(job->final_key)) {
+      store::Outcome outcome;
+      auto dist = final_cache_.lookup(job->final_key, &outcome);
+      record_store_outcome(outcome);
+      if (dist) {
         metrics_.counter("qs_final_state_cache_hits_total").inc();
         job->final_cache_hit = true;
+        job->final_tier = to_cache_tier(outcome.tier);
         job->final_dist = std::move(dist);
         return;
       }
@@ -813,11 +814,13 @@ void QuantumService::ensure_final_distribution(
         primary_gate_->final_distribution(job->entry->flat,
                                           job->entry->analysis, sim_options));
     if (cache_on) {
-      const std::uint64_t oversized_before = final_cache_.oversized();
-      const std::size_t evicted = final_cache_.insert(job->final_key, dist);
+      store::Outcome outcome;
+      const std::size_t evicted =
+          final_cache_.insert(job->final_key, dist, &outcome);
+      record_store_outcome(outcome);
       if (evicted > 0)
         metrics_.counter("qs_final_state_cache_evictions_total").inc(evicted);
-      if (final_cache_.oversized() > oversized_before)
+      if (outcome.oversized)
         metrics_.counter("qs_final_state_cache_oversized_total").inc();
     }
     job->final_dist = std::move(dist);
@@ -1230,8 +1233,10 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   result.stats.shards_resumed = job->shards_resumed;
   result.stats.shards_executed =
       job->shards_executed.load(std::memory_order_relaxed);
+  result.stats.compile_cache_tier = job->compile_tier;
   result.stats.sampled = job->sampled;
   result.stats.final_state_cache_hit = job->final_cache_hit;
+  result.stats.final_state_cache_tier = job->final_tier;
   // A finished job's checkpoint has served its purpose; a failed,
   // cancelled or timed-out job keeps its snapshot so a resubmission with
   // the same key resumes from the completed shards.

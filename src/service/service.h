@@ -2,7 +2,8 @@
 // submit RunRequests (cQASM program or QUBO + shots + seed + priority +
 // optional deadline) into a bounded priority queue and get a JobHandle
 // back; a dispatcher thread pulls jobs in priority order, resolves the
-// compiled program through an LRU cache, shards the job's shots into
+// compiled program through the content-addressed artifact store (in-memory
+// LRU tier, optionally persisted on disk), shards the job's shots into
 // fixed-size shard tasks with counter-derived RNG streams, and a worker
 // pool executes the shards and merges per-shard histograms. Because shard
 // boundaries and shard seeds depend only on (job seed, shard index) —
@@ -42,6 +43,7 @@
 #include "service/metrics.h"
 #include "service/queue.h"
 #include "service/worker_pool.h"
+#include "store/artifact_store.h"
 
 namespace qs::service {
 
@@ -59,8 +61,7 @@ struct ServiceOptions {
   /// changing it changes shard seeds and thus the (still valid) sampled
   /// histogram, so treat it as part of the reproducibility contract.
   std::size_t shard_shots = 256;
-  bool cache_enabled = true;        ///< compiled-program cache on/off
-  std::size_t cache_capacity = 128;
+  bool cache_enabled = true;        ///< compiled-program memoisation on/off
   bool start_paused = false;        ///< accept jobs but hold dispatch
   /// Default intra-shot simulator threads per shard when the job does not
   /// set its own budget (0 = scalar kernels / QS_SIM_THREADS).
@@ -96,10 +97,29 @@ struct ServiceOptions {
   /// sample all shots from the final distribution. Off forces the
   /// per-shot trajectory path for every job (A/B benchmarking).
   bool sampling_enabled = true;
-  /// Byte budget of the FinalStateCache, which lets repeated submissions
-  /// of the same circuit skip even the single evolution. Zero disables
-  /// caching (each sampled job still evolves exactly once).
-  std::size_t final_state_cache_bytes = 128ull << 20;
+  /// Final-state memoisation, which lets repeated submissions of the same
+  /// circuit skip even the single evolution. Off = each sampled job still
+  /// evolves exactly once. (Replaces `final_state_cache_bytes = 0`; the
+  /// byte budget now lives in `store_memory_bytes`.)
+  bool final_state_cache_enabled = true;
+
+  // ---- Artifact store (the memo substrate behind both caches) -----------
+  /// Byte budget of the store's in-memory LRU tier, shared by compiled
+  /// programs and final-state distributions — one budget instead of the
+  /// former per-cache knobs (`cache_capacity`, `final_state_cache_bytes`).
+  std::size_t store_memory_bytes = 256ull << 20;
+  /// On-disk store tier. Non-empty = compiled programs and final-state
+  /// distributions are persisted there (tmp+rename atomic, verified on
+  /// load), so a restarted service — or a sibling worker process pointed
+  /// at the same directory — revives artifacts instead of recomputing,
+  /// and checkpoint/resume works across restarts without any separate
+  /// configuration (a StoreCheckpointStore is auto-wired when
+  /// `checkpoint_store` is null). Empty = memory-only (process-local).
+  std::string store_dir;
+  /// Use this store instance instead of building one from the two knobs
+  /// above — how several QuantumServices in one process (or a service and
+  /// its gateway-facing twin) share one artifact space.
+  std::shared_ptr<store::ArtifactStore> artifact_store;
 
   /// kInvalidArgument on configurations that would misbehave silently
   /// (zero workers, zero queue capacity, zero shard size, non-positive
@@ -178,24 +198,14 @@ class QuantumService {
   /// Idempotent; also invoked by the destructor.
   void shutdown();
 
-  // ---- Deprecated pre-RunRequest API (one release of compatibility) -----
-
-  /// DEPRECATED: use submit(RunRequest). Throws std::invalid_argument on a
-  /// malformed request and std::runtime_error after shutdown(); job
-  /// failures arrive as exceptions through the future.
-  [[deprecated("use submit(RunRequest) -> JobHandle")]]
-  std::future<JobResult> submit(JobRequest request);
-
-  /// DEPRECATED: use try_submit(RunRequest). nullopt when the queue is
-  /// full or the service is shut down.
-  [[deprecated("use try_submit(RunRequest) -> JobHandle")]]
-  std::optional<std::future<JobResult>> try_submit(JobRequest request);
-
-  // -----------------------------------------------------------------------
-
   MetricsRegistry& metrics() { return metrics_; }
   const CompiledProgramCache& cache() const { return cache_; }
   const FinalStateCache& final_state_cache() const { return final_cache_; }
+  /// The artifact store backing both caches (and, when a disk tier is
+  /// configured, checkpoints). Share it across services by passing
+  /// `store_ptr()` as ServiceOptions::artifact_store.
+  const store::ArtifactStore& artifact_store() const { return *store_; }
+  std::shared_ptr<store::ArtifactStore> store_ptr() const { return store_; }
   const ServiceOptions& options() const { return options_; }
   /// The primary gate backend (compile authority for the whole pool).
   const runtime::GateAccelerator& gate() const { return *primary_gate_; }
@@ -209,12 +219,9 @@ class QuantumService {
  private:
   struct JobState;
 
-  /// Builds a JobState (id assignment, deadline stamping, legacy promise
-  /// attachment). Returns nullptr with *status = kUnavailable after
-  /// shutdown.
-  std::shared_ptr<JobState> make_job(
-      RunRequest request, std::unique_ptr<std::promise<JobResult>> legacy,
-      Status* status);
+  /// Builds a JobState (id assignment, deadline stamping). Returns nullptr
+  /// with *status = kUnavailable after shutdown.
+  std::shared_ptr<JobState> make_job(RunRequest request, Status* status);
 
   /// Admits a job into the queue (blocking or not). On failure the job's
   /// inflight slot is released and the returned status is non-OK; the
@@ -246,8 +253,13 @@ class QuantumService {
   void dispatcher_loop();
   void dispatch(const std::shared_ptr<JobState>& job);
   std::shared_ptr<const CompiledEntry> resolve_compiled(
-      const qasm::Program& program, bool* cache_hit);
+      const qasm::Program& program, bool* cache_hit,
+      runtime::CacheTier* tier);
   std::size_t effective_sim_threads(std::size_t job_threads) const;
+
+  /// Maps a store Outcome onto the unified qs_store_* metric family
+  /// (hits/misses per tier, evictions, oversized, corrupt, writes).
+  void record_store_outcome(const store::Outcome& outcome);
 
   /// Materialises the job's shared final distribution exactly once per
   /// job (FinalStateCache lookup, else one evolution + insert); called
@@ -279,6 +291,9 @@ class QuantumService {
   std::shared_ptr<BackendPool> backends_;
   std::shared_ptr<runtime::GateAccelerator> primary_gate_;
 
+  /// The content-addressed memo substrate; cache_ / final_cache_ are typed
+  /// views over it (declared after it — construction order matters).
+  std::shared_ptr<store::ArtifactStore> store_;
   CompiledProgramCache cache_;
   FinalStateCache final_cache_;
   MetricsRegistry metrics_;

@@ -1,0 +1,107 @@
+// Bounded little-endian binary encoding for store payloads. Artifacts are
+// persisted across processes and architectures, so the byte layout is
+// fixed (explicit little-endian, no struct dumps) and doubles travel as
+// raw IEEE-754 bit patterns — a store-loaded amplitude is bit-identical
+// to the freshly-evolved one, which the determinism contract requires
+// (a "%f" round trip would quietly change histograms).
+//
+// BlobReader is total: every accessor checks bounds and latches a failure
+// flag instead of reading past the end, so a truncated or bit-flipped
+// payload decodes to a clean rejection, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace qs::store {
+
+/// Appends fixed-width little-endian fields to a payload string.
+class BlobWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  /// Raw IEEE-754 bit pattern: the round trip is bit-exact by definition.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& payload() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a payload. All accessors return false (and
+/// keep returning false) once the payload is exhausted or malformed.
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t* v) {
+    if (!ok_ || data_.size() - pos_ < 1) return fail();
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u64(std::uint64_t* v) {
+    if (!ok_ || data_.size() - pos_ < 8) return fail();
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i)
+      out |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool f64(double* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool str(std::string* s) {
+    std::uint64_t n;
+    if (!u64(&n)) return false;
+    if (n > data_.size() - pos_) return fail();
+    s->assign(data_.data() + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+
+  /// True when every byte was consumed without a bounds failure — decoders
+  /// end with this so trailing garbage is rejected like truncation.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+
+  bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace qs::store

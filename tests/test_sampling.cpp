@@ -526,9 +526,9 @@ TEST(ServiceSampling, CacheHitSkipsEvolutionAndStaysByteIdentical) {
 TEST(ServiceSampling, OversizedDistributionBumpsObservabilityCounter) {
   service::ServiceOptions opts;
   opts.workers = 1;
-  // A budget no 3-qubit distribution fits: every sampled job evolves,
-  // samples correctly, and records the rejection.
-  opts.final_state_cache_bytes = 8;
+  // A store budget no 3-qubit distribution fits: every sampled job
+  // evolves, samples correctly, and records the rejection.
+  opts.store_memory_bytes = 8;
   service::QuantumService svc(perfect_gate(3), opts);
   for (int i = 0; i < 2; ++i) {
     const runtime::RunResult r =
@@ -546,10 +546,10 @@ TEST(ServiceSampling, OversizedDistributionBumpsObservabilityCounter) {
             0u);
 }
 
-TEST(ServiceSampling, ZeroCacheBudgetDisablesCachingButStillSamples) {
+TEST(ServiceSampling, DisabledFinalStateCacheStillSamples) {
   service::ServiceOptions opts;
   opts.workers = 1;
-  opts.final_state_cache_bytes = 0;
+  opts.final_state_cache_enabled = false;
   service::QuantumService svc(perfect_gate(3), opts);
   for (int i = 0; i < 2; ++i) {
     const runtime::RunResult r =

@@ -138,7 +138,10 @@ TEST(Log, ConcurrentWritersProduceWholeLines) {
 // ------------------------------------------------------------- Cache ----
 
 TEST(CompiledProgramCache, HitMissAndEvictionAccounting) {
-  CompiledProgramCache cache(2);
+  // Byte-budgeted view over a memory-only ArtifactStore: two empty
+  // entries fit the budget exactly, a third evicts the least recent.
+  const std::size_t unit = compiled_entry_bytes(CompiledEntry{});
+  CompiledProgramCache cache(2 * unit);
   EXPECT_EQ(cache.lookup(1), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
 
@@ -705,56 +708,45 @@ TEST(QuantumService, SamplingDisabledCountsDisabledFallback) {
   EXPECT_EQ(svc.final_state_cache().size(), 0u);
 }
 
-// ------------------------------------- Deprecated pre-RunRequest shim ----
+// -------------------------------- Artifact-store-backed serving stats ----
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(QuantumServiceDeprecated, JobRequestValidationStillThrows) {
+TEST(QuantumServiceStore, JobStatsReportStoreTiers) {
   ServiceOptions opts;
   opts.workers = 1;
   QuantumService svc(perfect_gate(3), opts);
-  EXPECT_THROW(svc.submit(JobRequest{}), std::invalid_argument);
-  JobRequest zero = JobRequest::gate(ghz_program(3), 0);
-  EXPECT_THROW(svc.submit(zero), std::invalid_argument);
-  EXPECT_THROW(svc.submit(JobRequest::anneal(anneal::Qubo(2), 8)),
-               std::invalid_argument);
+
+  const RunResult cold =
+      svc.submit(RunRequest::gate(ghz_program(3), 64, /*seed=*/7)).get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.stats.compile_cache_hit);
+  EXPECT_EQ(cold.stats.compile_cache_tier, runtime::CacheTier::kNone);
+  EXPECT_EQ(cold.stats.final_state_cache_tier, runtime::CacheTier::kNone);
+
+  const RunResult warm =
+      svc.submit(RunRequest::gate(ghz_program(3), 64, /*seed=*/7)).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.stats.compile_cache_hit);
+  EXPECT_EQ(warm.stats.compile_cache_tier, runtime::CacheTier::kMemory);
+  EXPECT_TRUE(warm.stats.final_state_cache_hit);
+  EXPECT_EQ(warm.stats.final_state_cache_tier, runtime::CacheTier::kMemory);
+  EXPECT_EQ(warm.histogram.counts(), cold.histogram.counts());
+
+  // Unified store metrics carry the same story, labelled by tier; the
+  // legacy per-cache counters keep emitting for one release.
+  auto& m = svc.metrics();
+  EXPECT_GE(m.counter("qs_store_hits_total{tier=\"memory\"}").value(), 2u);
+  EXPECT_GE(m.counter("qs_store_misses_total{tier=\"memory\"}").value(), 2u);
+  EXPECT_EQ(m.counter("qs_store_hits_total{tier=\"disk\"}").value(), 0u);
+  EXPECT_GE(m.counter("qs_cache_hits_total").value(), 1u);
+  EXPECT_GE(m.counter("qs_final_state_cache_hits_total").value(), 1u);
 }
 
-TEST(QuantumServiceDeprecated, FutureApiMatchesHandleApi) {
+TEST(QuantumServiceStore, ZeroStoreBudgetIsRejectedAtConstruction) {
   ServiceOptions opts;
-  opts.workers = 2;
-  opts.shard_shots = 32;
-  QuantumService svc(perfect_gate(4), opts);
-  std::future<JobResult> legacy =
-      svc.submit(JobRequest::gate(ghz_program(4), 200, /*seed=*/11));
-  const JobResult jr = legacy.get();
-  const RunResult rr =
-      svc.submit(RunRequest::gate(ghz_program(4), 200, /*seed=*/11)).get();
-  EXPECT_EQ(jr.histogram.counts(), rr.histogram.counts());
-  EXPECT_EQ(jr.shards, rr.stats.shards);
+  opts.store_memory_bytes = 0;
+  EXPECT_FALSE(opts.validate().ok());
+  EXPECT_THROW(QuantumService(perfect_gate(2), opts), std::invalid_argument);
 }
-
-TEST(QuantumServiceDeprecated, FailuresStillArriveAsExceptions) {
-  ServiceOptions opts;
-  opts.workers = 1;
-  QuantumService svc(perfect_gate(2), runtime::AnnealAccelerator(2), opts);
-  auto fut = svc.submit(JobRequest::anneal(anneal::Qubo(4), 8));
-  EXPECT_THROW(fut.get(), std::runtime_error);
-  EXPECT_EQ(svc.metrics().counter("qs_jobs_failed_total").value(), 1u);
-}
-
-TEST(QuantumServiceDeprecated, SubmitAfterShutdownThrows) {
-  ServiceOptions opts;
-  opts.workers = 1;
-  QuantumService svc(perfect_gate(3), opts);
-  svc.shutdown();
-  EXPECT_THROW(svc.submit(JobRequest::gate(ghz_program(3), 16)),
-               std::runtime_error);
-  EXPECT_FALSE(svc.try_submit(JobRequest::gate(ghz_program(3), 16)));
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace qs::service

@@ -1,0 +1,407 @@
+// The content-addressed ArtifactStore: key identity, the byte-budgeted
+// memory LRU, verified disk loads (truncated / bit-flipped / torn entries
+// rejected, recomputed and counted), bit-exact round-trips of final-state
+// distributions, and the service-level warm-restart contract — a fresh
+// process on the same store directory revives compiled programs and final
+// distributions off disk and reproduces byte-identical results.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "compiler/kernel.h"
+#include "compiler/platform.h"
+#include "runtime/accelerator.h"
+#include "service/final_state_cache.h"
+#include "service/service.h"
+#include "sim/trajectory_analysis.h"
+#include "store/artifact_store.h"
+
+namespace qs {
+namespace {
+
+using store::ArtifactKey;
+using store::ArtifactKind;
+using store::ArtifactStore;
+using store::Codec;
+using store::Outcome;
+using store::StoreOptions;
+using store::Tier;
+
+/// Scoped temp directory: fresh on entry, removed on exit.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+/// Identity codec for std::string payloads, with a controllable resident
+/// cost so LRU tests can reason in whole units.
+Codec<std::string> string_codec(std::size_t cost = 0) {
+  Codec<std::string> codec;
+  codec.encode = [](const std::string& v) { return v; };
+  codec.decode = [](const std::string& payload) {
+    return std::make_shared<const std::string>(payload);
+  };
+  codec.resident_bytes = [cost](const std::string& v) {
+    return cost != 0 ? cost : v.size();
+  };
+  return codec;
+}
+
+std::shared_ptr<const std::string> str_value(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+// ------------------------------------------------------- key identity ----
+
+TEST(ArtifactKey, KindFingerprintAndNameAllSeparateIdentities) {
+  const ArtifactKey a = ArtifactKey::compiled(7);
+  EXPECT_EQ(a.id(), ArtifactKey::compiled(7).id());
+  EXPECT_NE(a.id(), ArtifactKey::compiled(8).id());
+  // Same fingerprint, different derivation stage: never aliases.
+  EXPECT_NE(a.id(), ArtifactKey::final_state(7).id());
+  EXPECT_NE(ArtifactKey::checkpoint("job/a").id(),
+            ArtifactKey::checkpoint("job/b").id());
+  EXPECT_EQ(ArtifactKey::checkpoint("job/a").id(),
+            ArtifactKey::checkpoint("job/a").id());
+}
+
+TEST(ArtifactKey, FilenamesAreDeterministicAndFilesystemSafe) {
+  const std::string f = ArtifactKey::checkpoint("job/alpha:1").filename();
+  EXPECT_EQ(f, ArtifactKey::checkpoint("job/alpha:1").filename());
+  for (char c : f)
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                c == '_' || c == '.')
+        << "unsafe character '" << c << "' in " << f;
+  EXPECT_NE(ArtifactKey::compiled(1).filename(),
+            ArtifactKey::final_state(1).filename());
+}
+
+// ----------------------------------------------------- memory tier -------
+
+TEST(ArtifactStore, MemoryLruEvictsLeastRecentlyUsed) {
+  ArtifactStore store(StoreOptions{/*memory_budget_bytes=*/2, ""});
+  const auto codec = string_codec(/*cost=*/1);
+  store.put(ArtifactKey::compiled(1), str_value("a"), codec);
+  store.put(ArtifactKey::compiled(2), str_value("b"), codec);
+  EXPECT_EQ(store.memory_entries(), 2u);
+
+  // Touch 1: 2 becomes LRU and the third insert evicts it.
+  EXPECT_NE(store.get(ArtifactKey::compiled(1), codec), nullptr);
+  Outcome outcome;
+  store.put(ArtifactKey::compiled(3), str_value("c"), codec, &outcome);
+  EXPECT_EQ(outcome.evicted, 1u);
+  EXPECT_EQ(store.get(ArtifactKey::compiled(2), codec), nullptr);
+  EXPECT_NE(store.get(ArtifactKey::compiled(1), codec), nullptr);
+  EXPECT_NE(store.get(ArtifactKey::compiled(3), codec), nullptr);
+  EXPECT_EQ(store.stats().memory.evictions, 1u);
+  EXPECT_LE(store.memory_bytes(), 2u);
+}
+
+TEST(ArtifactStore, OversizedValueSkipsMemoryTierObservably) {
+  ArtifactStore store(StoreOptions{/*memory_budget_bytes=*/4, ""});
+  const auto codec = string_codec(/*cost=*/100);
+  Outcome outcome;
+  store.put(ArtifactKey::compiled(1), str_value("huge"), codec, &outcome);
+  EXPECT_TRUE(outcome.oversized);
+  EXPECT_EQ(store.memory_entries(), 0u);
+  EXPECT_EQ(store.stats().memory.oversized, 1u);
+}
+
+TEST(ArtifactStore, GetOrComputeDerivesOncePerKey) {
+  ArtifactStore store;
+  const auto codec = string_codec();
+  int derived = 0;
+  const auto derive = [&derived]() {
+    ++derived;
+    return std::make_shared<const std::string>("value");
+  };
+  Outcome first, second;
+  EXPECT_EQ(*store.get_or_compute<std::string>(ArtifactKey::compiled(9),
+                                               codec, derive, &first),
+            "value");
+  EXPECT_TRUE(first.derived);
+  EXPECT_EQ(*store.get_or_compute<std::string>(ArtifactKey::compiled(9),
+                                               codec, derive, &second),
+            "value");
+  EXPECT_FALSE(second.derived);
+  EXPECT_EQ(second.tier, Tier::kMemory);
+  EXPECT_EQ(derived, 1);
+}
+
+// ------------------------------------------------------- disk tier -------
+
+TEST(ArtifactStore, DiskRoundTripSurvivesMemoryLoss) {
+  TempDir dir("qs_store_test_roundtrip");
+  ArtifactStore store(StoreOptions{1 << 20, dir.str()});
+  const auto codec = string_codec();
+  store.put(ArtifactKey::compiled(5), str_value("persisted"), codec);
+  ASSERT_TRUE(
+      std::filesystem::exists(store.path_for(ArtifactKey::compiled(5))));
+
+  store.clear_memory();  // simulated restart
+  Outcome outcome;
+  const auto value = store.get(ArtifactKey::compiled(5), codec, &outcome);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "persisted");
+  EXPECT_EQ(outcome.tier, Tier::kDisk);
+  EXPECT_TRUE(outcome.memory_missed);
+  // The verified disk load repopulated the memory tier.
+  Outcome again;
+  store.get(ArtifactKey::compiled(5), codec, &again);
+  EXPECT_EQ(again.tier, Tier::kMemory);
+}
+
+TEST(ArtifactStore, SecondStoreInstanceRevivesFirstInstancesWrites) {
+  TempDir dir("qs_store_test_second_instance");
+  const auto codec = string_codec();
+  {
+    ArtifactStore first(StoreOptions{1 << 20, dir.str()});
+    first.put(ArtifactKey::final_state(77), str_value("cross-process"),
+              codec);
+  }
+  ArtifactStore second(StoreOptions{1 << 20, dir.str()});
+  Outcome outcome;
+  const auto value =
+      second.get(ArtifactKey::final_state(77), codec, &outcome);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "cross-process");
+  EXPECT_EQ(outcome.tier, Tier::kDisk);
+}
+
+// ----------------------------------------------- corruption rejection ----
+
+/// Corrupts the on-disk entry for `key` with `mutate(bytes)`, then proves
+/// the verified load rejects it, deletes the file, counts it corrupt and
+/// recomputes through get_or_compute.
+void expect_corruption_rejected(
+    const std::string& dirname,
+    const std::function<void(std::string*)>& mutate) {
+  TempDir dir(dirname);
+  ArtifactStore store(StoreOptions{1 << 20, dir.str()});
+  const auto codec = string_codec();
+  const ArtifactKey key = ArtifactKey::compiled(13);
+  store.put(key, str_value("good bytes"), codec);
+  const std::string path = store.path_for(key);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  mutate(&bytes);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  store.clear_memory();
+  Outcome outcome;
+  EXPECT_EQ(store.get(key, codec, &outcome), nullptr);
+  EXPECT_TRUE(outcome.corrupt);
+  EXPECT_TRUE(outcome.disk_missed);
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  // The poisoned entry is deleted, not left to fail every future load ...
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // ... and the deriver transparently recomputes and rewrites it.
+  store.clear_memory();
+  int derived = 0;
+  const auto value = store.get_or_compute<std::string>(
+      key, codec, [&derived]() {
+        ++derived;
+        return std::make_shared<const std::string>("recomputed");
+      });
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "recomputed");
+  EXPECT_EQ(derived, 1);
+  store.clear_memory();
+  const auto revived = store.get(key, codec);
+  ASSERT_NE(revived, nullptr);
+  EXPECT_EQ(*revived, "recomputed");
+}
+
+TEST(ArtifactStoreCorruption, TruncatedEntryRejected) {
+  expect_corruption_rejected("qs_store_test_truncated", [](std::string* b) {
+    b->resize(b->size() - 5);
+  });
+}
+
+TEST(ArtifactStoreCorruption, BitFlippedPayloadRejected) {
+  expect_corruption_rejected("qs_store_test_bitflip", [](std::string* b) {
+    b->back() = static_cast<char>(b->back() ^ 0x40);
+  });
+}
+
+TEST(ArtifactStoreCorruption, TornWriteRejected) {
+  // A torn write: the header of a new entry without its payload (as if
+  // the process died mid-write without the tmp+rename discipline).
+  expect_corruption_rejected("qs_store_test_torn", [](std::string* b) {
+    *b = b->substr(0, 20);
+  });
+}
+
+TEST(ArtifactStoreCorruption, WrongKindHeaderRejected) {
+  TempDir dir("qs_store_test_wrong_kind");
+  ArtifactStore store(StoreOptions{1 << 20, dir.str()});
+  const auto codec = string_codec();
+  store.put(ArtifactKey::compiled(21), str_value("payload"), codec);
+  // Copy the compiled entry's bytes into the final-state slot of the same
+  // fingerprint: the header binds kind + id, so the load must reject it.
+  const std::string src = store.path_for(ArtifactKey::compiled(21));
+  const std::string dst = store.path_for(ArtifactKey::final_state(21));
+  std::filesystem::copy_file(src, dst);
+  store.clear_memory();
+  Outcome outcome;
+  EXPECT_EQ(store.get(ArtifactKey::final_state(21), codec, &outcome),
+            nullptr);
+  EXPECT_TRUE(outcome.corrupt);
+}
+
+// ------------------------------------------------ bit-exact doubles ------
+
+TEST(FinalStateCacheStore, DistributionRoundTripsBitExactly) {
+  TempDir dir("qs_store_test_bit_exact");
+  auto shared =
+      std::make_shared<ArtifactStore>(StoreOptions{1 << 20, dir.str()});
+  service::FinalStateCache cache(shared);
+
+  // Doubles chosen to break decimal round-tripping: non-terminating
+  // binary fractions, a subnormal, and values differing in the last ulp.
+  auto dist = std::make_shared<sim::FinalDistribution>();
+  dist->qubit_count = 2;
+  dist->measured_mask = 3;
+  dist->gates = 5;
+  dist->cum = {0.1, 1.0 / 3.0, 0.5 + 5e-324, 1.0};
+  cache.insert(42, dist);
+
+  shared->clear_memory();  // force the disk path
+  const auto loaded = cache.lookup(42);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->cum.size(), dist->cum.size());
+  EXPECT_EQ(std::memcmp(loaded->cum.data(), dist->cum.data(),
+                        dist->cum.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(loaded->qubit_count, dist->qubit_count);
+  EXPECT_EQ(loaded->measured_mask, dist->measured_mask);
+  EXPECT_EQ(loaded->gates, dist->gates);
+}
+
+// ------------------------------------------- service warm restart --------
+
+qasm::Program ghz_program(std::size_t n) {
+  compiler::Program p("ghz", n);
+  p.add_kernel("main").ghz(n).measure_all();
+  return p.to_qasm();
+}
+
+runtime::GateAccelerator perfect_gate(std::size_t qubits) {
+  return runtime::GateAccelerator(compiler::Platform::perfect(qubits));
+}
+
+TEST(ServiceWarmRestart, FreshServiceOnSameStoreDirSkipsCompileAndEvolve) {
+  TempDir dir("qs_store_test_warm_restart");
+  const auto request = [] {
+    return runtime::RunRequest::gate(ghz_program(4), 256, /*seed=*/9);
+  };
+
+  Histogram cold_counts;
+  {
+    service::ServiceOptions opts;
+    opts.workers = 1;
+    opts.store_dir = dir.str();
+    service::QuantumService svc(perfect_gate(4), opts);
+    const runtime::RunResult cold = svc.submit(request()).get();
+    ASSERT_TRUE(cold.ok()) << cold.status.to_string();
+    EXPECT_FALSE(cold.stats.compile_cache_hit);
+    cold_counts = cold.histogram;
+  }  // service (and its memory tier) dies; the disk tier survives
+
+  service::ServiceOptions opts;
+  opts.workers = 1;
+  opts.store_dir = dir.str();
+  service::QuantumService svc(perfect_gate(4), opts);
+  const runtime::RunResult warm = svc.submit(request()).get();
+  ASSERT_TRUE(warm.ok()) << warm.status.to_string();
+
+  // The repeat submission in a "fresh process" skipped both the compile
+  // and the evolution: both artifacts came off the disk tier ...
+  EXPECT_TRUE(warm.stats.compile_cache_hit);
+  EXPECT_EQ(warm.stats.compile_cache_tier, runtime::CacheTier::kDisk);
+  EXPECT_TRUE(warm.stats.final_state_cache_hit);
+  EXPECT_EQ(warm.stats.final_state_cache_tier, runtime::CacheTier::kDisk);
+  EXPECT_GE(
+      svc.metrics().counter("qs_store_hits_total{tier=\"disk\"}").value(),
+      2u);
+
+  // ... and the revived artifacts reproduce the cold run byte-for-byte.
+  EXPECT_EQ(warm.histogram.counts(), cold_counts.counts());
+}
+
+TEST(ServiceWarmRestart, SharedStoreInstanceWarmsSiblingService) {
+  service::ServiceOptions opts;
+  opts.workers = 1;
+  service::QuantumService first(perfect_gate(3), opts);
+  const runtime::RunResult cold =
+      first.submit(runtime::RunRequest::gate(ghz_program(3), 64, 3)).get();
+  ASSERT_TRUE(cold.ok());
+
+  // A sibling service handed the same store instance starts warm.
+  service::ServiceOptions shared_opts;
+  shared_opts.workers = 1;
+  shared_opts.artifact_store = first.store_ptr();
+  service::QuantumService second(perfect_gate(3), shared_opts);
+  const runtime::RunResult warm =
+      second.submit(runtime::RunRequest::gate(ghz_program(3), 64, 3)).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.stats.compile_cache_hit);
+  EXPECT_EQ(warm.stats.compile_cache_tier, runtime::CacheTier::kMemory);
+  EXPECT_EQ(warm.histogram.counts(), cold.histogram.counts());
+}
+
+TEST(ServiceWarmRestart, DiskStoreAutoWiresCheckpointResume) {
+  // A store_dir service gets checkpoint/resume for free: the checkpoint
+  // lands in the same directory through the same verified-write path.
+  TempDir dir("qs_store_test_auto_ckpt");
+  service::ServiceOptions opts;
+  opts.workers = 1;
+  opts.shard_shots = 64;
+  opts.max_shard_retries = 0;
+  opts.store_dir = dir.str();
+  service::QuantumService svc(perfect_gate(3), opts);
+  ASSERT_NE(svc.options().checkpoint_store, nullptr);
+
+  auto plan = std::make_shared<runtime::FaultPlan>();
+  plan->shard_faults.push_back({/*shard_index=*/3, /*failures=*/1000});
+  runtime::RunRequest failing =
+      runtime::RunRequest::gate(ghz_program(3), 256, /*seed=*/5);
+  failing.checkpoint_key = "warm-ckpt";
+  failing.faults = plan;
+  const runtime::RunResult killed = svc.submit(std::move(failing)).get();
+  ASSERT_FALSE(killed.status.ok());
+
+  runtime::RunRequest resume =
+      runtime::RunRequest::gate(ghz_program(3), 256, /*seed=*/5);
+  resume.checkpoint_key = "warm-ckpt";
+  const runtime::RunResult resumed = svc.submit(std::move(resume)).get();
+  ASSERT_TRUE(resumed.ok()) << resumed.status.to_string();
+  EXPECT_EQ(resumed.stats.shards_resumed, 3u);
+  EXPECT_EQ(resumed.stats.shards_executed, 1u);
+}
+
+}  // namespace
+}  // namespace qs
