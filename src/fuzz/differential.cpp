@@ -27,6 +27,8 @@ using runtime::GateAccelerator;
 using runtime::RunRequest;
 using runtime::RunResult;
 
+using runtime::CrashPoint;
+
 /// Indices into DifferentialHarness::Impl::services.
 enum ServiceIndex : int {
   kSvcW1 = 0,        ///< 1 worker, sampling on (service-class reference)
@@ -92,6 +94,10 @@ struct DifferentialHarness::Impl {
   /// the same program is executed under many configs back to back.
   std::string memo_text;
   compiler::CompileResult memo_compiled;
+
+  /// Monotonic tag making each kill-restart run's scratch directory
+  /// unique within this harness (the pointer value separates harnesses).
+  std::uint64_t kill_restart_runs = 0;
 
   explicit Impl(const Options& opts)
       : compile_authority(compiler::Platform::perfect(opts.platform_qubits)) {}
@@ -172,6 +178,11 @@ DifferentialHarness::DifferentialHarness(Options options)
     impl_->store_dir = std::filesystem::temp_directory_path() / dir.str();
     service::ServiceOptions store_opts = make_options(1, true);
     store_opts.store_dir = impl_->store_dir.string();
+    // The kill-restart config owns journal/durability coverage with its
+    // own per-program directories; keep the warm-disk path free of WAL
+    // records and fsyncs so thousands of programs stay fast.
+    store_opts.journal_enabled = false;
+    store_opts.sync_writes = false;
     impl_->services[kSvcStore] = std::make_unique<service::QuantumService>(
         gate(), std::move(store_opts));
     impl_->store = impl_->services[kSvcStore]->store_ptr();
@@ -286,6 +297,9 @@ std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
     c = svc_config("svc/store/warm-disk", kSvcStore);
     c.store_reload = true;
     svc.push_back(std::move(c));
+    c = svc_config("svc/kill-restart", -1);  // builds its own services
+    c.kill_restart = true;
+    svc.push_back(std::move(c));
     if (options_.with_gateway) {
       c = svc_config("gateway/wire", -1);
       c.level = ExecConfig::Level::kGateway;
@@ -302,6 +316,79 @@ std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
 
   return classes;
 }
+
+namespace {
+
+/// Body of the kill-restart config: a disposable journal-enabled service
+/// that "dies" at an injected crash point (its destructor is the simulated
+/// kill — only on-disk state survives), then a successor constructed over
+/// the same directory that must replay the journal and finish the job
+/// exactly once. `dir` is created by the victim's store and removed here.
+Histogram run_kill_restart(const DifferentialHarness::Options& opts,
+                           const std::filesystem::path& dir,
+                           const qasm::Program& program, std::size_t shots,
+                           std::uint64_t run_seed, std::string* error) {
+  static constexpr CrashPoint kPoints[] = {
+      CrashPoint::kAdmit, CrashPoint::kDispatch, CrashPoint::kMidShard,
+      CrashPoint::kPreComplete};
+  const CrashPoint point = kPoints[run_seed % 4];
+
+  auto make_opts = [&] {
+    service::ServiceOptions so;
+    so.workers = 1;
+    so.shard_shots = opts.shard_shots;
+    so.queue_capacity = 64;
+    so.sampling_enabled = true;
+    so.retry_backoff.initial = std::chrono::microseconds(1);
+    so.retry_backoff.cap = std::chrono::microseconds(10);
+    so.store_dir = dir.string();
+    // The crash is simulated in-process, so page-cache durability is
+    // enough; skipping fsync keeps the config fast over thousands of
+    // programs (the fsync path itself is covered by JournalTest).
+    so.sync_writes = false;
+    return so;
+  };
+  auto gate = [&] {
+    return GateAccelerator(
+        compiler::Platform::perfect(opts.platform_qubits));
+  };
+
+  Histogram out;
+  {
+    RunRequest doomed = RunRequest::gate(program, shots, run_seed);
+    doomed.idempotency_key = "fuzz-kill-restart";
+    auto plan = std::make_shared<FaultPlan>();
+    plan->crash_point = point;
+    doomed.faults = plan;
+    service::QuantumService victim(gate(), make_opts());
+    const RunResult killed = victim.submit(std::move(doomed)).get();
+    if (killed.status.ok())
+      *error = std::string("kill-restart: injected crash at ") +
+               runtime::to_string(point) + " did not abandon the job";
+  }
+  if (error->empty()) {
+    service::QuantumService successor(gate(), make_opts());
+    RunRequest dup = RunRequest::gate(program, shots, run_seed);
+    dup.idempotency_key = "fuzz-kill-restart";
+    const RunResult result = successor.submit(std::move(dup)).get();
+    if (!result.status.ok()) {
+      *error = std::string("kill-restart (") + runtime::to_string(point) +
+               "): recovery failed: " + result.status.to_string();
+    } else if (!result.stats.journal_recovered &&
+               !result.stats.idempotent_hit) {
+      *error = std::string("kill-restart (") + runtime::to_string(point) +
+               "): resubmission ran fresh instead of attaching to the "
+               "recovered job";
+    } else {
+      out = result.histogram;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+}  // namespace
 
 Histogram DifferentialHarness::run_config(const ExecConfig& config,
                                           const qasm::Program& program,
@@ -323,6 +410,15 @@ Histogram DifferentialHarness::run_config(const ExecConfig& config,
       }
 
       case ExecConfig::Level::kService: {
+        if (config.kill_restart) {
+          std::ostringstream dir;
+          dir << "qs-fuzz-kill-" << std::hex
+              << reinterpret_cast<std::uintptr_t>(impl_.get()) << '-'
+              << std::dec << ++impl_->kill_restart_runs;
+          return run_kill_restart(
+              options_, std::filesystem::temp_directory_path() / dir.str(),
+              program, shots, run_seed, error);
+        }
         service::QuantumService& svc = *impl_->services.at(config.service);
         RunRequest request = RunRequest::gate(program, shots, run_seed);
         auto plan = std::make_shared<FaultPlan>();

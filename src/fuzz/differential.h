@@ -71,6 +71,13 @@ struct ExecConfig {
   /// kept histogram was produced from artifacts revived off disk
   /// (exercises the store's serialize/verify/revive round trip).
   bool store_reload = false;
+  /// Crash-durability: submit the keyed request to a fresh journal-enabled
+  /// service that simulates dying at a FaultPlan crash point (admit /
+  /// dispatch / mid-shard / pre-complete, cycled by run_seed), destroy it,
+  /// construct a second service over the same store_dir and resubmit the
+  /// same idempotency key. Journal replay + checkpoint resume must
+  /// reproduce the class reference byte-for-byte, exactly once.
+  bool kill_restart = false;
 };
 
 /// A determinism violation: two configurations of the same equivalence

@@ -1,10 +1,16 @@
 #include "gateway/client.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace qs::gateway {
 
 Status GatewayClient::connect(const std::string& host, std::uint16_t port,
                               const std::string& client_name) {
   close();
+  host_ = host;
+  port_ = port;
+  client_name_ = client_name;
   if (Status s = connect_tcp(host, port, &sock_); !s.ok()) return s;
 
   HelloRequest hello;
@@ -145,6 +151,51 @@ Status GatewayClient::stream_progress(
     Decoder d(frame.payload);
     if (!decode_progress(&d, &update)) return d.status();
     if (on_update) on_update(update);
+  }
+}
+
+Status GatewayClient::ensure_connected() {
+  if (sock_.valid()) return Status::Ok();
+  if (host_.empty())
+    return Status::FailedPrecondition(
+        "ensure_connected before any connect()");
+  const std::size_t attempts =
+      std::max<std::size_t>(reconnect_.max_attempts, 1);
+  Status last = Status::Unavailable("not connected");
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(reconnect_.backoff.delay(attempt - 1));
+    last = connect(host_, port_, client_name_);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+StatusOr<runtime::RunResult> GatewayClient::run(
+    const runtime::RunRequest& request) {
+  // Resubmission after a transport failure is only safe when the server
+  // can deduplicate it.
+  const bool resubmit_safe =
+      reconnect_.enabled && !request.idempotency_key.empty();
+  const std::size_t attempts =
+      std::max<std::size_t>(reconnect_.max_attempts, 1);
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (Status s = ensure_connected(); !s.ok()) return s;
+    Status failure = Status::Ok();
+    if (StatusOr<std::uint64_t> id = submit(request); id.ok()) {
+      StatusOr<runtime::RunResult> result = wait(*id);
+      if (result.ok()) return result;
+      failure = result.status();
+    } else {
+      failure = id.status();
+    }
+    // kUnavailable is the transport failure class (peer died, connection
+    // closed mid-frame); anything else is a server-side answer about this
+    // request and must not be retried.
+    if (failure.code() != StatusCode::kUnavailable || !resubmit_safe ||
+        attempt + 1 >= attempts)
+      return failure;
+    close();  // drop the broken socket; ensure_connected() redials
   }
 }
 

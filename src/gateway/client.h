@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "common/backoff.h"
 #include "common/status.h"
 #include "gateway/socket.h"
 #include "gateway/wire.h"
@@ -34,12 +35,37 @@ class GatewayClient {
   GatewayClient& operator=(const GatewayClient&) = delete;
 
   /// Connects and performs the Hello handshake. kFailedPrecondition when
-  /// the server speaks no common protocol version.
+  /// the server speaks no common protocol version. The endpoint is
+  /// remembered for ensure_connected()/run() redials.
   Status connect(const std::string& host, std::uint16_t port,
                  const std::string& client_name = "qs-client");
 
   bool connected() const { return sock_.valid(); }
   void close() { sock_.close(); }
+
+  /// Redial behaviour for ensure_connected() and run(): deterministic
+  /// exponential backoff between attempts, per-call attempt cap.
+  struct ReconnectPolicy {
+    bool enabled = true;
+    std::size_t max_attempts = 5;
+    BackoffPolicy backoff{std::chrono::microseconds(10'000), 2.0,
+                          std::chrono::microseconds(500'000)};
+  };
+  void set_reconnect(ReconnectPolicy policy) { reconnect_ = policy; }
+  const ReconnectPolicy& reconnect() const { return reconnect_; }
+
+  /// Re-establishes the connection to the last connect() endpoint if it is
+  /// down (no-op while connected). kFailedPrecondition before any
+  /// connect(); otherwise the last dial error after max_attempts tries.
+  Status ensure_connected();
+
+  /// Submit + wait with crash-safe resubmission. On a broken connection
+  /// the client redials and — only when the request carries an
+  /// idempotency_key — resubmits: the server attaches to the live job or
+  /// serves the journaled result, so the job never executes twice. A
+  /// keyless request is never resubmitted (that could double-run it); the
+  /// transport error surfaces instead.
+  StatusOr<runtime::RunResult> run(const runtime::RunRequest& request);
 
   /// Negotiated protocol version / server-assigned session id (valid after
   /// connect()).
@@ -98,6 +124,11 @@ class GatewayClient {
   std::uint16_t version_ = kProtocolVersion;
   std::uint64_t session_ = 0;
   std::uint64_t last_queue_depth_ = 0;
+
+  ReconnectPolicy reconnect_;
+  std::string host_;  ///< empty until the first connect()
+  std::uint16_t port_ = 0;
+  std::string client_name_;
 };
 
 }  // namespace qs::gateway

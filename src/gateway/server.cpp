@@ -203,9 +203,12 @@ void GatewayServer::serve(Conn* conn) {
   }
 done:
   // Jobs never retrieved die with the connection: cancel them so workers
-  // stop burning time, and return their tenant slots.
+  // stop burning time, and return their tenant slots. Keyed jobs are the
+  // exception — the whole point of an idempotency_key is surviving the
+  // connection, so only the tenant slot is returned and the job runs on
+  // (a resubmission of the key attaches to it or gets its stored result).
   for (auto& [id, entry] : jobs) {
-    entry.handle.cancel();
+    if (entry.idempotency_key.empty()) entry.handle.cancel();
     retire(entry, nullptr);
   }
   // Signal EOF to the peer now; the fd itself stays open (and is closed
@@ -241,6 +244,7 @@ void GatewayServer::handle_submit(const Socket& sock, const Frame& frame,
   }
 
   const std::string tenant = tenant_of(request);
+  const std::string idemp_key = request.idempotency_key;
   if (Status a = governor_.admit(tenant); !a.ok()) {
     rejected.inc();
     service_.metrics()
@@ -299,8 +303,16 @@ void GatewayServer::handle_submit(const Socket& sock, const Frame& frame,
     }
   }
 
-  (*jobs)[handle.id()] = JobEntry{handle, tenant};
-  outstanding_.fetch_add(1);
+  const auto [jit, inserted] = jobs->emplace(
+      handle.id(), JobEntry{handle, tenant, idemp_key});
+  if (inserted) {
+    outstanding_.fetch_add(1);
+  } else {
+    // Duplicate keyed submit of a job this connection already owns: the
+    // service attached both handles to one job, which holds one tenant
+    // slot and counts as one outstanding retrieval.
+    governor_.release(tenant);
+  }
   service_.metrics().counter("qs_gateway_submits_total").inc();
 
   SubmitReply reply{handle.id()};

@@ -113,10 +113,14 @@ class GatewayServer {
   };
 
   /// A job owned by one connection: the service handle plus the tenant
-  /// whose in-flight slot it holds.
+  /// whose in-flight slot it holds. Keyed jobs (non-empty idempotency_key)
+  /// outlive their connection: a disconnect releases the tenant slot but
+  /// does not cancel the job, so a reconnecting client can resubmit the
+  /// same key and attach to the still-running (or journaled) job.
   struct JobEntry {
     service::JobHandle handle;
     std::string tenant;
+    std::string idempotency_key;
   };
 
   void accept_loop();

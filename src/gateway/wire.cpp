@@ -247,6 +247,7 @@ void encode_run_request(const runtime::RunRequest& m, Encoder* e) {
   }
   e->u64(m.sim_threads);
   e->str(m.tag);
+  e->str(m.idempotency_key);  // v3
 }
 
 bool decode_run_request(Decoder* d, runtime::RunRequest* m) {
@@ -282,7 +283,7 @@ bool decode_run_request(Decoder* d, runtime::RunRequest* m) {
   if (!d->u64(&shots) || !d->u64(&seed) || !d->i32(&m->priority) ||
       !d->u8(&has_deadline) ||
       (has_deadline != 0 && !d->u64(&deadline_us)) || !d->u64(&sim_threads) ||
-      !d->str(&m->tag) || !d->finish())
+      !d->str(&m->tag) || !d->str(&m->idempotency_key) || !d->finish())
     return false;
   if (has_deadline > 1) {
     d->fail("bad deadline flag");
@@ -318,6 +319,8 @@ void encode_run_result(const runtime::RunResult& m, Encoder* e) {
   e->u8(m.stats.final_state_cache_hit ? 1 : 0);
   e->u8(static_cast<std::uint8_t>(m.stats.compile_cache_tier));
   e->u8(static_cast<std::uint8_t>(m.stats.final_state_cache_tier));
+  e->u8(m.stats.journal_recovered ? 1 : 0);  // v3
+  e->u8(m.stats.idempotent_hit ? 1 : 0);     // v3
 }
 
 bool decode_run_result(Decoder* d, runtime::RunResult* m) {
@@ -342,12 +345,13 @@ bool decode_run_result(Decoder* d, runtime::RunResult* m) {
   }
   std::uint64_t retries, shards, failovers, resumed, executed, dispatch_seq;
   std::uint8_t cache_hit, sampled, fsc_hit, compile_tier, final_tier;
+  std::uint8_t recovered, idem_hit;
   if (!d->f64(&m->best_energy) || !d->f64(&m->stats.queue_wait_us) ||
       !d->f64(&m->stats.run_us) || !d->u8(&cache_hit) || !d->u64(&retries) ||
       !d->u64(&shards) || !d->u64(&failovers) || !d->u64(&resumed) ||
       !d->u64(&executed) || !d->u64(&dispatch_seq) || !d->u8(&sampled) ||
       !d->u8(&fsc_hit) || !d->u8(&compile_tier) || !d->u8(&final_tier) ||
-      !d->finish())
+      !d->u8(&recovered) || !d->u8(&idem_hit) || !d->finish())
     return false;
   if (compile_tier > 2 || final_tier > 2) {
     d->fail("bad store tier");
@@ -364,6 +368,8 @@ bool decode_run_result(Decoder* d, runtime::RunResult* m) {
   m->stats.dispatch_seq = dispatch_seq;
   m->stats.sampled = sampled != 0;
   m->stats.final_state_cache_hit = fsc_hit != 0;
+  m->stats.journal_recovered = recovered != 0;
+  m->stats.idempotent_hit = idem_hit != 0;
   return true;
 }
 

@@ -24,6 +24,17 @@ const char* to_string(BackendFaultKind kind) {
   return "unknown";
 }
 
+const char* to_string(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone: return "none";
+    case CrashPoint::kAdmit: return "admit";
+    case CrashPoint::kDispatch: return "dispatch";
+    case CrashPoint::kMidShard: return "mid-shard";
+    case CrashPoint::kPreComplete: return "pre-complete";
+  }
+  return "unknown";
+}
+
 std::size_t FaultPlan::failures_for(std::size_t shard) const {
   for (const ShardFault& f : shard_faults)
     if (f.shard_index == shard) return f.failures;
@@ -58,6 +69,14 @@ Status RunRequest::validate() const {
       return Status::InvalidArgument(
           "RunRequest: tenant name must be printable, non-space, non-quote "
           "ASCII (it keys metrics labels and wire frames)");
+  if (idempotency_key.size() > 128)
+    return Status::InvalidArgument(
+        "RunRequest: idempotency_key longer than 128 characters");
+  for (char c : idempotency_key)
+    if (c < 0x21 || c > 0x7e || c == '"')
+      return Status::InvalidArgument(
+          "RunRequest: idempotency_key must be printable, non-space, "
+          "non-quote ASCII (it keys journal records and wire frames)");
   if (program) {
     try {
       program->validate();

@@ -40,6 +40,22 @@ enum class BackendFaultKind {
 
 const char* to_string(BackendFaultKind kind);
 
+/// Simulated process-crash injection points along a job's lifecycle. When
+/// a FaultPlan names one, the service abandons the job exactly as a killed
+/// process would — no terminal journal record, no checkpoint delete, no
+/// stored idempotent result — and resolves the handle kUnavailable with an
+/// "injected crash" message so tests never hang. A fresh QuantumService on
+/// the same store_dir must then recover the job from the journal.
+enum class CrashPoint : std::uint8_t {
+  kNone = 0,
+  kAdmit = 1,        ///< after the admitted journal record, before enqueue
+  kDispatch = 2,     ///< after the dispatched record, before any shard runs
+  kMidShard = 3,     ///< after the first shard merges + checkpoints
+  kPreComplete = 4,  ///< all shards merged, before the terminal record
+};
+
+const char* to_string(CrashPoint point);
+
 /// Deterministic fault-injection plan, attached to a RunRequest by tests
 /// and chaos benches. Every robustness path — compile failure, transient
 /// shard failure with retry, slow shards racing a deadline, backend
@@ -72,6 +88,9 @@ struct FaultPlan {
     BackendFaultKind kind = BackendFaultKind::kCrash;
   };
   std::vector<BackendFault> backend_faults;
+
+  /// Simulated process crash at a lifecycle point (see CrashPoint).
+  CrashPoint crash_point = CrashPoint::kNone;
 
   /// Injected failures for `shard` (0 when the shard has no planned fault).
   std::size_t failures_for(std::size_t shard) const;
@@ -134,6 +153,15 @@ struct RunRequest {
   /// re-runs only the unfinished shards.
   std::string checkpoint_key;
 
+  /// Client-supplied exactly-once key. When non-empty, resubmitting the
+  /// same key — a client retry after a gateway disconnect, or a replay
+  /// after a service restart — attaches to the existing job (live or
+  /// journal-recovered) or is served the stored terminal result instead of
+  /// re-running. A same-key resubmission whose payload/seed/shot plan
+  /// differs is rejected kInvalidArgument. Carried over the gateway wire
+  /// since protocol v3. Same character rules as `tenant`.
+  std::string idempotency_key;
+
   /// Deterministic fault injection (tests / chaos benches only).
   std::shared_ptr<const FaultPlan> faults;
 
@@ -189,6 +217,13 @@ struct JobStats {
   /// Which store tier served the final distribution (kNone = the job
   /// evolved it; final_state_cache_hit == (tier != kNone)).
   CacheTier final_state_cache_tier = CacheTier::kNone;
+  /// The job was re-enqueued from the crash journal by a restarted service
+  /// (its admitted record survived; checkpointed shards were not re-run).
+  bool journal_recovered = false;
+  /// This handle was served from an idempotency_key match — a stored
+  /// terminal result or an attach to an already-running job — without
+  /// executing anything new.
+  bool idempotent_hit = false;
 };
 
 /// Terminal outcome of a RunRequest. `status` is the job's terminal state;

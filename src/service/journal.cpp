@@ -1,0 +1,455 @@
+#include "service/journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "qasm/printer.h"
+#include "store/blob.h"
+
+namespace qs::service {
+
+namespace {
+
+/// File header: identifies the format so a foreign file in store_dir is
+/// never misparsed as a journal.
+constexpr char kJournalMagic[8] = {'Q', 'S', 'J', 'R', 'N', 'L', '1', '\n'};
+constexpr std::size_t kFrameHeaderBytes = 16;  // u64 len + u64 checksum
+
+std::uint64_t read_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+constexpr std::uint8_t kPayloadGateText = 0;
+constexpr std::uint8_t kPayloadQubo = 1;
+
+}  // namespace
+
+// ------------------------------------------------------------- codecs ----
+
+std::string JobJournal::encode_request(const runtime::RunRequest& m) {
+  store::BlobWriter e;
+  if (m.qubo) {
+    e.u8(kPayloadQubo);
+    e.u64(m.qubo->size());
+    e.u64(m.qubo->terms().size());
+    for (const auto& [ij, w] : m.qubo->terms()) {
+      e.u64(ij.first);
+      e.u64(ij.second);
+      e.f64(w);
+    }
+  } else {
+    // Structured programs are journalled as their canonical cQASM print —
+    // the same text the gateway sends — so replayed jobs parse at dispatch
+    // exactly like live ones.
+    e.u8(kPayloadGateText);
+    e.str(m.program_text ? *m.program_text
+                         : (m.program ? qasm::to_cqasm(*m.program)
+                                      : std::string()));
+  }
+  e.u64(m.shots);
+  e.u64(m.seed);
+  e.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(m.priority)));
+  e.u8(m.deadline ? 1 : 0);
+  if (m.deadline)
+    e.u64(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(*m.deadline)
+            .count()));
+  e.u64(m.sim_threads);
+  e.str(m.tag);
+  e.str(m.tenant);
+  e.u64(m.session);
+  e.str(m.checkpoint_key);
+  e.str(m.idempotency_key);
+  // Not carried (host-side concerns): faults.
+  return e.take();
+}
+
+bool JobJournal::decode_request(const std::string& payload,
+                                runtime::RunRequest* out) {
+  store::BlobReader r(payload);
+  runtime::RunRequest m;
+  std::uint8_t tag;
+  if (!r.u8(&tag)) return false;
+  if (tag == kPayloadQubo) {
+    std::uint64_t size, terms;
+    if (!r.u64(&size) || !r.u64(&terms)) return false;
+    anneal::Qubo q(static_cast<std::size_t>(size));
+    for (std::uint64_t t = 0; t < terms; ++t) {
+      std::uint64_t i, j;
+      double w;
+      if (!r.u64(&i) || !r.u64(&j) || !r.f64(&w)) return false;
+      if (i >= size || j >= size) return false;
+      q.add(static_cast<std::size_t>(i), static_cast<std::size_t>(j), w);
+    }
+    m.qubo = std::move(q);
+  } else if (tag == kPayloadGateText) {
+    std::string text;
+    if (!r.str(&text)) return false;
+    m.program_text = std::move(text);
+  } else {
+    return false;
+  }
+  std::uint64_t shots, seed, priority, sim_threads, session;
+  std::uint8_t has_deadline;
+  if (!r.u64(&shots) || !r.u64(&seed) || !r.u64(&priority) ||
+      !r.u8(&has_deadline))
+    return false;
+  if (has_deadline) {
+    std::uint64_t us;
+    if (!r.u64(&us)) return false;
+    m.deadline = std::chrono::microseconds(us);
+  }
+  if (!r.u64(&sim_threads) || !r.str(&m.tag) || !r.str(&m.tenant) ||
+      !r.u64(&session) || !r.str(&m.checkpoint_key) ||
+      !r.str(&m.idempotency_key))
+    return false;
+  if (!r.done()) return false;
+  m.shots = static_cast<std::size_t>(shots);
+  m.seed = seed;
+  m.priority =
+      static_cast<int>(static_cast<std::int64_t>(priority));
+  m.sim_threads = static_cast<std::size_t>(sim_threads);
+  m.session = session;
+  *out = std::move(m);
+  return true;
+}
+
+std::string JobJournal::encode_result(const runtime::RunResult& m) {
+  store::BlobWriter e;
+  e.u64(m.job_id);
+  e.u8(m.kind == runtime::JobKind::Gate ? 0 : 1);
+  e.str(m.tag);
+  e.u64(status_code_to_wire(m.status.code()));
+  e.str(m.status.message());
+  e.u64(m.histogram.counts().size());
+  for (const auto& [key, count] : m.histogram.counts()) {
+    e.str(key);
+    e.u64(count);
+  }
+  e.u64(m.best_solution.size());
+  for (int bit : m.best_solution)
+    e.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(bit)));
+  e.f64(m.best_energy);
+  e.f64(m.stats.queue_wait_us);
+  e.f64(m.stats.run_us);
+  e.u64(m.stats.retries);
+  e.u64(m.stats.shards);
+  e.u64(m.stats.failovers);
+  e.u64(m.stats.shards_resumed);
+  e.u64(m.stats.shards_executed);
+  e.u8(m.stats.sampled ? 1 : 0);
+  return e.take();
+}
+
+bool JobJournal::decode_result(const std::string& payload,
+                               runtime::RunResult* out) {
+  store::BlobReader r(payload);
+  runtime::RunResult m;
+  std::uint8_t kind, sampled;
+  std::uint64_t code, entries, bits, retries, shards, failovers, resumed,
+      executed;
+  std::string message;
+  if (!r.u64(&m.job_id) || !r.u8(&kind) || !r.str(&m.tag) || !r.u64(&code) ||
+      !r.str(&message) || !r.u64(&entries))
+    return false;
+  m.kind = kind == 0 ? runtime::JobKind::Gate : runtime::JobKind::Anneal;
+  m.status = Status(status_code_from_wire(static_cast<std::uint16_t>(code)),
+                    std::move(message));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::string key;
+    std::uint64_t count;
+    if (!r.str(&key) || !r.u64(&count)) return false;
+    m.histogram.add(key, static_cast<std::size_t>(count));
+  }
+  if (!r.u64(&bits)) return false;
+  m.best_solution.reserve(static_cast<std::size_t>(bits));
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    std::uint64_t b;
+    if (!r.u64(&b)) return false;
+    m.best_solution.push_back(
+        static_cast<int>(static_cast<std::int64_t>(b)));
+  }
+  if (!r.f64(&m.best_energy) || !r.f64(&m.stats.queue_wait_us) ||
+      !r.f64(&m.stats.run_us) || !r.u64(&retries) || !r.u64(&shards) ||
+      !r.u64(&failovers) || !r.u64(&resumed) || !r.u64(&executed) ||
+      !r.u8(&sampled))
+    return false;
+  if (!r.done()) return false;
+  m.stats.retries = static_cast<std::size_t>(retries);
+  m.stats.shards = static_cast<std::size_t>(shards);
+  m.stats.failovers = static_cast<std::size_t>(failovers);
+  m.stats.shards_resumed = static_cast<std::size_t>(resumed);
+  m.stats.shards_executed = static_cast<std::size_t>(executed);
+  m.stats.sampled = sampled != 0;
+  *out = std::move(m);
+  return true;
+}
+
+// ------------------------------------------------------------- framing ----
+
+std::string JobJournal::frame_record(JournalRecordType type,
+                                     std::uint64_t job_id,
+                                     const std::string& body) {
+  store::BlobWriter payload;
+  payload.u8(static_cast<std::uint8_t>(type));
+  payload.u64(job_id);
+  payload.str(body);
+  store::BlobWriter frame;
+  frame.u64(payload.payload().size());
+  frame.u64(fnv1a64(payload.payload()));
+  std::string out = frame.take();
+  out += payload.take();
+  return out;
+}
+
+// ------------------------------------------------------------ lifecycle ----
+
+JobJournal::JobJournal(Options options) : options_(std::move(options)) {}
+
+JobJournal::~JobJournal() = default;
+
+std::string JobJournal::path() const {
+  return options_.directory + "/journal.qsj";
+}
+
+std::uint64_t JobJournal::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return appended_;
+}
+
+JournalReplay JobJournal::replay() {
+  JournalReplay out;
+  if (options_.directory.empty()) return out;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  const std::string p = path();
+
+  std::string raw;
+  {
+    std::ifstream in(p, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      raw = buf.str();
+    }
+  }
+
+  std::size_t pos = 0;
+  // Index into out.inflight by job id while jobs are still in flight.
+  std::unordered_map<std::uint64_t, std::size_t> live;
+  if (raw.size() >= sizeof(kJournalMagic) &&
+      std::memcmp(raw.data(), kJournalMagic, sizeof(kJournalMagic)) == 0) {
+    pos = sizeof(kJournalMagic);
+    while (raw.size() - pos >= kFrameHeaderBytes) {
+      const std::uint64_t len = read_u64le(raw.data() + pos);
+      const std::uint64_t checksum = read_u64le(raw.data() + pos + 8);
+      if (len > raw.size() - pos - kFrameHeaderBytes) break;  // torn tail
+      const std::string_view payload(raw.data() + pos + kFrameHeaderBytes,
+                                     static_cast<std::size_t>(len));
+      if (fnv1a64(payload) != checksum) break;  // torn or bit-flipped
+
+      store::BlobReader r(payload);
+      std::uint8_t type;
+      std::uint64_t job_id;
+      std::string body;
+      if (!r.u8(&type) || !r.u64(&job_id) || !r.str(&body) || !r.done())
+        break;
+
+      bool applied = true;
+      switch (static_cast<JournalRecordType>(type)) {
+        case JournalRecordType::kAdmitted: {
+          runtime::RunRequest req;
+          if (!decode_request(body, &req)) {
+            applied = false;
+            break;
+          }
+          live[job_id] = out.inflight.size();
+          out.inflight.push_back({job_id, std::move(req), false});
+          break;
+        }
+        case JournalRecordType::kDispatched: {
+          if (const auto it = live.find(job_id); it != live.end())
+            out.inflight[it->second].dispatched = true;
+          break;
+        }
+        case JournalRecordType::kCompleted:
+        case JournalRecordType::kFailed:
+        case JournalRecordType::kCancelled: {
+          runtime::RunResult result;
+          if (!decode_result(body, &result)) {
+            applied = false;
+            break;
+          }
+          const auto it = live.find(job_id);
+          if (it == live.end()) break;  // terminal for an unknown job
+          JournalReplay::FinishedJob done;
+          done.job_id = job_id;
+          done.request = std::move(out.inflight[it->second].request);
+          done.result = std::move(result);
+          // Mark the inflight slot consumed; compacted out below.
+          out.inflight[it->second].job_id = 0;
+          live.erase(it);
+          out.finished.push_back(std::move(done));
+          break;
+        }
+        default:
+          applied = false;
+          break;
+      }
+      if (!applied) break;  // checksummed but unparseable: stop replay here
+
+      out.max_job_id = std::max(out.max_job_id, job_id);
+      ++out.records;
+      pos += kFrameHeaderBytes + static_cast<std::size_t>(len);
+    }
+  } else if (!raw.empty()) {
+    // Foreign or torn header: drop the whole file.
+    pos = 0;
+  }
+
+  if (pos < raw.size()) {
+    out.truncated_bytes = raw.size() - pos;
+    if (pos < sizeof(kJournalMagic)) {
+      std::filesystem::remove(p, ec);
+    } else {
+      std::filesystem::resize_file(p, pos, ec);
+    }
+  }
+
+  // Compact the inflight list down to still-live slots.
+  std::vector<JournalReplay::InflightJob> inflight;
+  inflight.reserve(live.size());
+  for (auto& job : out.inflight)
+    if (job.job_id != 0) inflight.push_back(std::move(job));
+  out.inflight = std::move(inflight);
+
+  // Open (creating if needed) for appending; a brand-new file gets the
+  // header record first.
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (file_.open(p, options_.sync_writes)) {
+    std::uintmax_t size = std::filesystem::file_size(p, ec);
+    if (ec) size = 0;
+    if (size == 0) {
+      file_.append(kJournalMagic, sizeof(kJournalMagic));
+      if (options_.sync_writes) file_.sync();
+      size = sizeof(kJournalMagic);
+    }
+    appended_ = size;
+    synced_ = size;
+  }
+  return out;
+}
+
+bool JobJournal::compact(const JournalReplay& state) {
+  if (options_.directory.empty()) return false;
+  std::string content(kJournalMagic, sizeof(kJournalMagic));
+  for (const auto& job : state.inflight) {
+    content += frame_record(JournalRecordType::kAdmitted, job.job_id,
+                            encode_request(job.request));
+    if (job.dispatched)
+      content += frame_record(JournalRecordType::kDispatched, job.job_id,
+                              std::string());
+  }
+  const std::size_t keep =
+      std::min(state.finished.size(), options_.finished_retention);
+  for (std::size_t i = state.finished.size() - keep;
+       i < state.finished.size(); ++i) {
+    const auto& job = state.finished[i];
+    content += frame_record(JournalRecordType::kAdmitted, job.job_id,
+                            encode_request(job.request));
+    const JournalRecordType type =
+        job.result.status.ok() ? JournalRecordType::kCompleted
+        : job.result.status.code() == StatusCode::kCancelled
+            ? JournalRecordType::kCancelled
+            : JournalRecordType::kFailed;
+    content += frame_record(type, job.job_id, encode_result(job.result));
+  }
+
+  const std::string p = path();
+  const std::string tmp = p + ".compact.tmp";
+  if (!store::write_file(tmp, content.data(), content.size(),
+                         options_.sync_writes)) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> sync_lock(sync_mutex_);
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  file_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    // Reopen the old file; the journal stays fat but intact.
+    file_.open(p, options_.sync_writes);
+    return false;
+  }
+  if (options_.sync_writes) store::sync_parent_dir(p);
+  if (!file_.open(p, options_.sync_writes)) return false;
+  appended_ = content.size();
+  synced_ = content.size();
+  return true;
+}
+
+// -------------------------------------------------------------- appends ----
+
+bool JobJournal::append_record(JournalRecordType type, std::uint64_t job_id,
+                               const std::string& body) {
+  const std::string record = frame_record(type, job_id, body);
+  std::uint64_t my_offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!file_.is_open()) return false;
+    if (!file_.append(record.data(), record.size())) return false;
+    appended_ += record.size();
+    my_offset = appended_;
+  }
+  if (!options_.sync_writes) return true;
+
+  // Group commit: whoever reaches the sync mutex first fsyncs everything
+  // appended so far; appenders that were covered by that fsync skip their
+  // own. Under concurrent submit bursts this amortises the fsync cost
+  // across the batch.
+  std::lock_guard<std::mutex> sync_lock(sync_mutex_);
+  std::uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (synced_ >= my_offset) return true;
+    target = appended_;
+  }
+  if (!file_.sync()) return false;
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (synced_ < target) synced_ = target;
+  return true;
+}
+
+bool JobJournal::append_admitted(std::uint64_t job_id,
+                                 const runtime::RunRequest& request) {
+  return append_record(JournalRecordType::kAdmitted, job_id,
+                       encode_request(request));
+}
+
+bool JobJournal::append_dispatched(std::uint64_t job_id) {
+  return append_record(JournalRecordType::kDispatched, job_id,
+                       std::string());
+}
+
+bool JobJournal::append_terminal(std::uint64_t job_id,
+                                 const runtime::RunResult& result) {
+  const JournalRecordType type =
+      result.status.ok() ? JournalRecordType::kCompleted
+      : result.status.code() == StatusCode::kCancelled
+          ? JournalRecordType::kCancelled
+          : JournalRecordType::kFailed;
+  return append_record(type, job_id, encode_result(result));
+}
+
+}  // namespace qs::service

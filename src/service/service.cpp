@@ -76,6 +76,39 @@ std::uint64_t checkpoint_fingerprint(const RunRequest& req,
   return h;
 }
 
+/// Identity of a request for exactly-once: same ingredients as
+/// checkpoint_fingerprint but computable before parsing — a raw-source
+/// submission hashes as submitted, which is exactly the byte string a
+/// retrying client sends again.
+std::uint64_t request_fingerprint(const RunRequest& req,
+                                  std::size_t shard_shots) {
+  std::uint64_t h = 0;
+  if (req.kind() == JobKind::Gate) {
+    h = fnv1a64(req.program_text ? *req.program_text
+                                 : qasm::to_cqasm(*req.program));
+  } else {
+    std::ostringstream payload;
+    payload << "qubo " << req.qubo->size();
+    for (const auto& [ij, w] : req.qubo->terms())
+      payload << ' ' << ij.first << ',' << ij.second << '='
+              << std::hexfloat << w;
+    h = fnv1a64(payload.str());
+  }
+  h = hash_combine(h, req.seed);
+  h = hash_combine(h, req.shots);
+  h = hash_combine(h, shard_shots);
+  return h;
+}
+
+runtime::CrashPoint crash_point_of(const RunRequest& req) {
+  return req.faults ? req.faults->crash_point : runtime::CrashPoint::kNone;
+}
+
+Status crash_status(runtime::CrashPoint point) {
+  return Status::Unavailable(std::string("injected crash at ") +
+                             runtime::to_string(point) + " (FaultPlan)");
+}
+
 /// Sanity gate every shard result passes before it may merge: counts sum
 /// to the shard's shot count, every bitstring has the register's arity and
 /// is binary. A violation means the backend silently corrupted the result
@@ -138,6 +171,7 @@ std::shared_ptr<store::ArtifactStore> make_store(const ServiceOptions& o) {
   store::StoreOptions so;
   so.memory_budget_bytes = o.store_memory_bytes;
   so.directory = o.store_dir;
+  so.sync_writes = o.sync_writes;
   return std::make_shared<store::ArtifactStore>(std::move(so));
 }
 
@@ -236,6 +270,15 @@ struct QuantumService::JobState {
   std::size_t shards_resumed = 0;      ///< restored at dispatch
   std::atomic<std::size_t> failovers{0};
   std::atomic<std::size_t> shards_executed{0};
+
+  // Durability / exactly-once state.
+  bool journaled = false;  ///< admitted record reached the journal
+  bool recovered = false;  ///< re-enqueued from a journal replay
+  std::string idemp_key;   ///< registered idempotency key ("" = none)
+  /// Simulated-crash flag (FaultPlan::crash_point): suppresses the
+  /// terminal journal record and the idempotency result, so the job's
+  /// on-disk state is exactly that of a process that died at the point.
+  std::atomic<bool> crashed{false};
 };
 
 QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
@@ -260,6 +303,19 @@ QuantumService::QuantumService(std::shared_ptr<BackendPool> backends,
   // lands in the same directory (same atomic-write + verified-load path).
   if (!options_.checkpoint_store && store_->disk_enabled())
     options_.checkpoint_store = std::make_shared<StoreCheckpointStore>(store_);
+  // Crash-durable journal: replay and recovery must finish before the
+  // dispatcher's first dequeue, so recovered jobs keep their admission
+  // order ahead of anything submitted to the new process. Keyed to
+  // store_dir (not to a shared artifact_store's directory) so two services
+  // sharing one store never contend for one journal file / id sequence.
+  if (options_.journal_enabled && !options_.store_dir.empty()) {
+    JobJournal::Options jo;
+    jo.directory = options_.store_dir;
+    jo.sync_writes = options_.sync_writes;
+    jo.finished_retention = options_.journal_retention;
+    journal_ = std::make_unique<JobJournal>(std::move(jo));
+    recover_from_journal();
+  }
   backends_->attach_metrics(&metrics_);
   backends_->start_probing();
   metrics_.gauge("qs_workers").set(
@@ -352,28 +408,14 @@ JobHandle QuantumService::rejected_handle(Status status,
 }
 
 JobHandle QuantumService::submit(RunRequest request) {
-  const std::string tenant = tenant_of(request);
-  if (Status v = request.validate(); !v.ok())
-    return rejected_handle(std::move(v), tenant);
-  if (request.qubo && !backends_->primary(runtime::JobKind::Anneal))
-    return rejected_handle(Status::FailedPrecondition(
-        "QuantumService: no annealing accelerator attached"), tenant);
-
-  Status status;
-  auto job = make_job(std::move(request), &status);
-  if (!job) return rejected_handle(std::move(status), tenant);
-
-  JobHandle handle;
-  handle.id_ = job->id;
-  handle.cancel_ = job->cancel;
-  handle.future_ = job->future;
-
-  if (Status admitted = admit(job, /*blocking=*/true); !admitted.ok())
-    resolve_unadmitted(job, std::move(admitted));
-  return handle;
+  return submit_impl(std::move(request), /*blocking=*/true);
 }
 
 JobHandle QuantumService::try_submit(RunRequest request) {
+  return submit_impl(std::move(request), /*blocking=*/false);
+}
+
+JobHandle QuantumService::submit_impl(RunRequest request, bool blocking) {
   const std::string tenant = tenant_of(request);
   if (Status v = request.validate(); !v.ok())
     return rejected_handle(std::move(v), tenant);
@@ -381,16 +423,93 @@ JobHandle QuantumService::try_submit(RunRequest request) {
     return rejected_handle(Status::FailedPrecondition(
         "QuantumService: no annealing accelerator attached"), tenant);
 
+  // Exactly-once: a known idempotency_key attaches to the live job or is
+  // served the stored result instead of re-running. The registry lock is
+  // held through job registration so two racing duplicates cannot both
+  // admit.
+  std::unique_lock<std::mutex> idemp_lock(idemp_mutex_, std::defer_lock);
+  std::uint64_t fingerprint = 0;
+  if (!request.idempotency_key.empty()) {
+    fingerprint = request_fingerprint(request, options_.shard_shots);
+    idemp_lock.lock();
+    auto it = idempotency_.find(request.idempotency_key);
+    if (it != idempotency_.end()) {
+      if (it->second.fingerprint != fingerprint) {
+        idemp_lock.unlock();
+        return rejected_handle(
+            Status::InvalidArgument(
+                "idempotency_key '" + request.idempotency_key +
+                "' was already used with a different payload/seed/shot "
+                "plan"),
+            tenant);
+      }
+      if (it->second.result) {
+        JobHandle handle;
+        handle.id_ = it->second.job_id;
+        std::promise<RunResult> promise;
+        handle.future_ = promise.get_future().share();
+        RunResult served = *it->second.result;
+        served.stats.idempotent_hit = true;
+        promise.set_value(std::move(served));
+        idemp_lock.unlock();
+        metrics_.counter("qs_idempotent_served_total").inc();
+        return handle;
+      }
+      if (auto live = it->second.live.lock()) {
+        // Attach: same id, same cancel scope, same future — the duplicate
+        // and the original are one job.
+        JobHandle handle;
+        handle.id_ = live->id;
+        handle.cancel_ = live->cancel;
+        handle.future_ = live->future;
+        idemp_lock.unlock();
+        metrics_.counter("qs_idempotent_attached_total").inc();
+        return handle;
+      }
+      // Stale registration (a simulated crash abandoned the job without a
+      // stored result): fall through and run it for real.
+    }
+  }
+
   Status status;
   auto job = make_job(std::move(request), &status);
   if (!job) return rejected_handle(std::move(status), tenant);
+  job->idemp_key = job->request.idempotency_key;
+  if (idemp_lock.owns_lock()) {
+    IdempotencyEntry entry;
+    entry.job_id = job->id;
+    entry.fingerprint = fingerprint;
+    entry.live = job;
+    idempotency_[job->idemp_key] = std::move(entry);
+    idemp_lock.unlock();
+  }
 
   JobHandle handle;
   handle.id_ = job->id;
   handle.cancel_ = job->cancel;
   handle.future_ = job->future;
 
-  if (Status admitted = admit(job, /*blocking=*/false); !admitted.ok())
+  if (journal_) {
+    // Journaled jobs always checkpoint: recovery resumes from completed
+    // shards instead of re-running them, and the key is derived from the
+    // job id so a recovered job finds its own snapshot.
+    if (job->request.checkpoint_key.empty() && options_.checkpoint_store)
+      job->request.checkpoint_key = "qsj-" + std::to_string(job->id);
+    // WAL contract: the admitted record is durable before the caller gets
+    // a handle back.
+    job->journaled = journal_->append_admitted(job->id, job->request);
+    if (!job->journaled)
+      metrics_.counter("qs_journal_append_failures_total").inc();
+  }
+
+  if (crash_point_of(job->request) == runtime::CrashPoint::kAdmit) {
+    job->crashed.store(true, std::memory_order_relaxed);
+    metrics_.counter("qs_injected_crashes_total").inc();
+    resolve_unadmitted(job, crash_status(runtime::CrashPoint::kAdmit));
+    return handle;
+  }
+
+  if (Status admitted = admit(job, blocking); !admitted.ok())
     resolve_unadmitted(job, std::move(admitted));
   return handle;
 }
@@ -436,6 +555,7 @@ void QuantumService::shutdown() {
 
 void QuantumService::resolve(const std::shared_ptr<JobState>& job,
                              RunResult result) {
+  result.stats.journal_recovered = job->recovered;
   switch (result.status.code()) {
     case StatusCode::kOk:
       metrics_.counter("qs_jobs_completed_total").inc();
@@ -456,6 +576,7 @@ void QuantumService::resolve(const std::shared_ptr<JobState>& job,
       break;
   }
 
+  finalize_job(job, result);
   job->promise.set_value(std::move(result));
   job_done(job);
 }
@@ -469,8 +590,127 @@ void QuantumService::resolve_unadmitted(const std::shared_ptr<JobState>& job,
   result.kind = job->request.kind();
   result.tag = job->request.tag;
   result.status = std::move(status);
+  finalize_job(job, result);
   job->promise.set_value(std::move(result));
   job_done(job);
+}
+
+void QuantumService::finalize_job(const std::shared_ptr<JobState>& job,
+                                  const RunResult& result) {
+  const bool crashed = job->crashed.load(std::memory_order_relaxed);
+  if (job->journaled && journal_ && !crashed) {
+    if (!journal_->append_terminal(job->id, result))
+      metrics_.counter("qs_journal_append_failures_total").inc();
+  }
+  if (job->idemp_key.empty()) return;
+  std::lock_guard<std::mutex> lock(idemp_mutex_);
+  auto it = idempotency_.find(job->idemp_key);
+  if (it == idempotency_.end() || it->second.job_id != job->id) return;
+  if (crashed) {
+    // The simulated crash abandoned the job: drop the registration so a
+    // resubmission runs it for real (in this process, or after a restart
+    // through journal recovery).
+    idempotency_.erase(it);
+    return;
+  }
+  it->second.result = std::make_shared<const RunResult>(result);
+  it->second.live.reset();
+  idemp_order_.push_back(job->idemp_key);
+  while (idemp_order_.size() > options_.journal_retention) {
+    const std::string victim = std::move(idemp_order_.front());
+    idemp_order_.pop_front();
+    auto vit = idempotency_.find(victim);
+    if (vit != idempotency_.end() && vit->second.result)
+      idempotency_.erase(vit);
+  }
+}
+
+void QuantumService::recover_from_journal() {
+  JournalReplay replay = journal_->replay();
+  if (replay.truncated_bytes > 0)
+    metrics_.counter("qs_journal_truncated_bytes_total")
+        .inc(replay.truncated_bytes);
+  if (replay.records == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    if (replay.max_job_id >= next_job_id_)
+      next_job_id_ = replay.max_job_id + 1;
+  }
+  // Compact before consuming the replay: the rewritten file keeps the
+  // admitted records of everything re-enqueued below, so a crash during
+  // recovery just recovers again.
+  journal_->compact(replay);
+
+  // Finished keyed jobs: register their stored results so a duplicate
+  // idempotency_key after the restart is served without re-running.
+  for (JournalReplay::FinishedJob& fin : replay.finished) {
+    if (fin.request.idempotency_key.empty()) continue;
+    IdempotencyEntry entry;
+    entry.job_id = fin.job_id;
+    entry.fingerprint =
+        request_fingerprint(fin.request, options_.shard_shots);
+    entry.result = std::make_shared<const RunResult>(std::move(fin.result));
+    std::lock_guard<std::mutex> lock(idemp_mutex_);
+    idemp_order_.push_back(fin.request.idempotency_key);
+    idempotency_[fin.request.idempotency_key] = std::move(entry);
+  }
+
+  // In-flight jobs: re-enqueue under their original ids. Their (auto-
+  // assigned) checkpoint keys limit re-execution to unfinished shards.
+  std::size_t recovered = 0;
+  for (JournalReplay::InflightJob& inflight : replay.inflight) {
+    auto job = std::make_shared<JobState>();
+    job->id = inflight.job_id;
+    job->request = std::move(inflight.request);
+    job->tenant = tenant_of(job->request);
+    job->submitted = Clock::now();
+    // The deadline budget re-arms from recovery time — the original
+    // submission instant did not survive the crash, and failing a
+    // recovered job for time spent dead helps nobody.
+    if (job->request.deadline)
+      job->deadline_at = job->submitted + *job->request.deadline;
+    job->future = job->promise.get_future().share();
+    job->journaled = true;
+    job->recovered = true;
+    job->idemp_key = job->request.idempotency_key;
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      ++inflight_;
+    }
+    metrics_.gauge(tenant_metric("qs_tenant_inflight", job->tenant)).add(1);
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      jobs_.emplace(job->id, job);
+    }
+    if (!job->idemp_key.empty()) {
+      IdempotencyEntry entry;
+      entry.job_id = job->id;
+      entry.fingerprint =
+          request_fingerprint(job->request, options_.shard_shots);
+      entry.live = job;
+      std::lock_guard<std::mutex> lock(idemp_mutex_);
+      idempotency_[job->idemp_key] = std::move(entry);
+    }
+    if (queue_.try_push(job, job->request.priority, job->tenant)) {
+      ++recovered;
+    } else {
+      // Over-capacity recovery (this process has a smaller queue than the
+      // one that crashed): fail the job terminally so it stops recurring
+      // on every restart.
+      resolve_unadmitted(
+          job, Status::ResourceExhausted(
+                   "recovered job " + std::to_string(job->id) +
+                   " exceeds queue capacity " +
+                   std::to_string(queue_.capacity())));
+    }
+  }
+  if (recovered > 0) {
+    metrics_.counter("qs_journal_recovered_jobs_total").inc(recovered);
+    QS_LOG(LogLevel::Info, "service",
+           "journal: recovered " << recovered << " in-flight job(s), "
+                                 << replay.finished.size()
+                                 << " finished record(s) replayed");
+  }
 }
 
 void QuantumService::resolve_at_dispatch(
@@ -544,6 +784,19 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
                  std::to_string(static_cast<long long>(
                      us_of(*job->request.deadline))) +
                  "us)"));
+    return;
+  }
+
+  if (job->journaled && journal_) {
+    if (!journal_->append_dispatched(job->id))
+      metrics_.counter("qs_journal_append_failures_total").inc();
+  }
+  if (crash_point_of(job->request) == runtime::CrashPoint::kDispatch) {
+    // Simulated death between the dispatched record and the first shard:
+    // recovery re-runs the job from shard zero.
+    job->crashed.store(true, std::memory_order_relaxed);
+    metrics_.counter("qs_injected_crashes_total").inc();
+    resolve_at_dispatch(job, crash_status(runtime::CrashPoint::kDispatch));
     return;
   }
 
@@ -691,6 +944,10 @@ void QuantumService::record_store_outcome(const store::Outcome& outcome) {
   if (outcome.wrote_disk) metrics_.counter("qs_store_writes_total").inc();
   if (outcome.disk_write_failed)
     metrics_.counter("qs_store_write_failures_total").inc();
+  if (outcome.disk_degraded)
+    metrics_.counter("qs_store_degraded_skips_total").inc();
+  metrics_.gauge("qs_store_disk_degraded")
+      .set(store_->disk_degraded() ? 1 : 0);
 }
 
 std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
@@ -963,12 +1220,22 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
 
       backends_->record_success(*backend);
       job->shards_executed.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(job->merge_mutex);
-      for (const auto& [bits, n] : shard.counts()) job->merged.add(bits, n);
-      if (shard_index < job->shard_done.size())
-        job->shard_done[shard_index] = 1;
-      job->progress_seq.fetch_add(1, std::memory_order_relaxed);
-      save_checkpoint_locked(*job);
+      {
+        std::lock_guard<std::mutex> lock(job->merge_mutex);
+        for (const auto& [bits, n] : shard.counts())
+          job->merged.add(bits, n);
+        if (shard_index < job->shard_done.size())
+          job->shard_done[shard_index] = 1;
+        job->progress_seq.fetch_add(1, std::memory_order_relaxed);
+        save_checkpoint_locked(*job);
+      }
+      // Simulated mid-run death: this shard's checkpoint is on disk, the
+      // terminal record never will be — recovery resumes from here.
+      if (crash_point_of(req) == runtime::CrashPoint::kMidShard &&
+          !job->crashed.exchange(true, std::memory_order_relaxed)) {
+        metrics_.counter("qs_injected_crashes_total").inc();
+        note_failure(job, crash_status(runtime::CrashPoint::kMidShard));
+      }
       break;
     } catch (const CancelledError& e) {
       const bool job_cancelled = job->cancel.cancel_requested();
@@ -1140,24 +1407,33 @@ void QuantumService::run_anneal_shard(const std::shared_ptr<JobState>& job,
 
       backends_->record_success(*backend);
       job->shards_executed.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(job->merge_mutex);
-      for (const auto& [bits, n] : local.counts()) job->merged.add(bits, n);
-      if (local_has_best) {
-        const bool better = !job->has_best ||
-                            local_best_energy < job->best_energy ||
-                            (local_best_energy == job->best_energy &&
-                             local_best_read < job->best_read);
-        if (better) {
-          job->has_best = true;
-          job->best_energy = local_best_energy;
-          job->best_read = local_best_read;
-          job->best_solution = std::move(local_best);
+      {
+        std::lock_guard<std::mutex> lock(job->merge_mutex);
+        for (const auto& [bits, n] : local.counts())
+          job->merged.add(bits, n);
+        if (local_has_best) {
+          const bool better = !job->has_best ||
+                              local_best_energy < job->best_energy ||
+                              (local_best_energy == job->best_energy &&
+                               local_best_read < job->best_read);
+          if (better) {
+            job->has_best = true;
+            job->best_energy = local_best_energy;
+            job->best_read = local_best_read;
+            job->best_solution = std::move(local_best);
+          }
         }
+        if (shard_index < job->shard_done.size())
+          job->shard_done[shard_index] = 1;
+        job->progress_seq.fetch_add(1, std::memory_order_relaxed);
+        save_checkpoint_locked(*job);
       }
-      if (shard_index < job->shard_done.size())
-        job->shard_done[shard_index] = 1;
-      job->progress_seq.fetch_add(1, std::memory_order_relaxed);
-      save_checkpoint_locked(*job);
+      // Simulated mid-run death — see run_gate_shard.
+      if (crash_point_of(req) == runtime::CrashPoint::kMidShard &&
+          !job->crashed.exchange(true, std::memory_order_relaxed)) {
+        metrics_.counter("qs_injected_crashes_total").inc();
+        note_failure(job, crash_status(runtime::CrashPoint::kMidShard));
+      }
       break;
     } catch (const CancelledError& e) {
       const bool job_cancelled = job->cancel.cancel_requested();
@@ -1237,6 +1513,16 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
   result.stats.sampled = job->sampled;
   result.stats.final_state_cache_hit = job->final_cache_hit;
   result.stats.final_state_cache_tier = job->final_tier;
+  // Simulated pre-completion death: every shard ran and checkpointed, but
+  // the result never reaches the journal or the client — recovery
+  // reassembles it from the checkpoint alone (the non-OK status below
+  // also keeps the checkpoint from being removed).
+  if (result.status.ok() &&
+      crash_point_of(job->request) == runtime::CrashPoint::kPreComplete &&
+      !job->crashed.exchange(true, std::memory_order_relaxed)) {
+    metrics_.counter("qs_injected_crashes_total").inc();
+    result.status = crash_status(runtime::CrashPoint::kPreComplete);
+  }
   // A finished job's checkpoint has served its purpose; a failed,
   // cancelled or timed-out job keeps its snapshot so a resubmission with
   // the same key resumes from the completed shards.

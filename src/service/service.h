@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "service/checkpoint.h"
 #include "service/final_state_cache.h"
 #include "service/job.h"
+#include "service/journal.h"
 #include "service/metrics.h"
 #include "service/queue.h"
 #include "service/worker_pool.h"
@@ -120,6 +122,23 @@ struct ServiceOptions {
   /// above — how several QuantumServices in one process (or a service and
   /// its gateway-facing twin) share one artifact space.
   std::shared_ptr<store::ArtifactStore> artifact_store;
+
+  // ---- Durability & exactly-once ----------------------------------------
+  /// Crash-durable job journal (effective only with a non-empty
+  /// store_dir). Every admitted job is WAL-logged before its handle is
+  /// returned; a service constructed over the same store_dir re-enqueues
+  /// admitted-but-unfinished jobs (resuming from their checkpoints) and
+  /// serves stored results for finished idempotency keys.
+  bool journal_enabled = true;
+  /// fsync store + journal writes (power-loss durability, not just
+  /// crash-atomicity). Forwarded to StoreOptions::sync_writes when the
+  /// service builds its own store. Tests and benches that churn many
+  /// artifacts can turn it off.
+  bool sync_writes = true;
+  /// Terminal results retained for duplicate idempotency keys — the
+  /// exactly-once replay window, both in memory and through journal
+  /// compaction.
+  std::size_t journal_retention = 256;
 
   /// kInvalidArgument on configurations that would misbehave silently
   /// (zero workers, zero queue capacity, zero shard size, non-positive
@@ -216,8 +235,21 @@ class QuantumService {
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t worker_count() const { return pool_.thread_count(); }
 
+  /// The write-ahead job journal (null unless journal_enabled and a
+  /// store_dir is configured). Exposed for tests and tooling.
+  const JobJournal* journal() const { return journal_.get(); }
+
  private:
   struct JobState;
+
+  /// A key's registration: the job that owns it plus, once terminal, the
+  /// stored result served to duplicates.
+  struct IdempotencyEntry {
+    std::uint64_t job_id = 0;
+    std::uint64_t fingerprint = 0;
+    std::weak_ptr<JobState> live;
+    std::shared_ptr<const RunResult> result;
+  };
 
   /// Builds a JobState (id assignment, deadline stamping). Returns nullptr
   /// with *status = kUnavailable after shutdown.
@@ -287,6 +319,21 @@ class QuantumService {
   /// checkpointing is off for this job). Caller holds merge_mutex.
   void save_checkpoint_locked(JobState& job);
 
+  /// Shared body of submit/try_submit: idempotency lookup, journal
+  /// admitted record, crash-point injection, admission.
+  JobHandle submit_impl(RunRequest request, bool blocking);
+
+  /// Replays the journal on construction: continues the job-id sequence,
+  /// registers stored results for finished idempotency keys, re-enqueues
+  /// admitted-but-unfinished jobs under their original ids, compacts.
+  void recover_from_journal();
+
+  /// Terminal bookkeeping shared by every resolution path: appends the
+  /// journal's terminal record and settles the idempotency entry (stores
+  /// the result, or erases the entry for a simulated crash).
+  void finalize_job(const std::shared_ptr<JobState>& job,
+                    const RunResult& result);
+
   ServiceOptions options_;
   std::shared_ptr<BackendPool> backends_;
   std::shared_ptr<runtime::GateAccelerator> primary_gate_;
@@ -299,6 +346,20 @@ class QuantumService {
   MetricsRegistry metrics_;
   WeightedFairQueue<std::shared_ptr<JobState>> queue_;
   WorkerPool pool_;
+
+  /// Write-ahead job journal (null = disabled). Constructed and replayed
+  /// before the dispatcher starts, so recovered jobs are already queued
+  /// when the first dequeue happens.
+  std::unique_ptr<JobJournal> journal_;
+
+  /// idempotency_key -> registration. Held across job registration in
+  /// submit_impl so two racing duplicates cannot both admit. Lock order:
+  /// idemp_mutex_ before control_mutex_/jobs_mutex_, never after.
+  mutable std::mutex idemp_mutex_;
+  std::unordered_map<std::string, IdempotencyEntry> idempotency_;
+  /// Keys with stored results, oldest first — the eviction order keeping
+  /// the replay window at journal_retention entries.
+  std::deque<std::string> idemp_order_;
 
   /// Live-job registry backing progress(): id -> state, inserted at
   /// admission, erased at resolution. Weak pointers: the registry must

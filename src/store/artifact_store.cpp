@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "store/blob.h"
+#include "store/durable.h"
 
 namespace qs::store {
 
@@ -200,6 +201,37 @@ std::optional<std::string> ArtifactStore::read_disk(const ArtifactKey& key,
   return payload;
 }
 
+bool ArtifactStore::should_attempt_write_locked() {
+  if (!degraded_) return true;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_probe_at_) return false;
+  // One probe per cooldown window; concurrent writers inside the window
+  // keep skipping until this probe's result re-arms or clears the state.
+  next_probe_at_ = now + options_.degrade_cooldown;
+  return true;
+}
+
+void ArtifactStore::note_write_result_locked(ArtifactKind kind, bool ok) {
+  if (ok) {
+    consecutive_write_failures_ = 0;
+    degraded_ = false;
+    return;
+  }
+  ++consecutive_write_failures_;
+  if (!degraded_ && options_.degrade_after_failures > 0 &&
+      consecutive_write_failures_ >= options_.degrade_after_failures) {
+    degraded_ = true;
+    next_probe_at_ =
+        std::chrono::steady_clock::now() + options_.degrade_cooldown;
+    ++stats_for(kind).degradations;
+  }
+}
+
+bool ArtifactStore::disk_degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
+}
+
 bool ArtifactStore::write_disk(const ArtifactKey& key,
                                std::string_view payload, Outcome* outcome) {
   KindStats& ks = stats_for(key.kind);
@@ -207,6 +239,14 @@ bool ArtifactStore::write_disk(const ArtifactKey& key,
   std::uint64_t tmp_id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!should_attempt_write_locked()) {
+      // Degraded to memory-only: skip the write instead of re-failing
+      // forever against a dead disk. The next cooldown expiry lets one
+      // write through as a re-probe.
+      ++ks.degraded_skips;
+      if (outcome) outcome->disk_degraded = true;
+      return false;
+    }
     tmp_id = ++tmp_counter_;
   }
   // Unique tmp name per writer (counter + address): concurrent processes
@@ -220,30 +260,36 @@ bool ArtifactStore::write_disk(const ArtifactKey& key,
     std::filesystem::remove(tmp, ec);
     std::lock_guard<std::mutex> lock(mutex_);
     ++ks.write_failures;
+    note_write_result_locked(key.kind, /*ok=*/false);
     if (outcome) outcome->disk_write_failed = true;
     return false;
   };
 
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return fail();
     BlobWriter header;
     header.u8(static_cast<std::uint8_t>(key.kind));
     header.u64(key.id());
     header.u64(payload.size());
     header.u64(fnv1a64(payload));
-    out.write(kMagic, sizeof(kMagic));
-    out.write(header.payload().data(),
-              static_cast<std::streamsize>(header.payload().size()));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!out.flush()) return fail();
+    std::string bytes;
+    bytes.reserve(kHeaderBytes + payload.size());
+    bytes.append(kMagic, sizeof(kMagic));
+    bytes.append(header.payload());
+    bytes.append(payload.data(), payload.size());
+    // sync_writes makes the entry power-loss durable, not just
+    // crash-atomic: fsync the tmp file before the rename publishes it,
+    // then fsync the directory so the rename itself survives.
+    if (!write_file(tmp, bytes.data(), bytes.size(), options_.sync_writes))
+      return fail();
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return fail();
+  if (options_.sync_writes) sync_parent_dir(path);
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++ks.writes;
+  note_write_result_locked(key.kind, /*ok=*/true);
   if (outcome) outcome->wrote_disk = true;
   return true;
 }
@@ -322,7 +368,10 @@ bool ArtifactStore::put_bytes(const ArtifactKey& key, std::string_view bytes,
   Outcome* o = outcome ? outcome : &local;
   put_erased(key, std::move(value), payload.size() + sizeof(std::string),
              disk_enabled() ? &payload : nullptr, use_memory, o);
-  return !o->disk_write_failed;
+  // A degraded skip is a failed durable write from the caller's point of
+  // view (the bytes never reached disk), even though it is not counted as
+  // a write_failure.
+  return !o->disk_write_failed && !o->disk_degraded;
 }
 
 std::optional<std::string> ArtifactStore::get_bytes(const ArtifactKey& key,
@@ -377,6 +426,8 @@ StoreStats ArtifactStore::stats() const {
     out.corrupt += ks.corrupt;
     out.writes += ks.writes;
     out.write_failures += ks.write_failures;
+    out.degraded_skips += ks.degraded_skips;
+    out.degradations += ks.degradations;
   }
   return out;
 }
@@ -391,6 +442,8 @@ StoreStats ArtifactStore::stats(ArtifactKind kind) const {
   out.corrupt = ks.corrupt;
   out.writes = ks.writes;
   out.write_failures = ks.write_failures;
+  out.degraded_skips = ks.degraded_skips;
+  out.degradations = ks.degradations;
   return out;
 }
 

@@ -33,6 +33,7 @@
 // same key concurrently is benign duplicated work, not corruption.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -101,6 +102,8 @@ struct StoreStats {
   std::uint64_t corrupt = 0;         ///< verified loads rejected
   std::uint64_t writes = 0;          ///< disk entries written
   std::uint64_t write_failures = 0;  ///< disk writes that failed
+  std::uint64_t degraded_skips = 0;  ///< writes skipped while degraded
+  std::uint64_t degradations = 0;    ///< times the disk tier degraded
 };
 
 /// What one store operation did — the caller maps this onto metrics.
@@ -116,6 +119,7 @@ struct Outcome {
   bool oversized = false;   ///< value skipped the memory tier (budget)
   bool wrote_disk = false;
   bool disk_write_failed = false;
+  bool disk_degraded = false;  ///< write skipped: disk tier is degraded
 };
 
 struct StoreOptions {
@@ -124,6 +128,19 @@ struct StoreOptions {
   /// On-disk tier root; "" disables the disk tier (memory-only store).
   /// Created if missing.
   std::string directory;
+  /// Crash-durable writes: fsync the tmp file before rename and the parent
+  /// directory after it. tmp+rename alone survives a process crash but not
+  /// a power loss. Tests and benches that churn thousands of entries can
+  /// turn this off.
+  bool sync_writes = true;
+  /// After this many *consecutive* disk write failures (ENOSPC, read-only
+  /// remount, dead disk) the disk tier degrades to memory-only: writes are
+  /// skipped (counted degraded_skips) instead of re-failing forever. 0
+  /// disables degradation.
+  std::size_t degrade_after_failures = 5;
+  /// While degraded, one write per cooldown window is let through as a
+  /// re-probe; a success restores the disk tier.
+  std::chrono::milliseconds degrade_cooldown{2000};
 };
 
 /// How a typed artifact crosses the memory/disk boundary. `encode` must be
@@ -149,6 +166,12 @@ class ArtifactStore {
 
   bool disk_enabled() const { return !options_.directory.empty(); }
   const StoreOptions& options() const { return options_; }
+
+  /// True while the disk tier has degraded to memory-only after repeated
+  /// write failures (service exports this as the qs_store_disk_degraded
+  /// gauge). Reads still go to disk; writes are skipped until a cooldown
+  /// re-probe succeeds.
+  bool disk_degraded() const;
 
   /// The on-disk path a key maps to (for tests / operators).
   std::string path_for(const ArtifactKey& key) const;
@@ -283,7 +306,16 @@ class ArtifactStore {
     std::uint64_t corrupt = 0;
     std::uint64_t writes = 0;
     std::uint64_t write_failures = 0;
+    std::uint64_t degraded_skips = 0;
+    std::uint64_t degradations = 0;
   };
+
+  /// Degradation state machine, called under mutex_ around each disk
+  /// write. should_attempt_write_locked returns false while degraded and
+  /// inside the cooldown window (the write is skipped); once per window it
+  /// returns true as a re-probe.
+  bool should_attempt_write_locked();
+  void note_write_result_locked(ArtifactKind kind, bool ok);
 
   KindStats& stats_for(ArtifactKind kind) {
     return kind_stats_[static_cast<std::size_t>(kind) % kArtifactKindCount];
@@ -297,6 +329,11 @@ class ArtifactStore {
   std::size_t bytes_ = 0;
   KindStats kind_stats_[kArtifactKindCount];
   std::uint64_t tmp_counter_ = 0;  ///< unique tmp-file suffixes
+
+  // Disk-fault degradation (guarded by mutex_).
+  std::size_t consecutive_write_failures_ = 0;
+  bool degraded_ = false;
+  std::chrono::steady_clock::time_point next_probe_at_{};
 };
 
 }  // namespace qs::store
