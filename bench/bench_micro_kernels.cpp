@@ -88,6 +88,61 @@ void BM_StateVector_CNOT_Fused(benchmark::State& state) {
 }
 BENCHMARK(BM_StateVector_CNOT_Fused)->Arg(10)->Arg(16)->Arg(20);
 
+// Backend/precision sweep over the dense 1q sweep: simd vs forced-scalar
+// backends at f64, plus the f32 tier (half the bytes per amplitude, twice
+// the lane count). items/s is directly comparable across the three.
+void BM_StateVector_H_Scalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n, Precision::kF64, 0, SimdMode::kOff);
+  const Matrix h = sim::hadamard();
+  for (auto _ : state) sv.apply_1q(h, 0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_H_Scalar)->Arg(16)->Arg(20);
+
+void BM_StateVector_H_F32(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n, Precision::kF32);
+  const Matrix h = sim::hadamard();
+  for (auto _ : state) sv.apply_1q(h, 0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_H_F32)->Arg(16)->Arg(20);
+
+void BM_StateVector_CNOT_Fused_Scalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n, Precision::kF64, 0, SimdMode::kOff);
+  for (auto _ : state) sv.apply_cnot(0, 1);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_CNOT_Fused_Scalar)->Arg(16)->Arg(20);
+
+void BM_StateVector_CNOT_Fused_F32(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n, Precision::kF32);
+  for (auto _ : state) sv.apply_cnot(0, 1);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_CNOT_Fused_F32)->Arg(16)->Arg(20);
+
+// The fused-diagonal-chain kernel: one table sweep standing in for a
+// whole run of diagonal gates (sim/fusion.h builds the tables).
+void BM_StateVector_DiagWindow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  std::vector<cplx> table(1u << 8);
+  for (std::size_t i = 0; i < table.size(); ++i)
+    table[i] = std::exp(cplx(0.0, 0.001 * static_cast<double>(i)));
+  for (auto _ : state) sv.apply_diag_window(0, 8, table.data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_StateVector_DiagWindow)->Arg(16)->Arg(20);
+
 void BM_StateVector_H_Threaded(benchmark::State& state) {
   const std::size_t n = 20;
   const std::size_t threads = static_cast<std::size_t>(state.range(0));

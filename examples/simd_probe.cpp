@@ -1,0 +1,50 @@
+// simd_probe — reports which amplitude-kernel backend this build and CPU
+// pair selects, and what each SimdMode / precision combination resolves
+// to. Run it first when a speedup from the AVX2 tier fails to show up:
+// the three booleans tell you whether the backend is missing from the
+// build (QS_SIMD=OFF), unsupported by the CPU, or disabled by the
+// QS_SIMD environment variable.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/kernels.h"
+#include "sim/statevector.h"
+
+int main() {
+  using namespace qs;
+
+  std::printf("amplitude-kernel backend probe\n");
+  std::printf("  compiled in (QS_SIMD build option) : %s\n",
+              sim::simd_compiled() ? "yes" : "no");
+  std::printf("  CPU reports AVX2                   : %s\n",
+              sim::simd_cpu_supported() ? "yes" : "no");
+  const char* env = std::getenv("QS_SIMD");
+  std::printf("  QS_SIMD environment variable       : %s\n",
+              env ? env : "(unset)");
+
+  const struct {
+    const char* name;
+    SimdMode mode;
+  } modes[] = {
+      {"auto", SimdMode::kAuto},
+      {"off", SimdMode::kOff},
+  };
+  std::printf("\nbackend selection per SimdMode:\n");
+  for (const auto& m : modes)
+    std::printf("  %-4s -> %s\n", m.name,
+                sim::simd_selected(m.mode) ? "avx2" : "scalar");
+
+  std::printf("\nlive StateVector instances (4 qubits):\n");
+  for (Precision prec : {Precision::kF64, Precision::kF32}) {
+    sim::StateVector sv(4, prec);
+    std::printf("  %s tier: backend=%s (simd_active=%s)\n",
+                prec == Precision::kF32 ? "f32" : "f64", sv.backend_name(),
+                sv.simd_active() ? "true" : "false");
+  }
+
+  std::printf(
+      "\ndeterminism tiers: scalar-f64 and avx2-f64 are byte-identical;\n"
+      "f32 is its own tier (docs/simulator.md, \"SIMD & precision "
+      "tiers\").\n");
+  return 0;
+}

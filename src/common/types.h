@@ -25,6 +25,35 @@ using Cycle = std::uint64_t;
 /// Wall-clock time in nanoseconds (micro-architecture timing domain).
 using NanoSec = std::uint64_t;
 
+/// Amplitude storage precision of a state-vector engine. kF64 is the
+/// reference tier (16 bytes/amplitude); kF32 halves the footprint — one
+/// extra qubit under the same byte budget — at single precision. Each
+/// tier is its own determinism class: internally byte-identical across
+/// thread counts and execution routes, numerically distinct from the
+/// other tier.
+enum class Precision : std::uint8_t {
+  kF64 = 0,
+  kF32 = 1,
+};
+
+inline constexpr const char* to_string(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
+
+/// Bytes per complex amplitude at the given precision.
+inline constexpr std::size_t bytes_per_amplitude(Precision p) {
+  return p == Precision::kF32 ? 2 * sizeof(float) : 2 * sizeof(double);
+}
+
+/// SIMD backend selection for state-vector kernels. kAuto picks the AVX2
+/// backend when the build carries it (QS_SIMD CMake option), the CPU
+/// supports it and the QS_SIMD environment variable is not "off"; kOff
+/// forces the scalar backend regardless.
+enum class SimdMode : std::uint8_t {
+  kAuto = 0,
+  kOff = 1,
+};
+
 inline constexpr double kPi = 3.14159265358979323846;
 
 /// Tolerance for floating-point comparisons on amplitudes / probabilities.

@@ -249,12 +249,28 @@ std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
     return c;
   };
 
-  // Class 0: direct trajectory runs — scalar/fused x thread counts.
+  auto with_tier = [&sim_config](std::string name, bool fused,
+                                 std::size_t threads, bool sampling,
+                                 Precision precision, SimdMode simd) {
+    ExecConfig c = sim_config(std::move(name), fused, threads, sampling);
+    c.precision = precision;
+    c.simd = simd;
+    return c;
+  };
+
+  // Class 0: direct trajectory runs — scalar/fused kernels x thread counts
+  // x SIMD backend. The simd-off configs assert the per-tier bit-identity
+  // contract: the AVX2 f64 kernels share the scalar kernels' expression
+  // trees, so forcing the scalar backend must not change a single byte.
   std::vector<ExecConfig> trajectory = {
       sim_config("sim/scalar/t1/trajectory", false, 1, false),
       sim_config("sim/fused/t1/trajectory", true, 1, false),
       sim_config("sim/scalar/t2/trajectory", false, 2, false),
       sim_config("sim/fused/t4/trajectory", true, 4, false),
+      with_tier("sim/simd-off/t1/trajectory", false, 1, false,
+                Precision::kF64, SimdMode::kOff),
+      with_tier("sim/simd-off/fused/t2/trajectory", true, 2, false,
+                Precision::kF64, SimdMode::kOff),
   };
   const bool eligible = samplable(program);
   if (!eligible) {
@@ -270,7 +286,38 @@ std::vector<std::vector<ExecConfig>> DifferentialHarness::lattice(
     classes.push_back({
         sim_config("sim/scalar/t1/sampled", false, 1, true),
         sim_config("sim/fused/t2/sampled", true, 2, true),
+        with_tier("sim/simd-off/t1/sampled", false, 1, true,
+                  Precision::kF64, SimdMode::kOff),
     });
+  }
+
+  // f32 tier: its own equivalence classes (per sampling mode). Internally
+  // the tier must be byte-identical across kernels/threads/SIMD backend;
+  // against f64 it only has to agree statistically — check() runs a
+  // chi-square test between each f32 class reference and the matching f64
+  // reference histogram.
+  {
+    std::vector<ExecConfig> f32 = {
+        with_tier("sim/f32/t1/trajectory", false, 1, false,
+                  Precision::kF32, SimdMode::kAuto),
+        with_tier("sim/f32/simd-off/t1/trajectory", false, 1, false,
+                  Precision::kF32, SimdMode::kOff),
+        with_tier("sim/f32/fused/t2/trajectory", true, 2, false,
+                  Precision::kF32, SimdMode::kAuto),
+    };
+    if (!eligible) {
+      f32.push_back(with_tier("sim/f32/t1/sampling-noop", true, 1, true,
+                              Precision::kF32, SimdMode::kAuto));
+    }
+    classes.push_back(std::move(f32));
+    if (eligible) {
+      classes.push_back({
+          with_tier("sim/f32/t1/sampled", false, 1, true, Precision::kF32,
+                    SimdMode::kAuto),
+          with_tier("sim/f32/simd-off/t2/sampled", false, 2, true,
+                    Precision::kF32, SimdMode::kOff),
+      });
+    }
   }
 
   if (!options_.with_service) return classes;
@@ -388,6 +435,32 @@ Histogram run_kill_restart(const DifferentialHarness::Options& opts,
   return out;
 }
 
+/// Two-sample chi-square statistic over the union of keys:
+/// sum over keys of (a - b)^2 / (a + b). Zero iff the histograms agree
+/// exactly; distributed ~chi-square(keys - 1) when both are drawn from
+/// the same distribution. The f32 and f64 tiers additionally share the
+/// per-shot RNG stream (seeding ignores precision), so in practice the
+/// statistic sits near zero and only a genuinely wrong distribution —
+/// a broken kernel, not rounding — can cross the generous threshold.
+double chi_square_statistic(const Histogram& a, const Histogram& b,
+                            std::size_t* keys) {
+  double stat = 0.0;
+  std::size_t n = 0;
+  for (const auto& [key, count] : a.counts()) {
+    const double x = static_cast<double>(count);
+    const double y = static_cast<double>(b.count(key));
+    stat += (x - y) * (x - y) / (x + y);
+    ++n;
+  }
+  for (const auto& [key, count] : b.counts()) {
+    if (a.count(key) != 0) continue;  // union: already visited above
+    stat += static_cast<double>(count);  // (0 - y)^2 / (0 + y) == y
+    ++n;
+  }
+  *keys = n;
+  return stat;
+}
+
 }  // namespace
 
 Histogram DifferentialHarness::run_config(const ExecConfig& config,
@@ -405,6 +478,8 @@ Histogram DifferentialHarness::run_config(const ExecConfig& config,
         so.fused_kernels = config.fused;
         so.sampling = config.sampling;
         so.min_parallel_qubits = config.min_parallel_qubits;
+        so.precision = config.precision;
+        so.simd = config.simd;
         return impl_->compile_authority.run_compiled(
             impl_->compiled_for(program, text), shots, run_seed, so);
       }
@@ -528,6 +603,12 @@ std::vector<Divergence> DifferentialHarness::check(
     divergences.push_back(std::move(d));
   };
 
+  // f64 reference histograms per sampling mode, kept for the cross-tier
+  // chi-square check against the f32 classes.
+  Histogram f64_ref[2];
+  ExecConfig f64_ref_config[2];
+  bool have_f64_ref[2] = {false, false};
+
   for (const auto& cls : lattice(program)) {
     std::string error;
     const Histogram reference =
@@ -541,6 +622,34 @@ std::vector<Divergence> DifferentialHarness::check(
       report(cls.front(), cls.front(), reference, reference,
              "reference total " + std::to_string(reference.total()) +
                  " != shots " + std::to_string(shots));
+
+    if (cls.front().level == ExecConfig::Level::kSim) {
+      const std::size_t mode = cls.front().sampling ? 1 : 0;
+      if (cls.front().precision == Precision::kF64) {
+        f64_ref[mode] = reference;
+        f64_ref_config[mode] = cls.front();
+        have_f64_ref[mode] = true;
+      } else if (have_f64_ref[mode]) {
+        // Cross-tier agreement: the f32 class reference must reproduce
+        // the f64 distribution up to sampling noise. Byte-identity is
+        // impossible by design (different rounding), so this is the one
+        // statistical — rather than exact — edge in the lattice. The
+        // threshold is far above any chi-square critical value: both
+        // tiers consume the same RNG stream, so healthy runs differ by
+        // at most a few boundary-flipped shots.
+        std::size_t keys = 0;
+        const double stat = chi_square_statistic(f64_ref[mode], reference,
+                                                 &keys);
+        const double threshold = 10.0 * static_cast<double>(keys) + 25.0;
+        if (stat > threshold) {
+          std::ostringstream os;
+          os << "f32/f64 chi-square statistic " << stat << " over " << keys
+             << " keys exceeds threshold " << threshold;
+          report(f64_ref_config[mode], cls.front(), f64_ref[mode], reference,
+                 os.str());
+        }
+      }
+    }
 
     for (std::size_t i = 1; i < cls.size(); ++i) {
       const Histogram got =

@@ -8,10 +8,17 @@
 //
 // Equivalence classes follow the stack's documented determinism contract
 // (docs/simulator.md, docs/service.md, docs/testing.md):
-//   * direct trajectory runs: one class across {threads} x {fused};
+//   * direct trajectory runs: one class across {threads} x {fused} x
+//     {SIMD backend} — the SIMD f64 kernels are bit-identical to the
+//     scalar f64 kernels by construction, so simd-f64 joins the f64
+//     class rather than forming its own;
 //   * direct sampled runs (eligible circuits): a second class across the
 //     same axes — the sampled and trajectory paths are each deterministic
 //     but differ from each other by design;
+//   * f32 runs: their own classes (per sampling mode) — internally
+//     byte-identical across {threads} x {fused} x {SIMD backend}, and
+//     additionally chi-square-checked against the f64 reference
+//     histogram (the tiers agree statistically, never byte-wise);
 //   * service runs at fixed shard size: one class per sampling mode across
 //     worker counts, fault histories, checkpoint-resume, cache hits and
 //     the gateway wire, because shard seeds depend only on (job seed,
@@ -47,6 +54,14 @@ struct ExecConfig {
   bool fused = false;
   std::size_t threads = 1;
   bool sampling = false;
+  /// Precision tier. kF32 configs form their own equivalence classes:
+  /// byte-identity is asserted within the tier, statistical agreement
+  /// (chi-square) against the f64 reference.
+  Precision precision = Precision::kF64;
+  /// kOff forces the scalar kernel backend; the per-tier contract says the
+  /// histogram must not change (simd-f64 == scalar-f64 bit-exactly, and
+  /// likewise within f32).
+  SimdMode simd = SimdMode::kAuto;
   /// Lowered so even the fuzzer's small registers exercise the parallel
   /// kernel partitioning (production default engages at 14 qubits).
   std::size_t min_parallel_qubits = 2;

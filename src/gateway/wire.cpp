@@ -248,6 +248,7 @@ void encode_run_request(const runtime::RunRequest& m, Encoder* e) {
   e->u64(m.sim_threads);
   e->str(m.tag);
   e->str(m.idempotency_key);  // v3
+  e->u8(static_cast<std::uint8_t>(m.precision));  // v4
 }
 
 bool decode_run_request(Decoder* d, runtime::RunRequest* m) {
@@ -279,16 +280,23 @@ bool decode_run_request(Decoder* d, runtime::RunRequest* m) {
     return false;
   }
   std::uint64_t shots, seed, deadline_us, sim_threads;
-  std::uint8_t has_deadline;
+  std::uint8_t has_deadline, precision;
   if (!d->u64(&shots) || !d->u64(&seed) || !d->i32(&m->priority) ||
       !d->u8(&has_deadline) ||
       (has_deadline != 0 && !d->u64(&deadline_us)) || !d->u64(&sim_threads) ||
-      !d->str(&m->tag) || !d->str(&m->idempotency_key) || !d->finish())
+      !d->str(&m->tag) || !d->str(&m->idempotency_key) ||
+      !d->u8(&precision) ||  // v4
+      !d->finish())
     return false;
   if (has_deadline > 1) {
     d->fail("bad deadline flag");
     return false;
   }
+  if (precision > 1) {
+    d->fail("bad precision tier");
+    return false;
+  }
+  m->precision = static_cast<Precision>(precision);
   m->shots = static_cast<std::size_t>(shots);
   m->seed = seed;
   if (has_deadline)
@@ -321,6 +329,10 @@ void encode_run_result(const runtime::RunResult& m, Encoder* e) {
   e->u8(static_cast<std::uint8_t>(m.stats.final_state_cache_tier));
   e->u8(m.stats.journal_recovered ? 1 : 0);  // v3
   e->u8(m.stats.idempotent_hit ? 1 : 0);     // v3
+  e->u8(static_cast<std::uint8_t>(m.stats.precision));  // v4
+  e->u64(m.stats.fused_gates);                          // v4
+  e->u64(m.stats.fused_ops);                            // v4
+  e->u64(m.stats.fused_max_run);                        // v4
 }
 
 bool decode_run_result(Decoder* d, runtime::RunResult* m) {
@@ -344,19 +356,30 @@ bool decode_run_result(Decoder* d, runtime::RunResult* m) {
     m->best_solution.push_back(bit);
   }
   std::uint64_t retries, shards, failovers, resumed, executed, dispatch_seq;
+  std::uint64_t fused_gates, fused_ops, fused_max_run;
   std::uint8_t cache_hit, sampled, fsc_hit, compile_tier, final_tier;
-  std::uint8_t recovered, idem_hit;
+  std::uint8_t recovered, idem_hit, precision;
   if (!d->f64(&m->best_energy) || !d->f64(&m->stats.queue_wait_us) ||
       !d->f64(&m->stats.run_us) || !d->u8(&cache_hit) || !d->u64(&retries) ||
       !d->u64(&shards) || !d->u64(&failovers) || !d->u64(&resumed) ||
       !d->u64(&executed) || !d->u64(&dispatch_seq) || !d->u8(&sampled) ||
       !d->u8(&fsc_hit) || !d->u8(&compile_tier) || !d->u8(&final_tier) ||
-      !d->u8(&recovered) || !d->u8(&idem_hit) || !d->finish())
+      !d->u8(&recovered) || !d->u8(&idem_hit) ||
+      !d->u8(&precision) || !d->u64(&fused_gates) ||  // v4
+      !d->u64(&fused_ops) || !d->u64(&fused_max_run) || !d->finish())
     return false;
   if (compile_tier > 2 || final_tier > 2) {
     d->fail("bad store tier");
     return false;
   }
+  if (precision > 1) {
+    d->fail("bad precision tier");
+    return false;
+  }
+  m->stats.precision = static_cast<Precision>(precision);
+  m->stats.fused_gates = static_cast<std::size_t>(fused_gates);
+  m->stats.fused_ops = static_cast<std::size_t>(fused_ops);
+  m->stats.fused_max_run = static_cast<std::size_t>(fused_max_run);
   m->stats.compile_cache_tier = static_cast<runtime::CacheTier>(compile_tier);
   m->stats.final_state_cache_tier = static_cast<runtime::CacheTier>(final_tier);
   m->stats.compile_cache_hit = cache_hit != 0;

@@ -36,12 +36,15 @@ namespace qs::gateway {
 
 inline constexpr std::uint32_t kMagic = 0x51474154;  // "QGAT"
 /// Highest protocol version this build speaks / lowest it still accepts.
-/// v3 appended `idempotency_key` to the RunRequest body and two u8 fields
+/// v4 appended `precision` (u8) to the RunRequest body and four fields
+/// (precision u8 + fused_gates/fused_ops/fused_max_run u64) to the
+/// RunResult body — the precision-tier and gate-fusion contract; v3
+/// appended `idempotency_key` to the RunRequest body and two u8 fields
 /// (journal_recovered / idempotent_hit) to the RunResult body — the
 /// exactly-once resubmission contract; v2 appended two u8 store-tier
 /// fields to RunResult. Older peers are no longer accepted.
-inline constexpr std::uint16_t kProtocolVersion = 3;
-inline constexpr std::uint16_t kProtocolVersionMin = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
+inline constexpr std::uint16_t kProtocolVersionMin = 4;
 /// Hard cap on a frame payload; a length prefix above this is rejected
 /// before any allocation (a corrupt or hostile peer cannot OOM the
 /// server).
@@ -202,9 +205,9 @@ bool decode_hello_reply(Decoder* d, HelloReply* m);
 
 /// RunRequest on the wire. Carried fields: tenant, session, payload (cQASM
 /// text or QUBO terms), shots, seed, priority, deadline_us, sim_threads,
-/// tag, idempotency_key (v3). Not carried (host-side concerns): faults,
-/// checkpoint_key; a structured `program` is printed to cQASM text by the
-/// client library.
+/// tag, idempotency_key (v3), precision (v4). Not carried (host-side
+/// concerns): faults, checkpoint_key; a structured `program` is printed to
+/// cQASM text by the client library.
 void encode_run_request(const runtime::RunRequest& m, Encoder* e);
 bool decode_run_request(Decoder* d, runtime::RunRequest* m);
 

@@ -80,23 +80,25 @@ Histogram GateAccelerator::run_compiled(
 Histogram GateAccelerator::run_flat(
     const std::vector<qasm::Instruction>& flat,
     const sim::TrajectoryAnalysis& analysis, std::size_t shots,
-    std::uint64_t seed, const sim::SimOptions& sim_options) const {
+    std::uint64_t seed, const sim::SimOptions& sim_options,
+    const sim::FusedProgram* fused) const {
   sim::Simulator simulator(compiler_.platform().qubit_count,
                            compiler_.platform().qubit_model, seed,
                            compiler_.platform().durations, sim_options);
-  return simulator.run_flat(flat, analysis, shots).histogram;
+  return simulator.run_flat(flat, analysis, shots, fused).histogram;
 }
 
 sim::FinalDistribution GateAccelerator::final_distribution(
     const std::vector<qasm::Instruction>& flat,
     const sim::TrajectoryAnalysis& analysis,
-    const sim::SimOptions& sim_options) const {
+    const sim::SimOptions& sim_options,
+    const sim::FusedProgram* fused) const {
   // The seed is immaterial: a samplable trajectory consumes no RNG that
   // could perturb the state (that is what analyze_trajectory proves).
   sim::Simulator simulator(compiler_.platform().qubit_count,
                            compiler_.platform().qubit_model, /*seed=*/1,
                            compiler_.platform().durations, sim_options);
-  return simulator.final_distribution(flat, analysis);
+  return simulator.final_distribution(flat, analysis, fused);
 }
 
 Histogram GateAccelerator::run_eqasm(const microarch::EqProgram& eq,
@@ -172,7 +174,9 @@ RunResult GateAccelerator::run(const RunRequest& request) const {
 
   sim::SimOptions sim_options = sim_options_;
   if (request.sim_threads != 0) sim_options.threads = request.sim_threads;
+  sim_options.precision = request.precision;
   sim_options.cancel = token;
+  result.stats.precision = request.precision;
   try {
     result.histogram =
         run_compiled(compiled, request.shots, request.seed, sim_options);

@@ -113,10 +113,15 @@ class GateAccelerator final : public QuantumAccelerator {
   /// Eligible circuits take the sampling fast path; the rest run the
   /// per-shot trajectory loop. Ignores the configured GatePath — the
   /// service routes micro-arch backends through run_eqasm itself.
+  /// A non-null `fused` (built over this exact flat stream with boundary
+  /// = analysis.terminal_start; the service caches one per compiled
+  /// entry) executes the fused ops instead of the raw instructions —
+  /// only valid under a stochastic-error-free qubit model.
   Histogram run_flat(const std::vector<qasm::Instruction>& flat,
                      const sim::TrajectoryAnalysis& analysis,
                      std::size_t shots, std::uint64_t seed,
-                     const sim::SimOptions& sim_options) const;
+                     const sim::SimOptions& sim_options,
+                     const sim::FusedProgram* fused = nullptr) const;
 
   /// Evolves a shot-deterministic circuit once on a fresh simulator and
   /// returns its reusable final distribution (see sim::FinalDistribution).
@@ -124,7 +129,8 @@ class GateAccelerator final : public QuantumAccelerator {
   sim::FinalDistribution final_distribution(
       const std::vector<qasm::Instruction>& flat,
       const sim::TrajectoryAnalysis& analysis,
-      const sim::SimOptions& sim_options) const;
+      const sim::SimOptions& sim_options,
+      const sim::FusedProgram* fused = nullptr) const;
 
   /// Runs pre-assembled eQASM on a fresh micro-architecture instance.
   Histogram run_eqasm(const microarch::EqProgram& eq, std::size_t shots,

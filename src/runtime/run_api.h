@@ -20,6 +20,7 @@
 #include "anneal/qubo.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/types.h"
 #include "qasm/program.h"
 
 namespace qs::runtime {
@@ -131,6 +132,17 @@ struct RunRequest {
   /// default). Tunes throughput, never output (kernel bit-identity).
   std::size_t sim_threads = 0;
 
+  /// Gate model: amplitude precision tier. kF64 is the reference tier;
+  /// kF32 halves the state footprint (one extra qubit per byte budget)
+  /// at ~1e-7 per-gate rounding. Unlike sim_threads this DOES change
+  /// output: each tier is internally byte-identical (same fingerprint ->
+  /// same histogram across workers, shards, retries and restarts) but
+  /// the tiers differ from each other, so precision is part of the
+  /// request fingerprint, the checkpoint fingerprint and the
+  /// final-state-cache key. Carried over the gateway wire since
+  /// protocol v4.
+  Precision precision = Precision::kF64;
+
   /// Optional client tag echoed into the result (tracing / metrics label).
   std::string tag;
 
@@ -224,6 +236,15 @@ struct JobStats {
   /// terminal result or an attach to an already-running job — without
   /// executing anything new.
   bool idempotent_hit = false;
+  /// Amplitude precision tier the job ran at (echoes the request).
+  Precision precision = Precision::kF64;
+  /// Gate-sequence fusion accounting (sim/fusion.h): unitary gates in the
+  /// compiled stream, the ops actually executed after fusion, and the
+  /// longest run collapsed into one op. All zero when fusion did not
+  /// apply (stochastic model, annealing jobs, or fusion disabled).
+  std::size_t fused_gates = 0;
+  std::size_t fused_ops = 0;
+  std::size_t fused_max_run = 0;
 };
 
 /// Terminal outcome of a RunRequest. `status` is the job's terminal state;

@@ -72,6 +72,7 @@ store::Codec<CompiledEntry> make_codec(
     }
     entry->analysis =
         sim::analyze_trajectory(entry->flat, ctx.qubit_count, ctx.model);
+    fuse_compiled_entry(*entry, ctx.model);
     return entry;
   };
 
@@ -92,6 +93,15 @@ std::uint64_t compiled_program_key(const std::string& cqasm_text,
   return h;
 }
 
+void fuse_compiled_entry(CompiledEntry& entry, const sim::QubitModel& model) {
+  if (sim::stochastic_model(model)) {
+    entry.fused = nullptr;
+    return;
+  }
+  entry.fused = std::make_shared<const sim::FusedProgram>(
+      sim::fuse_sequences(entry.flat, entry.analysis.terminal_start));
+}
+
 std::size_t compiled_entry_bytes(const CompiledEntry& entry) {
   std::size_t n = sizeof(CompiledEntry);
   n += entry.compiled.cqasm.size();
@@ -99,6 +109,7 @@ std::size_t compiled_entry_bytes(const CompiledEntry& entry) {
   n += entry.flat.size() * sizeof(qasm::Instruction);
   if (entry.eqasm)
     n += entry.eqasm->instructions().size() * sizeof(microarch::EqInstruction);
+  if (entry.fused) n += entry.fused->bytes();
   return n;
 }
 

@@ -21,6 +21,7 @@
 #include "compiler/compiler.h"
 #include "microarch/eqasm.h"
 #include "sim/error_model.h"
+#include "sim/fusion.h"
 #include "sim/trajectory_analysis.h"
 #include "store/artifact_store.h"
 
@@ -39,7 +40,18 @@ struct CompiledEntry {
   std::shared_ptr<const microarch::EqProgram> eqasm;  ///< null on Direct path
   std::vector<qasm::Instruction> flat;  ///< compiled.program, flattened
   sim::TrajectoryAnalysis analysis;     ///< verdict for the platform's model
+  /// Gate-sequence fusion of `flat` (sim/fusion.h); null when the
+  /// platform's qubit model is stochastic (fusion is invalid there).
+  /// Like `flat` and `analysis` it is a cheap pure function of the
+  /// program, so disk revival recomputes it — warm restarts revive fused
+  /// programs without a blob-format change.
+  std::shared_ptr<const sim::FusedProgram> fused;
 };
+
+/// Builds `entry.fused` for a freshly compiled or revived entry: the
+/// fusion pass over `entry.flat` with the sampling-prefix boundary, or
+/// null under a stochastic qubit model.
+void fuse_compiled_entry(CompiledEntry& entry, const sim::QubitModel& model);
 
 /// Computes the cache key for a program against a platform/options pair.
 std::uint64_t compiled_program_key(const std::string& cqasm_text,

@@ -56,7 +56,8 @@ store::Codec<sim::FinalDistribution> make_codec() {
 
 std::uint64_t final_state_key(std::uint64_t compiled_key,
                               const sim::QubitModel& model,
-                              bool fused_kernels) {
+                              bool fused_kernels, Precision precision,
+                              bool fused_sequences) {
   // Hexfloat round-trips doubles exactly, so two models hash equal iff
   // their parameters are bit-equal (same rule the platform fingerprint
   // follows for durations).
@@ -65,6 +66,10 @@ std::uint64_t final_state_key(std::uint64_t compiled_key,
      << model.gate_error_1q << ' ' << model.gate_error_2q << ' '
      << model.readout_error << ' ' << model.t1_ns << ' ' << model.t2_ns
      << ' ' << (fused_kernels ? 'f' : 'g');
+  // Appended (rather than inline) so every pre-existing (f64, unfused)
+  // disk entry keeps its key.
+  if (precision != Precision::kF64 || fused_sequences)
+    os << ' ' << to_string(precision) << (fused_sequences ? "+fused" : "");
   return hash_combine(compiled_key, fnv1a64(os.str()));
 }
 

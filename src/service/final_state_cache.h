@@ -27,11 +27,16 @@
 namespace qs::service {
 
 /// Key for a final distribution: the compiled-program cache key combined
-/// with the qubit-model parameters and the kernel flavour that produced
-/// the amplitudes.
+/// with the qubit-model parameters and the engine-config tier that
+/// produced the amplitudes — the kernel flavour, the amplitude precision
+/// and whether gate-sequence fusion ran. Each changes the evolved
+/// doubles, so each is part of the key; SIMD-vs-scalar and thread count
+/// are NOT (the kernel layer keeps them bit-identical).
 std::uint64_t final_state_key(std::uint64_t compiled_key,
                               const sim::QubitModel& model,
-                              bool fused_kernels);
+                              bool fused_kernels,
+                              Precision precision = Precision::kF64,
+                              bool fused_sequences = false);
 
 /// Typed view over the ArtifactStore for final-state distributions.
 /// Thread-safe (the store is).

@@ -68,6 +68,9 @@ std::string JobJournal::encode_request(const runtime::RunRequest& m) {
   e.u64(m.session);
   e.str(m.checkpoint_key);
   e.str(m.idempotency_key);
+  // Precision is part of the request fingerprint, so a recovered job
+  // must replay at the tier it was admitted at.
+  e.u8(static_cast<std::uint8_t>(m.precision));
   // Not carried (host-side concerns): faults.
   return e.take();
 }
@@ -111,6 +114,11 @@ bool JobJournal::decode_request(const std::string& payload,
       !r.u64(&session) || !r.str(&m.checkpoint_key) ||
       !r.str(&m.idempotency_key))
     return false;
+  // Trailing field, absent in journals written before precision tiers
+  // existed; those jobs ran (and therefore replay) at f64.
+  std::uint8_t precision = 0;
+  if (!r.done() && (!r.u8(&precision) || precision > 1)) return false;
+  m.precision = static_cast<Precision>(precision);
   if (!r.done()) return false;
   m.shots = static_cast<std::size_t>(shots);
   m.seed = seed;

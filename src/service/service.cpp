@@ -73,6 +73,9 @@ std::uint64_t checkpoint_fingerprint(const RunRequest& req,
   h = hash_combine(h, req.seed);
   h = hash_combine(h, req.shots);
   h = hash_combine(h, shard_shots);
+  // The precision tier changes amplitudes, hence shard histograms: f32
+  // partials must never merge into an f64 resume (or vice versa).
+  h = hash_combine(h, static_cast<std::uint64_t>(req.precision));
   return h;
 }
 
@@ -97,6 +100,9 @@ std::uint64_t request_fingerprint(const RunRequest& req,
   h = hash_combine(h, req.seed);
   h = hash_combine(h, req.shots);
   h = hash_combine(h, shard_shots);
+  // Same rationale as checkpoint_fingerprint: a different precision tier
+  // is a different result, so it is a different request.
+  h = hash_combine(h, static_cast<std::uint64_t>(req.precision));
   return h;
 }
 
@@ -848,7 +854,8 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
       job->sampled = true;
       job->final_key = final_state_key(
           job->entry->key, primary_gate_->platform().qubit_model,
-          primary_gate_->sim_options().fused_kernels);
+          primary_gate_->sim_options().fused_kernels, req.precision,
+          job->entry->fused != nullptr);
       metrics_.counter("qs_jobs_sampled_total").inc();
     } else {
       const sim::SamplingFallback reason =
@@ -862,6 +869,19 @@ void QuantumService::dispatch(const std::shared_ptr<JobState>& job) {
   }
 
   metrics_.counter("qs_jobs_dispatched_total").inc();
+  if (req.kind() == JobKind::Gate) {
+    metrics_
+        .counter(std::string("qs_jobs_by_precision_total{tier=\"") +
+                 to_string(req.precision) + "\"}")
+        .inc();
+    if (job->entry && job->entry->fused) {
+      const sim::FusionStats& fs = job->entry->fused->stats;
+      metrics_.counter("qs_fused_jobs_total").inc();
+      if (fs.input_gates >= fs.output_ops)
+        metrics_.counter("qs_fused_gates_saved_total")
+            .inc(fs.input_gates - fs.output_ops);
+    }
+  }
   {
     // progress() may be reading concurrently from a gateway stream.
     std::lock_guard<std::mutex> lock(job->merge_mutex);
@@ -989,6 +1009,7 @@ std::shared_ptr<const CompiledEntry> QuantumService::resolve_compiled(
   entry->analysis = sim::analyze_trajectory(
       entry->flat, primary_gate_->platform().qubit_count,
       primary_gate_->platform().qubit_model);
+  fuse_compiled_entry(*entry, primary_gate_->platform().qubit_model);
   if (options_.cache_enabled) {
     store::Outcome outcome;
     cache_.insert(key, entry, &outcome);
@@ -1066,10 +1087,12 @@ void QuantumService::ensure_final_distribution(
     }
     sim::SimOptions sim_options = primary_gate_->sim_options();
     sim_options.threads = effective_sim_threads(job->request.sim_threads);
+    sim_options.precision = job->request.precision;
     sim_options.cancel = token;
     auto dist = std::make_shared<const sim::FinalDistribution>(
         primary_gate_->final_distribution(job->entry->flat,
-                                          job->entry->analysis, sim_options));
+                                          job->entry->analysis, sim_options,
+                                          job->entry->fused.get()));
     if (cache_on) {
       store::Outcome outcome;
       const std::size_t evicted =
@@ -1176,6 +1199,7 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
 
       sim::SimOptions sim_options = backend->gate->sim_options();
       sim_options.threads = effective_sim_threads(req.sim_threads);
+      sim_options.precision = req.precision;
       sim_options.cancel = token;
       sim_options.sampling = options_.sampling_enabled;
       Histogram shard;
@@ -1196,10 +1220,17 @@ void QuantumService::run_gate_shard(const std::shared_ptr<JobState>& job,
                                                   seed, sim_options);
       } else {
         // Pre-flattened stream from the compiled entry: no per-shard
-        // flatten()/validate().
+        // flatten()/validate(); the entry's fused program (null under a
+        // stochastic model) replaces the raw stream. With a micro-arch
+        // backend anywhere in the pool the shard runs unfused: a
+        // failover re-route onto the eQASM path (which executes the raw
+        // gate stream) must reproduce this shard's histogram byte for
+        // byte, and fusion changes the evolved doubles.
+        const sim::FusedProgram* fused =
+            backends_->any_microarch() ? nullptr : job->entry->fused.get();
         shard = backend->gate->run_flat(job->entry->flat,
                                         job->entry->analysis, count, seed,
-                                        sim_options);
+                                        sim_options, fused);
       }
       if (req.faults &&
           req.faults->backend_fault(
@@ -1511,6 +1542,13 @@ void QuantumService::finish_shard(const std::shared_ptr<JobState>& job) {
       job->shards_executed.load(std::memory_order_relaxed);
   result.stats.compile_cache_tier = job->compile_tier;
   result.stats.sampled = job->sampled;
+  result.stats.precision = job->request.precision;
+  if (job->entry && job->entry->fused) {
+    const sim::FusionStats& fs = job->entry->fused->stats;
+    result.stats.fused_gates = fs.input_gates;
+    result.stats.fused_ops = fs.output_ops;
+    result.stats.fused_max_run = fs.max_run;
+  }
   result.stats.final_state_cache_hit = job->final_cache_hit;
   result.stats.final_state_cache_tier = job->final_tier;
   // Simulated pre-completion death: every shard ran and checkpointed, but

@@ -1,0 +1,416 @@
+#include "sim/fusion.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "sim/gates.h"
+
+namespace qs::sim {
+
+namespace {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+/// A gate can join a fusion block when it is an unconditional unitary on
+/// one or two qubits whose matrix is known at compile time. CRK with a
+/// negative k is left alone so the generic execution path raises its
+/// usual error at run time.
+bool fusable(const Instruction& instr) {
+  if (instr.is_conditional()) return false;
+  if (!qasm::gate_is_unitary(instr.kind())) return false;
+  if (instr.kind() == GateKind::CRK && instr.param_k() < 0) return false;
+  const std::size_t arity = instr.qubits().size();
+  if (arity < 1 || arity > 2) return false;
+  if (arity == 2 && instr.qubits()[0] == instr.qubits()[1]) return false;
+  return true;
+}
+
+/// Relative cost of one specialized kernel pass, in units of "one dense
+/// 2x2 sweep over the whole state" (~1.0). Derived from measured pass
+/// times at n=20: permutation/diagonal passes stream the state once,
+/// phase-like passes touch half of it, controlled phases a quarter. The
+/// table is backend-independent on purpose — the fused program must be
+/// a pure function of the instruction stream so every backend executes
+/// the same ops and histograms stay byte-identical within a tier.
+double gate_cost(const Instruction& instr) {
+  switch (instr.kind()) {
+    case GateKind::I:
+      return 0.0;
+    case GateKind::Z:
+      return 0.45;  // sign flip on half the amplitudes
+    case GateKind::S:
+    case GateKind::Sdag:
+    case GateKind::T:
+    case GateKind::Tdag:
+      return 0.5;  // phase on half the amplitudes
+    case GateKind::Rz:
+      return 0.9;  // diagonal sweep
+    case GateKind::X:
+      return 0.8;  // pure permutation
+    case GateKind::CNOT:
+      return 0.5;  // permutation of the control=1 half
+    case GateKind::Swap:
+      return 0.5;  // permutation of the differing-bits half
+    case GateKind::CZ:
+    case GateKind::CR:
+    case GateKind::CRK:
+      return 0.35;  // phase on the |11> quarter
+    case GateKind::RZZ:
+      return 1.0;  // diagonal sweep over quads
+    default:
+      // Dense matrix path: H/Y/Rx/Ry/X90... (1q) or a generic 4x4 (2q).
+      return instr.qubits().size() == 2 ? 2.2 : 1.0;
+  }
+}
+
+/// Cost of executing a fused block of the given arity (one dense sweep).
+double block_cost(std::size_t arity) { return arity == 2 ? 2.2 : 1.0; }
+
+/// Cost of a fused diagonal-window sweep (one streaming pass plus the
+/// table lookups).
+constexpr double kDiagWindowCost = 1.1;
+
+/// Widest diagonal window (table of 2^k complex entries; 10 keeps the
+/// table L1-resident). Longer chains split into several windows.
+constexpr QubitIndex kMaxWindowBits = 10;
+
+/// Lifts a unitary whose operands are `gq` (MSB first, matching gates.h)
+/// onto the frame (q1=MSB, q0=LSB). A 1-qubit frame returns the matrix
+/// unchanged; in a 2-qubit frame 1q gates tensor with the identity on
+/// the other slot and reversed 2q gates get conjugated by the bit-swap
+/// permutation.
+Matrix lift(const Matrix& g, const std::vector<QubitIndex>& gq,
+            QubitIndex q1, QubitIndex q0, std::size_t frame) {
+  if (frame == 1) return g;
+  if (gq.size() == 1) {
+    const Matrix id = Matrix::identity(2);
+    // kron: *this supplies the most significant bit.
+    return gq[0] == q1 ? g.kron(id) : id.kron(g);
+  }
+  if (gq[0] == q1 && gq[1] == q0) return g;
+  // Reversed operand order: frame index bits (b1 b0) read the gate's
+  // matrix at bits (b0 b1).
+  static constexpr std::size_t kSwap[4] = {0, 2, 1, 3};
+  Matrix out(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) out(r, c) = g(kSwap[r], kSwap[c]);
+  return out;
+}
+
+/// One open accumulation block: a running product unitary over a fixed
+/// qubit set. Open blocks are pairwise disjoint and a block's set never
+/// shrinks, so emitting blocks in creation order only ever reorders
+/// gates with disjoint supports — exact commutation.
+struct Block {
+  Matrix u;
+  std::vector<QubitIndex> qubits;   ///< sorted descending: {q1} or {q1, q0}
+  std::vector<Instruction> members; ///< stream-ordered, for de-fusion
+  double member_cost = 0.0;         ///< sum of specialized pass costs
+  std::size_t count = 0;
+  std::uint64_t born = 0;
+};
+
+/// True when `op` counts toward FusionStats unitary op totals.
+bool counts_as_unitary_op(const FusedOp& op) {
+  if (op.is_block || op.is_diag_window) return true;
+  const Instruction& in = op.instr;
+  return qasm::gate_is_unitary(in.kind()) &&
+         !(in.kind() == GateKind::CRK && in.param_k() < 0);
+}
+
+/// Exactly-diagonal test for a gate/block matrix (2x2 or 4x4).
+bool is_diagonal(const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (r != c && m(r, c) != cplx(0.0, 0.0)) return false;
+  return true;
+}
+
+/// Second pass: collapse runs of consecutive diagonal ops into diagonal
+/// windows. Diagonal operators commute pairwise, so a consecutive run
+/// fuses regardless of which qubits its gates touch; the only limits are
+/// the window width (table size) and the cost test. `boundary_op` is the
+/// op index the sampling prefix ends at — no window may span it.
+std::vector<FusedOp> fuse_diagonal_runs(std::vector<FusedOp> ops,
+                                        std::size_t boundary_op,
+                                        std::size_t* new_boundary,
+                                        FusionStats* stats) {
+  std::vector<FusedOp> out;
+  out.reserve(ops.size());
+
+  struct Member {
+    FusedOp op;
+    Matrix diag;                     ///< 2x2 or 4x4, exactly diagonal
+    std::vector<QubitIndex> qubits;  ///< MSB first (gates.h convention)
+    double cost;
+  };
+  std::vector<Member> run;
+  QubitIndex run_lo = 0, run_hi = 0;  ///< inclusive window bit range
+
+  const auto flush_run = [&] {
+    double cost_sum = 0.0;
+    std::size_t gates = 0;
+    for (const Member& m : run) {
+      cost_sum += m.cost;
+      gates += m.op.gate_count;
+    }
+    if (run.size() >= 2 && cost_sum > kDiagWindowCost) {
+      FusedOp op;
+      op.is_diag_window = true;
+      op.dw_shift = run_lo;
+      op.dw_width = static_cast<QubitIndex>(run_hi - run_lo + 1);
+      op.dw_table.assign(std::size_t{1} << op.dw_width, cplx(1.0, 0.0));
+      for (const Member& m : run) {
+        // Compose this gate's diagonal into the table: entry v multiplies
+        // by d[bits of v at the gate's operands], MSB-first.
+        for (std::size_t v = 0; v < op.dw_table.size(); ++v) {
+          std::size_t idx = 0;
+          for (QubitIndex q : m.qubits)
+            idx = (idx << 1) | ((v >> (q - run_lo)) & 1u);
+          op.dw_table[v] *= m.diag(idx, idx);
+        }
+      }
+      op.gate_count = gates;
+      ++stats->fused_blocks;
+      stats->max_run = std::max(stats->max_run, gates);
+      out.push_back(std::move(op));
+    } else {
+      for (Member& m : run) out.push_back(std::move(m.op));
+    }
+    run.clear();
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i == boundary_op) {
+      flush_run();
+      *new_boundary = out.size();
+    }
+    FusedOp& op = ops[i];
+
+    Member m;
+    bool eligible = false;
+    if (op.is_block) {
+      if (is_diagonal(op.u)) {
+        m.diag = op.u;
+        m.qubits = op.arity == 2 ? std::vector<QubitIndex>{op.q1, op.q0}
+                                 : std::vector<QubitIndex>{op.q0};
+        m.cost = block_cost(op.arity);
+        eligible = true;
+      }
+    } else if (!op.is_diag_window && fusable(op.instr)) {
+      const Matrix g = gate_matrix(op.instr);
+      if (is_diagonal(g)) {
+        m.diag = g;
+        m.qubits = op.instr.qubits();
+        m.cost = gate_cost(op.instr);
+        eligible = true;
+      }
+    }
+
+    if (eligible) {
+      QubitIndex qlo = m.qubits[0], qhi = m.qubits[0];
+      for (QubitIndex q : m.qubits) {
+        qlo = std::min(qlo, q);
+        qhi = std::max(qhi, q);
+      }
+      const QubitIndex lo = run.empty() ? qlo : std::min(run_lo, qlo);
+      const QubitIndex hi = run.empty() ? qhi : std::max(run_hi, qhi);
+      if (hi - lo + 1 > kMaxWindowBits) flush_run();
+      run_lo = run.empty() ? qlo : std::min(run_lo, qlo);
+      run_hi = run.empty() ? qhi : std::max(run_hi, qhi);
+      m.op = std::move(op);
+      run.push_back(std::move(m));
+      continue;
+    }
+
+    flush_run();
+    out.push_back(std::move(op));
+  }
+  flush_run();
+  if (boundary_op >= ops.size()) *new_boundary = out.size();
+  return out;
+}
+
+}  // namespace
+
+std::size_t FusedProgram::bytes() const {
+  std::size_t total = sizeof(FusedProgram);
+  for (const FusedOp& op : ops)
+    total += sizeof(FusedOp) + op.u.rows() * op.u.cols() * sizeof(cplx) +
+             op.dw_table.size() * sizeof(cplx) +
+             op.instr.qubits().size() * sizeof(QubitIndex);
+  return total;
+}
+
+FusedProgram fuse_sequences(const std::vector<qasm::Instruction>& flat,
+                            std::size_t boundary) {
+  FusedProgram out;
+  std::vector<Block> open;
+  std::uint64_t next_born = 0;
+
+  const auto emit_block = [&out](Block& b) {
+    if (b.count > 1 && b.member_cost > block_cost(b.qubits.size())) {
+      FusedOp op;
+      op.is_block = true;
+      op.u = std::move(b.u);
+      op.arity = b.qubits.size();
+      op.q1 = b.qubits.front();
+      op.q0 = b.qubits.back();
+      op.gate_count = b.count;
+      ++out.stats.fused_blocks;
+      ++out.stats.output_ops;
+      out.stats.max_run = std::max(out.stats.max_run, b.count);
+      out.ops.push_back(std::move(op));
+      return;
+    }
+    // Single-gate runs — and runs whose specialized per-gate passes are
+    // estimated cheaper than one dense sweep — re-emit the original
+    // instructions, keeping the fast-path kernels' exact arithmetic.
+    for (Instruction& instr : b.members) {
+      FusedOp op;
+      op.instr = std::move(instr);
+      ++out.stats.output_ops;
+      out.stats.max_run = std::max<std::size_t>(out.stats.max_run, 1);
+      out.ops.push_back(std::move(op));
+    }
+  };
+
+  const auto flush_all = [&] {
+    std::sort(open.begin(), open.end(),
+              [](const Block& a, const Block& b) { return a.born < b.born; });
+    for (Block& b : open) emit_block(b);
+    open.clear();
+  };
+
+  std::size_t prefix_op_index = 0;
+  bool prefix_set = false;
+
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    if (i == boundary) {
+      // No block may span the shot-deterministic prefix boundary: the
+      // sampling fast path executes exactly ops[0, prefix_ops).
+      flush_all();
+      prefix_op_index = out.ops.size();
+      prefix_set = true;
+    }
+    const Instruction& instr = flat[i];
+
+    if (!fusable(instr)) {
+      // Conservative: measurements, preps, conditionals, displays,
+      // barriers, waits and 3-qubit gates act as full barriers.
+      flush_all();
+      FusedOp op;
+      op.instr = instr;
+      out.ops.push_back(std::move(op));
+      if (qasm::gate_is_unitary(instr.kind()) &&
+          !(instr.kind() == GateKind::CRK && instr.param_k() < 0)) {
+        // Toffoli and conditional unitaries still execute 1:1.
+        ++out.stats.input_gates;
+        ++out.stats.output_ops;
+      }
+      continue;
+    }
+
+    ++out.stats.input_gates;
+    const std::vector<QubitIndex>& gq = instr.qubits();
+
+    // This gate's qubits unioned with every intersecting open block.
+    std::vector<std::size_t> hits;
+    std::vector<QubitIndex> frame_set(gq.begin(), gq.end());
+    for (std::size_t b = 0; b < open.size(); ++b) {
+      const Block& blk = open[b];
+      const bool intersects =
+          std::any_of(gq.begin(), gq.end(), [&blk](QubitIndex q) {
+            return std::find(blk.qubits.begin(), blk.qubits.end(), q) !=
+                   blk.qubits.end();
+          });
+      if (!intersects) continue;
+      hits.push_back(b);
+      for (QubitIndex q : blk.qubits)
+        if (std::find(frame_set.begin(), frame_set.end(), q) ==
+            frame_set.end())
+          frame_set.push_back(q);
+    }
+    // Oldest-first for the running product and for emission; descending
+    // index for erasure (open is not sorted by born once merged blocks —
+    // old born, appended last — exist, so these orders differ).
+    std::sort(hits.begin(), hits.end(),
+              [&open](std::size_t a, std::size_t b) {
+                return open[a].born < open[b].born;
+              });
+    const auto erase_hits = [&open, &hits] {
+      std::vector<std::size_t> by_index = hits;
+      std::sort(by_index.begin(), by_index.end(),
+                std::greater<std::size_t>());
+      for (std::size_t h : by_index)
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(h));
+    };
+
+    if (frame_set.size() <= 2) {
+      // The gate and every intersecting block fit in one <= 2-qubit
+      // frame: fold them all into a single product, oldest block first,
+      // newest gate applied last (leftmost in the product).
+      std::sort(frame_set.begin(), frame_set.end(),
+                std::greater<QubitIndex>());
+      const QubitIndex q1 = frame_set.front();
+      const QubitIndex q0 = frame_set.back();
+      const std::size_t frame = frame_set.size();
+
+      Block merged;
+      merged.qubits = frame_set;
+      merged.born = hits.empty() ? next_born++ : open[hits.front()].born;
+      merged.u = Matrix::identity(frame == 2 ? 4 : 2);
+      for (std::size_t h : hits) {
+        Block& blk = open[h];
+        merged.u = lift(blk.u, blk.qubits, q1, q0, frame) * merged.u;
+        merged.count += blk.count;
+        merged.member_cost += blk.member_cost;
+        for (Instruction& m : blk.members)
+          merged.members.push_back(std::move(m));
+      }
+      merged.u = lift(gate_matrix(instr), gq, q1, q0, frame) * merged.u;
+      merged.count += 1;
+      merged.member_cost += gate_cost(instr);
+      merged.members.push_back(instr);
+
+      erase_hits();
+      open.push_back(std::move(merged));
+    } else {
+      // Would need a > 2-qubit frame: retire the intersecting blocks
+      // and start fresh with this gate.
+      for (std::size_t h : hits) emit_block(open[h]);
+      erase_hits();
+
+      Block fresh;
+      fresh.qubits.assign(gq.begin(), gq.end());
+      std::sort(fresh.qubits.begin(), fresh.qubits.end(),
+                std::greater<QubitIndex>());
+      fresh.u = lift(gate_matrix(instr), gq, fresh.qubits.front(),
+                     fresh.qubits.back(), fresh.qubits.size());
+      fresh.members.push_back(instr);
+      fresh.member_cost = gate_cost(instr);
+      fresh.count = 1;
+      fresh.born = next_born++;
+      open.push_back(std::move(fresh));
+    }
+  }
+
+  flush_all();
+  if (!prefix_set) prefix_op_index = out.ops.size();
+
+  // Second pass: consecutive diagonal ops collapse into window sweeps.
+  std::size_t new_boundary = prefix_op_index;
+  out.ops = fuse_diagonal_runs(std::move(out.ops), prefix_op_index,
+                               &new_boundary, &out.stats);
+  out.prefix_ops = new_boundary;
+
+  // output_ops is recounted after the second pass (windows absorb ops).
+  out.stats.output_ops = 0;
+  for (const FusedOp& op : out.ops)
+    if (counts_as_unitary_op(op)) ++out.stats.output_ops;
+  return out;
+}
+
+}  // namespace qs::sim

@@ -1,0 +1,102 @@
+// Cross-gate fusion (the compiler-side half of the kernel speedup, after
+// quilc and staq): merges runs of adjacent 1-/2-qubit unitaries whose
+// combined support stays within two qubits into single 4x4 (or 2x2)
+// matrices, so one memory pass over the state replaces a whole gate
+// sequence; interleaved rotation chains collapse to one matrix each.
+//
+// Emission is cost-aware: a block is only kept when the one fused pass is
+// estimated cheaper than the specialized per-gate passes it replaces
+// (e.g. three CNOTs stay three permutation passes — a dense 4x4 sweep
+// over the whole state would cost more than the three quarter-state
+// swaps). Uneconomical blocks dissolve back into their original
+// instructions, preserving the fast-path kernels' exact arithmetic.
+//
+// A second pass collapses runs of consecutive diagonal gates — QFT CRK
+// chains, CZ/RZ layers — into one *diagonal window* op: the gates'
+// diagonals compose exactly into a table over a contiguous bit window,
+// and one sweep (amp[i] *= table[(i >> shift) & mask]) replaces the whole
+// run. Diagonal gates all commute, so any consecutive run fuses no
+// matter which qubits the gates touch.
+//
+// The pass keeps several blocks open at once (their qubit sets are
+// pairwise disjoint), so independent per-qubit gate runs fuse even when
+// the instruction stream interleaves them. Gates are only ever reordered
+// across *disjoint* qubit sets — exact mathematical commutation — and
+// the pass is deterministic, so a fused program is a pure function of
+// the flattened instruction stream and fuses identically on every
+// worker, shard, retry and store revival.
+//
+// Validity: only under a stochastic-error-free qubit model
+// (sim::stochastic_model(model) == false). Error models inject noise per
+// gate; collapsing a sequence would change how often the hooks fire, so
+// the Simulator ignores fused programs on noisy models and runs the
+// original instruction stream.
+//
+// Numerics: a fused block applies the product matrix, whose doubles
+// differ from the gate-by-gate application by normal rounding (~1e-15).
+// Fusion is therefore part of the engine-config tier: every route that
+// executes a program applies the same pass, keeping histograms
+// byte-identical within each tier (docs/simulator.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "qasm/instruction.h"
+
+namespace qs::sim {
+
+/// One executable step of a fused program: an original instruction
+/// (non-unitary steps, conditionals, and runs the cost model leaves on
+/// the specialized fast-path kernels), a fused unitary block, or a fused
+/// diagonal window (a run of commuting diagonal gates composed into one
+/// phase table indexed by a contiguous bit window).
+struct FusedOp {
+  /// Valid when !is_block && !is_diag_window (default otherwise).
+  qasm::Instruction instr;
+
+  bool is_block = false;
+  Matrix u;                   ///< 2x2 (arity 1) or 4x4 (arity 2)
+  std::size_t arity = 0;      ///< block operand count
+  QubitIndex q1 = 0;          ///< matrix MSB operand (arity 2)
+  QubitIndex q0 = 0;          ///< matrix LSB operand / sole operand
+
+  /// Diagonal chain: amp[i] *= dw_table[(i >> dw_shift) & (2^dw_width-1)].
+  bool is_diag_window = false;
+  QubitIndex dw_shift = 0;
+  QubitIndex dw_width = 0;
+  std::vector<cplx> dw_table;
+
+  std::size_t gate_count = 1; ///< original unitary gates this op represents
+};
+
+struct FusionStats {
+  std::size_t input_gates = 0;   ///< unitary gates in the source stream
+  std::size_t output_ops = 0;    ///< unitary ops after fusion
+  std::size_t fused_blocks = 0;  ///< ops representing >= 2 gates
+  std::size_t max_run = 0;       ///< longest gate run fused into one op
+};
+
+/// A fused instruction stream, aligned with the flattened program it was
+/// built from.
+struct FusedProgram {
+  std::vector<FusedOp> ops;
+  /// Number of ops covering flat[0, boundary) — the shot-deterministic
+  /// prefix when built with boundary = analysis.terminal_start, so the
+  /// sampling fast path can execute exactly the fused prefix.
+  std::size_t prefix_ops = 0;
+  FusionStats stats;
+
+  /// Approximate resident size, for cache accounting.
+  std::size_t bytes() const;
+};
+
+/// Fuses the flattened stream. `boundary` forces a flush (no block spans
+/// it); pass analysis.terminal_start so the sampled prefix stays aligned,
+/// or flat.size() when there is no terminal region.
+FusedProgram fuse_sequences(const std::vector<qasm::Instruction>& flat,
+                            std::size_t boundary);
+
+}  // namespace qs::sim

@@ -1,0 +1,105 @@
+// Backend dispatch for the state-vector hot loops. The kernels themselves
+// live in kernels_core.inc as plain templated loops over split real/imag
+// (SoA) arrays; that file is compiled twice into per-backend tables:
+//
+//   * kernels_scalar.cpp  — built with -fno-tree-vectorize: the true
+//     scalar tier, one amplitude at a time.
+//   * kernels_avx2.cpp    — built with -mavx2 -ffp-contract=off: the
+//     compiler auto-vectorises the contiguous inner runs into 4x f64 /
+//     8x f32 lanes. Contraction is off and the per-element expression
+//     trees are identical to the scalar build, so at f64 the AVX2 path
+//     produces the very same doubles as the scalar path — simd-f64 and
+//     scalar-f64 share one byte-identity class (docs/simulator.md).
+//
+// Both tables exist for both element types; reductions keep the ordered
+// left-to-right accumulation in every backend (a loop-carried dependency
+// the vectoriser must not reassociate), so sampling and measurement
+// streams never depend on the selected backend.
+//
+// The AVX2 table is compiled only under the QS_SIMD CMake option (the
+// compile-time escape hatch) and is selected at runtime only when cpuid
+// reports AVX2 and the QS_SIMD environment variable is not "off".
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace qs::sim {
+
+/// One backend's kernel set for element type T (double or float). Ranges
+/// are in the same units the StateVector partitioner uses: pair numbers
+/// for single-qubit kernels, quad numbers for two-qubit kernels, element
+/// indices for whole-array sweeps — so thread partitioning is identical
+/// whichever backend runs the slice.
+template <typename T>
+struct KernelFns {
+  // m2 = {u00, u01, u10, u11}; m4 = 16 row-major entries.
+  void (*apply_1q)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q,
+                   const cplx* m2);
+  void (*apply_controlled_1q)(T* re, T* im, StateIndex lo, StateIndex hi,
+                              QubitIndex target, StateIndex control_mask,
+                              const cplx* m2);
+  void (*apply_2q)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex blo,
+                   QubitIndex bhi, StateIndex m1, StateIndex m0,
+                   const cplx* m4);
+  void (*apply_x)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q);
+  void (*apply_y)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q);
+  void (*apply_z)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q);
+  void (*apply_phase)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q,
+                      cplx phase);
+  void (*apply_diag)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q,
+                     cplx d0, cplx d1);
+  void (*apply_cnot)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex blo,
+                     QubitIndex bhi, StateIndex mc, StateIndex mt);
+  void (*apply_cphase)(T* re, T* im, StateIndex lo, StateIndex hi,
+                       QubitIndex blo, QubitIndex bhi, StateIndex both,
+                       cplx phase);
+  void (*apply_zz_phase)(T* re, T* im, StateIndex lo, StateIndex hi,
+                         QubitIndex blo, QubitIndex bhi, StateIndex ma,
+                         StateIndex mb, cplx same, cplx diff);
+  void (*apply_swap)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex blo,
+                     QubitIndex bhi, StateIndex ma, StateIndex mb);
+  /// Fused diagonal chain: amp[i] *= table[(i >> shift) & wmask] over
+  /// element indices [lo, hi). `wmask` is 2^w - 1 for a w-qubit window.
+  void (*apply_diag_window)(T* re, T* im, StateIndex lo, StateIndex hi,
+                            QubitIndex shift, StateIndex wmask,
+                            const cplx* table);
+
+  /// Ordered left-to-right sum of |a_i|^2 over element range [lo, hi).
+  /// Accumulates in double for both element types.
+  double (*sum_sq)(const T* re, const T* im, StateIndex lo, StateIndex hi);
+  /// Ordered sum of |a|^2 over the bit-q-set member of pairs [lo, hi).
+  double (*sum_sq_set)(const T* re, const T* im, StateIndex lo, StateIndex hi,
+                       QubitIndex q);
+
+  /// Fused post-measurement sweep over pairs [lo, hi): rescales the kept
+  /// half by `scale`, zeroes the discarded half.
+  void (*collapse)(T* re, T* im, StateIndex lo, StateIndex hi, QubitIndex q,
+                   int outcome, double scale);
+  /// Elementwise rescale over [lo, hi).
+  void (*scale)(T* re, T* im, StateIndex lo, StateIndex hi, double s);
+  /// out[i] = |a_i|^2 as a double, elementwise over [lo, hi) — the
+  /// vectorisable first pass of cumulative_distribution; the ordered
+  /// running-sum pass stays scalar in every backend.
+  void (*square_into)(const T* re, const T* im, double* out, StateIndex lo,
+                      StateIndex hi);
+};
+
+/// True when this binary carries the AVX2 backend (built with QS_SIMD=ON).
+bool simd_compiled();
+
+/// True when the running CPU reports AVX2 support.
+bool simd_cpu_supported();
+
+/// Resolves SimdMode::kAuto against the build, the CPU and the QS_SIMD
+/// environment variable ("off"/"0" disables; anything else leaves auto).
+bool simd_selected(SimdMode mode);
+
+const KernelFns<double>* scalar_kernels_f64();
+const KernelFns<float>* scalar_kernels_f32();
+/// nullptr when the AVX2 backend is not compiled in.
+const KernelFns<double>* avx2_kernels_f64();
+const KernelFns<float>* avx2_kernels_f32();
+
+}  // namespace qs::sim

@@ -1,0 +1,26 @@
+// AVX2 kernel backend. Compiled with -mavx2 -ffp-contract=off (see
+// src/sim/CMakeLists.txt): the contiguous inner runs auto-vectorise into
+// 4x f64 / 8x f32 lanes, and with contraction off the per-element
+// expression trees evaluate exactly as the scalar build's do — no FMA, no
+// reassociation — so at f64 this backend is byte-identical to the scalar
+// one. This TU exists only under the QS_SIMD CMake option; kernels_scalar
+// .cpp supplies the nullptr stubs otherwise.
+#include "sim/kernels.h"
+
+namespace {
+using qs::QubitIndex;
+using qs::StateIndex;
+using qs::cplx;
+#include "sim/kernels_core.inc"
+
+const qs::sim::KernelFns<double> kTableF64 = make_kernel_table<double>();
+const qs::sim::KernelFns<float> kTableF32 = make_kernel_table<float>();
+}  // namespace
+
+namespace qs::sim {
+
+bool simd_compiled() { return true; }
+const KernelFns<double>* avx2_kernels_f64() { return &kTableF64; }
+const KernelFns<float>* avx2_kernels_f32() { return &kTableF32; }
+
+}  // namespace qs::sim

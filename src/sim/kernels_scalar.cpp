@@ -1,0 +1,50 @@
+// Scalar kernel backend. Compiled with -fno-tree-vectorize (see
+// src/sim/CMakeLists.txt) so this tier really is one-amplitude-at-a-time —
+// without the flag the compiler would SSE-vectorise these loops and the
+// "scalar" tier would be a misnomer in benchmarks.
+#include "sim/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace {
+using qs::QubitIndex;
+using qs::StateIndex;
+using qs::cplx;
+#include "sim/kernels_core.inc"
+
+const qs::sim::KernelFns<double> kTableF64 = make_kernel_table<double>();
+const qs::sim::KernelFns<float> kTableF32 = make_kernel_table<float>();
+}  // namespace
+
+namespace qs::sim {
+
+const KernelFns<double>* scalar_kernels_f64() { return &kTableF64; }
+const KernelFns<float>* scalar_kernels_f32() { return &kTableF32; }
+
+bool simd_cpu_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool simd_selected(SimdMode mode) {
+  if (mode == SimdMode::kOff) return false;
+  if (!simd_compiled() || !simd_cpu_supported()) return false;
+  static const bool env_off = [] {
+    const char* v = std::getenv("QS_SIMD");
+    return v != nullptr &&
+           (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
+  }();
+  return !env_off;
+}
+
+#ifndef QS_SIMD_AVX2
+bool simd_compiled() { return false; }
+const KernelFns<double>* avx2_kernels_f64() { return nullptr; }
+const KernelFns<float>* avx2_kernels_f32() { return nullptr; }
+#endif
+
+}  // namespace qs::sim

@@ -50,7 +50,8 @@ std::size_t resolve_sim_threads(std::size_t requested) {
 Simulator::Simulator(std::size_t qubit_count, QubitModel model,
                      std::uint64_t seed, GateDurations durations,
                      SimOptions options)
-    : state_(qubit_count),
+    : state_(qubit_count, options.precision, options.max_state_bytes,
+             options.simd),
       model_(model),
       errors_(make_error_model(model)),
       durations_(durations),
@@ -231,7 +232,15 @@ std::vector<int> Simulator::run_once(const qasm::Program& program) {
   if (program.qubit_count() > state_.qubit_count())
     throw std::invalid_argument(
         "Simulator: program needs more qubits than the simulator has");
-  for (const auto& instr : program.flatten()) execute(instr);
+  const std::vector<qasm::Instruction> flat = program.flatten();
+  // Same guard as run(): per-gate error hooks count physical gates, so
+  // fusion is only exact on noiseless models.
+  if (options_.fuse_sequences && !stochastic_model(model_)) {
+    const FusedProgram fused = fuse_sequences(flat, flat.size());
+    for (const FusedOp& op : fused.ops) execute_fused_op(op);
+  } else {
+    for (const auto& instr : flat) execute(instr);
+  }
   return bits_;
 }
 
@@ -245,20 +254,47 @@ RunResult Simulator::run(const qasm::Program& program, std::size_t shots) {
   const std::vector<qasm::Instruction> flat = program.flatten();
   const TrajectoryAnalysis analysis =
       analyze_trajectory(flat, state_.qubit_count(), model_);
+  // Fusion is only exact when no per-gate error hooks fire (they count
+  // physical gates, not fused blocks).
+  if (options_.fuse_sequences && !stochastic_model(model_)) {
+    const FusedProgram fused = fuse_sequences(flat, analysis.terminal_start);
+    return run_flat(flat, analysis, shots, &fused);
+  }
   return run_flat(flat, analysis, shots);
+}
+
+void Simulator::execute_fused_op(const FusedOp& op) {
+  if (op.is_diag_window) {
+    state_.apply_diag_window(op.dw_shift, op.dw_width, op.dw_table.data());
+    gates_executed_ += op.gate_count;
+    return;
+  }
+  if (!op.is_block) {
+    execute(op.instr);
+    return;
+  }
+  if (op.arity == 2) {
+    state_.apply_2q(op.u, op.q1, op.q0);
+  } else {
+    state_.apply_1q(op.u, op.q0);
+  }
+  // Gate accounting stays logical: a block counts the gates it replaced,
+  // so gates_executed()/total_gates are fusion-invariant.
+  gates_executed_ += op.gate_count;
 }
 
 RunResult Simulator::run_flat(const std::vector<qasm::Instruction>& flat,
                               const TrajectoryAnalysis& analysis,
-                              std::size_t shots) {
+                              std::size_t shots, const FusedProgram* fused) {
   RunResult result;
   result.shots = shots;
+  if (fused != nullptr) result.fusion = fused->stats;
   if (options_.sampling && analysis.samplable) {
     // Shot-deterministic circuit: evolve once, sample every shot from the
     // final distribution. One counter-derived draw per shot keeps the
     // histogram byte-identical to any other sampler of the same
     // (seed, shots) pair — whatever the thread count or shard layout.
-    const FinalDistribution dist = final_distribution(flat, analysis);
+    const FinalDistribution dist = final_distribution(flat, analysis, fused);
     result.total_gates = dist.gates;
     result.histogram = sample_histogram(dist, shots, seed_, options_.cancel);
     result.sampled = true;
@@ -269,7 +305,11 @@ RunResult Simulator::run_flat(const std::vector<qasm::Instruction>& flat,
   for (std::size_t s = 0; s < shots; ++s) {
     throw_if_stopped(options_.cancel);
     reset();
-    for (const auto& instr : flat) execute(instr);
+    if (fused != nullptr) {
+      for (const FusedOp& op : fused->ops) execute_fused_op(op);
+    } else {
+      for (const auto& instr : flat) execute(instr);
+    }
     for (std::size_t i = 0; i < bits_.size(); ++i)
       key[i] = bits_[i] ? '1' : '0';
     result.histogram.add(key);
@@ -280,15 +320,20 @@ RunResult Simulator::run_flat(const std::vector<qasm::Instruction>& flat,
 
 FinalDistribution Simulator::final_distribution(
     const std::vector<qasm::Instruction>& flat,
-    const TrajectoryAnalysis& analysis) {
+    const TrajectoryAnalysis& analysis, const FusedProgram* fused) {
   if (!analysis.samplable)
     throw std::logic_error(
         "Simulator::final_distribution: trajectory is not samplable");
   throw_if_stopped(options_.cancel);
   const std::size_t gates_before = gates_executed_;
   reset();
-  for (std::size_t i = 0; i < analysis.terminal_start; ++i)
-    execute(flat[i]);
+  if (fused != nullptr) {
+    for (std::size_t i = 0; i < fused->prefix_ops; ++i)
+      execute_fused_op(fused->ops[i]);
+  } else {
+    for (std::size_t i = 0; i < analysis.terminal_start; ++i)
+      execute(flat[i]);
+  }
   FinalDistribution dist;
   dist.qubit_count = state_.qubit_count();
   dist.measured_mask = analysis.measured_mask;

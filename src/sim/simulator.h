@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "qasm/program.h"
 #include "sim/error_model.h"
+#include "sim/fusion.h"
 #include "sim/statevector.h"
 #include "sim/trajectory_analysis.h"
 
@@ -57,6 +58,30 @@ struct SimOptions {
   /// distribution-build chunks — the same order of granularity.
   CancelToken cancel;
 
+  /// Amplitude storage precision. f64 is the reference tier; f32 halves
+  /// the state footprint (one extra qubit per byte budget) and roughly
+  /// doubles SIMD lane width, at ~1e-7 per-gate rounding. Each tier is
+  /// internally byte-identical; tiers differ from each other.
+  Precision precision = Precision::kF64;
+
+  /// Byte budget for the amplitude arrays (replaces the old hard 28-qubit
+  /// cap). The default admits 28 qubits at f64 and 29 at f32 exactly.
+  std::size_t max_state_bytes = StateVector::kDefaultMaxStateBytes;
+
+  /// Kernel backend selection. kAuto picks AVX2 when compiled in and the
+  /// CPU supports it (QS_SIMD=off in the environment overrides to
+  /// scalar); kOff forces the scalar backend. f64 results are
+  /// byte-identical either way; the switch exists for benchmarking and
+  /// as an escape hatch.
+  SimdMode simd = SimdMode::kAuto;
+
+  /// Compile-time gate-sequence fusion (sim/fusion.h): Simulator::run
+  /// fuses adjacent <= 2-qubit unitary runs into single matrices when the
+  /// qubit model is stochastic-error-free. Callers holding a cached
+  /// FusedProgram pass it to run_flat directly; this knob only controls
+  /// the convenience path that builds one on the fly.
+  bool fuse_sequences = true;
+
   /// Terminal-measurement sampling fast path: shot-deterministic circuits
   /// (see analyze_trajectory) evolve once and draw all shots from the
   /// final distribution. Off forces the per-shot trajectory loop — same
@@ -75,6 +100,7 @@ struct RunResult {
   std::size_t shots = 0;
   std::size_t total_gates = 0;  ///< unitary gates executed across all shots
   bool sampled = false;         ///< took the sampling fast path
+  FusionStats fusion;           ///< gate-fusion stats (zero when unfused)
 };
 
 class Simulator {
@@ -116,16 +142,22 @@ class Simulator {
   /// As run(), over a pre-flattened, pre-validated, pre-analyzed program
   /// (the service caches all three per compiled entry). The analysis must
   /// have been computed for this simulator's register width and qubit
-  /// model.
+  /// model. When `fused` is non-null (built by fuse_sequences over this
+  /// exact flat stream with boundary = analysis.terminal_start) the fused
+  /// ops execute instead of the raw instructions; callers must only pass
+  /// it under a stochastic-error-free model.
   RunResult run_flat(const std::vector<qasm::Instruction>& flat,
-                     const TrajectoryAnalysis& analysis, std::size_t shots);
+                     const TrajectoryAnalysis& analysis, std::size_t shots,
+                     const FusedProgram* fused = nullptr);
 
   /// Evolves the shot-deterministic prefix once (from reset) and returns
   /// the reusable final distribution. Requires analysis.samplable.
-  /// Observes options().cancel before/during the build.
+  /// Observes options().cancel before/during the build. A non-null
+  /// `fused` executes ops[0, prefix_ops) instead of the raw prefix.
   FinalDistribution final_distribution(
       const std::vector<qasm::Instruction>& flat,
-      const TrajectoryAnalysis& analysis);
+      const TrajectoryAnalysis& analysis,
+      const FusedProgram* fused = nullptr);
 
   /// Live state access (inspection after run_once; tests and QAOA use it).
   StateVector& state() { return state_; }
@@ -142,6 +174,7 @@ class Simulator {
  private:
   void apply_unitary(const qasm::Instruction& instr);
   bool apply_fused(const qasm::Instruction& instr);
+  void execute_fused_op(const FusedOp& op);
 
   StateVector state_;
   QubitModel model_;

@@ -14,39 +14,70 @@ namespace {
 // up to 16 qubits are a single chunk, i.e. a plain left-to-right sum.
 constexpr StateIndex kReduceChunkBits = 16;
 
-/// Index of the pair member with bit q clear, for pair number p.
-inline StateIndex pair_index(StateIndex p, QubitIndex q, StateIndex stride) {
-  return ((p >> q) << (q + 1)) | (p & (stride - 1));
-}
-
-/// Inserts a zero bit at position b (shifting higher bits up).
-inline StateIndex insert_zero(StateIndex x, QubitIndex b) {
-  const StateIndex low = (StateIndex{1} << b) - 1;
-  return ((x >> b) << (b + 1)) | (x & low);
-}
-
-/// Index with bits a and b both clear, for quarter-space number t.
-inline StateIndex quad_index(StateIndex t, QubitIndex lo, QubitIndex hi) {
-  return insert_zero(insert_zero(t, lo), hi);
-}
-
 }  // namespace
 
-StateVector::StateVector(std::size_t qubit_count) : n_(qubit_count) {
+// Dispatches a kernel-table entry to the active precision's storage. The
+// table pointer (scalar vs AVX2 backend) was fixed at construction.
+#define QS_KERNEL(fn, ...)                                  \
+  (prec_ == Precision::kF32                                 \
+       ? k32_->fn(re32_.data(), im32_.data(), __VA_ARGS__)  \
+       : k64_->fn(re_.data(), im_.data(), __VA_ARGS__))
+#define QS_KERNEL_CONST(fn, ...)                            \
+  (prec_ == Precision::kF32                                 \
+       ? k32_->fn(re32_.data(), im32_.data(), __VA_ARGS__)  \
+       : k64_->fn(re_.data(), im_.data(), __VA_ARGS__))
+
+StateVector::StateVector(std::size_t qubit_count, Precision precision,
+                         std::size_t max_state_bytes, SimdMode simd)
+    : n_(qubit_count), prec_(precision), simd_(simd_selected(simd)) {
   if (qubit_count == 0)
     throw std::invalid_argument("StateVector: need at least one qubit");
-  if (qubit_count > kMaxQubits)
+  if (max_state_bytes == 0) max_state_bytes = kDefaultMaxStateBytes;
+  const std::size_t bpa = bytes_per_amplitude(prec_);
+  // 2^58 amplitudes already exceed any addressable budget; guarding here
+  // keeps the byte computation below from overflowing.
+  const bool over = qubit_count >= 58 ||
+                    (std::size_t{1} << qubit_count) * bpa > max_state_bytes;
+  if (over) {
+    const double requested = std::ldexp(static_cast<double>(bpa),
+                                        static_cast<int>(qubit_count));
     throw std::invalid_argument(
-        "StateVector: " + std::to_string(qubit_count) +
-        " qubits exceeds the " + std::to_string(kMaxQubits) +
-        "-qubit memory guard");
-  amps_.assign(StateIndex{1} << n_, cplx(0.0, 0.0));
-  amps_[0] = cplx(1.0, 0.0);
+        "StateVector: " + std::to_string(qubit_count) + " qubits at " +
+        std::string(to_string(prec_)) + " needs " +
+        std::to_string(static_cast<unsigned long long>(requested)) +
+        " bytes, exceeding the " + std::to_string(max_state_bytes) +
+        "-byte state budget (raise SimOptions::max_state_bytes or drop to "
+        "f32)");
+  }
+  dim_ = StateIndex{1} << n_;
+  if (simd_) {
+    k64_ = avx2_kernels_f64();
+    k32_ = avx2_kernels_f32();
+  } else {
+    k64_ = scalar_kernels_f64();
+    k32_ = scalar_kernels_f32();
+  }
+  if (prec_ == Precision::kF32) {
+    re32_.assign(dim_, 0.0f);
+    im32_.assign(dim_, 0.0f);
+    re32_[0] = 1.0f;
+  } else {
+    re_.assign(dim_, 0.0);
+    im_.assign(dim_, 0.0);
+    re_[0] = 1.0;
+  }
 }
 
 void StateVector::reset() {
-  std::fill(amps_.begin(), amps_.end(), cplx(0.0, 0.0));
-  amps_[0] = cplx(1.0, 0.0);
+  if (prec_ == Precision::kF32) {
+    std::fill(re32_.begin(), re32_.end(), 0.0f);
+    std::fill(im32_.begin(), im32_.end(), 0.0f);
+    re32_[0] = 1.0f;
+  } else {
+    std::fill(re_.begin(), re_.end(), 0.0);
+    std::fill(im_.begin(), im_.end(), 0.0);
+    re_[0] = 1.0;
+  }
 }
 
 void StateVector::check_qubit(QubitIndex q) const {
@@ -68,6 +99,17 @@ void StateVector::for_slices(
     std::size_t lo = 0, hi = 0;
     ThreadPool::slice(0, count, slices, s, &lo, &hi);
     if (lo < hi) body(lo, hi);
+  });
+}
+
+void StateVector::apply_diag_window(QubitIndex shift, QubitIndex width,
+                                    const cplx* table) {
+  if (width == 0 || shift + width > n_)
+    throw std::invalid_argument(
+        "apply_diag_window: window outside the register");
+  const StateIndex wmask = (StateIndex{1} << width) - 1;
+  for_slices(dim_, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_diag_window, lo, hi, shift, wmask, table);
   });
 }
 
@@ -98,17 +140,9 @@ void StateVector::apply_1q(const Matrix& u, QubitIndex q) {
   check_qubit(q);
   if (u.rows() != 2 || u.cols() != 2)
     throw std::invalid_argument("apply_1q: matrix must be 2x2");
-  const StateIndex stride = StateIndex{1} << q;
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i0 = pair_index(p, q, stride);
-      const StateIndex i1 = i0 | stride;
-      const cplx a0 = amps_[i0];
-      const cplx a1 = amps_[i1];
-      amps_[i0] = u00 * a0 + u01 * a1;
-      amps_[i1] = u10 * a0 + u11 * a1;
-    }
+  const cplx m2[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_1q, lo, hi, q, m2);
   });
 }
 
@@ -126,18 +160,9 @@ void StateVector::apply_controlled_1q(const Matrix& u,
           "apply_controlled_1q: control equals target");
     control_mask |= StateIndex{1} << c;
   }
-  const StateIndex stride = StateIndex{1} << target;
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i0 = pair_index(p, target, stride);
-      if ((i0 & control_mask) != control_mask) continue;
-      const StateIndex i1 = i0 | stride;
-      const cplx a0 = amps_[i0];
-      const cplx a1 = amps_[i1];
-      amps_[i0] = u00 * a0 + u01 * a1;
-      amps_[i1] = u10 * a0 + u11 * a1;
-    }
+  const cplx m2[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_controlled_1q, lo, hi, target, control_mask, m2);
   });
 }
 
@@ -152,85 +177,46 @@ void StateVector::apply_2q(const Matrix& u, QubitIndex q1, QubitIndex q0) {
   const StateIndex m0 = StateIndex{1} << q0;
   const QubitIndex blo = q1 < q0 ? q1 : q0;
   const QubitIndex bhi = q1 < q0 ? q0 : q1;
-  cplx m[4][4];
+  cplx m4[16];
   for (int r = 0; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) m[r][c] = u(r, c);
-  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex t = lo; t < hi; ++t) {
-      const StateIndex i00 = quad_index(t, blo, bhi);
-      const StateIndex i01 = i00 | m0;
-      const StateIndex i10 = i00 | m1;
-      const StateIndex i11 = i00 | m1 | m0;
-      const cplx a00 = amps_[i00];
-      const cplx a01 = amps_[i01];
-      const cplx a10 = amps_[i10];
-      const cplx a11 = amps_[i11];
-      amps_[i00] = m[0][0] * a00 + m[0][1] * a01 + m[0][2] * a10 + m[0][3] * a11;
-      amps_[i01] = m[1][0] * a00 + m[1][1] * a01 + m[1][2] * a10 + m[1][3] * a11;
-      amps_[i10] = m[2][0] * a00 + m[2][1] * a01 + m[2][2] * a10 + m[2][3] * a11;
-      amps_[i11] = m[3][0] * a00 + m[3][1] * a01 + m[3][2] * a10 + m[3][3] * a11;
-    }
+    for (int c = 0; c < 4; ++c) m4[4 * r + c] = u(r, c);
+  for_slices(dim_ >> 2, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_2q, lo, hi, blo, bhi, m1, m0, m4);
   });
 }
 
 void StateVector::apply_x(QubitIndex q) {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i0 = pair_index(p, q, stride);
-      std::swap(amps_[i0], amps_[i0 | stride]);
-    }
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_x, lo, hi, q);
   });
 }
 
 void StateVector::apply_y(QubitIndex q) {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i0 = pair_index(p, q, stride);
-      const StateIndex i1 = i0 | stride;
-      const cplx a0 = amps_[i0];
-      const cplx a1 = amps_[i1];
-      amps_[i0] = cplx(a1.imag(), -a1.real());   // -i * a1
-      amps_[i1] = cplx(-a0.imag(), a0.real());   //  i * a0
-    }
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_y, lo, hi, q);
   });
 }
 
 void StateVector::apply_z(QubitIndex q) {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i1 = pair_index(p, q, stride) | stride;
-      amps_[i1] = -amps_[i1];
-    }
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_z, lo, hi, q);
   });
 }
 
 void StateVector::apply_phase(QubitIndex q, cplx phase) {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i1 = pair_index(p, q, stride) | stride;
-      amps_[i1] = phase * amps_[i1];
-    }
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_phase, lo, hi, q, phase);
   });
 }
 
 void StateVector::apply_diag(QubitIndex q, cplx d0, cplx d1) {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex p = lo; p < hi; ++p) {
-      const StateIndex i0 = pair_index(p, q, stride);
-      const StateIndex i1 = i0 | stride;
-      amps_[i0] = d0 * amps_[i0];
-      amps_[i1] = d1 * amps_[i1];
-    }
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_diag, lo, hi, q, d0, d1);
   });
 }
 
@@ -243,11 +229,8 @@ void StateVector::apply_cnot(QubitIndex control, QubitIndex target) {
   const StateIndex mt = StateIndex{1} << target;
   const QubitIndex blo = control < target ? control : target;
   const QubitIndex bhi = control < target ? target : control;
-  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex t = lo; t < hi; ++t) {
-      const StateIndex i0 = quad_index(t, blo, bhi) | mc;  // control=1, target=0
-      std::swap(amps_[i0], amps_[i0 | mt]);
-    }
+  for_slices(dim_ >> 2, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_cnot, lo, hi, blo, bhi, mc, mt);
   });
 }
 
@@ -258,11 +241,8 @@ void StateVector::apply_cphase(QubitIndex a, QubitIndex b, cplx phase) {
   const StateIndex both = (StateIndex{1} << a) | (StateIndex{1} << b);
   const QubitIndex blo = a < b ? a : b;
   const QubitIndex bhi = a < b ? b : a;
-  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex t = lo; t < hi; ++t) {
-      const StateIndex i11 = quad_index(t, blo, bhi) | both;
-      amps_[i11] = phase * amps_[i11];
-    }
+  for_slices(dim_ >> 2, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_cphase, lo, hi, blo, bhi, both, phase);
   });
 }
 
@@ -276,14 +256,8 @@ void StateVector::apply_zz_phase(QubitIndex a, QubitIndex b, cplx same,
   const StateIndex mb = StateIndex{1} << b;
   const QubitIndex blo = a < b ? a : b;
   const QubitIndex bhi = a < b ? b : a;
-  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex t = lo; t < hi; ++t) {
-      const StateIndex i00 = quad_index(t, blo, bhi);
-      amps_[i00] = same * amps_[i00];
-      amps_[i00 | ma] = diff * amps_[i00 | ma];
-      amps_[i00 | mb] = diff * amps_[i00 | mb];
-      amps_[i00 | ma | mb] = same * amps_[i00 | ma | mb];
-    }
+  for_slices(dim_ >> 2, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_zz_phase, lo, hi, blo, bhi, ma, mb, same, diff);
   });
 }
 
@@ -295,54 +269,30 @@ void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
   const StateIndex mb = StateIndex{1} << b;
   const QubitIndex blo = a < b ? a : b;
   const QubitIndex bhi = a < b ? b : a;
-  for_slices(amps_.size() >> 2, [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex t = lo; t < hi; ++t) {
-      // Swap (a=1, b=0) with (a=0, b=1) once per 4-amplitude block.
-      const StateIndex i00 = quad_index(t, blo, bhi);
-      std::swap(amps_[i00 | ma], amps_[i00 | mb]);
-    }
+  for_slices(dim_ >> 2, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(apply_swap, lo, hi, blo, bhi, ma, mb);
   });
 }
 
 double StateVector::prob_one(QubitIndex q) const {
   check_qubit(q);
-  const StateIndex stride = StateIndex{1} << q;
   // Block kernel over the bit-set half: no per-index bit test. Pair p
   // visits basis states in increasing index order, so a single-chunk
   // reduction equals the naive masked sum exactly.
-  return reduce_chunks(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    double s = 0.0;
-    for (StateIndex p = lo; p < hi; ++p)
-      s += std::norm(amps_[pair_index(p, q, stride) | stride]);
-    return s;
-  });
-}
-
-void StateVector::collapse(QubitIndex q, int outcome, double keep_prob) {
-  const StateIndex stride = StateIndex{1} << q;
-  const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
-  // Fused sweep: one pass rescales the kept half and zeroes the other.
-  for_slices(amps_.size() >> 1, [&](StateIndex lo, StateIndex hi) {
-    if (outcome) {
-      for (StateIndex p = lo; p < hi; ++p) {
-        const StateIndex i0 = pair_index(p, q, stride);
-        amps_[i0] = cplx(0.0, 0.0);
-        amps_[i0 | stride] *= scale;
-      }
-    } else {
-      for (StateIndex p = lo; p < hi; ++p) {
-        const StateIndex i0 = pair_index(p, q, stride);
-        amps_[i0] *= scale;
-        amps_[i0 | stride] = cplx(0.0, 0.0);
-      }
-    }
+  return reduce_chunks(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    return QS_KERNEL_CONST(sum_sq_set, lo, hi, q);
   });
 }
 
 int StateVector::measure(QubitIndex q, Rng& rng) {
   const double p1 = prob_one(q);
   const int outcome = rng.uniform() < p1 ? 1 : 0;
-  collapse(q, outcome, outcome ? p1 : 1.0 - p1);
+  const double keep_prob = outcome ? p1 : 1.0 - p1;
+  const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  // Fused sweep: one pass rescales the kept half and zeroes the other.
+  for_slices(dim_ >> 1, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(collapse, lo, hi, q, outcome, scale);
+  });
   return outcome;
 }
 
@@ -358,20 +308,23 @@ std::vector<int> StateVector::measure_all(Rng& rng) {
 
 std::vector<double> StateVector::cumulative_distribution(
     const CancelToken& cancel) const {
-  const StateIndex count = static_cast<StateIndex>(amps_.size());
+  const StateIndex count = dim_;
   const StateIndex chunk = StateIndex{1} << kReduceChunkBits;
   const std::size_t chunks =
       static_cast<std::size_t>((count + chunk - 1) >> kReduceChunkBits);
   std::vector<double> cum(count);
-  // Pass 1: within-chunk inclusive running sums. The per-chunk arithmetic
-  // is the same left-to-right sum whether chunks run sequentially or on
-  // pool lanes, so the doubles never depend on the thread count.
+  // Pass 1: within-chunk inclusive running sums. The squares fill the
+  // chunk as a vectorisable elementwise pass; the running sum then reads
+  // them back left-to-right — the same adds in the same order whether
+  // chunks run sequentially or on pool lanes, so the doubles never depend
+  // on the thread count (or the kernel backend, at f64).
   auto fill_chunk = [&](std::size_t c) {
     const StateIndex lo = static_cast<StateIndex>(c) << kReduceChunkBits;
     const StateIndex hi = std::min(count, lo + chunk);
+    QS_KERNEL_CONST(square_into, cum.data(), lo, hi);
     double running = 0.0;
     for (StateIndex i = lo; i < hi; ++i) {
-      running += std::norm(amps_[i]);
+      running += cum[i];
       cum[i] = running;
     }
   };
@@ -438,18 +391,16 @@ double StateVector::expectation_z(QubitIndex q) const {
 double StateVector::expectation_diagonal(
     const std::function<double(StateIndex)>& f) const {
   double e = 0.0;
-  for (StateIndex i = 0; i < amps_.size(); ++i) {
-    const double p = std::norm(amps_[i]);
+  for (StateIndex i = 0; i < dim_; ++i) {
+    const double p = std::norm(amplitude(i));
     if (p > 0.0) e += p * f(i);
   }
   return e;
 }
 
 double StateVector::norm() const {
-  return reduce_chunks(amps_.size(), [&](StateIndex lo, StateIndex hi) {
-    double s = 0.0;
-    for (StateIndex i = lo; i < hi; ++i) s += std::norm(amps_[i]);
-    return s;
+  return reduce_chunks(dim_, [&](StateIndex lo, StateIndex hi) {
+    return QS_KERNEL_CONST(sum_sq, lo, hi);
   });
 }
 
@@ -458,8 +409,8 @@ void StateVector::normalize() {
   if (n <= 0.0)
     throw std::runtime_error("StateVector::normalize: zero state");
   const double scale = 1.0 / std::sqrt(n);
-  for_slices(amps_.size(), [&](StateIndex lo, StateIndex hi) {
-    for (StateIndex i = lo; i < hi; ++i) amps_[i] *= scale;
+  for_slices(dim_, [&](StateIndex lo, StateIndex hi) {
+    QS_KERNEL(scale, lo, hi, scale);
   });
 }
 
@@ -467,8 +418,8 @@ double StateVector::fidelity(const StateVector& other) const {
   if (other.n_ != n_)
     throw std::invalid_argument("fidelity: qubit count mismatch");
   cplx overlap(0.0, 0.0);
-  for (StateIndex i = 0; i < amps_.size(); ++i)
-    overlap += std::conj(amps_[i]) * other.amps_[i];
+  for (StateIndex i = 0; i < dim_; ++i)
+    overlap += std::conj(amplitude(i)) * other.amplitude(i);
   return std::norm(overlap);
 }
 

@@ -3,11 +3,20 @@
 // the basis-state index; bitstrings render with q[0] as the leftmost
 // character (cQASM display convention).
 //
+// Storage is split real/imag (SoA) arrays at one of two precisions:
+// f64 (the reference tier) or f32 (half the bytes per amplitude — one
+// extra qubit under the same byte budget). Kernels dispatch through a
+// per-backend function table (sim/kernels.h): a true-scalar build and an
+// AVX2 auto-vectorised build selected at runtime via cpuid, with the
+// QS_SIMD CMake option / environment variable as escape hatches.
+//
 // Kernel layer: every hot operation is written as a partitionable kernel
-// over the amplitude array. With a KernelPolicy attached (thread pool +
+// over the amplitude arrays. With a KernelPolicy attached (thread pool +
 // size threshold) the partitions run on pool threads; the per-amplitude
 // arithmetic and — for reductions — the combination order are identical in
-// both modes, so results are bit-identical for any thread count.
+// both modes, so results are bit-identical for any thread count. The same
+// holds across backends at f64 (docs/simulator.md: scalar-f64 and
+// simd-f64 share one determinism class; f32 is its own class).
 #pragma once
 
 #include <functional>
@@ -19,6 +28,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
+#include "sim/kernels.h"
 
 namespace qs::sim {
 
@@ -33,14 +43,27 @@ struct KernelPolicy {
 
 class StateVector {
  public:
-  /// Initialises |0...0> on `qubit_count` qubits.
-  /// Throws std::invalid_argument above kMaxQubits (memory guard).
-  explicit StateVector(std::size_t qubit_count);
+  /// Default amplitude-memory budget: 4 GiB — 28 qubits at f64,
+  /// 29 qubits at f32.
+  static constexpr std::size_t kDefaultMaxStateBytes = std::size_t{4} << 30;
 
-  static constexpr std::size_t kMaxQubits = 28;
+  /// Initialises |0...0> on `qubit_count` qubits at the given precision.
+  /// Throws std::invalid_argument when the state would exceed
+  /// `max_state_bytes` (0 = use the default budget); the message reports
+  /// requested vs allowed bytes.
+  explicit StateVector(std::size_t qubit_count,
+                       Precision precision = Precision::kF64,
+                       std::size_t max_state_bytes = kDefaultMaxStateBytes,
+                       SimdMode simd = SimdMode::kAuto);
 
   std::size_t qubit_count() const { return n_; }
-  std::size_t dimension() const { return amps_.size(); }
+  std::size_t dimension() const { return static_cast<std::size_t>(dim_); }
+  Precision precision() const { return prec_; }
+
+  /// True when the AVX2 backend serves this state's kernels.
+  bool simd_active() const { return simd_; }
+  /// "avx2" or "scalar".
+  const char* backend_name() const { return simd_ ? "avx2" : "scalar"; }
 
   /// Resets to |0...0>.
   void reset();
@@ -50,8 +73,20 @@ class StateVector {
   void set_kernel_policy(KernelPolicy policy) { policy_ = policy; }
   const KernelPolicy& kernel_policy() const { return policy_; }
 
-  const cplx& amplitude(StateIndex basis) const { return amps_[basis]; }
-  void set_amplitude(StateIndex basis, cplx value) { amps_[basis] = value; }
+  cplx amplitude(StateIndex basis) const {
+    return prec_ == Precision::kF32
+               ? cplx(re32_[basis], im32_[basis])
+               : cplx(re_[basis], im_[basis]);
+  }
+  void set_amplitude(StateIndex basis, cplx value) {
+    if (prec_ == Precision::kF32) {
+      re32_[basis] = static_cast<float>(value.real());
+      im32_[basis] = static_cast<float>(value.imag());
+    } else {
+      re_[basis] = value.real();
+      im_[basis] = value.imag();
+    }
+  }
 
   /// Applies a 2x2 unitary to qubit q.
   void apply_1q(const Matrix& u, QubitIndex q);
@@ -70,7 +105,7 @@ class StateVector {
   // of the cQASM set: permutations and diagonals touch each amplitude once
   // with no matrix fetch and no zero-term arithmetic. Each is numerically
   // equivalent to the corresponding generic matrix application (identical
-  // doubles; only signs of exact zeros may differ).
+  // values; only signs of exact zeros may differ).
 
   /// Pauli X on q: swaps the two halves of every amplitude pair.
   void apply_x(QubitIndex q);
@@ -100,6 +135,13 @@ class StateVector {
   /// Swap without matrix arithmetic (pure amplitude permutation).
   void apply_swap(QubitIndex a, QubitIndex b);
 
+  /// Fused diagonal chain: amp[i] *= table[(i >> shift) & (2^width - 1)].
+  /// `table` must hold 2^width entries; the window [shift, shift+width)
+  /// must lie inside the register. One sweep replaces a whole run of
+  /// diagonal gates (sim/fusion.h builds the table).
+  void apply_diag_window(QubitIndex shift, QubitIndex width,
+                         const cplx* table);
+
   /// Probability of reading 1 on qubit q.
   double prob_one(QubitIndex q) const;
 
@@ -126,8 +168,10 @@ class StateVector {
   /// 2^16-amplitude chunk scheme (per-chunk running sums, chunk bases
   /// accumulated in chunk order), so the doubles are bit-identical for
   /// any thread count; states up to 16 qubits are a single chunk, i.e. a
-  /// plain left-to-right sum. `cancel` is observed between chunks
-  /// (between passes when parallel); throws CancelledError on stop.
+  /// plain left-to-right sum. The squares are a vectorisable elementwise
+  /// pass; the running sums stay ordered in every backend. `cancel` is
+  /// observed between chunks (between passes when parallel); throws
+  /// CancelledError on stop.
   std::vector<double> cumulative_distribution(
       const CancelToken& cancel = {}) const;
 
@@ -144,14 +188,12 @@ class StateVector {
   /// Rescales amplitudes to unit norm.
   void normalize();
 
-  /// Fidelity |<this|other>|^2 against another state of equal size.
+  /// Fidelity |<this|other>|^2 against another state of equal size and
+  /// precision.
   double fidelity(const StateVector& other) const;
 
   /// Renders basis index as bitstring with q[0] leftmost.
   std::string basis_string(StateIndex basis) const;
-
-  /// Direct access for benchmarks and tests.
-  const std::vector<cplx>& amplitudes() const { return amps_; }
 
  private:
   void check_qubit(QubitIndex q) const;
@@ -175,12 +217,14 @@ class StateVector {
       StateIndex count,
       const std::function<double(StateIndex, StateIndex)>& chunk_sum) const;
 
-  /// Zeroes the discarded half and rescales the kept half after measuring
-  /// `outcome` on qubit q.
-  void collapse(QubitIndex q, int outcome, double keep_prob);
-
   std::size_t n_;
-  std::vector<cplx> amps_;
+  StateIndex dim_;
+  Precision prec_;
+  bool simd_;
+  const KernelFns<double>* k64_;  ///< active when prec_ == kF64
+  const KernelFns<float>* k32_;   ///< active when prec_ == kF32
+  std::vector<double> re_, im_;   ///< f64 tier storage
+  std::vector<float> re32_, im32_;  ///< f32 tier storage
   KernelPolicy policy_;
 };
 

@@ -5,18 +5,11 @@
 
 namespace qs::sim {
 
-namespace {
-
-/// Mirrors make_error_model: a Perfect-kind model, or any kind whose
-/// parameters are all zero, builds a NoErrorModel — nothing stochastic
-/// ever touches the state or the readout, so the trajectory is exact.
 bool stochastic_model(const QubitModel& model) {
   if (model.kind == QubitKind::Perfect) return false;
   return model.gate_error_1q > 0.0 || model.gate_error_2q > 0.0 ||
          model.readout_error > 0.0 || model.t1_ns > 0.0 || model.t2_ns > 0.0;
 }
-
-}  // namespace
 
 const char* to_string(SamplingFallback reason) {
   switch (reason) {

@@ -59,6 +59,13 @@ struct TrajectoryAnalysis {
   StateIndex measured_mask = 0;
 };
 
+/// Mirrors make_error_model: a Perfect-kind model, or any kind whose
+/// parameters are all zero, builds a NoErrorModel — nothing stochastic
+/// ever touches the state or the readout, so the trajectory is exact.
+/// Shared gate: the sampling fast path and the gate-sequence fusion pass
+/// (sim/fusion.h) are both valid only under such a model.
+bool stochastic_model(const QubitModel& model);
+
 /// Analyzes a flattened program for shot-determinism. `qubit_count` is the
 /// register width of the executing simulator (measure_all reads every
 /// register qubit, not just the ones the program names), `model` the qubit

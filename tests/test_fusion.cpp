@@ -1,0 +1,510 @@
+// Gate-sequence fusion tests: the pass must be a pure, deterministic
+// function of the instruction stream that (a) shrinks the executed op
+// count, (b) preserves the circuit unitary to rounding, (c) respects
+// barriers (non-unitaries, conditionals, arity > 2, the sampling
+// boundary) and (d) feeds the Simulator/service plumbing correctly —
+// logical gate accounting, FusionStats, the stochastic-model opt-out and
+// CompiledEntry revival.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "qasm/program.h"
+#include "service/cache.h"
+#include "sim/fusion.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+#include "sim/statevector.h"
+#include "sim/trajectory_analysis.h"
+
+namespace qs::sim {
+namespace {
+
+using qasm::GateKind;
+using qasm::Instruction;
+
+// ------------------------------------------------------------- helpers ----
+
+/// Applies one instruction through the generic matrix paths (the fused
+/// program's reference semantics).
+void apply_generic(StateVector& s, const Instruction& instr) {
+  const auto& q = instr.qubits();
+  if (q.size() == 1) {
+    s.apply_1q(gate_matrix(instr), q[0]);
+  } else {
+    ASSERT_EQ(q.size(), 2u);
+    s.apply_2q(gate_matrix(instr), q[0], q[1]);
+  }
+}
+
+/// Executes a fused program against a state: blocks via their product
+/// matrices, diagonal windows via the window kernel, re-emitted
+/// instructions via the generic paths.
+void apply_fused(StateVector& s, const FusedProgram& fused) {
+  for (const FusedOp& op : fused.ops) {
+    if (op.is_diag_window) {
+      s.apply_diag_window(op.dw_shift, op.dw_width, op.dw_table.data());
+    } else if (op.is_block) {
+      if (op.arity == 2)
+        s.apply_2q(op.u, op.q1, op.q0);
+      else
+        s.apply_1q(op.u, op.q0);
+    } else {
+      apply_generic(s, op.instr);
+    }
+  }
+}
+
+/// Random unitary-only instruction stream (no measurements, no
+/// conditionals) over the fusable 1q/2q vocabulary plus Toffoli barriers.
+std::vector<Instruction> random_unitaries(std::size_t qubits,
+                                          std::size_t ops,
+                                          std::uint64_t seed,
+                                          bool with_toffoli) {
+  Rng rng(seed);
+  std::vector<Instruction> out;
+  const std::vector<GateKind> one_q = {
+      GateKind::X,  GateKind::Y,    GateKind::Z, GateKind::H,
+      GateKind::S,  GateKind::Sdag, GateKind::T, GateKind::Tdag,
+      GateKind::Rx, GateKind::Ry,   GateKind::Rz};
+  const std::vector<GateKind> two_q = {GateKind::CNOT, GateKind::CZ,
+                                       GateKind::Swap, GateKind::CR,
+                                       GateKind::CRK,  GateKind::RZZ};
+  for (std::size_t i = 0; i < ops; ++i) {
+    const double pick = rng.uniform();
+    if (with_toffoli && pick < 0.04 && qubits >= 3) {
+      QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      QubitIndex b = a, c = a;
+      while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      while (c == a || c == b)
+        c = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      out.emplace_back(GateKind::Toffoli, std::vector<QubitIndex>{a, b, c});
+      continue;
+    }
+    if (pick < 0.55) {
+      const GateKind k = one_q[rng.uniform_int(one_q.size())];
+      const double angle =
+          qasm::gate_has_angle(k) ? rng.uniform(-3.14159, 3.14159) : 0.0;
+      out.emplace_back(k,
+                       std::vector<QubitIndex>{static_cast<QubitIndex>(
+                           rng.uniform_int(qubits))},
+                       angle);
+    } else {
+      const GateKind k = two_q[rng.uniform_int(two_q.size())];
+      QubitIndex a = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      QubitIndex b = a;
+      while (b == a) b = static_cast<QubitIndex>(rng.uniform_int(qubits));
+      const double angle =
+          qasm::gate_has_angle(k) ? rng.uniform(-3.14159, 3.14159) : 0.0;
+      const std::int64_t param_k =
+          qasm::gate_has_int_param(k)
+              ? static_cast<std::int64_t>(1 + rng.uniform_int(4))
+              : 0;
+      out.emplace_back(k, std::vector<QubitIndex>{a, b}, angle, param_k);
+    }
+  }
+  return out;
+}
+
+void expect_states_close(const StateVector& a, const StateVector& b,
+                         double tol) {
+  ASSERT_EQ(a.dimension(), b.dimension());
+  for (StateIndex i = 0; i < a.dimension(); ++i) {
+    EXPECT_NEAR(a.amplitude(i).real(), b.amplitude(i).real(), tol)
+        << "re idx " << i;
+    EXPECT_NEAR(a.amplitude(i).imag(), b.amplitude(i).imag(), tol)
+        << "im idx " << i;
+  }
+}
+
+// ------------------------------------------------------- pass structure ----
+
+TEST(Fusion, SingleQubitRunCollapsesToOneBlock) {
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::H, {0}),
+      Instruction(GateKind::T, {0}),
+      Instruction(GateKind::H, {0}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 1u);
+  EXPECT_TRUE(fused.ops[0].is_block);
+  EXPECT_EQ(fused.ops[0].arity, 1u);
+  EXPECT_EQ(fused.ops[0].gate_count, 3u);
+  EXPECT_EQ(fused.stats.input_gates, 3u);
+  EXPECT_EQ(fused.stats.output_ops, 1u);
+  EXPECT_EQ(fused.stats.fused_blocks, 1u);
+  EXPECT_EQ(fused.stats.max_run, 3u);
+  EXPECT_EQ(fused.prefix_ops, 1u);
+
+  // H T H == product matrix.
+  const Matrix expected =
+      hadamard() * gate_t() * hadamard();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(fused.ops[0].u(r, c).real(), expected(r, c).real(), 1e-12);
+      EXPECT_NEAR(fused.ops[0].u(r, c).imag(), expected(r, c).imag(), 1e-12);
+    }
+}
+
+TEST(Fusion, SwapDecompositionStaysOnPermutationKernels) {
+  // The canonical routing pattern: CNOT(a,b) CNOT(b,a) CNOT(a,b) == SWAP.
+  // The cost model keeps it on the specialized CNOT kernels: three
+  // half-state permutation passes are cheaper than one dense 4x4 sweep
+  // over the whole state, so the accumulated block dissolves back into
+  // the original instructions.
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::CNOT, {0, 1}),
+      Instruction(GateKind::CNOT, {1, 0}),
+      Instruction(GateKind::CNOT, {0, 1}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fused.ops[i].is_block);
+    EXPECT_EQ(fused.ops[i].instr.kind(), GateKind::CNOT);
+    EXPECT_EQ(fused.ops[i].instr.qubits(), flat[i].qubits());
+  }
+  EXPECT_EQ(fused.stats.fused_blocks, 0u);
+  EXPECT_EQ(fused.stats.output_ops, 3u);
+
+  // Dissolution preserves semantics, of course: still a SWAP.
+  StateVector reference(2), evolved(2);
+  reference.apply_1q(hadamard(), 0);
+  evolved.apply_1q(hadamard(), 0);
+  reference.apply_swap(0, 1);
+  apply_fused(evolved, fused);
+  expect_states_close(reference, evolved, 1e-12);
+}
+
+TEST(Fusion, SingleGateRunsReEmitTheOriginalInstruction) {
+  // A lone gate must come back as the original instruction (is_block
+  // false) so the Simulator keeps its specialized fast-path kernel and
+  // its exact arithmetic.
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::X, {0}),
+      Instruction(GateKind::CNOT, {1, 2}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_FALSE(fused.ops[0].is_block);
+  EXPECT_EQ(fused.ops[0].instr.kind(), GateKind::X);
+  EXPECT_FALSE(fused.ops[1].is_block);
+  EXPECT_EQ(fused.ops[1].instr.kind(), GateKind::CNOT);
+  EXPECT_EQ(fused.stats.fused_blocks, 0u);
+  EXPECT_EQ(fused.stats.input_gates, 2u);
+  EXPECT_EQ(fused.stats.output_ops, 2u);
+}
+
+TEST(Fusion, NonUnitariesAreBarriers) {
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::H, {0}),
+      Instruction(GateKind::T, {0}),
+      Instruction(GateKind::Measure, {0}),
+      Instruction(GateKind::H, {0}),
+      Instruction(GateKind::T, {0}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 3u);
+  EXPECT_TRUE(fused.ops[0].is_block);
+  EXPECT_EQ(fused.ops[0].gate_count, 2u);
+  EXPECT_FALSE(fused.ops[1].is_block);
+  EXPECT_EQ(fused.ops[1].instr.kind(), GateKind::Measure);
+  EXPECT_TRUE(fused.ops[2].is_block);
+  EXPECT_EQ(fused.ops[2].gate_count, 2u);
+}
+
+TEST(Fusion, ConditionalGatesAreBarriers) {
+  Instruction conditional(GateKind::X, {1});
+  conditional.set_conditions({0});
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::H, {1}),
+      conditional,
+      Instruction(GateKind::H, {1}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 3u);
+  EXPECT_FALSE(fused.ops[1].is_block);
+  EXPECT_TRUE(fused.ops[1].instr.is_conditional());
+  // The conditional still counts 1:1 in the gate accounting.
+  EXPECT_EQ(fused.stats.input_gates, 3u);
+  EXPECT_EQ(fused.stats.output_ops, 3u);
+}
+
+TEST(Fusion, InterleavedDisjointRunsFuseIndependently) {
+  // Two per-qubit runs interleaved in the stream: the multi-open-block
+  // pass must fuse each run whole instead of flushing on every switch.
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::H, {0}), Instruction(GateKind::H, {1}),
+      Instruction(GateKind::T, {0}), Instruction(GateKind::T, {1}),
+      Instruction(GateKind::H, {0}), Instruction(GateKind::H, {1}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_TRUE(fused.ops[0].is_block);
+  EXPECT_TRUE(fused.ops[1].is_block);
+  EXPECT_EQ(fused.ops[0].gate_count, 3u);
+  EXPECT_EQ(fused.ops[1].gate_count, 3u);
+  EXPECT_EQ(fused.stats.fused_blocks, 2u);
+}
+
+TEST(Fusion, BoundaryForcesAFlush) {
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::H, {0}),
+      Instruction(GateKind::T, {0}),
+  };
+  const FusedProgram fused = fuse_sequences(flat, /*boundary=*/1);
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_EQ(fused.prefix_ops, 1u);  // exactly the ops covering flat[0, 1)
+  EXPECT_FALSE(fused.ops[0].is_block);
+  EXPECT_FALSE(fused.ops[1].is_block);
+}
+
+TEST(Fusion, DeterministicAcrossCalls) {
+  const auto flat = random_unitaries(5, 200, 4242, true);
+  const FusedProgram a = fuse_sequences(flat, flat.size());
+  const FusedProgram b = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].is_block, b.ops[i].is_block);
+    EXPECT_EQ(a.ops[i].is_diag_window, b.ops[i].is_diag_window);
+    EXPECT_EQ(a.ops[i].gate_count, b.ops[i].gate_count);
+    if (a.ops[i].is_diag_window) {
+      EXPECT_EQ(a.ops[i].dw_shift, b.ops[i].dw_shift);
+      EXPECT_EQ(a.ops[i].dw_width, b.ops[i].dw_width);
+      ASSERT_EQ(a.ops[i].dw_table.size(), b.ops[i].dw_table.size());
+      for (std::size_t t = 0; t < a.ops[i].dw_table.size(); ++t)
+        EXPECT_EQ(a.ops[i].dw_table[t], b.ops[i].dw_table[t]);
+    }
+    if (!a.ops[i].is_block) continue;
+    for (std::size_t r = 0; r < a.ops[i].u.rows(); ++r)
+      for (std::size_t c = 0; c < a.ops[i].u.cols(); ++c)
+        EXPECT_EQ(a.ops[i].u(r, c), b.ops[i].u(r, c));
+  }
+}
+
+// --------------------------------------------------- diagonal windows ----
+
+TEST(Fusion, DiagonalRunCollapsesToOneWindow) {
+  // A QFT-flavoured all-diagonal run: every matrix is exactly diagonal,
+  // so the whole run composes into one phase-table sweep regardless of
+  // which qubits the gates touch (diagonals commute pairwise).
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::T, {0}),
+      Instruction(GateKind::CRK, {2, 0}, 0.0, 2),
+      Instruction(GateKind::CZ, {1, 0}),
+      Instruction(GateKind::Rz, {1}, 0.7),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 1u);
+  EXPECT_TRUE(fused.ops[0].is_diag_window);
+  EXPECT_EQ(fused.ops[0].dw_shift, 0u);
+  EXPECT_EQ(fused.ops[0].dw_width, 3u);
+  EXPECT_EQ(fused.ops[0].dw_table.size(), 8u);
+  EXPECT_EQ(fused.ops[0].gate_count, 4u);
+  EXPECT_EQ(fused.stats.output_ops, 1u);
+  EXPECT_EQ(fused.stats.fused_blocks, 1u);
+
+  // The window sweep must equal the gate-by-gate evolution on a state
+  // with every basis amplitude populated.
+  StateVector reference(3), evolved(3);
+  for (QubitIndex q = 0; q < 3; ++q) {
+    reference.apply_1q(hadamard(), q);
+    evolved.apply_1q(hadamard(), q);
+  }
+  for (const Instruction& instr : flat) apply_generic(reference, instr);
+  apply_fused(evolved, fused);
+  expect_states_close(reference, evolved, 1e-12);
+}
+
+TEST(Fusion, DiagonalWindowSplitsOnWidthLimit) {
+  // Diagonal gates 12 qubits apart cannot share a 10-bit window: the
+  // run splits into two windows, one per end.
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::Rz, {0}, 0.3),
+      Instruction(GateKind::Rz, {1}, 0.4),
+      Instruction(GateKind::Rz, {11}, 0.5),
+      Instruction(GateKind::Rz, {12}, 0.6),
+  };
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_TRUE(fused.ops[0].is_diag_window);
+  EXPECT_EQ(fused.ops[0].dw_shift, 0u);
+  EXPECT_EQ(fused.ops[0].dw_width, 2u);
+  EXPECT_TRUE(fused.ops[1].is_diag_window);
+  EXPECT_EQ(fused.ops[1].dw_shift, 11u);
+  EXPECT_EQ(fused.ops[1].dw_width, 2u);
+  EXPECT_EQ(fused.ops[0].gate_count + fused.ops[1].gate_count, 4u);
+}
+
+TEST(Fusion, DiagonalWindowStopsAtTheSamplingBoundary) {
+  // Windows must not span the shot-deterministic prefix boundary: the
+  // sampling fast path executes exactly ops[0, prefix_ops).
+  const std::vector<Instruction> flat = {
+      Instruction(GateKind::Rz, {0}, 0.1),
+      Instruction(GateKind::Rz, {1}, 0.2),
+      Instruction(GateKind::Rz, {0}, 0.3),
+      Instruction(GateKind::Rz, {1}, 0.4),
+  };
+  const FusedProgram fused = fuse_sequences(flat, /*boundary=*/2);
+  ASSERT_EQ(fused.ops.size(), 2u);
+  EXPECT_EQ(fused.prefix_ops, 1u);
+  EXPECT_TRUE(fused.ops[0].is_diag_window);
+  EXPECT_TRUE(fused.ops[1].is_diag_window);
+  EXPECT_EQ(fused.ops[0].gate_count, 2u);
+  EXPECT_EQ(fused.ops[1].gate_count, 2u);
+}
+
+// ---------------------------------------------------- unitary semantics ----
+
+TEST(Fusion, RandomCircuitsMatchUnfusedEvolution) {
+  const std::size_t qubits = 5;
+  for (std::uint64_t seed : {3u, 17u, 88u, 501u}) {
+    const auto flat = random_unitaries(qubits, 160, seed, false);
+
+    StateVector reference(qubits);
+    for (const Instruction& instr : flat) apply_generic(reference, instr);
+
+    const FusedProgram fused = fuse_sequences(flat, flat.size());
+    EXPECT_EQ(fused.prefix_ops, fused.ops.size());
+    EXPECT_EQ(fused.stats.input_gates, flat.size());
+    // A dense random stream must actually fuse (the >= 25% acceptance
+    // floor is asserted on the benchmark circuits; random streams with
+    // 2q gates across 5 qubits fuse less but never zero).
+    EXPECT_LT(fused.stats.output_ops, fused.stats.input_gates)
+        << "seed " << seed;
+
+    StateVector evolved(qubits);
+    apply_fused(evolved, fused);
+    expect_states_close(reference, evolved, 1e-10);
+  }
+}
+
+TEST(Fusion, ToffoliBarriersPreserveSemantics) {
+  const std::size_t qubits = 5;
+  const auto flat = random_unitaries(qubits, 120, 909, true);
+  StateVector reference(qubits);
+  for (const Instruction& instr : flat) {
+    if (instr.qubits().size() == 3) {
+      // Toffoli via the controlled path (gate_matrix is 1q/2q only).
+      reference.apply_controlled_1q(pauli_x(),
+                                    {instr.qubits()[0], instr.qubits()[1]},
+                                    instr.qubits()[2]);
+    } else {
+      apply_generic(reference, instr);
+    }
+  }
+  const FusedProgram fused = fuse_sequences(flat, flat.size());
+  StateVector evolved(qubits);
+  for (const FusedOp& op : fused.ops) {
+    if (op.is_diag_window) {
+      evolved.apply_diag_window(op.dw_shift, op.dw_width, op.dw_table.data());
+    } else if (op.is_block) {
+      if (op.arity == 2)
+        evolved.apply_2q(op.u, op.q1, op.q0);
+      else
+        evolved.apply_1q(op.u, op.q0);
+    } else if (op.instr.qubits().size() == 3) {
+      evolved.apply_controlled_1q(pauli_x(),
+                                  {op.instr.qubits()[0], op.instr.qubits()[1]},
+                                  op.instr.qubits()[2]);
+    } else {
+      apply_generic(evolved, op.instr);
+    }
+  }
+  expect_states_close(reference, evolved, 1e-10);
+}
+
+// ----------------------------------------------------- simulator plumbing ----
+
+qasm::Program ghz_program(std::size_t qubits) {
+  qasm::Program program("ghz", qubits);
+  qasm::Circuit circuit("c0");
+  circuit.add(Instruction(GateKind::H, {0}));
+  for (std::size_t q = 0; q + 1 < qubits; ++q)
+    circuit.add(Instruction(GateKind::CNOT,
+                            {static_cast<QubitIndex>(q),
+                             static_cast<QubitIndex>(q + 1)}));
+  circuit.add(Instruction(GateKind::MeasureAll, {}));
+  program.add_circuit(std::move(circuit));
+  program.validate();
+  return program;
+}
+
+TEST(FusionIntegration, RunReportsStatsAndLogicalGateCount) {
+  // A rotation chain the pass collapses hard: gates_executed must stay
+  // the LOGICAL count (fusion is an engine detail, not an accounting
+  // change), while FusionStats reports the collapse.
+  const std::size_t qubits = 3;
+  qasm::Program program("chain", qubits);
+  qasm::Circuit circuit("c0");
+  for (int i = 0; i < 6; ++i) {
+    circuit.add(Instruction(GateKind::Rz, {0}, 0.1 * (i + 1)));
+    circuit.add(Instruction(GateKind::Rx, {0}, 0.2 * (i + 1)));
+  }
+  circuit.add(Instruction(GateKind::MeasureAll, {}));
+  program.add_circuit(std::move(circuit));
+  program.validate();
+
+  SimOptions fused_opt;  // fuse_sequences defaults on
+  Simulator sim(qubits, QubitModel::perfect(), 7, GateDurations{}, fused_opt);
+  const RunResult r = sim.run(program, 20);
+  EXPECT_EQ(r.shots, 20u);
+  EXPECT_GT(r.fusion.input_gates, 0u);
+  EXPECT_LT(r.fusion.output_ops, r.fusion.input_gates);
+  EXPECT_GE(r.fusion.max_run, 12u);  // the whole chain is one block
+  // 12 logical gates per shot, whatever the fused execution did.
+  EXPECT_EQ(r.total_gates, r.fusion.input_gates);
+}
+
+TEST(FusionIntegration, FusedAndUnfusedAgreeOnCliffordHistogram) {
+  // GHZ probabilities are exactly {1/2, 1/2}; fusion's ~1e-15 rounding
+  // cannot flip any RNG threshold, so the histograms match exactly.
+  const qasm::Program program = ghz_program(4);
+  SimOptions on;   // default: fusion enabled
+  SimOptions off;
+  off.fuse_sequences = false;
+
+  Simulator a(4, QubitModel::perfect(), 11, GateDurations{}, on);
+  Simulator b(4, QubitModel::perfect(), 11, GateDurations{}, off);
+  const RunResult ra = a.run(program, 400);
+  const RunResult rb = b.run(program, 400);
+  EXPECT_EQ(ra.histogram.counts(), rb.histogram.counts());
+  EXPECT_GT(ra.fusion.input_gates, 0u);
+  EXPECT_EQ(rb.fusion.input_gates, 0u);  // stats zero when disabled
+}
+
+TEST(FusionIntegration, StochasticModelDisablesFusion) {
+  const qasm::Program program = ghz_program(3);
+  Simulator sim(3, QubitModel::realistic(0.02, 0.05, 0.01), 5,
+                GateDurations{}, SimOptions{});
+  const RunResult r = sim.run(program, 50);
+  // Noisy models run the raw stream: per-gate error hooks must fire once
+  // per gate, so the fused program is not built at all.
+  EXPECT_EQ(r.fusion.input_gates, 0u);
+  EXPECT_EQ(r.fusion.output_ops, 0u);
+}
+
+// ------------------------------------------------------- cache plumbing ----
+
+TEST(FusionCache, CompiledEntryCarriesFusedProgram) {
+  const qasm::Program program = ghz_program(4);
+  service::CompiledEntry entry;
+  entry.flat = program.flatten();
+  entry.analysis = analyze_trajectory(entry.flat, 4, QubitModel::perfect());
+
+  service::fuse_compiled_entry(entry, QubitModel::perfect());
+  ASSERT_NE(entry.fused, nullptr);
+  EXPECT_GT(entry.fused->stats.input_gates, 0u);
+  EXPECT_LE(entry.fused->stats.output_ops, entry.fused->stats.input_gates);
+  EXPECT_GT(entry.fused->bytes(), 0u);
+
+  // Stochastic models must clear it: the Simulator would ignore it, and
+  // carrying one would only waste cache bytes.
+  service::fuse_compiled_entry(entry, QubitModel::realistic(0.02, 0.05, 0.01));
+  EXPECT_EQ(entry.fused, nullptr);
+}
+
+}  // namespace
+}  // namespace qs::sim

@@ -193,6 +193,32 @@ TEST(FusedKernels, MatchGenericTwoQubit) {
   }
 }
 
+TEST(FusedKernels, DiagWindowMatchesGenericDiagonals) {
+  // amp[i] *= table[(i >> shift) & mask] must equal applying the window's
+  // diagonal gates one by one through the generic matrix path.
+  const cplx kI(0.0, 1.0);
+  const std::size_t n = 6;
+  for (QubitIndex shift = 0; shift + 2 <= n; ++shift) {
+    StateVector windowed = random_state(n, 301 + shift);
+    StateVector generic = windowed;
+
+    // Window = RZ(theta) on qubit `shift` then CZ(shift+1, shift).
+    const double theta = 0.9 + static_cast<double>(shift);
+    const cplx d0 = std::exp(-kI * (theta / 2.0));
+    const cplx d1 = std::exp(kI * (theta / 2.0));
+    // Table index bit 0 = qubit `shift`, bit 1 = qubit `shift + 1`.
+    const cplx table[4] = {d0, d1, d0, -d1};
+    windowed.apply_diag_window(shift, 2, table);
+
+    generic.apply_1q(rz(theta), shift);
+    generic.apply_2q(gate_matrix_2q(GateKind::CZ), shift + 1, shift);
+    expect_states_equal(windowed, generic);
+  }
+
+  EXPECT_THROW(StateVector(3).apply_diag_window(2, 2, nullptr),
+               std::invalid_argument);
+}
+
 // -------------------------------------------- Randomized circuit streams ----
 
 /// Deterministic random circuit over the full fused-eligible gate set plus
@@ -362,6 +388,193 @@ TEST(KernelEquivalence, NoisyHistogramIdenticalAcrossThreadCounts) {
     else
       EXPECT_EQ(ref.counts(), r.histogram.counts()) << "threads=" << threads;
   }
+}
+
+// ------------------------------------------- SIMD backend & precision ----
+
+/// Deterministic pseudo-random unit state at an explicit tier. The same
+/// seed fills the same values whatever the precision/backend, so two
+/// states built with equal (qubits, seed, precision) start byte-equal.
+StateVector random_tier_state(std::size_t qubits, std::uint64_t seed,
+                              Precision precision, SimdMode simd) {
+  StateVector s(qubits, precision, /*max_state_bytes=*/0, simd);
+  Rng rng(seed);
+  for (StateIndex i = 0; i < s.dimension(); ++i)
+    s.set_amplitude(i, cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+  s.normalize();
+  return s;
+}
+
+bool simd_available() { return simd_compiled() && simd_cpu_supported(); }
+
+/// Drives every kernel entry point — fused fast paths, generic matrix
+/// paths, reductions, measurement collapse — through a scalar-backend and
+/// a SIMD-backend state in lockstep, asserting byte equality after each
+/// step. This is the per-tier bit-identity contract at its sharpest:
+/// whatever the element type, the AVX2 build must produce the very bits
+/// the scalar build produces.
+void expect_backend_parity(Precision precision) {
+  const std::size_t n = 6;
+  StateVector a = random_tier_state(n, 99, precision, SimdMode::kOff);
+  StateVector b = random_tier_state(n, 99, precision, SimdMode::kAuto);
+  ASSERT_FALSE(a.simd_active());
+  ASSERT_TRUE(b.simd_active());
+  auto sync = [&] { expect_states_equal(a, b); };
+  sync();
+
+  const cplx kI(0.0, 1.0);
+  a.apply_x(1), b.apply_x(1), sync();
+  a.apply_y(3), b.apply_y(3), sync();
+  a.apply_z(0), b.apply_z(0), sync();
+  a.apply_phase(2, kI), b.apply_phase(2, kI), sync();
+  a.apply_diag(4, std::exp(-kI * 0.35), std::exp(kI * 0.35)),
+      b.apply_diag(4, std::exp(-kI * 0.35), std::exp(kI * 0.35)), sync();
+  a.apply_cnot(0, 5), b.apply_cnot(0, 5), sync();
+  a.apply_cphase(2, 4, cplx(-1.0, 0.0)),
+      b.apply_cphase(2, 4, cplx(-1.0, 0.0)), sync();
+  a.apply_zz_phase(1, 3, std::exp(-kI * 0.2), std::exp(kI * 0.2)),
+      b.apply_zz_phase(1, 3, std::exp(-kI * 0.2), std::exp(kI * 0.2)), sync();
+  a.apply_swap(0, 4), b.apply_swap(0, 4), sync();
+  a.apply_1q(hadamard(), 2), b.apply_1q(hadamard(), 2), sync();
+  a.apply_2q(gate_matrix_2q(GateKind::CNOT), 4, 1),
+      b.apply_2q(gate_matrix_2q(GateKind::CNOT), 4, 1), sync();
+  a.apply_controlled_1q(gate_t(), {1, 3}, 0),
+      b.apply_controlled_1q(gate_t(), {1, 3}, 0), sync();
+
+  // Reductions: the ordered-accumulation contract makes these exact.
+  for (std::size_t q = 0; q < n; ++q)
+    EXPECT_EQ(a.prob_one(q), b.prob_one(q)) << "q=" << q;
+  EXPECT_EQ(a.norm(), b.norm());
+  EXPECT_EQ(a.cumulative_distribution(), b.cumulative_distribution());
+
+  // Measurement consumes RNG through those reductions, then collapses.
+  Rng ra(5), rb(5);
+  EXPECT_EQ(a.measure(1, ra), b.measure(1, rb));
+  sync();
+  a.normalize(), b.normalize(), sync();
+}
+
+TEST(SimdBackendParity, F64ByteIdentical) {
+  if (!simd_available())
+    GTEST_SKIP() << "AVX2 backend not compiled in or CPU lacks AVX2";
+  expect_backend_parity(Precision::kF64);
+}
+
+TEST(SimdBackendParity, F32ByteIdentical) {
+  if (!simd_available())
+    GTEST_SKIP() << "AVX2 backend not compiled in or CPU lacks AVX2";
+  expect_backend_parity(Precision::kF32);
+}
+
+TEST(SimdBackendParity, BackendNameReportsSelection) {
+  StateVector forced(4, Precision::kF64, 0, SimdMode::kOff);
+  EXPECT_FALSE(forced.simd_active());
+  EXPECT_STREQ(forced.backend_name(), "scalar");
+  StateVector chosen(4);
+  EXPECT_EQ(chosen.simd_active(), simd_selected(SimdMode::kAuto));
+  EXPECT_STREQ(chosen.backend_name(),
+               simd_selected(SimdMode::kAuto) ? "avx2" : "scalar");
+}
+
+TEST(SimdEquivalence, FullCircuitIdenticalAcrossBackendsAndThreads) {
+  if (!simd_available())
+    GTEST_SKIP() << "AVX2 backend not compiled in or CPU lacks AVX2";
+  const std::size_t qubits = 6;
+  const auto circuit = random_circuit(qubits, 200, 77, true);
+
+  SimOptions ref_opt;
+  ref_opt.simd = SimdMode::kOff;
+  std::vector<int> ref_bits;
+  const Simulator ref = run_circuit(circuit, qubits, ref_opt, &ref_bits);
+  ASSERT_FALSE(ref_bits.empty());
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    SimOptions opt;
+    opt.simd = SimdMode::kAuto;
+    opt.threads = threads;
+    opt.min_parallel_qubits = 0;
+    std::vector<int> bits;
+    const Simulator got = run_circuit(circuit, qubits, opt, &bits);
+    expect_states_equal(ref.state(), got.state());
+    EXPECT_EQ(ref_bits, bits) << "threads=" << threads;
+  }
+}
+
+TEST(PrecisionTier, F32InternallyIdenticalAcrossBackendsAndThreads) {
+  // The f32 tier's own byte-identity class: scalar vs SIMD backend and
+  // any thread count must agree bit-for-bit (no AVX2 guard needed — with
+  // no SIMD backend the configs coincide and the test is trivially true).
+  const std::size_t qubits = 6;
+  const auto circuit = random_circuit(qubits, 200, 123, true);
+
+  SimOptions ref_opt;
+  ref_opt.precision = Precision::kF32;
+  ref_opt.simd = SimdMode::kOff;
+  std::vector<int> ref_bits;
+  const Simulator ref = run_circuit(circuit, qubits, ref_opt, &ref_bits);
+  ASSERT_FALSE(ref_bits.empty());
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    SimOptions opt;
+    opt.precision = Precision::kF32;
+    opt.simd = SimdMode::kAuto;
+    opt.threads = threads;
+    opt.min_parallel_qubits = 0;
+    std::vector<int> bits;
+    const Simulator got = run_circuit(circuit, qubits, opt, &bits);
+    expect_states_equal(ref.state(), got.state());
+    EXPECT_EQ(ref_bits, bits) << "threads=" << threads;
+  }
+}
+
+TEST(PrecisionTier, F32TracksF64WithinRounding) {
+  // ~1e-7 per-gate rounding accumulates linearly; 120 gates stay orders
+  // of magnitude inside 1e-4.
+  const std::size_t qubits = 6;
+  const auto circuit = random_circuit(qubits, 120, 31, false);
+  SimOptions f64;
+  SimOptions f32;
+  f32.precision = Precision::kF32;
+  const Simulator a = run_circuit(circuit, qubits, f64);
+  const Simulator b = run_circuit(circuit, qubits, f32);
+  expect_states_equal(a.state(), b.state(), 1e-4);
+}
+
+TEST(StateBudget, ByteBudgetReplacesQubitCap) {
+  const std::size_t kBudget = std::size_t{16} << 20;  // 16 MiB
+  // f64: 2^20 amplitudes x 16 bytes fills the budget exactly.
+  EXPECT_NO_THROW(StateVector(20, Precision::kF64, kBudget));
+  EXPECT_THROW(StateVector(21, Precision::kF64, kBudget),
+               std::invalid_argument);
+  // f32 buys exactly one more qubit under the same budget.
+  EXPECT_NO_THROW(StateVector(21, Precision::kF32, kBudget));
+  EXPECT_THROW(StateVector(22, Precision::kF32, kBudget),
+               std::invalid_argument);
+}
+
+TEST(StateBudget, OverBudgetErrorReportsRequestedVsAllowedBytes) {
+  const std::size_t kBudget = std::size_t{16} << 20;
+  try {
+    StateVector s(21, Precision::kF64, kBudget);
+    FAIL() << "21 qubits at f64 must exceed a 16 MiB budget";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("21 qubits"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string((std::size_t{1} << 21) * 16)),
+              std::string::npos)
+        << msg;  // requested bytes
+    EXPECT_NE(msg.find(std::to_string(kBudget)), std::string::npos)
+        << msg;  // allowed bytes
+  }
+}
+
+TEST(StateBudget, DefaultBudgetAdmits28QubitsF64And29QubitsF32) {
+  // Shape-only check against the documented default (no allocation):
+  // 2^28 x 16 == 2^29 x 8 == 4 GiB == kDefaultMaxStateBytes.
+  EXPECT_EQ((std::size_t{1} << 28) * 16, StateVector::kDefaultMaxStateBytes);
+  EXPECT_EQ((std::size_t{1} << 29) * 8, StateVector::kDefaultMaxStateBytes);
+  EXPECT_THROW(StateVector(29, Precision::kF64, 0), std::invalid_argument);
+  EXPECT_THROW(StateVector(30, Precision::kF32, 0), std::invalid_argument);
 }
 
 }  // namespace
